@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: single-layer core decomposition
+//! (Batagelj–Zaversnik peeling) on synthetic layers of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlgraph::generators::{chung_lu_layers, ChungLuConfig};
+
+fn bench_core_numbers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_numbers");
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let g = chung_lu_layers(&ChungLuConfig {
+            num_vertices: n,
+            num_layers: 1,
+            avg_degree: 8.0,
+            exponent: 2.3,
+            layer_jitter: 0.1,
+            seed: 7,
+        })
+        .unwrap();
+        let layer = g.layer(0).clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &layer, |b, layer| {
+            b.iter(|| coreness::core_numbers(std::hint::black_box(layer)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_d_core(c: &mut Criterion) {
+    let g = chung_lu_layers(&ChungLuConfig {
+        num_vertices: 10_000,
+        num_layers: 1,
+        avg_degree: 8.0,
+        exponent: 2.3,
+        layer_jitter: 0.1,
+        seed: 7,
+    })
+    .unwrap();
+    let layer = g.layer(0).clone();
+    let mut group = c.benchmark_group("d_core");
+    for d in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| coreness::d_core(std::hint::black_box(&layer), d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_numbers, bench_d_core);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmark: the `Update` procedure maintaining the
+//! temporary top-k diversified result set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dccs::{CoherentCore, TopKDiversified};
+use mlgraph::VertexSet;
+use rand::{Rng, SeedableRng};
+
+fn random_cores(n: usize, count: usize, core_size: usize, seed: u64) -> Vec<CoherentCore> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let vertices: Vec<u32> =
+                (0..core_size).map(|_| rng.gen_range(0..n as u32)).collect();
+            CoherentCore::new(vec![i % 8], VertexSet::from_iter(n, vertices))
+        })
+        .collect()
+}
+
+fn bench_update_stream(c: &mut Criterion) {
+    let n = 50_000;
+    let mut group = c.benchmark_group("coverage_update_stream");
+    for &k in &[5usize, 10, 25] {
+        let cores = random_cores(n, 500, 400, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cores, |b, cores| {
+            b.iter(|| {
+                let mut topk = TopKDiversified::new(n, k);
+                for core in cores {
+                    topk.try_update(core.clone());
+                }
+                std::hint::black_box(topk.cover_size())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eq1_check(c: &mut Criterion) {
+    let n = 50_000;
+    let mut topk = TopKDiversified::new(n, 10);
+    for core in random_cores(n, 10, 800, 7) {
+        topk.try_update(core);
+    }
+    let probe = VertexSet::from_iter(n, (0..600u32).map(|x| x * 37 % n as u32));
+    c.bench_function("coverage_eq1_check", |b| {
+        b.iter(|| topk.satisfies_eq1(std::hint::black_box(&probe)));
+    });
+}
+
+criterion_group!(benches, bench_update_stream, bench_eq1_check);
+criterion_main!(benches);

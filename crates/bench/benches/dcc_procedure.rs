@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark: the multi-layer `dCC` procedure (Appendix B)
+//! for growing layer-subset sizes, plus the candidate restriction of Lemma 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::{generate, DatasetId, Scale};
+use mlgraph::MultiLayerGraph;
+
+fn wiki_like() -> MultiLayerGraph {
+    generate(DatasetId::Wiki, Scale::Tiny).graph
+}
+
+fn bench_dcc_by_layer_count(c: &mut Criterion) {
+    let g = wiki_like();
+    let all = g.full_vertex_set();
+    let mut group = c.benchmark_group("dcc_procedure");
+    for s in [1usize, 2, 4, 8] {
+        let layers: Vec<usize> = (0..s).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(s), &layers, |b, layers| {
+            b.iter(|| coreness::d_coherent_core(&g, std::hint::black_box(layers), 3, &all));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dcc_with_and_without_lemma1(c: &mut Criterion) {
+    let g = wiki_like();
+    let all = g.full_vertex_set();
+    let layers = vec![0usize, 1, 2];
+    let mut restricted = coreness::d_core(g.layer(0), 3);
+    restricted.intersect_with(&coreness::d_core(g.layer(1), 3));
+    restricted.intersect_with(&coreness::d_core(g.layer(2), 3));
+
+    let mut group = c.benchmark_group("dcc_lemma1_restriction");
+    group.bench_function("full_universe", |b| {
+        b.iter(|| coreness::d_coherent_core(&g, &layers, 3, std::hint::black_box(&all)));
+    });
+    group.bench_function("core_intersection", |b| {
+        b.iter(|| coreness::d_coherent_core(&g, &layers, 3, std::hint::black_box(&restricted)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dcc_by_layer_count, bench_dcc_with_and_without_lemma1);
+criterion_main!(benches);

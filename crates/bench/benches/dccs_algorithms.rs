@@ -1,0 +1,41 @@
+//! Criterion benchmark: the three DCCS algorithms end to end on a tiny
+//! dataset analogue, for a small and a large support threshold, plus the
+//! parallel-greedy extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::{generate, DatasetId, Scale};
+use dccs::{bottom_up_dccs, greedy_dccs, parallel_greedy_dccs, top_down_dccs, DccsParams};
+
+fn bench_small_s(c: &mut Criterion) {
+    let ds = generate(DatasetId::German, Scale::Tiny);
+    let params = DccsParams::new(3, 2, 10);
+    let mut group = c.benchmark_group("dccs_small_s");
+    group.sample_size(10);
+    group.bench_function("GD-DCCS", |b| b.iter(|| greedy_dccs(&ds.graph, &params)));
+    group.bench_function("BU-DCCS", |b| b.iter(|| bottom_up_dccs(&ds.graph, &params)));
+    group.finish();
+}
+
+fn bench_large_s(c: &mut Criterion) {
+    let ds = generate(DatasetId::German, Scale::Tiny);
+    let l = ds.graph.num_layers();
+    let params = DccsParams::new(3, l - 2, 10);
+    let mut group = c.benchmark_group("dccs_large_s");
+    group.sample_size(10);
+    group.bench_function("GD-DCCS", |b| b.iter(|| greedy_dccs(&ds.graph, &params)));
+    group.bench_function("TD-DCCS", |b| b.iter(|| top_down_dccs(&ds.graph, &params)));
+    group.finish();
+}
+
+fn bench_parallel_greedy(c: &mut Criterion) {
+    let ds = generate(DatasetId::Wiki, Scale::Tiny);
+    let params = DccsParams::new(3, 2, 10);
+    let mut group = c.benchmark_group("parallel_greedy");
+    group.sample_size(10);
+    group.bench_function("1-thread", |b| b.iter(|| parallel_greedy_dccs(&ds.graph, &params, 1)));
+    group.bench_function("4-threads", |b| b.iter(|| parallel_greedy_dccs(&ds.graph, &params, 4)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_s, bench_large_s, bench_parallel_greedy);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 12 — dataset statistics.
+//!
+//! Prints two tables: the statistics the paper reports for the original
+//! datasets, and the statistics of the synthetic analogues generated at the
+//! requested scale (so the scale factor of the substitution is explicit).
+
+use datasets::{all_datasets, generate};
+use dccs_bench::{ExperimentArgs, Table};
+use mlgraph::GraphStats;
+
+const USAGE: &str = "fig12_datasets [--scale tiny|small|full] [--csv DIR] [--datasets LIST]";
+
+fn main() {
+    let args = ExperimentArgs::from_env(USAGE);
+    let ids = args.datasets_or(&all_datasets());
+
+    let mut paper = Table::new("Fig. 12 (paper) dataset statistics", &[
+        "Graph", "|V(G)|", "sum |E(Gi)|", "|union E(Gi)|", "l(G)",
+    ]);
+    for id in &ids {
+        let spec = id.spec();
+        paper.add_row(&[
+            spec.name.to_string(),
+            spec.paper.num_vertices.to_string(),
+            spec.paper.total_edges.to_string(),
+            spec.paper.union_edges.to_string(),
+            spec.paper.num_layers.to_string(),
+        ]);
+    }
+    args.emit(&paper);
+
+    let mut synth = Table::new(
+        &format!("Fig. 12 (synthetic analogues, scale {:?})", args.scale),
+        &["Graph", "|V(G)|", "sum |E(Gi)|", "|union E(Gi)|", "l(G)", "vertex scale"],
+    );
+    for id in &ids {
+        let ds = generate(*id, args.scale);
+        let stats = GraphStats::compute(&ds.graph);
+        synth.add_row(&[
+            ds.spec.name.to_string(),
+            stats.num_vertices.to_string(),
+            stats.total_edges.to_string(),
+            stats.union_edges.to_string(),
+            stats.num_layers.to_string(),
+            format!("{:.4}", stats.num_vertices as f64 / ds.spec.paper.num_vertices as f64),
+        ]);
+    }
+    args.emit(&synth);
+}

@@ -1,0 +1,62 @@
+//! Figs. 18–21 — execution time and result cover size versus the degree
+//! threshold `d`.
+//!
+//! * Fig. 18 / Fig. 20: small `s` = 3 on the German and English analogues,
+//!   GD-DCCS vs BU-DCCS.
+//! * Fig. 19 / Fig. 21: large `s` = l − 2, GD-DCCS vs TD-DCCS.
+
+use datasets::{generate, DatasetId};
+use dccs::{DccsOptions, DccsParams};
+use dccs_bench::table::fmt_secs;
+use dccs_bench::{run_algorithm, Algorithm, ExperimentArgs, ParameterGrid, Table};
+
+const USAGE: &str = "fig18_21_vary_d [--scale tiny|small|full] [--csv DIR] [--datasets LIST]";
+
+fn main() {
+    let args = ExperimentArgs::from_env(USAGE);
+    let ids = args.datasets_or(&[DatasetId::German, DatasetId::English]);
+    let grid = ParameterGrid::default();
+    let opts = DccsOptions::default();
+
+    for id in ids {
+        let ds = generate(id, args.scale);
+        let g = &ds.graph;
+        let small_s = ParameterGrid::DEFAULT_SMALL_S.min(g.num_layers());
+        let large_s = ParameterGrid::default_large_s(g.num_layers());
+
+        let mut t18 = Table::new(
+            &format!("Fig. 18 execution time vs d, s={small_s} ({})", ds.spec.name),
+            &["d", "GD-DCCS (s)", "BU-DCCS (s)"],
+        );
+        let mut t20 = Table::new(
+            &format!("Fig. 20 result cover size vs d, s={small_s} ({})", ds.spec.name),
+            &["d", "GD-DCCS", "BU-DCCS"],
+        );
+        let mut t19 = Table::new(
+            &format!("Fig. 19 execution time vs d, s={large_s} ({})", ds.spec.name),
+            &["d", "GD-DCCS (s)", "TD-DCCS (s)"],
+        );
+        let mut t21 = Table::new(
+            &format!("Fig. 21 result cover size vs d, s={large_s} ({})", ds.spec.name),
+            &["d", "GD-DCCS", "TD-DCCS"],
+        );
+
+        for &d in &grid.d_values {
+            let params = DccsParams::new(d, small_s, ParameterGrid::DEFAULT_K);
+            let gd = run_algorithm(Algorithm::Greedy, g, &params, &opts);
+            let bu = run_algorithm(Algorithm::BottomUp, g, &params, &opts);
+            t18.add_row(&[d.to_string(), fmt_secs(gd.seconds()), fmt_secs(bu.seconds())]);
+            t20.add_row(&[d.to_string(), gd.cover_size.to_string(), bu.cover_size.to_string()]);
+
+            let params = DccsParams::new(d, large_s, ParameterGrid::DEFAULT_K);
+            let gd = run_algorithm(Algorithm::Greedy, g, &params, &opts);
+            let td = run_algorithm(Algorithm::TopDown, g, &params, &opts);
+            t19.add_row(&[d.to_string(), fmt_secs(gd.seconds()), fmt_secs(td.seconds())]);
+            t21.add_row(&[d.to_string(), gd.cover_size.to_string(), td.cover_size.to_string()]);
+        }
+        args.emit(&t18);
+        args.emit(&t19);
+        args.emit(&t20);
+        args.emit(&t21);
+    }
+}

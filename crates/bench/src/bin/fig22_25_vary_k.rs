@@ -1,0 +1,62 @@
+//! Figs. 22–25 — execution time and result cover size versus the result
+//! budget `k`.
+//!
+//! * Fig. 22 / Fig. 24: small `s` = 3 on the Wiki and English analogues,
+//!   GD-DCCS vs BU-DCCS.
+//! * Fig. 23 / Fig. 25: large `s` = l − 2, GD-DCCS vs TD-DCCS.
+
+use datasets::{generate, DatasetId};
+use dccs::{DccsOptions, DccsParams};
+use dccs_bench::table::fmt_secs;
+use dccs_bench::{run_algorithm, Algorithm, ExperimentArgs, ParameterGrid, Table};
+
+const USAGE: &str = "fig22_25_vary_k [--scale tiny|small|full] [--csv DIR] [--datasets LIST]";
+
+fn main() {
+    let args = ExperimentArgs::from_env(USAGE);
+    let ids = args.datasets_or(&[DatasetId::Wiki, DatasetId::English]);
+    let grid = ParameterGrid::default();
+    let opts = DccsOptions::default();
+
+    for id in ids {
+        let ds = generate(id, args.scale);
+        let g = &ds.graph;
+        let small_s = ParameterGrid::DEFAULT_SMALL_S.min(g.num_layers());
+        let large_s = ParameterGrid::default_large_s(g.num_layers());
+
+        let mut t22 = Table::new(
+            &format!("Fig. 22 execution time vs k, s={small_s} ({})", ds.spec.name),
+            &["k", "GD-DCCS (s)", "BU-DCCS (s)"],
+        );
+        let mut t24 = Table::new(
+            &format!("Fig. 24 result cover size vs k, s={small_s} ({})", ds.spec.name),
+            &["k", "GD-DCCS", "BU-DCCS"],
+        );
+        let mut t23 = Table::new(
+            &format!("Fig. 23 execution time vs k, s={large_s} ({})", ds.spec.name),
+            &["k", "GD-DCCS (s)", "TD-DCCS (s)"],
+        );
+        let mut t25 = Table::new(
+            &format!("Fig. 25 result cover size vs k, s={large_s} ({})", ds.spec.name),
+            &["k", "GD-DCCS", "TD-DCCS"],
+        );
+
+        for &k in &grid.k_values {
+            let params = DccsParams::new(ParameterGrid::DEFAULT_D, small_s, k);
+            let gd = run_algorithm(Algorithm::Greedy, g, &params, &opts);
+            let bu = run_algorithm(Algorithm::BottomUp, g, &params, &opts);
+            t22.add_row(&[k.to_string(), fmt_secs(gd.seconds()), fmt_secs(bu.seconds())]);
+            t24.add_row(&[k.to_string(), gd.cover_size.to_string(), bu.cover_size.to_string()]);
+
+            let params = DccsParams::new(ParameterGrid::DEFAULT_D, large_s, k);
+            let gd = run_algorithm(Algorithm::Greedy, g, &params, &opts);
+            let td = run_algorithm(Algorithm::TopDown, g, &params, &opts);
+            t23.add_row(&[k.to_string(), fmt_secs(gd.seconds()), fmt_secs(td.seconds())]);
+            t25.add_row(&[k.to_string(), gd.cover_size.to_string(), td.cover_size.to_string()]);
+        }
+        args.emit(&t22);
+        args.emit(&t23);
+        args.emit(&t24);
+        args.emit(&t25);
+    }
+}

@@ -1,0 +1,79 @@
+//! Figs. 26–27 — scalability: execution time versus the vertex fraction `p`
+//! and the layer fraction `q` on the Stack analogue (the largest dataset).
+//!
+//! As in the paper, small-`s` runs compare GD-DCCS with BU-DCCS and large-`s`
+//! runs compare GD-DCCS with TD-DCCS.
+
+use datasets::{generate, DatasetId};
+use dccs::{DccsOptions, DccsParams};
+use dccs_bench::table::fmt_secs;
+use dccs_bench::{run_algorithm, Algorithm, ExperimentArgs, ParameterGrid, Table};
+use mlgraph::sample::{sample_layers, sample_vertices};
+
+const USAGE: &str = "fig26_27_scalability [--scale tiny|small|full] [--csv DIR] [--datasets LIST]";
+const SAMPLE_SEED: u64 = 0x5CA1E;
+
+fn main() {
+    let args = ExperimentArgs::from_env(USAGE);
+    let ids = args.datasets_or(&[DatasetId::Stack]);
+    let grid = ParameterGrid::default();
+    let opts = DccsOptions::default();
+
+    for id in ids {
+        let ds = generate(id, args.scale);
+        let g = &ds.graph;
+
+        // Fig. 26: vary the vertex fraction p.
+        let mut t26 = Table::new(
+            &format!("Fig. 26 execution time vs p ({})", ds.spec.name),
+            &["p", "|V|", "GD small-s (s)", "BU small-s (s)", "GD large-s (s)", "TD large-s (s)"],
+        );
+        for &p in &grid.p_values {
+            let sampled = sample_vertices(g, p, SAMPLE_SEED).expect("valid fraction");
+            let small_s = ParameterGrid::DEFAULT_SMALL_S.min(sampled.num_layers());
+            let large_s = ParameterGrid::default_large_s(sampled.num_layers());
+            let small = DccsParams::new(ParameterGrid::DEFAULT_D, small_s, ParameterGrid::DEFAULT_K);
+            let large = DccsParams::new(ParameterGrid::DEFAULT_D, large_s, ParameterGrid::DEFAULT_K);
+            let gd_s = run_algorithm(Algorithm::Greedy, &sampled, &small, &opts);
+            let bu_s = run_algorithm(Algorithm::BottomUp, &sampled, &small, &opts);
+            let gd_l = run_algorithm(Algorithm::Greedy, &sampled, &large, &opts);
+            let td_l = run_algorithm(Algorithm::TopDown, &sampled, &large, &opts);
+            t26.add_row(&[
+                format!("{p:.1}"),
+                sampled.num_vertices().to_string(),
+                fmt_secs(gd_s.seconds()),
+                fmt_secs(bu_s.seconds()),
+                fmt_secs(gd_l.seconds()),
+                fmt_secs(td_l.seconds()),
+            ]);
+        }
+        args.emit(&t26);
+
+        // Fig. 27: vary the layer fraction q.
+        let mut t27 = Table::new(
+            &format!("Fig. 27 execution time vs q ({})", ds.spec.name),
+            &["q", "l", "GD small-s (s)", "BU small-s (s)", "GD large-s (s)", "TD large-s (s)"],
+        );
+        for &q in &grid.q_values {
+            let sampled = sample_layers(g, q, SAMPLE_SEED).expect("valid fraction");
+            let l = sampled.num_layers();
+            let small_s = ParameterGrid::DEFAULT_SMALL_S.min(l);
+            let large_s = ParameterGrid::default_large_s(l);
+            let small = DccsParams::new(ParameterGrid::DEFAULT_D, small_s, ParameterGrid::DEFAULT_K);
+            let large = DccsParams::new(ParameterGrid::DEFAULT_D, large_s, ParameterGrid::DEFAULT_K);
+            let gd_s = run_algorithm(Algorithm::Greedy, &sampled, &small, &opts);
+            let bu_s = run_algorithm(Algorithm::BottomUp, &sampled, &small, &opts);
+            let gd_l = run_algorithm(Algorithm::Greedy, &sampled, &large, &opts);
+            let td_l = run_algorithm(Algorithm::TopDown, &sampled, &large, &opts);
+            t27.add_row(&[
+                format!("{q:.1}"),
+                l.to_string(),
+                fmt_secs(gd_s.seconds()),
+                fmt_secs(bu_s.seconds()),
+                fmt_secs(gd_l.seconds()),
+                fmt_secs(td_l.seconds()),
+            ]);
+        }
+        args.emit(&t27);
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 28 — effect of the preprocessing methods.
+//!
+//! Each preprocessing step (vertex deletion, layer sorting, result
+//! initialization) is disabled in turn — and then all of them together — for
+//! `BU-DCCS` with small `s` and `TD-DCCS` with large `s`, on the Wiki and
+//! English analogues. Column names follow the paper: `No-VD`, `No-SL`,
+//! `No-IR`, `No-Pre`.
+
+use datasets::{generate, DatasetId};
+use dccs::{DccsOptions, DccsParams};
+use dccs_bench::table::fmt_secs;
+use dccs_bench::{run_algorithm, Algorithm, ExperimentArgs, ParameterGrid, Table};
+
+const USAGE: &str = "fig28_preprocessing [--scale tiny|small|full] [--csv DIR] [--datasets LIST]";
+
+fn variants() -> Vec<(&'static str, DccsOptions)> {
+    vec![
+        ("Default", DccsOptions::default()),
+        ("No-SL", DccsOptions::no_sort_layers()),
+        ("No-IR", DccsOptions::no_init_topk()),
+        ("No-VD", DccsOptions::no_vertex_deletion()),
+        ("No-Pre", DccsOptions::no_preprocessing()),
+    ]
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env(USAGE);
+    let ids = args.datasets_or(&[DatasetId::Wiki, DatasetId::English]);
+
+    let mut small_table = Table::new(
+        "Fig. 28a preprocessing ablation, BU-DCCS (small s)",
+        &["Graph", "Variant", "time (s)", "cover", "dCC calls", "pruned"],
+    );
+    let mut large_table = Table::new(
+        "Fig. 28b preprocessing ablation, TD-DCCS (large s)",
+        &["Graph", "Variant", "time (s)", "cover", "dCC calls", "pruned"],
+    );
+
+    for id in ids {
+        let ds = generate(id, args.scale);
+        let g = &ds.graph;
+        let small_s = ParameterGrid::DEFAULT_SMALL_S.min(g.num_layers());
+        let large_s = ParameterGrid::default_large_s(g.num_layers());
+        let small = DccsParams::new(ParameterGrid::DEFAULT_D, small_s, ParameterGrid::DEFAULT_K);
+        let large = DccsParams::new(ParameterGrid::DEFAULT_D, large_s, ParameterGrid::DEFAULT_K);
+
+        for (name, opts) in variants() {
+            let bu = run_algorithm(Algorithm::BottomUp, g, &small, &opts);
+            small_table.add_row(&[
+                ds.spec.name.to_string(),
+                name.to_string(),
+                fmt_secs(bu.seconds()),
+                bu.cover_size.to_string(),
+                bu.dcc_calls.to_string(),
+                bu.pruned.to_string(),
+            ]);
+            let td = run_algorithm(Algorithm::TopDown, g, &large, &opts);
+            large_table.add_row(&[
+                ds.spec.name.to_string(),
+                name.to_string(),
+                fmt_secs(td.seconds()),
+                td.cover_size.to_string(),
+                td.dcc_calls.to_string(),
+                td.pruned.to_string(),
+            ]);
+        }
+    }
+    args.emit(&small_table);
+    args.emit(&large_table);
+}

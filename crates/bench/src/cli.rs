@@ -1,0 +1,138 @@
+//! Minimal command-line flag parsing shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale tiny|small|full` — dataset analogue size (default `small`);
+//! * `--csv DIR` — also write each printed table as a CSV file into `DIR`;
+//! * `--datasets NAME[,NAME...]` — restrict to specific datasets;
+//! * `--help` — print usage.
+
+use datasets::{DatasetId, Scale};
+use std::path::PathBuf;
+
+/// Parsed experiment arguments.
+#[derive(Clone, Debug)]
+pub struct ExperimentArgs {
+    /// Dataset scale to generate.
+    pub scale: Scale,
+    /// Optional CSV output directory.
+    pub csv_dir: Option<PathBuf>,
+    /// Dataset filter (empty = binary default).
+    pub datasets: Vec<DatasetId>,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs { scale: Scale::Small, csv_dir: None, datasets: Vec::new() }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses an iterator of arguments (without the program name).
+    /// Returns `Err(usage)` for `--help` or malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I, usage: &str) -> Result<Self, String> {
+        let mut out = ExperimentArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(usage.to_string()),
+                "--scale" => {
+                    let value = iter.next().ok_or_else(|| format!("--scale needs a value\n{usage}"))?;
+                    out.scale = Scale::parse(&value)
+                        .ok_or_else(|| format!("unknown scale `{value}`\n{usage}"))?;
+                }
+                "--csv" => {
+                    let value = iter.next().ok_or_else(|| format!("--csv needs a directory\n{usage}"))?;
+                    out.csv_dir = Some(PathBuf::from(value));
+                }
+                "--datasets" => {
+                    let value =
+                        iter.next().ok_or_else(|| format!("--datasets needs a value\n{usage}"))?;
+                    for name in value.split(',') {
+                        let id = DatasetId::parse(name.trim())
+                            .ok_or_else(|| format!("unknown dataset `{name}`\n{usage}"))?;
+                        out.datasets.push(id);
+                    }
+                }
+                other => return Err(format!("unknown argument `{other}`\n{usage}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments; prints the error/usage and exits on
+    /// failure.
+    pub fn from_env(usage: &str) -> Self {
+        match Self::parse(std::env::args().skip(1), usage) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The datasets to run: the explicit filter, or the given default list.
+    pub fn datasets_or(&self, default: &[DatasetId]) -> Vec<DatasetId> {
+        if self.datasets.is_empty() {
+            default.to_vec()
+        } else {
+            self.datasets.clone()
+        }
+    }
+
+    /// Writes a table as CSV if `--csv` was given, and always prints it.
+    pub fn emit(&self, table: &crate::table::Table) {
+        table.print();
+        if let Some(dir) = &self.csv_dir {
+            match table.write_csv_into(dir) {
+                Ok(path) => println!("[csv] wrote {}", path.display()),
+                Err(err) => eprintln!("[csv] failed to write table: {err}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExperimentArgs, String> {
+        ExperimentArgs::parse(args.iter().map(|s| s.to_string()), "usage")
+    }
+
+    #[test]
+    fn defaults() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.scale, Scale::Small);
+        assert!(args.csv_dir.is_none());
+        assert!(args.datasets.is_empty());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args =
+            parse(&["--scale", "tiny", "--csv", "/tmp/out", "--datasets", "ppi,author"]).unwrap();
+        assert_eq!(args.scale, Scale::Tiny);
+        assert_eq!(args.csv_dir.as_deref(), Some(std::path::Path::new("/tmp/out")));
+        assert_eq!(args.datasets, vec![DatasetId::Ppi, DatasetId::Author]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "gigantic"]).is_err());
+        assert!(parse(&["--datasets", "nope"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn dataset_default_fallback() {
+        let args = parse(&[]).unwrap();
+        let d = args.datasets_or(&[DatasetId::English]);
+        assert_eq!(d, vec![DatasetId::English]);
+        let args = parse(&["--datasets", "wiki"]).unwrap();
+        assert_eq!(args.datasets_or(&[DatasetId::English]), vec![DatasetId::Wiki]);
+    }
+}

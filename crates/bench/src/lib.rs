@@ -1,0 +1,25 @@
+//! # dccs-bench — experiment harness
+//!
+//! Reusable pieces shared by the experiment binaries in `src/bin/`, each of
+//! which regenerates one group of tables/figures from the paper's Section VI
+//! (see `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for the
+//! recorded outputs).
+//!
+//! * [`sweeps`] — the parameter grid of Fig. 13.
+//! * [`runner`] — uniform invocation of the three DCCS algorithms with
+//!   timing and search statistics.
+//! * [`table`] — plain-text table rendering and CSV emission.
+//! * [`cli`] — the tiny flag parser shared by the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod runner;
+pub mod sweeps;
+pub mod table;
+
+pub use cli::ExperimentArgs;
+pub use runner::{run_algorithm, Algorithm, RunOutcome};
+pub use sweeps::ParameterGrid;
+pub use table::Table;

@@ -1,0 +1,75 @@
+//! The parameter configuration of Fig. 13.
+
+/// The parameter grid used throughout Section VI.
+#[derive(Clone, Debug)]
+pub struct ParameterGrid {
+    /// Values of `k` (default 10).
+    pub k_values: Vec<usize>,
+    /// Values of `d` (default 4).
+    pub d_values: Vec<u32>,
+    /// Small-`s` values (default 3).
+    pub small_s: Vec<usize>,
+    /// Vertex fractions `p` (default 1.0).
+    pub p_values: Vec<f64>,
+    /// Layer fractions `q` (default 1.0).
+    pub q_values: Vec<f64>,
+}
+
+impl Default for ParameterGrid {
+    fn default() -> Self {
+        ParameterGrid {
+            k_values: vec![5, 10, 15, 20, 25],
+            d_values: vec![2, 3, 4, 5, 6],
+            small_s: vec![1, 2, 3, 4, 5],
+            p_values: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            q_values: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+        }
+    }
+}
+
+impl ParameterGrid {
+    /// Default `k` (Fig. 13).
+    pub const DEFAULT_K: usize = 10;
+    /// Default `d` (Fig. 13).
+    pub const DEFAULT_D: u32 = 4;
+    /// Default small `s` (Fig. 13).
+    pub const DEFAULT_SMALL_S: usize = 3;
+
+    /// Large-`s` values for a graph with `l` layers:
+    /// `{l-4, l-3, l-2, l-1, l}` (Fig. 13).
+    pub fn large_s(num_layers: usize) -> Vec<usize> {
+        (0..5).rev().filter_map(|offset| num_layers.checked_sub(offset)).filter(|&s| s >= 1).collect()
+    }
+
+    /// Default large `s` for a graph with `l` layers: `l − 2` (Fig. 13).
+    pub fn default_large_s(num_layers: usize) -> usize {
+        num_layers.saturating_sub(2).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_fig13() {
+        let g = ParameterGrid::default();
+        assert_eq!(g.k_values, vec![5, 10, 15, 20, 25]);
+        assert_eq!(g.d_values, vec![2, 3, 4, 5, 6]);
+        assert_eq!(g.small_s, vec![1, 2, 3, 4, 5]);
+        assert_eq!(g.p_values.len(), 5);
+        assert_eq!(ParameterGrid::DEFAULT_K, 10);
+        assert_eq!(ParameterGrid::DEFAULT_D, 4);
+        assert_eq!(ParameterGrid::DEFAULT_SMALL_S, 3);
+    }
+
+    #[test]
+    fn large_s_ranges() {
+        assert_eq!(ParameterGrid::large_s(24), vec![20, 21, 22, 23, 24]);
+        assert_eq!(ParameterGrid::large_s(15), vec![11, 12, 13, 14, 15]);
+        assert_eq!(ParameterGrid::default_large_s(24), 22);
+        assert_eq!(ParameterGrid::default_large_s(3), 1);
+        // Tiny layer counts stay valid.
+        assert_eq!(ParameterGrid::large_s(3), vec![1, 2, 3]);
+    }
+}

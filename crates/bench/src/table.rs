@@ -1,0 +1,168 @@
+//! Plain-text table rendering and CSV emission for the experiment binaries.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple column-aligned table that can also be written out as CSV.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new<S: AsRef<str>>(title: &str, headers: &[S]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.as_ref().to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the cell count must match the header count.
+    pub fn add_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// The table as CSV text (header row first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<slug(title)>.csv`; creates the directory.
+    pub fn write_csv_into(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .to_ascii_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Formats a duration in seconds with three significant decimals.
+pub fn fmt_secs(seconds: f64) -> String {
+    if seconds < 0.001 {
+        format!("{:.5}", seconds)
+    } else {
+        format!("{:.3}", seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Fig. X", &["s", "GD-DCCS", "BU-DCCS"]);
+        t.add_row(&["1", "10.2", "1.3"]);
+        t.add_row(&["2", "100.25", "2"]);
+        let text = t.render();
+        assert!(text.contains("== Fig. X =="));
+        assert!(text.contains("GD-DCCS"));
+        assert_eq!(t.num_rows(), 2);
+        // Line layout: title, header, separator, then the data rows.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].starts_with('-'));
+        assert!(lines[3].starts_with('1'));
+        assert!(lines[4].starts_with('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.add_row(&["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("csv", &["name", "value"]);
+        t.add_row(&["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let mut t = Table::new("Fig 14 time vs s", &["s", "time"]);
+        t.add_row(&["1", "0.5"]);
+        let dir = std::env::temp_dir().join("dccs_bench_table_test");
+        let path = t.write_csv_into(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("s,time"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(1.23456), "1.235");
+        assert_eq!(fmt_secs(0.0001234), "0.00012");
+    }
+}

@@ -1,0 +1,331 @@
+//! `dccs` — command-line diversified coherent core search.
+//!
+//! ```text
+//! dccs stats   (--input FILE | --dataset NAME [--scale S])
+//! dccs run     (--input FILE | --dataset NAME [--scale S]) [--algorithm gd|bu|td]
+//!              [-d N] [-s N] [-k N] [--no-vd] [--no-sl] [--no-ir]
+//! dccs compare (--input FILE | --dataset NAME [--scale S]) [-d N] [-s N] [-k N]
+//! dccs generate --dataset NAME [--scale S] --output FILE
+//! ```
+//!
+//! `--input` accepts the text edge-list format (`src dst layer`, `#`
+//! comments); `--dataset` generates one of the built-in synthetic analogues
+//! (PPI, Author, German, Wiki, English, Stack).
+
+use datasets::{generate, DatasetId, Scale};
+use dccs::{DccsOptions, DccsParams};
+use mlgraph::{GraphStats, MultiLayerGraph};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dccs — diversified coherent core search on multi-layer graphs
+
+USAGE:
+    dccs stats    (--input FILE | --dataset NAME [--scale tiny|small|full])
+    dccs run      (--input FILE | --dataset NAME [--scale SCALE])
+                  [--algorithm gd|bu|td] [-d N] [-s N] [-k N]
+                  [--no-vd] [--no-sl] [--no-ir]
+    dccs compare  (--input FILE | --dataset NAME [--scale SCALE]) [-d N] [-s N] [-k N]
+    dccs generate --dataset NAME [--scale SCALE] --output FILE
+
+DEFAULTS: -d 4, -s 3, -k 10, --algorithm bu, --scale small
+";
+
+#[derive(Debug)]
+struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    input: Option<String>,
+    dataset: Option<DatasetId>,
+    scale: Scale,
+    output: Option<String>,
+    algorithm: String,
+    d: u32,
+    s: Option<usize>,
+    k: usize,
+    opts: DccsOptions,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut out = Options {
+        input: None,
+        dataset: None,
+        scale: Scale::Small,
+        output: None,
+        algorithm: "bu".to_string(),
+        d: 4,
+        s: None,
+        k: 10,
+        opts: DccsOptions::default(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> Result<String, CliError> {
+            iter.next().cloned().ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--input" => out.input = Some(value("--input")?),
+            "--output" => out.output = Some(value("--output")?),
+            "--dataset" => {
+                let name = value("--dataset")?;
+                out.dataset = Some(
+                    DatasetId::parse(&name)
+                        .ok_or_else(|| CliError(format!("unknown dataset `{name}`")))?,
+                );
+            }
+            "--scale" => {
+                let name = value("--scale")?;
+                out.scale = Scale::parse(&name)
+                    .ok_or_else(|| CliError(format!("unknown scale `{name}`")))?;
+            }
+            "--algorithm" => out.algorithm = value("--algorithm")?,
+            "-d" => {
+                out.d = value("-d")?.parse().map_err(|_| CliError("-d must be a number".into()))?
+            }
+            "-s" => {
+                out.s = Some(
+                    value("-s")?.parse().map_err(|_| CliError("-s must be a number".into()))?,
+                )
+            }
+            "-k" => {
+                out.k = value("-k")?.parse().map_err(|_| CliError("-k must be a number".into()))?
+            }
+            "--no-vd" => out.opts.vertex_deletion = false,
+            "--no-sl" => out.opts.sort_layers = false,
+            "--no-ir" => out.opts.init_topk = false,
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+fn load_graph(opts: &Options) -> Result<MultiLayerGraph, CliError> {
+    match (&opts.input, opts.dataset) {
+        (Some(path), None) => mlgraph::io::read_edge_list(path)
+            .map_err(|e| CliError(format!("failed to load `{path}`: {e}"))),
+        (None, Some(id)) => Ok(generate(id, opts.scale).graph),
+        (Some(_), Some(_)) => Err(CliError("use either --input or --dataset, not both".into())),
+        (None, None) => Err(CliError("one of --input or --dataset is required".into())),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError("a command is required".into()));
+    };
+    if command == "--help" || command == "-h" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let opts = parse_options(&args[1..])?;
+    match command.as_str() {
+        "stats" => cmd_stats(&opts),
+        "run" => cmd_run(&opts),
+        "compare" => cmd_compare(&opts),
+        "generate" => cmd_generate(&opts),
+        other => Err(CliError(format!("unknown command `{other}`"))),
+    }
+}
+
+fn cmd_stats(opts: &Options) -> Result<(), CliError> {
+    let g = load_graph(opts)?;
+    let stats = GraphStats::compute(&g);
+    println!("vertices        : {}", stats.num_vertices);
+    println!("layers          : {}", stats.num_layers);
+    println!("total edges     : {}", stats.total_edges);
+    println!("union edges     : {}", stats.union_edges);
+    for layer in &stats.layers {
+        println!(
+            "  layer {:>3} ({}): edges={} active={} max_deg={} avg_deg={:.2}",
+            layer.layer, layer.name, layer.num_edges, layer.active_vertices, layer.max_degree,
+            layer.avg_degree
+        );
+    }
+    Ok(())
+}
+
+fn params_for(opts: &Options, g: &MultiLayerGraph) -> Result<DccsParams, CliError> {
+    let s = opts.s.unwrap_or_else(|| 3.min(g.num_layers()));
+    let params = DccsParams::new(opts.d, s, opts.k);
+    params.validate(g.num_layers()).map_err(CliError)?;
+    Ok(params)
+}
+
+fn print_result(name: &str, g: &MultiLayerGraph, result: &dccs::DccsResult) {
+    println!("== {name} ==");
+    println!("time            : {:.4}s", result.elapsed.as_secs_f64());
+    println!("cover size      : {}", result.cover_size());
+    println!("cores reported  : {}", result.num_cores());
+    println!("candidates      : {}", result.stats.candidates_generated);
+    println!("dCC calls       : {}", result.stats.dcc_calls);
+    println!("subtrees pruned : {}", result.stats.subtrees_pruned);
+    println!("vertices deleted: {}", result.stats.vertices_deleted);
+    for (i, core) in result.cores.iter().enumerate() {
+        let layer_names: Vec<&str> = core.layers.iter().map(|&l| g.layer_name(l)).collect();
+        println!("  core {:>2}: {} vertices on layers {:?}", i + 1, core.len(), layer_names);
+    }
+}
+
+fn cmd_run(opts: &Options) -> Result<(), CliError> {
+    let g = load_graph(opts)?;
+    let params = params_for(opts, &g)?;
+    let result = match opts.algorithm.to_ascii_lowercase().as_str() {
+        "gd" | "greedy" => dccs::greedy_dccs_with_options(&g, &params, &opts.opts),
+        "bu" | "bottom-up" => dccs::bottom_up_dccs_with_options(&g, &params, &opts.opts),
+        "td" | "top-down" => dccs::top_down_dccs_with_options(&g, &params, &opts.opts),
+        other => return Err(CliError(format!("unknown algorithm `{other}`"))),
+    };
+    print_result(
+        &format!("{} (d={}, s={}, k={})", opts.algorithm, params.d, params.s, params.k),
+        &g,
+        &result,
+    );
+    Ok(())
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), CliError> {
+    let g = load_graph(opts)?;
+    let params = params_for(opts, &g)?;
+    let gd = dccs::greedy_dccs_with_options(&g, &params, &opts.opts);
+    let bu = dccs::bottom_up_dccs_with_options(&g, &params, &opts.opts);
+    let td = dccs::top_down_dccs_with_options(&g, &params, &opts.opts);
+    println!("algorithm  time(s)    cover  candidates");
+    for (name, r) in [("GD-DCCS", &gd), ("BU-DCCS", &bu), ("TD-DCCS", &td)] {
+        println!(
+            "{name:<10} {:<10.4} {:<6} {}",
+            r.elapsed.as_secs_f64(),
+            r.cover_size(),
+            r.stats.candidates_generated
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), CliError> {
+    let Some(id) = opts.dataset else {
+        return Err(CliError("generate requires --dataset".into()));
+    };
+    let Some(output) = &opts.output else {
+        return Err(CliError("generate requires --output".into()));
+    };
+    let ds = generate(id, opts.scale);
+    let file = std::fs::File::create(output)
+        .map_err(|e| CliError(format!("cannot create `{output}`: {e}")))?;
+    mlgraph::io::write_edge_list(&ds.graph, std::io::BufWriter::new(file))
+        .map_err(|e| CliError(format!("failed to write `{output}`: {e}")))?;
+    println!(
+        "wrote {} ({} vertices, {} layers, {} edges) to {output}",
+        ds.spec.name,
+        ds.graph.num_vertices(),
+        ds.graph.num_layers(),
+        ds.graph.total_edges()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, CliError> {
+        parse_options(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.d, 4);
+        assert_eq!(o.k, 10);
+        assert!(o.s.is_none());
+        assert_eq!(o.algorithm, "bu");
+        assert_eq!(o.scale, Scale::Small);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = opts(&[
+            "--dataset", "ppi", "--scale", "tiny", "-d", "3", "-s", "2", "-k", "5",
+            "--algorithm", "td", "--no-vd",
+        ])
+        .unwrap();
+        assert_eq!(o.dataset, Some(DatasetId::Ppi));
+        assert_eq!(o.scale, Scale::Tiny);
+        assert_eq!(o.d, 3);
+        assert_eq!(o.s, Some(2));
+        assert_eq!(o.k, 5);
+        assert_eq!(o.algorithm, "td");
+        assert!(!o.opts.vertex_deletion);
+        assert!(o.opts.sort_layers);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(opts(&["--dataset", "unknown"]).is_err());
+        assert!(opts(&["--scale", "huge"]).is_err());
+        assert!(opts(&["-d", "x"]).is_err());
+        assert!(opts(&["--mystery"]).is_err());
+        assert!(opts(&["--input"]).is_err());
+    }
+
+    #[test]
+    fn run_requires_a_command_and_input() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["run".to_string()]).is_err());
+        assert!(run(&["bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_on_tiny_dataset() {
+        let args: Vec<String> = ["run", "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).is_ok());
+    }
+
+    #[test]
+    fn end_to_end_compare_and_stats() {
+        for cmd in ["compare", "stats"] {
+            let args: Vec<String> = [cmd, "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert!(run(&args).is_ok(), "command {cmd} failed");
+        }
+    }
+
+    #[test]
+    fn generate_then_reload_roundtrip() {
+        let dir = std::env::temp_dir().join("dccs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ppi_tiny.edges");
+        let path_str = path.to_string_lossy().to_string();
+        let args: Vec<String> =
+            ["generate", "--dataset", "ppi", "--scale", "tiny", "--output", &path_str]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert!(run(&args).is_ok());
+        let args: Vec<String> =
+            ["run", "--input", &path_str, "-d", "2", "-s", "2"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&args).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,175 @@
+//! Post-hoc analysis of DCCS results.
+//!
+//! Section VI of the paper motivates diversification by observing that
+//! "there exist substantial overlaps among d-CCs" (the discussion around
+//! Figs. 24–25). This module quantifies that: pairwise Jaccard overlaps
+//! between the reported cores, the redundancy of a result set (how much
+//! smaller the cover is than the sum of core sizes), and per-core
+//! contribution summaries used by the examples and the CLI.
+
+use crate::result::{CoherentCore, DccsResult};
+use mlgraph::VertexSet;
+
+/// Overlap and contribution statistics of a set of coherent cores.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlapReport {
+    /// Number of cores analysed.
+    pub num_cores: usize,
+    /// Sum of the individual core sizes.
+    pub total_core_size: usize,
+    /// Size of the union of all cores.
+    pub cover_size: usize,
+    /// `1 − cover / total`: 0 means pairwise disjoint cores, values close to
+    /// 1 mean the cores are nearly identical.
+    pub redundancy: f64,
+    /// Pairwise Jaccard similarities, row-major upper triangle
+    /// (`pairs[i][j]` for `j > i` stored as a flat list of `(i, j, jaccard)`).
+    pub pairwise_jaccard: Vec<(usize, usize, f64)>,
+    /// For each core, the number of vertices no other core covers.
+    pub exclusive_counts: Vec<usize>,
+}
+
+impl OverlapReport {
+    /// The largest pairwise Jaccard similarity, or 0 for fewer than 2 cores.
+    pub fn max_jaccard(&self) -> f64 {
+        self.pairwise_jaccard.iter().map(|&(_, _, j)| j).fold(0.0, f64::max)
+    }
+
+    /// The mean pairwise Jaccard similarity, or 0 for fewer than 2 cores.
+    pub fn mean_jaccard(&self) -> f64 {
+        if self.pairwise_jaccard.is_empty() {
+            0.0
+        } else {
+            self.pairwise_jaccard.iter().map(|&(_, _, j)| j).sum::<f64>()
+                / self.pairwise_jaccard.len() as f64
+        }
+    }
+}
+
+/// Jaccard similarity of two vertex sets (1.0 for two empty sets).
+pub fn jaccard(a: &VertexSet, b: &VertexSet) -> f64 {
+    let intersection = a.intersection_len(b);
+    let union = a.len() + b.len() - intersection;
+    if union == 0 {
+        1.0
+    } else {
+        intersection as f64 / union as f64
+    }
+}
+
+/// Computes the overlap report for a list of cores over a universe of
+/// `num_vertices` vertices.
+pub fn analyze_cores(num_vertices: usize, cores: &[CoherentCore]) -> OverlapReport {
+    let mut cover = VertexSet::new(num_vertices);
+    let mut total = 0usize;
+    for core in cores {
+        total += core.len();
+        cover.union_with(&core.vertices);
+    }
+    let mut pairwise = Vec::new();
+    for i in 0..cores.len() {
+        for j in (i + 1)..cores.len() {
+            pairwise.push((i, j, jaccard(&cores[i].vertices, &cores[j].vertices)));
+        }
+    }
+    let exclusive_counts = cores
+        .iter()
+        .enumerate()
+        .map(|(i, core)| {
+            core.vertices
+                .iter()
+                .filter(|&v| {
+                    cores
+                        .iter()
+                        .enumerate()
+                        .all(|(j, other)| j == i || !other.vertices.contains(v))
+                })
+                .count()
+        })
+        .collect();
+    let redundancy = if total == 0 { 0.0 } else { 1.0 - cover.len() as f64 / total as f64 };
+    OverlapReport {
+        num_cores: cores.len(),
+        total_core_size: total,
+        cover_size: cover.len(),
+        redundancy,
+        pairwise_jaccard: pairwise,
+        exclusive_counts,
+    }
+}
+
+/// Convenience wrapper over a [`DccsResult`].
+pub fn analyze_result(num_vertices: usize, result: &DccsResult) -> OverlapReport {
+    analyze_cores(num_vertices, &result.cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgraph::Layer;
+
+    fn core(layers: Vec<Layer>, vertices: &[u32]) -> CoherentCore {
+        CoherentCore::new(layers, VertexSet::from_iter(20, vertices.iter().copied()))
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = VertexSet::from_iter(10, [1, 2, 3]);
+        let b = VertexSet::from_iter(10, [2, 3, 4]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let empty = VertexSet::new(10);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn disjoint_cores_have_zero_redundancy() {
+        let cores = vec![core(vec![0], &[0, 1, 2]), core(vec![1], &[3, 4])];
+        let report = analyze_cores(20, &cores);
+        assert_eq!(report.num_cores, 2);
+        assert_eq!(report.total_core_size, 5);
+        assert_eq!(report.cover_size, 5);
+        assert_eq!(report.redundancy, 0.0);
+        assert_eq!(report.exclusive_counts, vec![3, 2]);
+        assert_eq!(report.max_jaccard(), 0.0);
+    }
+
+    #[test]
+    fn identical_cores_are_fully_redundant() {
+        let cores = vec![core(vec![0], &[0, 1, 2]), core(vec![1], &[0, 1, 2])];
+        let report = analyze_cores(20, &cores);
+        assert_eq!(report.cover_size, 3);
+        assert!((report.redundancy - 0.5).abs() < 1e-12);
+        assert_eq!(report.exclusive_counts, vec![0, 0]);
+        assert_eq!(report.max_jaccard(), 1.0);
+        assert_eq!(report.mean_jaccard(), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_quantified() {
+        let cores = vec![
+            core(vec![0], &[0, 1, 2, 3]),
+            core(vec![1], &[2, 3, 4, 5]),
+            core(vec![2], &[10, 11]),
+        ];
+        let report = analyze_cores(20, &cores);
+        assert_eq!(report.cover_size, 8);
+        assert_eq!(report.total_core_size, 10);
+        assert_eq!(report.pairwise_jaccard.len(), 3);
+        // Jaccard(0, 1) = 2/6.
+        let (_, _, j01) = report.pairwise_jaccard[0];
+        assert!((j01 - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.exclusive_counts, vec![2, 2, 2]);
+        assert!(report.mean_jaccard() > 0.0 && report.mean_jaccard() < 0.2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let report = analyze_cores(20, &[]);
+        assert_eq!(report.num_cores, 0);
+        assert_eq!(report.cover_size, 0);
+        assert_eq!(report.redundancy, 0.0);
+        assert_eq!(report.mean_jaccard(), 0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! `BU-DCCS` — the bottom-up search algorithm of Section IV (Figs. 3 and 7).
+//!
+//! Candidate d-CCs are organized in a search tree over layer subsets: the
+//! node for layer subset `L` has one child per layer index `j > max(L)`.
+//! The tree is explored depth-first from the empty subset down to level `s`,
+//! and the temporary top-k result set is updated by every candidate reached
+//! at level `s`. Three pruning rules cut subtrees:
+//!
+//! * **Lemma 2** (search-tree pruning) — a node failing Eq. (1) has no
+//!   descendant that can update `R`.
+//! * **Lemma 3** (order-based pruning) — children are visited in decreasing
+//!   order of `|C_L ∩ C^d(G_j)|`; once that intersection drops below
+//!   `|Cov(R)|/k + |Δ(R, C*(R))|` the remaining children can be skipped.
+//! * **Lemma 4** (layer pruning) — a layer `j` whose child fails Eq. (1) is
+//!   excluded from every deeper subset containing `L`.
+//!
+//! The approximation ratio is 1/4 (Theorem 3).
+
+use crate::config::{DccsOptions, DccsParams};
+use crate::coverage::TopKDiversified;
+use crate::preprocess::{init_topk, preprocess};
+use crate::result::{CoherentCore, DccsResult, SearchStats};
+use coreness::d_coherent_core;
+use mlgraph::{Layer, MultiLayerGraph, VertexSet};
+use std::time::Instant;
+
+/// Runs `BU-DCCS` with default options.
+pub fn bottom_up_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
+    bottom_up_dccs_with_options(g, params, &DccsOptions::default())
+}
+
+/// Runs `BU-DCCS` with explicit options (used by the Fig. 28 ablation).
+pub fn bottom_up_dccs_with_options(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> DccsResult {
+    params.validate(g.num_layers()).expect("invalid DCCS parameters");
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+
+    let pre = preprocess(g, params, opts);
+    stats.vertices_deleted = pre.vertices_deleted;
+
+    let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
+    if opts.init_topk {
+        init_topk(g, params, &pre, &mut topk);
+    }
+
+    // Positions in the search tree follow the sorted layer order.
+    let order = pre.bottom_up_layer_order(opts);
+    let cores_by_pos: Vec<VertexSet> =
+        order.iter().map(|&i| pre.layer_cores[i].clone()).collect();
+
+    let mut ctx = BuContext {
+        g,
+        params,
+        opts,
+        order: &order,
+        cores_by_pos: &cores_by_pos,
+        topk,
+        stats,
+    };
+    let excluded = vec![false; g.num_layers()];
+    ctx.bu_gen(&[], &pre.active, &excluded);
+
+    let BuContext { topk, mut stats, .. } = ctx;
+    stats.updates_accepted = topk.accepted_updates();
+    let cores = topk.into_cores();
+    DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
+}
+
+struct BuContext<'a> {
+    g: &'a MultiLayerGraph,
+    params: &'a DccsParams,
+    opts: &'a DccsOptions,
+    /// Position → original layer index (sorted by decreasing d-core size).
+    order: &'a [Layer],
+    /// Position → per-layer d-core (restricted to the active vertex set).
+    cores_by_pos: &'a [VertexSet],
+    topk: TopKDiversified,
+    stats: SearchStats,
+}
+
+impl BuContext<'_> {
+    /// Maps tree positions to original layer indices.
+    fn layers_of(&self, positions: &[usize]) -> Vec<Layer> {
+        positions.iter().map(|&p| self.order[p]).collect()
+    }
+
+    /// Computes `C_{L ∪ {j}}^d` given `C_L` (Lemma 1 restriction) and records
+    /// the work in the statistics.
+    fn child_core(
+        &mut self,
+        positions: &[usize],
+        j: usize,
+        parent_core: &VertexSet,
+    ) -> (Vec<usize>, VertexSet) {
+        let mut child_positions = positions.to_vec();
+        child_positions.push(j);
+        let mut candidate = parent_core.intersection(&self.cores_by_pos[j]);
+        self.stats.dcc_calls += 1;
+        if child_positions.len() == self.params.s {
+            self.stats.candidates_generated += 1;
+        }
+        if !candidate.is_empty() {
+            let layers = self.layers_of(&child_positions);
+            candidate = d_coherent_core(self.g, &layers, self.params.d, &candidate);
+        }
+        (child_positions, candidate)
+    }
+
+    /// The recursive `BU-Gen` procedure (Fig. 3).
+    fn bu_gen(&mut self, positions: &[usize], c_l: &VertexSet, excluded: &[bool]) {
+        let l = self.g.num_layers();
+        let next_start = positions.last().map(|&p| p + 1).unwrap_or(0);
+        let lp: Vec<usize> = (next_start..l).filter(|&j| !excluded[j]).collect();
+        // Children that will be recursed into, with their computed cores.
+        let mut lr: Vec<(usize, VertexSet)> = Vec::new();
+        // Children of the current node for which the subtree is abandoned.
+        let mut lp_visited: Vec<usize> = Vec::new();
+
+        if !self.topk.is_full() {
+            // Lines 2–9: no pruning is possible while |R| < k.
+            for &j in &lp {
+                let (child_positions, child_core) = self.child_core(positions, j, c_l);
+                lp_visited.push(j);
+                if child_positions.len() == self.params.s {
+                    self.topk.try_update(CoherentCore::new(
+                        self.layers_of(&child_positions),
+                        child_core,
+                    ));
+                } else {
+                    lr.push((j, child_core));
+                }
+            }
+        } else {
+            // Lines 10–22: order children by |C_L ∩ C^d(G_j)| and prune.
+            let mut ordered: Vec<(usize, usize)> = lp
+                .iter()
+                .map(|&j| (j, c_l.intersection_len(&self.cores_by_pos[j])))
+                .collect();
+            ordered.sort_by_key(|&(j, size)| (std::cmp::Reverse(size), j));
+            for (rank, &(j, upper_bound)) in ordered.iter().enumerate() {
+                if self.opts.order_pruning && self.topk.fails_size_bound(upper_bound) {
+                    // Lemma 3: this child and all following ones are pruned.
+                    self.stats.subtrees_pruned += ordered.len() - rank;
+                    break;
+                }
+                lp_visited.push(j);
+                let (child_positions, child_core) = self.child_core(positions, j, c_l);
+                if child_positions.len() == self.params.s {
+                    self.topk.try_update(CoherentCore::new(
+                        self.layers_of(&child_positions),
+                        child_core,
+                    ));
+                } else if self.topk.satisfies_eq1(&child_core) {
+                    lr.push((j, child_core));
+                } else {
+                    // Lemma 2: the whole subtree below this child is pruned.
+                    self.stats.subtrees_pruned += 1;
+                }
+            }
+        }
+
+        if positions.len() + 1 >= self.params.s {
+            return;
+        }
+        // Lines 23–26: recurse into the surviving children. Layers that were
+        // visited but not kept are excluded from the descendants (Lemma 4).
+        let mut child_excluded = excluded.to_vec();
+        if self.opts.layer_pruning {
+            let kept: Vec<usize> = lr.iter().map(|&(j, _)| j).collect();
+            for &j in &lp_visited {
+                if !kept.contains(&j) {
+                    child_excluded[j] = true;
+                }
+            }
+        }
+        for (j, child_core) in lr {
+            let mut child_positions = positions.to_vec();
+            child_positions.push(j);
+            self.bu_gen(&child_positions, &child_core, &child_excluded);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_dccs;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    /// Four layers over 12 vertices with two planted coherent cliques and a
+    /// single-layer clique that must not count for s = 2.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(12, 4);
+        clique(&mut b, 0, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[0, 1, 2, 3]);
+        clique(&mut b, 2, &[4, 5, 6, 7]);
+        clique(&mut b, 3, &[4, 5, 6, 7]);
+        clique(&mut b, 1, &[8, 9, 10, 11]); // only on one layer
+        b.build()
+    }
+
+    #[test]
+    fn finds_both_planted_cores() {
+        let g = graph();
+        let result = bottom_up_dccs(&g, &DccsParams::new(3, 2, 2));
+        assert_eq!(result.num_cores(), 2);
+        assert_eq!(result.cover.to_vec(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn matches_greedy_cover_on_small_graphs() {
+        let g = graph();
+        for (d, s, k) in [(2, 1, 2), (2, 2, 2), (3, 2, 1), (3, 2, 3), (2, 3, 2)] {
+            let params = DccsParams::new(d, s, k);
+            let bu = bottom_up_dccs(&g, &params);
+            let gd = greedy_dccs(&g, &params);
+            // Both are approximations; on these tiny inputs they find the
+            // same cover size.
+            assert_eq!(bu.cover_size(), gd.cover_size(), "d={d} s={s} k={k}");
+        }
+    }
+
+    #[test]
+    fn reported_cores_are_d_dense_with_s_layers() {
+        let g = graph();
+        let params = DccsParams::new(2, 2, 3);
+        let result = bottom_up_dccs(&g, &params);
+        for core in &result.cores {
+            assert_eq!(core.layers.len(), params.s);
+            assert!(coreness::is_d_dense_multilayer(&g, &core.layers, &core.vertices, params.d));
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_work_without_changing_the_answer() {
+        let g = graph();
+        let params = DccsParams::new(2, 2, 1);
+        let pruned = bottom_up_dccs(&g, &params);
+        let mut opts = DccsOptions::default();
+        opts.order_pruning = false;
+        opts.layer_pruning = false;
+        opts.init_topk = false;
+        let unpruned = bottom_up_dccs_with_options(&g, &params, &opts);
+        assert_eq!(pruned.cover_size(), unpruned.cover_size());
+        assert!(pruned.stats.dcc_calls <= unpruned.stats.dcc_calls);
+    }
+
+    #[test]
+    fn ablation_options_do_not_change_cover_size() {
+        let g = graph();
+        let params = DccsParams::new(2, 2, 2);
+        let reference = bottom_up_dccs(&g, &params).cover_size();
+        for opts in [
+            DccsOptions::no_vertex_deletion(),
+            DccsOptions::no_sort_layers(),
+            DccsOptions::no_init_topk(),
+            DccsOptions::no_preprocessing(),
+        ] {
+            let r = bottom_up_dccs_with_options(&g, &params, &opts);
+            assert_eq!(r.cover_size(), reference);
+        }
+    }
+
+    #[test]
+    fn large_s_equal_to_layer_count() {
+        let mut b = MultiLayerGraphBuilder::new(5, 3);
+        for layer in 0..3 {
+            clique(&mut b, layer, &[0, 1, 2, 3]);
+        }
+        let g = b.build();
+        let result = bottom_up_dccs(&g, &DccsParams::new(2, 3, 1));
+        assert_eq!(result.cover.to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(result.cores[0].layers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_result_when_no_core_exists() {
+        let mut b = MultiLayerGraphBuilder::new(6, 2);
+        // Only a path on each layer: no 2-core anywhere.
+        for layer in 0..2 {
+            for v in 0..5u32 {
+                b.add_edge(layer, v, v + 1).unwrap();
+            }
+        }
+        let g = b.build();
+        let result = bottom_up_dccs(&g, &DccsParams::new(2, 2, 2));
+        assert_eq!(result.cover_size(), 0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = graph();
+        let result = bottom_up_dccs(&g, &DccsParams::new(3, 2, 2));
+        // With InitTopK finding the optimal cover up front, the whole search
+        // tree may be pruned — work shows up either as dCC calls or prunes.
+        assert!(result.stats.dcc_calls + result.stats.subtrees_pruned > 0);
+        assert!(result.stats.updates_accepted >= result.num_cores());
+        assert!(result.stats.vertices_deleted > 0); // the single-layer clique
+    }
+}

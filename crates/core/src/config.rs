@@ -1,0 +1,140 @@
+//! Problem parameters and algorithm options.
+
+/// The three parameters of the DCCS problem (Section II of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DccsParams {
+    /// Minimum degree threshold `d`: every vertex of a d-CC must have at
+    /// least `d` neighbors inside the core on every chosen layer.
+    pub d: u32,
+    /// Minimum support threshold `s`: d-CCs are taken over layer subsets of
+    /// size exactly `s`.
+    pub s: usize,
+    /// Number of diversified d-CCs to report.
+    pub k: usize,
+}
+
+impl DccsParams {
+    /// Creates a parameter set, the same way the paper writes `(d, s, k)`.
+    pub fn new(d: u32, s: usize, k: usize) -> Self {
+        DccsParams { d, s, k }
+    }
+
+    /// Validates the parameters against a graph with `num_layers` layers.
+    /// Returns a human-readable error when the combination is unusable.
+    pub fn validate(&self, num_layers: usize) -> Result<(), String> {
+        if self.s == 0 {
+            return Err("support threshold s must be at least 1".into());
+        }
+        if self.s > num_layers {
+            return Err(format!(
+                "support threshold s={} exceeds the number of layers {num_layers}",
+                self.s
+            ));
+        }
+        if self.k == 0 {
+            return Err("result size k must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Toggles for the preprocessing steps and pruning rules.
+///
+/// All options default to `true`; the Fig. 28 ablation experiment disables
+/// them one at a time (`No-VD`, `No-SL`, `No-IR`, `No-Pre`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DccsOptions {
+    /// Vertex deletion preprocessing (Section IV-C): iteratively drop
+    /// vertices supported by fewer than `s` per-layer d-cores.
+    pub vertex_deletion: bool,
+    /// Layer sorting preprocessing: explore layers in decreasing (BU) or
+    /// increasing (TD) order of per-layer d-core size.
+    pub sort_layers: bool,
+    /// `InitTopK` preprocessing: seed the temporary result set greedily so
+    /// the pruning rules activate immediately.
+    pub init_topk: bool,
+    /// Order-based pruning (Lemma 3 for BU, Lemma 6 for TD).
+    pub order_pruning: bool,
+    /// Layer pruning (Lemma 4, BU only).
+    pub layer_pruning: bool,
+    /// Potential-set pruning (Lemma 7, TD only).
+    pub potential_pruning: bool,
+    /// Use the index-based `RefineC` procedure in TD-DCCS; when `false` the
+    /// plain `dCC` peeling is used instead (same output, different cost).
+    pub use_refine_c: bool,
+}
+
+impl Default for DccsOptions {
+    fn default() -> Self {
+        DccsOptions {
+            vertex_deletion: true,
+            sort_layers: true,
+            init_topk: true,
+            order_pruning: true,
+            layer_pruning: true,
+            potential_pruning: true,
+            use_refine_c: true,
+        }
+    }
+}
+
+impl DccsOptions {
+    /// The `No-Pre` configuration of Fig. 28: every preprocessing method
+    /// disabled, pruning rules left on.
+    pub fn no_preprocessing() -> Self {
+        DccsOptions {
+            vertex_deletion: false,
+            sort_layers: false,
+            init_topk: false,
+            ..DccsOptions::default()
+        }
+    }
+
+    /// The `No-VD` configuration: vertex deletion disabled.
+    pub fn no_vertex_deletion() -> Self {
+        DccsOptions { vertex_deletion: false, ..DccsOptions::default() }
+    }
+
+    /// The `No-SL` configuration: layer sorting disabled.
+    pub fn no_sort_layers() -> Self {
+        DccsOptions { sort_layers: false, ..DccsOptions::default() }
+    }
+
+    /// The `No-IR` configuration: result initialization disabled.
+    pub fn no_init_topk() -> Self {
+        DccsOptions { init_topk: false, ..DccsOptions::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validate_ranges() {
+        let p = DccsParams::new(3, 2, 5);
+        assert!(p.validate(4).is_ok());
+        assert!(p.validate(1).is_err());
+        assert!(DccsParams::new(3, 0, 5).validate(4).is_err());
+        assert!(DccsParams::new(3, 2, 0).validate(4).is_err());
+    }
+
+    #[test]
+    fn default_options_enable_everything() {
+        let o = DccsOptions::default();
+        assert!(o.vertex_deletion && o.sort_layers && o.init_topk);
+        assert!(o.order_pruning && o.layer_pruning && o.potential_pruning);
+        assert!(o.use_refine_c);
+    }
+
+    #[test]
+    fn ablation_presets_disable_the_right_knob() {
+        assert!(!DccsOptions::no_vertex_deletion().vertex_deletion);
+        assert!(DccsOptions::no_vertex_deletion().sort_layers);
+        assert!(!DccsOptions::no_sort_layers().sort_layers);
+        assert!(!DccsOptions::no_init_topk().init_topk);
+        let none = DccsOptions::no_preprocessing();
+        assert!(!none.vertex_deletion && !none.sort_layers && !none.init_topk);
+        assert!(none.order_pruning);
+    }
+}

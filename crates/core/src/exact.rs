@@ -1,0 +1,150 @@
+//! Brute-force exact DCCS solver.
+//!
+//! The paper's Section III notes that the exact algorithm — enumerate every
+//! candidate d-CC and every `k`-combination of them — is intractable for real
+//! inputs; it exists here purely as a test oracle for the approximation
+//! algorithms on tiny graphs, and to validate approximation-ratio claims
+//! empirically (GD-DCCS ≥ (1 − 1/e)·OPT, BU/TD-DCCS ≥ OPT/4).
+
+use crate::config::{DccsOptions, DccsParams};
+use crate::greedy::generate_all_candidates;
+use crate::preprocess::preprocess;
+use crate::result::{CoherentCore, DccsResult, SearchStats};
+use mlgraph::{MultiLayerGraph, VertexSet};
+use std::time::Instant;
+
+/// Maximum number of candidate d-CCs the exact solver will accept before
+/// giving up (the k-combination enumeration is exponential).
+const MAX_CANDIDATES: usize = 24;
+
+/// Solves the DCCS problem exactly by exhaustive enumeration.
+///
+/// # Panics
+///
+/// Panics when the candidate set `F_{d,s}(G)` holds more than
+/// [`MAX_CANDIDATES`] non-empty d-CCs — the oracle is only meant for tiny
+/// test graphs.
+pub fn exact_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
+    params.validate(g.num_layers()).expect("invalid DCCS parameters");
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+    let pre = preprocess(g, params, &DccsOptions::default());
+    stats.vertices_deleted = pre.vertices_deleted;
+
+    let mut candidates = generate_all_candidates(g, params, &pre, &mut stats);
+    candidates.retain(|c| !c.is_empty());
+    assert!(
+        candidates.len() <= MAX_CANDIDATES,
+        "exact_dccs is a test oracle; {} candidates exceed the limit of {MAX_CANDIDATES}",
+        candidates.len()
+    );
+
+    let k = params.k.min(candidates.len());
+    let mut best_cover = 0usize;
+    let mut best: Vec<usize> = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
+    search(&candidates, k, 0, &mut chosen, &mut best, &mut best_cover, g.num_vertices());
+
+    let cores: Vec<CoherentCore> = best.iter().map(|&i| candidates[i].clone()).collect();
+    DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
+}
+
+fn search(
+    candidates: &[CoherentCore],
+    k: usize,
+    from: usize,
+    chosen: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+    best_cover: &mut usize,
+    n: usize,
+) {
+    if chosen.len() == k {
+        let mut cover = VertexSet::new(n);
+        for &i in chosen.iter() {
+            cover.union_with(&candidates[i].vertices);
+        }
+        if cover.len() > *best_cover {
+            *best_cover = cover.len();
+            *best = chosen.clone();
+        }
+        return;
+    }
+    let remaining_needed = k - chosen.len();
+    if candidates.len() - from < remaining_needed {
+        return;
+    }
+    for i in from..candidates.len() {
+        chosen.push(i);
+        search(candidates, k, i + 1, chosen, best, best_cover, n);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom_up::bottom_up_dccs;
+    use crate::greedy::greedy_dccs;
+    use crate::top_down::top_down_dccs;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    /// Three overlapping planted cliques over 3 layers.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(12, 3);
+        clique(&mut b, 0, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[4, 5, 6]);
+        clique(&mut b, 2, &[4, 5, 6]);
+        clique(&mut b, 0, &[7, 8, 9, 10]);
+        clique(&mut b, 2, &[7, 8, 9, 10]);
+        b.build()
+    }
+
+    #[test]
+    fn exact_maximizes_cover() {
+        let g = graph();
+        let params = DccsParams::new(2, 2, 2);
+        let exact = exact_dccs(&g, &params);
+        // The best two candidates are the two 4-cliques: cover 8.
+        assert_eq!(exact.cover_size(), 8);
+    }
+
+    #[test]
+    fn exact_with_k_one() {
+        let g = graph();
+        let exact = exact_dccs(&g, &DccsParams::new(2, 2, 1));
+        assert_eq!(exact.cover_size(), 4);
+    }
+
+    #[test]
+    fn approximation_ratios_hold_empirically() {
+        let g = graph();
+        for (d, s, k) in [(2, 2, 1), (2, 2, 2), (2, 2, 3), (3, 2, 2), (2, 1, 2)] {
+            let params = DccsParams::new(d, s, k);
+            let opt = exact_dccs(&g, &params).cover_size();
+            let gd = greedy_dccs(&g, &params).cover_size();
+            let bu = bottom_up_dccs(&g, &params).cover_size();
+            let td = top_down_dccs(&g, &params).cover_size();
+            // Theorem 2: GD ≥ (1 − 1/e)·OPT. Theorems 3–4: BU, TD ≥ OPT/4.
+            assert!(gd as f64 >= 0.632 * opt as f64 - 1e-9, "gd {gd} vs opt {opt} ({d},{s},{k})");
+            assert!(4 * bu >= opt, "bu {bu} vs opt {opt} ({d},{s},{k})");
+            assert!(4 * td >= opt, "td {td} vs opt {opt} ({d},{s},{k})");
+        }
+    }
+
+    #[test]
+    fn exact_handles_fewer_candidates_than_k() {
+        let g = graph();
+        let exact = exact_dccs(&g, &DccsParams::new(2, 3, 5));
+        // No 2-CC spans all three layers.
+        assert_eq!(exact.cover_size(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The hierarchical vertex index of Section V-C.
+//!
+//! The index partitions the (preprocessed) vertices into classes
+//! `I_1, I_2, …, I_l`: `I_h` contains the vertices iteratively removed
+//! because their support `Num(v)` (the number of per-layer d-cores containing
+//! them) dropped to at most `h`. Within `I_h`, vertices removed in the same
+//! batch share a *level*; later batches sit on higher levels. Each vertex is
+//! annotated with `L(v)` — the set of layers whose d-core still contained it
+//! just before its removal — and index edges are the union-graph edges.
+//!
+//! `RefineC` (see [`crate::refine`]) walks this index bottom-up to extract
+//! `C_{L'}^d(G)` from a potential vertex set without re-peeling from scratch.
+
+use crate::preprocess::Preprocessed;
+use mlgraph::{Csr, MultiLayerGraph, Vertex, VertexSet};
+
+/// The hierarchical vertex index used by `TD-DCCS`.
+#[derive(Clone, Debug)]
+pub struct VertexIndex {
+    /// Global level of each vertex (`u32::MAX` for vertices outside the
+    /// preprocessed active set). Levels are ordered bottom-up: lower levels
+    /// were removed earlier.
+    pub level_of: Vec<u32>,
+    /// The partition `I_h` each vertex belongs to (its `h` value;
+    /// `u32::MAX` for inactive vertices).
+    pub partition_of: Vec<u32>,
+    /// `L(v)` as a bitmask over original layer indices: the layers whose
+    /// d-core contained `v` just before `v` was removed during construction.
+    pub layer_mask: Vec<u64>,
+    /// The vertices on each global level, bottom-up.
+    pub levels: Vec<Vec<Vertex>>,
+    /// The union graph restricted to active vertices — the index edges.
+    pub union_graph: Csr,
+}
+
+impl VertexIndex {
+    /// Builds the index from the preprocessed per-layer d-cores.
+    ///
+    /// The construction mirrors the paper: for `h = 1, …, l`, repeatedly
+    /// remove (in batches) every remaining vertex whose support is ≤ `h`,
+    /// maintaining the per-layer d-cores decrementally so each edge is
+    /// touched a constant number of times overall.
+    pub fn build(g: &MultiLayerGraph, d: u32, pre: &Preprocessed) -> Self {
+        let n = g.num_vertices();
+        let l = g.num_layers();
+        assert!(l <= 64, "the vertex index supports at most 64 layers");
+
+        // Mutable copies of the per-layer core membership and in-core degrees.
+        let mut core_member: Vec<VertexSet> = pre.layer_cores.clone();
+        let mut core_degree: Vec<Vec<u32>> = (0..l)
+            .map(|i| {
+                let mut deg = vec![0u32; n];
+                for v in core_member[i].iter() {
+                    deg[v as usize] = g.layer(i).degree_within(v, &core_member[i]) as u32;
+                }
+                deg
+            })
+            .collect();
+        let mut support: Vec<u32> = (0..n as Vertex)
+            .map(|v| (0..l).filter(|&i| core_member[i].contains(v)).count() as u32)
+            .collect();
+
+        let mut removed = vec![false; n];
+        let mut level_of = vec![u32::MAX; n];
+        let mut partition_of = vec![u32::MAX; n];
+        let mut layer_mask = vec![0u64; n];
+        let mut levels: Vec<Vec<Vertex>> = Vec::new();
+
+        // Vertices outside the active set are considered removed up front.
+        for v in 0..n as Vertex {
+            if !pre.active.contains(v) {
+                removed[v as usize] = true;
+            }
+        }
+
+        for h in 1..=l as u32 {
+            loop {
+                let batch: Vec<Vertex> = pre
+                    .active
+                    .iter()
+                    .filter(|&v| !removed[v as usize] && support[v as usize] <= h)
+                    .collect();
+                if batch.is_empty() {
+                    break;
+                }
+                let level = levels.len() as u32;
+                for &v in &batch {
+                    removed[v as usize] = true;
+                    level_of[v as usize] = level;
+                    partition_of[v as usize] = h;
+                    let mut mask = 0u64;
+                    for (i, member) in core_member.iter().enumerate() {
+                        if member.contains(v) {
+                            mask |= 1 << i;
+                        }
+                    }
+                    layer_mask[v as usize] = mask;
+                }
+                levels.push(batch.clone());
+                // Remove the batch from every per-layer core and cascade the
+                // core shrinkage (vertices whose in-core degree drops below d
+                // fall out of that layer's core, reducing their support).
+                for &v in &batch {
+                    for i in 0..l {
+                        if core_member[i].contains(v) {
+                            remove_from_core(
+                                g, d, i, v, &mut core_member[i], &mut core_degree[i],
+                                &mut support, &removed,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let union_graph = build_union(g, &pre.active);
+        VertexIndex { level_of, partition_of, layer_mask, levels, union_graph }
+    }
+
+    /// Number of levels in the index.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether `layers` (given as a bitmask) is a subset of `L(v)`.
+    #[inline]
+    pub fn layers_subset_of_lv(&self, v: Vertex, layers_mask: u64) -> bool {
+        self.layer_mask[v as usize] & layers_mask == layers_mask
+    }
+
+    /// The vertices of `⋃_{h ≥ min_partition} I_h` intersected with `within`
+    /// (the Lemma 8 restriction).
+    pub fn restrict_by_partition(&self, within: &VertexSet, min_partition: u32) -> VertexSet {
+        let mut out = VertexSet::new(within.capacity());
+        for v in within.iter() {
+            let p = self.partition_of[v as usize];
+            if p != u32::MAX && p >= min_partition {
+                out.insert(v);
+            }
+        }
+        out
+    }
+}
+
+/// Removes `v` from layer `i`'s core and cascades removals of vertices whose
+/// in-core degree drops below `d`. Each cascaded removal decrements the
+/// vertex's support.
+#[allow(clippy::too_many_arguments)]
+fn remove_from_core(
+    g: &MultiLayerGraph,
+    d: u32,
+    layer: usize,
+    v: Vertex,
+    member: &mut VertexSet,
+    degree: &mut [u32],
+    support: &mut [u32],
+    removed: &[bool],
+) {
+    let mut stack = vec![v];
+    member.remove(v);
+    // Note: the initiating vertex's own support is irrelevant (it has already
+    // been assigned to a partition), but cascaded vertices lose support.
+    while let Some(x) = stack.pop() {
+        for &u in g.layer(layer).neighbors(x) {
+            if !member.contains(u) {
+                continue;
+            }
+            degree[u as usize] = degree[u as usize].saturating_sub(1);
+            if degree[u as usize] < d && !removed[u as usize] {
+                member.remove(u);
+                support[u as usize] = support[u as usize].saturating_sub(1);
+                stack.push(u);
+            } else if degree[u as usize] < d {
+                // Already removed from the graph; just drop core membership.
+                member.remove(u);
+                stack.push(u);
+            }
+        }
+    }
+}
+
+fn build_union(g: &MultiLayerGraph, active: &VertexSet) -> Csr {
+    let mut edges = Vec::new();
+    for layer in g.layers() {
+        for (u, v) in layer.edges() {
+            if active.contains(u) && active.contains(v) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Csr::from_edges(g.num_vertices(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DccsOptions, DccsParams};
+    use crate::preprocess::preprocess;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    /// Layers 0,1,2 all contain clique A = {0,1,2,3};
+    /// layers 0,1 additionally contain clique B = {4,5,6,7}.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(8, 3);
+        for layer in 0..3 {
+            clique(&mut b, layer, &[0, 1, 2, 3]);
+        }
+        for layer in 0..2 {
+            clique(&mut b, layer, &[4, 5, 6, 7]);
+        }
+        b.build()
+    }
+
+    fn build_index(g: &MultiLayerGraph, d: u32, s: usize) -> (VertexIndex, Preprocessed) {
+        let params = DccsParams::new(d, s, 2);
+        let pre = preprocess(g, &params, &DccsOptions::default());
+        (VertexIndex::build(g, d, &pre), pre)
+    }
+
+    #[test]
+    fn partitions_reflect_support() {
+        let g = graph();
+        let (idx, _) = build_index(&g, 3, 2);
+        // Clique B vertices are supported by 2 layers → I_2;
+        // clique A vertices by 3 layers → I_3.
+        for v in 4..8u32 {
+            assert_eq!(idx.partition_of[v as usize], 2, "vertex {v}");
+        }
+        for v in 0..4u32 {
+            assert_eq!(idx.partition_of[v as usize], 3, "vertex {v}");
+        }
+        // Levels: batch of B first (lower level), then A.
+        for v in 4..8u32 {
+            assert!(idx.level_of[v as usize] < idx.level_of[0]);
+        }
+    }
+
+    #[test]
+    fn layer_masks_record_core_membership_at_removal() {
+        let g = graph();
+        let (idx, _) = build_index(&g, 3, 2);
+        // B vertices were in the 3-cores of layers 0 and 1 when removed.
+        for v in 4..8u32 {
+            assert_eq!(idx.layer_mask[v as usize], 0b011);
+            assert!(idx.layers_subset_of_lv(v, 0b001));
+            assert!(idx.layers_subset_of_lv(v, 0b011));
+            assert!(!idx.layers_subset_of_lv(v, 0b100));
+        }
+        // A vertices were in all three 3-cores.
+        for v in 0..4u32 {
+            assert_eq!(idx.layer_mask[v as usize], 0b111);
+        }
+    }
+
+    #[test]
+    fn every_active_vertex_gets_a_level() {
+        let g = graph();
+        let (idx, pre) = build_index(&g, 2, 1);
+        for v in pre.active.iter() {
+            assert_ne!(idx.level_of[v as usize], u32::MAX);
+            assert_ne!(idx.partition_of[v as usize], u32::MAX);
+        }
+        let total: usize = idx.levels.iter().map(|lvl| lvl.len()).sum();
+        assert_eq!(total, pre.active.len());
+    }
+
+    #[test]
+    fn inactive_vertices_are_not_indexed() {
+        let mut b = MultiLayerGraphBuilder::new(6, 2);
+        clique(&mut b, 0, &[0, 1, 2]);
+        clique(&mut b, 1, &[0, 1, 2]);
+        b.add_edge(0, 3, 4).unwrap();
+        b.add_edge(1, 4, 5).unwrap();
+        let g = b.build();
+        let (idx, pre) = build_index(&g, 2, 2);
+        assert_eq!(pre.active.to_vec(), vec![0, 1, 2]);
+        for v in 3..6u32 {
+            assert_eq!(idx.level_of[v as usize], u32::MAX);
+        }
+    }
+
+    #[test]
+    fn restrict_by_partition_applies_lemma8() {
+        let g = graph();
+        let (idx, pre) = build_index(&g, 3, 2);
+        let all = pre.active.clone();
+        let at_least_3 = idx.restrict_by_partition(&all, 3);
+        assert_eq!(at_least_3.to_vec(), vec![0, 1, 2, 3]);
+        let at_least_2 = idx.restrict_by_partition(&all, 2);
+        assert_eq!(at_least_2.len(), 8);
+    }
+
+    #[test]
+    fn union_graph_covers_all_layers() {
+        let g = graph();
+        let (idx, _) = build_index(&g, 2, 1);
+        assert!(idx.union_graph.has_edge(0, 1));
+        assert!(idx.union_graph.has_edge(4, 5));
+        assert_eq!(idx.union_graph.num_edges(), 12);
+    }
+}

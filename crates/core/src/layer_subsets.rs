@@ -1,0 +1,120 @@
+//! Enumeration of layer subsets.
+//!
+//! `GD-DCCS` and the exact oracle enumerate every layer subset of size `s`
+//! (there are `C(l, s)` of them); the search algorithms explore them through
+//! a tree instead. This module provides the combination iterator and the
+//! binomial-coefficient helper used for work estimates.
+
+/// Iterator over all `s`-element subsets of `0..l`, in lexicographic order.
+#[derive(Clone, Debug)]
+pub struct Combinations {
+    l: usize,
+    s: usize,
+    current: Vec<usize>,
+    done: bool,
+}
+
+/// Creates an iterator over all `s`-element subsets of `{0, …, l-1}`.
+///
+/// When `s == 0` a single empty subset is produced; when `s > l` the iterator
+/// is empty.
+pub fn combinations(l: usize, s: usize) -> Combinations {
+    let done = s > l;
+    Combinations { l, s, current: (0..s).collect(), done }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let result = self.current.clone();
+        // Advance to the next combination.
+        if self.s == 0 {
+            self.done = true;
+            return Some(result);
+        }
+        let mut i = self.s;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.current[i] + 1 <= self.l - (self.s - i) {
+                self.current[i] += 1;
+                for j in (i + 1)..self.s {
+                    self.current[j] = self.current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(result)
+    }
+}
+
+/// The binomial coefficient `C(l, s)` as a saturating `u128`.
+pub fn binomial(l: usize, s: usize) -> u128 {
+    if s > l {
+        return 0;
+    }
+    let s = s.min(l - s);
+    let mut result: u128 = 1;
+    for i in 0..s {
+        result = result.saturating_mul((l - i) as u128) / (i as u128 + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_all_subsets_in_order() {
+        let subsets: Vec<Vec<usize>> = combinations(4, 2).collect();
+        assert_eq!(
+            subsets,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]]
+        );
+    }
+
+    #[test]
+    fn count_matches_binomial() {
+        for l in 0..8 {
+            for s in 0..=l {
+                let count = combinations(l, s).count() as u128;
+                assert_eq!(count, binomial(l, s), "l={l} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(combinations(5, 0).collect::<Vec<_>>(), vec![Vec::<usize>::new()]);
+        assert_eq!(combinations(3, 5).count(), 0);
+        assert_eq!(combinations(3, 3).collect::<Vec<_>>(), vec![vec![0, 1, 2]]);
+        assert_eq!(combinations(1, 1).collect::<Vec<_>>(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(24, 3), 2024);
+        assert_eq!(binomial(24, 22), 276);
+        assert_eq!(binomial(14, 3), 364);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(5, 7), 0);
+        assert_eq!(binomial(0, 0), 1);
+    }
+
+    #[test]
+    fn subsets_are_sorted_and_within_range() {
+        for subset in combinations(7, 3) {
+            assert!(subset.windows(2).all(|w| w[0] < w[1]));
+            assert!(subset.iter().all(|&x| x < 7));
+            assert_eq!(subset.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # dccs — Diversified Coherent Core Search on multi-layer graphs
+//!
+//! This crate implements the paper's primary contribution: the
+//! **d-coherent core** (d-CC) notion and three algorithms for the
+//! **Diversified Coherent Core Search (DCCS)** problem — given a multi-layer
+//! graph `G`, a degree threshold `d`, a support threshold `s`, and a budget
+//! `k`, find `k` d-CCs over layer subsets of size `s` whose union covers as
+//! many vertices as possible.
+//!
+//! | Entry point | Algorithm | Approximation ratio |
+//! |---|---|---|
+//! | [`greedy_dccs`] | `GD-DCCS` — enumerate every candidate d-CC, greedy max-k-cover | 1 − 1/e |
+//! | [`bottom_up_dccs`] | `BU-DCCS` — bottom-up search tree with interleaved top-k maintenance | 1/4 |
+//! | [`top_down_dccs`] | `TD-DCCS` — top-down search tree with potential-set refinement | 1/4 |
+//!
+//! Supporting modules expose the building blocks: the [`coverage`] module
+//! implements the paper's `Update` procedure, [`preprocess`] the vertex
+//! deletion / layer sorting / `InitTopK` preprocessing, [`index`] and
+//! [`refine`] the top-down index structure and `RefineU`/`RefineC`
+//! procedures, [`exact`] a brute-force oracle for tiny inputs, and
+//! [`metrics`] the evaluation measures used in the paper's Section VI.
+//!
+//! ```
+//! use mlgraph::MultiLayerGraphBuilder;
+//! use dccs::{bottom_up_dccs, DccsParams};
+//!
+//! // Two layers, each containing a triangle on {0,1,2}; vertex 3 is sparse.
+//! let mut b = MultiLayerGraphBuilder::new(4, 2);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+//!     b.add_edge(0, u, v).unwrap();
+//!     b.add_edge(1, u, v).unwrap();
+//! }
+//! let g = b.build();
+//! let result = bottom_up_dccs(&g, &DccsParams { d: 2, s: 2, k: 1 });
+//! assert_eq!(result.cover.to_vec(), vec![0, 1, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bottom_up;
+pub mod config;
+pub mod coverage;
+pub mod exact;
+pub mod greedy;
+pub mod index;
+pub mod layer_subsets;
+pub mod metrics;
+pub mod parallel;
+pub mod preprocess;
+pub mod refine;
+pub mod result;
+pub mod top_down;
+
+pub use analysis::{analyze_cores, analyze_result, jaccard, OverlapReport};
+pub use bottom_up::{bottom_up_dccs, bottom_up_dccs_with_options};
+pub use config::{DccsOptions, DccsParams};
+pub use coverage::TopKDiversified;
+pub use exact::exact_dccs;
+pub use greedy::{greedy_dccs, greedy_dccs_with_options};
+pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
+pub use parallel::parallel_greedy_dccs;
+pub use result::{CoherentCore, DccsResult, SearchStats};
+pub use top_down::{top_down_dccs, top_down_dccs_with_options};

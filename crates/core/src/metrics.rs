@@ -1,0 +1,176 @@
+//! Evaluation metrics used in the paper's Section VI:
+//!
+//! * cover-similarity (precision / recall / F1) between the cover sets of two
+//!   result collections (Fig. 29);
+//! * the distribution of `|Q ∩ Cov(R_C)|` over quasi-cliques `Q` (Fig. 30);
+//! * the proportion of ground-truth modules (protein complexes) entirely
+//!   contained in some reported dense subgraph (Fig. 32).
+
+use mlgraph::{Vertex, VertexSet};
+
+/// Precision / recall / F1 between two covers, treating `reference` as the
+/// ground truth (the paper uses the quasi-clique cover as `reference` and the
+/// d-CC cover as `predicted`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoverSimilarity {
+    /// `|reference ∩ predicted| / |predicted|`.
+    pub precision: f64,
+    /// `|reference ∩ predicted| / |reference|`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Size of the intersection.
+    pub overlap: usize,
+}
+
+impl CoverSimilarity {
+    /// Computes the similarity between a reference cover and a predicted
+    /// cover. Empty sets yield zero for the affected ratios.
+    pub fn compute(reference: &VertexSet, predicted: &VertexSet) -> Self {
+        let overlap = reference.intersection_len(predicted);
+        let precision =
+            if predicted.is_empty() { 0.0 } else { overlap as f64 / predicted.len() as f64 };
+        let recall =
+            if reference.is_empty() { 0.0 } else { overlap as f64 / reference.len() as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        CoverSimilarity { precision, recall, f1, overlap }
+    }
+}
+
+/// The Fig. 30 statistic: for each subgraph `Q` (grouped by its size), the
+/// distribution of `|Q ∩ cover|` — i.e. entry `dist[c]` is the fraction of
+/// size-`q` subgraphs having exactly `c` vertices inside `cover`.
+///
+/// Returns a vector of `(q, distribution)` pairs sorted by `q`; each
+/// distribution has `q + 1` entries summing to 1 (or all zeros when no
+/// subgraph of that size exists).
+pub fn containment_distribution(
+    subgraphs: &[Vec<Vertex>],
+    cover: &VertexSet,
+) -> Vec<(usize, Vec<f64>)> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for q in subgraphs {
+        let size = q.len();
+        let inside = q.iter().filter(|&&v| cover.contains(v)).count();
+        let entry = counts.entry(size).or_insert_with(|| vec![0; size + 1]);
+        entry[inside] += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(size, hist)| {
+            let total: usize = hist.iter().sum();
+            let dist = hist
+                .iter()
+                .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+                .collect();
+            (size, dist)
+        })
+        .collect()
+}
+
+/// The Fig. 32 statistic: the fraction of ground-truth modules entirely
+/// contained in at least one of the reported dense subgraphs.
+pub fn complexes_found(complexes: &[Vec<Vertex>], dense_subgraphs: &[VertexSet]) -> f64 {
+    if complexes.is_empty() {
+        return 0.0;
+    }
+    let found = complexes
+        .iter()
+        .filter(|complex| {
+            dense_subgraphs
+                .iter()
+                .any(|subgraph| complex.iter().all(|&v| subgraph.contains(v)))
+        })
+        .count();
+    found as f64 / complexes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_perfect_overlap() {
+        let a = VertexSet::from_iter(10, [1, 2, 3]);
+        let sim = CoverSimilarity::compute(&a, &a);
+        assert_eq!(sim.precision, 1.0);
+        assert_eq!(sim.recall, 1.0);
+        assert_eq!(sim.f1, 1.0);
+        assert_eq!(sim.overlap, 3);
+    }
+
+    #[test]
+    fn similarity_partial_overlap() {
+        let reference = VertexSet::from_iter(10, [1, 2, 3, 4]);
+        let predicted = VertexSet::from_iter(10, [3, 4, 5, 6, 7, 8]);
+        let sim = CoverSimilarity::compute(&reference, &predicted);
+        assert!((sim.precision - 2.0 / 6.0).abs() < 1e-12);
+        assert!((sim.recall - 0.5).abs() < 1e-12);
+        let expected_f1 = 2.0 * (1.0 / 3.0) * 0.5 / (1.0 / 3.0 + 0.5);
+        assert!((sim.f1 - expected_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_empty_sets() {
+        let empty = VertexSet::new(10);
+        let full = VertexSet::from_iter(10, [1, 2]);
+        let sim = CoverSimilarity::compute(&empty, &full);
+        assert_eq!(sim.recall, 0.0);
+        assert_eq!(sim.precision, 0.0);
+        assert_eq!(sim.f1, 0.0);
+        let sim = CoverSimilarity::compute(&full, &empty);
+        assert_eq!(sim.precision, 0.0);
+    }
+
+    #[test]
+    fn containment_distribution_groups_by_size() {
+        let cover = VertexSet::from_iter(20, [0, 1, 2, 3, 4]);
+        let subgraphs = vec![
+            vec![0, 1, 2],      // fully inside (3/3)
+            vec![0, 1, 10],     // 2 inside
+            vec![10, 11, 12],   // 0 inside
+            vec![0, 1, 2, 3],   // fully inside (4/4)
+        ];
+        let dist = containment_distribution(&subgraphs, &cover);
+        assert_eq!(dist.len(), 2);
+        let (size3, d3) = &dist[0];
+        assert_eq!(*size3, 3);
+        assert!((d3[3] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d3[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d3[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d3[1], 0.0);
+        let (size4, d4) = &dist[1];
+        assert_eq!(*size4, 4);
+        assert_eq!(d4[4], 1.0);
+        let total: f64 = d3.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_distribution_empty_input() {
+        let cover = VertexSet::from_iter(5, [0]);
+        assert!(containment_distribution(&[], &cover).is_empty());
+    }
+
+    #[test]
+    fn complexes_found_fraction() {
+        let dense = vec![
+            VertexSet::from_iter(20, [0, 1, 2, 3, 4]),
+            VertexSet::from_iter(20, [10, 11, 12]),
+        ];
+        let complexes = vec![
+            vec![0, 1, 2],    // found in the first subgraph
+            vec![10, 11],     // found in the second
+            vec![3, 10],      // split across subgraphs → not found
+            vec![15, 16],     // absent → not found
+        ];
+        assert!((complexes_found(&complexes, &dense) - 0.5).abs() < 1e-12);
+        assert_eq!(complexes_found(&[], &dense), 0.0);
+        assert_eq!(complexes_found(&complexes, &[]), 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Preprocessing shared by the DCCS algorithms (Section IV-C):
+//!
+//! 1. **Vertex deletion** — iteratively remove every vertex that appears in
+//!    fewer than `s` per-layer d-cores (`Num(v) < s`), recomputing the
+//!    d-cores until a fixpoint; such a vertex can never belong to a d-CC on
+//!    `s` layers.
+//! 2. **Layer sorting** — order the layers by per-layer d-core size
+//!    (descending for the bottom-up search, ascending for the top-down
+//!    search).
+//! 3. **Result initialization** (`InitTopK`, Appendix D) — greedily seed the
+//!    temporary top-k result set so the pruning rules engage immediately.
+
+use crate::config::{DccsOptions, DccsParams};
+use crate::coverage::TopKDiversified;
+use crate::result::CoherentCore;
+use coreness::{d_core_within, d_coherent_core};
+use mlgraph::{Layer, MultiLayerGraph, VertexSet};
+
+/// The state produced by preprocessing and consumed by every algorithm.
+#[derive(Clone, Debug)]
+pub struct Preprocessed {
+    /// Vertices surviving vertex deletion.
+    pub active: VertexSet,
+    /// Per-layer d-cores restricted to `active`, indexed by original layer.
+    pub layer_cores: Vec<VertexSet>,
+    /// `Num(v)`: the number of per-layer d-cores containing `v`
+    /// (0 for inactive vertices).
+    pub support: Vec<u32>,
+    /// Number of vertices removed by vertex deletion.
+    pub vertices_deleted: usize,
+}
+
+impl Preprocessed {
+    /// Layer order for the bottom-up search: descending d-core size.
+    /// Falls back to the natural order when layer sorting is disabled.
+    pub fn bottom_up_layer_order(&self, opts: &DccsOptions) -> Vec<Layer> {
+        let mut order: Vec<Layer> = (0..self.layer_cores.len()).collect();
+        if opts.sort_layers {
+            order.sort_by_key(|&i| std::cmp::Reverse(self.layer_cores[i].len()));
+        }
+        order
+    }
+
+    /// Layer order for the top-down search: ascending d-core size.
+    pub fn top_down_layer_order(&self, opts: &DccsOptions) -> Vec<Layer> {
+        let mut order: Vec<Layer> = (0..self.layer_cores.len()).collect();
+        if opts.sort_layers {
+            order.sort_by_key(|&i| self.layer_cores[i].len());
+        }
+        order
+    }
+}
+
+/// Runs the vertex-deletion preprocessing (lines 1–7 of `BU-DCCS`) and
+/// computes the per-layer d-cores of the surviving graph.
+///
+/// When `opts.vertex_deletion` is `false`, the d-cores are still computed
+/// (every algorithm needs them) but no vertex is discarded for low support.
+pub fn preprocess(g: &MultiLayerGraph, params: &DccsParams, opts: &DccsOptions) -> Preprocessed {
+    let n = g.num_vertices();
+    let l = g.num_layers();
+    let mut active = g.full_vertex_set();
+    let mut layer_cores: Vec<VertexSet> =
+        (0..l).map(|i| d_core_within(g.layer(i), params.d, &active)).collect();
+    let mut support = compute_support(n, &layer_cores, &active);
+
+    let mut deleted = 0usize;
+    if opts.vertex_deletion {
+        loop {
+            let victims: Vec<u32> =
+                active.iter().filter(|&v| (support[v as usize] as usize) < params.s).collect();
+            if victims.is_empty() {
+                break;
+            }
+            for &v in &victims {
+                active.remove(v);
+                deleted += 1;
+            }
+            layer_cores =
+                (0..l).map(|i| d_core_within(g.layer(i), params.d, &active)).collect();
+            support = compute_support(n, &layer_cores, &active);
+        }
+    }
+
+    Preprocessed { active, layer_cores, support, vertices_deleted: deleted }
+}
+
+fn compute_support(n: usize, layer_cores: &[VertexSet], active: &VertexSet) -> Vec<u32> {
+    let mut support = vec![0u32; n];
+    for core in layer_cores {
+        for v in core.iter() {
+            if active.contains(v) {
+                support[v as usize] += 1;
+            }
+        }
+    }
+    support
+}
+
+/// The `InitTopK` procedure (Appendix D): greedily builds `k` seed d-CCs.
+///
+/// For each of the `k` rounds it picks the layer whose d-core adds the most
+/// uncovered vertices, greedily extends the layer set to size `s` by
+/// maximizing the running intersection, computes the d-CC of the resulting
+/// layer subset, and offers it to the result set via `Update`.
+pub fn init_topk(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    pre: &Preprocessed,
+    topk: &mut TopKDiversified,
+) {
+    let l = g.num_layers();
+    if l == 0 {
+        return;
+    }
+    for _ in 0..params.k {
+        // Layer whose d-core maximally enlarges the current cover.
+        let Some(first) = (0..l).max_by_key(|&i| topk.marginal_gain(&pre.layer_cores[i])) else {
+            return;
+        };
+        let mut chosen = vec![first];
+        let mut running = pre.layer_cores[first].clone();
+        while chosen.len() < params.s {
+            let Some(next) = (0..l)
+                .filter(|i| !chosen.contains(i))
+                .max_by_key(|&j| running.intersection_len(&pre.layer_cores[j]))
+            else {
+                break;
+            };
+            chosen.push(next);
+            running.intersect_with(&pre.layer_cores[next]);
+        }
+        if chosen.len() < params.s {
+            return;
+        }
+        let core_set = d_coherent_core(g, &chosen, params.d, &running);
+        topk.try_update(CoherentCore::new(chosen, core_set));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    /// Layers 0 and 1 share a 4-clique on {0,1,2,3}; layer 2 has a triangle
+    /// on {4,5,6}; vertex 7 is a pendant everywhere.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(8, 3);
+        for layer in [0, 1] {
+            for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 7)] {
+                b.add_edge(layer, u, v).unwrap();
+            }
+        }
+        for (u, v) in [(4, 5), (5, 6), (4, 6), (6, 7)] {
+            b.add_edge(2, u, v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn per_layer_cores_computed() {
+        let g = graph();
+        let params = DccsParams::new(2, 1, 2);
+        let pre = preprocess(&g, &params, &DccsOptions::default());
+        assert_eq!(pre.layer_cores[0].to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(pre.layer_cores[2].to_vec(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn vertex_deletion_removes_low_support_vertices() {
+        let g = graph();
+        // s = 2: vertices must appear in at least 2 per-layer 2-cores.
+        let params = DccsParams::new(2, 2, 2);
+        let pre = preprocess(&g, &params, &DccsOptions::default());
+        // {0,1,2,3} are in the 2-core of layers 0 and 1 → kept.
+        // {4,5,6} only in layer 2's core → deleted. 7 in none → deleted.
+        assert_eq!(pre.active.to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(pre.vertices_deleted, 4);
+        assert!(pre.support[0] >= 2);
+        assert_eq!(pre.support[4], 0);
+    }
+
+    #[test]
+    fn vertex_deletion_can_be_disabled() {
+        let g = graph();
+        let params = DccsParams::new(2, 2, 2);
+        let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
+        assert_eq!(pre.active.len(), 8);
+        assert_eq!(pre.vertices_deleted, 0);
+        // Support is still computed.
+        assert_eq!(pre.support[4], 1);
+    }
+
+    #[test]
+    fn deletion_cascades_until_fixpoint() {
+        // A chain of triangles sharing single vertices: removing a low-support
+        // part can push neighbors below the threshold.
+        let mut b = MultiLayerGraphBuilder::new(6, 2);
+        // layer 0: triangles {0,1,2} and {2,3,4} and edge 4-5
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)] {
+            b.add_edge(0, u, v).unwrap();
+        }
+        // layer 1: only triangle {0,1,2}
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            b.add_edge(1, u, v).unwrap();
+        }
+        let g = b.build();
+        let params = DccsParams::new(2, 2, 1);
+        let pre = preprocess(&g, &params, &DccsOptions::default());
+        assert_eq!(pre.active.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn layer_orders_follow_core_sizes() {
+        let g = graph();
+        let params = DccsParams::new(2, 1, 2);
+        let pre = preprocess(&g, &params, &DccsOptions::default());
+        // Core sizes: layer0 = 4, layer1 = 4, layer2 = 3.
+        let bu = pre.bottom_up_layer_order(&DccsOptions::default());
+        assert_eq!(*bu.last().unwrap(), 2);
+        let td = pre.top_down_layer_order(&DccsOptions::default());
+        assert_eq!(td[0], 2);
+        // Sorting disabled keeps natural order.
+        let natural = pre.bottom_up_layer_order(&DccsOptions::no_sort_layers());
+        assert_eq!(natural, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn init_topk_seeds_k_cores() {
+        let g = graph();
+        let params = DccsParams::new(2, 2, 2);
+        let pre = preprocess(&g, &params, &DccsOptions::default());
+        let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
+        init_topk(&g, &params, &pre, &mut topk);
+        assert_eq!(topk.len(), 2);
+        // The best seed covers the shared 4-clique.
+        assert!(topk.cover_size() >= 4);
+        let cover = topk.cover_set();
+        for v in [0, 1, 2, 3] {
+            assert!(cover.contains(v));
+        }
+    }
+
+    #[test]
+    fn init_topk_with_s_equal_one() {
+        let g = graph();
+        let params = DccsParams::new(2, 1, 3);
+        let pre = preprocess(&g, &params, &DccsOptions::default());
+        let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
+        init_topk(&g, &params, &pre, &mut topk);
+        assert!(topk.len() >= 2);
+        // With s = 1 the best two seeds cover both the clique and the triangle.
+        assert!(topk.cover_size() >= 7);
+    }
+}

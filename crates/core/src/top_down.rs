@@ -1,0 +1,376 @@
+//! `TD-DCCS` — the top-down search algorithm of Section V (Figs. 8 and 11).
+//!
+//! The search tree is rooted at the full layer set `[l]`; a child removes one
+//! layer whose (sorted) index exceeds every previously removed index. The
+//! tree is explored depth-first from the root down to level `s`. Each node
+//! carries, besides its d-CC `C_L`, a *potential vertex set* `U_L` that
+//! contains every vertex of every level-`s` descendant; `U_L` is shrunk by
+//! `RefineU` and the exact child core is extracted by `RefineC` over the
+//! hierarchical vertex index. Pruning rules:
+//!
+//! * **Lemma 5** (search-tree pruning) — if `U_{L'}` fails Eq. (1), no
+//!   descendant can update `R`.
+//! * **Lemma 6** (order-based pruning) — children are visited in decreasing
+//!   order of `|U_{L'}|`; once that size drops below
+//!   `|Cov(R)|/k + |Δ(R, C*(R))|` the remaining children are skipped.
+//! * **Lemma 7** (potential-set pruning) — when `C_{L'}` satisfies Eq. (1)
+//!   and `U_{L'}` satisfies Eq. (2), at most one descendant can update `R`,
+//!   so a single representative level-`s` descendant is evaluated instead of
+//!   the whole subtree.
+//!
+//! The approximation ratio is 1/4 (Theorem 4). The paper recommends TD-DCCS
+//! when `s ≥ l/2`; the implementation works for any `s` but is typically
+//! slower than `BU-DCCS` for small `s`.
+
+use crate::config::{DccsOptions, DccsParams};
+use crate::coverage::TopKDiversified;
+use crate::index::VertexIndex;
+use crate::preprocess::{init_topk, preprocess};
+use crate::refine::{refine_c, refine_u};
+use crate::result::{CoherentCore, DccsResult, SearchStats};
+use coreness::d_coherent_core;
+use mlgraph::{Layer, MultiLayerGraph, VertexSet};
+use std::time::Instant;
+
+/// Runs `TD-DCCS` with default options.
+pub fn top_down_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
+    top_down_dccs_with_options(g, params, &DccsOptions::default())
+}
+
+/// Runs `TD-DCCS` with explicit options (used by the Fig. 28 ablation).
+pub fn top_down_dccs_with_options(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> DccsResult {
+    params.validate(g.num_layers()).expect("invalid DCCS parameters");
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+    let l = g.num_layers();
+
+    let pre = preprocess(g, params, opts);
+    stats.vertices_deleted = pre.vertices_deleted;
+
+    let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
+    if opts.init_topk {
+        init_topk(g, params, &pre, &mut topk);
+    }
+
+    // Positions follow the ascending d-core-size order (Section V-D).
+    let order = pre.top_down_layer_order(opts);
+    let cores_by_layer = pre.layer_cores.clone();
+    let index = if opts.use_refine_c && l <= 64 {
+        Some(VertexIndex::build(g, params.d, &pre))
+    } else {
+        None
+    };
+
+    // Root: C_{[l]} computed over the active vertex set.
+    let all_positions: Vec<usize> = (0..l).collect();
+    let all_layers: Vec<Layer> = order.clone();
+    stats.dcc_calls += 1;
+    let root_core = d_coherent_core(g, &all_layers, params.d, &pre.active);
+
+    let mut ctx = TdContext {
+        g,
+        params,
+        opts,
+        order: &order,
+        layer_cores: &cores_by_layer,
+        index,
+        topk,
+        stats,
+    };
+
+    if params.s == l {
+        ctx.stats.candidates_generated += 1;
+        ctx.topk.try_update(CoherentCore::new(all_layers, root_core));
+    } else {
+        ctx.td_gen(&all_positions, &root_core, &pre.active);
+    }
+
+    let TdContext { topk, mut stats, .. } = ctx;
+    stats.updates_accepted = topk.accepted_updates();
+    let cores = topk.into_cores();
+    DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
+}
+
+struct TdContext<'a> {
+    g: &'a MultiLayerGraph,
+    params: &'a DccsParams,
+    opts: &'a DccsOptions,
+    /// Position → original layer index (ascending d-core size).
+    order: &'a [Layer],
+    /// Per-original-layer d-cores (restricted to the active set).
+    layer_cores: &'a [VertexSet],
+    index: Option<VertexIndex>,
+    topk: TopKDiversified,
+    stats: SearchStats,
+}
+
+/// A child node of the top-down search tree.
+struct TdChild {
+    positions: Vec<usize>,
+    core: VertexSet,
+    potential: VertexSet,
+    /// The removed position `j` (needed for the Lemma-7 shortcut).
+    removed: usize,
+}
+
+impl TdContext<'_> {
+    fn layers_of(&self, positions: &[usize]) -> Vec<Layer> {
+        positions.iter().map(|&p| self.order[p]).collect()
+    }
+
+    /// Computes one child (`L' = L − {j}`): refines the potential set and
+    /// extracts the child's d-CC.
+    fn make_child(&mut self, positions: &[usize], j: usize, u_l: &VertexSet) -> TdChild {
+        let child_positions: Vec<usize> = positions.iter().copied().filter(|&p| p != j).collect();
+        // Class split w.r.t. L' (Section V-B): max removed position is `j`
+        // because children always remove a position above every earlier one.
+        let class1: Vec<Layer> =
+            child_positions.iter().filter(|&&p| p < j).map(|&p| self.order[p]).collect();
+        let class2: Vec<Layer> =
+            child_positions.iter().filter(|&&p| p > j).map(|&p| self.order[p]).collect();
+        let potential = refine_u(
+            self.g,
+            self.params.d,
+            self.params.s,
+            u_l,
+            &class1,
+            &class2,
+            self.layer_cores,
+        );
+        let layers = self.layers_of(&child_positions);
+        self.stats.dcc_calls += 1;
+        if child_positions.len() == self.params.s {
+            self.stats.candidates_generated += 1;
+        }
+        let core = match &self.index {
+            Some(index) if self.opts.use_refine_c => {
+                refine_c(self.g, self.params.d, index, &potential, &layers)
+            }
+            _ => d_coherent_core(self.g, &layers, self.params.d, &potential),
+        };
+        TdChild { positions: child_positions, core, potential, removed: j }
+    }
+
+    /// The recursive `TD-Gen` procedure (Fig. 8).
+    fn td_gen(&mut self, positions: &[usize], _c_l: &VertexSet, u_l: &VertexSet) {
+        let l = self.g.num_layers();
+        // Positions already removed from [l].
+        let max_removed =
+            (0..l).filter(|p| !positions.contains(p)).max().map(|p| p as isize).unwrap_or(-1);
+        // Removable positions: members of L above every removed position.
+        let removable: Vec<usize> =
+            positions.iter().copied().filter(|&p| p as isize > max_removed).collect();
+        if removable.is_empty() {
+            return;
+        }
+
+        let mut children: Vec<TdChild> =
+            removable.iter().map(|&j| self.make_child(positions, j, u_l)).collect();
+
+        if !self.topk.is_full() {
+            // Cases 1–2: no pruning while |R| < k.
+            for child in children {
+                if child.positions.len() == self.params.s {
+                    self.topk.try_update(CoherentCore::new(
+                        self.layers_of(&child.positions),
+                        child.core,
+                    ));
+                } else {
+                    self.td_gen(&child.positions.clone(), &child.core, &child.potential);
+                }
+            }
+            return;
+        }
+
+        // Cases 3–4: order children by |U_{L'}| descending (Lemma 6).
+        children.sort_by_key(|c| std::cmp::Reverse(c.potential.len()));
+        for (rank, child) in children.iter().enumerate() {
+            if self.opts.order_pruning && self.topk.fails_size_bound(child.potential.len()) {
+                self.stats.subtrees_pruned += children.len() - rank;
+                break;
+            }
+            if child.positions.len() == self.params.s {
+                self.topk.try_update(CoherentCore::new(
+                    self.layers_of(&child.positions),
+                    child.core.clone(),
+                ));
+                continue;
+            }
+            // Lemma 5: prune when even the potential set cannot satisfy Eq. (1).
+            if !self.topk.satisfies_eq1(&child.potential) {
+                self.stats.subtrees_pruned += 1;
+                continue;
+            }
+            // Lemma 7: when the child's core already satisfies Eq. (1) and the
+            // potential set satisfies Eq. (2), a single representative
+            // descendant suffices.
+            let removable_below: Vec<usize> =
+                child.positions.iter().copied().filter(|&p| p > child.removed).collect();
+            let need_remove = child.positions.len() - self.params.s;
+            if self.opts.potential_pruning
+                && self.topk.satisfies_eq1(&child.core)
+                && self.topk.satisfies_eq2(child.potential.len())
+            {
+                if removable_below.len() < need_remove {
+                    // The node has no level-s descendant at all.
+                    self.stats.subtrees_pruned += 1;
+                    continue;
+                }
+                // Deterministic choice: drop the largest removable positions.
+                let drop: Vec<usize> =
+                    removable_below.iter().rev().take(need_remove).copied().collect();
+                let descendant: Vec<usize> = child
+                    .positions
+                    .iter()
+                    .copied()
+                    .filter(|p| !drop.contains(p))
+                    .collect();
+                let layers = self.layers_of(&descendant);
+                self.stats.dcc_calls += 1;
+                self.stats.candidates_generated += 1;
+                let core = d_coherent_core(self.g, &layers, self.params.d, &child.potential);
+                self.topk.try_update(CoherentCore::new(layers, core));
+                self.stats.subtrees_pruned += 1;
+                continue;
+            }
+            self.td_gen(&child.positions.clone(), &child.core, &child.potential);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom_up::bottom_up_dccs;
+    use crate::greedy::greedy_dccs;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    /// Four layers over 12 vertices: clique A = {0,1,2,3} on layers 0–3,
+    /// clique B = {4,5,6,7} on layers 0–2, clique C = {8,9,10,11} on layers 2–3.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(12, 4);
+        for layer in 0..4 {
+            clique(&mut b, layer, &[0, 1, 2, 3]);
+        }
+        for layer in 0..3 {
+            clique(&mut b, layer, &[4, 5, 6, 7]);
+        }
+        for layer in 2..4 {
+            clique(&mut b, layer, &[8, 9, 10, 11]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_coherent_cores_for_large_s() {
+        let g = graph();
+        // s = 3 (≥ l/2): only cliques A (4 layers) and B (3 layers) qualify.
+        let result = top_down_dccs(&g, &DccsParams::new(3, 3, 2));
+        assert_eq!(result.cover.to_vec(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn s_equal_to_l_returns_the_root_core() {
+        let g = graph();
+        let result = top_down_dccs(&g, &DccsParams::new(3, 4, 2));
+        assert_eq!(result.cover.to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(result.cores[0].layers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn agrees_with_greedy_and_bottom_up_on_cover_size() {
+        let g = graph();
+        for (d, s, k) in [(2, 2, 2), (3, 3, 2), (2, 3, 3), (3, 2, 2), (2, 4, 1)] {
+            let params = DccsParams::new(d, s, k);
+            let td = top_down_dccs(&g, &params);
+            let bu = bottom_up_dccs(&g, &params);
+            let gd = greedy_dccs(&g, &params);
+            assert_eq!(td.cover_size(), gd.cover_size(), "td vs gd d={d} s={s} k={k}");
+            assert_eq!(bu.cover_size(), gd.cover_size(), "bu vs gd d={d} s={s} k={k}");
+        }
+    }
+
+    #[test]
+    fn reported_cores_are_d_dense_with_s_layers() {
+        let g = graph();
+        let params = DccsParams::new(2, 3, 3);
+        let result = top_down_dccs(&g, &params);
+        for core in &result.cores {
+            assert_eq!(core.layers.len(), params.s);
+            assert!(coreness::is_d_dense_multilayer(&g, &core.layers, &core.vertices, params.d));
+        }
+    }
+
+    #[test]
+    fn refine_c_and_plain_dcc_give_identical_results() {
+        let g = graph();
+        let params = DccsParams::new(3, 3, 2);
+        let with_index = top_down_dccs(&g, &params);
+        let mut opts = DccsOptions::default();
+        opts.use_refine_c = false;
+        let without_index = top_down_dccs_with_options(&g, &params, &opts);
+        assert_eq!(with_index.cover_size(), without_index.cover_size());
+    }
+
+    #[test]
+    fn ablation_options_do_not_change_cover_size() {
+        let g = graph();
+        let params = DccsParams::new(2, 3, 2);
+        let reference = top_down_dccs(&g, &params).cover_size();
+        for opts in [
+            DccsOptions::no_vertex_deletion(),
+            DccsOptions::no_sort_layers(),
+            DccsOptions::no_init_topk(),
+            DccsOptions::no_preprocessing(),
+        ] {
+            let r = top_down_dccs_with_options(&g, &params, &opts);
+            assert_eq!(r.cover_size(), reference);
+        }
+    }
+
+    #[test]
+    fn pruning_disabled_matches_default() {
+        let g = graph();
+        let params = DccsParams::new(2, 3, 2);
+        let mut opts = DccsOptions::default();
+        opts.order_pruning = false;
+        opts.potential_pruning = false;
+        let unpruned = top_down_dccs_with_options(&g, &params, &opts);
+        let pruned = top_down_dccs(&g, &params);
+        assert_eq!(unpruned.cover_size(), pruned.cover_size());
+        assert!(pruned.stats.dcc_calls <= unpruned.stats.dcc_calls + 4);
+    }
+
+    #[test]
+    fn empty_result_when_no_core_exists() {
+        let mut b = MultiLayerGraphBuilder::new(6, 3);
+        for layer in 0..3 {
+            for v in 0..5u32 {
+                b.add_edge(layer, v, v + 1).unwrap();
+            }
+        }
+        let g = b.build();
+        let result = top_down_dccs(&g, &DccsParams::new(2, 2, 2));
+        assert_eq!(result.cover_size(), 0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = graph();
+        let result = top_down_dccs(&g, &DccsParams::new(3, 3, 2));
+        assert!(result.stats.dcc_calls > 0);
+        assert!(result.stats.candidates_generated > 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The `dCC` procedure (Appendix B of the paper): computing the d-coherent
+//! core `C_L^d(G)` of a multi-layer graph with respect to a layer subset `L`.
+//!
+//! A vertex survives iff its degree inside the surviving set is at least `d`
+//! on *every* layer of `L`. The implementation peels: it maintains the
+//! per-layer degrees of every candidate vertex restricted to the current
+//! candidate set and repeatedly removes vertices whose minimum degree over
+//! `L` drops below `d`, cascading the removals. The running time is
+//! O((n + Σ_{i∈L} m_i)·1) — each edge of each layer in `L` is touched a
+//! constant number of times.
+
+use mlgraph::{Layer, MultiLayerGraph, Vertex, VertexSet};
+
+/// Computes `C_L^d(G[candidates])`: the maximal subset `S ⊆ candidates` such
+/// that every vertex of `S` has at least `d` neighbors inside `S` on every
+/// layer in `layers`.
+///
+/// Passing the full vertex set as `candidates` yields the d-CC of the whole
+/// graph w.r.t. `layers`. By Lemma 1 (intersection bound) the caller can — and
+/// the DCCS algorithms do — shrink `candidates` first without changing the
+/// result, as long as the true d-CC is contained in `candidates`.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or contains an out-of-range layer index.
+pub fn d_coherent_core(
+    g: &MultiLayerGraph,
+    layers: &[Layer],
+    d: u32,
+    candidates: &VertexSet,
+) -> VertexSet {
+    assert!(!layers.is_empty(), "d_coherent_core requires a non-empty layer set");
+    for &i in layers {
+        assert!(i < g.num_layers(), "layer {i} out of range ({} layers)", g.num_layers());
+    }
+    let n = g.num_vertices();
+    let mut alive = candidates.clone();
+    if d == 0 {
+        return alive;
+    }
+
+    // degrees[j][v] = degree of v on layers[j] restricted to `alive`.
+    let mut degrees: Vec<Vec<u32>> = layers
+        .iter()
+        .map(|&i| {
+            let csr = g.layer(i);
+            let mut deg = vec![0u32; n];
+            for v in alive.iter() {
+                deg[v as usize] = csr.degree_within(v, &alive) as u32;
+            }
+            deg
+        })
+        .collect();
+
+    // Seed the removal queue with every vertex already violating the
+    // threshold on some layer.
+    let mut queue: Vec<Vertex> = Vec::new();
+    let mut queued = vec![false; n];
+    for v in alive.iter() {
+        if degrees.iter().any(|deg| deg[v as usize] < d) {
+            queue.push(v);
+            queued[v as usize] = true;
+        }
+    }
+
+    while let Some(v) = queue.pop() {
+        if !alive.remove(v) {
+            continue;
+        }
+        for (j, &i) in layers.iter().enumerate() {
+            let csr = g.layer(i);
+            for &u in csr.neighbors(v) {
+                if !alive.contains(u) {
+                    continue;
+                }
+                let du = &mut degrees[j][u as usize];
+                *du = du.saturating_sub(1);
+                if *du < d && !queued[u as usize] {
+                    queued[u as usize] = true;
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    alive
+}
+
+/// Convenience wrapper: the d-CC of the *whole* graph w.r.t. `layers`.
+pub fn d_coherent_core_full(g: &MultiLayerGraph, layers: &[Layer], d: u32) -> VertexSet {
+    d_coherent_core(g, layers, d, &g.full_vertex_set())
+}
+
+/// For every vertex of `within`, the minimum degree over `layers` restricted
+/// to `within` (the quantity `m(v)` of the Appendix-B pseudocode). Vertices
+/// outside `within` get 0.
+pub fn min_degree_profile(
+    g: &MultiLayerGraph,
+    layers: &[Layer],
+    within: &VertexSet,
+) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut profile = vec![0u32; n];
+    for v in within.iter() {
+        let m = layers
+            .iter()
+            .map(|&i| g.layer(i).degree_within(v, within) as u32)
+            .min()
+            .unwrap_or(0);
+        profile[v as usize] = m;
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{is_d_dense_multilayer, is_maximal_d_coherent_core};
+    use mlgraph::MultiLayerGraphBuilder;
+
+    /// Layer 0: 4-clique {0,1,2,3} plus pendant 4.
+    /// Layer 1: 4-clique {0,1,2,3} minus edge (0,1), plus triangle {4,5,6}.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(7, 2);
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)] {
+            b.add_edge(0, u, v).unwrap();
+        }
+        for (u, v) in [(0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5), (5, 6), (4, 6)] {
+            b.add_edge(1, u, v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_layer_reduces_to_d_core() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        let cc = d_coherent_core(&g, &[0], 3, &all);
+        assert_eq!(cc.to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(cc, crate::peel::d_core(g.layer(0), 3));
+    }
+
+    #[test]
+    fn two_layer_core_requires_density_on_both() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        // d=3 on both layers: layer 1 lacks edge (0,1) so only degree-2 there;
+        // the whole clique collapses.
+        let cc3 = d_coherent_core(&g, &[0, 1], 3, &all);
+        assert!(cc3.is_empty());
+        // d=2 on both layers: {0,1,2,3} works on both.
+        let cc2 = d_coherent_core(&g, &[0, 1], 2, &all);
+        assert_eq!(cc2.to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn d_zero_returns_candidates() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        assert_eq!(d_coherent_core(&g, &[0, 1], 0, &all).len(), 7);
+    }
+
+    #[test]
+    fn restricted_candidates_are_respected() {
+        let g = graph();
+        let candidates = VertexSet::from_iter(7, [0, 1, 2, 3, 4]);
+        let cc = d_coherent_core(&g, &[1], 2, &candidates);
+        // Triangle {4,5,6} is excluded because 5 and 6 are not candidates.
+        assert_eq!(cc.to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn result_is_d_dense_and_maximal() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        for d in 1..=3u32 {
+            for layers in [vec![0], vec![1], vec![0, 1]] {
+                let cc = d_coherent_core(&g, &layers, d, &all);
+                assert!(is_d_dense_multilayer(&g, &layers, &cc, d));
+                assert!(is_maximal_d_coherent_core(&g, &layers, d, &cc));
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_property_in_d() {
+        // Property 2: C_L^{d} ⊆ C_L^{d-1}.
+        let g = graph();
+        let all = g.full_vertex_set();
+        let mut prev = d_coherent_core(&g, &[0, 1], 0, &all);
+        for d in 1..=4u32 {
+            let cur = d_coherent_core(&g, &[0, 1], d, &all);
+            assert!(cur.is_subset_of(&prev));
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn containment_property_in_layers() {
+        // Property 3: L ⊆ L' implies C_{L'} ⊆ C_L.
+        let g = graph();
+        let all = g.full_vertex_set();
+        let c_both = d_coherent_core(&g, &[0, 1], 2, &all);
+        let c_zero = d_coherent_core(&g, &[0], 2, &all);
+        let c_one = d_coherent_core(&g, &[1], 2, &all);
+        assert!(c_both.is_subset_of(&c_zero));
+        assert!(c_both.is_subset_of(&c_one));
+        // Lemma 1: C_{L1∪L2} ⊆ C_{L1} ∩ C_{L2}.
+        assert!(c_both.is_subset_of(&c_zero.intersection(&c_one)));
+    }
+
+    #[test]
+    fn min_degree_profile_matches_definition() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        let profile = min_degree_profile(&g, &[0, 1], &all);
+        assert_eq!(profile[0], 2); // deg 3 on layer 0, 2 on layer 1
+        assert_eq!(profile[4], 1); // deg 1 on layer 0, 2 on layer 1
+        assert_eq!(profile[5], 0); // isolated on layer 0
+        let partial = VertexSet::from_iter(7, [0, 2, 3]);
+        let p2 = min_degree_profile(&g, &[0], &partial);
+        assert_eq!(p2[0], 2);
+        assert_eq!(p2[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty layer set")]
+    fn empty_layer_set_panics() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        let _ = d_coherent_core(&g, &[], 1, &all);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_layer_panics() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        let _ = d_coherent_core(&g, &[9], 1, &all);
+    }
+
+    #[test]
+    fn full_wrapper_equals_explicit_candidates() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        assert_eq!(d_coherent_core_full(&g, &[0, 1], 2), d_coherent_core(&g, &[0, 1], 2, &all));
+    }
+}

@@ -1,0 +1,174 @@
+//! Core-number hierarchies: reusable per-layer core decompositions.
+//!
+//! The experiments sweep the degree threshold `d` (Figs. 18–21) and the
+//! algorithms repeatedly need "the d-core of layer i" for several values of
+//! `d`. Because the d-core is exactly `{v : core_number(v) ≥ d}`, computing
+//! the core numbers once per layer lets any d-core be extracted in O(n)
+//! without re-peeling. [`CoreHierarchy`] bundles that table for a whole
+//! multi-layer graph together with the derived support profiles
+//! (`Num(v)` for a given `d`).
+
+use crate::peel::core_numbers;
+use mlgraph::{Layer, MultiLayerGraph, Vertex, VertexSet};
+
+/// Precomputed core numbers for every layer of a multi-layer graph.
+#[derive(Clone, Debug)]
+pub struct CoreHierarchy {
+    /// `core[i][v]` = core number of vertex `v` on layer `i`.
+    core: Vec<Vec<u32>>,
+    num_vertices: usize,
+}
+
+impl CoreHierarchy {
+    /// Decomposes every layer of `g` (O(Σ_i m_i) total).
+    pub fn build(g: &MultiLayerGraph) -> Self {
+        CoreHierarchy {
+            core: g.layers().iter().map(core_numbers).collect(),
+            num_vertices: g.num_vertices(),
+        }
+    }
+
+    /// Number of layers covered by the hierarchy.
+    pub fn num_layers(&self) -> usize {
+        self.core.len()
+    }
+
+    /// The core number of `v` on layer `i`.
+    #[inline]
+    pub fn core_number(&self, layer: Layer, v: Vertex) -> u32 {
+        self.core[layer][v as usize]
+    }
+
+    /// The maximum core number (degeneracy) of layer `i`.
+    pub fn degeneracy(&self, layer: Layer) -> u32 {
+        self.core[layer].iter().copied().max().unwrap_or(0)
+    }
+
+    /// The d-core of layer `i`, extracted from the table in O(n).
+    pub fn d_core(&self, layer: Layer, d: u32) -> VertexSet {
+        let mut out = VertexSet::new(self.num_vertices);
+        for (v, &c) in self.core[layer].iter().enumerate() {
+            if c >= d && c > 0 {
+                out.insert(v as Vertex);
+            } else if c >= d && d == 0 {
+                out.insert(v as Vertex);
+            }
+        }
+        out
+    }
+
+    /// `Num(v)` for threshold `d`: the number of layers whose d-core contains
+    /// `v`. This is the support value driving the vertex-deletion
+    /// preprocessing and the top-down index.
+    pub fn support(&self, v: Vertex, d: u32) -> usize {
+        self.core.iter().filter(|layer| layer[v as usize] >= d && d > 0).count()
+            + if d == 0 { self.core.len() } else { 0 }
+    }
+
+    /// The support profile of every vertex for threshold `d`.
+    pub fn support_profile(&self, d: u32) -> Vec<u32> {
+        (0..self.num_vertices as Vertex).map(|v| self.support(v, d) as u32).collect()
+    }
+
+    /// The largest `d` for which at least `min_size` vertices appear in the
+    /// d-core of at least `min_support` layers — a useful starting point when
+    /// choosing parameters for an unknown dataset.
+    pub fn max_feasible_d(&self, min_support: usize, min_size: usize) -> u32 {
+        let global_max = (0..self.num_layers()).map(|i| self.degeneracy(i)).max().unwrap_or(0);
+        for d in (1..=global_max).rev() {
+            let qualifying = (0..self.num_vertices as Vertex)
+                .filter(|&v| self.support(v, d) >= min_support)
+                .count();
+            if qualifying >= min_size {
+                return d;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::d_core;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    /// Layer 0: 5-clique {0..4} + path 5-6-7.
+    /// Layer 1: 4-clique {0..3} + triangle {5,6,7}.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(8, 2);
+        clique(&mut b, 0, &[0, 1, 2, 3, 4]);
+        b.add_edge(0, 5, 6).unwrap();
+        b.add_edge(0, 6, 7).unwrap();
+        clique(&mut b, 1, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[5, 6, 7]);
+        b.build()
+    }
+
+    #[test]
+    fn core_numbers_match_direct_decomposition() {
+        let g = graph();
+        let h = CoreHierarchy::build(&g);
+        assert_eq!(h.num_layers(), 2);
+        assert_eq!(h.core_number(0, 0), 4);
+        assert_eq!(h.core_number(0, 6), 1);
+        assert_eq!(h.core_number(1, 6), 2);
+        assert_eq!(h.degeneracy(0), 4);
+        assert_eq!(h.degeneracy(1), 3);
+    }
+
+    #[test]
+    fn extracted_d_cores_match_peeling_for_every_d() {
+        let g = graph();
+        let h = CoreHierarchy::build(&g);
+        for layer in 0..2 {
+            for d in 0..=5u32 {
+                assert_eq!(
+                    h.d_core(layer, d).to_vec(),
+                    d_core(g.layer(layer), d).to_vec(),
+                    "layer {layer} d {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn support_counts_layers_with_membership() {
+        let g = graph();
+        let h = CoreHierarchy::build(&g);
+        // Vertex 0 is in the 3-core of layer 0 and layer 1.
+        assert_eq!(h.support(0, 3), 2);
+        assert_eq!(h.support(0, 4), 1);
+        assert_eq!(h.support(4, 3), 1);
+        assert_eq!(h.support(6, 2), 1);
+        assert_eq!(h.support(6, 1), 2);
+        // d = 0 counts every layer.
+        assert_eq!(h.support(7, 0), 2);
+        let profile = h.support_profile(2);
+        assert_eq!(profile[0], 2);
+        assert_eq!(profile[4], 1);
+        assert_eq!(profile[5], 1);
+    }
+
+    #[test]
+    fn max_feasible_d_reflects_the_densest_shared_structure() {
+        let g = graph();
+        let h = CoreHierarchy::build(&g);
+        // Four vertices ({0..3}) appear in the 3-core of both layers.
+        assert_eq!(h.max_feasible_d(2, 4), 3);
+        // Requiring five such vertices forces d down.
+        assert_eq!(h.max_feasible_d(2, 5), 1);
+        // A single layer supports d = 4 for five vertices.
+        assert_eq!(h.max_feasible_d(1, 5), 4);
+        // Impossible requirements yield 0.
+        assert_eq!(h.max_feasible_d(3, 1), 0);
+    }
+}

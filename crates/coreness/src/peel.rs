@@ -1,0 +1,228 @@
+//! Single-layer core decomposition (Batagelj–Zaversnik bin-sort peeling).
+//!
+//! `core_numbers` computes the core number of every vertex in O(n + m); the
+//! d-core of the layer is then just the set of vertices with core number
+//! ≥ d. `d_core_within` restricts the computation to an arbitrary candidate
+//! vertex subset, which is how the DCCS algorithms repeatedly shrink
+//! per-layer d-cores after vertex deletions.
+
+use mlgraph::{Csr, Vertex, VertexSet};
+
+/// Computes the core number of every vertex of `g` using the
+/// Batagelj–Zaversnik bin-sort peeling algorithm (O(n + m)).
+pub fn core_numbers(g: &Csr) -> Vec<u32> {
+    core_numbers_within(g, &VertexSet::full(g.num_vertices()))
+}
+
+/// Core numbers of the subgraph induced by `within`. Vertices outside
+/// `within` get core number 0.
+pub fn core_numbers_within(g: &Csr, within: &VertexSet) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut degree: Vec<u32> = vec![0; n];
+    let mut max_degree = 0u32;
+    for v in within.iter() {
+        let d = g.degree_within(v, within) as u32;
+        degree[v as usize] = d;
+        max_degree = max_degree.max(d);
+    }
+
+    // bin[d] = starting index in `ver` of vertices with current degree d.
+    let mut bin = vec![0usize; max_degree as usize + 2];
+    for v in within.iter() {
+        bin[degree[v as usize] as usize + 1] += 1;
+    }
+    for d in 1..bin.len() {
+        bin[d] += bin[d - 1];
+    }
+    let mut start = bin.clone();
+    let active = within.len();
+    let mut ver: Vec<Vertex> = vec![0; active];
+    let mut pos: Vec<usize> = vec![usize::MAX; n];
+    for v in within.iter() {
+        let d = degree[v as usize] as usize;
+        pos[v as usize] = start[d];
+        ver[start[d]] = v;
+        start[d] += 1;
+    }
+
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    for i in 0..active {
+        let v = ver[i];
+        let dv = degree[v as usize];
+        core[v as usize] = dv;
+        removed[v as usize] = true;
+        for &u in g.neighbors(v) {
+            if !within.contains(u) || removed[u as usize] {
+                continue;
+            }
+            let du = degree[u as usize];
+            if du > dv {
+                // Move u to the front of its bin, then shift it one bin down.
+                let du = du as usize;
+                let pu = pos[u as usize];
+                let pw = bin[du];
+                let w = ver[pw];
+                if u != w {
+                    ver.swap(pu, pw);
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The d-core of `g`: the maximal vertex set whose induced subgraph has
+/// minimum degree ≥ `d`.
+pub fn d_core(g: &Csr, d: u32) -> VertexSet {
+    d_core_within(g, d, &VertexSet::full(g.num_vertices()))
+}
+
+/// The d-core of the subgraph of `g` induced by `within`.
+pub fn d_core_within(g: &Csr, d: u32, within: &VertexSet) -> VertexSet {
+    let core = core_numbers_within(g, within);
+    let mut out = VertexSet::new(g.num_vertices());
+    for v in within.iter() {
+        if core[v as usize] >= d {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+/// The degeneracy of `g`: the maximum core number over all vertices.
+pub fn degeneracy(g: &Csr) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgraph::VertexSet;
+
+    /// A clique on {0,1,2,3} with a path 3-4-5 hanging off it.
+    fn clique_with_tail() -> Csr {
+        Csr::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn core_numbers_of_clique_with_tail() {
+        let g = clique_with_tail();
+        let core = core_numbers(&g);
+        assert_eq!(core, vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn core_numbers_of_path() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn core_numbers_of_cycle() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(core_numbers(&g), vec![2; 5]);
+    }
+
+    #[test]
+    fn core_numbers_with_isolated_vertices() {
+        let g = Csr::from_edges(4, &[(0, 1)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn core_numbers_empty_graph() {
+        let g = Csr::empty(3);
+        assert_eq!(core_numbers(&g), vec![0, 0, 0]);
+        let g0 = Csr::empty(0);
+        assert!(core_numbers(&g0).is_empty());
+    }
+
+    #[test]
+    fn d_core_extraction() {
+        let g = clique_with_tail();
+        assert_eq!(d_core(&g, 0).len(), 6);
+        assert_eq!(d_core(&g, 1).len(), 6);
+        assert_eq!(d_core(&g, 2).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(d_core(&g, 3).to_vec(), vec![0, 1, 2, 3]);
+        assert!(d_core(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn d_core_hierarchy_property() {
+        // Property 2 analogue on a single layer: higher-d cores are nested.
+        let g = clique_with_tail();
+        let mut prev = d_core(&g, 0);
+        for d in 1..=5 {
+            let cur = d_core(&g, d);
+            assert!(cur.is_subset_of(&prev), "d-core hierarchy violated at d={d}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn restricted_core_numbers_ignore_outside_vertices() {
+        let g = clique_with_tail();
+        // Remove vertex 3: the clique loses a member, so core numbers drop.
+        let within = VertexSet::from_iter(6, [0, 1, 2, 4, 5]);
+        let core = core_numbers_within(&g, &within);
+        assert_eq!(core[0], 2);
+        assert_eq!(core[3], 0);
+        assert_eq!(core[4], 1);
+        let dc = d_core_within(&g, 2, &within);
+        assert_eq!(dc.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn restricted_to_empty_set() {
+        let g = clique_with_tail();
+        let empty = VertexSet::new(6);
+        assert!(core_numbers_within(&g, &empty).iter().all(|&c| c == 0));
+        assert!(d_core_within(&g, 1, &empty).is_empty());
+    }
+
+    #[test]
+    fn degeneracy_values() {
+        assert_eq!(degeneracy(&clique_with_tail()), 3);
+        assert_eq!(degeneracy(&Csr::empty(4)), 0);
+        let star = Csr::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(degeneracy(&star), 1);
+    }
+
+    #[test]
+    fn d_core_minimum_degree_invariant() {
+        // Every vertex of the d-core has at least d neighbors inside it.
+        let g = clique_with_tail();
+        for d in 1..=3 {
+            let core = d_core(&g, d);
+            for v in core.iter() {
+                assert!(g.degree_within(v, &core) >= d as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn two_cliques_different_sizes() {
+        // Clique {0..4} (5-clique) and triangle {5,6,7}.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        edges.extend_from_slice(&[(5, 6), (6, 7), (5, 7)]);
+        let g = Csr::from_edges(8, &edges);
+        let core = core_numbers(&g);
+        assert_eq!(&core[0..5], &[4, 4, 4, 4, 4]);
+        assert_eq!(&core[5..8], &[2, 2, 2]);
+        assert_eq!(d_core(&g, 3).to_vec(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(d_core(&g, 2).len(), 8);
+    }
+}

@@ -1,0 +1,97 @@
+//! Checkers used as test oracles for the core-decomposition routines and the
+//! DCCS algorithms.
+
+use mlgraph::{Csr, Layer, MultiLayerGraph, VertexSet};
+
+/// Whether every vertex of `within` has at least `d` neighbors inside
+/// `within` on the single layer `g` (the paper's single-layer d-denseness).
+pub fn is_d_dense(g: &Csr, within: &VertexSet, d: u32) -> bool {
+    within.iter().all(|v| g.degree_within(v, within) >= d as usize)
+}
+
+/// Whether `g[within]` is d-dense w.r.t. every layer in `layers`
+/// (the multi-layer d-denseness of Section II).
+pub fn is_d_dense_multilayer(
+    g: &MultiLayerGraph,
+    layers: &[Layer],
+    within: &VertexSet,
+    d: u32,
+) -> bool {
+    layers.iter().all(|&i| is_d_dense(g.layer(i), within, d))
+}
+
+/// Whether `set` is exactly the (unique, maximal) d-coherent core of `g`
+/// w.r.t. `layers`: it must be d-dense and no proper superset may be.
+/// Maximality is checked by recomputing the d-CC of the whole graph, which
+/// by uniqueness (Property 1) must coincide with `set`.
+pub fn is_maximal_d_coherent_core(
+    g: &MultiLayerGraph,
+    layers: &[Layer],
+    d: u32,
+    set: &VertexSet,
+) -> bool {
+    if !is_d_dense_multilayer(g, layers, set, d) {
+        return false;
+    }
+    let full = crate::dcc::d_coherent_core_full(g, layers, d);
+    &full == set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(5, 2);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4)] {
+            b.add_edge(0, u, v).unwrap();
+        }
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (0, 3)] {
+            b.add_edge(1, u, v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn d_dense_on_single_layer() {
+        let g = graph();
+        let triangle = VertexSet::from_iter(5, [0, 1, 2]);
+        assert!(is_d_dense(g.layer(0), &triangle, 2));
+        assert!(!is_d_dense(g.layer(0), &triangle, 3));
+        let pair = VertexSet::from_iter(5, [3, 4]);
+        assert!(is_d_dense(g.layer(0), &pair, 1));
+        assert!(!is_d_dense(g.layer(1), &pair, 1));
+    }
+
+    #[test]
+    fn empty_set_is_vacuously_dense() {
+        let g = graph();
+        let empty = VertexSet::new(5);
+        assert!(is_d_dense(g.layer(0), &empty, 5));
+        assert!(is_d_dense_multilayer(&g, &[0, 1], &empty, 5));
+    }
+
+    #[test]
+    fn multilayer_density_requires_all_layers() {
+        let g = graph();
+        let triangle = VertexSet::from_iter(5, [0, 1, 2]);
+        assert!(is_d_dense_multilayer(&g, &[0, 1], &triangle, 2));
+        let with_three = VertexSet::from_iter(5, [0, 1, 2, 3]);
+        assert!(!is_d_dense_multilayer(&g, &[0, 1], &with_three, 1));
+    }
+
+    #[test]
+    fn maximality_check_accepts_true_core_and_rejects_subsets() {
+        let g = graph();
+        let triangle = VertexSet::from_iter(5, [0, 1, 2]);
+        assert!(is_maximal_d_coherent_core(&g, &[0, 1], 2, &triangle));
+        // A proper d-dense subset that is not maximal must be rejected:
+        // the empty set is d-dense but not the maximal core.
+        let empty = VertexSet::new(5);
+        assert!(!is_maximal_d_coherent_core(&g, &[0, 1], 2, &empty));
+        // A non-dense set must be rejected.
+        let bad = VertexSet::from_iter(5, [0, 1, 3]);
+        assert!(!is_maximal_d_coherent_core(&g, &[0, 1], 2, &bad));
+    }
+}

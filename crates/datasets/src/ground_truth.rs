@@ -1,0 +1,85 @@
+//! Ground-truth modules planted by the dataset generators.
+//!
+//! The PPI analogue plays the role of the STRING protein–protein interaction
+//! network; its planted complexes stand in for the MIPS protein-complex
+//! catalogue used by the Fig. 32 experiment. The Author analogue's planted
+//! collaboration groups can be used the same way.
+
+use mlgraph::{Vertex, VertexSet};
+
+/// The ground truth shipped with a generated dataset.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// Planted modules ("protein complexes" / "stories"), each a sorted
+    /// vertex list.
+    pub modules: Vec<Vec<Vertex>>,
+    /// For each module, the layers it was planted on.
+    pub module_layers: Vec<Vec<usize>>,
+}
+
+impl GroundTruth {
+    /// Number of planted modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether no module was planted.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// The union of all module members.
+    pub fn cover(&self, num_vertices: usize) -> VertexSet {
+        let mut cover = VertexSet::new(num_vertices);
+        for module in &self.modules {
+            for &v in module {
+                cover.insert(v);
+            }
+        }
+        cover
+    }
+
+    /// Modules entirely contained in at least one of the given dense
+    /// subgraphs (the Fig. 32 "found" criterion), returned as indices.
+    pub fn found_in(&self, dense_subgraphs: &[VertexSet]) -> Vec<usize> {
+        self.modules
+            .iter()
+            .enumerate()
+            .filter(|(_, module)| {
+                dense_subgraphs.iter().any(|s| module.iter().all(|&v| s.contains(v)))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            modules: vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7]],
+            module_layers: vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+        }
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = truth();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.cover(10).to_vec(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(GroundTruth::default().is_empty());
+    }
+
+    #[test]
+    fn found_in_requires_full_containment() {
+        let t = truth();
+        let dense = vec![VertexSet::from_iter(10, [0, 1, 2, 3]), VertexSet::from_iter(10, [5, 6])];
+        // Module 0 fully inside the first subgraph; module 1 split; module 2
+        // only partially inside the second subgraph.
+        assert_eq!(t.found_in(&dense), vec![0]);
+        assert!(t.found_in(&[]).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Dataset specifications: the paper's published statistics (Fig. 12) and the
+//! scaled-down shapes used by the synthetic analogues.
+
+/// The statistics the paper reports for a dataset in Fig. 12.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaperStats {
+    /// `|V(G)|`.
+    pub num_vertices: usize,
+    /// `Σ_i |E(G_i)|`.
+    pub total_edges: usize,
+    /// `|∪_i E(G_i)|`.
+    pub union_edges: usize,
+    /// `l(G)`.
+    pub num_layers: usize,
+}
+
+/// A dataset description: paper-reported statistics plus the synthetic
+/// analogue's generation parameters.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Short dataset name as used in the paper ("PPI", "Author", ...).
+    pub name: &'static str,
+    /// What the original dataset contains.
+    pub description: &'static str,
+    /// The statistics published in Fig. 12.
+    pub paper: PaperStats,
+    /// Number of vertices of the (scaled) synthetic analogue.
+    pub synthetic_vertices: usize,
+    /// Number of layers of the synthetic analogue (same as the paper).
+    pub synthetic_layers: usize,
+    /// Edges per layer of the synthetic analogue.
+    pub synthetic_edges_per_layer: usize,
+    /// Whether the analogue plants ground-truth modules.
+    pub has_ground_truth: bool,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Scale factor of the analogue relative to the original vertex count.
+    pub fn vertex_scale(&self) -> f64 {
+        self.synthetic_vertices as f64 / self.paper.num_vertices as f64
+    }
+
+    /// A Fig. 12-style row for the paper-reported statistics.
+    pub fn paper_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}",
+            self.name,
+            self.paper.num_vertices,
+            self.paper.total_edges,
+            self.paper.union_edges,
+            self.paper.num_layers
+        )
+    }
+}
+
+/// Fig. 12 of the paper, verbatim.
+pub const PAPER_STATS: &[(&str, PaperStats)] = &[
+    ("PPI", PaperStats { num_vertices: 328, total_edges: 4_745, union_edges: 3_101, num_layers: 8 }),
+    ("Author", PaperStats { num_vertices: 1_017, total_edges: 15_065, union_edges: 11_069, num_layers: 10 }),
+    ("German", PaperStats { num_vertices: 519_365, total_edges: 7_205_624, union_edges: 1_653_621, num_layers: 14 }),
+    ("Wiki", PaperStats { num_vertices: 1_140_149, total_edges: 7_833_140, union_edges: 3_309_592, num_layers: 24 }),
+    ("English", PaperStats { num_vertices: 1_749_651, total_edges: 18_951_428, union_edges: 5_956_877, num_layers: 15 }),
+    ("Stack", PaperStats { num_vertices: 2_601_977, total_edges: 63_497_050, union_edges: 36_233_450, num_layers: 24 }),
+];
+
+/// Looks up the paper statistics for a dataset name (case-insensitive).
+pub fn paper_stats(name: &str) -> Option<PaperStats> {
+    PAPER_STATS
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, s)| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stats_table_matches_fig12() {
+        assert_eq!(PAPER_STATS.len(), 6);
+        let ppi = paper_stats("ppi").unwrap();
+        assert_eq!(ppi.num_vertices, 328);
+        assert_eq!(ppi.num_layers, 8);
+        let stack = paper_stats("Stack").unwrap();
+        assert_eq!(stack.num_vertices, 2_601_977);
+        assert_eq!(stack.num_layers, 24);
+        assert!(paper_stats("unknown").is_none());
+    }
+
+    #[test]
+    fn spec_helpers() {
+        let spec = DatasetSpec {
+            name: "PPI",
+            description: "protein-protein interactions",
+            paper: paper_stats("PPI").unwrap(),
+            synthetic_vertices: 328,
+            synthetic_layers: 8,
+            synthetic_edges_per_layer: 500,
+            has_ground_truth: true,
+            seed: 1,
+        };
+        assert!((spec.vertex_scale() - 1.0).abs() < 1e-12);
+        let row = spec.paper_row();
+        assert!(row.starts_with("PPI\t328\t4745"));
+    }
+}

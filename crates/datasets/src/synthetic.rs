@@ -1,0 +1,236 @@
+//! Composition of the low-level `mlgraph` generators into dataset analogues.
+//!
+//! Two families are produced:
+//!
+//! * **module graphs** (PPI, Author) — background noise plus planted dense
+//!   modules recurring on subsets of layers, with the planted modules
+//!   returned as ground truth;
+//! * **temporal graphs** (German, Wiki, English, Stack) — correlated
+//!   snapshot layers with a persistent interaction core, overlaid with
+//!   planted "story" communities so diversified core search has meaningful
+//!   structure to find.
+
+use crate::ground_truth::GroundTruth;
+use mlgraph::generators::{
+    planted_communities, temporal_snapshots, PlantedConfig, TemporalConfig,
+};
+use mlgraph::{MultiLayerGraph, Vertex};
+
+/// Parameters for a module-style dataset (PPI / Author analogues).
+#[derive(Clone, Debug)]
+pub struct ModuleGraphConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Number of planted modules.
+    pub num_modules: usize,
+    /// Inclusive module size range.
+    pub module_size: (usize, usize),
+    /// Layers each module recurs on.
+    pub layers_per_module: usize,
+    /// Intra-module edge probability on the module's layers.
+    pub density: f64,
+    /// Background random edges per layer.
+    pub background_edges_per_layer: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Generates a module-style dataset and its ground truth.
+pub fn module_graph(config: &ModuleGraphConfig) -> (MultiLayerGraph, GroundTruth) {
+    let planted = planted_communities(&PlantedConfig {
+        num_vertices: config.num_vertices,
+        num_layers: config.num_layers,
+        num_communities: config.num_modules,
+        community_size: config.module_size,
+        layers_per_community: config.layers_per_module,
+        intra_edge_prob: config.density,
+        background_edges_per_layer: config.background_edges_per_layer,
+        seed: config.seed,
+    })
+    .expect("module graph configuration must be valid");
+    let truth = GroundTruth {
+        modules: planted.communities.iter().map(|c| c.members.clone()).collect(),
+        module_layers: planted.communities.iter().map(|c| c.layers.clone()).collect(),
+    };
+    (planted.graph, truth)
+}
+
+/// Parameters for a temporal-snapshot dataset (German / Wiki / English /
+/// Stack analogues).
+#[derive(Clone, Debug)]
+pub struct TemporalGraphConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of snapshot layers.
+    pub num_layers: usize,
+    /// Edges per snapshot.
+    pub edges_per_layer: usize,
+    /// Fraction of edges retained between consecutive snapshots.
+    pub retain: f64,
+    /// Size of the persistent interaction core.
+    pub core_size: usize,
+    /// Fraction of fresh edges biased into the persistent core.
+    pub core_bias: f64,
+    /// Number of planted story communities overlaid on the snapshots.
+    pub num_stories: usize,
+    /// Inclusive story size range.
+    pub story_size: (usize, usize),
+    /// Layers each story recurs on.
+    pub layers_per_story: usize,
+    /// Intra-story edge probability.
+    pub story_density: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Generates a temporal dataset: correlated snapshots overlaid with planted
+/// story communities. Returns the graph and the planted stories as ground
+/// truth.
+pub fn temporal_graph(config: &TemporalGraphConfig) -> (MultiLayerGraph, GroundTruth) {
+    let base = temporal_snapshots(&TemporalConfig {
+        num_vertices: config.num_vertices,
+        num_layers: config.num_layers,
+        edges_per_layer: config.edges_per_layer,
+        retain: config.retain,
+        core_size: config.core_size,
+        core_bias: config.core_bias,
+        seed: config.seed,
+    })
+    .expect("temporal graph configuration must be valid");
+    let stories = planted_communities(&PlantedConfig {
+        num_vertices: config.num_vertices,
+        num_layers: config.num_layers,
+        num_communities: config.num_stories,
+        community_size: config.story_size,
+        layers_per_community: config.layers_per_story,
+        intra_edge_prob: config.story_density,
+        background_edges_per_layer: 0,
+        seed: config.seed.wrapping_add(0x5107),
+    })
+    .expect("story overlay configuration must be valid");
+    let graph = merge(&base, &stories.graph);
+    let truth = GroundTruth {
+        modules: stories.communities.iter().map(|c| c.members.clone()).collect(),
+        module_layers: stories.communities.iter().map(|c| c.layers.clone()).collect(),
+    };
+    (graph, truth)
+}
+
+/// Merges two multi-layer graphs over the same universe and layer count by
+/// taking the per-layer union of their edge sets.
+pub fn merge(a: &MultiLayerGraph, b: &MultiLayerGraph) -> MultiLayerGraph {
+    assert_eq!(a.num_vertices(), b.num_vertices(), "vertex universes must match");
+    assert_eq!(a.num_layers(), b.num_layers(), "layer counts must match");
+    let per_layer: Vec<Vec<(Vertex, Vertex)>> = (0..a.num_layers())
+        .map(|i| {
+            let mut edges: Vec<(Vertex, Vertex)> = a.layer(i).edges().collect();
+            edges.extend(b.layer(i).edges());
+            edges
+        })
+        .collect();
+    MultiLayerGraph::from_edge_lists(a.num_vertices(), &per_layer)
+        .expect("merged edge lists are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module_config() -> ModuleGraphConfig {
+        ModuleGraphConfig {
+            num_vertices: 328,
+            num_layers: 8,
+            num_modules: 30,
+            module_size: (4, 12),
+            layers_per_module: 4,
+            density: 0.9,
+            background_edges_per_layer: 300,
+            seed: 11,
+        }
+    }
+
+    fn temporal_config() -> TemporalGraphConfig {
+        TemporalGraphConfig {
+            num_vertices: 1500,
+            num_layers: 6,
+            edges_per_layer: 4000,
+            retain: 0.6,
+            core_size: 80,
+            core_bias: 0.3,
+            num_stories: 8,
+            story_size: (10, 25),
+            layers_per_story: 3,
+            story_density: 0.8,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn module_graph_shape_and_truth() {
+        let (g, truth) = module_graph(&module_config());
+        assert_eq!(g.num_vertices(), 328);
+        assert_eq!(g.num_layers(), 8);
+        assert_eq!(truth.len(), 30);
+        assert!(g.validate());
+        for (module, layers) in truth.modules.iter().zip(truth.module_layers.iter()) {
+            assert!(module.len() >= 4 && module.len() <= 12);
+            assert_eq!(layers.len(), 4);
+        }
+    }
+
+    #[test]
+    fn module_graph_modules_are_dense_on_their_layers() {
+        let (g, truth) = module_graph(&ModuleGraphConfig { density: 1.0, ..module_config() });
+        for (module, layers) in truth.modules.iter().zip(truth.module_layers.iter()) {
+            let set = mlgraph::VertexSet::from_iter(g.num_vertices(), module.iter().copied());
+            for &layer in layers {
+                for &v in module {
+                    assert!(g.layer(layer).degree_within(v, &set) >= module.len() - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_graph_shape_and_truth() {
+        let (g, truth) = temporal_graph(&temporal_config());
+        assert_eq!(g.num_vertices(), 1500);
+        assert_eq!(g.num_layers(), 6);
+        assert_eq!(truth.len(), 8);
+        assert!(g.validate());
+        // The overlay adds edges on top of the snapshots.
+        for layer in g.layers() {
+            assert!(layer.num_edges() >= 3500);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = temporal_graph(&temporal_config());
+        let (b, _) = temporal_graph(&temporal_config());
+        assert_eq!(a, b);
+        let (c, tc) = module_graph(&module_config());
+        let (d, td) = module_graph(&module_config());
+        assert_eq!(c, d);
+        assert_eq!(tc.modules, td.modules);
+    }
+
+    #[test]
+    fn merge_unions_edges_per_layer() {
+        let a = MultiLayerGraph::from_edge_lists(4, &[vec![(0, 1)], vec![(1, 2)]]).unwrap();
+        let b = MultiLayerGraph::from_edge_lists(4, &[vec![(0, 1), (2, 3)], vec![(0, 3)]]).unwrap();
+        let m = merge(&a, &b);
+        assert_eq!(m.layer(0).num_edges(), 2);
+        assert_eq!(m.layer(1).num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex universes must match")]
+    fn merge_rejects_mismatched_universes() {
+        let a = MultiLayerGraph::from_edge_lists(4, &[vec![(0, 1)]]).unwrap();
+        let b = MultiLayerGraph::from_edge_lists(5, &[vec![(0, 1)]]).unwrap();
+        let _ = merge(&a, &b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Breadth-first search utilities over a single CSR layer, optionally
+//! restricted to a vertex subset.
+
+use crate::bitset::VertexSet;
+use crate::csr::Csr;
+use crate::Vertex;
+use std::collections::VecDeque;
+
+/// BFS distances from `source` inside the induced subgraph `g[within]`.
+///
+/// Returns `usize::MAX` for unreachable vertices and vertices outside
+/// `within`.
+pub fn bfs_distances(g: &Csr, source: Vertex, within: &VertexSet) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    if !within.contains(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if within.contains(v) && dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of vertices reachable from `source` inside `g[within]`
+/// (including `source` itself when it belongs to `within`).
+pub fn bfs_reachable(g: &Csr, source: Vertex, within: &VertexSet) -> VertexSet {
+    let dist = bfs_distances(g, source, within);
+    let mut out = VertexSet::new(g.num_vertices());
+    for (v, &d) in dist.iter().enumerate() {
+        if d != usize::MAX {
+            out.insert(v as Vertex);
+        }
+    }
+    out
+}
+
+/// A lower bound on the diameter of `g[within]` obtained by a double BFS
+/// sweep (BFS from an arbitrary vertex, then BFS from the farthest vertex
+/// found). Returns 0 for empty or singleton subsets.
+pub fn diameter_lower_bound(g: &Csr, within: &VertexSet) -> usize {
+    let Some(start) = within.iter().next() else { return 0 };
+    let first = bfs_distances(g, start, within);
+    let (far, _) = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != usize::MAX)
+        .max_by_key(|(_, &d)| d)
+        .unwrap_or((start as usize, &0));
+    let second = bfs_distances(g, far as Vertex, within);
+    second.iter().filter(|&&d| d != usize::MAX).max().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Csr {
+        let edges: Vec<(Vertex, Vertex)> = (0..n as Vertex - 1).map(|v| (v, v + 1)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        let all = VertexSet::full(5);
+        let d = bfs_distances(&g, 0, &all);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distances_respect_mask() {
+        let g = path_graph(5);
+        // Remove the middle vertex: 0-1 | 3-4 disconnects the path.
+        let within = VertexSet::from_iter(5, [0, 1, 3, 4]);
+        let d = bfs_distances(&g, 0, &within);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn source_outside_mask_reaches_nothing() {
+        let g = path_graph(4);
+        let within = VertexSet::from_iter(4, [0, 1]);
+        let d = bfs_distances(&g, 3, &within);
+        assert!(d.iter().all(|&x| x == usize::MAX));
+        assert!(bfs_reachable(&g, 3, &within).is_empty());
+    }
+
+    #[test]
+    fn reachable_set_matches_component() {
+        let g = Csr::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let all = VertexSet::full(6);
+        assert_eq!(bfs_reachable(&g, 0, &all).to_vec(), vec![0, 1, 2]);
+        assert_eq!(bfs_reachable(&g, 4, &all).to_vec(), vec![3, 4]);
+        assert_eq!(bfs_reachable(&g, 5, &all).to_vec(), vec![5]);
+    }
+
+    #[test]
+    fn diameter_of_path_is_exact() {
+        let g = path_graph(7);
+        let all = VertexSet::full(7);
+        assert_eq!(diameter_lower_bound(&g, &all), 6);
+    }
+
+    #[test]
+    fn diameter_of_empty_and_singleton() {
+        let g = path_graph(3);
+        assert_eq!(diameter_lower_bound(&g, &VertexSet::new(3)), 0);
+        assert_eq!(diameter_lower_bound(&g, &VertexSet::from_iter(3, [1])), 0);
+    }
+}

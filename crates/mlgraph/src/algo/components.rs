@@ -1,0 +1,98 @@
+//! Connected components of a single CSR layer restricted to a vertex subset.
+
+use crate::bitset::VertexSet;
+use crate::csr::Csr;
+use crate::Vertex;
+use std::collections::VecDeque;
+
+/// Component labelling of the vertices of `within`.
+#[derive(Clone, Debug)]
+pub struct ComponentLabels {
+    /// `label[v]` is the component id of `v`, or `usize::MAX` for vertices
+    /// outside the subset.
+    pub label: Vec<usize>,
+    /// Number of components found.
+    pub num_components: usize,
+    /// Size of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+/// Labels the connected components of `g[within]`.
+pub fn connected_components(g: &Csr, within: &VertexSet) -> ComponentLabels {
+    let n = g.num_vertices();
+    let mut label = vec![usize::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in within.iter() {
+        if label[start as usize] != usize::MAX {
+            continue;
+        }
+        let id = sizes.len();
+        sizes.push(0);
+        label[start as usize] = id;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            sizes[id] += 1;
+            for &v in g.neighbors(u) {
+                if within.contains(v) && label[v as usize] == usize::MAX {
+                    label[v as usize] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    ComponentLabels { label, num_components: sizes.len(), sizes }
+}
+
+/// The largest connected component of `g[within]`, as a vertex set.
+/// Returns an empty set when `within` is empty.
+pub fn largest_component(g: &Csr, within: &VertexSet) -> VertexSet {
+    let labels = connected_components(g, within);
+    let mut out = VertexSet::new(g.num_vertices());
+    let Some((best, _)) = labels.sizes.iter().enumerate().max_by_key(|(_, &s)| s) else {
+        return out;
+    };
+    for v in within.iter() {
+        if labels.label[v as usize] == best {
+            out.insert(v as Vertex);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_two_components_and_isolate() {
+        let g = Csr::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let all = VertexSet::full(7);
+        let c = connected_components(&g, &all);
+        assert_eq!(c.num_components, 3);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+        assert_eq!(c.label[0], c.label[2]);
+        assert_ne!(c.label[0], c.label[3]);
+    }
+
+    #[test]
+    fn mask_splits_components() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let within = VertexSet::from_iter(5, [0, 1, 3, 4]);
+        let c = connected_components(&g, &within);
+        assert_eq!(c.num_components, 2);
+        assert_eq!(c.label[2], usize::MAX);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = Csr::from_edges(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (5, 6), (6, 7), (5, 7)]);
+        let all = VertexSet::full(8);
+        let big = largest_component(&g, &all);
+        assert_eq!(big.len(), 3);
+        let empty = largest_component(&g, &VertexSet::new(8));
+        assert!(empty.is_empty());
+    }
+}

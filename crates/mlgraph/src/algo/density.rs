@@ -1,0 +1,75 @@
+//! Density measures over induced subgraphs; used by the Fig. 31-style
+//! analysis (quasi-clique-only vertices are sparse, d-CC-only vertices are
+//! dense) and by tests.
+
+use crate::bitset::VertexSet;
+use crate::csr::Csr;
+
+/// Edge density of `g[within]`: `|E[S]| / C(|S|, 2)`.
+/// Returns 0.0 for subsets with fewer than two vertices.
+pub fn edge_density_within(g: &Csr, within: &VertexSet) -> f64 {
+    let s = within.len();
+    if s < 2 {
+        return 0.0;
+    }
+    let possible = s * (s - 1) / 2;
+    g.edges_within(within) as f64 / possible as f64
+}
+
+/// Average degree inside `g[within]`.
+pub fn average_degree_within(g: &Csr, within: &VertexSet) -> f64 {
+    let s = within.len();
+    if s == 0 {
+        return 0.0;
+    }
+    2.0 * g.edges_within(within) as f64 / s as f64
+}
+
+/// Minimum degree inside `g[within]`, or 0 for the empty subset.
+pub fn min_degree_within(g: &Csr, within: &VertexSet) -> usize {
+    within.iter().map(|v| g.degree_within(v, within)).min().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vertex;
+
+    fn clique(n: usize) -> Csr {
+        let mut edges = Vec::new();
+        for u in 0..n as Vertex {
+            for v in (u + 1)..n as Vertex {
+                edges.push((u, v));
+            }
+        }
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn clique_density_is_one() {
+        let g = clique(5);
+        let all = VertexSet::full(5);
+        assert!((edge_density_within(&g, &all) - 1.0).abs() < 1e-12);
+        assert!((average_degree_within(&g, &all) - 4.0).abs() < 1e-12);
+        assert_eq!(min_degree_within(&g, &all), 4);
+    }
+
+    #[test]
+    fn sparse_subset_density() {
+        let g = Csr::from_edges(4, &[(0, 1)]);
+        let all = VertexSet::full(4);
+        assert!((edge_density_within(&g, &all) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(min_degree_within(&g, &all), 0);
+    }
+
+    #[test]
+    fn degenerate_subsets() {
+        let g = clique(3);
+        let empty = VertexSet::new(3);
+        let single = VertexSet::from_iter(3, [1]);
+        assert_eq!(edge_density_within(&g, &empty), 0.0);
+        assert_eq!(edge_density_within(&g, &single), 0.0);
+        assert_eq!(average_degree_within(&g, &empty), 0.0);
+        assert_eq!(min_degree_within(&g, &empty), 0);
+    }
+}

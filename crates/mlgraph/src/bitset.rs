@@ -1,0 +1,378 @@
+//! [`VertexSet`]: a word-packed bitset over the vertex universe.
+//!
+//! Every DCCS routine manipulates subsets of the shared vertex universe
+//! `0..n`. A bitset with a cached cardinality gives O(1) membership tests,
+//! O(n / 64) intersections, and cheap cloning, which is exactly the access
+//! pattern of the peeling and coverage procedures.
+
+use crate::Vertex;
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A set of vertices drawn from a fixed universe `0..capacity`.
+///
+/// The cardinality is maintained incrementally so `len()` is O(1).
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl std::fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VertexSet")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len)
+            .field("members", &self.iter().take(32).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl VertexSet {
+    /// Creates an empty set over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        VertexSet {
+            words: vec![0u64; capacity.div_ceil(WORD_BITS)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Creates a set containing every vertex of the universe `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut words = vec![!0u64; capacity.div_ceil(WORD_BITS)];
+        let rem = capacity % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << rem) - 1;
+            }
+        }
+        if capacity == 0 {
+            words.clear();
+        }
+        VertexSet { words, capacity, len: capacity }
+    }
+
+    /// Builds a set from an iterator of vertices over the universe
+    /// `0..capacity`. Duplicate vertices are allowed.
+    pub fn from_iter<I: IntoIterator<Item = Vertex>>(capacity: usize, iter: I) -> Self {
+        let mut s = VertexSet::new(capacity);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The size of the universe this set draws from.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of vertices currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests membership of `v`.
+    #[inline]
+    pub fn contains(&self, v: Vertex) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.capacity, "vertex {v} out of capacity {}", self.capacity);
+        (self.words[v / WORD_BITS] >> (v % WORD_BITS)) & 1 == 1
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        let v = v as usize;
+        assert!(v < self.capacity, "vertex {v} out of capacity {}", self.capacity);
+        let w = &mut self.words[v / WORD_BITS];
+        let mask = 1u64 << (v % WORD_BITS);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: Vertex) -> bool {
+        let v = v as usize;
+        assert!(v < self.capacity, "vertex {v} out of capacity {}", self.capacity);
+        let w = &mut self.words[v / WORD_BITS];
+        let mask = 1u64 << (v % WORD_BITS);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every vertex from the set (the universe size is unchanged).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterates the members in increasing vertex order.
+    pub fn iter(&self) -> VertexSetIter<'_> {
+        VertexSetIter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Collects the members into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<Vertex> {
+        self.iter().collect()
+    }
+
+    /// In-place intersection with `other`. Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersect_with");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place union with `other`. Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in union_with");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place difference (`self \ other`). Panics if the capacities differ.
+    pub fn difference_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in difference_with");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Returns a new set that is the intersection of `self` and `other`.
+    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns a new set that is the union of `self` and `other`.
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns a new set that is `self \ other`.
+    pub fn difference(&self, other: &VertexSet) -> VertexSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_len(&self, other: &VertexSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersection_len");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset_of(&self, other: &VertexSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in is_subset_of");
+        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the two sets share no vertex.
+    pub fn is_disjoint_from(&self, other: &VertexSet) -> bool {
+        self.intersection_len(other) == 0
+    }
+}
+
+impl FromIterator<Vertex> for VertexSet {
+    /// Builds a set whose capacity is one past the largest vertex seen.
+    fn from_iter<I: IntoIterator<Item = Vertex>>(iter: I) -> Self {
+        let items: Vec<Vertex> = iter.into_iter().collect();
+        let capacity = items.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+        VertexSet::from_iter(capacity, items)
+    }
+}
+
+impl<'a> IntoIterator for &'a VertexSet {
+    type Item = Vertex;
+    type IntoIter = VertexSetIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`VertexSet`], in increasing order.
+pub struct VertexSetIter<'a> {
+    set: &'a VertexSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for VertexSetIter<'_> {
+    type Item = Vertex;
+
+    fn next(&mut self) -> Option<Vertex> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some((self.word_idx * WORD_BITS + bit) as Vertex);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let s = VertexSet::new(100);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 100);
+        assert!(!s.contains(0));
+        assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let s = VertexSet::full(130);
+        assert_eq!(s.len(), 130);
+        for v in 0..130 {
+            assert!(s.contains(v));
+        }
+        assert_eq!(s.to_vec().len(), 130);
+    }
+
+    #[test]
+    fn full_of_zero_capacity() {
+        let s = VertexSet::full(0);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_exact_word_boundary() {
+        let s = VertexSet::full(128);
+        assert_eq!(s.len(), 128);
+        assert!(s.contains(127));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = VertexSet::new(70);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(64));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert!(s.contains(64));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.to_vec(), vec![64]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = VertexSet::from_iter(10, [1, 3, 5, 7]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.to_vec(), Vec::<Vertex>::new());
+    }
+
+    #[test]
+    fn iteration_order_is_sorted() {
+        let s = VertexSet::from_iter(200, [150, 3, 64, 65, 3, 199]);
+        assert_eq!(s.to_vec(), vec![3, 64, 65, 150, 199]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = VertexSet::from_iter(100, [1, 2, 3, 64, 65]);
+        let b = VertexSet::from_iter(100, [2, 3, 4, 65, 99]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3, 65]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4, 64, 65, 99]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 64]);
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(a.intersection(&b).len(), 3);
+        assert_eq!(a.union(&b).len(), 7);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = VertexSet::from_iter(50, [1, 2, 3]);
+        let b = VertexSet::from_iter(50, [1, 2, 3, 10]);
+        let c = VertexSet::from_iter(50, [20, 30]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(a.is_disjoint_from(&c));
+        assert!(!a.is_disjoint_from(&b));
+    }
+
+    #[test]
+    fn from_iterator_infers_capacity() {
+        let s: VertexSet = [5u32, 9, 2].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.to_vec(), vec![2, 5, 9]);
+        let empty: VertexSet = std::iter::empty::<Vertex>().collect();
+        assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_capacity_panics() {
+        let a = VertexSet::new(10);
+        let b = VertexSet::new(20);
+        let _ = a.intersection_len(&b);
+    }
+
+    #[test]
+    fn debug_output_is_compact() {
+        let s = VertexSet::from_iter(10, [1, 2]);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("len"));
+        assert!(dbg.contains('1'));
+    }
+}

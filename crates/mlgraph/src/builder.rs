@@ -1,0 +1,233 @@
+//! [`MultiLayerGraphBuilder`]: incremental construction of multi-layer graphs.
+
+use crate::csr::Csr;
+use crate::error::{GraphError, Result};
+use crate::graph::MultiLayerGraph;
+use crate::{Layer, Vertex};
+use std::collections::HashMap;
+
+/// Accumulates edges per layer and produces a [`MultiLayerGraph`].
+///
+/// Two construction styles are supported:
+///
+/// * **index mode** ([`MultiLayerGraphBuilder::new`]) — the vertex universe
+///   `0..n` and the layer count are fixed up front and edges are added by
+///   index;
+/// * **label mode** ([`MultiLayerGraphBuilder::with_labels`]) — vertices are
+///   referred to by string labels and interned on first use, which is what
+///   the text loaders use.
+#[derive(Debug, Clone)]
+pub struct MultiLayerGraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Vec<(Vertex, Vertex)>>,
+    labels: Option<LabelInterner>,
+    layer_names: Vec<String>,
+    allow_growth: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LabelInterner {
+    map: HashMap<String, Vertex>,
+    names: Vec<String>,
+}
+
+impl LabelInterner {
+    fn intern(&mut self, label: &str) -> Vertex {
+        if let Some(&v) = self.map.get(label) {
+            return v;
+        }
+        let v = self.names.len() as Vertex;
+        self.names.push(label.to_string());
+        self.map.insert(label.to_string(), v);
+        v
+    }
+}
+
+impl MultiLayerGraphBuilder {
+    /// Creates a builder for a graph with exactly `num_vertices` vertices and
+    /// `num_layers` layers; edges are added by index.
+    pub fn new(num_vertices: usize, num_layers: usize) -> Self {
+        MultiLayerGraphBuilder {
+            num_vertices,
+            edges: vec![Vec::new(); num_layers],
+            labels: None,
+            layer_names: (0..num_layers).map(|i| format!("layer{i}")).collect(),
+            allow_growth: false,
+        }
+    }
+
+    /// Creates a label-interning builder with `num_layers` layers. The vertex
+    /// universe grows as new labels are seen.
+    pub fn with_labels(num_layers: usize) -> Self {
+        MultiLayerGraphBuilder {
+            num_vertices: 0,
+            edges: vec![Vec::new(); num_layers],
+            labels: Some(LabelInterner::default()),
+            layer_names: (0..num_layers).map(|i| format!("layer{i}")).collect(),
+            allow_growth: true,
+        }
+    }
+
+    /// Renames the layers. Extra names are ignored; missing names keep their
+    /// default `layerN` value.
+    pub fn set_layer_names<S: AsRef<str>>(&mut self, names: &[S]) -> &mut Self {
+        for (slot, name) in self.layer_names.iter_mut().zip(names.iter()) {
+            *slot = name.as_ref().to_string();
+        }
+        self
+    }
+
+    /// Number of layers the builder was created with.
+    pub fn num_layers(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Current size of the vertex universe.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Adds the undirected edge `(u, v)` to layer `layer`.
+    ///
+    /// Errors if the layer is out of range, the edge is a self loop, or (in
+    /// index mode) an endpoint is outside the declared universe.
+    pub fn add_edge(&mut self, layer: Layer, u: Vertex, v: Vertex) -> Result<()> {
+        if layer >= self.edges.len() {
+            return Err(GraphError::LayerOutOfRange { layer, num_layers: self.edges.len() });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u as u64 });
+        }
+        let max = u.max(v) as usize;
+        if max >= self.num_vertices {
+            if self.allow_growth {
+                self.num_vertices = max + 1;
+            } else {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u.max(v) as u64,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        self.edges[layer].push((u, v));
+        Ok(())
+    }
+
+    /// Adds an undirected edge between two labeled vertices, interning the
+    /// labels. Only valid for builders created with
+    /// [`MultiLayerGraphBuilder::with_labels`].
+    pub fn add_labeled_edge(&mut self, layer: Layer, u: &str, v: &str) -> Result<()> {
+        let (a, b) = {
+            let interner = self.labels.as_mut().ok_or_else(|| {
+                GraphError::InvalidArgument("add_labeled_edge requires a with_labels builder".into())
+            })?;
+            (interner.intern(u), interner.intern(v))
+        };
+        if a == b {
+            return Err(GraphError::SelfLoop { vertex: a as u64 });
+        }
+        self.num_vertices = self.num_vertices.max(a.max(b) as usize + 1);
+        self.add_edge(layer, a, b)
+    }
+
+    /// Bulk edge insertion for one layer.
+    pub fn add_edges(&mut self, layer: Layer, edges: &[(Vertex, Vertex)]) -> Result<()> {
+        for &(u, v) in edges {
+            self.add_edge(layer, u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of edge insertions so far (before deduplication).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).sum()
+    }
+
+    /// Finalizes the builder into an immutable [`MultiLayerGraph`].
+    pub fn build(self) -> MultiLayerGraph {
+        let n = self.num_vertices;
+        let layers: Vec<Csr> = self.edges.iter().map(|e| Csr::from_edges(n, e)).collect();
+        let vertex_labels = self.labels.map(|l| l.names);
+        MultiLayerGraph::from_parts(layers, vertex_labels, self.layer_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_mode_build() {
+        let mut b = MultiLayerGraphBuilder::new(4, 2);
+        b.add_edge(0, 0, 1).unwrap();
+        b.add_edge(0, 1, 2).unwrap();
+        b.add_edge(1, 2, 3).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_layers(), 2);
+        assert_eq!(g.layer(0).num_edges(), 2);
+        assert_eq!(g.layer(1).num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex_in_index_mode() {
+        let mut b = MultiLayerGraphBuilder::new(3, 1);
+        let err = b.add_edge(0, 0, 7).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_layer_and_self_loop() {
+        let mut b = MultiLayerGraphBuilder::new(3, 1);
+        assert!(matches!(b.add_edge(5, 0, 1), Err(GraphError::LayerOutOfRange { .. })));
+        assert!(matches!(b.add_edge(0, 1, 1), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn label_mode_interns_and_grows() {
+        let mut b = MultiLayerGraphBuilder::with_labels(2);
+        b.add_labeled_edge(0, "alice", "bob").unwrap();
+        b.add_labeled_edge(1, "bob", "carol").unwrap();
+        b.add_labeled_edge(0, "alice", "carol").unwrap();
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.vertex_label(0), Some("alice"));
+        assert_eq!(g.vertex_label(2), Some("carol"));
+        assert_eq!(g.layer(0).num_edges(), 2);
+        assert_eq!(g.layer(1).num_edges(), 1);
+    }
+
+    #[test]
+    fn label_mode_rejects_self_loop_by_label() {
+        let mut b = MultiLayerGraphBuilder::with_labels(1);
+        assert!(matches!(b.add_labeled_edge(0, "x", "x"), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn labeled_edge_on_index_builder_fails() {
+        let mut b = MultiLayerGraphBuilder::new(3, 1);
+        assert!(matches!(
+            b.add_labeled_edge(0, "a", "b"),
+            Err(GraphError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn layer_names_are_applied() {
+        let mut b = MultiLayerGraphBuilder::new(2, 3);
+        b.set_layer_names(&["y2001", "y2002"]);
+        let g = b.build();
+        assert_eq!(g.layer_name(0), "y2001");
+        assert_eq!(g.layer_name(1), "y2002");
+        assert_eq!(g.layer_name(2), "layer2");
+    }
+
+    #[test]
+    fn pending_edges_counts_raw_insertions() {
+        let mut b = MultiLayerGraphBuilder::new(3, 1);
+        b.add_edges(0, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        assert_eq!(b.pending_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.layer(0).num_edges(), 2);
+    }
+}

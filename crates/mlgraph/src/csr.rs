@@ -1,0 +1,271 @@
+//! [`Csr`]: a compressed sparse row representation of one undirected layer.
+//!
+//! Neighbor lists are sorted and deduplicated, self loops are dropped, and
+//! every undirected edge is stored in both endpoints' lists. This is the
+//! per-layer storage used by [`crate::MultiLayerGraph`].
+
+use crate::bitset::VertexSet;
+use crate::Vertex;
+use serde::{Deserialize, Serialize};
+
+/// A single undirected graph layer in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-vertex sorted adjacency lists.
+    neighbors: Vec<Vertex>,
+    /// Number of undirected edges (each edge counted once).
+    num_edges: usize,
+}
+
+impl Csr {
+    /// Builds a CSR layer from an undirected edge list over `n` vertices.
+    ///
+    /// Duplicate edges and self loops are silently dropped; the edge
+    /// direction of each pair is irrelevant.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        let mut degree = vec![0usize; n];
+        let mut clean: Vec<(Vertex, Vertex)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            debug_assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            if u == v {
+                continue;
+            }
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            clean.push((a, b));
+        }
+        clean.sort_unstable();
+        clean.dedup();
+        for &(u, v) in &clean {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as Vertex; offsets[n]];
+        for &(u, v) in &clean {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Csr { offsets, neighbors, num_edges: clean.len() }
+    }
+
+    /// Builds an empty layer (no edges) over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Csr { offsets: vec![0; n + 1], neighbors: Vec::new(), num_edges: 0 }
+    }
+
+    /// Number of vertices in the universe.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges in this layer.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v` in this layer.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted slice of neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        let (probe, target) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(probe).binary_search(&target).is_ok()
+    }
+
+    /// Degree of `v` counting only neighbors contained in `within`.
+    pub fn degree_within(&self, v: Vertex, within: &VertexSet) -> usize {
+        self.neighbors(v).iter().filter(|&&u| within.contains(u)).count()
+    }
+
+    /// Iterates every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        (0..self.num_vertices() as Vertex)
+            .flat_map(move |u| self.neighbors(u).iter().copied().map(move |v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// Maximum degree over all vertices, or 0 for an empty universe.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as Vertex).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Number of edges with both endpoints inside `within`.
+    pub fn edges_within(&self, within: &VertexSet) -> usize {
+        within
+            .iter()
+            .map(|u| self.neighbors(u).iter().filter(|&&v| v > u && within.contains(v)).count())
+            .sum()
+    }
+
+    /// Builds the subgraph induced by `within`, re-indexed to `0..within.len()`.
+    ///
+    /// Returns the induced CSR and the mapping from new index to original
+    /// vertex id (sorted ascending).
+    pub fn induced_subgraph(&self, within: &VertexSet) -> (Csr, Vec<Vertex>) {
+        let mapping: Vec<Vertex> = within.to_vec();
+        let mut inverse = vec![u32::MAX; self.num_vertices()];
+        for (new, &old) in mapping.iter().enumerate() {
+            inverse[old as usize] = new as u32;
+        }
+        let mut edges = Vec::new();
+        for &old_u in &mapping {
+            for &old_v in self.neighbors(old_u) {
+                if old_v > old_u && within.contains(old_v) {
+                    edges.push((inverse[old_u as usize], inverse[old_v as usize]));
+                }
+            }
+        }
+        (Csr::from_edges(mapping.len(), &edges), mapping)
+    }
+
+    /// Checks structural invariants; used by tests and the binary loader.
+    pub fn validate(&self) -> bool {
+        let n = self.num_vertices();
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.neighbors.len() {
+            return false;
+        }
+        let mut edge_count = 0usize;
+        for v in 0..n as Vertex {
+            let ns = self.neighbors(v);
+            if !ns.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            for &u in ns {
+                if u as usize >= n || u == v {
+                    return false;
+                }
+                if !self.neighbors(u).binary_search(&v).is_ok() {
+                    return false;
+                }
+                if u > v {
+                    edge_count += 1;
+                }
+            }
+        }
+        edge_count == self.num_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Csr {
+        // 0-1, 1-2, 0-2 triangle; 3 pendant attached to 2; vertex 4 isolated.
+        Csr::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 2)])
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn duplicate_and_self_loops_dropped() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(3, 0));
+        assert!(!g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn degree_within_mask() {
+        let g = triangle_plus_pendant();
+        let s = VertexSet::from_iter(5, [0, 1, 2]);
+        assert_eq!(g.degree_within(0, &s), 2);
+        assert_eq!(g.degree_within(2, &s), 2);
+        assert_eq!(g.degree_within(3, &s), 1);
+        let empty = VertexSet::new(5);
+        assert_eq!(g.degree_within(2, &empty), 0);
+    }
+
+    #[test]
+    fn edges_iterator_unique() {
+        let g = triangle_plus_pendant();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn edges_within_counts_induced_edges() {
+        let g = triangle_plus_pendant();
+        let s = VertexSet::from_iter(5, [0, 1, 2]);
+        assert_eq!(g.edges_within(&s), 3);
+        let t = VertexSet::from_iter(5, [2, 3, 4]);
+        assert_eq!(g.edges_within(&t), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_reindexes() {
+        let g = triangle_plus_pendant();
+        let s = VertexSet::from_iter(5, [1, 2, 3]);
+        let (sub, mapping) = g.induced_subgraph(&s);
+        assert_eq!(mapping, vec![1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        // new ids: 1->0, 2->1, 3->2
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+        assert!(sub.validate());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.validate());
+        let g0 = Csr::empty(0);
+        assert_eq!(g0.num_vertices(), 0);
+        assert!(g0.validate());
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.max_degree(), 3);
+    }
+}

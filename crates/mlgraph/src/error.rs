@@ -1,0 +1,120 @@
+//! Error types shared by the `mlgraph` crate.
+
+use std::fmt;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised while constructing, loading, or storing multi-layer graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex index was outside the universe `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: u64,
+        /// The number of vertices in the universe.
+        num_vertices: usize,
+    },
+    /// A layer index was outside `0..l`.
+    LayerOutOfRange {
+        /// The offending layer index.
+        layer: usize,
+        /// The number of layers in the graph.
+        num_layers: usize,
+    },
+    /// A self-loop was supplied where self-loops are not permitted.
+    SelfLoop {
+        /// The vertex carrying the self loop.
+        vertex: u64,
+    },
+    /// A parse error while reading a text graph format.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A malformed binary snapshot.
+    Corrupt(String),
+    /// Wrapper around I/O failures.
+    Io(std::io::Error),
+    /// An invalid argument (empty graph, zero layers, bad fraction, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex {vertex} out of range for a graph with {num_vertices} vertices"
+            ),
+            GraphError::LayerOutOfRange { layer, num_layers } => {
+                write!(f, "layer {layer} out of range for a graph with {num_layers} layers")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self loop on vertex {vertex} is not allowed"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph snapshot: {msg}"),
+            GraphError::Io(err) => write!(f, "i/o error: {err}"),
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vertex_out_of_range() {
+        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        assert!(e.to_string().contains("vertex 10"));
+        assert!(e.to_string().contains("5 vertices"));
+    }
+
+    #[test]
+    fn display_layer_out_of_range() {
+        let e = GraphError::LayerOutOfRange { layer: 3, num_layers: 2 };
+        assert!(e.to_string().contains("layer 3"));
+    }
+
+    #[test]
+    fn display_parse_error() {
+        let e = GraphError::Parse { line: 7, message: "expected 3 fields".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("expected 3 fields"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_self_loop_and_invalid_argument() {
+        assert!(GraphError::SelfLoop { vertex: 4 }.to_string().contains("self loop"));
+        assert!(GraphError::InvalidArgument("p must be in (0,1]".into())
+            .to_string()
+            .contains("p must be"));
+        assert!(GraphError::Corrupt("truncated".into()).to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Chung–Lu style power-law layers with a shared hub structure.
+//!
+//! Each vertex gets an expected degree drawn from a power law; the same
+//! weight vector (lightly perturbed per layer) is used on every layer so
+//! that hubs recur across layers, which is what makes per-layer d-cores
+//! overlap — the regime the DCCS pruning rules are designed for.
+
+use crate::error::{GraphError, Result};
+use crate::graph::MultiLayerGraph;
+use crate::Vertex;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`chung_lu_layers`].
+#[derive(Clone, Debug)]
+pub struct ChungLuConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Target average degree per layer.
+    pub avg_degree: f64,
+    /// Power-law exponent of the expected-degree distribution (> 1).
+    pub exponent: f64,
+    /// Per-layer multiplicative jitter applied to vertex weights, in `[0, 1)`.
+    /// 0 means every layer uses identical weights.
+    pub layer_jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChungLuConfig {
+    fn default() -> Self {
+        ChungLuConfig {
+            num_vertices: 1000,
+            num_layers: 8,
+            avg_degree: 6.0,
+            exponent: 2.5,
+            layer_jitter: 0.3,
+            seed: 13,
+        }
+    }
+}
+
+/// Generates a multi-layer graph with power-law degree layers sharing hubs.
+pub fn chung_lu_layers(config: &ChungLuConfig) -> Result<MultiLayerGraph> {
+    if config.num_vertices < 2 || config.num_layers == 0 {
+        return Err(GraphError::InvalidArgument(
+            "need at least 2 vertices and 1 layer".into(),
+        ));
+    }
+    if config.exponent <= 1.0 {
+        return Err(GraphError::InvalidArgument("exponent must be > 1".into()));
+    }
+    if !(0.0..1.0).contains(&config.layer_jitter) {
+        return Err(GraphError::InvalidArgument("layer_jitter must be in [0, 1)".into()));
+    }
+    if config.avg_degree <= 0.0 {
+        return Err(GraphError::InvalidArgument("avg_degree must be positive".into()));
+    }
+    let n = config.num_vertices;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+
+    // Base power-law weights: w_i = (i + 1)^(-1/(exponent - 1)), scaled so the
+    // expected number of edges per layer is n * avg_degree / 2.
+    let gamma = 1.0 / (config.exponent - 1.0);
+    let base: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
+
+    let per_layer: Vec<Vec<(Vertex, Vertex)>> = (0..config.num_layers)
+        .map(|_| {
+            let weights: Vec<f64> = base
+                .iter()
+                .map(|w| {
+                    let jitter = 1.0 + config.layer_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                    w * jitter.max(0.05)
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let target_edges = (n as f64 * config.avg_degree / 2.0).round() as usize;
+            // Weighted endpoint sampling: pick endpoints proportional to weight.
+            let cumulative: Vec<f64> = weights
+                .iter()
+                .scan(0.0, |acc, w| {
+                    *acc += w;
+                    Some(*acc)
+                })
+                .collect();
+            let pick = |rng: &mut rand::rngs::StdRng| -> Vertex {
+                let x = rng.gen::<f64>() * total;
+                match cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+                    Ok(i) => i as Vertex,
+                    Err(i) => i.min(n - 1) as Vertex,
+                }
+            };
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::with_capacity(target_edges);
+            let mut attempts = 0usize;
+            let max_attempts = target_edges.saturating_mul(20).max(1000);
+            while edges.len() < target_edges && attempts < max_attempts {
+                attempts += 1;
+                let u = pick(&mut rng);
+                let v = pick(&mut rng);
+                if u == v {
+                    continue;
+                }
+                let key = if u < v { (u, v) } else { (v, u) };
+                if seen.insert(key) {
+                    edges.push(key);
+                }
+            }
+            edges
+        })
+        .collect();
+
+    MultiLayerGraph::from_edge_lists(n, &per_layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_power_law_like_layers() {
+        let g = chung_lu_layers(&ChungLuConfig {
+            num_vertices: 500,
+            num_layers: 4,
+            avg_degree: 6.0,
+            exponent: 2.5,
+            layer_jitter: 0.2,
+            seed: 3,
+        })
+        .unwrap();
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_layers(), 4);
+        for layer in g.layers() {
+            let avg = 2.0 * layer.num_edges() as f64 / 500.0;
+            assert!(avg > 3.0 && avg < 7.5, "unexpected average degree {avg}");
+            // Hubs exist: maximum degree should far exceed the average.
+            assert!(layer.max_degree() as f64 > 2.0 * avg);
+        }
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn hubs_recur_across_layers() {
+        let g = chung_lu_layers(&ChungLuConfig {
+            num_vertices: 400,
+            num_layers: 3,
+            avg_degree: 8.0,
+            exponent: 2.2,
+            layer_jitter: 0.1,
+            seed: 11,
+        })
+        .unwrap();
+        // Vertex 0 has the largest base weight, so it should be a hub on
+        // every layer (degree well above average).
+        for layer in g.layers() {
+            let avg = 2.0 * layer.num_edges() as f64 / 400.0;
+            assert!(layer.degree(0) as f64 > avg);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ChungLuConfig { num_vertices: 200, seed: 17, ..ChungLuConfig::default() };
+        assert_eq!(chung_lu_layers(&cfg).unwrap(), chung_lu_layers(&cfg).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let base = ChungLuConfig::default();
+        assert!(chung_lu_layers(&ChungLuConfig { num_vertices: 1, ..base.clone() }).is_err());
+        assert!(chung_lu_layers(&ChungLuConfig { exponent: 1.0, ..base.clone() }).is_err());
+        assert!(chung_lu_layers(&ChungLuConfig { layer_jitter: 1.0, ..base.clone() }).is_err());
+        assert!(chung_lu_layers(&ChungLuConfig { avg_degree: 0.0, ..base }).is_err());
+    }
+}

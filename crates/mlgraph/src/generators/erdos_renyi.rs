@@ -1,0 +1,98 @@
+//! Independent Erdős–Rényi layers (G(n, m) model).
+
+use super::sample_edges;
+use crate::error::{GraphError, Result};
+use crate::graph::MultiLayerGraph;
+use rand::SeedableRng;
+
+/// Configuration for [`multi_layer_er`].
+#[derive(Clone, Debug)]
+pub struct ErConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Number of edges on each layer.
+    pub edges_per_layer: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a multi-layer graph whose layers are independent uniform random
+/// graphs with exactly `edges_per_layer` edges each (capped at the complete
+/// graph size).
+pub fn multi_layer_er(config: &ErConfig) -> Result<MultiLayerGraph> {
+    if config.num_vertices == 0 {
+        return Err(GraphError::InvalidArgument("num_vertices must be positive".into()));
+    }
+    if config.num_layers == 0 {
+        return Err(GraphError::InvalidArgument("num_layers must be positive".into()));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let per_layer: Vec<Vec<(u32, u32)>> = (0..config.num_layers)
+        .map(|_| sample_edges(&mut rng, config.num_vertices, config.edges_per_layer))
+        .collect();
+    MultiLayerGraph::from_edge_lists(config.num_vertices, &per_layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = multi_layer_er(&ErConfig {
+            num_vertices: 50,
+            num_layers: 4,
+            edges_per_layer: 120,
+            seed: 9,
+        })
+        .unwrap();
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_layers(), 4);
+        for layer in g.layers() {
+            assert_eq!(layer.num_edges(), 120);
+        }
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ErConfig { num_vertices: 30, num_layers: 3, edges_per_layer: 40, seed: 5 };
+        let a = multi_layer_er(&cfg).unwrap();
+        let b = multi_layer_er(&cfg).unwrap();
+        assert_eq!(a, b);
+        let c = multi_layer_er(&ErConfig { seed: 6, ..cfg }).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_capped_at_complete_graph() {
+        let g = multi_layer_er(&ErConfig {
+            num_vertices: 5,
+            num_layers: 1,
+            edges_per_layer: 1000,
+            seed: 1,
+        })
+        .unwrap();
+        assert_eq!(g.layer(0).num_edges(), 10);
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        assert!(multi_layer_er(&ErConfig {
+            num_vertices: 0,
+            num_layers: 1,
+            edges_per_layer: 1,
+            seed: 0
+        })
+        .is_err());
+        assert!(multi_layer_er(&ErConfig {
+            num_vertices: 5,
+            num_layers: 0,
+            edges_per_layer: 1,
+            seed: 0
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Temporal snapshot generator.
+//!
+//! The four large datasets of the paper (German, Wiki, English, Stack) are
+//! interaction networks whose layers are time windows: consecutive layers
+//! share much of their structure. This generator models that by evolving a
+//! base edge set: layer `t+1` keeps a `retain` fraction of layer `t`'s edges
+//! and replaces the rest with fresh random edges, optionally biased toward a
+//! persistent "core" community of vertices.
+
+use super::sample_edges;
+use crate::error::{GraphError, Result};
+use crate::graph::MultiLayerGraph;
+use crate::Vertex;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`temporal_snapshots`].
+#[derive(Clone, Debug)]
+pub struct TemporalConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of snapshot layers.
+    pub num_layers: usize,
+    /// Number of edges per snapshot.
+    pub edges_per_layer: usize,
+    /// Fraction of the previous snapshot's edges retained in the next one.
+    pub retain: f64,
+    /// Size of the persistent densely-interacting community (0 disables it).
+    pub core_size: usize,
+    /// Fraction of fresh edges that fall inside the persistent community.
+    pub core_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig {
+            num_vertices: 2000,
+            num_layers: 12,
+            edges_per_layer: 8000,
+            retain: 0.6,
+            core_size: 60,
+            core_bias: 0.25,
+            seed: 99,
+        }
+    }
+}
+
+/// Generates a sequence of correlated snapshot layers.
+pub fn temporal_snapshots(config: &TemporalConfig) -> Result<MultiLayerGraph> {
+    if config.num_vertices < 2 || config.num_layers == 0 {
+        return Err(GraphError::InvalidArgument("need at least 2 vertices and 1 layer".into()));
+    }
+    if !(0.0..=1.0).contains(&config.retain) {
+        return Err(GraphError::InvalidArgument("retain must be in [0, 1]".into()));
+    }
+    if !(0.0..=1.0).contains(&config.core_bias) {
+        return Err(GraphError::InvalidArgument("core_bias must be in [0, 1]".into()));
+    }
+    if config.core_size > config.num_vertices {
+        return Err(GraphError::InvalidArgument("core_size exceeds the vertex universe".into()));
+    }
+    let n = config.num_vertices;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+
+    let core: Vec<Vertex> = {
+        let mut all: Vec<Vertex> = (0..n as Vertex).collect();
+        all.shuffle(&mut rng);
+        all.truncate(config.core_size);
+        all
+    };
+
+    let fresh_edge = |rng: &mut rand::rngs::StdRng| -> (Vertex, Vertex) {
+        loop {
+            let in_core = core.len() >= 2 && rng.gen_bool(config.core_bias);
+            let (u, v) = if in_core {
+                (*core.choose(rng).unwrap(), *core.choose(rng).unwrap())
+            } else {
+                (rng.gen_range(0..n as Vertex), rng.gen_range(0..n as Vertex))
+            };
+            if u != v {
+                return if u < v { (u, v) } else { (v, u) };
+            }
+        }
+    };
+
+    let mut per_layer: Vec<Vec<(Vertex, Vertex)>> = Vec::with_capacity(config.num_layers);
+    let mut current: Vec<(Vertex, Vertex)> = sample_edges(&mut rng, n, config.edges_per_layer);
+    per_layer.push(current.clone());
+    for _ in 1..config.num_layers {
+        let mut next: Vec<(Vertex, Vertex)> = Vec::with_capacity(config.edges_per_layer);
+        let mut seen = std::collections::HashSet::with_capacity(config.edges_per_layer * 2);
+        for &e in &current {
+            if rng.gen_bool(config.retain) && seen.insert(e) {
+                next.push(e);
+            }
+        }
+        let mut attempts = 0usize;
+        let max_attempts = config.edges_per_layer.saturating_mul(30).max(1000);
+        while next.len() < config.edges_per_layer && attempts < max_attempts {
+            attempts += 1;
+            let e = fresh_edge(&mut rng);
+            if seen.insert(e) {
+                next.push(e);
+            }
+        }
+        per_layer.push(next.clone());
+        current = next;
+    }
+
+    let mut graph = MultiLayerGraph::from_edge_lists(n, &per_layer)?;
+    // Name layers like time windows for nicer reporting.
+    let names: Vec<String> = (0..config.num_layers).map(|t| format!("t{t}")).collect();
+    let layers = graph.layers().to_vec();
+    graph = MultiLayerGraph::from_parts(layers, None, names);
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TemporalConfig {
+        TemporalConfig {
+            num_vertices: 300,
+            num_layers: 5,
+            edges_per_layer: 900,
+            retain: 0.7,
+            core_size: 30,
+            core_bias: 0.3,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = temporal_snapshots(&config()).unwrap();
+        assert_eq!(g.num_vertices(), 300);
+        assert_eq!(g.num_layers(), 5);
+        for layer in g.layers() {
+            assert!(layer.num_edges() > 800, "snapshot too sparse: {}", layer.num_edges());
+        }
+        assert_eq!(g.layer_name(0), "t0");
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn consecutive_layers_overlap_more_than_distant_ones() {
+        let g = temporal_snapshots(&config()).unwrap();
+        let overlap = |a: usize, b: usize| -> usize {
+            let ea: std::collections::HashSet<_> = g.layer(a).edges().collect();
+            g.layer(b).edges().filter(|e| ea.contains(e)).count()
+        };
+        let near = overlap(0, 1);
+        let far = overlap(0, 4);
+        assert!(near > far, "expected temporal correlation: near={near} far={far}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(temporal_snapshots(&config()).unwrap(), temporal_snapshots(&config()).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let base = config();
+        assert!(temporal_snapshots(&TemporalConfig { retain: 1.5, ..base.clone() }).is_err());
+        assert!(temporal_snapshots(&TemporalConfig { core_bias: -0.1, ..base.clone() }).is_err());
+        assert!(temporal_snapshots(&TemporalConfig { core_size: 10_000, ..base.clone() }).is_err());
+        assert!(temporal_snapshots(&TemporalConfig { num_vertices: 1, ..base }).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Compact binary snapshot format for multi-layer graphs.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic      : 8 bytes  b"MLGRAPH1"
+//! n          : u64      number of vertices
+//! l          : u64      number of layers
+//! per layer  : u64 edge count, then edge pairs as (u32, u32)
+//! labels flag: u8       1 if vertex labels follow
+//! labels     : for each vertex: u32 length + utf-8 bytes
+//! layer names: for each layer: u32 length + utf-8 bytes
+//! ```
+//!
+//! The format is intentionally simple: it exists so generated experiment
+//! datasets can be cached on disk and re-loaded quickly.
+
+use crate::builder::MultiLayerGraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::MultiLayerGraph;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MLGRAPH1";
+
+/// Serializes `g` into a byte buffer.
+pub fn to_bytes(g: &MultiLayerGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + g.total_edges() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_layers() as u64);
+    for layer in g.layers() {
+        buf.put_u64_le(layer.num_edges() as u64);
+        for (u, v) in layer.edges() {
+            buf.put_u32_le(u);
+            buf.put_u32_le(v);
+        }
+    }
+    match g.vertex_labels() {
+        Some(labels) => {
+            buf.put_u8(1);
+            for label in labels {
+                buf.put_u32_le(label.len() as u32);
+                buf.put_slice(label.as_bytes());
+            }
+        }
+        None => buf.put_u8(0),
+    }
+    for i in 0..g.num_layers() {
+        let name = g.layer_name(i);
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+    }
+    buf.freeze()
+}
+
+fn ensure(buf: &Bytes, needed: usize) -> Result<()> {
+    if buf.remaining() < needed {
+        Err(GraphError::Corrupt(format!(
+            "unexpected end of snapshot: need {needed} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn read_string(buf: &mut Bytes) -> Result<String> {
+    ensure(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    ensure(buf, len)?;
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| GraphError::Corrupt("string field is not valid utf-8".into()))
+}
+
+/// Deserializes a graph from a byte buffer produced by [`to_bytes`].
+pub fn from_bytes(mut buf: Bytes) -> Result<MultiLayerGraph> {
+    ensure(&buf, MAGIC.len())?;
+    let magic = buf.copy_to_bytes(MAGIC.len());
+    if magic.as_ref() != MAGIC {
+        return Err(GraphError::Corrupt("bad magic; not an MLGRAPH1 snapshot".into()));
+    }
+    ensure(&buf, 16)?;
+    let n = buf.get_u64_le() as usize;
+    let l = buf.get_u64_le() as usize;
+    if l == 0 {
+        return Err(GraphError::Corrupt("snapshot declares zero layers".into()));
+    }
+    let mut builder = MultiLayerGraphBuilder::new(n, l);
+    for layer in 0..l {
+        ensure(&buf, 8)?;
+        let m = buf.get_u64_le() as usize;
+        ensure(&buf, m * 8)?;
+        for _ in 0..m {
+            let u = buf.get_u32_le();
+            let v = buf.get_u32_le();
+            builder
+                .add_edge(layer, u, v)
+                .map_err(|e| GraphError::Corrupt(format!("invalid edge in snapshot: {e}")))?;
+        }
+    }
+    ensure(&buf, 1)?;
+    let has_labels = buf.get_u8() == 1;
+    let labels = if has_labels {
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            labels.push(read_string(&mut buf)?);
+        }
+        Some(labels)
+    } else {
+        None
+    };
+    let mut names = Vec::with_capacity(l);
+    for _ in 0..l {
+        names.push(read_string(&mut buf)?);
+    }
+    let mut g = builder.build();
+    // Re-assemble with labels/names: the builder used index mode, so we
+    // attach metadata through from_parts for exact reconstruction.
+    let layers = g.layers().to_vec();
+    g = MultiLayerGraph::from_parts(layers, labels, names);
+    Ok(g)
+}
+
+/// Writes a binary snapshot of `g` to `path`.
+pub fn write_binary<P: AsRef<Path>>(g: &MultiLayerGraph, path: P) -> Result<()> {
+    let bytes = to_bytes(g);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a binary snapshot from `path`.
+pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<MultiLayerGraph> {
+    let mut file = std::fs::File::open(path)?;
+    let mut raw = Vec::new();
+    file.read_to_end(&mut raw)?;
+    from_bytes(Bytes::from(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MultiLayerGraphBuilder;
+
+    fn labeled_graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::with_labels(2);
+        b.add_labeled_edge(0, "a", "b").unwrap();
+        b.add_labeled_edge(0, "b", "c").unwrap();
+        b.add_labeled_edge(1, "a", "c").unwrap();
+        b.set_layer_names(&["first", "second"]);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_labeled() {
+        let g = labeled_graph();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(bytes).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.vertex_label(1), Some("b"));
+        assert_eq!(g2.layer_name(1), "second");
+    }
+
+    #[test]
+    fn roundtrip_unlabeled() {
+        let g = MultiLayerGraph::from_edge_lists(4, &[vec![(0, 1)], vec![(2, 3), (0, 3)]]).unwrap();
+        let g2 = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(g, g2);
+        assert!(g2.vertex_labels().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = from_bytes(Bytes::from_static(b"NOTAGRPH\x00\x00")).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)));
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let g = labeled_graph();
+        let bytes = to_bytes(&g);
+        let truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn empty_buffer_rejected() {
+        assert!(from_bytes(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = labeled_graph();
+        let dir = std::env::temp_dir().join("mlgraph_binary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.bin");
+        write_binary(&g, &path).unwrap();
+        let g2 = read_binary(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,68 @@
+//! # mlgraph — multi-layer graph substrate
+//!
+//! This crate provides the data structures and utilities the DCCS algorithms
+//! are built on:
+//!
+//! * [`VertexSet`] — a word-packed bitset over the vertex universe with a
+//!   cached cardinality; the workhorse set representation used by every
+//!   peeling and coverage routine.
+//! * [`Csr`] — a compressed sparse row representation of one undirected
+//!   layer (sorted, deduplicated adjacency lists).
+//! * [`MultiLayerGraph`] / [`MultiLayerGraphBuilder`] — a set of CSR layers
+//!   sharing one vertex universe, with optional vertex and layer labels.
+//! * [`io`] — text edge-list and binary snapshot readers/writers plus DOT
+//!   export.
+//! * [`generators`] — seeded synthetic multi-layer graph generators
+//!   (Erdős–Rényi, planted communities, power-law, temporal snapshots).
+//! * [`sample`] — vertex-fraction / layer-fraction down-sampling used by the
+//!   scalability experiments.
+//! * [`algo`] — small generic graph algorithms (BFS, connected components,
+//!   density) used by tests and the analysis tooling.
+//!
+//! Vertices are dense `u32` indices in `0..n`. All APIs treat layers as
+//! `usize` indices in `0..l`.
+//!
+//! ```
+//! use mlgraph::{MultiLayerGraphBuilder, VertexSet};
+//!
+//! let mut b = MultiLayerGraphBuilder::new(4, 2);
+//! b.add_edge(0, 0, 1).unwrap();
+//! b.add_edge(0, 1, 2).unwrap();
+//! b.add_edge(1, 0, 1).unwrap();
+//! let g = b.build();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_layers(), 2);
+//! assert_eq!(g.layer(0).degree(1), 2);
+//!
+//! let mut s = VertexSet::new(4);
+//! s.insert(0);
+//! s.insert(1);
+//! assert_eq!(g.layer(0).degree_within(1, &s), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod bitset;
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod sample;
+pub mod stats;
+
+pub use bitset::VertexSet;
+pub use builder::MultiLayerGraphBuilder;
+pub use csr::Csr;
+pub use error::{GraphError, Result};
+pub use graph::MultiLayerGraph;
+pub use stats::{GraphStats, LayerStats};
+
+/// A vertex identifier: a dense index in `0..n`.
+pub type Vertex = u32;
+
+/// A layer identifier: a dense index in `0..l`.
+pub type Layer = usize;

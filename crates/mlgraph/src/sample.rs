@@ -1,0 +1,142 @@
+//! Down-sampling of multi-layer graphs.
+//!
+//! The scalability experiments of the paper (Figs. 26–27) vary a vertex
+//! fraction `p` and a layer fraction `q`: the input graph is restricted to a
+//! random `p`-fraction of its vertices or a random `q`-fraction of its
+//! layers. Both samplers are seeded and deterministic.
+
+use crate::bitset::VertexSet;
+use crate::error::{GraphError, Result};
+use crate::graph::MultiLayerGraph;
+use crate::Vertex;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Keeps a uniformly random `p`-fraction of the vertices (at least one) and
+/// returns the induced multi-layer subgraph.
+///
+/// `p` must lie in `(0, 1]`. `p = 1.0` returns a structural copy of `g`.
+pub fn sample_vertices(g: &MultiLayerGraph, p: f64, seed: u64) -> Result<MultiLayerGraph> {
+    if !(p > 0.0 && p <= 1.0) {
+        return Err(GraphError::InvalidArgument(format!("vertex fraction p={p} must be in (0, 1]")));
+    }
+    let n = g.num_vertices();
+    if p >= 1.0 {
+        return Ok(g.clone());
+    }
+    let keep = ((n as f64 * p).round() as usize).clamp(1, n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut vertices: Vec<Vertex> = (0..n as Vertex).collect();
+    vertices.shuffle(&mut rng);
+    vertices.truncate(keep);
+    let set = VertexSet::from_iter(n, vertices);
+    let (sub, _) = g.induced_subgraph(&set);
+    Ok(sub)
+}
+
+/// Keeps a uniformly random `q`-fraction of the layers (at least one),
+/// preserving the original relative layer order.
+///
+/// `q` must lie in `(0, 1]`. `q = 1.0` returns a structural copy of `g`.
+pub fn sample_layers(g: &MultiLayerGraph, q: f64, seed: u64) -> Result<MultiLayerGraph> {
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(GraphError::InvalidArgument(format!("layer fraction q={q} must be in (0, 1]")));
+    }
+    let l = g.num_layers();
+    if q >= 1.0 {
+        return Ok(g.clone());
+    }
+    let keep = ((l as f64 * q).round() as usize).clamp(1, l);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut layers: Vec<usize> = (0..l).collect();
+    layers.shuffle(&mut rng);
+    layers.truncate(keep);
+    layers.sort_unstable();
+    g.select_layers(&layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MultiLayerGraphBuilder;
+
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(20, 5);
+        for layer in 0..5 {
+            for v in 0..19u32 {
+                b.add_edge(layer, v, v + 1).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn vertex_sampling_keeps_expected_count() {
+        let g = graph();
+        let s = sample_vertices(&g, 0.5, 7).unwrap();
+        assert_eq!(s.num_vertices(), 10);
+        assert_eq!(s.num_layers(), 5);
+        assert!(s.validate());
+    }
+
+    #[test]
+    fn vertex_sampling_full_fraction_is_identity() {
+        let g = graph();
+        let s = sample_vertices(&g, 1.0, 7).unwrap();
+        assert_eq!(s.num_vertices(), g.num_vertices());
+        assert_eq!(s.total_edges(), g.total_edges());
+    }
+
+    #[test]
+    fn vertex_sampling_is_deterministic_per_seed() {
+        let g = graph();
+        let a = sample_vertices(&g, 0.4, 42).unwrap();
+        let b = sample_vertices(&g, 0.4, 42).unwrap();
+        let c = sample_vertices(&g, 0.4, 43).unwrap();
+        assert_eq!(a, b);
+        // Different seeds may coincide in shape but typically differ in edges.
+        assert_eq!(c.num_vertices(), 8);
+    }
+
+    #[test]
+    fn vertex_sampling_rejects_bad_fraction() {
+        let g = graph();
+        assert!(sample_vertices(&g, 0.0, 1).is_err());
+        assert!(sample_vertices(&g, 1.5, 1).is_err());
+        assert!(sample_vertices(&g, -0.2, 1).is_err());
+    }
+
+    #[test]
+    fn layer_sampling_keeps_expected_count_and_order() {
+        let g = graph();
+        let s = sample_layers(&g, 0.6, 11).unwrap();
+        assert_eq!(s.num_layers(), 3);
+        assert_eq!(s.num_vertices(), 20);
+        // Names retain original ordering after sort.
+        let names: Vec<_> = s.layer_names().to_vec();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn layer_sampling_full_fraction_is_identity() {
+        let g = graph();
+        let s = sample_layers(&g, 1.0, 3).unwrap();
+        assert_eq!(s.num_layers(), 5);
+    }
+
+    #[test]
+    fn layer_sampling_minimum_one_layer() {
+        let g = graph();
+        let s = sample_layers(&g, 0.01, 3).unwrap();
+        assert_eq!(s.num_layers(), 1);
+    }
+
+    #[test]
+    fn layer_sampling_rejects_bad_fraction() {
+        let g = graph();
+        assert!(sample_layers(&g, 0.0, 1).is_err());
+        assert!(sample_layers(&g, 2.0, 1).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Graph statistics mirroring Fig. 12 of the paper (dataset summary table).
+
+use crate::graph::MultiLayerGraph;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer statistics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Layer index.
+    pub layer: usize,
+    /// Layer name.
+    pub name: String,
+    /// Number of edges on this layer.
+    pub num_edges: usize,
+    /// Number of non-isolated vertices on this layer.
+    pub active_vertices: usize,
+    /// Maximum degree on this layer.
+    pub max_degree: usize,
+    /// Average degree over all vertices of the universe.
+    pub avg_degree: f64,
+}
+
+/// Whole-graph statistics, matching the columns of Fig. 12:
+/// `|V(G)|`, `Σ|E(G_i)|`, `|∪ E(G_i)|`, `l(G)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Total edges summed across layers.
+    pub total_edges: usize,
+    /// Number of distinct edges in the union graph.
+    pub union_edges: usize,
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerStats>,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &MultiLayerGraph) -> Self {
+        let n = g.num_vertices();
+        let layers = g
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let active =
+                    (0..n as u32).filter(|&v| layer.degree(v) > 0).count();
+                LayerStats {
+                    layer: i,
+                    name: g.layer_name(i).to_string(),
+                    num_edges: layer.num_edges(),
+                    active_vertices: active,
+                    max_degree: layer.max_degree(),
+                    avg_degree: if n == 0 { 0.0 } else { 2.0 * layer.num_edges() as f64 / n as f64 },
+                }
+            })
+            .collect();
+        GraphStats {
+            num_vertices: n,
+            num_layers: g.num_layers(),
+            total_edges: g.total_edges(),
+            union_edges: g.union_edge_count(),
+            layers,
+        }
+    }
+
+    /// Renders the Fig. 12-style one-line summary:
+    /// `name |V| Σ|E_i| |∪E_i| l`.
+    pub fn summary_row(&self, name: &str) -> String {
+        format!(
+            "{name}\t{}\t{}\t{}\t{}",
+            self.num_vertices, self.total_edges, self.union_edges, self.num_layers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MultiLayerGraphBuilder;
+
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(5, 2);
+        b.add_edges(0, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        b.add_edges(1, &[(0, 1), (3, 4)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn whole_graph_counts() {
+        let s = GraphStats::compute(&graph());
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_layers, 2);
+        assert_eq!(s.total_edges, 5);
+        // union edges: (0,1),(1,2),(0,2),(3,4) = 4
+        assert_eq!(s.union_edges, 4);
+    }
+
+    #[test]
+    fn per_layer_breakdown() {
+        let s = GraphStats::compute(&graph());
+        assert_eq!(s.layers.len(), 2);
+        assert_eq!(s.layers[0].num_edges, 3);
+        assert_eq!(s.layers[0].active_vertices, 3);
+        assert_eq!(s.layers[0].max_degree, 2);
+        assert!((s.layers[0].avg_degree - 6.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.layers[1].active_vertices, 4);
+    }
+
+    #[test]
+    fn summary_row_format() {
+        let s = GraphStats::compute(&graph());
+        let row = s.summary_row("Toy");
+        assert_eq!(row, "Toy\t5\t5\t4\t2");
+    }
+}

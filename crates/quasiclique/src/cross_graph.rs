@@ -1,0 +1,326 @@
+//! Enumeration of cross-graph γ-quasi-cliques (the MiMAG stand-in).
+//!
+//! A *cross-graph γ-quasi-clique with support `s`* is a vertex set `Q` with
+//! `|Q| ≥ min_size` that is a γ-quasi-clique on at least `s` layers.
+//! Exhaustively enumerating them explores up to `2^{|V|}` subsets — the very
+//! cost the paper's Section VI uses to motivate d-CCs — so, like MiMAG, this
+//! miner is a bounded heuristic search rather than an exhaustive one:
+//!
+//! 1. **Universe restriction** — a member of a qualifying set must have
+//!    within-set degree ≥ `⌈γ·(min_size − 1)⌉` on each of at least `s`
+//!    layers, hence must belong to the corresponding d-core of at least `s`
+//!    layers (the same support argument the DCCS preprocessing uses).
+//! 2. **Greedy seed expansion** — every universe vertex seeds a candidate
+//!    set that is grown one vertex at a time; each step adds the vertex that
+//!    keeps the set a γ-quasi-clique on the largest number of layers, never
+//!    letting the supporting-layer count drop below `s`. Growth stops when
+//!    no vertex can be added, which yields a locally maximal quasi-clique
+//!    per seed (this mirrors MiMAG's best-first cluster growing).
+//! 3. **Budgets** — candidate evaluations are counted against
+//!    `node_budget`, so every run is finite even on adversarial inputs.
+//!
+//! Duplicate and non-maximal results are dropped before the diversified
+//! selection in [`crate::mimag`].
+
+use crate::gamma::{required_degree, supporting_layers};
+use mlgraph::{MultiLayerGraph, Vertex, VertexSet};
+
+/// Configuration for the cross-graph quasi-clique enumeration.
+#[derive(Clone, Debug)]
+pub struct QcConfig {
+    /// Density threshold γ ∈ [0, 1].
+    pub gamma: f64,
+    /// Minimum number of layers a result must be a γ-quasi-clique on.
+    pub min_support: usize,
+    /// Minimum result size (`d'` in the paper's comparison setup).
+    pub min_size: usize,
+    /// Maximum result size grown per seed.
+    pub max_size: usize,
+    /// Maximum number of candidate evaluations before the search stops.
+    pub node_budget: usize,
+    /// Maximum number of quasi-cliques recorded before the search stops.
+    pub result_budget: usize,
+}
+
+impl Default for QcConfig {
+    fn default() -> Self {
+        QcConfig {
+            gamma: 0.8,
+            min_support: 2,
+            min_size: 4,
+            max_size: 64,
+            node_budget: 5_000_000,
+            result_budget: 20_000,
+        }
+    }
+}
+
+/// Counters describing the enumeration effort.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QcSearchStats {
+    /// Candidate evaluations performed.
+    pub nodes_visited: usize,
+    /// Quasi-cliques recorded before maximality filtering.
+    pub raw_results: usize,
+    /// Whether a budget limit stopped the search early.
+    pub truncated: bool,
+}
+
+/// Enumerates (locally maximal) cross-graph γ-quasi-cliques.
+///
+/// Returns the discovered vertex sets and the search statistics. The output
+/// is deterministic for a given graph and configuration.
+pub fn enumerate_cross_graph_quasi_cliques(
+    g: &MultiLayerGraph,
+    config: &QcConfig,
+) -> (Vec<VertexSet>, QcSearchStats) {
+    let n = g.num_vertices();
+    let mut stats = QcSearchStats::default();
+    if config.min_size < 2 || config.min_support == 0 || config.min_support > g.num_layers() {
+        return (Vec::new(), stats);
+    }
+
+    // Step 1: support-based universe restriction.
+    let d_needed = required_degree(config.gamma, config.min_size) as u32;
+    let layer_cores: Vec<VertexSet> =
+        (0..g.num_layers()).map(|i| coreness::d_core(g.layer(i), d_needed)).collect();
+    let mut universe = VertexSet::new(n);
+    for v in 0..n as Vertex {
+        let support = layer_cores.iter().filter(|c| c.contains(v)).count();
+        if support >= config.min_support {
+            universe.insert(v);
+        }
+    }
+    if universe.len() < config.min_size {
+        return (Vec::new(), stats);
+    }
+    let universe_vec: Vec<Vertex> = universe.to_vec();
+
+    // Step 2: greedy expansion from every seed.
+    let mut results: Vec<VertexSet> = Vec::new();
+    'seeds: for &seed in &universe_vec {
+        let mut current = VertexSet::new(n);
+        current.insert(seed);
+        loop {
+            if current.len() >= config.max_size {
+                break;
+            }
+            let mut best: Option<(usize, usize, Vertex)> = None;
+            for &v in &universe_vec {
+                if current.contains(v) {
+                    continue;
+                }
+                // Quick connectivity screen before the full support check.
+                let touching = (0..g.num_layers())
+                    .filter(|&i| g.layer(i).degree_within(v, &current) > 0)
+                    .count();
+                if touching < config.min_support {
+                    continue;
+                }
+                stats.nodes_visited += 1;
+                if stats.nodes_visited > config.node_budget {
+                    stats.truncated = true;
+                    break 'seeds;
+                }
+                current.insert(v);
+                let support = supporting_layers(g, &current, config.gamma).len();
+                let within_degree: usize =
+                    (0..g.num_layers()).map(|i| g.layer(i).degree_within(v, &current)).sum();
+                current.remove(v);
+                if support < config.min_support {
+                    continue;
+                }
+                let candidate = (support, within_degree, v);
+                let better = match best {
+                    None => true,
+                    Some((bs, bd, bv)) => {
+                        (support, within_degree, std::cmp::Reverse(v))
+                            > (bs, bd, std::cmp::Reverse(bv))
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            match best {
+                Some((_, _, v)) => {
+                    current.insert(v);
+                }
+                None => break,
+            }
+        }
+        if current.len() >= config.min_size
+            && supporting_layers(g, &current, config.gamma).len() >= config.min_support
+        {
+            results.push(current);
+            if results.len() >= config.result_budget {
+                stats.truncated = true;
+                break 'seeds;
+            }
+        }
+    }
+
+    stats.raw_results = results.len();
+    let maximal = retain_maximal(results);
+    (maximal, stats)
+}
+
+/// Removes duplicates and every set that is a subset of another recorded set.
+fn retain_maximal(mut sets: Vec<VertexSet>) -> Vec<VertexSet> {
+    sets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let mut kept: Vec<VertexSet> = Vec::new();
+    for s in sets {
+        if !kept.iter().any(|k| s.is_subset_of(k)) {
+            kept.push(s);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    /// Clique A = {0,1,2,3} on layers 0,1; clique B = {4,5,6,7,8} on layers
+    /// 1,2; a sparse path on the rest.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(12, 3);
+        clique(&mut b, 0, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[4, 5, 6, 7, 8]);
+        clique(&mut b, 2, &[4, 5, 6, 7, 8]);
+        for layer in 0..3 {
+            for v in 9..11u32 {
+                b.add_edge(layer, v, v + 1).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    fn config(min_size: usize) -> QcConfig {
+        QcConfig { gamma: 1.0, min_support: 2, min_size, ..QcConfig::default() }
+    }
+
+    #[test]
+    fn finds_planted_cliques() {
+        let g = graph();
+        let (results, stats) = enumerate_cross_graph_quasi_cliques(&g, &config(4));
+        assert!(!stats.truncated);
+        let as_vecs: Vec<Vec<u32>> = results.iter().map(|s| s.to_vec()).collect();
+        assert!(as_vecs.contains(&vec![0, 1, 2, 3]));
+        assert!(as_vecs.contains(&vec![4, 5, 6, 7, 8]));
+        // Only the two maximal cliques survive maximality filtering.
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn min_size_filters_small_cliques() {
+        let g = graph();
+        let (results, _) = enumerate_cross_graph_quasi_cliques(&g, &config(5));
+        let as_vecs: Vec<Vec<u32>> = results.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(as_vecs, vec![vec![4, 5, 6, 7, 8]]);
+    }
+
+    #[test]
+    fn support_threshold_is_respected() {
+        let g = graph();
+        let mut cfg = config(4);
+        cfg.min_support = 3;
+        let (results, _) = enumerate_cross_graph_quasi_cliques(&g, &cfg);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn gamma_below_one_admits_denser_supersets() {
+        // 5 vertices, complete graph minus one edge, on two layers.
+        let mut b = MultiLayerGraphBuilder::new(5, 2);
+        for layer in 0..2 {
+            for u in 0..5u32 {
+                for v in (u + 1)..5 {
+                    if (u, v) != (3, 4) {
+                        b.add_edge(layer, u, v).unwrap();
+                    }
+                }
+            }
+        }
+        let g = b.build();
+        let strict = QcConfig { gamma: 1.0, min_support: 2, min_size: 5, ..QcConfig::default() };
+        let (none, _) = enumerate_cross_graph_quasi_cliques(&g, &strict);
+        assert!(none.is_empty());
+        let relaxed = QcConfig { gamma: 0.75, min_support: 2, min_size: 5, ..QcConfig::default() };
+        let (some, _) = enumerate_cross_graph_quasi_cliques(&g, &relaxed);
+        assert_eq!(some.len(), 1);
+        assert_eq!(some[0].len(), 5);
+    }
+
+    #[test]
+    fn budget_truncation_is_reported() {
+        let g = graph();
+        let mut cfg = config(4);
+        cfg.node_budget = 3;
+        let (_, stats) = enumerate_cross_graph_quasi_cliques(&g, &cfg);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn every_result_is_a_quasi_clique_on_enough_layers() {
+        let g = graph();
+        let cfg = QcConfig { gamma: 0.8, min_support: 2, min_size: 3, ..QcConfig::default() };
+        let (results, _) = enumerate_cross_graph_quasi_cliques(&g, &cfg);
+        assert!(!results.is_empty());
+        for q in &results {
+            assert!(q.len() >= 3);
+            assert!(supporting_layers(&g, q, 0.8).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn results_are_locally_maximal() {
+        let g = graph();
+        let (results, _) = enumerate_cross_graph_quasi_cliques(&g, &config(4));
+        for q in &results {
+            // No single vertex can be added while keeping the set a clique on
+            // two layers.
+            for v in 0..g.num_vertices() as u32 {
+                if q.contains(v) {
+                    continue;
+                }
+                let mut bigger = q.clone();
+                bigger.insert(v);
+                assert!(supporting_layers(&g, &bigger, 1.0).len() < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_return_empty() {
+        let g = graph();
+        let mut cfg = config(1);
+        assert!(enumerate_cross_graph_quasi_cliques(&g, &cfg).0.is_empty());
+        cfg = config(4);
+        cfg.min_support = 0;
+        assert!(enumerate_cross_graph_quasi_cliques(&g, &cfg).0.is_empty());
+        cfg = config(4);
+        cfg.min_support = 99;
+        assert!(enumerate_cross_graph_quasi_cliques(&g, &cfg).0.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed_graph() {
+        let g = graph();
+        let (a, _) = enumerate_cross_graph_quasi_cliques(&g, &config(4));
+        let (b, _) = enumerate_cross_graph_quasi_cliques(&g, &config(4));
+        let av: Vec<Vec<u32>> = a.iter().map(|s| s.to_vec()).collect();
+        let bv: Vec<Vec<u32>> = b.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(av, bv);
+    }
+}

@@ -1,0 +1,112 @@
+//! The γ-quasi-clique predicate.
+//!
+//! A vertex set `Q` is a γ-quasi-clique on a graph `G` iff every vertex of
+//! `Q` is adjacent to at least `γ·(|Q| − 1)` other vertices of `Q`
+//! (Section I of the paper, following Pei et al.).
+
+use mlgraph::{Csr, MultiLayerGraph, VertexSet};
+
+/// The minimum within-set degree a member of a γ-quasi-clique of size
+/// `size` must have: `⌈γ·(size − 1)⌉`.
+pub fn required_degree(gamma: f64, size: usize) -> usize {
+    if size <= 1 {
+        return 0;
+    }
+    (gamma * (size as f64 - 1.0)).ceil() as usize
+}
+
+/// Whether `set` is a γ-quasi-clique on the single layer `g`.
+///
+/// The empty set and singletons are quasi-cliques by convention.
+pub fn is_gamma_quasi_clique(g: &Csr, set: &VertexSet, gamma: f64) -> bool {
+    let size = set.len();
+    if size <= 1 {
+        return true;
+    }
+    let need = gamma * (size as f64 - 1.0);
+    set.iter().all(|v| g.degree_within(v, set) as f64 + 1e-9 >= need)
+}
+
+/// The layers of `g` on which `set` is a γ-quasi-clique.
+pub fn supporting_layers(g: &MultiLayerGraph, set: &VertexSet, gamma: f64) -> Vec<usize> {
+    (0..g.num_layers()).filter(|&i| is_gamma_quasi_clique(g.layer(i), set, gamma)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique_layer(n: usize) -> Csr {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn required_degree_rounds_up() {
+        assert_eq!(required_degree(0.8, 5), 4); // 0.8·4 = 3.2 → 4
+        assert_eq!(required_degree(0.5, 5), 2);
+        assert_eq!(required_degree(1.0, 4), 3);
+        assert_eq!(required_degree(0.8, 1), 0);
+        assert_eq!(required_degree(0.8, 0), 0);
+    }
+
+    #[test]
+    fn clique_is_quasi_clique_for_any_gamma() {
+        let g = clique_layer(5);
+        let all = VertexSet::full(5);
+        for gamma in [0.2, 0.5, 0.8, 1.0] {
+            assert!(is_gamma_quasi_clique(&g, &all, gamma));
+        }
+    }
+
+    #[test]
+    fn missing_edge_breaks_gamma_one() {
+        // 4-clique minus one edge.
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]);
+        let all = VertexSet::full(4);
+        assert!(!is_gamma_quasi_clique(&g, &all, 1.0));
+        // Each vertex still has ≥ 2 = 0.66·3 neighbors.
+        assert!(is_gamma_quasi_clique(&g, &all, 0.66));
+    }
+
+    #[test]
+    fn sparse_set_fails_even_small_gamma() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let all = VertexSet::full(4);
+        assert!(!is_gamma_quasi_clique(&g, &all, 0.5));
+        // Pairs are fine.
+        assert!(is_gamma_quasi_clique(&g, &VertexSet::from_iter(4, [0, 1]), 1.0));
+    }
+
+    #[test]
+    fn degenerate_sets_are_quasi_cliques() {
+        let g = clique_layer(3);
+        assert!(is_gamma_quasi_clique(&g, &VertexSet::new(3), 1.0));
+        assert!(is_gamma_quasi_clique(&g, &VertexSet::from_iter(3, [2]), 1.0));
+    }
+
+    #[test]
+    fn supporting_layers_counts_layers() {
+        let mut b = MultiLayerGraphBuilder::new(4, 3);
+        // Layer 0: 4-clique; layer 1: triangle {0,1,2} (vertex 3 isolated);
+        // layer 2: empty.
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(0, u, v).unwrap();
+        }
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            b.add_edge(1, u, v).unwrap();
+        }
+        let g = b.build();
+        let triangle = VertexSet::from_iter(4, [0, 1, 2]);
+        assert_eq!(supporting_layers(&g, &triangle, 1.0), vec![0, 1]);
+        let quad = VertexSet::full(4);
+        assert_eq!(supporting_layers(&g, &quad, 1.0), vec![0]);
+        assert_eq!(supporting_layers(&g, &quad, 0.0), vec![0, 1, 2]);
+    }
+}

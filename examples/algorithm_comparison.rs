@@ -1,0 +1,63 @@
+//! Side-by-side comparison of GD-DCCS, BU-DCCS and TD-DCCS on one synthetic
+//! dataset, for a small and a large support threshold — a miniature version
+//! of the paper's Figs. 14–17.
+//!
+//! ```bash
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use datasets::{generate, DatasetId, Scale};
+use dccs::{bottom_up_dccs, greedy_dccs, parallel_greedy_dccs, top_down_dccs, DccsParams};
+
+fn main() {
+    let dataset = generate(DatasetId::German, Scale::Small);
+    let graph = &dataset.graph;
+    let l = graph.num_layers();
+    println!(
+        "dataset: German analogue with {} vertices, {} layers",
+        graph.num_vertices(),
+        l
+    );
+
+    let d = 4;
+    let k = 10;
+
+    println!("\n-- small support threshold (s = 3): BU-DCCS is the recommended algorithm --");
+    println!("{:<24} {:>10} {:>8} {:>12}", "algorithm", "time (s)", "cover", "candidates");
+    let params = DccsParams::new(d, 3, k);
+    let gd = greedy_dccs(graph, &params);
+    let bu = bottom_up_dccs(graph, &params);
+    let par = parallel_greedy_dccs(graph, &params, 4);
+    for (name, time, cover, cands) in [
+        ("GD-DCCS", gd.elapsed.as_secs_f64(), gd.cover_size(), gd.stats.candidates_generated),
+        ("GD-DCCS (4 threads)", par.elapsed.as_secs_f64(), par.cover_size(), par.stats.candidates_generated),
+        ("BU-DCCS", bu.elapsed.as_secs_f64(), bu.cover_size(), bu.stats.candidates_generated),
+    ] {
+        println!("{name:<24} {time:>10.4} {cover:>8} {cands:>12}");
+    }
+    println!(
+        "search-space reduction of BU-DCCS vs GD-DCCS: {:.1}%",
+        100.0 * (1.0 - bu.stats.candidates_generated as f64 / gd.stats.candidates_generated.max(1) as f64)
+    );
+
+    println!("\n-- large support threshold (s = l - 2 = {}): TD-DCCS is the recommended algorithm --", l - 2);
+    println!("{:<24} {:>10} {:>8} {:>12}", "algorithm", "time (s)", "cover", "candidates");
+    let params = DccsParams::new(d, l - 2, k);
+    let gd = greedy_dccs(graph, &params);
+    let bu = bottom_up_dccs(graph, &params);
+    let td = top_down_dccs(graph, &params);
+    for (name, r) in [("GD-DCCS", &gd), ("BU-DCCS", &bu), ("TD-DCCS", &td)] {
+        println!(
+            "{name:<24} {:>10.4} {:>8} {:>12}",
+            r.elapsed.as_secs_f64(),
+            r.cover_size(),
+            r.stats.candidates_generated
+        );
+    }
+
+    println!(
+        "\nAll three algorithms report covers of similar size (the greedy algorithm is \
+         (1 - 1/e)-approximate, the search algorithms are 1/4-approximate), but the \
+         search algorithms examine far fewer candidate d-CCs."
+    );
+}

@@ -1,0 +1,65 @@
+//! Application 2 of the paper: story identification in social media.
+//!
+//! Each layer is a snapshot graph of entity co-occurrence inside a time
+//! window; a *story* is a group of entities that stays densely associated
+//! across several consecutive snapshots. The example generates a temporal
+//! analogue (the Wiki-style dataset), runs the DCCS algorithms, and reports
+//! how well the reported coherent cores recover the planted stories.
+//!
+//! ```bash
+//! cargo run --release --example story_identification
+//! ```
+
+use datasets::{generate, DatasetId, Scale};
+use dccs::{bottom_up_dccs, top_down_dccs, DccsParams};
+use mlgraph::VertexSet;
+
+fn main() {
+    let dataset = generate(DatasetId::Wiki, Scale::Small);
+    let graph = &dataset.graph;
+    let stories = &dataset.ground_truth;
+    println!(
+        "snapshot graph: {} entities, {} time windows, {} planted stories",
+        graph.num_vertices(),
+        graph.num_layers(),
+        stories.len()
+    );
+
+    // A story must recur on at least `s` snapshots with density d.
+    let d = 4;
+    let k = 10;
+
+    // Small support: stories that appear in a handful of windows (BU-DCCS).
+    let small_s = 3;
+    let bu = bottom_up_dccs(graph, &DccsParams::new(d, small_s, k));
+    report("BU-DCCS", small_s, graph.num_vertices(), &bu, stories);
+
+    // Large support: long-running stories (TD-DCCS is the right tool here).
+    let large_s = graph.num_layers() - 2;
+    let td = top_down_dccs(graph, &DccsParams::new(d, large_s, k));
+    report("TD-DCCS", large_s, graph.num_vertices(), &td, stories);
+}
+
+fn report(
+    name: &str,
+    s: usize,
+    num_vertices: usize,
+    result: &dccs::DccsResult,
+    stories: &datasets::GroundTruth,
+) {
+    println!("\n{name} with s = {s}: {} entities covered in {:.3}s", result.cover_size(), result.elapsed.as_secs_f64());
+    for (i, core) in result.cores.iter().enumerate().take(5) {
+        println!("  story candidate {:>2}: {} entities recurring on windows {:?}", i + 1, core.len(), core.layers);
+    }
+    // How many planted stories are recovered (entirely contained in a core)?
+    let dense: Vec<VertexSet> = result.cores.iter().map(|c| c.vertices.clone()).collect();
+    let recovered = stories.found_in(&dense).len();
+    println!("  planted stories fully recovered: {recovered}/{}", stories.len());
+    let story_cover = stories.cover(num_vertices);
+    let overlap = story_cover.intersection_len(&result.cover);
+    println!(
+        "  {} of the {} story entities appear in the reported cover",
+        overlap,
+        story_cover.len()
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the DCCS reproduction workspace.
+//!
+//! This crate only re-exports the workspace members so the runnable examples
+//! under `examples/` and the cross-crate integration tests under `tests/`
+//! have a single dependency surface. Library users should depend on the
+//! individual crates (`mlgraph`, `coreness`, `dccs`, `quasiclique`,
+//! `datasets`) directly.
+
+pub use coreness;
+pub use datasets;
+pub use dccs;
+pub use mlgraph;
+pub use quasiclique;

@@ -1,0 +1,112 @@
+//! Cross-crate integration tests: dataset generation → preprocessing →
+//! all three DCCS algorithms → metrics, exercised through the public APIs
+//! only.
+
+use datasets::{all_datasets, generate, DatasetId, Scale};
+use dccs::{bottom_up_dccs, greedy_dccs, top_down_dccs, DccsParams};
+use mlgraph::GraphStats;
+
+#[test]
+fn every_dataset_analogue_generates_and_validates() {
+    for id in all_datasets() {
+        let ds = generate(id, Scale::Tiny);
+        assert!(ds.graph.validate(), "{:?} analogue has a corrupt layer", id);
+        assert_eq!(ds.graph.num_layers(), ds.spec.synthetic_layers);
+        let stats = GraphStats::compute(&ds.graph);
+        assert!(stats.total_edges > 0);
+        assert!(stats.union_edges <= stats.total_edges);
+        if id.has_ground_truth() {
+            assert!(!ds.ground_truth.is_empty());
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_core_validity_for_a_module_dataset() {
+    let ds = generate(DatasetId::Ppi, Scale::Tiny);
+    let params = DccsParams::new(2, 3, 5);
+    let gd = greedy_dccs(&ds.graph, &params);
+    let bu = bottom_up_dccs(&ds.graph, &params);
+    let td = top_down_dccs(&ds.graph, &params);
+    for result in [&gd, &bu, &td] {
+        assert!(result.cover_size() > 0, "planted modules must be detectable");
+        for core in &result.cores {
+            assert_eq!(core.layers.len(), params.s);
+            assert!(coreness::is_d_dense_multilayer(&ds.graph, &core.layers, &core.vertices, params.d));
+        }
+    }
+    // The three covers are comparable in size (all are constant-factor
+    // approximations of the same objective).
+    let max = gd.cover_size().max(bu.cover_size()).max(td.cover_size());
+    assert!(4 * bu.cover_size() >= max);
+    assert!(4 * td.cover_size() >= max);
+    assert!(gd.cover_size() * 5 >= max * 3); // greedy is at least (1 - 1/e)
+}
+
+#[test]
+fn search_algorithms_examine_fewer_candidates_than_greedy() {
+    let ds = generate(DatasetId::German, Scale::Tiny);
+    let l = ds.graph.num_layers();
+    // Small s: BU-DCCS explores a pruned subtree of the C(l, s) candidates.
+    let params = DccsParams::new(3, 3, 10);
+    let gd = greedy_dccs(&ds.graph, &params);
+    let bu = bottom_up_dccs(&ds.graph, &params);
+    assert!(bu.stats.candidates_generated <= gd.stats.candidates_generated);
+    // Large s: TD-DCCS explores far fewer candidates than greedy.
+    let params = DccsParams::new(3, l - 2, 10);
+    let gd = greedy_dccs(&ds.graph, &params);
+    let td = top_down_dccs(&ds.graph, &params);
+    assert!(td.stats.candidates_generated <= gd.stats.candidates_generated);
+}
+
+#[test]
+fn planted_modules_are_recovered_on_their_layers() {
+    // Strongly planted modules must appear inside the d-CC of their layers.
+    let ds = generate(DatasetId::Ppi, Scale::Full);
+    let params = DccsParams::new(2, 4, 15);
+    let bu = bottom_up_dccs(&ds.graph, &params);
+    // At least half of the planted complexes are fully covered by the result
+    // cover (they are planted with density 0.9 on 5 of 8 layers).
+    let fully_covered = ds
+        .ground_truth
+        .modules
+        .iter()
+        .filter(|m| m.iter().all(|&v| bu.cover.contains(v)))
+        .count();
+    assert!(
+        2 * fully_covered >= ds.ground_truth.len(),
+        "only {fully_covered}/{} planted complexes covered",
+        ds.ground_truth.len()
+    );
+}
+
+#[test]
+fn cover_size_shrinks_as_s_and_d_grow() {
+    // The optimum cover is monotone non-increasing in both s and d
+    // (Properties 2–3); the approximation algorithms track that trend. The
+    // endpoints of the sweep are far enough apart that the trend must be
+    // visible even through the 1/4-approximation.
+    let ds = generate(DatasetId::Author, Scale::Tiny);
+    let k = 10;
+    let loose_s = bottom_up_dccs(&ds.graph, &DccsParams::new(2, 1, k)).cover_size();
+    let tight_s = bottom_up_dccs(&ds.graph, &DccsParams::new(2, 5, k)).cover_size();
+    assert!(tight_s <= loose_s, "cover grew when s grew: {tight_s} > {loose_s}");
+    let loose_d = bottom_up_dccs(&ds.graph, &DccsParams::new(1, 2, k)).cover_size();
+    let tight_d = bottom_up_dccs(&ds.graph, &DccsParams::new(5, 2, k)).cover_size();
+    assert!(tight_d <= loose_d, "cover grew when d grew: {tight_d} > {loose_d}");
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_dccs_results() {
+    let ds = generate(DatasetId::Ppi, Scale::Tiny);
+    let mut buffer = Vec::new();
+    mlgraph::io::write_edge_list(&ds.graph, &mut buffer).unwrap();
+    let reloaded = mlgraph::io::edge_list::parse_edge_list(std::io::Cursor::new(buffer)).unwrap();
+    assert_eq!(reloaded.num_vertices(), ds.graph.num_vertices());
+    assert_eq!(reloaded.total_edges(), ds.graph.total_edges());
+    let params = DccsParams::new(2, 2, 5);
+    // Vertex ids may be permuted by label interning, so compare cover sizes.
+    let original = bottom_up_dccs(&ds.graph, &params).cover_size();
+    let roundtripped = bottom_up_dccs(&reloaded, &params).cover_size();
+    assert_eq!(original, roundtripped);
+}
