@@ -10,8 +10,7 @@ fn random_cores(n: usize, count: usize, core_size: usize, seed: u64) -> Vec<Cohe
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..count)
         .map(|i| {
-            let vertices: Vec<u32> =
-                (0..core_size).map(|_| rng.gen_range(0..n as u32)).collect();
+            let vertices: Vec<u32> = (0..core_size).map(|_| rng.gen_range(0..n as u32)).collect();
             CoherentCore::new(vec![i % 8], VertexSet::from_iter(n, vertices))
         })
         .collect()

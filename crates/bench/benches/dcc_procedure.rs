@@ -40,5 +40,40 @@ fn bench_dcc_with_and_without_lemma1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dcc_by_layer_count, bench_dcc_with_and_without_lemma1);
+/// Engine vs. naive: the workspace-backed peel (scratch reused across calls)
+/// against the pre-refactor per-call-allocating reference implementation.
+fn bench_dcc_engine_vs_naive(c: &mut Criterion) {
+    let g = wiki_like();
+    let all = g.full_vertex_set();
+    let mut group = c.benchmark_group("dcc_engine_vs_naive");
+    for s in [2usize, 4] {
+        let layers: Vec<usize> = (0..s).collect();
+        group.bench_with_input(BenchmarkId::new("engine", s), &layers, |b, layers| {
+            let mut ws = coreness::PeelWorkspace::new();
+            let mut out = mlgraph::VertexSet::new(g.num_vertices());
+            b.iter(|| {
+                coreness::d_coherent_core_in(
+                    &mut ws,
+                    &g,
+                    std::hint::black_box(layers),
+                    3,
+                    &all,
+                    &mut out,
+                );
+                out.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", s), &layers, |b, layers| {
+            b.iter(|| coreness::d_coherent_core_naive(&g, std::hint::black_box(layers), 3, &all));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dcc_by_layer_count,
+    bench_dcc_with_and_without_lemma1,
+    bench_dcc_engine_vs_naive
+);
 criterion_main!(benches);

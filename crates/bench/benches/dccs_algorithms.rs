@@ -37,5 +37,55 @@ fn bench_parallel_greedy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_small_s, bench_large_s, bench_parallel_greedy);
+/// Greedy candidate generation: the subset-lattice engine (prefix-seeded
+/// peels on a reused workspace) against the pre-refactor path (per-subset
+/// core intersection + from-scratch allocating peel).
+fn bench_candidate_generation(c: &mut Criterion) {
+    let ds = generate(DatasetId::Wiki, Scale::Tiny);
+    let mut group = c.benchmark_group("greedy_candidate_generation");
+    group.sample_size(20);
+    for s in [2usize, 3] {
+        let params = DccsParams::new(3, s, 10);
+        let pre = dccs::preprocess::preprocess(&ds.graph, &params, &dccs::DccsOptions::default());
+        group.bench_function(&format!("engine/s{s}"), |b| {
+            let mut ws = coreness::PeelWorkspace::new();
+            b.iter(|| {
+                let mut emitted = 0usize;
+                dccs::for_each_subset_core(
+                    &ds.graph,
+                    params.d,
+                    params.s,
+                    &pre.layer_cores,
+                    &mut ws,
+                    |_, core| emitted += core.len(),
+                );
+                emitted
+            });
+        });
+        group.bench_function(&format!("naive/s{s}"), |b| {
+            b.iter(|| {
+                let mut emitted = 0usize;
+                for subset in dccs::layer_subsets::combinations(ds.graph.num_layers(), params.s) {
+                    let mut candidate = pre.layer_cores[subset[0]].clone();
+                    for &i in &subset[1..] {
+                        candidate.intersect_with(&pre.layer_cores[i]);
+                    }
+                    let core =
+                        coreness::d_coherent_core_naive(&ds.graph, &subset, params.d, &candidate);
+                    emitted += core.len();
+                }
+                emitted
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_small_s,
+    bench_large_s,
+    bench_parallel_greedy,
+    bench_candidate_generation
+);
 criterion_main!(benches);

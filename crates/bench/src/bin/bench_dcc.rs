@@ -1,0 +1,79 @@
+//! Records the `dCC` engine-vs-naive baseline as `BENCH_dcc.json`.
+//!
+//! ```text
+//! bench_dcc [--scale tiny|small|full] [--runs N] [--out PATH]
+//! ```
+//!
+//! The engine path (subset-lattice candidate generation on a reused
+//! `PeelWorkspace`) is compared against the pre-refactor path (per-subset
+//! core intersection + allocating peel) on the Wiki and German analogues;
+//! per-configuration timings and the geometric-mean speedup are printed and
+//! written as JSON.
+
+use datasets::Scale;
+use dccs_bench::dcc_baseline::{baseline_suite, suite_to_json};
+
+const USAGE: &str = "usage: bench_dcc [--scale tiny|small|full] [--runs N] [--out PATH]";
+
+fn main() {
+    let mut scale = Scale::Tiny;
+    let mut runs = 5usize;
+    let mut out_path = String::from("BENCH_dcc.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--scale" => {
+                let value = args.next().unwrap_or_default();
+                scale = match Scale::parse(&value) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("unknown scale `{value}`\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--runs" => {
+                let value = args.next().unwrap_or_default();
+                runs = match value.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--runs needs a number\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or(out_path);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let comparisons = baseline_suite(scale, runs);
+    for c in &comparisons {
+        println!(
+            "{:>8} d={} s={} candidates={:>4}  engine {:>10.6}s  naive {:>10.6}s  speedup {:>5.2}x",
+            c.dataset,
+            c.d,
+            c.s,
+            c.candidates,
+            c.engine_secs,
+            c.naive_secs,
+            c.speedup()
+        );
+    }
+    let json = suite_to_json(scale, runs, &comparisons);
+    let text = serde_json::to_string_pretty(&json);
+    if let Err(err) = std::fs::write(&out_path, text + "\n") {
+        eprintln!("failed to write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    println!("[bench] wrote {out_path}");
+}

@@ -14,9 +14,10 @@ fn main() {
     let args = ExperimentArgs::from_env(USAGE);
     let ids = args.datasets_or(&all_datasets());
 
-    let mut paper = Table::new("Fig. 12 (paper) dataset statistics", &[
-        "Graph", "|V(G)|", "sum |E(Gi)|", "|union E(Gi)|", "l(G)",
-    ]);
+    let mut paper = Table::new(
+        "Fig. 12 (paper) dataset statistics",
+        &["Graph", "|V(G)|", "sum |E(Gi)|", "|union E(Gi)|", "l(G)"],
+    );
     for id in &ids {
         let spec = id.spec();
         paper.add_row(&[

@@ -32,8 +32,10 @@ fn main() {
             let sampled = sample_vertices(g, p, SAMPLE_SEED).expect("valid fraction");
             let small_s = ParameterGrid::DEFAULT_SMALL_S.min(sampled.num_layers());
             let large_s = ParameterGrid::default_large_s(sampled.num_layers());
-            let small = DccsParams::new(ParameterGrid::DEFAULT_D, small_s, ParameterGrid::DEFAULT_K);
-            let large = DccsParams::new(ParameterGrid::DEFAULT_D, large_s, ParameterGrid::DEFAULT_K);
+            let small =
+                DccsParams::new(ParameterGrid::DEFAULT_D, small_s, ParameterGrid::DEFAULT_K);
+            let large =
+                DccsParams::new(ParameterGrid::DEFAULT_D, large_s, ParameterGrid::DEFAULT_K);
             let gd_s = run_algorithm(Algorithm::Greedy, &sampled, &small, &opts);
             let bu_s = run_algorithm(Algorithm::BottomUp, &sampled, &small, &opts);
             let gd_l = run_algorithm(Algorithm::Greedy, &sampled, &large, &opts);
@@ -59,8 +61,10 @@ fn main() {
             let l = sampled.num_layers();
             let small_s = ParameterGrid::DEFAULT_SMALL_S.min(l);
             let large_s = ParameterGrid::default_large_s(l);
-            let small = DccsParams::new(ParameterGrid::DEFAULT_D, small_s, ParameterGrid::DEFAULT_K);
-            let large = DccsParams::new(ParameterGrid::DEFAULT_D, large_s, ParameterGrid::DEFAULT_K);
+            let small =
+                DccsParams::new(ParameterGrid::DEFAULT_D, small_s, ParameterGrid::DEFAULT_K);
+            let large =
+                DccsParams::new(ParameterGrid::DEFAULT_D, large_s, ParameterGrid::DEFAULT_K);
             let gd_s = run_algorithm(Algorithm::Greedy, &sampled, &small, &opts);
             let bu_s = run_algorithm(Algorithm::BottomUp, &sampled, &small, &opts);
             let gd_l = run_algorithm(Algorithm::Greedy, &sampled, &large, &opts);

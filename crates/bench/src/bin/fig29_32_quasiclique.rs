@@ -12,7 +12,9 @@
 //!   in a reported dense subgraph, for MiMAG and BU-DCCS.
 
 use datasets::{generate, DatasetId};
-use dccs::{bottom_up_dccs, complexes_found, containment_distribution, CoverSimilarity, DccsParams};
+use dccs::{
+    bottom_up_dccs, complexes_found, containment_distribution, CoverSimilarity, DccsParams,
+};
 use dccs_bench::table::fmt_secs;
 use dccs_bench::{ExperimentArgs, Table};
 use mlgraph::algo::edge_density_within;

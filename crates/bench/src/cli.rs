@@ -37,12 +37,14 @@ impl ExperimentArgs {
             match arg.as_str() {
                 "--help" | "-h" => return Err(usage.to_string()),
                 "--scale" => {
-                    let value = iter.next().ok_or_else(|| format!("--scale needs a value\n{usage}"))?;
+                    let value =
+                        iter.next().ok_or_else(|| format!("--scale needs a value\n{usage}"))?;
                     out.scale = Scale::parse(&value)
                         .ok_or_else(|| format!("unknown scale `{value}`\n{usage}"))?;
                 }
                 "--csv" => {
-                    let value = iter.next().ok_or_else(|| format!("--csv needs a directory\n{usage}"))?;
+                    let value =
+                        iter.next().ok_or_else(|| format!("--csv needs a directory\n{usage}"))?;
                     out.csv_dir = Some(PathBuf::from(value));
                 }
                 "--datasets" => {

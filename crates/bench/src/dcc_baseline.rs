@@ -1,0 +1,171 @@
+//! Engine-vs-naive baseline measurement for the `dCC` peeling engine,
+//! recorded as `BENCH_dcc.json` by the `bench_dcc` binary.
+//!
+//! Two code paths are compared on a synthetic benchmark graph:
+//!
+//! * **engine** — the subset-lattice candidate generation: prefix-seeded
+//!   peels on a reused [`PeelWorkspace`] (the post-refactor hot path of
+//!   `GD-DCCS`);
+//! * **naive** — the pre-refactor path: per layer subset, intersect the
+//!   memoized per-layer d-cores and run the per-call-allocating reference
+//!   peel [`coreness::d_coherent_core_naive`].
+//!
+//! Both paths produce identical candidate cores (checksummed to make sure);
+//! only the time differs.
+
+use coreness::PeelWorkspace;
+use datasets::{generate, Dataset, DatasetId, Scale};
+use dccs::layer_subsets::combinations;
+use dccs::preprocess::preprocess;
+use dccs::{DccsOptions, DccsParams};
+use serde_json::Value;
+use std::time::Instant;
+
+/// One engine-vs-naive comparison at fixed `(dataset, d, s)`.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Dataset analogue name.
+    pub dataset: String,
+    /// Degree threshold.
+    pub d: u32,
+    /// Layer-subset size.
+    pub s: usize,
+    /// `C(l, s)` candidates generated per run.
+    pub candidates: usize,
+    /// Best-of-N wall time of the lattice + workspace engine, seconds.
+    pub engine_secs: f64,
+    /// Best-of-N wall time of the pre-refactor path, seconds.
+    pub naive_secs: f64,
+    /// Checksum over emitted cores (must match between the two paths).
+    pub checksum: u64,
+}
+
+impl Comparison {
+    /// `naive_secs / engine_secs`.
+    pub fn speedup(&self) -> f64 {
+        self.naive_secs / self.engine_secs
+    }
+
+    /// Renders the comparison as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("d", Value::from(self.d)),
+            ("s", Value::from(self.s)),
+            ("candidates", Value::from(self.candidates)),
+            ("engine_secs", Value::from(self.engine_secs)),
+            ("naive_secs", Value::from(self.naive_secs)),
+            ("speedup", Value::from(self.speedup())),
+        ])
+    }
+}
+
+fn best_of<F: FnMut() -> u64>(runs: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        checksum = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, checksum)
+}
+
+/// Measures engine vs naive candidate generation on `ds` at `(d, s)`,
+/// taking the best of `runs` timed repetitions per path.
+///
+/// # Panics
+///
+/// Panics if the two paths emit different cores (they never should; this is
+/// the bench double-checking the equivalence the property tests prove).
+pub fn compare_candidate_generation(ds: &Dataset, d: u32, s: usize, runs: usize) -> Comparison {
+    let params = DccsParams::new(d, s, 10);
+    let pre = preprocess(&ds.graph, &params, &DccsOptions::default());
+    let l = ds.graph.num_layers();
+
+    let mut ws = PeelWorkspace::new();
+    let (engine_secs, engine_sum) = best_of(runs, || {
+        let mut checksum = 0u64;
+        dccs::for_each_subset_core(&ds.graph, d, s, &pre.layer_cores, &mut ws, |_, core| {
+            for v in core.iter() {
+                checksum = checksum.wrapping_mul(31).wrapping_add(v as u64 + 1);
+            }
+        });
+        checksum
+    });
+
+    let (naive_secs, naive_sum) = best_of(runs, || {
+        let mut checksum = 0u64;
+        for subset in combinations(l, s) {
+            let mut candidate = pre.layer_cores[subset[0]].clone();
+            for &i in &subset[1..] {
+                candidate.intersect_with(&pre.layer_cores[i]);
+            }
+            let core = coreness::d_coherent_core_naive(&ds.graph, &subset, d, &candidate);
+            for v in core.iter() {
+                checksum = checksum.wrapping_mul(31).wrapping_add(v as u64 + 1);
+            }
+        }
+        checksum
+    });
+
+    assert_eq!(engine_sum, naive_sum, "engine and naive paths disagree on the emitted cores");
+    Comparison {
+        dataset: format!("{:?}", ds.id),
+        d,
+        s,
+        candidates: combinations(l, s).count(),
+        engine_secs,
+        naive_secs,
+        checksum: engine_sum,
+    }
+}
+
+/// The standard baseline suite recorded in `BENCH_dcc.json`: the Wiki and
+/// German analogues at the bench scale, over a small `(d, s)` grid.
+pub fn baseline_suite(scale: Scale, runs: usize) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for id in [DatasetId::Wiki, DatasetId::German] {
+        let ds = generate(id, scale);
+        for (d, s) in [(3u32, 2usize), (3, 3), (2, 2)] {
+            if s <= ds.graph.num_layers() {
+                out.push(compare_candidate_generation(&ds, d, s, runs));
+            }
+        }
+    }
+    out
+}
+
+/// Renders a suite as the `BENCH_dcc.json` document.
+pub fn suite_to_json(scale: Scale, runs: usize, comparisons: &[Comparison]) -> Value {
+    let geomean = if comparisons.is_empty() {
+        1.0
+    } else {
+        let log_sum: f64 = comparisons.iter().map(|c| c.speedup().ln()).sum();
+        (log_sum / comparisons.len() as f64).exp()
+    };
+    Value::object(vec![
+        ("benchmark", Value::from("dcc_candidate_generation_engine_vs_naive")),
+        ("scale", Value::from(format!("{scale:?}"))),
+        ("runs_per_measurement", Value::from(runs)),
+        ("geomean_speedup", Value::from(geomean)),
+        ("comparisons", Value::Array(comparisons.iter().map(Comparison::to_json).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_and_naive_agree_and_record_json() {
+        let ds = generate(DatasetId::German, Scale::Tiny);
+        let cmp = compare_candidate_generation(&ds, 2, 2, 1);
+        assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
+        assert!(cmp.candidates > 0);
+        let json = suite_to_json(Scale::Tiny, 1, &[cmp]);
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"geomean_speedup\""));
+        assert!(text.contains("\"dataset\": \"German\""));
+    }
+}

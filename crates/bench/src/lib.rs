@@ -6,6 +6,8 @@
 //! recorded outputs).
 //!
 //! * [`sweeps`] — the parameter grid of Fig. 13.
+//! * [`dcc_baseline`] — engine-vs-naive measurement of the peeling engine,
+//!   recorded as `BENCH_dcc.json` by the `bench_dcc` binary.
 //! * [`runner`] — uniform invocation of the three DCCS algorithms with
 //!   timing and search statistics.
 //! * [`table`] — plain-text table rendering and CSV emission.
@@ -15,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod dcc_baseline;
 pub mod runner;
 pub mod sweeps;
 pub mod table;

@@ -1,8 +1,8 @@
 //! Uniform invocation of the three DCCS algorithms.
 
 use dccs::{
-    bottom_up_dccs_with_options, greedy_dccs_with_options, top_down_dccs_with_options,
-    DccsOptions, DccsParams, DccsResult,
+    bottom_up_dccs_with_options, greedy_dccs_with_options, top_down_dccs_with_options, DccsOptions,
+    DccsParams, DccsResult,
 };
 use mlgraph::MultiLayerGraph;
 use std::time::Duration;

@@ -38,7 +38,11 @@ impl ParameterGrid {
     /// Large-`s` values for a graph with `l` layers:
     /// `{l-4, l-3, l-2, l-1, l}` (Fig. 13).
     pub fn large_s(num_layers: usize) -> Vec<usize> {
-        (0..5).rev().filter_map(|offset| num_layers.checked_sub(offset)).filter(|&s| s >= 1).collect()
+        (0..5)
+            .rev()
+            .filter_map(|offset| num_layers.checked_sub(offset))
+            .filter(|&s| s >= 1)
+            .collect()
     }
 
     /// Default large `s` for a graph with `l` layers: `l − 2` (Fig. 13).

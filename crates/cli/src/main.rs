@@ -100,9 +100,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 out.d = value("-d")?.parse().map_err(|_| CliError("-d must be a number".into()))?
             }
             "-s" => {
-                out.s = Some(
-                    value("-s")?.parse().map_err(|_| CliError("-s must be a number".into()))?,
-                )
+                out.s =
+                    Some(value("-s")?.parse().map_err(|_| CliError("-s must be a number".into()))?)
             }
             "-k" => {
                 out.k = value("-k")?.parse().map_err(|_| CliError("-k must be a number".into()))?
@@ -154,7 +153,11 @@ fn cmd_stats(opts: &Options) -> Result<(), CliError> {
     for layer in &stats.layers {
         println!(
             "  layer {:>3} ({}): edges={} active={} max_deg={} avg_deg={:.2}",
-            layer.layer, layer.name, layer.num_edges, layer.active_vertices, layer.max_degree,
+            layer.layer,
+            layer.name,
+            layer.num_edges,
+            layer.active_vertices,
+            layer.max_degree,
             layer.avg_degree
         );
     }
@@ -261,8 +264,19 @@ mod tests {
     #[test]
     fn parses_flags() {
         let o = opts(&[
-            "--dataset", "ppi", "--scale", "tiny", "-d", "3", "-s", "2", "-k", "5",
-            "--algorithm", "td", "--no-vd",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "3",
+            "-s",
+            "2",
+            "-k",
+            "5",
+            "--algorithm",
+            "td",
+            "--no-vd",
         ])
         .unwrap();
         assert_eq!(o.dataset, Some(DatasetId::Ppi));
@@ -293,20 +307,22 @@ mod tests {
 
     #[test]
     fn end_to_end_run_on_tiny_dataset() {
-        let args: Vec<String> = ["run", "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["run", "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         assert!(run(&args).is_ok());
     }
 
     #[test]
     fn end_to_end_compare_and_stats() {
         for cmd in ["compare", "stats"] {
-            let args: Vec<String> = [cmd, "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+            let args: Vec<String> =
+                [cmd, "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
             assert!(run(&args).is_ok(), "command {cmd} failed");
         }
     }
@@ -323,8 +339,10 @@ mod tests {
                 .map(|s| s.to_string())
                 .collect();
         assert!(run(&args).is_ok());
-        let args: Vec<String> =
-            ["run", "--input", &path_str, "-d", "2", "-s", "2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["run", "--input", &path_str, "-d", "2", "-s", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(run(&args).is_ok());
         std::fs::remove_file(path).ok();
     }

@@ -79,10 +79,7 @@ pub fn analyze_cores(num_vertices: usize, cores: &[CoherentCore]) -> OverlapRepo
             core.vertices
                 .iter()
                 .filter(|&v| {
-                    cores
-                        .iter()
-                        .enumerate()
-                        .all(|(j, other)| j == i || !other.vertices.contains(v))
+                    cores.iter().enumerate().all(|(j, other)| j == i || !other.vertices.contains(v))
                 })
                 .count()
         })

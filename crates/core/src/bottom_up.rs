@@ -20,7 +20,7 @@ use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
 use crate::preprocess::{init_topk, preprocess};
 use crate::result::{CoherentCore, DccsResult, SearchStats};
-use coreness::d_coherent_core;
+use coreness::PeelWorkspace;
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
 use std::time::Instant;
 
@@ -49,8 +49,7 @@ pub fn bottom_up_dccs_with_options(
 
     // Positions in the search tree follow the sorted layer order.
     let order = pre.bottom_up_layer_order(opts);
-    let cores_by_pos: Vec<VertexSet> =
-        order.iter().map(|&i| pre.layer_cores[i].clone()).collect();
+    let cores_by_pos: Vec<VertexSet> = order.iter().map(|&i| pre.layer_cores[i].clone()).collect();
 
     let mut ctx = BuContext {
         g,
@@ -58,6 +57,7 @@ pub fn bottom_up_dccs_with_options(
         opts,
         order: &order,
         cores_by_pos: &cores_by_pos,
+        ws: PeelWorkspace::with_capacity(g.num_vertices(), params.s),
         topk,
         stats,
     };
@@ -78,6 +78,8 @@ struct BuContext<'a> {
     order: &'a [Layer],
     /// Position → per-layer d-core (restricted to the active vertex set).
     cores_by_pos: &'a [VertexSet],
+    /// Shared peeling scratch: every `dCC` call in the search borrows it.
+    ws: PeelWorkspace,
     topk: TopKDiversified,
     stats: SearchStats,
 }
@@ -105,7 +107,7 @@ impl BuContext<'_> {
         }
         if !candidate.is_empty() {
             let layers = self.layers_of(&child_positions);
-            candidate = d_coherent_core(self.g, &layers, self.params.d, &candidate);
+            self.ws.peel_in_place(self.g, &layers, self.params.d, &mut candidate);
         }
         (child_positions, candidate)
     }
@@ -136,10 +138,8 @@ impl BuContext<'_> {
             }
         } else {
             // Lines 10–22: order children by |C_L ∩ C^d(G_j)| and prune.
-            let mut ordered: Vec<(usize, usize)> = lp
-                .iter()
-                .map(|&j| (j, c_l.intersection_len(&self.cores_by_pos[j])))
-                .collect();
+            let mut ordered: Vec<(usize, usize)> =
+                lp.iter().map(|&j| (j, c_l.intersection_len(&self.cores_by_pos[j]))).collect();
             ordered.sort_by_key(|&(j, size)| (std::cmp::Reverse(size), j));
             for (rank, &(j, upper_bound)) in ordered.iter().enumerate() {
                 if self.opts.order_pruning && self.topk.fails_size_bound(upper_bound) {
@@ -248,10 +248,12 @@ mod tests {
         let g = graph();
         let params = DccsParams::new(2, 2, 1);
         let pruned = bottom_up_dccs(&g, &params);
-        let mut opts = DccsOptions::default();
-        opts.order_pruning = false;
-        opts.layer_pruning = false;
-        opts.init_topk = false;
+        let opts = DccsOptions {
+            order_pruning: false,
+            layer_pruning: false,
+            init_topk: false,
+            ..DccsOptions::default()
+        };
         let unpruned = bottom_up_dccs_with_options(&g, &params, &opts);
         assert_eq!(pruned.cover_size(), unpruned.cover_size());
         assert!(pruned.stats.dcc_calls <= unpruned.stats.dcc_calls);

@@ -95,10 +95,21 @@ impl TopKDiversified {
     /// Materializes `Cov(R)` as a vertex set.
     pub fn cover_set(&self) -> VertexSet {
         let mut cover = VertexSet::new(self.num_vertices);
-        for slot in self.slots.iter().flatten() {
-            cover.union_with(&slot.vertices);
-        }
+        self.cover_set_into(&mut cover);
         cover
+    }
+
+    /// Writes `Cov(R)` into `out` without allocating (steady state): callers
+    /// polling the cover repeatedly reuse one buffer.
+    pub fn cover_set_into(&self, out: &mut VertexSet) {
+        if out.capacity() != self.num_vertices {
+            *out = VertexSet::new(self.num_vertices);
+        } else {
+            out.clear();
+        }
+        for slot in self.slots.iter().flatten() {
+            out.union_with(&slot.vertices);
+        }
     }
 
     /// Iterates over the currently held cores.
@@ -300,7 +311,7 @@ impl TopKDiversified {
                     .iter()
                     .filter(|&v| {
                         self.slots.iter().enumerate().all(|(i, s)| {
-                            i == j || s.as_ref().map_or(true, |c| !c.vertices.contains(v))
+                            i == j || s.as_ref().is_none_or(|c| !c.vertices.contains(v))
                         })
                     })
                     .count(),

@@ -8,10 +8,10 @@
 //! is computed inside the intersection of per-layer d-cores.
 
 use crate::config::{DccsOptions, DccsParams};
-use crate::layer_subsets::combinations;
+use crate::lattice::for_each_subset_core;
 use crate::preprocess::{preprocess, Preprocessed};
 use crate::result::{CoherentCore, DccsResult, SearchStats};
-use coreness::d_coherent_core;
+use coreness::PeelWorkspace;
 use mlgraph::{MultiLayerGraph, VertexSet};
 use std::time::Instant;
 
@@ -40,29 +40,25 @@ pub fn greedy_dccs_with_options(
 }
 
 /// Generates the full candidate set `F_{d,s}(G)` (lines 2–7 of Fig. 2).
+///
+/// Candidates are produced by the subset-lattice engine
+/// ([`for_each_subset_core`]): each subset's peel is seeded from its parent
+/// prefix's already-peeled d-CC (Lemma 1) on a reused [`PeelWorkspace`], so
+/// steady-state candidate generation only allocates the emitted core sets.
 pub(crate) fn generate_all_candidates(
     g: &MultiLayerGraph,
     params: &DccsParams,
     pre: &Preprocessed,
     stats: &mut SearchStats,
 ) -> Vec<CoherentCore> {
-    let l = g.num_layers();
+    let mut ws = PeelWorkspace::new();
     let mut all = Vec::new();
-    for subset in combinations(l, params.s) {
-        // Lemma 1: restrict to the intersection of the per-layer d-cores.
-        let mut candidate_set = pre.layer_cores[subset[0]].clone();
-        for &i in &subset[1..] {
-            candidate_set.intersect_with(&pre.layer_cores[i]);
-        }
-        stats.dcc_calls += 1;
-        stats.candidates_generated += 1;
-        let core_set = if candidate_set.is_empty() {
-            candidate_set
-        } else {
-            d_coherent_core(g, &subset, params.d, &candidate_set)
-        };
-        all.push(CoherentCore::new(subset, core_set));
-    }
+    let lattice =
+        for_each_subset_core(g, params.d, params.s, &pre.layer_cores, &mut ws, |subset, core| {
+            all.push(CoherentCore::new(subset.to_vec(), core.clone()));
+        });
+    stats.candidates_generated += lattice.candidates;
+    stats.dcc_calls += lattice.peels;
     all
 }
 
@@ -83,7 +79,8 @@ pub(crate) fn select_greedy(
             .iter()
             .enumerate()
             .map(|(idx, core)| {
-                let gain = core.vertices.iter().filter(|&v| !cover.contains(v)).count();
+                // Word-level marginal gain: |C| − |C ∩ Cov(R)|.
+                let gain = core.vertices.len() - core.vertices.intersection_len(&cover);
                 (idx, gain)
             })
             .max_by_key(|&(idx, gain)| (gain, std::cmp::Reverse(idx)))

@@ -104,8 +104,14 @@ impl VertexIndex {
                     for i in 0..l {
                         if core_member[i].contains(v) {
                             remove_from_core(
-                                g, d, i, v, &mut core_member[i], &mut core_degree[i],
-                                &mut support, &removed,
+                                g,
+                                d,
+                                i,
+                                v,
+                                &mut core_member[i],
+                                &mut core_degree[i],
+                                &mut support,
+                                &removed,
                             );
                         }
                     }

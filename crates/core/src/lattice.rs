@@ -1,0 +1,457 @@
+//! Subset-lattice candidate generation with Lemma-1 prefix reuse.
+//!
+//! `GD-DCCS` needs the d-CC of every layer subset of size `s`. The naive
+//! path computes each one independently: intersect the `s` per-layer d-cores
+//! and peel the intersection from scratch, rescanning the adjacency of every
+//! candidate on **all** `s` layers and allocating fresh degree arrays per
+//! subset. This module instead walks the subset lattice depth-first in
+//! lexicographic order, keeping per-level state that children inherit:
+//!
+//! * **Exact prefix cores** — by Lemma 1 (`C_{L'} ⊆ C_L` for `L ⊆ L'`), the
+//!   d-CC of a child subset `L ∪ {j}` is contained in `C_L ∩ C_{{j}}`, so
+//!   each peel starts from the parent's already-peeled core, and a prefix
+//!   that peels to the empty set proves every completion empty without
+//!   touching the graph.
+//! * **Inherited degree arrays** — every level stores the exact
+//!   within-core degree of each member on each prefix layer. A child copies
+//!   the parent's arrays (one `memcpy` per prefix layer), subtracts the
+//!   contributions of the vertices lost in the intersection, and scans the
+//!   adjacency of **only the one newly added layer** before cascading. The
+//!   naive path's per-subset `Σ_{v} deg(v)` scan over all `s` layers
+//!   collapses to a single-layer scan plus removal-proportional updates.
+//! * **Memoized single-layer cores** — depth-0 prefixes reuse the d-cores
+//!   computed during preprocessing
+//!   ([`crate::preprocess::Preprocessed::layer_cores`]) and are never
+//!   re-peeled.
+//!
+//! Cascade scratch comes from one [`PeelWorkspace`] and all level state is
+//! allocated once per run, so the steady state allocates nothing beyond the
+//! candidate cores the caller chooses to keep.
+
+use coreness::PeelWorkspace;
+use mlgraph::{DenseSubgraph, Layer, MultiLayerGraph, VertexSet};
+
+/// Word budget for the dense re-indexed adjacency (64 MiB of `u64` rows).
+/// Universes needing more fall back to the CSR-scan engine.
+const DENSE_WORD_BUDGET: usize = 8 << 20;
+
+/// Work counters reported by [`for_each_subset_core`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatticeStats {
+    /// Layer subsets of size `s` emitted (always `C(l, s)`).
+    pub candidates: usize,
+    /// Cascade peels performed (internal prefixes + leaves).
+    pub peels: usize,
+    /// Size-`s` subsets emitted as empty without peeling because an
+    /// ancestor prefix already proved them empty.
+    pub empty_skipped: usize,
+}
+
+/// Enumerates every layer subset of size `s` over `0..l` in lexicographic
+/// order and calls `emit(subset, core)` with the exact d-CC of each subset,
+/// computed incrementally down the subset lattice (see the module docs).
+///
+/// `layer_cores[i]` must be `C_{{i}}^d` restricted to whatever candidate
+/// universe the caller wants (the preprocessing's active set); all sets must
+/// share the graph's vertex capacity.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or `s > l`, or if `layer_cores` does not have one
+/// entry per layer.
+pub fn for_each_subset_core<F>(
+    g: &MultiLayerGraph,
+    d: u32,
+    s: usize,
+    layer_cores: &[VertexSet],
+    ws: &mut PeelWorkspace,
+    emit: F,
+) -> LatticeStats
+where
+    F: FnMut(&[Layer], &VertexSet),
+{
+    let l = g.num_layers();
+    assert!(s >= 1 && s <= l, "subset size s={s} out of range for {l} layers");
+    assert_eq!(layer_cores.len(), l, "one memoized d-core per layer required");
+    let n = g.num_vertices();
+
+    // Every candidate lives inside the union of the per-layer d-cores; when
+    // that universe is small enough, re-index it and peel with word-level
+    // adjacency rows instead of CSR scans.
+    if s > 1 {
+        let mut universe = VertexSet::new(n);
+        for core in layer_cores {
+            universe.union_with(core);
+        }
+        if !universe.is_empty()
+            && DenseSubgraph::words_required(universe.len(), l) <= DENSE_WORD_BUDGET
+        {
+            let dense = DenseSubgraph::build(g, &universe);
+            let m = dense.len();
+            let mut cores_m: Vec<VertexSet> = Vec::with_capacity(l);
+            for core in layer_cores {
+                let mut compressed = dense.new_set();
+                dense.compress_into(core, &mut compressed);
+                cores_m.push(compressed);
+            }
+            let mut run = DenseLatticeRun {
+                dense: &dense,
+                d,
+                s,
+                layer_cores_m: &cores_m,
+                ws,
+                emit,
+                subset: Vec::with_capacity(s),
+                cores: (0..s).map(|_| VertexSet::new(m)).collect(),
+                degrees: vec![0u32; s * m],
+                expanded: VertexSet::new(n),
+                empty: VertexSet::new(n),
+                stats: LatticeStats::default(),
+                num_layers: l,
+            };
+            run.descend(0, 0);
+            return run.stats;
+        }
+    }
+
+    let mut run = LatticeRun {
+        g,
+        d,
+        s,
+        layer_cores,
+        ws,
+        emit,
+        subset: Vec::with_capacity(s),
+        cores: (0..s).map(|_| VertexSet::new(n)).collect(),
+        degrees: (0..s).map(|t| vec![0u32; (t + 1) * n]).collect(),
+        removed: VertexSet::new(n),
+        empty: VertexSet::new(n),
+        stats: LatticeStats::default(),
+    };
+    run.descend(0, 0);
+    run.stats
+}
+
+/// The word-level variant of the lattice walk: cores and degree arrays live
+/// in the dense re-indexed universe, and every degree is a
+/// `popcount(row ∧ set)`. Degree arrays are recomputed per node — over the
+/// dense rows that costs `(t+1)·|core|` popcounts, cheaper than any
+/// inheritance bookkeeping — while prefix cores still seed children and
+/// prune empty subtrees exactly as in [`LatticeRun`].
+struct DenseLatticeRun<'a, F> {
+    dense: &'a DenseSubgraph,
+    d: u32,
+    s: usize,
+    layer_cores_m: &'a [VertexSet],
+    ws: &'a mut PeelWorkspace,
+    emit: F,
+    subset: Vec<Layer>,
+    /// `cores[t]`: exact d-CC of the prefix of length `t + 1`, in m-space.
+    cores: Vec<VertexSet>,
+    /// One shared `s·m` degree buffer (recomputed per node before cascading).
+    degrees: Vec<u32>,
+    /// Reused n-space buffer for emitted candidates.
+    expanded: VertexSet,
+    /// Shared n-space empty set for pruned subtrees.
+    empty: VertexSet,
+    stats: LatticeStats,
+    num_layers: usize,
+}
+
+impl<F: FnMut(&[Layer], &VertexSet)> DenseLatticeRun<'_, F> {
+    fn descend(&mut self, depth: usize, start: Layer) {
+        let l = self.num_layers;
+        let m = self.dense.len();
+        let last = l - (self.s - depth) + 1;
+        for j in start..last {
+            self.subset.push(j);
+            if depth == 0 {
+                // Memoized single-layer core: no peel needed at the root.
+                self.cores[0].copy_from(&self.layer_cores_m[j]);
+                self.descend(1, j + 1);
+            } else {
+                let (head, tail) = self.cores.split_at_mut(depth);
+                let parent = &head[depth - 1];
+                let child = &mut tail[0];
+                child.assign_intersection(parent, &self.layer_cores_m[j]);
+                if !child.is_empty() {
+                    // Fresh word-level degrees for every prefix layer in one
+                    // pass over the members, then one cascade.
+                    for v in child.iter() {
+                        for (t, &layer) in self.subset.iter().enumerate() {
+                            self.degrees[t * m + v as usize] =
+                                self.dense.degree_within(layer, v, child) as u32;
+                        }
+                    }
+                    self.ws.cascade_dense(
+                        self.dense,
+                        &self.subset,
+                        self.d,
+                        child,
+                        &mut self.degrees,
+                    );
+                    self.stats.peels += 1;
+                }
+                if depth + 1 == self.s {
+                    self.stats.candidates += 1;
+                    if self.cores[depth].is_empty() {
+                        (self.emit)(&self.subset, &self.empty);
+                    } else {
+                        self.dense.expand_into(&self.cores[depth], &mut self.expanded);
+                        (self.emit)(&self.subset, &self.expanded);
+                    }
+                } else if self.cores[depth].is_empty() {
+                    self.emit_empty_completions(depth + 1, j + 1);
+                } else {
+                    self.descend(depth + 1, j + 1);
+                }
+            }
+            self.subset.pop();
+        }
+    }
+
+    fn emit_empty_completions(&mut self, depth: usize, start: Layer) {
+        let l = self.num_layers;
+        if depth == self.s {
+            self.stats.candidates += 1;
+            self.stats.empty_skipped += 1;
+            (self.emit)(&self.subset, &self.empty);
+            return;
+        }
+        let last = l - (self.s - depth) + 1;
+        for j in start..last {
+            self.subset.push(j);
+            self.emit_empty_completions(depth + 1, j + 1);
+            self.subset.pop();
+        }
+    }
+}
+
+struct LatticeRun<'a, F> {
+    g: &'a MultiLayerGraph,
+    d: u32,
+    s: usize,
+    layer_cores: &'a [VertexSet],
+    ws: &'a mut PeelWorkspace,
+    emit: F,
+    /// The current prefix subset (original layer indices, ascending).
+    subset: Vec<Layer>,
+    /// `cores[t]` holds the exact d-CC of the prefix of length `t + 1`.
+    cores: Vec<VertexSet>,
+    /// `degrees[t][j*n + v]`: degree of `v` inside `cores[t]` on the j-th
+    /// prefix layer, exact for every member of `cores[t]`.
+    degrees: Vec<Vec<u32>>,
+    /// Scratch: vertices lost when intersecting parent core with a layer core.
+    removed: VertexSet,
+    /// Shared empty set handed to `emit` for pruned subtrees.
+    empty: VertexSet,
+    stats: LatticeStats,
+}
+
+impl<F: FnMut(&[Layer], &VertexSet)> LatticeRun<'_, F> {
+    /// Visits every extension of the current prefix by layers in
+    /// `start..l`, keeping the lexicographic emission order of the naive
+    /// enumeration (so downstream tie-breaking is unchanged).
+    fn descend(&mut self, depth: usize, start: Layer) {
+        let l = self.g.num_layers();
+        let n = self.g.num_vertices();
+        let last = l - (self.s - depth) + 1;
+        for j in start..last {
+            self.subset.push(j);
+            if depth == 0 {
+                if self.s == 1 {
+                    // Memoized single-layer core: already the exact d-CC of {j}.
+                    self.stats.candidates += 1;
+                    (self.emit)(&self.subset, &self.layer_cores[j]);
+                } else {
+                    self.cores[0].copy_from(&self.layer_cores[j]);
+                    let core = &self.cores[0];
+                    let deg = &mut self.degrees[0][..n];
+                    let csr = self.g.layer(j);
+                    for v in core.iter() {
+                        deg[v as usize] = csr.degree_within(v, core) as u32;
+                    }
+                    self.descend(1, j + 1);
+                }
+            } else {
+                let nonempty = self.make_child(depth, j);
+                if depth + 1 == self.s {
+                    self.stats.candidates += 1;
+                    let core = if nonempty { &self.cores[depth] } else { &self.empty };
+                    (self.emit)(&self.subset, core);
+                } else if nonempty && !self.cores[depth].is_empty() {
+                    self.descend(depth + 1, j + 1);
+                } else {
+                    // Lemma 1: every completion of an empty prefix is empty.
+                    self.emit_empty_completions(depth + 1, j + 1);
+                }
+            }
+            self.subset.pop();
+        }
+    }
+
+    /// Builds level `depth` (prefix `subset[..depth]` extended by layer `j`)
+    /// from level `depth − 1`: intersects the cores, inherits the parent's
+    /// degree arrays adjusted for the vertices lost in the intersection,
+    /// scans only the newly added layer, and cascades. Returns `false` when
+    /// the intersection was already empty (no state was built).
+    fn make_child(&mut self, depth: usize, j: Layer) -> bool {
+        let n = self.g.num_vertices();
+        let (head, tail) = self.cores.split_at_mut(depth);
+        let parent = &head[depth - 1];
+        let child = &mut tail[0];
+        child.assign_intersection(parent, &self.layer_cores[j]);
+        if child.is_empty() {
+            return false;
+        }
+        self.removed.assign_difference(parent, child);
+
+        let (dhead, dtail) = self.degrees.split_at_mut(depth);
+        let parent_deg = &dhead[depth - 1][..depth * n];
+        let child_deg = &mut dtail[0];
+        // Prefix-layer degrees: inherit sparsely from the parent. Only the
+        // entries of surviving members are ever read, so no O(n) copy or
+        // zeroing is needed. When few vertices were lost, patching the
+        // parent's counts by the removed vertices' edges is cheapest; when
+        // the intersection dropped most of the parent, rescanning the (now
+        // small) child is cheaper than walking every removed vertex.
+        if self.removed.len() <= child.len() {
+            for v in child.iter() {
+                let vi = v as usize;
+                for t in 0..depth {
+                    child_deg[t * n + vi] = parent_deg[t * n + vi];
+                }
+            }
+            for v in self.removed.iter() {
+                for (t, &layer) in self.subset[..depth].iter().enumerate() {
+                    for &u in self.g.layer(layer).neighbors(v) {
+                        if child.contains(u) {
+                            child_deg[t * n + u as usize] -= 1;
+                        }
+                    }
+                }
+            }
+        } else {
+            for (t, &layer) in self.subset[..depth].iter().enumerate() {
+                let csr = self.g.layer(layer);
+                for v in child.iter() {
+                    child_deg[t * n + v as usize] = csr.degree_within(v, child) as u32;
+                }
+            }
+        }
+        // The newly added layer always needs a fresh adjacency scan.
+        let csr = self.g.layer(j);
+        for v in child.iter() {
+            child_deg[depth * n + v as usize] = csr.degree_within(v, child) as u32;
+        }
+        self.ws.cascade_in_place(self.g, &self.subset, self.d, child, child_deg);
+        self.stats.peels += 1;
+        true
+    }
+
+    /// Emits the empty core for every size-`s` completion of the current
+    /// prefix, without peeling.
+    fn emit_empty_completions(&mut self, depth: usize, start: Layer) {
+        let l = self.g.num_layers();
+        if depth == self.s {
+            self.stats.candidates += 1;
+            self.stats.empty_skipped += 1;
+            (self.emit)(&self.subset, &self.empty);
+            return;
+        }
+        let last = l - (self.s - depth) + 1;
+        for j in start..last {
+            self.subset.push(j);
+            self.emit_empty_completions(depth + 1, j + 1);
+            self.subset.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DccsOptions, DccsParams};
+    use crate::layer_subsets::combinations;
+    use crate::preprocess::preprocess;
+    use coreness::d_coherent_core_naive;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(14, 4);
+        clique(&mut b, 0, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[4, 5, 6, 7]);
+        clique(&mut b, 2, &[4, 5, 6, 7]);
+        clique(&mut b, 2, &[8, 9, 10]);
+        clique(&mut b, 3, &[8, 9, 10, 11, 12]);
+        b.build()
+    }
+
+    /// The lattice engine must emit, for every subset in lexicographic
+    /// order, exactly what a from-scratch naive peel computes.
+    #[test]
+    fn matches_naive_per_subset_computation() {
+        let g = graph();
+        for (d, s) in [(1u32, 1usize), (2, 1), (2, 2), (3, 2), (2, 3), (3, 3), (2, 4)] {
+            let params = DccsParams::new(d, s, 2);
+            let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
+            let mut ws = PeelWorkspace::new();
+            let mut got: Vec<(Vec<Layer>, Vec<u32>)> = Vec::new();
+            let stats =
+                for_each_subset_core(&g, d, s, &pre.layer_cores, &mut ws, |subset, core| {
+                    got.push((subset.to_vec(), core.to_vec()));
+                });
+            let expected: Vec<(Vec<Layer>, Vec<u32>)> = combinations(g.num_layers(), s)
+                .map(|subset| {
+                    let mut candidate = pre.layer_cores[subset[0]].clone();
+                    for &i in &subset[1..] {
+                        candidate.intersect_with(&pre.layer_cores[i]);
+                    }
+                    let core = d_coherent_core_naive(&g, &subset, d, &candidate);
+                    (subset, core.to_vec())
+                })
+                .collect();
+            assert_eq!(got, expected, "d={d} s={s}");
+            assert_eq!(stats.candidates as u128, crate::layer_subsets::binomial(4, s));
+        }
+    }
+
+    #[test]
+    fn empty_prefixes_skip_peeling() {
+        // Layers with disjoint cliques: every subset mixing them is empty,
+        // and the depth-1 intersection proves it without any cascade.
+        let mut b = MultiLayerGraphBuilder::new(8, 3);
+        clique(&mut b, 0, &[0, 1, 2]);
+        clique(&mut b, 1, &[3, 4, 5]);
+        clique(&mut b, 2, &[0, 1, 2]);
+        let g = b.build();
+        let params = DccsParams::new(2, 3, 1);
+        let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
+        let mut ws = PeelWorkspace::new();
+        let mut emitted = 0usize;
+        let stats = for_each_subset_core(&g, 2, 3, &pre.layer_cores, &mut ws, |_, core| {
+            emitted += 1;
+            assert!(core.is_empty());
+        });
+        assert_eq!(emitted, 1); // C(3,3)
+        assert_eq!(stats.peels, 0, "empty intersection at depth 1 must skip all peels");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_s_panics() {
+        let g = graph();
+        let cores: Vec<VertexSet> = (0..4).map(|_| g.full_vertex_set()).collect();
+        let mut ws = PeelWorkspace::new();
+        for_each_subset_core(&g, 1, 0, &cores, &mut ws, |_, _| {});
+    }
+}

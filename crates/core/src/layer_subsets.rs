@@ -43,7 +43,7 @@ impl Iterator for Combinations {
                 break;
             }
             i -= 1;
-            if self.current[i] + 1 <= self.l - (self.s - i) {
+            if self.current[i] < self.l - (self.s - i) {
                 self.current[i] += 1;
                 for j in (i + 1)..self.s {
                     self.current[j] = self.current[j - 1] + 1;

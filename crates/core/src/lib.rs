@@ -45,6 +45,7 @@ pub mod coverage;
 pub mod exact;
 pub mod greedy;
 pub mod index;
+pub mod lattice;
 pub mod layer_subsets;
 pub mod metrics;
 pub mod parallel;
@@ -59,6 +60,7 @@ pub use config::{DccsOptions, DccsParams};
 pub use coverage::TopKDiversified;
 pub use exact::exact_dccs;
 pub use greedy::{greedy_dccs, greedy_dccs_with_options};
+pub use lattice::{for_each_subset_core, LatticeStats};
 pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
 pub use parallel::parallel_greedy_dccs;
 pub use result::{CoherentCore, DccsResult, SearchStats};

@@ -82,9 +82,7 @@ pub fn complexes_found(complexes: &[Vec<Vertex>], dense_subgraphs: &[VertexSet])
     let found = complexes
         .iter()
         .filter(|complex| {
-            dense_subgraphs
-                .iter()
-                .any(|subgraph| complex.iter().all(|&v| subgraph.contains(v)))
+            dense_subgraphs.iter().any(|subgraph| complex.iter().all(|&v| subgraph.contains(v)))
         })
         .count();
     found as f64 / complexes.len() as f64
@@ -131,10 +129,10 @@ mod tests {
     fn containment_distribution_groups_by_size() {
         let cover = VertexSet::from_iter(20, [0, 1, 2, 3, 4]);
         let subgraphs = vec![
-            vec![0, 1, 2],      // fully inside (3/3)
-            vec![0, 1, 10],     // 2 inside
-            vec![10, 11, 12],   // 0 inside
-            vec![0, 1, 2, 3],   // fully inside (4/4)
+            vec![0, 1, 2],    // fully inside (3/3)
+            vec![0, 1, 10],   // 2 inside
+            vec![10, 11, 12], // 0 inside
+            vec![0, 1, 2, 3], // fully inside (4/4)
         ];
         let dist = containment_distribution(&subgraphs, &cover);
         assert_eq!(dist.len(), 2);
@@ -159,15 +157,13 @@ mod tests {
 
     #[test]
     fn complexes_found_fraction() {
-        let dense = vec![
-            VertexSet::from_iter(20, [0, 1, 2, 3, 4]),
-            VertexSet::from_iter(20, [10, 11, 12]),
-        ];
+        let dense =
+            vec![VertexSet::from_iter(20, [0, 1, 2, 3, 4]), VertexSet::from_iter(20, [10, 11, 12])];
         let complexes = vec![
-            vec![0, 1, 2],    // found in the first subgraph
-            vec![10, 11],     // found in the second
-            vec![3, 10],      // split across subgraphs → not found
-            vec![15, 16],     // absent → not found
+            vec![0, 1, 2], // found in the first subgraph
+            vec![10, 11],  // found in the second
+            vec![3, 10],   // split across subgraphs → not found
+            vec![15, 16],  // absent → not found
         ];
         assert!((complexes_found(&complexes, &dense) - 0.5).abs() < 1e-12);
         assert_eq!(complexes_found(&[], &dense), 0.0);

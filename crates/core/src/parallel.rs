@@ -12,8 +12,8 @@ use crate::greedy::select_greedy;
 use crate::layer_subsets::combinations;
 use crate::preprocess::preprocess;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
-use coreness::d_coherent_core;
-use mlgraph::MultiLayerGraph;
+use coreness::PeelWorkspace;
+use mlgraph::{MultiLayerGraph, VertexSet};
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -46,22 +46,28 @@ pub fn parallel_greedy_dccs(
 
     crossbeam::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= subsets.len() {
-                    break;
+            scope.spawn(|_| {
+                // One workspace and one seed buffer per worker thread: the
+                // per-candidate steady state allocates only the emitted core.
+                let mut ws = PeelWorkspace::new();
+                let mut candidate_set = VertexSet::new(g.num_vertices());
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= subsets.len() {
+                        break;
+                    }
+                    let subset = &subsets[idx];
+                    candidate_set.copy_from(&pre.layer_cores[subset[0]]);
+                    for &i in &subset[1..] {
+                        candidate_set.intersect_with(&pre.layer_cores[i]);
+                    }
+                    if !candidate_set.is_empty() {
+                        ws.peel_in_place(g, subset, params.d, &mut candidate_set);
+                    }
+                    collected
+                        .lock()
+                        .push((idx, CoherentCore::new(subset.clone(), candidate_set.clone())));
                 }
-                let subset = &subsets[idx];
-                let mut candidate_set = pre.layer_cores[subset[0]].clone();
-                for &i in &subset[1..] {
-                    candidate_set.intersect_with(&pre.layer_cores[i]);
-                }
-                let core_set = if candidate_set.is_empty() {
-                    candidate_set
-                } else {
-                    d_coherent_core(g, subset, params.d, &candidate_set)
-                };
-                collected.lock().push((idx, CoherentCore::new(subset.clone(), core_set)));
             });
         }
     })

@@ -13,7 +13,7 @@
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
 use crate::result::CoherentCore;
-use coreness::{d_core_within, d_coherent_core};
+use coreness::{d_coherent_core, d_core_within_into, PeelWorkspace};
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
 
 /// The state produced by preprocessing and consumed by every algorithm.
@@ -59,9 +59,12 @@ impl Preprocessed {
 pub fn preprocess(g: &MultiLayerGraph, params: &DccsParams, opts: &DccsOptions) -> Preprocessed {
     let n = g.num_vertices();
     let l = g.num_layers();
+    let mut ws = PeelWorkspace::with_capacity(n, 1);
     let mut active = g.full_vertex_set();
-    let mut layer_cores: Vec<VertexSet> =
-        (0..l).map(|i| d_core_within(g.layer(i), params.d, &active)).collect();
+    let mut layer_cores: Vec<VertexSet> = vec![VertexSet::new(n); l];
+    for (i, core) in layer_cores.iter_mut().enumerate() {
+        d_core_within_into(&mut ws, g.layer(i), params.d, &active, core);
+    }
     let mut support = compute_support(n, &layer_cores, &active);
 
     let mut deleted = 0usize;
@@ -76,8 +79,11 @@ pub fn preprocess(g: &MultiLayerGraph, params: &DccsParams, opts: &DccsOptions) 
                 active.remove(v);
                 deleted += 1;
             }
-            layer_cores =
-                (0..l).map(|i| d_core_within(g.layer(i), params.d, &active)).collect();
+            // Re-peel every layer core into its existing set: the fixpoint
+            // loop allocates nothing after the first iteration.
+            for (i, core) in layer_cores.iter_mut().enumerate() {
+                d_core_within_into(&mut ws, g.layer(i), params.d, &active, core);
+            }
             support = compute_support(n, &layer_cores, &active);
         }
     }

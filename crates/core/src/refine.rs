@@ -38,8 +38,7 @@ pub fn refine_u(
         let victims: Vec<Vertex> = u
             .iter()
             .filter(|&v| {
-                let support =
-                    class2_layers.iter().filter(|&&j| layer_cores[j].contains(v)).count();
+                let support = class2_layers.iter().filter(|&&j| layer_cores[j].contains(v)).count();
                 support < needed
             })
             .collect();
@@ -48,40 +47,14 @@ pub fn refine_u(
         }
     }
     // Refinement method 1 (peeling): degree ≥ d on every Class-1 layer.
+    // This is exactly a multi-layer threshold peel over the Class-1 layers,
+    // so it borrows the thread-shared peeling workspace.
     if class1_layers.is_empty() || d == 0 {
         return u;
     }
-    let n = g.num_vertices();
-    let mut degrees: Vec<Vec<u32>> = class1_layers
-        .iter()
-        .map(|&i| {
-            let csr = g.layer(i);
-            let mut deg = vec![0u32; n];
-            for v in u.iter() {
-                deg[v as usize] = csr.degree_within(v, &u) as u32;
-            }
-            deg
-        })
-        .collect();
-    let mut queue: Vec<Vertex> =
-        u.iter().filter(|&v| degrees.iter().any(|deg| deg[v as usize] < d)).collect();
-    while let Some(v) = queue.pop() {
-        if !u.remove(v) {
-            continue;
-        }
-        for (j, &i) in class1_layers.iter().enumerate() {
-            for &w in g.layer(i).neighbors(v) {
-                if !u.contains(w) {
-                    continue;
-                }
-                let dw = &mut degrees[j][w as usize];
-                *dw = dw.saturating_sub(1);
-                if *dw < d {
-                    queue.push(w);
-                }
-            }
-        }
-    }
+    coreness::workspace::with_thread_workspace(|ws| {
+        ws.peel_in_place(g, class1_layers, d, &mut u);
+    });
     u
 }
 
@@ -128,9 +101,7 @@ pub fn refine_c(
         })
         .collect();
 
-    let cascade = |v: Vertex,
-                   state: &mut Vec<State>,
-                   d_plus: &mut Vec<Vec<u32>>| {
+    let cascade = |v: Vertex, state: &mut Vec<State>, d_plus: &mut Vec<Vec<u32>>| {
         // CascadeD: propagate the discard of `v` through undetermined
         // neighbors whose upper-bound degree drops below d.
         let mut stack = vec![v];
@@ -157,8 +128,7 @@ pub fn refine_c(
         if on_level.is_empty() {
             continue;
         }
-        let has_undetermined =
-            on_level.iter().any(|&v| state[v as usize] == State::Undetermined);
+        let has_undetermined = on_level.iter().any(|&v| state[v as usize] == State::Undetermined);
         if !has_undetermined {
             // Case 1: seed level — only unexplored or discarded vertices here.
             for &v in &on_level {

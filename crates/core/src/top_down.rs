@@ -28,7 +28,7 @@ use crate::index::VertexIndex;
 use crate::preprocess::{init_topk, preprocess};
 use crate::refine::{refine_c, refine_u};
 use crate::result::{CoherentCore, DccsResult, SearchStats};
-use coreness::d_coherent_core;
+use coreness::{d_coherent_core, PeelWorkspace};
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
 use std::time::Instant;
 
@@ -78,6 +78,7 @@ pub fn top_down_dccs_with_options(
         order: &order,
         layer_cores: &cores_by_layer,
         index,
+        ws: PeelWorkspace::with_capacity(g.num_vertices(), l),
         topk,
         stats,
     };
@@ -104,6 +105,8 @@ struct TdContext<'a> {
     /// Per-original-layer d-cores (restricted to the active set).
     layer_cores: &'a [VertexSet],
     index: Option<VertexIndex>,
+    /// Shared peeling scratch: every plain `dCC` call in the search borrows it.
+    ws: PeelWorkspace,
     topk: TopKDiversified,
     stats: SearchStats,
 }
@@ -132,15 +135,8 @@ impl TdContext<'_> {
             child_positions.iter().filter(|&&p| p < j).map(|&p| self.order[p]).collect();
         let class2: Vec<Layer> =
             child_positions.iter().filter(|&&p| p > j).map(|&p| self.order[p]).collect();
-        let potential = refine_u(
-            self.g,
-            self.params.d,
-            self.params.s,
-            u_l,
-            &class1,
-            &class2,
-            self.layer_cores,
-        );
+        let potential =
+            refine_u(self.g, self.params.d, self.params.s, u_l, &class1, &class2, self.layer_cores);
         let layers = self.layers_of(&child_positions);
         self.stats.dcc_calls += 1;
         if child_positions.len() == self.params.s {
@@ -150,7 +146,11 @@ impl TdContext<'_> {
             Some(index) if self.opts.use_refine_c => {
                 refine_c(self.g, self.params.d, index, &potential, &layers)
             }
-            _ => d_coherent_core(self.g, &layers, self.params.d, &potential),
+            _ => {
+                let mut core = potential.clone();
+                self.ws.peel_in_place(self.g, &layers, self.params.d, &mut core);
+                core
+            }
         };
         TdChild { positions: child_positions, core, potential, removed: j }
     }
@@ -223,16 +223,13 @@ impl TdContext<'_> {
                 // Deterministic choice: drop the largest removable positions.
                 let drop: Vec<usize> =
                     removable_below.iter().rev().take(need_remove).copied().collect();
-                let descendant: Vec<usize> = child
-                    .positions
-                    .iter()
-                    .copied()
-                    .filter(|p| !drop.contains(p))
-                    .collect();
+                let descendant: Vec<usize> =
+                    child.positions.iter().copied().filter(|p| !drop.contains(p)).collect();
                 let layers = self.layers_of(&descendant);
                 self.stats.dcc_calls += 1;
                 self.stats.candidates_generated += 1;
-                let core = d_coherent_core(self.g, &layers, self.params.d, &child.potential);
+                let mut core = child.potential.clone();
+                self.ws.peel_in_place(self.g, &layers, self.params.d, &mut core);
                 self.topk.try_update(CoherentCore::new(layers, core));
                 self.stats.subtrees_pruned += 1;
                 continue;
@@ -318,8 +315,7 @@ mod tests {
         let g = graph();
         let params = DccsParams::new(3, 3, 2);
         let with_index = top_down_dccs(&g, &params);
-        let mut opts = DccsOptions::default();
-        opts.use_refine_c = false;
+        let opts = DccsOptions { use_refine_c: false, ..DccsOptions::default() };
         let without_index = top_down_dccs_with_options(&g, &params, &opts);
         assert_eq!(with_index.cover_size(), without_index.cover_size());
     }
@@ -344,9 +340,11 @@ mod tests {
     fn pruning_disabled_matches_default() {
         let g = graph();
         let params = DccsParams::new(2, 3, 2);
-        let mut opts = DccsOptions::default();
-        opts.order_pruning = false;
-        opts.potential_pruning = false;
+        let opts = DccsOptions {
+            order_pruning: false,
+            potential_pruning: false,
+            ..DccsOptions::default()
+        };
         let unpruned = top_down_dccs_with_options(&g, &params, &opts);
         let pruned = top_down_dccs(&g, &params);
         assert_eq!(unpruned.cover_size(), pruned.cover_size());

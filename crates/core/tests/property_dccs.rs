@@ -88,9 +88,11 @@ proptest! {
     ) {
         let params = DccsParams::new(d, s, 2);
         let baseline = bottom_up_dccs(&g, &params);
-        let mut no_pruning = DccsOptions::default();
-        no_pruning.order_pruning = false;
-        no_pruning.layer_pruning = false;
+        let no_pruning = DccsOptions {
+            order_pruning: false,
+            layer_pruning: false,
+            ..DccsOptions::default()
+        };
         let unpruned = bottom_up_dccs_with_options(&g, &params, &no_pruning);
         check_cores_are_valid(&g, &params, &unpruned);
         // Pruning is an optimization within the same 1/4-approximate scheme;
@@ -106,12 +108,42 @@ proptest! {
     ) {
         let params = DccsParams::new(d, s.min(4), 2);
         let with_index = top_down_dccs(&g, &params);
-        let mut opts = DccsOptions::default();
-        opts.use_refine_c = false;
+        let opts = DccsOptions { use_refine_c: false, ..DccsOptions::default() };
         let plain = top_down_dccs_with_options(&g, &params, &opts);
         // Same algorithm, two implementations of the core-extraction step.
         prop_assert_eq!(with_index.cover_size(), plain.cover_size());
         check_cores_are_valid(&g, &params, &with_index);
+    }
+
+    #[test]
+    fn lattice_candidates_match_naive_per_subset_peels(
+        g in small_multilayer(18, 4, 70),
+        d in 1u32..4,
+        s in 1usize..5,
+    ) {
+        // The subset-lattice engine (prefix-seeded peels on a reused
+        // workspace) must emit, per layer subset in lexicographic order,
+        // exactly what the pre-refactor path computed: a from-scratch peel
+        // of the intersection of the memoized per-layer d-cores.
+        let params = DccsParams::new(d, s, 2);
+        let pre = dccs::preprocess::preprocess(&g, &params, &DccsOptions::default());
+        let mut ws = coreness::PeelWorkspace::new();
+        let mut got: Vec<(Vec<usize>, Vec<Vertex>)> = Vec::new();
+        dccs::for_each_subset_core(&g, d, s, &pre.layer_cores, &mut ws, |subset, core| {
+            got.push((subset.to_vec(), core.to_vec()));
+        });
+        let expected: Vec<(Vec<usize>, Vec<Vertex>)> =
+            dccs::layer_subsets::combinations(g.num_layers(), s)
+                .map(|subset| {
+                    let mut candidate = pre.layer_cores[subset[0]].clone();
+                    for &i in &subset[1..] {
+                        candidate.intersect_with(&pre.layer_cores[i]);
+                    }
+                    let core = coreness::d_coherent_core_naive(&g, &subset, d, &candidate);
+                    (subset, core.to_vec())
+                })
+                .collect();
+        prop_assert_eq!(got, expected, "d={} s={}", d, s);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! O((n + Σ_{i∈L} m_i)·1) — each edge of each layer in `L` is touched a
 //! constant number of times.
 
+use crate::workspace::{with_thread_workspace, PeelWorkspace};
 use mlgraph::{Layer, MultiLayerGraph, Vertex, VertexSet};
 
 /// Computes `C_L^d(G[candidates])`: the maximal subset `S ⊆ candidates` such
@@ -20,10 +21,50 @@ use mlgraph::{Layer, MultiLayerGraph, Vertex, VertexSet};
 /// the DCCS algorithms do — shrink `candidates` first without changing the
 /// result, as long as the true d-CC is contained in `candidates`.
 ///
+/// Scratch buffers are borrowed from the calling thread's shared
+/// [`PeelWorkspace`], so only the returned set is allocated. Callers peeling
+/// in a loop should hold their own workspace and use [`d_coherent_core_in`]
+/// (or [`PeelWorkspace::peel_in_place`] directly) to make the steady state
+/// fully allocation-free.
+///
 /// # Panics
 ///
 /// Panics if `layers` is empty or contains an out-of-range layer index.
 pub fn d_coherent_core(
+    g: &MultiLayerGraph,
+    layers: &[Layer],
+    d: u32,
+    candidates: &VertexSet,
+) -> VertexSet {
+    let mut alive = candidates.clone();
+    with_thread_workspace(|ws| ws.peel_in_place(g, layers, d, &mut alive));
+    alive
+}
+
+/// [`d_coherent_core`] with an explicit workspace and output set: copies
+/// `candidates` into `out` and peels in place. In steady state (same vertex
+/// universe, `out` already sized) this performs no heap allocation.
+pub fn d_coherent_core_in(
+    ws: &mut PeelWorkspace,
+    g: &MultiLayerGraph,
+    layers: &[Layer],
+    d: u32,
+    candidates: &VertexSet,
+    out: &mut VertexSet,
+) {
+    if out.capacity() != candidates.capacity() {
+        *out = candidates.clone();
+    } else {
+        out.copy_from(candidates);
+    }
+    ws.peel_in_place(g, layers, d, out);
+}
+
+/// Reference implementation of [`d_coherent_core`] that allocates all its
+/// scratch per call — the pre-workspace code path, kept verbatim as the
+/// equivalence oracle for property tests and as the baseline the
+/// `dcc_procedure` / `dccs_algorithms` benches compare the engine against.
+pub fn d_coherent_core_naive(
     g: &MultiLayerGraph,
     layers: &[Layer],
     d: u32,
@@ -93,19 +134,12 @@ pub fn d_coherent_core_full(g: &MultiLayerGraph, layers: &[Layer], d: u32) -> Ve
 /// For every vertex of `within`, the minimum degree over `layers` restricted
 /// to `within` (the quantity `m(v)` of the Appendix-B pseudocode). Vertices
 /// outside `within` get 0.
-pub fn min_degree_profile(
-    g: &MultiLayerGraph,
-    layers: &[Layer],
-    within: &VertexSet,
-) -> Vec<u32> {
+pub fn min_degree_profile(g: &MultiLayerGraph, layers: &[Layer], within: &VertexSet) -> Vec<u32> {
     let n = g.num_vertices();
     let mut profile = vec![0u32; n];
     for v in within.iter() {
-        let m = layers
-            .iter()
-            .map(|&i| g.layer(i).degree_within(v, within) as u32)
-            .min()
-            .unwrap_or(0);
+        let m =
+            layers.iter().map(|&i| g.layer(i).degree_within(v, within) as u32).min().unwrap_or(0);
         profile[v as usize] = m;
     }
     profile
@@ -243,5 +277,35 @@ mod tests {
         let g = graph();
         let all = g.full_vertex_set();
         assert_eq!(d_coherent_core_full(&g, &[0, 1], 2), d_coherent_core(&g, &[0, 1], 2, &all));
+    }
+
+    #[test]
+    fn engine_matches_naive_reference() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        let restricted = VertexSet::from_iter(7, [0, 1, 2, 3, 4]);
+        for candidates in [&all, &restricted] {
+            for d in 0..=4u32 {
+                for layers in [vec![0usize], vec![1], vec![0, 1]] {
+                    assert_eq!(
+                        d_coherent_core(&g, &layers, d, candidates).to_vec(),
+                        d_coherent_core_naive(&g, &layers, d, candidates).to_vec(),
+                        "d={d} layers={layers:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_workspace_variant_reuses_output() {
+        let g = graph();
+        let all = g.full_vertex_set();
+        let mut ws = crate::workspace::PeelWorkspace::new();
+        let mut out = VertexSet::new(1); // wrong capacity: replaced on first call
+        for d in 1..=3u32 {
+            d_coherent_core_in(&mut ws, &g, &[0, 1], d, &all, &mut out);
+            assert_eq!(out.to_vec(), d_coherent_core_naive(&g, &[0, 1], d, &all).to_vec());
+        }
     }
 }

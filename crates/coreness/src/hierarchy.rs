@@ -48,9 +48,7 @@ impl CoreHierarchy {
     pub fn d_core(&self, layer: Layer, d: u32) -> VertexSet {
         let mut out = VertexSet::new(self.num_vertices);
         for (v, &c) in self.core[layer].iter().enumerate() {
-            if c >= d && c > 0 {
-                out.insert(v as Vertex);
-            } else if c >= d && d == 0 {
+            if c >= d && (c > 0 || d == 0) {
                 out.insert(v as Vertex);
             }
         }

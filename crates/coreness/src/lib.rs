@@ -11,6 +11,9 @@
 //!   `C_L^d(G)` of a multi-layer graph w.r.t. a layer subset `L`, computed by
 //!   multi-layer peeling restricted to a candidate set (O((n + m)·|L|)).
 //! * [`validate`] — d-denseness and maximality checkers used as test oracles.
+//! * [`PeelWorkspace`] — reusable scratch buffers making steady-state
+//!   peeling allocation-free; the free functions above borrow a thread-local
+//!   instance, and the DCCS algorithms own explicit ones.
 //!
 //! ```
 //! use mlgraph::MultiLayerGraphBuilder;
@@ -37,8 +40,16 @@ pub mod dcc;
 pub mod hierarchy;
 pub mod peel;
 pub mod validate;
+pub mod workspace;
 
-pub use dcc::{d_coherent_core, d_coherent_core_full, min_degree_profile};
+pub use dcc::{
+    d_coherent_core, d_coherent_core_full, d_coherent_core_in, d_coherent_core_naive,
+    min_degree_profile,
+};
 pub use hierarchy::CoreHierarchy;
-pub use peel::{core_numbers, core_numbers_within, d_core, d_core_within, degeneracy};
+pub use peel::{
+    core_numbers, core_numbers_within, core_numbers_within_into, d_core, d_core_within,
+    d_core_within_into, degeneracy,
+};
 pub use validate::{is_d_dense, is_d_dense_multilayer, is_maximal_d_coherent_core};
+pub use workspace::PeelWorkspace;

@@ -6,7 +6,8 @@
 //! vertex subset, which is how the DCCS algorithms repeatedly shrink
 //! per-layer d-cores after vertex deletions.
 
-use mlgraph::{Csr, Vertex, VertexSet};
+use crate::workspace::{with_thread_workspace, PeelWorkspace};
+use mlgraph::{Csr, VertexSet};
 
 /// Computes the core number of every vertex of `g` using the
 /// Batagelj–Zaversnik bin-sort peeling algorithm (O(n + m)).
@@ -16,64 +17,25 @@ pub fn core_numbers(g: &Csr) -> Vec<u32> {
 
 /// Core numbers of the subgraph induced by `within`. Vertices outside
 /// `within` get core number 0.
+///
+/// Scratch buffers are borrowed from the calling thread's shared
+/// [`PeelWorkspace`]; only the returned vector is allocated. Callers in a
+/// loop can borrow an explicit workspace via [`core_numbers_within_into`].
 pub fn core_numbers_within(g: &Csr, within: &VertexSet) -> Vec<u32> {
-    let n = g.num_vertices();
-    let mut degree: Vec<u32> = vec![0; n];
-    let mut max_degree = 0u32;
-    for v in within.iter() {
-        let d = g.degree_within(v, within) as u32;
-        degree[v as usize] = d;
-        max_degree = max_degree.max(d);
-    }
-
-    // bin[d] = starting index in `ver` of vertices with current degree d.
-    let mut bin = vec![0usize; max_degree as usize + 2];
-    for v in within.iter() {
-        bin[degree[v as usize] as usize + 1] += 1;
-    }
-    for d in 1..bin.len() {
-        bin[d] += bin[d - 1];
-    }
-    let mut start = bin.clone();
-    let active = within.len();
-    let mut ver: Vec<Vertex> = vec![0; active];
-    let mut pos: Vec<usize> = vec![usize::MAX; n];
-    for v in within.iter() {
-        let d = degree[v as usize] as usize;
-        pos[v as usize] = start[d];
-        ver[start[d]] = v;
-        start[d] += 1;
-    }
-
-    let mut core = vec![0u32; n];
-    let mut removed = vec![false; n];
-    for i in 0..active {
-        let v = ver[i];
-        let dv = degree[v as usize];
-        core[v as usize] = dv;
-        removed[v as usize] = true;
-        for &u in g.neighbors(v) {
-            if !within.contains(u) || removed[u as usize] {
-                continue;
-            }
-            let du = degree[u as usize];
-            if du > dv {
-                // Move u to the front of its bin, then shift it one bin down.
-                let du = du as usize;
-                let pu = pos[u as usize];
-                let pw = bin[du];
-                let w = ver[pw];
-                if u != w {
-                    ver.swap(pu, pw);
-                    pos[u as usize] = pw;
-                    pos[w as usize] = pu;
-                }
-                bin[du] += 1;
-                degree[u as usize] -= 1;
-            }
-        }
-    }
+    let mut core = Vec::new();
+    with_thread_workspace(|ws| ws.core_numbers_into(g, within, &mut core));
     core
+}
+
+/// [`core_numbers_within`] with an explicit workspace and output vector, for
+/// allocation-free steady-state use.
+pub fn core_numbers_within_into(
+    ws: &mut PeelWorkspace,
+    g: &Csr,
+    within: &VertexSet,
+    core: &mut Vec<u32>,
+) {
+    ws.core_numbers_into(g, within, core);
 }
 
 /// The d-core of `g`: the maximal vertex set whose induced subgraph has
@@ -83,15 +45,30 @@ pub fn d_core(g: &Csr, d: u32) -> VertexSet {
 }
 
 /// The d-core of the subgraph of `g` induced by `within`.
+///
+/// Implemented as a threshold peel on the thread-shared workspace (cheaper
+/// than a full core decomposition when only one `d` is needed).
 pub fn d_core_within(g: &Csr, d: u32, within: &VertexSet) -> VertexSet {
-    let core = core_numbers_within(g, within);
-    let mut out = VertexSet::new(g.num_vertices());
-    for v in within.iter() {
-        if core[v as usize] >= d {
-            out.insert(v);
-        }
-    }
+    let mut out = within.clone();
+    with_thread_workspace(|ws| ws.peel_layer_in_place(g, d, &mut out));
     out
+}
+
+/// [`d_core_within`] with an explicit workspace and output set: copies
+/// `within` into `out` and peels in place, allocation-free in steady state.
+pub fn d_core_within_into(
+    ws: &mut PeelWorkspace,
+    g: &Csr,
+    d: u32,
+    within: &VertexSet,
+    out: &mut VertexSet,
+) {
+    if out.capacity() != within.capacity() {
+        *out = within.clone();
+    } else {
+        out.copy_from(within);
+    }
+    ws.peel_layer_in_place(g, d, out);
 }
 
 /// The degeneracy of `g`: the maximum core number over all vertices.
@@ -106,10 +83,7 @@ mod tests {
 
     /// A clique on {0,1,2,3} with a path 3-4-5 hanging off it.
     fn clique_with_tail() -> Csr {
-        Csr::from_edges(
-            6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
-        )
+        Csr::from_edges(6, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
     }
 
     #[test]

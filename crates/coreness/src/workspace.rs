@@ -1,0 +1,512 @@
+//! [`PeelWorkspace`]: reusable scratch buffers making steady-state peeling
+//! allocation-free.
+//!
+//! Every DCCS algorithm calls the `dCC` peeling procedure once per visited
+//! layer subset — up to `C(l, s)` times per run. The original implementation
+//! allocated `|L|·n` degree counters, a removal queue, and a queued-flag
+//! vector on every call, which dominated the runtime on small and medium
+//! graphs. A `PeelWorkspace` owns those buffers and grows them monotonically;
+//! after the first call at a given `(n, |L|)` shape, peeling performs no heap
+//! allocation at all.
+//!
+//! Two peeling primitives are exposed:
+//!
+//! * [`PeelWorkspace::peel_in_place`] — the multi-layer `dCC` cascade
+//!   (Appendix B): shrinks a candidate [`VertexSet`] to the maximal subset
+//!   whose members have degree ≥ `d` inside it on every layer of `L`.
+//! * [`PeelWorkspace::peel_layer_in_place`] — the single-layer d-core
+//!   threshold peel used by preprocessing.
+//! * [`PeelWorkspace::core_numbers_into`] — the Batagelj–Zaversnik bin-sort
+//!   core decomposition writing into a caller-provided output slice.
+//!
+//! Free functions that keep the historical allocating signatures
+//! ([`crate::d_coherent_core`], [`crate::core_numbers_within`], …) borrow a
+//! thread-local workspace through [`with_thread_workspace`], so every caller
+//! benefits without signature churn; the search algorithms additionally own
+//! explicit workspaces (one per worker thread under the parallel fan-out).
+
+use mlgraph::{Csr, DenseSubgraph, Layer, MultiLayerGraph, Vertex, VertexSet};
+use std::cell::RefCell;
+
+/// Reusable scratch buffers for single- and multi-layer peeling.
+///
+/// Buffers grow monotonically and are never shrunk, so a workspace reused
+/// across calls of the same shape performs no allocation. A workspace is
+/// cheap to create (`new` allocates nothing) and is intentionally `!Sync`:
+/// parallel callers create one workspace per worker thread.
+#[derive(Debug, Default)]
+pub struct PeelWorkspace {
+    /// Flat `|L|·n` per-layer degree counters (`degrees[j*n + v]`).
+    degrees: Vec<u32>,
+    /// Removal queue of the cascade.
+    queue: Vec<Vertex>,
+    /// Epoch-stamped queued marks (`queued[v] == epoch` ⇔ v was enqueued
+    /// this cascade); bumping the epoch resets all marks in O(1), so a
+    /// cascade touches no per-vertex state outside the candidate set.
+    queued: Vec<u32>,
+    /// Current queued-mark epoch.
+    epoch: u32,
+    /// Bin-sort scratch: per-vertex current degree.
+    bin_degree: Vec<u32>,
+    /// Bin-sort scratch: bin start offsets.
+    bins: Vec<usize>,
+    /// Bin-sort scratch: running cursor per bin.
+    starts: Vec<usize>,
+    /// Bin-sort scratch: position of each vertex in `order`.
+    positions: Vec<usize>,
+    /// Bin-sort scratch: vertices sorted by current degree.
+    order: Vec<Vertex>,
+    /// Bin-sort scratch: removal marks.
+    removed: Vec<bool>,
+}
+
+impl PeelWorkspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        PeelWorkspace::default()
+    }
+
+    /// A workspace pre-sized for graphs with `n` vertices and peels over up
+    /// to `layers` layers, so even the first call allocates nothing.
+    pub fn with_capacity(n: usize, layers: usize) -> Self {
+        let mut ws = PeelWorkspace::default();
+        ws.reserve_multi(n, layers.max(1));
+        ws
+    }
+
+    fn reserve_multi(&mut self, n: usize, layers: usize) {
+        if self.degrees.len() < layers * n {
+            self.degrees.resize(layers * n, 0);
+        }
+        if self.queued.len() < n {
+            self.queued.resize(n, 0);
+        }
+        // reserve() takes the *additional* capacity on top of len (0 here),
+        // so this guarantees capacity ≥ n — no reallocation mid-cascade.
+        self.queue.reserve(n.saturating_sub(self.queue.len()));
+    }
+
+    /// Starts a fresh cascade epoch; returns the mark value for this run.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.queued.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Multi-layer `dCC` peel (Appendix B), in place and allocation-free in
+    /// steady state.
+    ///
+    /// On return, `alive` is `C_L^d(G[alive])`: the maximal subset of the
+    /// input set whose members have at least `d` neighbors inside it on
+    /// every layer of `layers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, contains an out-of-range index, or
+    /// `alive` is not over the graph's vertex universe.
+    pub fn peel_in_place(
+        &mut self,
+        g: &MultiLayerGraph,
+        layers: &[Layer],
+        d: u32,
+        alive: &mut VertexSet,
+    ) {
+        assert!(!layers.is_empty(), "d_coherent_core requires a non-empty layer set");
+        for &i in layers {
+            assert!(i < g.num_layers(), "layer {i} out of range ({} layers)", g.num_layers());
+        }
+        let n = g.num_vertices();
+        assert_eq!(alive.capacity(), n, "candidate set must cover the vertex universe");
+        if d == 0 || alive.is_empty() {
+            return;
+        }
+        self.reserve_multi(n, layers.len());
+        let epoch = self.next_epoch();
+        let degrees = &mut self.degrees[..layers.len() * n];
+
+        // degrees[j*n + v] = degree of v on layers[j] restricted to `alive`.
+        for (j, &i) in layers.iter().enumerate() {
+            let csr = g.layer(i);
+            let deg = &mut degrees[j * n..(j + 1) * n];
+            for v in alive.iter() {
+                deg[v as usize] = csr.degree_within(v, alive) as u32;
+            }
+        }
+
+        run_cascade(g, layers, d, alive, degrees, &mut self.queue, &mut self.queued[..n], epoch);
+    }
+
+    /// Runs only the cascading removal phase of the multi-layer peel, over
+    /// caller-owned degree arrays laid out as `degrees[j*n + v]`.
+    ///
+    /// `degrees` must hold, for every member of `alive`, its exact degree
+    /// inside `alive` on each layer of `layers`; on return the arrays are
+    /// updated to the peeled set, so callers chaining peels down the subset
+    /// lattice can reuse them incrementally instead of rescanning every
+    /// layer. Only the queue and queued-flag scratch is borrowed from the
+    /// workspace.
+    pub fn cascade_in_place(
+        &mut self,
+        g: &MultiLayerGraph,
+        layers: &[Layer],
+        d: u32,
+        alive: &mut VertexSet,
+        degrees: &mut [u32],
+    ) {
+        assert!(!layers.is_empty(), "cascade_in_place requires a non-empty layer set");
+        let n = g.num_vertices();
+        assert_eq!(alive.capacity(), n, "candidate set must cover the vertex universe");
+        assert!(degrees.len() >= layers.len() * n, "degree arrays too small for |L|·n");
+        if d == 0 || alive.is_empty() {
+            return;
+        }
+        self.reserve_multi(n, 1);
+        let epoch = self.next_epoch();
+        run_cascade(g, layers, d, alive, degrees, &mut self.queue, &mut self.queued[..n], epoch);
+    }
+
+    /// Single-layer d-core threshold peel, in place. Equivalent to
+    /// intersecting with [`crate::d_core_within`] but allocation-free in
+    /// steady state.
+    pub fn peel_layer_in_place(&mut self, g: &Csr, d: u32, alive: &mut VertexSet) {
+        let n = g.num_vertices();
+        assert_eq!(alive.capacity(), n, "candidate set must cover the vertex universe");
+        if d == 0 || alive.is_empty() {
+            return;
+        }
+        self.reserve_multi(n, 1);
+        let epoch = self.next_epoch();
+        let degrees = &mut self.degrees[..n];
+        let queued = &mut self.queued[..n];
+        let queue = &mut self.queue;
+        queue.clear();
+        for v in alive.iter() {
+            let deg = g.degree_within(v, alive) as u32;
+            degrees[v as usize] = deg;
+            if deg < d {
+                queue.push(v);
+                queued[v as usize] = epoch;
+            }
+        }
+        while let Some(v) = queue.pop() {
+            if !alive.remove(v) {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if !alive.contains(u) {
+                    continue;
+                }
+                let du = &mut degrees[u as usize];
+                *du = du.saturating_sub(1);
+                if *du < d && queued[u as usize] != epoch {
+                    queued[u as usize] = epoch;
+                    queue.push(u);
+                }
+            }
+        }
+    }
+
+    /// The cascading removal phase over a [`DenseSubgraph`]: `alive` and
+    /// `degrees` live in the re-indexed universe `0..m`, neighborhoods are
+    /// iterated as `row ∧ alive` words, and `degrees[j*m + v]` must hold the
+    /// exact within-`alive` degree of every member on `layers[j]` (kept
+    /// exact through the cascade). Queue scratch is borrowed from the
+    /// workspace; nothing is allocated.
+    ///
+    /// `layers` are original layer indices into the dense subgraph's layer
+    /// axis.
+    pub fn cascade_dense(
+        &mut self,
+        dense: &DenseSubgraph,
+        layers: &[Layer],
+        d: u32,
+        alive: &mut VertexSet,
+        degrees: &mut [u32],
+    ) {
+        assert!(!layers.is_empty(), "cascade_dense requires a non-empty layer set");
+        let m = dense.len();
+        assert_eq!(alive.capacity(), m, "alive set must be over the dense universe");
+        assert!(degrees.len() >= layers.len() * m, "degree arrays too small for |L|·m");
+        if d == 0 || alive.is_empty() {
+            return;
+        }
+        self.reserve_multi(m, 1);
+        let epoch = self.next_epoch();
+        let queue = &mut self.queue;
+        let queued = &mut self.queued[..m];
+        queue.clear();
+        for v in alive.iter() {
+            let vi = v as usize;
+            if (0..layers.len()).any(|j| degrees[j * m + vi] < d) {
+                queue.push(v);
+                queued[vi] = epoch;
+            }
+        }
+        while let Some(v) = queue.pop() {
+            if !alive.remove(v) {
+                continue;
+            }
+            for (j, &layer) in layers.iter().enumerate() {
+                let row = dense.row(layer, v);
+                for (w, (&r, &a)) in row.iter().zip(alive.words().iter()).enumerate() {
+                    let mut bits = r & a;
+                    while bits != 0 {
+                        let u = (w * 64 + bits.trailing_zeros() as usize) as Vertex;
+                        bits &= bits - 1;
+                        let du = &mut degrees[j * m + u as usize];
+                        *du = du.saturating_sub(1);
+                        if *du < d && queued[u as usize] != epoch {
+                            queued[u as usize] = epoch;
+                            queue.push(u);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batagelj–Zaversnik bin-sort core decomposition of `g[within]`,
+    /// written into `core` (resized to `n`; vertices outside `within` get 0).
+    /// All intermediate buffers are borrowed from the workspace.
+    pub fn core_numbers_into(&mut self, g: &Csr, within: &VertexSet, core: &mut Vec<u32>) {
+        let n = g.num_vertices();
+        core.clear();
+        core.resize(n, 0);
+        if within.is_empty() {
+            return;
+        }
+        self.reserve_multi(n, 1);
+        if self.positions.len() < n {
+            self.positions.resize(n, usize::MAX);
+        }
+        if self.removed.len() < n {
+            self.removed.resize(n, false);
+        }
+        if self.bin_degree.len() < n {
+            self.bin_degree.resize(n, 0);
+        }
+        let degree = &mut self.bin_degree[..n];
+        let positions = &mut self.positions[..n];
+        let removed = &mut self.removed[..n];
+        removed[..n].fill(false);
+
+        let mut max_degree = 0u32;
+        for v in within.iter() {
+            let d = g.degree_within(v, within) as u32;
+            degree[v as usize] = d;
+            max_degree = max_degree.max(d);
+        }
+
+        // bins[d] = starting index in `order` of vertices with degree d.
+        let bins_len = max_degree as usize + 2;
+        self.bins.clear();
+        self.bins.resize(bins_len, 0);
+        for v in within.iter() {
+            self.bins[degree[v as usize] as usize + 1] += 1;
+        }
+        for d in 1..bins_len {
+            self.bins[d] += self.bins[d - 1];
+        }
+        self.starts.clear();
+        self.starts.extend_from_slice(&self.bins);
+
+        let active = within.len();
+        self.order.clear();
+        self.order.resize(active, 0);
+        for v in within.iter() {
+            let d = degree[v as usize] as usize;
+            positions[v as usize] = self.starts[d];
+            self.order[self.starts[d]] = v;
+            self.starts[d] += 1;
+        }
+
+        let bins = &mut self.bins;
+        let order = &mut self.order;
+        for i in 0..active {
+            let v = order[i];
+            let dv = degree[v as usize];
+            core[v as usize] = dv;
+            removed[v as usize] = true;
+            for &u in g.neighbors(v) {
+                if !within.contains(u) || removed[u as usize] {
+                    continue;
+                }
+                let du = degree[u as usize];
+                if du > dv {
+                    // Move u to the front of its bin, then shift it one bin down.
+                    let du = du as usize;
+                    let pu = positions[u as usize];
+                    let pw = bins[du];
+                    let w = order[pw];
+                    if u != w {
+                        order.swap(pu, pw);
+                        positions[u as usize] = pw;
+                        positions[w as usize] = pu;
+                    }
+                    bins[du] += 1;
+                    degree[u as usize] -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// The cascading removal phase shared by [`PeelWorkspace::peel_in_place`]
+/// and [`PeelWorkspace::cascade_in_place`]: seeds the queue with every
+/// member of `alive` violating the threshold, then cascades removals while
+/// keeping `degrees` exact within the shrinking set. `queued` marks use the
+/// given epoch value, so no O(n) reset is ever performed.
+#[allow(clippy::too_many_arguments)]
+fn run_cascade(
+    g: &MultiLayerGraph,
+    layers: &[Layer],
+    d: u32,
+    alive: &mut VertexSet,
+    degrees: &mut [u32],
+    queue: &mut Vec<Vertex>,
+    queued: &mut [u32],
+    epoch: u32,
+) {
+    let n = g.num_vertices();
+    queue.clear();
+    for v in alive.iter() {
+        let vi = v as usize;
+        if (0..layers.len()).any(|j| degrees[j * n + vi] < d) {
+            queue.push(v);
+            queued[vi] = epoch;
+        }
+    }
+    while let Some(v) = queue.pop() {
+        if !alive.remove(v) {
+            continue;
+        }
+        for (j, &i) in layers.iter().enumerate() {
+            let csr = g.layer(i);
+            for &u in csr.neighbors(v) {
+                if !alive.contains(u) {
+                    continue;
+                }
+                let du = &mut degrees[j * n + u as usize];
+                *du = du.saturating_sub(1);
+                if *du < d && queued[u as usize] != epoch {
+                    queued[u as usize] = epoch;
+                    queue.push(u);
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_WORKSPACE: RefCell<PeelWorkspace> = RefCell::new(PeelWorkspace::new());
+}
+
+/// Runs `f` with this thread's shared [`PeelWorkspace`].
+///
+/// The historical allocating entry points (`d_coherent_core`, `d_core`, …)
+/// route through this, so repeated calls reuse one per-thread scratch
+/// allocation. `f` must not re-enter another workspace-borrowing entry point
+/// (it would panic on the nested `RefCell` borrow); callers composing peels
+/// should own an explicit `PeelWorkspace` instead.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut PeelWorkspace) -> R) -> R {
+    THREAD_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(7, 2);
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)] {
+            b.add_edge(0, u, v).unwrap();
+        }
+        for (u, v) in [(0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5), (5, 6), (4, 6)] {
+            b.add_edge(1, u, v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn peel_matches_allocating_reference() {
+        let g = graph();
+        let mut ws = PeelWorkspace::new();
+        for d in 0..=4u32 {
+            for layers in [vec![0usize], vec![1], vec![0, 1]] {
+                let mut alive = g.full_vertex_set();
+                ws.peel_in_place(&g, &layers, d, &mut alive);
+                let reference =
+                    crate::dcc::d_coherent_core_naive(&g, &layers, d, &g.full_vertex_set());
+                assert_eq!(alive.to_vec(), reference.to_vec(), "d={d} layers={layers:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_is_sound() {
+        let g = graph();
+        let mut ws = PeelWorkspace::new();
+        // Interleave different layer counts and thresholds; stale buffer
+        // contents must never leak between calls.
+        for (layers, d) in
+            [(vec![0usize, 1], 2u32), (vec![0], 3), (vec![0, 1], 3), (vec![1], 2), (vec![0, 1], 2)]
+        {
+            let mut alive = g.full_vertex_set();
+            ws.peel_in_place(&g, &layers, d, &mut alive);
+            let reference = crate::dcc::d_coherent_core_naive(&g, &layers, d, &g.full_vertex_set());
+            assert_eq!(alive.to_vec(), reference.to_vec(), "d={d} layers={layers:?}");
+        }
+    }
+
+    #[test]
+    fn single_layer_peel_matches_d_core() {
+        let g = graph();
+        let mut ws = PeelWorkspace::new();
+        for d in 0..=4u32 {
+            let mut alive = g.full_vertex_set();
+            ws.peel_layer_in_place(g.layer(0), d, &mut alive);
+            assert_eq!(alive.to_vec(), crate::peel::d_core(g.layer(0), d).to_vec(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn core_numbers_into_matches_free_function() {
+        let g = graph();
+        let mut ws = PeelWorkspace::new();
+        let mut core = Vec::new();
+        let all = g.full_vertex_set();
+        ws.core_numbers_into(g.layer(0), &all, &mut core);
+        assert_eq!(core, crate::peel::core_numbers(g.layer(0)));
+        // Reuse with a restricted set.
+        let within = VertexSet::from_iter(7, [0, 1, 2, 4, 5, 6]);
+        ws.core_numbers_into(g.layer(1), &within, &mut core);
+        assert_eq!(core, crate::peel::core_numbers_within(g.layer(1), &within));
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let ws = PeelWorkspace::with_capacity(100, 4);
+        assert!(ws.degrees.len() >= 400);
+        assert!(ws.queued.len() >= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty layer set")]
+    fn empty_layer_set_panics() {
+        let g = graph();
+        let mut alive = g.full_vertex_set();
+        PeelWorkspace::new().peel_in_place(&g, &[], 1, &mut alive);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_layer_panics() {
+        let g = graph();
+        let mut alive = g.full_vertex_set();
+        PeelWorkspace::new().peel_in_place(&g, &[9], 1, &mut alive);
+    }
+}

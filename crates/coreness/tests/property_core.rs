@@ -4,7 +4,10 @@
 //! properties (hierarchy, containment, intersection bound, maximality) are
 //! checked against brute-force or definitional oracles.
 
-use coreness::{core_numbers, d_coherent_core, d_core, is_d_dense, is_d_dense_multilayer};
+use coreness::{
+    core_numbers, d_coherent_core, d_coherent_core_in, d_coherent_core_naive, d_core, is_d_dense,
+    is_d_dense_multilayer, PeelWorkspace,
+};
 use mlgraph::{Csr, MultiLayerGraph, Vertex, VertexSet};
 use proptest::prelude::*;
 
@@ -32,6 +35,30 @@ fn naive_d_core(g: &Csr, d: u32) -> VertexSet {
     let mut alive = VertexSet::full(g.num_vertices());
     loop {
         let victim = alive.iter().find(|&v| g.degree_within(v, &alive) < d as usize);
+        match victim {
+            Some(v) => {
+                alive.remove(v);
+            }
+            None => return alive,
+        }
+    }
+}
+
+/// Definitional from-scratch multi-layer peel: repeatedly delete any
+/// candidate whose degree inside the survivors drops below `d` on some
+/// layer. Quadratic, independent of both the workspace engine and the
+/// allocating reference implementation.
+fn definitional_dcc(
+    g: &MultiLayerGraph,
+    layers: &[usize],
+    d: u32,
+    candidates: &VertexSet,
+) -> VertexSet {
+    let mut alive = candidates.clone();
+    loop {
+        let victim = alive
+            .iter()
+            .find(|&v| layers.iter().any(|&i| g.layer(i).degree_within(v, &alive) < d as usize));
         match victim {
             Some(v) => {
                 alive.remove(v);
@@ -125,6 +152,36 @@ proptest! {
         candidates.intersect_with(&d_core(graph.layer(2), d));
         let restricted = d_coherent_core(&graph, &layers, d, &candidates);
         prop_assert_eq!(full.to_vec(), restricted.to_vec());
+    }
+
+    #[test]
+    fn workspace_engine_matches_naive_from_scratch_peel(
+        graph in multilayer_strategy(22, 3, 80),
+        d in 1u32..4,
+        restrict in prop::collection::vec(0u32..22, 0..22),
+    ) {
+        // One workspace reused across every subset and candidate set of the
+        // case: the optimized engine must agree with both the allocating
+        // reference implementation and a definitional from-scratch peel,
+        // with no state leaking between calls.
+        let mut ws = PeelWorkspace::new();
+        let mut out = VertexSet::new(graph.num_vertices());
+        let all = graph.full_vertex_set();
+        let restricted = VertexSet::from_iter(graph.num_vertices(), restrict);
+        for candidates in [&all, &restricted] {
+            for layers in [vec![0usize], vec![1], vec![0, 1], vec![0, 2], vec![0, 1, 2]] {
+                let engine = d_coherent_core(&graph, &layers, d, candidates);
+                let naive = d_coherent_core_naive(&graph, &layers, d, candidates);
+                let definitional = definitional_dcc(&graph, &layers, d, candidates);
+                prop_assert_eq!(engine.to_vec(), naive.to_vec(),
+                    "engine vs reference: layers={:?} d={}", layers, d);
+                prop_assert_eq!(naive.to_vec(), definitional.to_vec(),
+                    "reference vs definitional: layers={:?} d={}", layers, d);
+                d_coherent_core_in(&mut ws, &graph, &layers, d, candidates, &mut out);
+                prop_assert_eq!(out.to_vec(), engine.to_vec(),
+                    "explicit workspace vs thread-local: layers={:?} d={}", layers, d);
+            }
+        }
     }
 
     #[test]

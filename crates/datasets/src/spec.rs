@@ -57,20 +57,60 @@ impl DatasetSpec {
 
 /// Fig. 12 of the paper, verbatim.
 pub const PAPER_STATS: &[(&str, PaperStats)] = &[
-    ("PPI", PaperStats { num_vertices: 328, total_edges: 4_745, union_edges: 3_101, num_layers: 8 }),
-    ("Author", PaperStats { num_vertices: 1_017, total_edges: 15_065, union_edges: 11_069, num_layers: 10 }),
-    ("German", PaperStats { num_vertices: 519_365, total_edges: 7_205_624, union_edges: 1_653_621, num_layers: 14 }),
-    ("Wiki", PaperStats { num_vertices: 1_140_149, total_edges: 7_833_140, union_edges: 3_309_592, num_layers: 24 }),
-    ("English", PaperStats { num_vertices: 1_749_651, total_edges: 18_951_428, union_edges: 5_956_877, num_layers: 15 }),
-    ("Stack", PaperStats { num_vertices: 2_601_977, total_edges: 63_497_050, union_edges: 36_233_450, num_layers: 24 }),
+    (
+        "PPI",
+        PaperStats { num_vertices: 328, total_edges: 4_745, union_edges: 3_101, num_layers: 8 },
+    ),
+    (
+        "Author",
+        PaperStats {
+            num_vertices: 1_017,
+            total_edges: 15_065,
+            union_edges: 11_069,
+            num_layers: 10,
+        },
+    ),
+    (
+        "German",
+        PaperStats {
+            num_vertices: 519_365,
+            total_edges: 7_205_624,
+            union_edges: 1_653_621,
+            num_layers: 14,
+        },
+    ),
+    (
+        "Wiki",
+        PaperStats {
+            num_vertices: 1_140_149,
+            total_edges: 7_833_140,
+            union_edges: 3_309_592,
+            num_layers: 24,
+        },
+    ),
+    (
+        "English",
+        PaperStats {
+            num_vertices: 1_749_651,
+            total_edges: 18_951_428,
+            union_edges: 5_956_877,
+            num_layers: 15,
+        },
+    ),
+    (
+        "Stack",
+        PaperStats {
+            num_vertices: 2_601_977,
+            total_edges: 63_497_050,
+            union_edges: 36_233_450,
+            num_layers: 24,
+        },
+    ),
 ];
 
 /// Looks up the paper statistics for a dataset name (case-insensitive).
 pub fn paper_stats(name: &str) -> Option<PaperStats> {
-    PAPER_STATS
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case(name))
-        .map(|(_, s)| *s)
+    PAPER_STATS.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, s)| *s)
 }
 
 #[cfg(test)]

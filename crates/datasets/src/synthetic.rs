@@ -11,9 +11,7 @@
 //!   structure to find.
 
 use crate::ground_truth::GroundTruth;
-use mlgraph::generators::{
-    planted_communities, temporal_snapshots, PlantedConfig, TemporalConfig,
-};
+use mlgraph::generators::{planted_communities, temporal_snapshots, PlantedConfig, TemporalConfig};
 use mlgraph::{MultiLayerGraph, Vertex};
 
 /// Parameters for a module-style dataset (PPI / Author analogues).

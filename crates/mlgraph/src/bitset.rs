@@ -33,11 +33,7 @@ impl std::fmt::Debug for VertexSet {
 impl VertexSet {
     /// Creates an empty set over the universe `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        VertexSet {
-            words: vec![0u64; capacity.div_ceil(WORD_BITS)],
-            capacity,
-            len: 0,
-        }
+        VertexSet { words: vec![0u64; capacity.div_ceil(WORD_BITS)], capacity, len: 0 }
     }
 
     /// Creates a set containing every vertex of the universe `0..capacity`.
@@ -129,6 +125,40 @@ impl VertexSet {
         self.len = 0;
     }
 
+    /// Overwrites this set with the contents of `other`, without allocating.
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &VertexSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in copy_from");
+        self.words.copy_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Overwrites this set with `a ∩ b`, without allocating. Panics if any of
+    /// the three capacities differ.
+    pub fn assign_intersection(&mut self, a: &VertexSet, b: &VertexSet) {
+        assert_eq!(a.capacity, b.capacity, "capacity mismatch in assign_intersection");
+        assert_eq!(self.capacity, a.capacity, "capacity mismatch in assign_intersection");
+        let mut len = 0usize;
+        for ((out, &x), &y) in self.words.iter_mut().zip(a.words.iter()).zip(b.words.iter()) {
+            *out = x & y;
+            len += out.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Overwrites this set with `a \ b`, without allocating. Panics if any of
+    /// the three capacities differ.
+    pub fn assign_difference(&mut self, a: &VertexSet, b: &VertexSet) {
+        assert_eq!(a.capacity, b.capacity, "capacity mismatch in assign_difference");
+        assert_eq!(self.capacity, a.capacity, "capacity mismatch in assign_difference");
+        let mut len = 0usize;
+        for ((out, &x), &y) in self.words.iter_mut().zip(a.words.iter()).zip(b.words.iter()) {
+            *out = x & !y;
+            len += out.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
     /// Iterates the members in increasing vertex order.
     pub fn iter(&self) -> VertexSetIter<'_> {
         VertexSetIter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
@@ -193,14 +223,25 @@ impl VertexSet {
         out
     }
 
+    /// The packed words backing the set (bit `v % 64` of word `v / 64`).
+    /// Exposed for word-level algorithms (dense adjacency intersect-counts).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Size of the intersection with a raw word slice (same packing as
+    /// [`VertexSet::words`]); slices shorter than the set's word count are
+    /// treated as zero-extended.
+    #[inline]
+    pub fn intersection_len_words(&self, words: &[u64]) -> usize {
+        self.words.iter().zip(words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
     /// Size of the intersection without materializing it.
     pub fn intersection_len(&self, other: &VertexSet) -> usize {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersection_len");
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Whether `self` is a subset of `other`.
@@ -358,6 +399,46 @@ mod tests {
         assert_eq!(s.to_vec(), vec![2, 5, 9]);
         let empty: VertexSet = std::iter::empty::<Vertex>().collect();
         assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let src = VertexSet::from_iter(100, [1, 64, 99]);
+        let mut dst = VertexSet::from_iter(100, [2, 3]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.len(), 3);
+        let empty = VertexSet::new(100);
+        dst.copy_from(&empty);
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    fn assign_intersection_matches_intersection() {
+        let a = VertexSet::from_iter(130, [1, 2, 3, 64, 65, 129]);
+        let b = VertexSet::from_iter(130, [2, 3, 4, 65, 128]);
+        let mut out = VertexSet::from_iter(130, [77]);
+        out.assign_intersection(&a, &b);
+        assert_eq!(out, a.intersection(&b));
+        assert_eq!(out.to_vec(), vec![2, 3, 65]);
+    }
+
+    #[test]
+    fn assign_difference_matches_difference() {
+        let a = VertexSet::from_iter(130, [1, 2, 3, 64, 65, 129]);
+        let b = VertexSet::from_iter(130, [2, 3, 4, 65, 128]);
+        let mut out = VertexSet::from_iter(130, [77]);
+        out.assign_difference(&a, &b);
+        assert_eq!(out, a.difference(&b));
+        assert_eq!(out.to_vec(), vec![1, 64, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn copy_from_capacity_mismatch_panics() {
+        let mut a = VertexSet::new(10);
+        let b = VertexSet::new(20);
+        a.copy_from(&b);
     }
 
     #[test]

@@ -119,7 +119,9 @@ impl MultiLayerGraphBuilder {
     pub fn add_labeled_edge(&mut self, layer: Layer, u: &str, v: &str) -> Result<()> {
         let (a, b) = {
             let interner = self.labels.as_mut().ok_or_else(|| {
-                GraphError::InvalidArgument("add_labeled_edge requires a with_labels builder".into())
+                GraphError::InvalidArgument(
+                    "add_labeled_edge requires a with_labels builder".into(),
+                )
             })?;
             (interner.intern(u), interner.intern(v))
         };
@@ -206,10 +208,7 @@ mod tests {
     #[test]
     fn labeled_edge_on_index_builder_fails() {
         let mut b = MultiLayerGraphBuilder::new(3, 1);
-        assert!(matches!(
-            b.add_labeled_edge(0, "a", "b"),
-            Err(GraphError::InvalidArgument(_))
-        ));
+        assert!(matches!(b.add_labeled_edge(0, "a", "b"), Err(GraphError::InvalidArgument(_))));
     }
 
     #[test]

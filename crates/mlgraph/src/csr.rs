@@ -158,7 +158,7 @@ impl Csr {
                 if u as usize >= n || u == v {
                     return false;
                 }
-                if !self.neighbors(u).binary_search(&v).is_ok() {
+                if self.neighbors(u).binary_search(&v).is_err() {
                     return false;
                 }
                 if u > v {

@@ -1,0 +1,184 @@
+//! [`DenseSubgraph`]: a re-indexed multi-layer subgraph with per-layer
+//! adjacency bitsets, for word-level peeling over small vertex universes.
+//!
+//! The DCCS candidate generation peels thousands of layer subsets whose
+//! candidate sets all live inside one small universe (the union of the
+//! per-layer d-cores after preprocessing — typically a few hundred vertices
+//! even when the graph has many thousands). On that shape, the dominant cost
+//! of CSR peeling is scanning full adjacency lists with per-neighbor
+//! membership tests. Re-indexing the universe to `0..m` and storing each
+//! vertex's neighborhood as an `m`-bit row turns a degree-within query into
+//! `popcount(row ∧ set)` — a handful of word operations — and lets the
+//! cascade iterate `row ∧ alive` directly.
+//!
+//! Memory is `l · m · ⌈m/64⌉` words; callers should gate construction with
+//! [`DenseSubgraph::words_required`] and fall back to CSR peeling when the
+//! universe is too large for the budget.
+
+use crate::bitset::VertexSet;
+use crate::graph::MultiLayerGraph;
+use crate::{Layer, Vertex};
+
+/// A multi-layer subgraph over a re-indexed universe `0..m`, with one
+/// adjacency bitset row per (layer, vertex).
+#[derive(Clone, Debug)]
+pub struct DenseSubgraph {
+    /// New index → original vertex id (ascending).
+    mapping: Vec<Vertex>,
+    /// Original vertex id → new index (`u32::MAX` outside the universe).
+    inverse: Vec<u32>,
+    /// Words per adjacency row (`⌈m / 64⌉`).
+    words_per_row: usize,
+    /// Number of layers.
+    num_layers: usize,
+    /// Row-major rows: `adj[(layer * m + v) * words_per_row ..][..words_per_row]`.
+    adj: Vec<u64>,
+}
+
+impl DenseSubgraph {
+    /// Number of `u64` words a dense build over `universe_len` vertices and
+    /// `layers` layers would allocate; use to budget-gate construction.
+    pub fn words_required(universe_len: usize, layers: usize) -> usize {
+        layers * universe_len * universe_len.div_ceil(64)
+    }
+
+    /// Builds the dense re-indexed subgraph of `g` induced by `universe`.
+    pub fn build(g: &MultiLayerGraph, universe: &VertexSet) -> Self {
+        let mapping: Vec<Vertex> = universe.to_vec();
+        let m = mapping.len();
+        let mut inverse = vec![u32::MAX; g.num_vertices()];
+        for (new, &old) in mapping.iter().enumerate() {
+            inverse[old as usize] = new as u32;
+        }
+        let words_per_row = m.div_ceil(64);
+        let num_layers = g.num_layers();
+        let mut adj = vec![0u64; num_layers * m * words_per_row];
+        for layer in 0..num_layers {
+            let csr = g.layer(layer);
+            for (new_u, &old_u) in mapping.iter().enumerate() {
+                let base = (layer * m + new_u) * words_per_row;
+                let row = &mut adj[base..base + words_per_row];
+                for &old_v in csr.neighbors(old_u) {
+                    let new_v = inverse[old_v as usize];
+                    if new_v != u32::MAX {
+                        row[new_v as usize / 64] |= 1u64 << (new_v % 64);
+                    }
+                }
+            }
+        }
+        DenseSubgraph { mapping, inverse, words_per_row, num_layers, adj }
+    }
+
+    /// Universe size `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Whether the universe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mapping.is_empty()
+    }
+
+    /// Number of layers carried.
+    #[inline]
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// The adjacency row of re-indexed vertex `v` on `layer`.
+    #[inline]
+    pub fn row(&self, layer: Layer, v: Vertex) -> &[u64] {
+        let base = (layer * self.len() + v as usize) * self.words_per_row;
+        &self.adj[base..base + self.words_per_row]
+    }
+
+    /// `|N_layer(v) ∩ set|` via word-level intersect-count. `set` must be
+    /// over the re-indexed universe `0..m`.
+    #[inline]
+    pub fn degree_within(&self, layer: Layer, v: Vertex, set: &VertexSet) -> usize {
+        set.intersection_len_words(self.row(layer, v))
+    }
+
+    /// Compresses a set over the original universe into re-indexed space,
+    /// writing into `out` (capacity `m`). Vertices outside the universe are
+    /// dropped.
+    pub fn compress_into(&self, set: &VertexSet, out: &mut VertexSet) {
+        out.clear();
+        for v in set.iter() {
+            let new = self.inverse[v as usize];
+            if new != u32::MAX {
+                out.insert(new);
+            }
+        }
+    }
+
+    /// Expands a re-indexed set back to the original universe, writing into
+    /// `out` (capacity = original `n`).
+    pub fn expand_into(&self, set: &VertexSet, out: &mut VertexSet) {
+        out.clear();
+        for v in set.iter() {
+            out.insert(self.mapping[v as usize]);
+        }
+    }
+
+    /// A fresh set over the re-indexed universe.
+    pub fn new_set(&self) -> VertexSet {
+        VertexSet::new(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MultiLayerGraphBuilder;
+
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(10, 2);
+        for (u, v) in [(1, 3), (3, 5), (1, 5), (5, 9)] {
+            b.add_edge(0, u, v).unwrap();
+        }
+        for (u, v) in [(1, 9), (3, 9), (0, 2)] {
+            b.add_edge(1, u, v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn build_reindexes_and_counts_degrees() {
+        let g = graph();
+        let universe = VertexSet::from_iter(10, [1, 3, 5, 9]);
+        let dense = DenseSubgraph::build(&g, &universe);
+        assert_eq!(dense.len(), 4);
+        assert_eq!(dense.num_layers(), 2);
+        // New ids: 1→0, 3→1, 5→2, 9→3.
+        let all = VertexSet::full(4);
+        assert_eq!(dense.degree_within(0, 0, &all), 2); // 1 ~ {3,5}
+        assert_eq!(dense.degree_within(0, 2, &all), 3); // 5 ~ {1,3,9}
+        assert_eq!(dense.degree_within(1, 3, &all), 2); // 9 ~ {1,3} on layer 1
+                                                        // Edges to vertices outside the universe are dropped (0-2 on layer 1).
+        let without_9 = VertexSet::from_iter(4, [0, 1, 2]);
+        assert_eq!(dense.degree_within(0, 2, &without_9), 2);
+    }
+
+    #[test]
+    fn compress_expand_roundtrip() {
+        let g = graph();
+        let universe = VertexSet::from_iter(10, [1, 3, 5, 9]);
+        let dense = DenseSubgraph::build(&g, &universe);
+        let original = VertexSet::from_iter(10, [3, 9, 0]); // 0 outside universe
+        let mut compressed = dense.new_set();
+        dense.compress_into(&original, &mut compressed);
+        assert_eq!(compressed.to_vec(), vec![1, 3]);
+        let mut expanded = VertexSet::new(10);
+        dense.expand_into(&compressed, &mut expanded);
+        assert_eq!(expanded.to_vec(), vec![3, 9]);
+    }
+
+    #[test]
+    fn words_required_budget() {
+        assert_eq!(DenseSubgraph::words_required(128, 3), 3 * 128 * 2);
+        assert_eq!(DenseSubgraph::words_required(0, 3), 0);
+    }
+}

@@ -45,15 +45,18 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
-                f,
-                "vertex {vertex} out of range for a graph with {num_vertices} vertices"
-            ),
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for a graph with {num_vertices} vertices")
+            }
             GraphError::LayerOutOfRange { layer, num_layers } => {
                 write!(f, "layer {layer} out of range for a graph with {num_layers} layers")
             }
-            GraphError::SelfLoop { vertex } => write!(f, "self loop on vertex {vertex} is not allowed"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self loop on vertex {vertex} is not allowed")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Corrupt(msg) => write!(f, "corrupt graph snapshot: {msg}"),
             GraphError::Io(err) => write!(f, "i/o error: {err}"),
             GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),

@@ -44,9 +44,7 @@ impl Default for ChungLuConfig {
 /// Generates a multi-layer graph with power-law degree layers sharing hubs.
 pub fn chung_lu_layers(config: &ChungLuConfig) -> Result<MultiLayerGraph> {
     if config.num_vertices < 2 || config.num_layers == 0 {
-        return Err(GraphError::InvalidArgument(
-            "need at least 2 vertices and 1 layer".into(),
-        ));
+        return Err(GraphError::InvalidArgument("need at least 2 vertices and 1 layer".into()));
     }
     if config.exponent <= 1.0 {
         return Err(GraphError::InvalidArgument("exponent must be > 1".into()));

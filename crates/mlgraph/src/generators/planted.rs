@@ -95,9 +95,8 @@ pub fn planted_communities(config: &PlantedConfig) -> Result<PlantedOutput> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let n = config.num_vertices;
     let l = config.num_layers;
-    let mut per_layer: Vec<Vec<(Vertex, Vertex)>> = (0..l)
-        .map(|_| sample_edges(&mut rng, n, config.background_edges_per_layer))
-        .collect();
+    let mut per_layer: Vec<Vec<(Vertex, Vertex)>> =
+        (0..l).map(|_| sample_edges(&mut rng, n, config.background_edges_per_layer)).collect();
 
     let mut communities = Vec::with_capacity(config.num_communities);
     let all_vertices: Vec<Vertex> = (0..n as Vertex).collect();
@@ -165,7 +164,10 @@ mod tests {
                 let csr = out.graph.layer(layer);
                 for (i, &u) in c.members.iter().enumerate() {
                     for &v in &c.members[i + 1..] {
-                        assert!(csr.has_edge(u, v), "missing planted edge ({u},{v}) on layer {layer}");
+                        assert!(
+                            csr.has_edge(u, v),
+                            "missing planted edge ({u},{v}) on layer {layer}"
+                        );
                     }
                 }
             }

@@ -158,9 +158,10 @@ impl MultiLayerGraph {
                 Csr::from_edges(mapping.len(), &edges)
             })
             .collect();
-        let labels = self.vertex_labels.as_ref().map(|all| {
-            mapping.iter().map(|&old| all[old as usize].clone()).collect::<Vec<_>>()
-        });
+        let labels = self
+            .vertex_labels
+            .as_ref()
+            .map(|all| mapping.iter().map(|&old| all[old as usize].clone()).collect::<Vec<_>>());
         let sub = MultiLayerGraph::from_parts(layers, labels, self.layer_names.clone());
         (sub, mapping)
     }
@@ -175,7 +176,10 @@ impl MultiLayerGraph {
         let mut names = Vec::with_capacity(layer_set.len());
         for &i in layer_set {
             if i >= self.num_layers() {
-                return Err(GraphError::LayerOutOfRange { layer: i, num_layers: self.num_layers() });
+                return Err(GraphError::LayerOutOfRange {
+                    layer: i,
+                    num_layers: self.num_layers(),
+                });
             }
             layers.push(self.layers[i].clone());
             names.push(self.layer_names[i].clone());

@@ -8,6 +8,8 @@
 //!   peeling and coverage routine.
 //! * [`Csr`] — a compressed sparse row representation of one undirected
 //!   layer (sorted, deduplicated adjacency lists).
+//! * [`DenseSubgraph`] — a re-indexed subgraph with per-layer adjacency
+//!   bitsets, for word-level peeling over small candidate universes.
 //! * [`MultiLayerGraph`] / [`MultiLayerGraphBuilder`] — a set of CSR layers
 //!   sharing one vertex universe, with optional vertex and layer labels.
 //! * [`io`] — text edge-list and binary snapshot readers/writers plus DOT
@@ -47,6 +49,7 @@ pub mod algo;
 pub mod bitset;
 pub mod builder;
 pub mod csr;
+pub mod dense;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -57,6 +60,7 @@ pub mod stats;
 pub use bitset::VertexSet;
 pub use builder::MultiLayerGraphBuilder;
 pub use csr::Csr;
+pub use dense::DenseSubgraph;
 pub use error::{GraphError, Result};
 pub use graph::MultiLayerGraph;
 pub use stats::{GraphStats, LayerStats};

@@ -18,7 +18,9 @@ use rand::SeedableRng;
 /// `p` must lie in `(0, 1]`. `p = 1.0` returns a structural copy of `g`.
 pub fn sample_vertices(g: &MultiLayerGraph, p: f64, seed: u64) -> Result<MultiLayerGraph> {
     if !(p > 0.0 && p <= 1.0) {
-        return Err(GraphError::InvalidArgument(format!("vertex fraction p={p} must be in (0, 1]")));
+        return Err(GraphError::InvalidArgument(format!(
+            "vertex fraction p={p} must be in (0, 1]"
+        )));
     }
     let n = g.num_vertices();
     if p >= 1.0 {

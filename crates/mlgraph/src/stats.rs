@@ -45,15 +45,18 @@ impl GraphStats {
             .iter()
             .enumerate()
             .map(|(i, layer)| {
-                let active =
-                    (0..n as u32).filter(|&v| layer.degree(v) > 0).count();
+                let active = (0..n as u32).filter(|&v| layer.degree(v) > 0).count();
                 LayerStats {
                     layer: i,
                     name: g.layer_name(i).to_string(),
                     num_edges: layer.num_edges(),
                     active_vertices: active,
                     max_degree: layer.max_degree(),
-                    avg_degree: if n == 0 { 0.0 } else { 2.0 * layer.num_edges() as f64 / n as f64 },
+                    avg_degree: if n == 0 {
+                        0.0
+                    } else {
+                        2.0 * layer.num_edges() as f64 / n as f64
+                    },
                 }
             })
             .collect();

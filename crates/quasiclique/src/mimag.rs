@@ -125,7 +125,8 @@ mod tests {
 
     #[test]
     fn empty_graph_gives_empty_result() {
-        let g = mlgraph::MultiLayerGraph::from_edge_lists(5, &[vec![(0, 1)], vec![(1, 2)]]).unwrap();
+        let g =
+            mlgraph::MultiLayerGraph::from_edge_lists(5, &[vec![(0, 1)], vec![(1, 2)]]).unwrap();
         let result = mimag_baseline(&g, &config(), 3);
         assert_eq!(result.num_results(), 0);
         assert_eq!(result.cover_size(), 0);

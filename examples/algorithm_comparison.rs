@@ -13,11 +13,7 @@ fn main() {
     let dataset = generate(DatasetId::German, Scale::Small);
     let graph = &dataset.graph;
     let l = graph.num_layers();
-    println!(
-        "dataset: German analogue with {} vertices, {} layers",
-        graph.num_vertices(),
-        l
-    );
+    println!("dataset: German analogue with {} vertices, {} layers", graph.num_vertices(), l);
 
     let d = 4;
     let k = 10;
@@ -30,17 +26,28 @@ fn main() {
     let par = parallel_greedy_dccs(graph, &params, 4);
     for (name, time, cover, cands) in [
         ("GD-DCCS", gd.elapsed.as_secs_f64(), gd.cover_size(), gd.stats.candidates_generated),
-        ("GD-DCCS (4 threads)", par.elapsed.as_secs_f64(), par.cover_size(), par.stats.candidates_generated),
+        (
+            "GD-DCCS (4 threads)",
+            par.elapsed.as_secs_f64(),
+            par.cover_size(),
+            par.stats.candidates_generated,
+        ),
         ("BU-DCCS", bu.elapsed.as_secs_f64(), bu.cover_size(), bu.stats.candidates_generated),
     ] {
         println!("{name:<24} {time:>10.4} {cover:>8} {cands:>12}");
     }
     println!(
         "search-space reduction of BU-DCCS vs GD-DCCS: {:.1}%",
-        100.0 * (1.0 - bu.stats.candidates_generated as f64 / gd.stats.candidates_generated.max(1) as f64)
+        100.0
+            * (1.0
+                - bu.stats.candidates_generated as f64
+                    / gd.stats.candidates_generated.max(1) as f64)
     );
 
-    println!("\n-- large support threshold (s = l - 2 = {}): TD-DCCS is the recommended algorithm --", l - 2);
+    println!(
+        "\n-- large support threshold (s = l - 2 = {}): TD-DCCS is the recommended algorithm --",
+        l - 2
+    );
     println!("{:<24} {:>10} {:>8} {:>12}", "algorithm", "time (s)", "cover", "candidates");
     let params = DccsParams::new(d, l - 2, k);
     let gd = greedy_dccs(graph, &params);

@@ -36,7 +36,12 @@ fn main() {
 
         let qc = mimag_baseline(
             graph,
-            &QcConfig { gamma: 0.8, min_support: s, min_size: (d + 1) as usize, ..QcConfig::default() },
+            &QcConfig {
+                gamma: 0.8,
+                min_support: s,
+                min_size: (d + 1) as usize,
+                ..QcConfig::default()
+            },
             k,
         );
         let found_qc = complexes_found(&truth.modules, &qc.quasi_cliques);

@@ -40,7 +40,12 @@ fn main() {
     }
     let graph = builder.build();
 
-    println!("graph: {} vertices, {} layers, {} edges total", graph.num_vertices(), graph.num_layers(), graph.total_edges());
+    println!(
+        "graph: {} vertices, {} layers, {} edges total",
+        graph.num_vertices(),
+        graph.num_layers(),
+        graph.total_edges()
+    );
 
     // Per-layer d-cores and a multi-layer d-CC.
     let d = 3;
@@ -58,9 +63,7 @@ fn main() {
     let top_down = top_down_dccs(&graph, &params);
 
     println!("\nDCCS with d={}, s={}, k={}:", params.d, params.s, params.k);
-    for (name, result) in
-        [("GD-DCCS", &greedy), ("BU-DCCS", &bottom_up), ("TD-DCCS", &top_down)]
-    {
+    for (name, result) in [("GD-DCCS", &greedy), ("BU-DCCS", &bottom_up), ("TD-DCCS", &top_down)] {
         println!(
             "  {name}: cover {} vertices in {:.4}s ({} candidate d-CCs examined)",
             result.cover_size(),

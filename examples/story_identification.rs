@@ -47,9 +47,18 @@ fn report(
     result: &dccs::DccsResult,
     stories: &datasets::GroundTruth,
 ) {
-    println!("\n{name} with s = {s}: {} entities covered in {:.3}s", result.cover_size(), result.elapsed.as_secs_f64());
+    println!(
+        "\n{name} with s = {s}: {} entities covered in {:.3}s",
+        result.cover_size(),
+        result.elapsed.as_secs_f64()
+    );
     for (i, core) in result.cores.iter().enumerate().take(5) {
-        println!("  story candidate {:>2}: {} entities recurring on windows {:?}", i + 1, core.len(), core.layers);
+        println!(
+            "  story candidate {:>2}: {} entities recurring on windows {:?}",
+            i + 1,
+            core.len(),
+            core.layers
+        );
     }
     // How many planted stories are recovered (entirely contained in a core)?
     let dense: Vec<VertexSet> = result.cores.iter().map(|c| c.vertices.clone()).collect();

@@ -44,8 +44,7 @@ fn disabling_preprocessing_increases_explored_candidates() {
     let ds = generate(DatasetId::German, Scale::Tiny);
     let params = DccsParams::new(3, 3, 10);
     let with_pre = bottom_up_dccs(&ds.graph, &params);
-    let without_ir =
-        bottom_up_dccs_with_options(&ds.graph, &params, &DccsOptions::no_init_topk());
+    let without_ir = bottom_up_dccs_with_options(&ds.graph, &params, &DccsOptions::no_init_topk());
     assert!(without_ir.stats.dcc_calls >= with_pre.stats.dcc_calls);
 }
 

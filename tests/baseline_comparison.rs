@@ -2,7 +2,9 @@
 //! path behind the paper's Figs. 29–32.
 
 use datasets::{generate, DatasetId, Scale};
-use dccs::{bottom_up_dccs, complexes_found, containment_distribution, CoverSimilarity, DccsParams};
+use dccs::{
+    bottom_up_dccs, complexes_found, containment_distribution, CoverSimilarity, DccsParams,
+};
 use mlgraph::VertexSet;
 use quasiclique::{mimag_baseline, supporting_layers, QcConfig};
 

@@ -32,7 +32,12 @@ fn all_algorithms_agree_on_core_validity_for_a_module_dataset() {
         assert!(result.cover_size() > 0, "planted modules must be detectable");
         for core in &result.cores {
             assert_eq!(core.layers.len(), params.s);
-            assert!(coreness::is_d_dense_multilayer(&ds.graph, &core.layers, &core.vertices, params.d));
+            assert!(coreness::is_d_dense_multilayer(
+                &ds.graph,
+                &core.layers,
+                &core.vertices,
+                params.d
+            ));
         }
     }
     // The three covers are comparable in size (all are constant-factor
@@ -67,12 +72,8 @@ fn planted_modules_are_recovered_on_their_layers() {
     let bu = bottom_up_dccs(&ds.graph, &params);
     // At least half of the planted complexes are fully covered by the result
     // cover (they are planted with density 0.9 on 5 of 8 layers).
-    let fully_covered = ds
-        .ground_truth
-        .modules
-        .iter()
-        .filter(|m| m.iter().all(|&v| bu.cover.contains(v)))
-        .count();
+    let fully_covered =
+        ds.ground_truth.modules.iter().filter(|m| m.iter().all(|&v| bu.cover.contains(v))).count();
     assert!(
         2 * fully_covered >= ds.ground_truth.len(),
         "only {fully_covered}/{} planted complexes covered",

@@ -29,7 +29,7 @@ fn fig1_like_graph() -> mlgraph::MultiLayerGraph {
             for v in (u + 1)..=I {
                 // A near-clique: drop a few edges in a rotating pattern so the
                 // block is dense but not complete.
-                if (u + v + layer as u32) % 7 != 0 {
+                if !(u + v + layer as u32).is_multiple_of(7) {
                     b.add_edge(layer, u, v).unwrap();
                 }
             }
@@ -42,13 +42,17 @@ fn fig1_like_graph() -> mlgraph::MultiLayerGraph {
     }
     // x, y, m (10, 11, 12): a triangle with the core on layers 0 and 2.
     for layer in [0usize, 2] {
-        for (u, v) in [(10, 11), (11, 12), (10, 12), (10, A), (11, 1), (12, 2), (10, 3), (11, 4), (12, 5)] {
+        for (u, v) in
+            [(10, 11), (11, 12), (10, 12), (10, A), (11, 1), (12, 2), (10, 3), (11, 4), (12, 5)]
+        {
             b.add_edge(layer, u, v).unwrap();
         }
     }
     // m, n, k (12, 13, 14): dense with the core on layers 1 and 3.
     for layer in [1usize, 3] {
-        for (u, v) in [(12, 13), (13, 14), (12, 14), (13, A), (14, 1), (12, 2), (13, 3), (14, 4), (12, 5)] {
+        for (u, v) in
+            [(12, 13), (13, 14), (12, 14), (13, A), (14, 1), (12, 2), (13, 3), (14, 4), (12, 5)]
+        {
             b.add_edge(layer, u, v).unwrap();
         }
     }

@@ -1,0 +1,180 @@
+//! Minimal vendored benchmark harness exposing the subset of the `criterion`
+//! API the workspace benches use. Instead of criterion's statistical
+//! machinery it runs a fixed warm-up, then samples the benchmark until a
+//! small time budget is exhausted and reports the median per-iteration time.
+//!
+//! Output format (one line per benchmark, parsed by the bench runner):
+//!
+//! ```text
+//! bench: <group>/<name> ... median <ns> ns (<samples> samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Per-process registry entry so `criterion_main!` can honor a substring
+/// filter passed on the command line (`cargo bench -- <filter>`).
+fn filter_from_args() -> Option<String> {
+    // Skip flags (e.g. --bench) that cargo forwards; the first free-standing
+    // token is the substring filter.
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: filter_from_args(), default_sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), sample_size: None }
+    }
+
+    /// Registers a stand-alone benchmark (groupless).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_owned();
+        run_benchmark(self.filter.as_deref(), &label, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone (criterion's
+    /// `BenchmarkId::from_parameter`).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.default_sample_size)
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion.filter.as_deref(), &label, self.effective_samples(), f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(self.criterion.filter.as_deref(), &label, self.effective_samples(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the most recent `iter` call.
+    sample_ns: u128,
+}
+
+impl Bencher {
+    /// Times one sample of `f`, storing nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.sample_ns = start.elapsed().as_nanos().max(1);
+        std::hint::black_box(&out);
+    }
+}
+
+fn run_benchmark<F>(filter: Option<&str>, label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !label.contains(filter) {
+            return;
+        }
+    }
+    let mut b = Bencher { sample_ns: 0 };
+    // Warm-up: one untimed run.
+    f(&mut b);
+    let budget = Duration::from_millis(500);
+    let started = Instant::now();
+    let mut observed: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(5) {
+        f(&mut b);
+        observed.push(b.sample_ns);
+        if started.elapsed() > budget && observed.len() >= 5 {
+            break;
+        }
+    }
+    observed.sort_unstable();
+    let median = observed[observed.len() / 2];
+    println!("bench: {label} ... median {median} ns ({} samples)", observed.len());
+}
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

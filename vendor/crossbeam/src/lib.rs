@@ -1,0 +1,53 @@
+//! Minimal vendored stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope`. Only the `crossbeam::scope(|s| { s.spawn(|_| …) })`
+//! shape used by the parallel candidate generation is provided.
+
+/// A scope handle passed to [`scope`] and to every spawned closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again, so
+    /// nested spawns are possible (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow from the environment;
+/// all threads are joined before this returns. Mirrors `crossbeam::scope`,
+/// including the `Result` wrapper (`Err` is never produced here — a panicking
+/// child propagates the panic, as with `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data: Vec<usize> = (0..100).collect();
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let local: usize = data.iter().sum();
+                    counter.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4950 * 4);
+    }
+}

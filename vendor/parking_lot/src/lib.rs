@@ -1,0 +1,41 @@
+//! Minimal vendored stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Only [`Mutex`] is provided (the single primitive the workspace uses).
+//! Poisoning is translated into a panic, matching parking_lot's
+//! no-poisoning API shape.
+
+/// A mutex with parking_lot's non-poisoning API, backed by `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquires the lock, panicking if a previous holder panicked.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned by a panicking holder")
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned by a panicking holder")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(Vec::<u32>::new());
+        m.lock().push(1);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

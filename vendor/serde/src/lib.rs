@@ -1,0 +1,31 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! The build environment has no network access and no crates.io registry, so
+//! this workspace vendors the *exact* dependency surface it uses. Nothing in
+//! the repository currently calls a serialization method — the `Serialize` /
+//! `Deserialize` derives only brand types as serializable — so the traits are
+//! plain markers and the derives emit empty impls. If real serialization is
+//! ever needed, replace this crate with the upstream `serde` (the API here is
+//! name-compatible).
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}

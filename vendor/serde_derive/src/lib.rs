@@ -1,0 +1,36 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde stand-in.
+//!
+//! The traits in the companion `serde` crate are markers with no items, so
+//! the derive only has to name the type. Generic types are not supported —
+//! none of the workspace types deriving serde traits are generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following the `struct` / `enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(ident) = tt {
+            let text = ident.to_string();
+            if saw_keyword {
+                return text;
+            }
+            if text == "struct" || text == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stand-in: expected a struct or enum definition");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Deserialize for {name} {{}}").parse().unwrap()
+}

@@ -1,0 +1,189 @@
+//! Minimal vendored stand-in for `serde_json`: a JSON value tree plus a
+//! pretty emitter. The bench runner builds [`Value`] trees by hand and writes
+//! them with [`to_string_pretty`]; no generic `Serialize` bridge is provided
+//! because the offline `serde` stand-in is a marker-trait shim.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, stored as `f64` (integers round-trip exactly up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(v as f64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(v as f64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>, V: Into<Value>>(pairs: Vec<(K, V)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_into(out: &mut String, n: f64) {
+    if n.is_finite() {
+        if n.fract() == 0.0 && n.abs() < 9.0e15 {
+            let _ = write!(out, "{}", n as i64);
+        } else {
+            let _ = write!(out, "{n}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn emit(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let pad = |out: &mut String, level: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => number_into(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                emit(out, item, indent + 1, pretty);
+            }
+            if !items.is_empty() {
+                pad(out, indent);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                emit(out, item, indent + 1, pretty);
+            }
+            if !pairs.is_empty() {
+                pad(out, indent);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact JSON encoding of `v`.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    emit(&mut out, v, 0, false);
+    out
+}
+
+/// Pretty (2-space indented) JSON encoding of `v`.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    emit(&mut out, v, 0, true);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_nested_values() {
+        let v = Value::object(vec![
+            ("name", Value::from("dcc")),
+            ("runs", Value::from(vec![1usize, 2, 3])),
+            ("ok", Value::from(true)),
+        ]);
+        assert_eq!(to_string(&v), r#"{"name":"dcc","runs":[1,2,3],"ok":true}"#);
+        assert!(to_string_pretty(&v).contains("\n  \"runs\""));
+    }
+
+    #[test]
+    fn escapes_strings_and_formats_numbers() {
+        assert_eq!(to_string(&Value::from("a\"b\n")), r#""a\"b\n""#);
+        assert_eq!(to_string(&Value::Number(2.5)), "2.5");
+        assert_eq!(to_string(&Value::Number(3.0)), "3");
+        assert_eq!(to_string(&Value::Null), "null");
+    }
+}
