@@ -64,17 +64,11 @@ fn bench_candidate_generation(c: &mut Criterion) {
         });
         group.bench_function(&format!("naive/s{s}"), |b| {
             b.iter(|| {
-                let mut emitted = 0usize;
-                for subset in dccs::layer_subsets::combinations(ds.graph.num_layers(), params.s) {
-                    let mut candidate = pre.layer_cores[subset[0]].clone();
-                    for &i in &subset[1..] {
-                        candidate.intersect_with(&pre.layer_cores[i]);
-                    }
-                    let core =
-                        coreness::d_coherent_core_naive(&ds.graph, &subset, params.d, &candidate);
-                    emitted += core.len();
-                }
-                emitted
+                // The shared frozen oracle (pre-refactor per-subset path).
+                dccs::naive_subset_cores(&ds.graph, params.d, params.s, &pre.layer_cores)
+                    .iter()
+                    .map(|(_, core)| core.len())
+                    .sum::<usize>()
             });
         });
     }

@@ -1,23 +1,28 @@
-//! Records the `dCC` engine-vs-naive baseline as `BENCH_dcc.json`.
+//! Records the `dCC` engine-vs-naive baseline and the executor's
+//! thread-scaling measurements as `BENCH_dcc.json`.
 //!
 //! ```text
-//! bench_dcc [--scale tiny|small|full] [--runs N] [--out PATH]
+//! bench_dcc [--scale tiny|small|full] [--runs N] [--threads N] [--out PATH]
 //! ```
 //!
 //! The engine path (subset-lattice candidate generation on a reused
-//! `PeelWorkspace`) is compared against the pre-refactor path (per-subset
-//! core intersection + allocating peel) on the Wiki and German analogues;
-//! per-configuration timings and the geometric-mean speedup are printed and
-//! written as JSON.
+//! `PeelWorkspace`, dense-vs-CSR chosen by the cost model) is compared
+//! against the frozen pre-refactor path (`dccs::naive_subset_cores`) on the
+//! Wiki and German analogues, then each algorithm is run end to end at 1 vs
+//! `--threads` executor workers; per-configuration timings, the chosen
+//! index path, and the geometric-mean speedup are printed and written as
+//! JSON.
 
 use datasets::Scale;
-use dccs_bench::dcc_baseline::{baseline_suite, suite_to_json};
+use dccs_bench::dcc_baseline::{baseline_suite, suite_to_json, thread_scaling_suite};
 
-const USAGE: &str = "usage: bench_dcc [--scale tiny|small|full] [--runs N] [--out PATH]";
+const USAGE: &str =
+    "usage: bench_dcc [--scale tiny|small|full] [--runs N] [--threads N] [--out PATH]";
 
 fn main() {
     let mut scale = Scale::Tiny;
     let mut runs = 5usize;
+    let mut threads = 4usize;
     let mut out_path = String::from("BENCH_dcc.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +51,16 @@ fn main() {
                     }
                 };
             }
+            "--threads" => {
+                let value = args.next().unwrap_or_default();
+                threads = match value.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--threads needs a number >= 1\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--out" => {
                 out_path = args.next().unwrap_or(out_path);
             }
@@ -59,17 +74,32 @@ fn main() {
     let comparisons = baseline_suite(scale, runs);
     for c in &comparisons {
         println!(
-            "{:>8} d={} s={} candidates={:>4}  engine {:>10.6}s  naive {:>10.6}s  speedup {:>5.2}x",
+            "{:>8} d={} s={} candidates={:>4}  engine {:>10.6}s  naive {:>10.6}s  speedup {:>5.2}x  [{:?}]",
             c.dataset,
             c.d,
             c.s,
             c.candidates,
             c.engine_secs,
             c.naive_secs,
-            c.speedup()
+            c.speedup(),
+            c.index_path,
         );
     }
-    let json = suite_to_json(scale, runs, &comparisons);
+    let scaling = thread_scaling_suite(scale, runs, threads);
+    for t in &scaling {
+        println!(
+            "{:>8} {:<8} d={} s={}  1-thread {:>10.6}s  {}-thread {:>10.6}s  speedup {:>5.2}x",
+            t.dataset,
+            t.algorithm,
+            t.d,
+            t.s,
+            t.secs_1,
+            t.threads,
+            t.secs_n,
+            t.speedup(),
+        );
+    }
+    let json = suite_to_json(scale, runs, &comparisons, &scaling);
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {
         eprintln!("failed to write {out_path}: {err}");

@@ -1,23 +1,22 @@
-//! Engine-vs-naive baseline measurement for the `dCC` peeling engine,
-//! recorded as `BENCH_dcc.json` by the `bench_dcc` binary.
+//! Engine-vs-naive and thread-scaling measurements for the `dCC` peeling
+//! engine, recorded as `BENCH_dcc.json` by the `bench_dcc` binary.
 //!
-//! Two code paths are compared on a synthetic benchmark graph:
+//! Two groups are recorded on synthetic benchmark graphs:
 //!
-//! * **engine** — the subset-lattice candidate generation: prefix-seeded
-//!   peels on a reused [`PeelWorkspace`] (the post-refactor hot path of
-//!   `GD-DCCS`);
-//! * **naive** — the pre-refactor path: per layer subset, intersect the
-//!   memoized per-layer d-cores and run the per-call-allocating reference
-//!   peel [`coreness::d_coherent_core_naive`].
-//!
-//! Both paths produce identical candidate cores (checksummed to make sure);
-//! only the time differs.
+//! * **engine vs naive** — the subset-lattice candidate generation
+//!   (prefix-seeded peels on a reused [`PeelWorkspace`], dense-vs-CSR chosen
+//!   by the [`dccs::engine`] cost model) against the frozen pre-refactor
+//!   oracle [`dccs::naive_subset_cores`] (per-subset intersection +
+//!   allocating peel). Both paths produce identical candidate cores
+//!   (checksummed to make sure); only the time differs.
+//! * **thread scaling** — each DCCS algorithm end to end at 1 executor
+//!   thread vs `N`, asserting the covers match (the executor's determinism
+//!   contract) and recording both times.
 
+use crate::runner::{run_algorithm, Algorithm};
 use coreness::PeelWorkspace;
 use datasets::{generate, Dataset, DatasetId, Scale};
-use dccs::layer_subsets::combinations;
-use dccs::preprocess::preprocess;
-use dccs::{DccsOptions, DccsParams};
+use dccs::{DccsOptions, DccsParams, IndexPath};
 use serde_json::Value;
 use std::time::Instant;
 
@@ -38,6 +37,8 @@ pub struct Comparison {
     pub naive_secs: f64,
     /// Checksum over emitted cores (must match between the two paths).
     pub checksum: u64,
+    /// Adjacency representation the cost model picked for the engine run.
+    pub index_path: IndexPath,
 }
 
 impl Comparison {
@@ -56,6 +57,50 @@ impl Comparison {
             ("engine_secs", Value::from(self.engine_secs)),
             ("naive_secs", Value::from(self.naive_secs)),
             ("speedup", Value::from(self.speedup())),
+            ("index_path", Value::from(format!("{:?}", self.index_path))),
+        ])
+    }
+}
+
+/// One 1-vs-N-thread measurement of a full algorithm run.
+#[derive(Clone, Debug)]
+pub struct ThreadScaling {
+    /// Dataset analogue name.
+    pub dataset: String,
+    /// Algorithm name (`GD-DCCS`, `BU-DCCS`, `TD-DCCS`).
+    pub algorithm: &'static str,
+    /// Degree threshold.
+    pub d: u32,
+    /// Layer-subset size.
+    pub s: usize,
+    /// Worker count of the multi-threaded run.
+    pub threads: usize,
+    /// Best-of-N wall time at 1 thread, seconds.
+    pub secs_1: f64,
+    /// Best-of-N wall time at `threads` workers, seconds.
+    pub secs_n: f64,
+    /// `|Cov(R)|` — identical at both thread counts by construction.
+    pub cover: usize,
+}
+
+impl ThreadScaling {
+    /// `secs_1 / secs_n` (> 1 means the threaded run was faster).
+    pub fn speedup(&self) -> f64 {
+        self.secs_1 / self.secs_n
+    }
+
+    /// Renders the measurement as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("algorithm", Value::from(self.algorithm)),
+            ("d", Value::from(self.d)),
+            ("s", Value::from(self.s)),
+            ("threads", Value::from(self.threads)),
+            ("secs_1", Value::from(self.secs_1)),
+            ("secs_n", Value::from(self.secs_n)),
+            ("speedup", Value::from(self.speedup())),
+            ("cover", Value::from(self.cover)),
         ])
     }
 }
@@ -80,28 +125,26 @@ fn best_of<F: FnMut() -> u64>(runs: usize, mut f: F) -> (f64, u64) {
 /// the bench double-checking the equivalence the property tests prove).
 pub fn compare_candidate_generation(ds: &Dataset, d: u32, s: usize, runs: usize) -> Comparison {
     let params = DccsParams::new(d, s, 10);
-    let pre = preprocess(&ds.graph, &params, &DccsOptions::default());
+    let pre = dccs::preprocess::preprocess(&ds.graph, &params, &DccsOptions::default());
     let l = ds.graph.num_layers();
 
     let mut ws = PeelWorkspace::new();
+    let mut index_path = IndexPath::Csr;
     let (engine_secs, engine_sum) = best_of(runs, || {
         let mut checksum = 0u64;
-        dccs::for_each_subset_core(&ds.graph, d, s, &pre.layer_cores, &mut ws, |_, core| {
-            for v in core.iter() {
-                checksum = checksum.wrapping_mul(31).wrapping_add(v as u64 + 1);
-            }
-        });
+        let stats =
+            dccs::for_each_subset_core(&ds.graph, d, s, &pre.layer_cores, &mut ws, |_, core| {
+                for v in core.iter() {
+                    checksum = checksum.wrapping_mul(31).wrapping_add(v as u64 + 1);
+                }
+            });
+        index_path = stats.index_path;
         checksum
     });
 
     let (naive_secs, naive_sum) = best_of(runs, || {
         let mut checksum = 0u64;
-        for subset in combinations(l, s) {
-            let mut candidate = pre.layer_cores[subset[0]].clone();
-            for &i in &subset[1..] {
-                candidate.intersect_with(&pre.layer_cores[i]);
-            }
-            let core = coreness::d_coherent_core_naive(&ds.graph, &subset, d, &candidate);
+        for (_, core) in dccs::naive_subset_cores(&ds.graph, d, s, &pre.layer_cores) {
             for v in core.iter() {
                 checksum = checksum.wrapping_mul(31).wrapping_add(v as u64 + 1);
             }
@@ -114,10 +157,54 @@ pub fn compare_candidate_generation(ds: &Dataset, d: u32, s: usize, runs: usize)
         dataset: format!("{:?}", ds.id),
         d,
         s,
-        candidates: combinations(l, s).count(),
+        candidates: dccs::layer_subsets::combinations(l, s).count(),
         engine_secs,
         naive_secs,
         checksum: engine_sum,
+        index_path,
+    }
+}
+
+/// Measures one algorithm end to end at 1 executor thread and at `threads`,
+/// asserting the covers agree (they must — the executor is deterministic).
+///
+/// Caveat: each timed run includes the executor's per-run worker
+/// spawn/join (`with_pool` creates the crew per algorithm invocation), so
+/// on sub-millisecond inputs — the tiny analogues — `secs_n` is dominated
+/// by that fixed cost and understates the scheduling speedup larger inputs
+/// would see.
+pub fn compare_thread_scaling(
+    ds: &Dataset,
+    algorithm: Algorithm,
+    d: u32,
+    s: usize,
+    threads: usize,
+    runs: usize,
+) -> ThreadScaling {
+    let params = DccsParams::new(d, s, 10);
+    let mut cover_1 = 0usize;
+    let (secs_1, _) = best_of(runs, || {
+        let outcome = run_algorithm(algorithm, &ds.graph, &params, &DccsOptions::with_threads(1));
+        cover_1 = outcome.cover_size;
+        cover_1 as u64
+    });
+    let mut cover_n = 0usize;
+    let (secs_n, _) = best_of(runs, || {
+        let outcome =
+            run_algorithm(algorithm, &ds.graph, &params, &DccsOptions::with_threads(threads));
+        cover_n = outcome.cover_size;
+        cover_n as u64
+    });
+    assert_eq!(cover_1, cover_n, "thread count changed the cover — determinism violated");
+    ThreadScaling {
+        dataset: format!("{:?}", ds.id),
+        algorithm: algorithm.name(),
+        d,
+        s,
+        threads,
+        secs_1,
+        secs_n,
+        cover: cover_1,
     }
 }
 
@@ -136,8 +223,27 @@ pub fn baseline_suite(scale: Scale, runs: usize) -> Vec<Comparison> {
     out
 }
 
-/// Renders a suite as the `BENCH_dcc.json` document.
-pub fn suite_to_json(scale: Scale, runs: usize, comparisons: &[Comparison]) -> Value {
+/// The 1-vs-N-thread suite: every algorithm on the Wiki and German
+/// analogues at a representative `(d, s)` each.
+pub fn thread_scaling_suite(scale: Scale, runs: usize, threads: usize) -> Vec<ThreadScaling> {
+    let mut out = Vec::new();
+    for id in [DatasetId::Wiki, DatasetId::German] {
+        let ds = generate(id, scale);
+        let s = 2.min(ds.graph.num_layers());
+        for algorithm in [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown] {
+            out.push(compare_thread_scaling(&ds, algorithm, 3, s, threads, runs));
+        }
+    }
+    out
+}
+
+/// Renders the two suites as the `BENCH_dcc.json` document.
+pub fn suite_to_json(
+    scale: Scale,
+    runs: usize,
+    comparisons: &[Comparison],
+    scaling: &[ThreadScaling],
+) -> Value {
     let geomean = if comparisons.is_empty() {
         1.0
     } else {
@@ -150,6 +256,7 @@ pub fn suite_to_json(scale: Scale, runs: usize, comparisons: &[Comparison]) -> V
         ("runs_per_measurement", Value::from(runs)),
         ("geomean_speedup", Value::from(geomean)),
         ("comparisons", Value::Array(comparisons.iter().map(Comparison::to_json).collect())),
+        ("thread_scaling", Value::Array(scaling.iter().map(ThreadScaling::to_json).collect())),
     ])
 }
 
@@ -163,9 +270,22 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json = suite_to_json(Scale::Tiny, 1, &[cmp]);
+        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
+        assert!(text.contains("\"index_path\""));
+        assert!(text.contains("\"thread_scaling\""));
+    }
+
+    #[test]
+    fn thread_scaling_is_deterministic_and_recorded() {
+        let ds = generate(DatasetId::German, Scale::Tiny);
+        let ts = compare_thread_scaling(&ds, Algorithm::BottomUp, 2, 2, 2, 1);
+        assert!(ts.secs_1 > 0.0 && ts.secs_n > 0.0);
+        let json = ts.to_json();
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"algorithm\": \"BU-DCCS\""));
+        assert!(text.contains("\"threads\": 2"));
     }
 }

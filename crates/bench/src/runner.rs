@@ -68,6 +68,10 @@ impl RunOutcome {
 }
 
 /// Runs one algorithm with the given options and collects the outcome.
+///
+/// The options' `threads` knob selects the shared executor's width for every
+/// algorithm (see `dccs::engine`); results are identical at any thread
+/// count, so bench sweeps can vary it freely without re-validating outputs.
 pub fn run_algorithm(
     algorithm: Algorithm,
     g: &MultiLayerGraph,
@@ -120,5 +124,17 @@ mod tests {
         assert!(4 * bu.cover_size >= gd.cover_size);
         assert!(4 * td.cover_size >= gd.cover_size);
         assert!(gd.candidates >= bu.candidates);
+    }
+
+    #[test]
+    fn threads_knob_does_not_change_any_outcome() {
+        let ds = generate(DatasetId::Ppi, Scale::Tiny);
+        let params = DccsParams::new(2, 2, 5);
+        for algorithm in [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown] {
+            let seq = run_algorithm(algorithm, &ds.graph, &params, &DccsOptions::default());
+            let par = run_algorithm(algorithm, &ds.graph, &params, &DccsOptions::with_threads(3));
+            assert_eq!(seq.cover_size, par.cover_size, "{}", algorithm.name());
+            assert_eq!(seq.result.stats, par.result.stats, "{}", algorithm.name());
+        }
     }
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! dccs stats   (--input FILE | --dataset NAME [--scale S])
 //! dccs run     (--input FILE | --dataset NAME [--scale S]) [--algorithm gd|bu|td]
-//!              [-d N] [-s N] [-k N] [--no-vd] [--no-sl] [--no-ir]
+//!              [-d N] [-s N] [-k N] [--threads N] [--no-vd] [--no-sl] [--no-ir]
 //! dccs compare (--input FILE | --dataset NAME [--scale S]) [-d N] [-s N] [-k N]
+//!              [--threads N]
 //! dccs generate --dataset NAME [--scale S] --output FILE
 //! ```
 //!
@@ -23,12 +24,17 @@ dccs — diversified coherent core search on multi-layer graphs
 USAGE:
     dccs stats    (--input FILE | --dataset NAME [--scale tiny|small|full])
     dccs run      (--input FILE | --dataset NAME [--scale SCALE])
-                  [--algorithm gd|bu|td] [-d N] [-s N] [-k N]
+                  [--algorithm gd|bu|td] [-d N] [-s N] [-k N] [--threads N]
                   [--no-vd] [--no-sl] [--no-ir]
     dccs compare  (--input FILE | --dataset NAME [--scale SCALE]) [-d N] [-s N] [-k N]
+                  [--threads N]
     dccs generate --dataset NAME [--scale SCALE] --output FILE
 
-DEFAULTS: -d 4, -s 3, -k 10, --algorithm bu, --scale small
+DEFAULTS: -d 4, -s 3, -k 10, --algorithm bu, --scale small, --threads 1
+
+--threads N spreads every algorithm's search over N executor workers
+(GD fans out the lattice's depth-1 branches; BU/TD peel search-tree
+children in parallel). Results are identical at any thread count.
 ";
 
 #[derive(Debug)]
@@ -105,6 +111,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "-k" => {
                 out.k = value("-k")?.parse().map_err(|_| CliError("-k must be a number".into()))?
+            }
+            "--threads" => {
+                out.opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| CliError("--threads must be a number".into()))?
             }
             "--no-vd" => out.opts.vertex_deletion = false,
             "--no-sl" => out.opts.sort_layers = false,
@@ -276,6 +287,8 @@ mod tests {
             "5",
             "--algorithm",
             "td",
+            "--threads",
+            "4",
             "--no-vd",
         ])
         .unwrap();
@@ -285,8 +298,26 @@ mod tests {
         assert_eq!(o.s, Some(2));
         assert_eq!(o.k, 5);
         assert_eq!(o.algorithm, "td");
+        assert_eq!(o.opts.threads, 4);
         assert!(!o.opts.vertex_deletion);
         assert!(o.opts.sort_layers);
+    }
+
+    #[test]
+    fn threads_defaults_to_sequential_and_rejects_garbage() {
+        assert_eq!(opts(&[]).unwrap().opts.threads, 1);
+        assert!(opts(&["--threads", "x"]).is_err());
+        assert!(opts(&["--threads"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_threaded_run() {
+        let args: Vec<String> =
+            ["run", "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2", "--threads", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert!(run(&args).is_ok());
     }
 
     #[test]

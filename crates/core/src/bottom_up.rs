@@ -15,10 +15,25 @@
 //!   excluded from every deeper subset containing `L`.
 //!
 //! The approximation ratio is 1/4 (Theorem 3).
+//!
+//! # Execution model
+//!
+//! Each node's surviving children are peeled as one fork-join batch on the
+//! shared executor ([`crate::engine`]) and committed to the result set
+//! sequentially in child order, so the search — including every pruning
+//! decision and work counter — is identical at any thread count. To make
+//! that possible the Lemma-3 cutoff is evaluated against the result-set
+//! state *at node entry* (the upper bounds `|C_L ∩ C^d(G_j)|` are known
+//! before any peel): at nodes whose children are internal this matches the
+//! in-loop bound exactly (no update can occur mid-node), and at leaf nodes
+//! it is at most one node's worth of extra peels — every extra candidate is
+//! still gated by Eq. (1) inside `Update`, so the 1/4 guarantee is
+//! untouched.
 
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
-use crate::preprocess::{init_topk, preprocess};
+use crate::engine::{with_pool, PoolRef, SearchContext};
+use crate::preprocess::{init_topk_in, preprocess};
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use coreness::PeelWorkspace;
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
@@ -29,8 +44,21 @@ pub fn bottom_up_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     bottom_up_dccs_with_options(g, params, &DccsOptions::default())
 }
 
-/// Runs `BU-DCCS` with explicit options (used by the Fig. 28 ablation).
+/// Runs `BU-DCCS` with explicit options (used by the Fig. 28 ablation and
+/// to set the executor width via `opts.threads`).
 pub fn bottom_up_dccs_with_options(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> DccsResult {
+    let mut ctx = SearchContext::from_options(opts);
+    bottom_up_dccs_in(&mut ctx, g, params, opts)
+}
+
+/// Runs `BU-DCCS` on an existing [`SearchContext`], reusing its scratch
+/// across a parameter sweep.
+pub fn bottom_up_dccs_in(
+    ctx: &mut SearchContext,
     g: &MultiLayerGraph,
     params: &DccsParams,
     opts: &DccsOptions,
@@ -44,122 +72,124 @@ pub fn bottom_up_dccs_with_options(
 
     let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
     if opts.init_topk {
-        init_topk(g, params, &pre, &mut topk);
+        let (ws, running, seed) = ctx.init_scratch();
+        init_topk_in(ws, running, seed, g, params, &pre, &mut topk);
     }
 
     // Positions in the search tree follow the sorted layer order.
     let order = pre.bottom_up_layer_order(opts);
     let cores_by_pos: Vec<VertexSet> = order.iter().map(|&i| pre.layer_cores[i].clone()).collect();
+    let threads = ctx.threads();
 
-    let mut ctx = BuContext {
-        g,
-        params,
-        opts,
-        order: &order,
-        cores_by_pos: &cores_by_pos,
-        ws: PeelWorkspace::with_capacity(g.num_vertices(), params.s),
-        topk,
-        stats,
-    };
-    let excluded = vec![false; g.num_layers()];
-    ctx.bu_gen(&[], &pre.active, &excluded);
+    with_pool(threads, |pool| {
+        let mut bu = BuContext {
+            g,
+            params,
+            opts,
+            order: &order,
+            cores_by_pos: &cores_by_pos,
+            ws: &mut ctx.ws,
+            pool,
+            topk: &mut topk,
+            stats: &mut stats,
+        };
+        let excluded = vec![false; g.num_layers()];
+        bu.bu_gen(&[], &pre.active, &excluded);
+    });
 
-    let BuContext { topk, mut stats, .. } = ctx;
     stats.updates_accepted = topk.accepted_updates();
-    let cores = topk.into_cores();
-    DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
+    DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())
 }
 
-struct BuContext<'a> {
-    g: &'a MultiLayerGraph,
+struct BuContext<'a, 'env> {
+    g: &'env MultiLayerGraph,
     params: &'a DccsParams,
     opts: &'a DccsOptions,
     /// Position → original layer index (sorted by decreasing d-core size).
     order: &'a [Layer],
     /// Position → per-layer d-core (restricted to the active vertex set).
     cores_by_pos: &'a [VertexSet],
-    /// Shared peeling scratch: every `dCC` call in the search borrows it.
-    ws: PeelWorkspace,
-    topk: TopKDiversified,
-    stats: SearchStats,
+    /// Driver-thread peeling scratch (each worker owns its own).
+    ws: &'a mut PeelWorkspace,
+    pool: &'a PoolRef<'a, 'env>,
+    topk: &'a mut TopKDiversified,
+    stats: &'a mut SearchStats,
 }
 
-impl BuContext<'_> {
+impl<'env> BuContext<'_, 'env> {
     /// Maps tree positions to original layer indices.
     fn layers_of(&self, positions: &[usize]) -> Vec<Layer> {
         positions.iter().map(|&p| self.order[p]).collect()
     }
 
-    /// Computes `C_{L ∪ {j}}^d` given `C_L` (Lemma 1 restriction) and records
-    /// the work in the statistics.
-    fn child_core(
-        &mut self,
-        positions: &[usize],
-        j: usize,
-        parent_core: &VertexSet,
-    ) -> (Vec<usize>, VertexSet) {
-        let mut child_positions = positions.to_vec();
-        child_positions.push(j);
-        let mut candidate = parent_core.intersection(&self.cores_by_pos[j]);
-        self.stats.dcc_calls += 1;
-        if child_positions.len() == self.params.s {
-            self.stats.candidates_generated += 1;
-        }
-        if !candidate.is_empty() {
-            let layers = self.layers_of(&child_positions);
-            self.ws.peel_in_place(self.g, &layers, self.params.d, &mut candidate);
-        }
-        (child_positions, candidate)
-    }
-
-    /// The recursive `BU-Gen` procedure (Fig. 3).
+    /// The recursive `BU-Gen` procedure (Fig. 3), executor-driven: child
+    /// selection (Lemma 3), one fork-join peel batch, sequential commit
+    /// (Rule 1/2 updates, Lemma 2), then Lemma-4 exclusion and recursion.
     fn bu_gen(&mut self, positions: &[usize], c_l: &VertexSet, excluded: &[bool]) {
         let l = self.g.num_layers();
         let next_start = positions.last().map(|&p| p + 1).unwrap_or(0);
         let lp: Vec<usize> = (next_start..l).filter(|&j| !excluded[j]).collect();
-        // Children that will be recursed into, with their computed cores.
-        let mut lr: Vec<(usize, VertexSet)> = Vec::new();
-        // Children of the current node for which the subtree is abandoned.
-        let mut lp_visited: Vec<usize> = Vec::new();
+        let is_leaf = positions.len() + 1 == self.params.s;
 
-        if !self.topk.is_full() {
-            // Lines 2–9: no pruning is possible while |R| < k.
-            for &j in &lp {
-                let (child_positions, child_core) = self.child_core(positions, j, c_l);
-                lp_visited.push(j);
-                if child_positions.len() == self.params.s {
-                    self.topk.try_update(CoherentCore::new(
-                        self.layers_of(&child_positions),
-                        child_core,
-                    ));
-                } else {
-                    lr.push((j, child_core));
-                }
-            }
+        // Children to evaluate, in deterministic order. While |R| < k no
+        // pruning is possible (lines 2–9); once full, order by
+        // |C_L ∩ C^d(G_j)| and cut at the Lemma-3 bound (lines 10–22).
+        let eval: Vec<usize> = if !self.topk.is_full() {
+            lp
         } else {
-            // Lines 10–22: order children by |C_L ∩ C^d(G_j)| and prune.
             let mut ordered: Vec<(usize, usize)> =
                 lp.iter().map(|&j| (j, c_l.intersection_len(&self.cores_by_pos[j]))).collect();
             ordered.sort_by_key(|&(j, size)| (std::cmp::Reverse(size), j));
-            for (rank, &(j, upper_bound)) in ordered.iter().enumerate() {
-                if self.opts.order_pruning && self.topk.fails_size_bound(upper_bound) {
+            let mut cut = ordered.len();
+            if self.opts.order_pruning {
+                if let Some(rank) =
+                    ordered.iter().position(|&(_, ub)| self.topk.fails_size_bound(ub))
+                {
                     // Lemma 3: this child and all following ones are pruned.
                     self.stats.subtrees_pruned += ordered.len() - rank;
-                    break;
+                    cut = rank;
                 }
-                lp_visited.push(j);
-                let (child_positions, child_core) = self.child_core(positions, j, c_l);
-                if child_positions.len() == self.params.s {
-                    self.topk.try_update(CoherentCore::new(
-                        self.layers_of(&child_positions),
-                        child_core,
-                    ));
-                } else if self.topk.satisfies_eq1(&child_core) {
-                    lr.push((j, child_core));
-                } else {
-                    // Lemma 2: the whole subtree below this child is pruned.
-                    self.stats.subtrees_pruned += 1;
+            }
+            ordered.truncate(cut);
+            ordered.into_iter().map(|(j, _)| j).collect()
+        };
+
+        // One peel job per evaluated child (Lemma 1: seeded from C_L). The
+        // batch runs across the worker crew; outputs come back in child
+        // order, so the commit below is scheduling-independent.
+        let g = self.g;
+        let d = self.params.d;
+        let jobs: Vec<_> = eval
+            .iter()
+            .map(|&j| {
+                let mut candidate = c_l.intersection(&self.cores_by_pos[j]);
+                let mut layers = self.layers_of(positions);
+                layers.push(self.order[j]);
+                move |ws: &mut PeelWorkspace| {
+                    if !candidate.is_empty() {
+                        ws.peel_in_place(g, &layers, d, &mut candidate);
+                    }
+                    candidate
                 }
+            })
+            .collect();
+        self.stats.dcc_calls += jobs.len();
+        let cores = self.pool.map(self.ws, jobs);
+
+        // Sequential commit in child order: leaves update R, internal
+        // children surviving Eq. (1) (Lemma 2) are kept for recursion.
+        let mut lr: Vec<(usize, VertexSet)> = Vec::new();
+        for (&j, core) in eval.iter().zip(cores) {
+            if is_leaf {
+                let mut child_positions = positions.to_vec();
+                child_positions.push(j);
+                self.stats.candidates_generated += 1;
+                self.topk.try_update(CoherentCore::new(self.layers_of(&child_positions), core));
+            } else if self.topk.satisfies_eq1(&core) {
+                lr.push((j, core));
+            } else {
+                // Lemma 2: the whole subtree below this child is pruned.
+                self.stats.subtrees_pruned += 1;
             }
         }
 
@@ -171,7 +201,7 @@ impl BuContext<'_> {
         let mut child_excluded = excluded.to_vec();
         if self.opts.layer_pruning {
             let kept: Vec<usize> = lr.iter().map(|&(j, _)| j).collect();
-            for &j in &lp_visited {
+            for &j in &eval {
                 if !kept.contains(&j) {
                     child_excluded[j] = true;
                 }
@@ -229,6 +259,21 @@ mod tests {
             // Both are approximations; on these tiny inputs they find the
             // same cover size.
             assert_eq!(bu.cover_size(), gd.cover_size(), "d={d} s={s} k={k}");
+        }
+    }
+
+    #[test]
+    fn multithreaded_run_is_identical_to_sequential() {
+        let g = graph();
+        for (d, s, k) in [(2, 2, 2), (3, 2, 1), (2, 3, 2), (2, 4, 2)] {
+            let params = DccsParams::new(d, s, k);
+            let seq = bottom_up_dccs(&g, &params);
+            for threads in [2, 4] {
+                let par =
+                    bottom_up_dccs_with_options(&g, &params, &DccsOptions::with_threads(threads));
+                assert_eq!(par.cores, seq.cores, "threads={threads} d={d} s={s} k={k}");
+                assert_eq!(par.stats, seq.stats, "threads={threads} d={d} s={s} k={k}");
+            }
         }
     }
 

@@ -62,6 +62,11 @@ pub struct DccsOptions {
     /// Use the index-based `RefineC` procedure in TD-DCCS; when `false` the
     /// plain `dCC` peeling is used instead (same output, different cost).
     pub use_refine_c: bool,
+    /// Worker threads for the shared search executor (`crate::engine`).
+    /// Values of 0 and 1 both mean sequential. Results — cores, cover, and
+    /// work counters — are identical at every thread count; only the
+    /// wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for DccsOptions {
@@ -74,6 +79,7 @@ impl Default for DccsOptions {
             layer_pruning: true,
             potential_pruning: true,
             use_refine_c: true,
+            threads: 1,
         }
     }
 }
@@ -104,6 +110,11 @@ impl DccsOptions {
     pub fn no_init_topk() -> Self {
         DccsOptions { init_topk: false, ..DccsOptions::default() }
     }
+
+    /// Default options with the executor spread over `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        DccsOptions { threads, ..DccsOptions::default() }
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +136,14 @@ mod tests {
         assert!(o.vertex_deletion && o.sort_layers && o.init_topk);
         assert!(o.order_pruning && o.layer_pruning && o.potential_pruning);
         assert!(o.use_refine_c);
+    }
+
+    #[test]
+    fn with_threads_sets_only_the_executor_width() {
+        let o = DccsOptions::with_threads(4);
+        assert_eq!(o.threads, 4);
+        assert!(o.vertex_deletion && o.order_pruning && o.use_refine_c);
+        assert_eq!(DccsOptions::default().threads, 1);
     }
 
     #[test]

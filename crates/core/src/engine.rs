@@ -1,0 +1,525 @@
+//! `SearchContext` + the shared parallel search executor — the execution
+//! layer every DCCS algorithm drives its peels through.
+//!
+//! The three search algorithms (GD, BU, TD) all reduce to peeling d-CCs over
+//! nodes of a layer-subset search tree. This module centralizes the three
+//! resources those peels share:
+//!
+//! * **Scratch** — a [`SearchContext`] owns the driver-thread
+//!   [`PeelWorkspace`] plus the reusable cover/seed buffers threaded through
+//!   greedy selection and `InitTopK`, so a context reused across a parameter
+//!   sweep performs no steady-state allocation.
+//! * **Indexing policy** — a cost model ([`plan_index`]) decides per run
+//!   whether candidate generation peels over the word-level
+//!   [`DenseSubgraph`] rows or the CSR adjacency, comparing the dense
+//!   per-query cost (`⌈m/64⌉` words per row) against the average CSR
+//!   adjacency length. The built dense index is cached on the context,
+//!   keyed on the candidate universe, so a sweep over `s` (whose universe
+//!   is unchanged) re-indexes the graph once.
+//! * **Worker scheduling** — [`with_pool`] spins up a scoped worker crew
+//!   with one [`PeelWorkspace`] per worker and a shared job queue.
+//!   Search-tree children are submitted as batches ([`PoolRef::map`]); the
+//!   driver participates in draining the queue, and results are returned in
+//!   submission order, so every algorithm's merge order — and therefore its
+//!   output and its work counters — is identical at any thread count.
+//!
+//! Determinism contract: the executor never lets scheduling influence an
+//! algorithm's decisions. Batches are *fork-join* — the set of jobs in a
+//! batch is fixed before any job runs, outputs are committed sequentially in
+//! submission order, and all pruning bounds are evaluated against
+//! deterministic state. The thread-equivalence property tests
+//! (`crates/core/tests/engine_threads.rs`) enforce that BU, TD, and the
+//! lattice produce bit-identical results and statistics at 1, 2, and 4
+//! threads.
+
+use crate::config::DccsOptions;
+use coreness::PeelWorkspace;
+use mlgraph::{DenseSubgraph, MultiLayerGraph, VertexSet};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Which adjacency representation a candidate-generation run peeled over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexPath {
+    /// CSR adjacency scans with per-neighbor membership tests.
+    #[default]
+    Csr,
+    /// Re-indexed [`DenseSubgraph`] bitset rows (word-level AND+popcount).
+    Dense,
+}
+
+/// Word budget for the dense re-indexed adjacency (64 MiB of `u64` rows).
+/// Universes needing more always fall back to the CSR engine regardless of
+/// what the per-query cost model prefers.
+pub const DENSE_WORD_BUDGET: usize = 8 << 20;
+
+/// Crossover factor of the dense-vs-CSR cost model: the dense path is chosen
+/// only when scanning one `⌈m/64⌉`-word adjacency row costs no more than
+/// `DENSE_CROSSOVER ×` the average CSR adjacency scan. Word-level AND+popcount
+/// streams sequentially while CSR neighbor tests are dependent random loads,
+/// so a row word is cheaper than a neighbor test.
+///
+/// Calibrated on the `bench_dcc` suite: every configuration where dense wins
+/// has `words_per_row / avg_degree ≤ 0.5` or thereabouts, the tiny German
+/// analogue at `d = 2` (near-complete universe, ratio ≈ 2) still peels
+/// fastest dense (the CSR engine measured 0.89× there), and the small-scale
+/// German analogue at `d = 2` (ratio ≈ 10) is where dense collapses to
+/// 0.48× — the old budget-only gate picked dense there; this factor puts the
+/// cut between those regimes.
+pub const DENSE_CROSSOVER: f64 = 4.0;
+
+/// The cost-model decision for one candidate universe, with the quantities
+/// that produced it (recorded for diagnostics and the crossover unit tests).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexPlan {
+    /// Chosen representation.
+    pub path: IndexPath,
+    /// Universe size `m`.
+    pub universe: usize,
+    /// Dense row length in words, `⌈m/64⌉`.
+    pub words_per_row: usize,
+    /// Average CSR adjacency length of a universe member over all layers.
+    pub avg_degree: f64,
+}
+
+/// Decides dense vs CSR for peeling a candidate `universe` of `g`.
+///
+/// The dense path re-indexes the universe to `0..m` and answers every
+/// degree-within query by scanning a `⌈m/64⌉`-word row; the CSR path scans
+/// the vertex's full adjacency list with membership tests, costing one
+/// dependent load per neighbor. Dense wins when its row is short relative to
+/// the average adjacency ([`DENSE_CROSSOVER`]) and the total index fits the
+/// [`DENSE_WORD_BUDGET`]; at low degree thresholds on near-complete
+/// universes (many vertices, sparse rows) CSR wins and is chosen.
+pub fn plan_index(g: &MultiLayerGraph, universe: &VertexSet) -> IndexPlan {
+    let m = universe.len();
+    let l = g.num_layers();
+    let words_per_row = m.div_ceil(64);
+    let mut total_degree = 0usize;
+    for layer in 0..l {
+        let csr = g.layer(layer);
+        for v in universe.iter() {
+            total_degree += csr.neighbors(v).len();
+        }
+    }
+    let avg_degree = if m == 0 { 0.0 } else { total_degree as f64 / (l * m) as f64 };
+    let fits = m > 0 && DenseSubgraph::words_required(m, l) <= DENSE_WORD_BUDGET;
+    let cheap_rows = (words_per_row as f64) <= DENSE_CROSSOVER * avg_degree;
+    let path = if fits && cheap_rows { IndexPath::Dense } else { IndexPath::Csr };
+    IndexPlan { path, universe: m, words_per_row, avg_degree }
+}
+
+/// One cached dense index, keyed on the universe it was built for.
+#[derive(Debug)]
+struct DenseCacheEntry {
+    /// Identity guard: the graph address + shape the index was built from.
+    /// The address alone could be reused by a different graph after a
+    /// drop-and-rebuild, so the vertex/layer/edge counts are part of the
+    /// key too. This is a best-effort tripwire, not a proof: a rebuilt
+    /// graph matching on all four fields with different edges would still
+    /// hit stale — the binding contract ("one context per graph", see
+    /// [`SearchContext`]) is what callers must uphold; call
+    /// [`SearchContext::clear_cache`] when repointing a context.
+    graph_key: (usize, usize, usize, usize),
+    universe: VertexSet,
+    dense: DenseSubgraph,
+}
+
+fn graph_key(g: &MultiLayerGraph) -> (usize, usize, usize, usize) {
+    (std::ptr::from_ref(g) as usize, g.num_vertices(), g.num_layers(), g.total_edges())
+}
+
+/// Shared execution state for a sequence of DCCS runs over one graph:
+/// worker count, the driver's peel scratch, reusable cover/seed buffers, and
+/// the lazily built, sweep-reusable dense index.
+///
+/// A context is bound to one graph: reuse it freely across `(d, s, k)`
+/// values and algorithms (that is what makes the dense index and the scratch
+/// buffers pay off), but create a fresh context per graph.
+#[derive(Debug)]
+pub struct SearchContext {
+    threads: usize,
+    dense_cache: Option<DenseCacheEntry>,
+    /// Driver-thread peel scratch (workers own their own, see [`with_pool`]).
+    pub(crate) ws: PeelWorkspace,
+    /// Reused cover accumulator for the greedy max-k-cover selection.
+    pub(crate) cover: VertexSet,
+    /// Reused running-intersection buffer for `InitTopK`.
+    pub(crate) running: VertexSet,
+    /// Reused seed-core output buffer for `InitTopK`.
+    pub(crate) seed: VertexSet,
+}
+
+impl SearchContext {
+    /// A context executing on `threads` workers (0 and 1 both mean
+    /// sequential: the driver thread does all the work).
+    pub fn new(threads: usize) -> Self {
+        SearchContext {
+            threads: threads.max(1),
+            dense_cache: None,
+            ws: PeelWorkspace::new(),
+            cover: VertexSet::new(0),
+            running: VertexSet::new(0),
+            seed: VertexSet::new(0),
+        }
+    }
+
+    /// A context configured from the options' `threads` knob.
+    pub fn from_options(opts: &DccsOptions) -> Self {
+        SearchContext::new(opts.threads)
+    }
+
+    /// Number of workers (≥ 1) batches are spread over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the cost model for `universe` and, when the dense path wins,
+    /// returns the re-indexed subgraph — cached across calls, so a sweep
+    /// whose preprocessed universe is unchanged (e.g. varying `s` at fixed
+    /// `d`) builds it once. Returns the plan alongside so callers can record
+    /// the chosen path in their statistics.
+    pub fn dense_for<'a>(
+        &'a mut self,
+        g: &MultiLayerGraph,
+        universe: &VertexSet,
+    ) -> (IndexPlan, Option<&'a DenseSubgraph>) {
+        let (plan, dense, _) = self.lattice_resources(g, universe);
+        (plan, dense)
+    }
+
+    /// Drops the cached dense index (e.g. before pointing the context at a
+    /// different graph).
+    pub fn clear_cache(&mut self) {
+        self.dense_cache = None;
+    }
+
+    /// Split borrow of the `InitTopK` scratch: the driver workspace, the
+    /// running-intersection buffer, and the seed-core buffer.
+    pub(crate) fn init_scratch(&mut self) -> (&mut PeelWorkspace, &mut VertexSet, &mut VertexSet) {
+        (&mut self.ws, &mut self.running, &mut self.seed)
+    }
+
+    /// Split-borrow variant of [`SearchContext::dense_for`] for the lattice:
+    /// returns the plan, the (possibly cached) dense index, and the driver
+    /// workspace simultaneously, so candidate generation can peel on the
+    /// driver while branch jobs share the index.
+    pub(crate) fn lattice_resources(
+        &mut self,
+        g: &MultiLayerGraph,
+        universe: &VertexSet,
+    ) -> (IndexPlan, Option<&DenseSubgraph>, &mut PeelWorkspace) {
+        let plan = plan_index(g, universe);
+        let dense = if plan.path == IndexPath::Dense {
+            let key = graph_key(g);
+            let hit = self
+                .dense_cache
+                .as_ref()
+                .is_some_and(|e| e.graph_key == key && e.universe == *universe);
+            if !hit {
+                self.dense_cache = Some(DenseCacheEntry {
+                    graph_key: key,
+                    universe: universe.clone(),
+                    dense: DenseSubgraph::build(g, universe),
+                });
+            }
+            self.dense_cache.as_ref().map(|e| &e.dense)
+        } else {
+            None
+        };
+        (plan, dense, &mut self.ws)
+    }
+}
+
+impl Default for SearchContext {
+    fn default() -> Self {
+        SearchContext::new(1)
+    }
+}
+
+/// A unit of work: one search-tree child evaluation, run on any worker's
+/// workspace.
+type Job<'env> = Box<dyn FnOnce(&mut PeelWorkspace) + Send + 'env>;
+
+struct PoolState<'env> {
+    queue: VecDeque<Job<'env>>,
+    outstanding: usize,
+    shutdown: bool,
+}
+
+/// Queue + signalling shared between the driver and the workers.
+struct PoolShared<'env> {
+    state: Mutex<PoolState<'env>>,
+    /// Workers park here waiting for jobs (or shutdown).
+    work_cv: Condvar,
+    /// The driver parks here waiting for the last job of a batch.
+    done_cv: Condvar,
+}
+
+fn lock_state<'a, 'env>(shared: &'a PoolShared<'env>) -> MutexGuard<'a, PoolState<'env>> {
+    // A panicking job poisons nothing we cannot recover: the state is a
+    // plain queue + counter, consistent at every lock release.
+    shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Decrements the batch counter even if the job panicked, so the driver is
+/// woken and the panic can propagate through the scope join instead of
+/// deadlocking the batch.
+struct JobGuard<'a, 'env>(&'a PoolShared<'env>);
+
+impl Drop for JobGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = lock_state(self.0);
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            self.0.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared<'_>) {
+    let mut ws = PeelWorkspace::new();
+    loop {
+        let job = {
+            let mut st = lock_state(shared);
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else { return };
+        let guard = JobGuard(shared);
+        job(&mut ws);
+        drop(guard);
+    }
+}
+
+/// Handle to a running worker crew, passed to the closure of [`with_pool`].
+pub struct PoolRef<'pool, 'env> {
+    shared: &'pool PoolShared<'env>,
+    workers: usize,
+}
+
+impl<'env> PoolRef<'_, 'env> {
+    /// Number of workers draining the queue besides the driver.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a batch of jobs — one search-tree child each — across the crew
+    /// and returns their outputs **in submission order**.
+    ///
+    /// The driver participates: it drains the queue alongside the workers on
+    /// `driver_ws`, then blocks until the stragglers finish. With no workers
+    /// (sequential context) or a single job, everything runs inline on the
+    /// driver, so a 1-thread run never touches the queue. The deterministic
+    /// output order is what makes parallel search results bit-identical to
+    /// sequential ones.
+    pub fn map<T, F>(&self, driver_ws: &mut PeelWorkspace, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&mut PeelWorkspace) -> T + Send + 'env,
+    {
+        if self.workers == 0 || jobs.len() <= 1 {
+            return jobs.into_iter().map(|job| job(driver_ws)).collect();
+        }
+        let n = jobs.len();
+        let results: Arc<Mutex<Vec<(usize, T)>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        {
+            let mut st = lock_state(self.shared);
+            st.outstanding += n;
+            for (i, job) in jobs.into_iter().enumerate() {
+                let slot = Arc::clone(&results);
+                st.queue.push_back(Box::new(move |ws: &mut PeelWorkspace| {
+                    let out = job(ws);
+                    slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((i, out));
+                }));
+            }
+        }
+        self.shared.work_cv.notify_all();
+        // Participate until the queue is drained…
+        loop {
+            let job = lock_state(self.shared).queue.pop_front();
+            let Some(job) = job else { break };
+            let guard = JobGuard(self.shared);
+            job(driver_ws);
+            drop(guard);
+        }
+        // …then wait for jobs still running on workers.
+        {
+            let mut st = lock_state(self.shared);
+            while st.outstanding > 0 {
+                st =
+                    self.shared.done_cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let results = Arc::try_unwrap(results)
+            .unwrap_or_else(|_| panic!("batch results still shared after completion"))
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut results = results;
+        results.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(results.len(), n, "a batch job died without producing its result");
+        results.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+/// Signals shutdown when the driver closure exits — normally or by panic —
+/// so parked workers always wake up and the scope join never hangs.
+struct ShutdownGuard<'a, 'env>(&'a PoolShared<'env>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        lock_state(self.0).shutdown = true;
+        self.0.work_cv.notify_all();
+    }
+}
+
+/// Spins up `threads − 1` scoped workers (the driver is the remaining one),
+/// runs `f` with a [`PoolRef`] handle, and joins everything before
+/// returning. With `threads ≤ 1` no thread is spawned and every batch runs
+/// inline on the driver.
+///
+/// Jobs may borrow anything that outlives the `with_pool` call (`'env`):
+/// the graph, preprocessed layer cores, a cached [`DenseSubgraph`] — plus
+/// any owned data moved into them.
+pub fn with_pool<'env, R>(threads: usize, f: impl FnOnce(&PoolRef<'_, 'env>) -> R) -> R {
+    let shared = PoolShared {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), outstanding: 0, shutdown: false }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    };
+    let workers = threads.saturating_sub(1);
+    if workers == 0 {
+        return f(&PoolRef { shared: &shared, workers: 0 });
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let shared = &shared;
+            scope.spawn(move || worker_loop(shared));
+        }
+        // The guard wakes parked workers on every exit path (including a
+        // panicking driver closure), so the scope join never hangs; a
+        // panicking *job* surfaces as a missing batch result on the driver
+        // (see `PoolRef::map`) and then propagates through the scope join.
+        let _guard = ShutdownGuard(&shared);
+        f(&PoolRef { shared: &shared, workers })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    #[test]
+    fn map_returns_results_in_submission_order() {
+        for threads in [1, 2, 4] {
+            let out: Vec<usize> = with_pool(threads, |pool| {
+                let mut ws = PeelWorkspace::new();
+                let jobs: Vec<_> =
+                    (0..17usize).map(|i| move |_ws: &mut PeelWorkspace| i * i).collect();
+                pool.map(&mut ws, jobs)
+            });
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_same_crew() {
+        let sums: Vec<usize> = with_pool(3, |pool| {
+            let mut ws = PeelWorkspace::new();
+            (0..10)
+                .map(|round| {
+                    let jobs: Vec<_> = (0..8usize)
+                        .map(|i| move |_ws: &mut PeelWorkspace| round * 100 + i)
+                        .collect();
+                    pool.map(&mut ws, jobs).into_iter().sum()
+                })
+                .collect()
+        });
+        let expected: Vec<usize> = (0..10).map(|round| round * 800 + 28).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn jobs_borrow_the_environment() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = with_pool(4, |pool| {
+            let mut ws = PeelWorkspace::new();
+            let jobs: Vec<_> = data
+                .chunks(7)
+                .map(|chunk| move |_ws: &mut PeelWorkspace| chunk.iter().sum::<u64>())
+                .collect();
+            pool.map(&mut ws, jobs).into_iter().sum()
+        });
+        assert_eq!(total, 4950);
+    }
+
+    fn two_clique_graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(64, 3);
+        for layer in 0..3 {
+            for i in 0..8u32 {
+                for j in (i + 1)..8 {
+                    b.add_edge(layer, i, j).unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cost_model_prefers_dense_on_small_dense_universes() {
+        let g = two_clique_graph();
+        let universe = VertexSet::from_iter(64, 0..8);
+        let plan = plan_index(&g, &universe);
+        // m = 8 → one word per row; avg degree 7 → dense clearly wins.
+        assert_eq!(plan.words_per_row, 1);
+        assert_eq!(plan.path, IndexPath::Dense);
+    }
+
+    #[test]
+    fn cost_model_prefers_csr_on_wide_sparse_universes() {
+        // 4000 vertices in a cycle: avg degree 2, rows of ⌈4000/64⌉ = 63
+        // words — scanning 63 words to count 2 neighbors loses to CSR.
+        let mut b = MultiLayerGraphBuilder::new(4000, 1);
+        for v in 0..4000u32 {
+            b.add_edge(0, v, (v + 1) % 4000).unwrap();
+        }
+        let g = b.build();
+        let universe = g.full_vertex_set();
+        let plan = plan_index(&g, &universe);
+        assert_eq!(plan.path, IndexPath::Csr);
+        assert!(plan.words_per_row as f64 > DENSE_CROSSOVER * plan.avg_degree);
+    }
+
+    #[test]
+    fn cost_model_rejects_empty_universe() {
+        let g = two_clique_graph();
+        let plan = plan_index(&g, &VertexSet::new(64));
+        assert_eq!(plan.path, IndexPath::Csr);
+    }
+
+    #[test]
+    fn dense_cache_is_reused_for_the_same_universe() {
+        let g = two_clique_graph();
+        let universe = VertexSet::from_iter(64, 0..8);
+        let mut ctx = SearchContext::new(1);
+        let (plan, dense) = ctx.dense_for(&g, &universe);
+        assert_eq!(plan.path, IndexPath::Dense);
+        let first = dense.expect("dense path chosen") as *const DenseSubgraph;
+        let (_, dense2) = ctx.dense_for(&g, &universe);
+        let second = dense2.expect("dense path chosen") as *const DenseSubgraph;
+        assert_eq!(first, second, "same universe must hit the cache");
+        // A different universe rebuilds.
+        let other = VertexSet::from_iter(64, 0..7);
+        let (_, dense3) = ctx.dense_for(&g, &other);
+        assert!(dense3.is_some());
+        assert_eq!(ctx.dense_cache.as_ref().unwrap().universe.len(), 7);
+    }
+}

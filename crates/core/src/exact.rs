@@ -7,7 +7,8 @@
 //! empirically (GD-DCCS ≥ (1 − 1/e)·OPT, BU/TD-DCCS ≥ OPT/4).
 
 use crate::config::{DccsOptions, DccsParams};
-use crate::greedy::generate_all_candidates;
+use crate::engine::SearchContext;
+use crate::lattice::collect_subset_cores;
 use crate::preprocess::preprocess;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use mlgraph::{MultiLayerGraph, VertexSet};
@@ -31,7 +32,12 @@ pub fn exact_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     let pre = preprocess(g, params, &DccsOptions::default());
     stats.vertices_deleted = pre.vertices_deleted;
 
-    let mut candidates = generate_all_candidates(g, params, &pre, &mut stats);
+    let mut ctx = SearchContext::new(1);
+    let (mut candidates, lattice) =
+        collect_subset_cores(&mut ctx, g, params.d, params.s, &pre.layer_cores);
+    stats.candidates_generated += lattice.candidates;
+    stats.dcc_calls += lattice.peels;
+    stats.index_path = Some(lattice.index_path);
     candidates.retain(|c| !c.is_empty());
     assert!(
         candidates.len() <= MAX_CANDIDATES,

@@ -6,12 +6,20 @@
 //! approximation ratio is `1 − 1/e` (Theorem 2). The candidate-generation
 //! phase exploits Lemma 1: `C_L^d(G) ⊆ ⋂_{i∈L} C^d(G_i)`, so each candidate
 //! is computed inside the intersection of per-layer d-cores.
+//!
+//! Candidates are produced by the subset-lattice engine
+//! ([`crate::lattice::collect_subset_cores`]) driven through a
+//! [`SearchContext`]: each subset's peel is seeded from its parent prefix's
+//! exact d-CC (Lemma 1), the dense-vs-CSR representation is chosen by the
+//! [`crate::engine`] cost model, and with `opts.threads > 1` the lattice's
+//! depth-1 branches fan out over the shared executor — with results (and
+//! work counters) identical to the sequential walk.
 
 use crate::config::{DccsOptions, DccsParams};
-use crate::lattice::for_each_subset_core;
-use crate::preprocess::{preprocess, Preprocessed};
+use crate::engine::SearchContext;
+use crate::lattice::collect_subset_cores;
+use crate::preprocess::preprocess;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
-use coreness::PeelWorkspace;
 use mlgraph::{MultiLayerGraph, VertexSet};
 use std::time::Instant;
 
@@ -20,8 +28,22 @@ pub fn greedy_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     greedy_dccs_with_options(g, params, &DccsOptions::default())
 }
 
-/// Runs `GD-DCCS` with explicit options (used by the ablation experiments).
+/// Runs `GD-DCCS` with explicit options (used by the ablation experiments
+/// and to set the executor width via `opts.threads`).
 pub fn greedy_dccs_with_options(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> DccsResult {
+    let mut ctx = SearchContext::from_options(opts);
+    greedy_dccs_in(&mut ctx, g, params, opts)
+}
+
+/// Runs `GD-DCCS` on an existing [`SearchContext`], reusing its scratch
+/// buffers and cached dense index across a parameter sweep over the same
+/// graph.
+pub fn greedy_dccs_in(
+    ctx: &mut SearchContext,
     g: &MultiLayerGraph,
     params: &DccsParams,
     opts: &DccsOptions,
@@ -33,43 +55,31 @@ pub fn greedy_dccs_with_options(
     let pre = preprocess(g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
-    let candidates = generate_all_candidates(g, params, &pre, &mut stats);
-    let cores = select_greedy(g.num_vertices(), candidates, params.k, &mut stats);
+    // Lines 2–7 of Fig. 2: the full candidate set F_{d,s}(G).
+    let (candidates, lattice) = collect_subset_cores(ctx, g, params.d, params.s, &pre.layer_cores);
+    stats.candidates_generated += lattice.candidates;
+    stats.dcc_calls += lattice.peels;
+    stats.index_path = Some(lattice.index_path);
 
+    let cores = select_greedy(g.num_vertices(), candidates, params.k, &mut stats, &mut ctx.cover);
     DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
 }
 
-/// Generates the full candidate set `F_{d,s}(G)` (lines 2–7 of Fig. 2).
-///
-/// Candidates are produced by the subset-lattice engine
-/// ([`for_each_subset_core`]): each subset's peel is seeded from its parent
-/// prefix's already-peeled d-CC (Lemma 1) on a reused [`PeelWorkspace`], so
-/// steady-state candidate generation only allocates the emitted core sets.
-pub(crate) fn generate_all_candidates(
-    g: &MultiLayerGraph,
-    params: &DccsParams,
-    pre: &Preprocessed,
-    stats: &mut SearchStats,
-) -> Vec<CoherentCore> {
-    let mut ws = PeelWorkspace::new();
-    let mut all = Vec::new();
-    let lattice =
-        for_each_subset_core(g, params.d, params.s, &pre.layer_cores, &mut ws, |subset, core| {
-            all.push(CoherentCore::new(subset.to_vec(), core.clone()));
-        });
-    stats.candidates_generated += lattice.candidates;
-    stats.dcc_calls += lattice.peels;
-    all
-}
-
-/// The greedy max-k-cover selection (lines 8–10 of Fig. 2).
+/// The greedy max-k-cover selection (lines 8–10 of Fig. 2). `cover` is a
+/// reusable accumulator for `Cov(R)` (resized on capacity mismatch), so a
+/// context-driven sweep allocates it once.
 pub(crate) fn select_greedy(
     num_vertices: usize,
     mut candidates: Vec<CoherentCore>,
     k: usize,
     stats: &mut SearchStats,
+    cover: &mut VertexSet,
 ) -> Vec<CoherentCore> {
-    let mut cover = VertexSet::new(num_vertices);
+    if cover.capacity() != num_vertices {
+        *cover = VertexSet::new(num_vertices);
+    } else {
+        cover.clear();
+    }
     let mut chosen = Vec::with_capacity(k);
     for _ in 0..k {
         if candidates.is_empty() {
@@ -80,7 +90,7 @@ pub(crate) fn select_greedy(
             .enumerate()
             .map(|(idx, core)| {
                 // Word-level marginal gain: |C| − |C ∩ Cov(R)|.
-                let gain = core.vertices.len() - core.vertices.intersection_len(&cover);
+                let gain = core.vertices.len() - core.vertices.intersection_len(cover);
                 (idx, gain)
             })
             .max_by_key(|&(idx, gain)| (gain, std::cmp::Reverse(idx)))
@@ -183,6 +193,20 @@ mod tests {
         let with = greedy_dccs_with_options(&g, &params, &DccsOptions::default());
         let without = greedy_dccs_with_options(&g, &params, &DccsOptions::no_preprocessing());
         assert_eq!(with.cover_size(), without.cover_size());
+    }
+
+    #[test]
+    fn context_reuse_across_a_sweep_matches_fresh_contexts() {
+        let g = graph();
+        let opts = DccsOptions::default();
+        let mut ctx = SearchContext::from_options(&opts);
+        for (d, s, k) in [(2, 2, 2), (3, 2, 2), (2, 3, 1), (2, 2, 3)] {
+            let params = DccsParams::new(d, s, k);
+            let swept = greedy_dccs_in(&mut ctx, &g, &params, &opts);
+            let fresh = greedy_dccs_with_options(&g, &params, &opts);
+            assert_eq!(swept.cores, fresh.cores, "d={d} s={s} k={k}");
+            assert_eq!(swept.stats, fresh.stats, "d={d} s={s} k={k}");
+        }
     }
 
     #[test]

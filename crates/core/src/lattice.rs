@@ -24,16 +24,26 @@
 //!   ([`crate::preprocess::Preprocessed::layer_cores`]) and are never
 //!   re-peeled.
 //!
-//! Cascade scratch comes from one [`PeelWorkspace`] and all level state is
-//! allocated once per run, so the steady state allocates nothing beyond the
-//! candidate cores the caller chooses to keep.
+//! Whether peels run over the CSR adjacency or over re-indexed
+//! [`DenseSubgraph`] bitset rows is decided per run by the
+//! [`crate::engine`] cost model ([`crate::engine::plan_index`]), which
+//! compares the dense row length against the average CSR adjacency length
+//! instead of the old memory-budget-only gate. The walk is partitioned by
+//! first layer (the lattice's depth-1 branches), so
+//! [`collect_subset_cores`] can fan the branches out over the shared
+//! executor ([`crate::engine::with_pool`]) — per-branch outputs are merged
+//! in branch order, keeping the emission order (and therefore every
+//! downstream tie-break) identical at any thread count.
+//!
+//! Cascade scratch comes from one [`PeelWorkspace`] per worker and all level
+//! state is allocated once per branch, so the steady state allocates nothing
+//! beyond the candidate cores the caller chooses to keep.
 
+use crate::engine::{with_pool, IndexPath, SearchContext};
+use crate::layer_subsets::combinations;
+use crate::result::CoherentCore;
 use coreness::PeelWorkspace;
 use mlgraph::{DenseSubgraph, Layer, MultiLayerGraph, VertexSet};
-
-/// Word budget for the dense re-indexed adjacency (64 MiB of `u64` rows).
-/// Universes needing more fall back to the CSR-scan engine.
-const DENSE_WORD_BUDGET: usize = 8 << 20;
 
 /// Work counters reported by [`for_each_subset_core`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -45,6 +55,30 @@ pub struct LatticeStats {
     /// Size-`s` subsets emitted as empty without peeling because an
     /// ancestor prefix already proved them empty.
     pub empty_skipped: usize,
+    /// Adjacency representation the cost model picked for this run.
+    pub index_path: IndexPath,
+}
+
+impl LatticeStats {
+    fn absorb(&mut self, other: &LatticeStats) {
+        self.candidates += other.candidates;
+        self.peels += other.peels;
+        self.empty_skipped += other.empty_skipped;
+    }
+}
+
+fn validate(l: usize, s: usize, layer_cores: &[VertexSet]) {
+    assert!(s >= 1 && s <= l, "subset size s={s} out of range for {l} layers");
+    assert_eq!(layer_cores.len(), l, "one memoized d-core per layer required");
+}
+
+/// The union of the per-layer d-cores — every candidate lives inside it.
+fn candidate_universe(n: usize, layer_cores: &[VertexSet]) -> VertexSet {
+    let mut universe = VertexSet::new(n);
+    for core in layer_cores {
+        universe.union_with(core);
+    }
+    universe
 }
 
 /// Enumerates every layer subset of size `s` over `0..l` in lexicographic
@@ -54,6 +88,11 @@ pub struct LatticeStats {
 /// `layer_cores[i]` must be `C_{{i}}^d` restricted to whatever candidate
 /// universe the caller wants (the preprocessing's active set); all sets must
 /// share the graph's vertex capacity.
+///
+/// This is the sequential entry point (one workspace, one thread); the
+/// algorithms go through [`collect_subset_cores`], which adds the
+/// sweep-reusable dense cache and the executor fan-out on top of the same
+/// walk.
 ///
 /// # Panics
 ///
@@ -65,55 +104,186 @@ pub fn for_each_subset_core<F>(
     s: usize,
     layer_cores: &[VertexSet],
     ws: &mut PeelWorkspace,
-    emit: F,
+    mut emit: F,
 ) -> LatticeStats
 where
     F: FnMut(&[Layer], &VertexSet),
 {
     let l = g.num_layers();
-    assert!(s >= 1 && s <= l, "subset size s={s} out of range for {l} layers");
-    assert_eq!(layer_cores.len(), l, "one memoized d-core per layer required");
-    let n = g.num_vertices();
+    validate(l, s, layer_cores);
+    let branches = l - s + 1;
 
-    // Every candidate lives inside the union of the per-layer d-cores; when
-    // that universe is small enough, re-index it and peel with word-level
-    // adjacency rows instead of CSR scans.
     if s > 1 {
-        let mut universe = VertexSet::new(n);
-        for core in layer_cores {
-            universe.union_with(core);
-        }
-        if !universe.is_empty()
-            && DenseSubgraph::words_required(universe.len(), l) <= DENSE_WORD_BUDGET
-        {
+        let universe = candidate_universe(g.num_vertices(), layer_cores);
+        let plan = crate::engine::plan_index(g, &universe);
+        if plan.path == IndexPath::Dense {
             let dense = DenseSubgraph::build(g, &universe);
-            let m = dense.len();
-            let mut cores_m: Vec<VertexSet> = Vec::with_capacity(l);
-            for core in layer_cores {
-                let mut compressed = dense.new_set();
-                dense.compress_into(core, &mut compressed);
-                cores_m.push(compressed);
-            }
-            let mut run = DenseLatticeRun {
-                dense: &dense,
-                d,
-                s,
-                layer_cores_m: &cores_m,
-                ws,
-                emit,
-                subset: Vec::with_capacity(s),
-                cores: (0..s).map(|_| VertexSet::new(m)).collect(),
-                degrees: vec![0u32; s * m],
-                expanded: VertexSet::new(n),
-                empty: VertexSet::new(n),
-                stats: LatticeStats::default(),
-                num_layers: l,
-            };
-            run.descend(0, 0);
-            return run.stats;
+            let cores_m = compress_layer_cores(&dense, layer_cores);
+            let mut stats =
+                run_dense_branches(g, d, s, &dense, &cores_m, 0, branches, ws, &mut emit);
+            stats.index_path = IndexPath::Dense;
+            return stats;
         }
     }
+    run_csr_branches(g, d, s, layer_cores, 0, branches, ws, &mut emit)
+}
 
+/// Collects every candidate d-CC as an owned [`CoherentCore`] list, in the
+/// same lexicographic order as [`for_each_subset_core`], using the context's
+/// cached dense index and fanning the depth-1 branches out over the
+/// executor when the context has more than one worker.
+///
+/// The output — cores, order, and statistics — is identical at every thread
+/// count: each branch of the lattice is an independent walk, and the
+/// per-branch results are merged in branch order.
+pub fn collect_subset_cores(
+    ctx: &mut SearchContext,
+    g: &MultiLayerGraph,
+    d: u32,
+    s: usize,
+    layer_cores: &[VertexSet],
+) -> (Vec<CoherentCore>, LatticeStats) {
+    let l = g.num_layers();
+    validate(l, s, layer_cores);
+
+    if s == 1 {
+        // Memoized single-layer cores: no peel, no index decision.
+        let stats = LatticeStats { candidates: l, ..LatticeStats::default() };
+        let cores = layer_cores
+            .iter()
+            .enumerate()
+            .map(|(j, core)| CoherentCore::new(vec![j], core.clone()))
+            .collect();
+        return (cores, stats);
+    }
+
+    let threads = ctx.threads();
+    let universe = candidate_universe(g.num_vertices(), layer_cores);
+    let (plan, dense, driver_ws) = ctx.lattice_resources(g, &universe);
+    let cores_m = dense.map(|dn| compress_layer_cores(dn, layer_cores));
+    let branches = l - s + 1;
+
+    let run_branch = |ws: &mut PeelWorkspace, from: Layer, to: Layer| {
+        let mut out: Vec<CoherentCore> = Vec::new();
+        let mut emit = |subset: &[Layer], core: &VertexSet| {
+            out.push(CoherentCore::new(subset.to_vec(), core.clone()));
+        };
+        let stats = match (dense, &cores_m) {
+            (Some(dn), Some(cm)) => run_dense_branches(g, d, s, dn, cm, from, to, ws, &mut emit),
+            _ => run_csr_branches(g, d, s, layer_cores, from, to, ws, &mut emit),
+        };
+        (out, stats)
+    };
+
+    let per_branch: Vec<(Vec<CoherentCore>, LatticeStats)> = if threads <= 1 || branches <= 1 {
+        vec![run_branch(driver_ws, 0, branches)]
+    } else {
+        with_pool(threads, |pool| {
+            let jobs: Vec<_> = (0..branches)
+                .map(|j| {
+                    let run_branch = &run_branch;
+                    move |ws: &mut PeelWorkspace| run_branch(ws, j, j + 1)
+                })
+                .collect();
+            pool.map(driver_ws, jobs)
+        })
+    };
+
+    let mut stats = LatticeStats { index_path: plan.path, ..LatticeStats::default() };
+    let mut cores = Vec::new();
+    for (mut branch_cores, branch_stats) in per_branch {
+        stats.absorb(&branch_stats);
+        cores.append(&mut branch_cores);
+    }
+    (cores, stats)
+}
+
+/// The frozen oracle: per-subset candidate cores computed exactly the way
+/// the pre-refactor code did — intersect the memoized per-layer d-cores and
+/// run the per-call-allocating reference peel
+/// [`coreness::d_coherent_core_naive`]. Benches and property tests compare
+/// the lattice engine against this single implementation.
+pub fn naive_subset_cores(
+    g: &MultiLayerGraph,
+    d: u32,
+    s: usize,
+    layer_cores: &[VertexSet],
+) -> Vec<(Vec<Layer>, VertexSet)> {
+    let l = g.num_layers();
+    validate(l, s, layer_cores);
+    combinations(l, s)
+        .map(|subset| {
+            let mut candidate = layer_cores[subset[0]].clone();
+            for &i in &subset[1..] {
+                candidate.intersect_with(&layer_cores[i]);
+            }
+            let core = coreness::d_coherent_core_naive(g, &subset, d, &candidate);
+            (subset, core)
+        })
+        .collect()
+}
+
+fn compress_layer_cores(dense: &DenseSubgraph, layer_cores: &[VertexSet]) -> Vec<VertexSet> {
+    layer_cores
+        .iter()
+        .map(|core| {
+            let mut compressed = dense.new_set();
+            dense.compress_into(core, &mut compressed);
+            compressed
+        })
+        .collect()
+}
+
+/// Walks the lattice branches with first layer in `from..to` over the dense
+/// re-indexed universe. `to` must not exceed `l − s + 1`.
+#[allow(clippy::too_many_arguments)]
+fn run_dense_branches<F: FnMut(&[Layer], &VertexSet)>(
+    g: &MultiLayerGraph,
+    d: u32,
+    s: usize,
+    dense: &DenseSubgraph,
+    cores_m: &[VertexSet],
+    from: Layer,
+    to: Layer,
+    ws: &mut PeelWorkspace,
+    emit: F,
+) -> LatticeStats {
+    let m = dense.len();
+    let mut run = DenseLatticeRun {
+        dense,
+        d,
+        s,
+        layer_cores_m: cores_m,
+        ws,
+        emit,
+        subset: Vec::with_capacity(s),
+        cores: (0..s).map(|_| VertexSet::new(m)).collect(),
+        degrees: vec![0u32; s * m],
+        expanded: VertexSet::new(g.num_vertices()),
+        empty: VertexSet::new(g.num_vertices()),
+        stats: LatticeStats::default(),
+        num_layers: g.num_layers(),
+    };
+    for j in from..to {
+        run.root(j);
+    }
+    run.stats
+}
+
+/// Walks the lattice branches with first layer in `from..to` over the CSR
+/// adjacency. `to` must not exceed `l − s + 1`.
+#[allow(clippy::too_many_arguments)]
+fn run_csr_branches<F: FnMut(&[Layer], &VertexSet)>(
+    g: &MultiLayerGraph,
+    d: u32,
+    s: usize,
+    layer_cores: &[VertexSet],
+    from: Layer,
+    to: Layer,
+    ws: &mut PeelWorkspace,
+    emit: F,
+) -> LatticeStats {
+    let n = g.num_vertices();
     let mut run = LatticeRun {
         g,
         d,
@@ -128,7 +298,9 @@ where
         empty: VertexSet::new(n),
         stats: LatticeStats::default(),
     };
-    run.descend(0, 0);
+    for j in from..to {
+        run.root(j);
+    }
     run.stats
 }
 
@@ -159,52 +331,50 @@ struct DenseLatticeRun<'a, F> {
 }
 
 impl<F: FnMut(&[Layer], &VertexSet)> DenseLatticeRun<'_, F> {
+    /// Runs the depth-1 branch rooted at first layer `j` (callers only pass
+    /// `j ≤ l − s`, so every branch has completions).
+    fn root(&mut self, j: Layer) {
+        self.subset.push(j);
+        // Memoized single-layer core: no peel needed at the root.
+        self.cores[0].copy_from(&self.layer_cores_m[j]);
+        self.descend(1, j + 1);
+        self.subset.pop();
+    }
+
     fn descend(&mut self, depth: usize, start: Layer) {
         let l = self.num_layers;
         let m = self.dense.len();
         let last = l - (self.s - depth) + 1;
         for j in start..last {
             self.subset.push(j);
-            if depth == 0 {
-                // Memoized single-layer core: no peel needed at the root.
-                self.cores[0].copy_from(&self.layer_cores_m[j]);
-                self.descend(1, j + 1);
-            } else {
-                let (head, tail) = self.cores.split_at_mut(depth);
-                let parent = &head[depth - 1];
-                let child = &mut tail[0];
-                child.assign_intersection(parent, &self.layer_cores_m[j]);
-                if !child.is_empty() {
-                    // Fresh word-level degrees for every prefix layer in one
-                    // pass over the members, then one cascade.
-                    for v in child.iter() {
-                        for (t, &layer) in self.subset.iter().enumerate() {
-                            self.degrees[t * m + v as usize] =
-                                self.dense.degree_within(layer, v, child) as u32;
-                        }
+            let (head, tail) = self.cores.split_at_mut(depth);
+            let parent = &head[depth - 1];
+            let child = &mut tail[0];
+            child.assign_intersection(parent, &self.layer_cores_m[j]);
+            if !child.is_empty() {
+                // Fresh word-level degrees for every prefix layer in one
+                // pass over the members, then one cascade.
+                for v in child.iter() {
+                    for (t, &layer) in self.subset.iter().enumerate() {
+                        self.degrees[t * m + v as usize] =
+                            self.dense.degree_within(layer, v, child) as u32;
                     }
-                    self.ws.cascade_dense(
-                        self.dense,
-                        &self.subset,
-                        self.d,
-                        child,
-                        &mut self.degrees,
-                    );
-                    self.stats.peels += 1;
                 }
-                if depth + 1 == self.s {
-                    self.stats.candidates += 1;
-                    if self.cores[depth].is_empty() {
-                        (self.emit)(&self.subset, &self.empty);
-                    } else {
-                        self.dense.expand_into(&self.cores[depth], &mut self.expanded);
-                        (self.emit)(&self.subset, &self.expanded);
-                    }
-                } else if self.cores[depth].is_empty() {
-                    self.emit_empty_completions(depth + 1, j + 1);
+                self.ws.cascade_dense(self.dense, &self.subset, self.d, child, &mut self.degrees);
+                self.stats.peels += 1;
+            }
+            if depth + 1 == self.s {
+                self.stats.candidates += 1;
+                if self.cores[depth].is_empty() {
+                    (self.emit)(&self.subset, &self.empty);
                 } else {
-                    self.descend(depth + 1, j + 1);
+                    self.dense.expand_into(&self.cores[depth], &mut self.expanded);
+                    (self.emit)(&self.subset, &self.expanded);
                 }
+            } else if self.cores[depth].is_empty() {
+                self.emit_empty_completions(depth + 1, j + 1);
+            } else {
+                self.descend(depth + 1, j + 1);
             }
             self.subset.pop();
         }
@@ -249,42 +419,46 @@ struct LatticeRun<'a, F> {
 }
 
 impl<F: FnMut(&[Layer], &VertexSet)> LatticeRun<'_, F> {
+    /// Runs the depth-1 branch rooted at first layer `j`, keeping the
+    /// lexicographic emission order of the naive enumeration (so downstream
+    /// tie-breaking is unchanged).
+    fn root(&mut self, j: Layer) {
+        let n = self.g.num_vertices();
+        self.subset.push(j);
+        if self.s == 1 {
+            // Memoized single-layer core: already the exact d-CC of {j}.
+            self.stats.candidates += 1;
+            (self.emit)(&self.subset, &self.layer_cores[j]);
+        } else {
+            self.cores[0].copy_from(&self.layer_cores[j]);
+            let core = &self.cores[0];
+            let deg = &mut self.degrees[0][..n];
+            let csr = self.g.layer(j);
+            for v in core.iter() {
+                deg[v as usize] = csr.degree_within(v, core) as u32;
+            }
+            self.descend(1, j + 1);
+        }
+        self.subset.pop();
+    }
+
     /// Visits every extension of the current prefix by layers in
-    /// `start..l`, keeping the lexicographic emission order of the naive
-    /// enumeration (so downstream tie-breaking is unchanged).
+    /// `start..l`.
     fn descend(&mut self, depth: usize, start: Layer) {
         let l = self.g.num_layers();
-        let n = self.g.num_vertices();
         let last = l - (self.s - depth) + 1;
         for j in start..last {
             self.subset.push(j);
-            if depth == 0 {
-                if self.s == 1 {
-                    // Memoized single-layer core: already the exact d-CC of {j}.
-                    self.stats.candidates += 1;
-                    (self.emit)(&self.subset, &self.layer_cores[j]);
-                } else {
-                    self.cores[0].copy_from(&self.layer_cores[j]);
-                    let core = &self.cores[0];
-                    let deg = &mut self.degrees[0][..n];
-                    let csr = self.g.layer(j);
-                    for v in core.iter() {
-                        deg[v as usize] = csr.degree_within(v, core) as u32;
-                    }
-                    self.descend(1, j + 1);
-                }
+            let nonempty = self.make_child(depth, j);
+            if depth + 1 == self.s {
+                self.stats.candidates += 1;
+                let core = if nonempty { &self.cores[depth] } else { &self.empty };
+                (self.emit)(&self.subset, core);
+            } else if nonempty && !self.cores[depth].is_empty() {
+                self.descend(depth + 1, j + 1);
             } else {
-                let nonempty = self.make_child(depth, j);
-                if depth + 1 == self.s {
-                    self.stats.candidates += 1;
-                    let core = if nonempty { &self.cores[depth] } else { &self.empty };
-                    (self.emit)(&self.subset, core);
-                } else if nonempty && !self.cores[depth].is_empty() {
-                    self.descend(depth + 1, j + 1);
-                } else {
-                    // Lemma 1: every completion of an empty prefix is empty.
-                    self.emit_empty_completions(depth + 1, j + 1);
-                }
+                // Lemma 1: every completion of an empty prefix is empty.
+                self.emit_empty_completions(depth + 1, j + 1);
             }
             self.subset.pop();
         }
@@ -372,9 +546,7 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeRun<'_, F> {
 mod tests {
     use super::*;
     use crate::config::{DccsOptions, DccsParams};
-    use crate::layer_subsets::combinations;
     use crate::preprocess::preprocess;
-    use coreness::d_coherent_core_naive;
     use mlgraph::MultiLayerGraphBuilder;
 
     fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
@@ -397,7 +569,7 @@ mod tests {
     }
 
     /// The lattice engine must emit, for every subset in lexicographic
-    /// order, exactly what a from-scratch naive peel computes.
+    /// order, exactly what the frozen oracle computes from scratch.
     #[test]
     fn matches_naive_per_subset_computation() {
         let g = graph();
@@ -410,18 +582,38 @@ mod tests {
                 for_each_subset_core(&g, d, s, &pre.layer_cores, &mut ws, |subset, core| {
                     got.push((subset.to_vec(), core.to_vec()));
                 });
-            let expected: Vec<(Vec<Layer>, Vec<u32>)> = combinations(g.num_layers(), s)
-                .map(|subset| {
-                    let mut candidate = pre.layer_cores[subset[0]].clone();
-                    for &i in &subset[1..] {
-                        candidate.intersect_with(&pre.layer_cores[i]);
-                    }
-                    let core = d_coherent_core_naive(&g, &subset, d, &candidate);
-                    (subset, core.to_vec())
-                })
-                .collect();
+            let expected: Vec<(Vec<Layer>, Vec<u32>)> =
+                naive_subset_cores(&g, d, s, &pre.layer_cores)
+                    .into_iter()
+                    .map(|(subset, core)| (subset, core.to_vec()))
+                    .collect();
             assert_eq!(got, expected, "d={d} s={s}");
             assert_eq!(stats.candidates as u128, crate::layer_subsets::binomial(4, s));
+        }
+    }
+
+    /// `collect_subset_cores` must produce the same candidates as the
+    /// sequential callback walk, in the same order, at every thread count.
+    #[test]
+    fn collected_candidates_are_thread_invariant() {
+        let g = graph();
+        for (d, s) in [(2u32, 1usize), (2, 2), (3, 2), (2, 3), (3, 3), (2, 4)] {
+            let params = DccsParams::new(d, s, 2);
+            let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
+            let mut ws = PeelWorkspace::new();
+            let mut reference: Vec<CoherentCore> = Vec::new();
+            let ref_stats =
+                for_each_subset_core(&g, d, s, &pre.layer_cores, &mut ws, |subset, core| {
+                    reference.push(CoherentCore::new(subset.to_vec(), core.clone()));
+                });
+            for threads in [1usize, 2, 4] {
+                let mut ctx = SearchContext::new(threads);
+                let (cores, stats) = collect_subset_cores(&mut ctx, &g, d, s, &pre.layer_cores);
+                assert_eq!(cores, reference, "d={d} s={s} threads={threads}");
+                assert_eq!(stats.candidates, ref_stats.candidates);
+                assert_eq!(stats.peels, ref_stats.peels);
+                assert_eq!(stats.empty_skipped, ref_stats.empty_skipped);
+            }
         }
     }
 

@@ -42,6 +42,7 @@ pub mod analysis;
 pub mod bottom_up;
 pub mod config;
 pub mod coverage;
+pub mod engine;
 pub mod exact;
 pub mod greedy;
 pub mod index;
@@ -55,13 +56,14 @@ pub mod result;
 pub mod top_down;
 
 pub use analysis::{analyze_cores, analyze_result, jaccard, OverlapReport};
-pub use bottom_up::{bottom_up_dccs, bottom_up_dccs_with_options};
+pub use bottom_up::{bottom_up_dccs, bottom_up_dccs_in, bottom_up_dccs_with_options};
 pub use config::{DccsOptions, DccsParams};
 pub use coverage::TopKDiversified;
+pub use engine::{plan_index, IndexPath, IndexPlan, SearchContext};
 pub use exact::exact_dccs;
-pub use greedy::{greedy_dccs, greedy_dccs_with_options};
-pub use lattice::{for_each_subset_core, LatticeStats};
+pub use greedy::{greedy_dccs, greedy_dccs_in, greedy_dccs_with_options};
+pub use lattice::{collect_subset_cores, for_each_subset_core, naive_subset_cores, LatticeStats};
 pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
 pub use parallel::parallel_greedy_dccs;
 pub use result::{CoherentCore, DccsResult, SearchStats};
-pub use top_down::{top_down_dccs, top_down_dccs_with_options};
+pub use top_down::{top_down_dccs, top_down_dccs_in, top_down_dccs_with_options};

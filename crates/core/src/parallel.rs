@@ -1,83 +1,31 @@
 //! Parallel candidate generation — an extension beyond the paper.
 //!
-//! `GD-DCCS` spends almost all of its time computing the `C(l, s)` candidate
-//! d-CCs, and those computations are independent. This module fans the
-//! candidate generation out over a pool of `crossbeam` scoped threads and
-//! then runs the (cheap, inherently sequential) greedy selection, producing
-//! exactly the same result as [`crate::greedy_dccs`]. The speed-up is
-//! reported by the `parallel_greedy` group of the `dccs_algorithms` Criterion benchmark.
+//! Since the unified executor refactor this module is a thin compatibility
+//! wrapper: `GD-DCCS` is parallelized by the shared engine
+//! ([`crate::engine`]) itself — the lattice's depth-1 branches fan out over
+//! the worker crew whenever `DccsOptions::threads > 1` — so
+//! [`parallel_greedy_dccs`] simply runs [`crate::greedy_dccs_with_options`]
+//! with the requested thread count. The output (cores, cover, and work
+//! counters) is identical to the sequential run at every thread count; the
+//! speed-up is reported by the `parallel_greedy` group of the
+//! `dccs_algorithms` Criterion benchmark and by the `thread_scaling` group
+//! of `BENCH_dcc.json`.
 
 use crate::config::{DccsOptions, DccsParams};
-use crate::greedy::select_greedy;
-use crate::layer_subsets::combinations;
-use crate::preprocess::preprocess;
-use crate::result::{CoherentCore, DccsResult, SearchStats};
-use coreness::PeelWorkspace;
-use mlgraph::{MultiLayerGraph, VertexSet};
-use parking_lot::Mutex;
-use std::time::Instant;
+use crate::result::DccsResult;
+use mlgraph::MultiLayerGraph;
 
-/// Runs `GD-DCCS` with candidate generation parallelized over `num_threads`
-/// worker threads (values of 0 or 1 fall back to a single worker).
+/// Runs `GD-DCCS` with candidate generation spread over `num_threads`
+/// executor workers (values of 0 or 1 fall back to a single worker).
 ///
-/// The output is identical to [`crate::greedy_dccs`] up to tie-breaking among
-/// candidates with equal marginal gain; the candidate list is sorted by layer
-/// subset before selection so the result is deterministic.
+/// Equivalent to [`crate::greedy_dccs_with_options`] with
+/// [`DccsOptions::with_threads`]; kept for the historical call sites.
 pub fn parallel_greedy_dccs(
     g: &MultiLayerGraph,
     params: &DccsParams,
     num_threads: usize,
 ) -> DccsResult {
-    params.validate(g.num_layers()).expect("invalid DCCS parameters");
-    let start = Instant::now();
-    let opts = DccsOptions::default();
-    let mut stats = SearchStats::default();
-    let pre = preprocess(g, params, &opts);
-    stats.vertices_deleted = pre.vertices_deleted;
-
-    let subsets: Vec<Vec<usize>> = combinations(g.num_layers(), params.s).collect();
-    stats.candidates_generated = subsets.len();
-    stats.dcc_calls = subsets.len();
-
-    let workers = num_threads.max(1).min(subsets.len().max(1));
-    let collected: Mutex<Vec<(usize, CoherentCore)>> =
-        Mutex::new(Vec::with_capacity(subsets.len()));
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                // One workspace and one seed buffer per worker thread: the
-                // per-candidate steady state allocates only the emitted core.
-                let mut ws = PeelWorkspace::new();
-                let mut candidate_set = VertexSet::new(g.num_vertices());
-                loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= subsets.len() {
-                        break;
-                    }
-                    let subset = &subsets[idx];
-                    candidate_set.copy_from(&pre.layer_cores[subset[0]]);
-                    for &i in &subset[1..] {
-                        candidate_set.intersect_with(&pre.layer_cores[i]);
-                    }
-                    if !candidate_set.is_empty() {
-                        ws.peel_in_place(g, subset, params.d, &mut candidate_set);
-                    }
-                    collected
-                        .lock()
-                        .push((idx, CoherentCore::new(subset.clone(), candidate_set.clone())));
-                }
-            });
-        }
-    })
-    .expect("candidate-generation worker panicked");
-
-    let mut candidates = collected.into_inner();
-    candidates.sort_by_key(|(idx, _)| *idx);
-    let candidates: Vec<CoherentCore> = candidates.into_iter().map(|(_, c)| c).collect();
-    let cores = select_greedy(g.num_vertices(), candidates, params.k, &mut stats);
-    DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
+    crate::greedy::greedy_dccs_with_options(g, params, &DccsOptions::with_threads(num_threads))
 }
 
 #[cfg(test)]
@@ -109,15 +57,16 @@ mod tests {
     }
 
     #[test]
-    fn matches_sequential_greedy() {
+    fn matches_sequential_greedy_exactly() {
         let g = graph();
         for (d, s, k) in [(2, 2, 2), (3, 2, 3), (2, 3, 2)] {
             let params = DccsParams::new(d, s, k);
             let seq = greedy_dccs(&g, &params);
             for threads in [1, 2, 4] {
                 let par = parallel_greedy_dccs(&g, &params, threads);
-                assert_eq!(par.cover_size(), seq.cover_size(), "threads={threads}");
-                assert_eq!(par.num_cores(), seq.num_cores());
+                assert_eq!(par.cores, seq.cores, "threads={threads}");
+                assert_eq!(par.cover.to_vec(), seq.cover.to_vec(), "threads={threads}");
+                assert_eq!(par.stats, seq.stats, "threads={threads}");
             }
         }
     }

@@ -13,7 +13,7 @@
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
 use crate::result::CoherentCore;
-use coreness::{d_coherent_core, d_core_within_into, PeelWorkspace};
+use coreness::{d_coherent_core_in, d_core_within_into, PeelWorkspace};
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
 
 /// The state produced by preprocessing and consumed by every algorithm.
@@ -115,9 +115,37 @@ pub fn init_topk(
     pre: &Preprocessed,
     topk: &mut TopKDiversified,
 ) {
+    let mut ws = PeelWorkspace::new();
+    let mut running = VertexSet::new(0);
+    let mut seed = VertexSet::new(0);
+    init_topk_in(&mut ws, &mut running, &mut seed, g, params, pre, topk);
+}
+
+/// [`init_topk`] with explicit scratch: `running` accumulates the running
+/// layer-core intersection and `seed` receives each seed core (both resized
+/// on capacity mismatch, reused otherwise), so a
+/// [`crate::engine::SearchContext`]-driven sweep peels the `k` seeding
+/// rounds without per-round intersection/peel-output allocations. Each
+/// round still clones `seed` once to hand `Update` an owned candidate —
+/// that clone is inherent to offering ownership, not scratch churn (cf.
+/// [`TopKDiversified::cover_set_into`] for the same reuse protocol on the
+/// cover side).
+pub fn init_topk_in(
+    ws: &mut PeelWorkspace,
+    running: &mut VertexSet,
+    seed: &mut VertexSet,
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    pre: &Preprocessed,
+    topk: &mut TopKDiversified,
+) {
     let l = g.num_layers();
     if l == 0 {
         return;
+    }
+    let n = g.num_vertices();
+    if running.capacity() != n {
+        *running = VertexSet::new(n);
     }
     for _ in 0..params.k {
         // Layer whose d-core maximally enlarges the current cover.
@@ -125,7 +153,7 @@ pub fn init_topk(
             return;
         };
         let mut chosen = vec![first];
-        let mut running = pre.layer_cores[first].clone();
+        running.copy_from(&pre.layer_cores[first]);
         while chosen.len() < params.s {
             let Some(next) = (0..l)
                 .filter(|i| !chosen.contains(i))
@@ -139,8 +167,8 @@ pub fn init_topk(
         if chosen.len() < params.s {
             return;
         }
-        let core_set = d_coherent_core(g, &chosen, params.d, &running);
-        topk.try_update(CoherentCore::new(chosen, core_set));
+        d_coherent_core_in(ws, g, &chosen, params.d, running, seed);
+        topk.try_update(CoherentCore::new(chosen, seed.clone()));
     }
 }
 

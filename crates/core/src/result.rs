@@ -1,5 +1,6 @@
 //! Result types: coherent cores, search statistics, and the algorithm output.
 
+use crate::engine::IndexPath;
 use mlgraph::{Layer, Vertex, VertexSet};
 use std::time::Duration;
 
@@ -54,6 +55,10 @@ pub struct SearchStats {
     pub updates_accepted: usize,
     /// Number of vertices removed by the vertex-deletion preprocessing.
     pub vertices_deleted: usize,
+    /// Which adjacency representation candidate generation peeled over —
+    /// the [`crate::engine`] cost model's per-run dense-vs-CSR decision.
+    /// `None` for the search-tree algorithms, which always peel CSR.
+    pub index_path: Option<IndexPath>,
 }
 
 /// The output of a DCCS algorithm.
@@ -82,6 +87,21 @@ impl DccsResult {
             cover.union_with(&core.vertices);
         }
         DccsResult { cores, cover, stats, elapsed }
+    }
+
+    /// Assembles a result from the temporary top-k set, materializing
+    /// `Cov(R)` through the set's incremental bookkeeping
+    /// ([`crate::coverage::TopKDiversified::cover_set_into`]) instead of
+    /// re-unioning the cores. Used by the search-tree algorithms.
+    pub fn from_topk(
+        num_vertices: usize,
+        topk: crate::coverage::TopKDiversified,
+        stats: SearchStats,
+        elapsed: Duration,
+    ) -> Self {
+        let mut cover = VertexSet::new(num_vertices);
+        topk.cover_set_into(&mut cover);
+        DccsResult { cores: topk.into_cores(), cover, stats, elapsed }
     }
 
     /// `|Cov(R)|` — the objective value of the DCCS problem.

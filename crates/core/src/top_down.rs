@@ -21,15 +21,26 @@
 //! The approximation ratio is 1/4 (Theorem 4). The paper recommends TD-DCCS
 //! when `s ≥ l/2`; the implementation works for any `s` but is typically
 //! slower than `BU-DCCS` for small `s`.
+//!
+//! # Execution model
+//!
+//! TD-Gen always evaluates every child of a node (`RefineU` + `RefineC`)
+//! before ordering them for pruning, so the children form a natural
+//! fork-join batch: they are computed on the shared executor
+//! ([`crate::engine`]) and committed in deterministic order. Unlike BU, no
+//! bound has to be frozen — the parallel search is *exactly* the sequential
+//! search, decision for decision, at every thread count.
 
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
+use crate::engine::{with_pool, PoolRef, SearchContext};
 use crate::index::VertexIndex;
-use crate::preprocess::{init_topk, preprocess};
+use crate::preprocess::{init_topk_in, preprocess};
 use crate::refine::{refine_c, refine_u};
 use crate::result::{CoherentCore, DccsResult, SearchStats};
-use coreness::{d_coherent_core, PeelWorkspace};
+use coreness::PeelWorkspace;
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Runs `TD-DCCS` with default options.
@@ -37,8 +48,21 @@ pub fn top_down_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     top_down_dccs_with_options(g, params, &DccsOptions::default())
 }
 
-/// Runs `TD-DCCS` with explicit options (used by the Fig. 28 ablation).
+/// Runs `TD-DCCS` with explicit options (used by the Fig. 28 ablation and
+/// to set the executor width via `opts.threads`).
 pub fn top_down_dccs_with_options(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> DccsResult {
+    let mut ctx = SearchContext::from_options(opts);
+    top_down_dccs_in(&mut ctx, g, params, opts)
+}
+
+/// Runs `TD-DCCS` on an existing [`SearchContext`], reusing its scratch
+/// across a parameter sweep.
+pub fn top_down_dccs_in(
+    ctx: &mut SearchContext,
     g: &MultiLayerGraph,
     params: &DccsParams,
     opts: &DccsOptions,
@@ -53,7 +77,8 @@ pub fn top_down_dccs_with_options(
 
     let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
     if opts.init_topk {
-        init_topk(g, params, &pre, &mut topk);
+        let (ws, running, seed) = ctx.init_scratch();
+        init_topk_in(ws, running, seed, g, params, &pre, &mut topk);
     }
 
     // Positions follow the ascending d-core-size order (Section V-D).
@@ -69,46 +94,49 @@ pub fn top_down_dccs_with_options(
     let all_positions: Vec<usize> = (0..l).collect();
     let all_layers: Vec<Layer> = order.clone();
     stats.dcc_calls += 1;
-    let root_core = d_coherent_core(g, &all_layers, params.d, &pre.active);
+    let mut root_core = pre.active.clone();
+    ctx.ws.peel_in_place(g, &all_layers, params.d, &mut root_core);
+    let threads = ctx.threads();
 
-    let mut ctx = TdContext {
-        g,
-        params,
-        opts,
-        order: &order,
-        layer_cores: &cores_by_layer,
-        index,
-        ws: PeelWorkspace::with_capacity(g.num_vertices(), l),
-        topk,
-        stats,
-    };
+    with_pool(threads, |pool| {
+        let mut td = TdContext {
+            g,
+            params,
+            opts,
+            order: &order,
+            layer_cores: &cores_by_layer,
+            index: index.as_ref(),
+            ws: &mut ctx.ws,
+            pool,
+            topk: &mut topk,
+            stats: &mut stats,
+        };
+        if params.s == l {
+            td.stats.candidates_generated += 1;
+            td.topk.try_update(CoherentCore::new(all_layers, root_core));
+        } else {
+            td.td_gen(&all_positions, &root_core, &pre.active);
+        }
+    });
 
-    if params.s == l {
-        ctx.stats.candidates_generated += 1;
-        ctx.topk.try_update(CoherentCore::new(all_layers, root_core));
-    } else {
-        ctx.td_gen(&all_positions, &root_core, &pre.active);
-    }
-
-    let TdContext { topk, mut stats, .. } = ctx;
     stats.updates_accepted = topk.accepted_updates();
-    let cores = topk.into_cores();
-    DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
+    DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())
 }
 
-struct TdContext<'a> {
-    g: &'a MultiLayerGraph,
+struct TdContext<'a, 'env> {
+    g: &'env MultiLayerGraph,
     params: &'a DccsParams,
     opts: &'a DccsOptions,
     /// Position → original layer index (ascending d-core size).
-    order: &'a [Layer],
+    order: &'env [Layer],
     /// Per-original-layer d-cores (restricted to the active set).
-    layer_cores: &'a [VertexSet],
-    index: Option<VertexIndex>,
-    /// Shared peeling scratch: every plain `dCC` call in the search borrows it.
-    ws: PeelWorkspace,
-    topk: TopKDiversified,
-    stats: SearchStats,
+    layer_cores: &'env [VertexSet],
+    index: Option<&'env VertexIndex>,
+    /// Driver-thread peeling scratch (each worker owns its own).
+    ws: &'a mut PeelWorkspace,
+    pool: &'a PoolRef<'a, 'env>,
+    topk: &'a mut TopKDiversified,
+    stats: &'a mut SearchStats,
 }
 
 /// A child node of the top-down search tree.
@@ -120,39 +148,116 @@ struct TdChild {
     removed: usize,
 }
 
-impl TdContext<'_> {
+/// The driver-computed description of one child evaluation: the removed
+/// position, the child's positions, the `RefineU` class split, and the
+/// child's layer list.
+struct TdChildSpec {
+    j: usize,
+    child_positions: Vec<usize>,
+    class1: Vec<Layer>,
+    class2: Vec<Layer>,
+    layers: Vec<Layer>,
+}
+
+/// One child evaluation — `RefineU` then `RefineC` (or a plain peel) —
+/// shared by the sequential path and the executor jobs.
+#[allow(clippy::too_many_arguments)]
+fn eval_child(
+    g: &MultiLayerGraph,
+    d: u32,
+    s: usize,
+    layer_cores: &[VertexSet],
+    index: Option<&VertexIndex>,
+    use_refine_c: bool,
+    spec: TdChildSpec,
+    u_l: &VertexSet,
+    ws: &mut PeelWorkspace,
+) -> TdChild {
+    let TdChildSpec { j, child_positions, class1, class2, layers } = spec;
+    let potential = refine_u(g, d, s, u_l, &class1, &class2, layer_cores);
+    let core = match index {
+        Some(ix) if use_refine_c => refine_c(g, d, ix, &potential, &layers),
+        _ => {
+            let mut core = potential.clone();
+            ws.peel_in_place(g, &layers, d, &mut core);
+            core
+        }
+    };
+    TdChild { positions: child_positions, core, potential, removed: j }
+}
+
+impl<'env> TdContext<'_, 'env> {
     fn layers_of(&self, positions: &[usize]) -> Vec<Layer> {
         positions.iter().map(|&p| self.order[p]).collect()
     }
 
-    /// Computes one child (`L' = L − {j}`): refines the potential set and
-    /// extracts the child's d-CC.
-    fn make_child(&mut self, positions: &[usize], j: usize, u_l: &VertexSet) -> TdChild {
-        let child_positions: Vec<usize> = positions.iter().copied().filter(|&p| p != j).collect();
-        // Class split w.r.t. L' (Section V-B): max removed position is `j`
-        // because children always remove a position above every earlier one.
-        let class1: Vec<Layer> =
-            child_positions.iter().filter(|&&p| p < j).map(|&p| self.order[p]).collect();
-        let class2: Vec<Layer> =
-            child_positions.iter().filter(|&&p| p > j).map(|&p| self.order[p]).collect();
-        let potential =
-            refine_u(self.g, self.params.d, self.params.s, u_l, &class1, &class2, self.layer_cores);
-        let layers = self.layers_of(&child_positions);
-        self.stats.dcc_calls += 1;
-        if child_positions.len() == self.params.s {
-            self.stats.candidates_generated += 1;
-        }
-        let core = match &self.index {
-            Some(index) if self.opts.use_refine_c => {
-                refine_c(self.g, self.params.d, index, &potential, &layers)
-            }
-            _ => {
-                let mut core = potential.clone();
-                self.ws.peel_in_place(self.g, &layers, self.params.d, &mut core);
-                core
-            }
+    /// Evaluates every child (`L' = L − {j}`) of the current node as one
+    /// executor batch: each job refines the potential set (`RefineU`) and
+    /// extracts the child's d-CC (`RefineC` or a plain peel). Outputs come
+    /// back in removable-position order — the order the sequential code
+    /// produced them in.
+    fn make_children(
+        &mut self,
+        positions: &[usize],
+        removable: &[usize],
+        u_l: &VertexSet,
+    ) -> Vec<TdChild> {
+        let g = self.g;
+        let d = self.params.d;
+        let s = self.params.s;
+        let order = self.order;
+        let layer_cores = self.layer_cores;
+        let index = self.index;
+        let use_refine_c = self.opts.use_refine_c;
+        // The class split and layer lists are cheap and computed on the
+        // driver; only the RefineU/RefineC work is dispatched.
+        let specs: Vec<TdChildSpec> = removable
+            .iter()
+            .map(|&j| {
+                let child_positions: Vec<usize> =
+                    positions.iter().copied().filter(|&p| p != j).collect();
+                // Class split w.r.t. L' (Section V-B): max removed position
+                // is `j` because children always remove a position above
+                // every earlier one.
+                let class1: Vec<Layer> =
+                    child_positions.iter().filter(|&&p| p < j).map(|&p| order[p]).collect();
+                let class2: Vec<Layer> =
+                    child_positions.iter().filter(|&&p| p > j).map(|&p| order[p]).collect();
+                let layers: Vec<Layer> = child_positions.iter().map(|&p| order[p]).collect();
+                TdChildSpec { j, child_positions, class1, class2, layers }
+            })
+            .collect();
+        self.stats.dcc_calls += specs.len();
+        let children = if self.pool.workers() == 0 {
+            // Sequential path: children borrow the parent's potential set
+            // directly — no Arc, no clone.
+            specs
+                .into_iter()
+                .map(|spec| {
+                    eval_child(g, d, s, layer_cores, index, use_refine_c, spec, u_l, self.ws)
+                })
+                .collect()
+        } else {
+            // Children share the parent's potential set; an `Arc` lets
+            // every job hold it without tying jobs to this recursion frame.
+            let u_l = Arc::new(u_l.clone());
+            let jobs: Vec<_> = specs
+                .into_iter()
+                .map(|spec| {
+                    let u_l = Arc::clone(&u_l);
+                    move |ws: &mut PeelWorkspace| {
+                        eval_child(g, d, s, layer_cores, index, use_refine_c, spec, &u_l, ws)
+                    }
+                })
+                .collect();
+            self.pool.map(self.ws, jobs)
         };
-        TdChild { positions: child_positions, core, potential, removed: j }
+        for child in &children {
+            if child.positions.len() == self.params.s {
+                self.stats.candidates_generated += 1;
+            }
+        }
+        children
     }
 
     /// The recursive `TD-Gen` procedure (Fig. 8).
@@ -168,8 +273,7 @@ impl TdContext<'_> {
             return;
         }
 
-        let mut children: Vec<TdChild> =
-            removable.iter().map(|&j| self.make_child(positions, j, u_l)).collect();
+        let mut children = self.make_children(positions, &removable, u_l);
 
         if !self.topk.is_full() {
             // Cases 1–2: no pruning while |R| < k.
@@ -296,6 +400,21 @@ mod tests {
             let gd = greedy_dccs(&g, &params);
             assert_eq!(td.cover_size(), gd.cover_size(), "td vs gd d={d} s={s} k={k}");
             assert_eq!(bu.cover_size(), gd.cover_size(), "bu vs gd d={d} s={s} k={k}");
+        }
+    }
+
+    #[test]
+    fn multithreaded_run_is_identical_to_sequential() {
+        let g = graph();
+        for (d, s, k) in [(2, 2, 2), (3, 3, 2), (2, 3, 3), (2, 4, 1)] {
+            let params = DccsParams::new(d, s, k);
+            let seq = top_down_dccs(&g, &params);
+            for threads in [2, 4] {
+                let par =
+                    top_down_dccs_with_options(&g, &params, &DccsOptions::with_threads(threads));
+                assert_eq!(par.cores, seq.cores, "threads={threads} d={d} s={s} k={k}");
+                assert_eq!(par.stats, seq.stats, "threads={threads} d={d} s={s} k={k}");
+            }
         }
     }
 

@@ -1,0 +1,141 @@
+//! Thread-equivalence property tests for the unified search executor.
+//!
+//! The determinism contract of `dccs::engine` is that the worker count is
+//! invisible in everything but wall-clock time: BU, TD, and the
+//! lattice-driven GD must produce the same cores (layer subsets and vertex
+//! sets, in the same order), the same cover, and the same work counters at
+//! 1, 2, and 4 threads — and the 1-thread engine run must equal the plain
+//! sequential entry points. Random small multi-layer graphs exercise the
+//! full grid.
+
+use dccs::{
+    bottom_up_dccs, bottom_up_dccs_with_options, greedy_dccs, greedy_dccs_with_options,
+    top_down_dccs, top_down_dccs_with_options, DccsOptions, DccsParams, DccsResult, IndexPath,
+};
+use mlgraph::{MultiLayerGraph, MultiLayerGraphBuilder, Vertex};
+use proptest::prelude::*;
+
+fn small_multilayer(
+    n: usize,
+    layers: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = MultiLayerGraph> {
+    prop::collection::vec(
+        prop::collection::vec((0..n as Vertex, 0..n as Vertex), 0..max_edges),
+        layers..=layers,
+    )
+    .prop_map(move |lists| {
+        let cleaned: Vec<Vec<(Vertex, Vertex)>> = lists
+            .into_iter()
+            .map(|edges| edges.into_iter().filter(|(u, v)| u != v).collect())
+            .collect();
+        MultiLayerGraph::from_edge_lists(n, &cleaned).unwrap()
+    })
+}
+
+/// Full identity: cores (layers + members, in order), cover, and stats.
+/// Only `elapsed` may differ between the two runs.
+fn assert_identical(a: &DccsResult, b: &DccsResult, label: &str) {
+    assert_eq!(a.cores, b.cores, "{label}: cores differ");
+    assert_eq!(a.cover.to_vec(), b.cover.to_vec(), "{label}: cover differs");
+    assert_eq!(a.stats, b.stats, "{label}: work counters differ");
+}
+
+type AlgoFn = fn(&MultiLayerGraph, &DccsParams, &DccsOptions) -> DccsResult;
+
+const ALGORITHMS: [(&str, AlgoFn); 3] = [
+    ("GD", greedy_dccs_with_options as AlgoFn),
+    ("BU", bottom_up_dccs_with_options as AlgoFn),
+    ("TD", top_down_dccs_with_options as AlgoFn),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_algorithm_is_thread_invariant(
+        g in small_multilayer(18, 4, 70),
+        d in 1u32..4,
+        s in 1usize..5,
+        k in 1usize..4,
+    ) {
+        let params = DccsParams::new(d, s, k);
+        for (name, algo) in ALGORITHMS {
+            let seq = algo(&g, &params, &DccsOptions::with_threads(1));
+            for threads in [2usize, 4] {
+                let par = algo(&g, &params, &DccsOptions::with_threads(threads));
+                assert_identical(&seq, &par, &format!("{name} d={d} s={s} k={k} t={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_engine_equals_plain_sequential_entry_points(
+        g in small_multilayer(16, 3, 60),
+        d in 1u32..3,
+        s in 1usize..4,
+        k in 1usize..3,
+    ) {
+        let params = DccsParams::new(d, s, k);
+        let opts = DccsOptions::with_threads(1);
+        assert_identical(&greedy_dccs(&g, &params), &greedy_dccs_with_options(&g, &params, &opts), "GD");
+        assert_identical(&bottom_up_dccs(&g, &params), &bottom_up_dccs_with_options(&g, &params, &opts), "BU");
+        assert_identical(&top_down_dccs(&g, &params), &top_down_dccs_with_options(&g, &params, &opts), "TD");
+    }
+
+    #[test]
+    fn ablations_stay_thread_invariant(
+        g in small_multilayer(16, 4, 60),
+        d in 1u32..3,
+        s in 2usize..4,
+    ) {
+        // Pruning interacts with commit order; every ablation preset must
+        // stay deterministic under the executor too.
+        let params = DccsParams::new(d, s, 2);
+        for base in [
+            DccsOptions::no_preprocessing(),
+            DccsOptions::no_init_topk(),
+            DccsOptions { order_pruning: false, layer_pruning: false, ..DccsOptions::default() },
+            DccsOptions { use_refine_c: false, ..DccsOptions::default() },
+        ] {
+            for (name, algo) in ALGORITHMS {
+                let seq = algo(&g, &params, &DccsOptions { threads: 1, ..base });
+                let par = algo(&g, &params, &DccsOptions { threads: 4, ..base });
+                assert_identical(&seq, &par, &format!("{name} ablation d={d} s={s}"));
+            }
+        }
+    }
+}
+
+/// Cost-model crossover: the stats must record the dense path on a small
+/// dense universe and the CSR path on a wide sparse one — the shape
+/// (German analogue at low `d`) where the dense rows used to lose to CSR.
+#[test]
+fn stats_record_the_cost_model_crossover() {
+    // Two layers sharing an 8-clique: universe m = 8, one word per row.
+    let mut b = MultiLayerGraphBuilder::new(32, 2);
+    for layer in 0..2 {
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                b.add_edge(layer, i, j).unwrap();
+            }
+        }
+    }
+    let dense_graph = b.build();
+    let r = greedy_dccs(&dense_graph, &DccsParams::new(2, 2, 2));
+    assert_eq!(r.stats.index_path, Some(IndexPath::Dense), "small dense universe → dense rows");
+
+    // Two layers, each a 4000-cycle: with d = 1 the universe is the whole
+    // graph (m = 4000, 63 words per row) while the average degree is 2 —
+    // scanning 63 words per degree query loses, the model must pick CSR.
+    let mut b = MultiLayerGraphBuilder::new(4000, 2);
+    for layer in 0..2 {
+        for v in 0..4000u32 {
+            b.add_edge(layer, v, (v + 1) % 4000).unwrap();
+        }
+    }
+    let sparse_graph = b.build();
+    let r = greedy_dccs(&sparse_graph, &DccsParams::new(1, 2, 2));
+    assert_eq!(r.stats.index_path, Some(IndexPath::Csr), "wide sparse universe → CSR fallback");
+    assert_eq!(r.cover_size(), 4000, "the 1-CC of the double cycle is everything");
+}

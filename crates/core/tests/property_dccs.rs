@@ -133,15 +133,9 @@ proptest! {
             got.push((subset.to_vec(), core.to_vec()));
         });
         let expected: Vec<(Vec<usize>, Vec<Vertex>)> =
-            dccs::layer_subsets::combinations(g.num_layers(), s)
-                .map(|subset| {
-                    let mut candidate = pre.layer_cores[subset[0]].clone();
-                    for &i in &subset[1..] {
-                        candidate.intersect_with(&pre.layer_cores[i]);
-                    }
-                    let core = coreness::d_coherent_core_naive(&g, &subset, d, &candidate);
-                    (subset, core.to_vec())
-                })
+            dccs::naive_subset_cores(&g, d, s, &pre.layer_cores)
+                .into_iter()
+                .map(|(subset, core)| (subset, core.to_vec()))
                 .collect();
         prop_assert_eq!(got, expected, "d={} s={}", d, s);
     }
