@@ -14,7 +14,9 @@
 //! JSON.
 
 use datasets::Scale;
-use dccs_bench::dcc_baseline::{baseline_suite, suite_to_json, thread_scaling_suite};
+use dccs_bench::dcc_baseline::{
+    auto_selection_suite, baseline_suite, suite_to_json, thread_scaling_suite,
+};
 
 const USAGE: &str =
     "usage: bench_dcc [--scale tiny|small|full] [--runs N] [--threads N] [--out PATH]";
@@ -99,7 +101,16 @@ fn main() {
             t.speedup(),
         );
     }
-    let json = suite_to_json(scale, runs, &comparisons, &scaling);
+    let auto = auto_selection_suite(scale, runs);
+    for a in &auto {
+        let (best, best_secs) = a.best_fixed();
+        println!(
+            "{:>8} d={} s={} k={}  auto → {:<8} {:>10.6}s  best fixed {:<8} {:>10.6}s  efficiency {:>5.2}",
+            a.dataset, a.d, a.s, a.k, a.chosen, a.auto_secs, best, best_secs,
+            a.efficiency(),
+        );
+    }
+    let json = suite_to_json(scale, runs, &comparisons, &scaling, &auto);
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {
         eprintln!("failed to write {out_path}: {err}");

@@ -4,6 +4,13 @@
 //! * Fig. 22 / Fig. 24: small `s` = 3 on the Wiki and English analogues,
 //!   GD-DCCS vs BU-DCCS.
 //! * Fig. 23 / Fig. 25: large `s` = l − 2, GD-DCCS vs TD-DCCS.
+//!
+//! Every `(algorithm, k)` point is a cold one-shot session query
+//! ([`run_algorithm`]) on purpose: the paper's figures report full
+//! per-query cost, and a shared session would let every `k` after the
+//! first hit the layer-core memo and dense cache, bending the curves with
+//! cache warm-up instead of `k`-scaling. Warm sweeps through one session
+//! belong to [`dccs_bench::run_sweep`].
 
 use datasets::{generate, DatasetId};
 use dccs::{DccsOptions, DccsParams};

@@ -1,7 +1,8 @@
-//! Engine-vs-naive and thread-scaling measurements for the `dCC` peeling
-//! engine, recorded as `BENCH_dcc.json` by the `bench_dcc` binary.
+//! Engine-vs-naive, thread-scaling, and algorithm-auto-selection
+//! measurements for the `dCC` peeling engine, recorded as `BENCH_dcc.json`
+//! by the `bench_dcc` binary.
 //!
-//! Two groups are recorded on synthetic benchmark graphs:
+//! Three groups are recorded on synthetic benchmark graphs:
 //!
 //! * **engine vs naive** — the subset-lattice candidate generation
 //!   (prefix-seeded peels on a reused [`PeelWorkspace`], dense-vs-CSR chosen
@@ -12,6 +13,10 @@
 //! * **thread scaling** — each DCCS algorithm end to end at 1 executor
 //!   thread vs `N`, asserting the covers match (the executor's determinism
 //!   contract) and recording both times.
+//! * **auto selection** — [`dccs::Algorithm::Auto`] against every fixed
+//!   algorithm at the same `(d, s, k)`, recording which algorithm the
+//!   session picked and how close its time lands to the best fixed choice,
+//!   so the selection policy's quality is tracked in the perf trajectory.
 
 use crate::runner::{run_algorithm, Algorithm};
 use coreness::PeelWorkspace;
@@ -101,6 +106,69 @@ impl ThreadScaling {
             ("secs_n", Value::from(self.secs_n)),
             ("speedup", Value::from(self.speedup())),
             ("cover", Value::from(self.cover)),
+        ])
+    }
+}
+
+/// One `Auto`-vs-fixed-algorithm measurement at `(dataset, d, s, k)`.
+#[derive(Clone, Debug)]
+pub struct AutoSelection {
+    /// Dataset analogue name.
+    pub dataset: String,
+    /// Degree threshold.
+    pub d: u32,
+    /// Layer-subset size.
+    pub s: usize,
+    /// Result budget.
+    pub k: usize,
+    /// Name of the algorithm `Auto` resolved to.
+    pub chosen: &'static str,
+    /// Best-of-N wall time of the `Auto` run, seconds.
+    pub auto_secs: f64,
+    /// Best-of-N wall time of each fixed algorithm, seconds.
+    pub fixed_secs: Vec<(&'static str, f64)>,
+    /// `|Cov(R)|` of the auto run (identical to its chosen fixed run).
+    pub cover: usize,
+}
+
+impl AutoSelection {
+    /// The fastest fixed algorithm and its time.
+    pub fn best_fixed(&self) -> (&'static str, f64) {
+        self.fixed_secs
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one fixed algorithm measured")
+    }
+
+    /// `best_fixed_secs / auto_secs` — 1.0 means the policy picked the
+    /// fastest algorithm (modulo timing noise); below 1.0 quantifies how
+    /// much a wrong pick cost.
+    pub fn efficiency(&self) -> f64 {
+        self.best_fixed().1 / self.auto_secs
+    }
+
+    /// Renders the measurement as a JSON object.
+    pub fn to_json(&self) -> Value {
+        let fixed = self
+            .fixed_secs
+            .iter()
+            .map(|&(name, secs)| {
+                Value::object(vec![("algorithm", Value::from(name)), ("secs", Value::from(secs))])
+            })
+            .collect();
+        Value::object(vec![
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("d", Value::from(self.d)),
+            ("s", Value::from(self.s)),
+            ("k", Value::from(self.k)),
+            ("chosen", Value::from(self.chosen)),
+            ("auto_secs", Value::from(self.auto_secs)),
+            ("best_fixed", Value::from(self.best_fixed().0)),
+            ("best_fixed_secs", Value::from(self.best_fixed().1)),
+            ("efficiency", Value::from(self.efficiency())),
+            ("cover", Value::from(self.cover)),
+            ("fixed", Value::Array(fixed)),
         ])
     }
 }
@@ -208,6 +276,51 @@ pub fn compare_thread_scaling(
     }
 }
 
+/// Measures `Algorithm::Auto` against every fixed algorithm on `ds` at
+/// `(d, s, k)`, asserting the auto run's cover matches its chosen fixed
+/// algorithm's (the policy only *selects*; it must not change results).
+pub fn compare_auto_selection(
+    ds: &Dataset,
+    d: u32,
+    s: usize,
+    k: usize,
+    runs: usize,
+) -> AutoSelection {
+    let params = DccsParams::new(d, s, k);
+    let opts = DccsOptions::default();
+    let mut chosen = Algorithm::Auto;
+    let mut auto_cover = 0usize;
+    let (auto_secs, _) = best_of(runs, || {
+        let outcome = run_algorithm(Algorithm::Auto, &ds.graph, &params, &opts);
+        chosen = outcome.algorithm;
+        auto_cover = outcome.cover_size;
+        auto_cover as u64
+    });
+    let mut fixed_secs = Vec::new();
+    for algorithm in [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown] {
+        let mut cover = 0usize;
+        let (secs, _) = best_of(runs, || {
+            let outcome = run_algorithm(algorithm, &ds.graph, &params, &opts);
+            cover = outcome.cover_size;
+            cover as u64
+        });
+        if algorithm == chosen {
+            assert_eq!(cover, auto_cover, "auto's result must equal its chosen algorithm's result");
+        }
+        fixed_secs.push((algorithm.name(), secs));
+    }
+    AutoSelection {
+        dataset: format!("{:?}", ds.id),
+        d,
+        s,
+        k,
+        chosen: chosen.name(),
+        auto_secs,
+        fixed_secs,
+        cover: auto_cover,
+    }
+}
+
 /// The standard baseline suite recorded in `BENCH_dcc.json`: the Wiki and
 /// German analogues at the bench scale, over a small `(d, s)` grid.
 pub fn baseline_suite(scale: Scale, runs: usize) -> Vec<Comparison> {
@@ -237,12 +350,29 @@ pub fn thread_scaling_suite(scale: Scale, runs: usize, threads: usize) -> Vec<Th
     out
 }
 
-/// Renders the two suites as the `BENCH_dcc.json` document.
+/// The `Auto`-vs-fixed suite: the Wiki and German analogues over a small
+/// and a large support threshold each, at the Fig. 13 default `k`.
+pub fn auto_selection_suite(scale: Scale, runs: usize) -> Vec<AutoSelection> {
+    let mut out = Vec::new();
+    for id in [DatasetId::Wiki, DatasetId::German] {
+        let ds = generate(id, scale);
+        let l = ds.graph.num_layers();
+        let small_s = 2.min(l);
+        let large_s = l.saturating_sub(1).max(1);
+        for s in [small_s, large_s] {
+            out.push(compare_auto_selection(&ds, 3, s, 10, runs));
+        }
+    }
+    out
+}
+
+/// Renders the three suites as the `BENCH_dcc.json` document.
 pub fn suite_to_json(
     scale: Scale,
     runs: usize,
     comparisons: &[Comparison],
     scaling: &[ThreadScaling],
+    auto: &[AutoSelection],
 ) -> Value {
     let geomean = if comparisons.is_empty() {
         1.0
@@ -250,13 +380,21 @@ pub fn suite_to_json(
         let log_sum: f64 = comparisons.iter().map(|c| c.speedup().ln()).sum();
         (log_sum / comparisons.len() as f64).exp()
     };
+    let auto_geomean = if auto.is_empty() {
+        1.0
+    } else {
+        let log_sum: f64 = auto.iter().map(|a| a.efficiency().ln()).sum();
+        (log_sum / auto.len() as f64).exp()
+    };
     Value::object(vec![
         ("benchmark", Value::from("dcc_candidate_generation_engine_vs_naive")),
         ("scale", Value::from(format!("{scale:?}"))),
         ("runs_per_measurement", Value::from(runs)),
         ("geomean_speedup", Value::from(geomean)),
+        ("auto_selection_efficiency_geomean", Value::from(auto_geomean)),
         ("comparisons", Value::Array(comparisons.iter().map(Comparison::to_json).collect())),
         ("thread_scaling", Value::Array(scaling.iter().map(ThreadScaling::to_json).collect())),
+        ("auto_selection", Value::Array(auto.iter().map(AutoSelection::to_json).collect())),
     ])
 }
 
@@ -270,12 +408,27 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
         assert!(text.contains("\"index_path\""));
         assert!(text.contains("\"thread_scaling\""));
+        assert!(text.contains("\"auto_selection\""));
+    }
+
+    #[test]
+    fn auto_selection_is_measured_and_recorded() {
+        let ds = generate(DatasetId::German, Scale::Tiny);
+        let auto = compare_auto_selection(&ds, 2, 2, 5, 1);
+        assert!(auto.auto_secs > 0.0);
+        assert_eq!(auto.fixed_secs.len(), 3);
+        assert_ne!(auto.chosen, "AUTO", "auto must resolve to a concrete algorithm");
+        assert!(auto.fixed_secs.iter().any(|&(name, _)| name == auto.chosen));
+        assert!(auto.efficiency() > 0.0);
+        let text = serde_json::to_string_pretty(&auto.to_json());
+        assert!(text.contains("\"chosen\""));
+        assert!(text.contains("\"efficiency\""));
     }
 
     #[test]

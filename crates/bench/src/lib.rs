@@ -23,6 +23,6 @@ pub mod sweeps;
 pub mod table;
 
 pub use cli::ExperimentArgs;
-pub use runner::{run_algorithm, Algorithm, RunOutcome};
+pub use runner::{run_algorithm, run_sweep, Algorithm, RunOutcome};
 pub use sweeps::ParameterGrid;
 pub use table::Table;

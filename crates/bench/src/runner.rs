@@ -1,48 +1,17 @@
-//! Uniform invocation of the three DCCS algorithms.
+//! Uniform invocation of the DCCS algorithms through the session API.
 
-use dccs::{
-    bottom_up_dccs_with_options, greedy_dccs_with_options, top_down_dccs_with_options, DccsOptions,
-    DccsParams, DccsResult,
-};
+use dccs::{DccsOptions, DccsParams, DccsResult, DccsSession, QuerySpec};
 use mlgraph::MultiLayerGraph;
 use std::time::Duration;
 
-/// The three algorithms evaluated in Section VI.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algorithm {
-    /// `GD-DCCS` (Fig. 2).
-    Greedy,
-    /// `BU-DCCS` (Fig. 7).
-    BottomUp,
-    /// `TD-DCCS` (Fig. 11).
-    TopDown,
-}
-
-impl Algorithm {
-    /// The paper's name for the algorithm.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::Greedy => "GD-DCCS",
-            Algorithm::BottomUp => "BU-DCCS",
-            Algorithm::TopDown => "TD-DCCS",
-        }
-    }
-
-    /// Parses an algorithm name (several aliases accepted).
-    pub fn parse(name: &str) -> Option<Self> {
-        match name.to_ascii_lowercase().as_str() {
-            "gd" | "greedy" | "gd-dccs" => Some(Algorithm::Greedy),
-            "bu" | "bottom-up" | "bottomup" | "bu-dccs" => Some(Algorithm::BottomUp),
-            "td" | "top-down" | "topdown" | "td-dccs" => Some(Algorithm::TopDown),
-            _ => None,
-        }
-    }
-}
+pub use dccs::Algorithm;
 
 /// One measured run.
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
-    /// Which algorithm ran.
+    /// Which algorithm ran. When the query was submitted as
+    /// [`Algorithm::Auto`] this is the *resolved* algorithm (pulled from
+    /// [`dccs::SearchStats::algorithm`]).
     pub algorithm: Algorithm,
     /// The parameters of the run.
     pub params: DccsParams,
@@ -65,34 +34,59 @@ impl RunOutcome {
     pub fn seconds(&self) -> f64 {
         self.elapsed.as_secs_f64()
     }
+
+    fn from_result(spec: QuerySpec, result: DccsResult) -> Self {
+        RunOutcome {
+            algorithm: result.stats.algorithm.unwrap_or(spec.algorithm),
+            params: spec.params,
+            elapsed: result.elapsed,
+            cover_size: result.cover_size(),
+            candidates: result.stats.candidates_generated,
+            dcc_calls: result.stats.dcc_calls,
+            pruned: result.stats.subtrees_pruned,
+            result,
+        }
+    }
 }
 
-/// Runs one algorithm with the given options and collects the outcome.
+/// Runs one algorithm with the given options and collects the outcome — a
+/// one-shot [`DccsSession`] query.
 ///
 /// The options' `threads` knob selects the shared executor's width for every
 /// algorithm (see `dccs::engine`); results are identical at any thread
 /// count, so bench sweeps can vary it freely without re-validating outputs.
+///
+/// # Panics
+///
+/// Panics when the query is invalid for the graph (the experiment harness
+/// controls its own inputs, so an invalid spec is a harness bug).
 pub fn run_algorithm(
     algorithm: Algorithm,
     g: &MultiLayerGraph,
     params: &DccsParams,
     opts: &DccsOptions,
 ) -> RunOutcome {
-    let result = match algorithm {
-        Algorithm::Greedy => greedy_dccs_with_options(g, params, opts),
-        Algorithm::BottomUp => bottom_up_dccs_with_options(g, params, opts),
-        Algorithm::TopDown => top_down_dccs_with_options(g, params, opts),
-    };
-    RunOutcome {
-        algorithm,
-        params: *params,
-        elapsed: result.elapsed,
-        cover_size: result.cover_size(),
-        candidates: result.stats.candidates_generated,
-        dcc_calls: result.stats.dcc_calls,
-        pruned: result.stats.subtrees_pruned,
-        result,
-    }
+    let spec = QuerySpec::new(*params).with_algorithm(algorithm);
+    let result = DccsSession::with_options(g, *opts)
+        .query(*params)
+        .algorithm(algorithm)
+        .run()
+        .unwrap_or_else(|err| panic!("bench query {params:?} failed: {err}"));
+    RunOutcome::from_result(spec, result)
+}
+
+/// Runs a whole sweep through one reused [`DccsSession`] (and, with
+/// `opts.threads > 1`, one worker crew via [`DccsSession::run_batch`]),
+/// returning one outcome per spec in order.
+///
+/// # Panics
+///
+/// Panics when any spec is invalid for the graph.
+pub fn run_sweep(g: &MultiLayerGraph, specs: &[QuerySpec], opts: &DccsOptions) -> Vec<RunOutcome> {
+    let mut session = DccsSession::with_options(g, *opts);
+    let results =
+        session.run_batch(specs).unwrap_or_else(|err| panic!("bench sweep failed: {err}"));
+    specs.iter().zip(results).map(|(&spec, result)| RunOutcome::from_result(spec, result)).collect()
 }
 
 #[cfg(test)]
@@ -105,6 +99,7 @@ mod tests {
         assert_eq!(Algorithm::parse("bu"), Some(Algorithm::BottomUp));
         assert_eq!(Algorithm::parse("GD-DCCS"), Some(Algorithm::Greedy));
         assert_eq!(Algorithm::parse("topdown"), Some(Algorithm::TopDown));
+        assert_eq!(Algorithm::parse("auto"), Some(Algorithm::Auto));
         assert_eq!(Algorithm::parse("x"), None);
         assert_eq!(Algorithm::BottomUp.name(), "BU-DCCS");
     }
@@ -124,6 +119,34 @@ mod tests {
         assert!(4 * bu.cover_size >= gd.cover_size);
         assert!(4 * td.cover_size >= gd.cover_size);
         assert!(gd.candidates >= bu.candidates);
+    }
+
+    #[test]
+    fn auto_resolves_to_a_concrete_algorithm() {
+        let ds = generate(DatasetId::Ppi, Scale::Tiny);
+        let params = DccsParams::new(2, 2, 5);
+        let auto = run_algorithm(Algorithm::Auto, &ds.graph, &params, &DccsOptions::default());
+        assert_ne!(auto.algorithm, Algorithm::Auto);
+        // The auto run is exactly one of the fixed runs.
+        let fixed = run_algorithm(auto.algorithm, &ds.graph, &params, &DccsOptions::default());
+        assert_eq!(auto.cover_size, fixed.cover_size);
+        assert_eq!(auto.result.stats, fixed.result.stats);
+    }
+
+    #[test]
+    fn run_sweep_matches_individual_runs() {
+        let ds = generate(DatasetId::German, Scale::Tiny);
+        let opts = DccsOptions::default();
+        let specs: Vec<QuerySpec> = (1..=3)
+            .map(|s| QuerySpec::new(DccsParams::new(2, s, 5)).with_algorithm(Algorithm::BottomUp))
+            .collect();
+        let swept = run_sweep(&ds.graph, &specs, &opts);
+        assert_eq!(swept.len(), specs.len());
+        for (outcome, spec) in swept.iter().zip(&specs) {
+            let single = run_algorithm(spec.algorithm, &ds.graph, &spec.params, &opts);
+            assert_eq!(outcome.cover_size, single.cover_size);
+            assert_eq!(outcome.result.stats, single.result.stats);
+        }
     }
 
     #[test]

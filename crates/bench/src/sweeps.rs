@@ -1,4 +1,8 @@
-//! The parameter configuration of Fig. 13.
+//! The parameter configuration of Fig. 13, plus [`dccs::QuerySpec`]
+//! builders that turn one grid axis into a session batch
+//! ([`dccs::DccsSession::run_batch`] / [`crate::runner::run_sweep`]).
+
+use dccs::{Algorithm, DccsParams, QuerySpec};
 
 /// The parameter grid used throughout Section VI.
 #[derive(Clone, Debug)]
@@ -49,6 +53,41 @@ impl ParameterGrid {
     pub fn default_large_s(num_layers: usize) -> usize {
         num_layers.saturating_sub(2).max(1)
     }
+
+    /// The Fig. 14/16 sweep as a session batch: vary small `s` (clamped to
+    /// the layer count) at the default `(d, k)`, running `algorithm`.
+    pub fn s_sweep(&self, algorithm: Algorithm, num_layers: usize) -> Vec<QuerySpec> {
+        self.small_s
+            .iter()
+            .filter(|&&s| s <= num_layers)
+            .map(|&s| {
+                QuerySpec::new(DccsParams::new(Self::DEFAULT_D, s, Self::DEFAULT_K))
+                    .with_algorithm(algorithm)
+            })
+            .collect()
+    }
+
+    /// The Fig. 18/20 sweep as a session batch: vary `d` at fixed `(s, k)`.
+    pub fn d_sweep(&self, algorithm: Algorithm, s: usize) -> Vec<QuerySpec> {
+        self.d_values
+            .iter()
+            .map(|&d| {
+                QuerySpec::new(DccsParams::new(d, s, Self::DEFAULT_K)).with_algorithm(algorithm)
+            })
+            .collect()
+    }
+
+    /// The Fig. 22/24 sweep as a session batch: vary `k` at fixed `(d, s)` —
+    /// the sweep shape where the session's per-`d` layer-core memo and dense
+    /// cache pay off on every query after the first.
+    pub fn k_sweep(&self, algorithm: Algorithm, s: usize) -> Vec<QuerySpec> {
+        self.k_values
+            .iter()
+            .map(|&k| {
+                QuerySpec::new(DccsParams::new(Self::DEFAULT_D, s, k)).with_algorithm(algorithm)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -65,6 +104,21 @@ mod tests {
         assert_eq!(ParameterGrid::DEFAULT_K, 10);
         assert_eq!(ParameterGrid::DEFAULT_D, 4);
         assert_eq!(ParameterGrid::DEFAULT_SMALL_S, 3);
+    }
+
+    #[test]
+    fn sweep_specs_follow_the_grid() {
+        let grid = ParameterGrid::default();
+        let s_specs = grid.s_sweep(Algorithm::BottomUp, 3);
+        assert_eq!(s_specs.len(), 3); // small_s clamped to l = 3
+        assert!(s_specs.iter().all(|q| q.algorithm == Algorithm::BottomUp));
+        assert_eq!(s_specs[2].params.s, 3);
+        let d_specs = grid.d_sweep(Algorithm::Auto, 2);
+        assert_eq!(d_specs.len(), grid.d_values.len());
+        assert_eq!(d_specs[0].params.d, 2);
+        assert!(d_specs.iter().all(|q| q.params.s == 2));
+        let k_specs = grid.k_sweep(Algorithm::Greedy, 3);
+        assert_eq!(k_specs.iter().map(|q| q.params.k).collect::<Vec<_>>(), grid.k_values);
     }
 
     #[test]

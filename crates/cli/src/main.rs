@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dccs stats   (--input FILE | --dataset NAME [--scale S])
-//! dccs run     (--input FILE | --dataset NAME [--scale S]) [--algorithm gd|bu|td]
+//! dccs run     (--input FILE | --dataset NAME [--scale S])
+//!              [--algorithm auto|gd|bu|td|exact]
 //!              [-d N] [-s N] [-k N] [--threads N] [--no-vd] [--no-sl] [--no-ir]
 //! dccs compare (--input FILE | --dataset NAME [--scale S]) [-d N] [-s N] [-k N]
 //!              [--threads N]
@@ -11,10 +12,12 @@
 //!
 //! `--input` accepts the text edge-list format (`src dst layer`, `#`
 //! comments); `--dataset` generates one of the built-in synthetic analogues
-//! (PPI, Author, German, Wiki, English, Stack).
+//! (PPI, Author, German, Wiki, English, Stack). All queries run through a
+//! [`DccsSession`], so invalid parameters and malformed inputs surface as
+//! one-line errors with a nonzero exit code — never a panic backtrace.
 
 use datasets::{generate, DatasetId, Scale};
-use dccs::{DccsOptions, DccsParams};
+use dccs::{Algorithm, DccsError, DccsOptions, DccsParams, DccsSession};
 use mlgraph::{GraphStats, MultiLayerGraph};
 use std::process::ExitCode;
 
@@ -24,25 +27,42 @@ dccs — diversified coherent core search on multi-layer graphs
 USAGE:
     dccs stats    (--input FILE | --dataset NAME [--scale tiny|small|full])
     dccs run      (--input FILE | --dataset NAME [--scale SCALE])
-                  [--algorithm gd|bu|td] [-d N] [-s N] [-k N] [--threads N]
-                  [--no-vd] [--no-sl] [--no-ir]
+                  [--algorithm auto|gd|bu|td|exact] [-d N] [-s N] [-k N]
+                  [--threads N] [--no-vd] [--no-sl] [--no-ir]
     dccs compare  (--input FILE | --dataset NAME [--scale SCALE]) [-d N] [-s N] [-k N]
                   [--threads N]
     dccs generate --dataset NAME [--scale SCALE] --output FILE
 
-DEFAULTS: -d 4, -s 3, -k 10, --algorithm bu, --scale small, --threads 1
+DEFAULTS: -d 4, -s 3, -k 10, --algorithm auto, --scale small, --threads 1
 
---threads N spreads every algorithm's search over N executor workers
-(GD fans out the lattice's depth-1 branches; BU/TD peel search-tree
-children in parallel). Results are identical at any thread count.
+--algorithm auto picks GD/BU/TD per query from the paper's regime
+heuristics and the dense-vs-CSR cost model; the choice is printed with
+the result. --threads N spreads the search over N executor workers
+(0 = all available cores). Results are identical at any thread count.
 ";
 
+/// CLI failure modes: usage errors reprint the synopsis, everything else
+/// (malformed input files, invalid parameters, blown exact budgets) is a
+/// one-line message so scripted callers get clean stderr.
 #[derive(Debug)]
-struct CliError(String);
+enum CliError {
+    /// Malformed command line — worth reprinting the usage text.
+    Usage(String),
+    /// A valid invocation that failed on its input or parameters.
+    Runtime(String),
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            CliError::Usage(msg) | CliError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<DccsError> for CliError {
+    fn from(err: DccsError) -> Self {
+        CliError::Runtime(err.to_string())
     }
 }
 
@@ -50,9 +70,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(err) => {
-            eprintln!("error: {err}\n\n{USAGE}");
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
             ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
         }
     }
 }
@@ -62,7 +86,7 @@ struct Options {
     dataset: Option<DatasetId>,
     scale: Scale,
     output: Option<String>,
-    algorithm: String,
+    algorithm: Algorithm,
     d: u32,
     s: Option<usize>,
     k: usize,
@@ -75,7 +99,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         dataset: None,
         scale: Scale::Small,
         output: None,
-        algorithm: "bu".to_string(),
+        algorithm: Algorithm::Auto,
         d: 4,
         s: None,
         k: 10,
@@ -84,7 +108,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| -> Result<String, CliError> {
-            iter.next().cloned().ok_or_else(|| CliError(format!("{name} needs a value")))
+            iter.next().cloned().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
         };
         match arg.as_str() {
             "--input" => out.input = Some(value("--input")?),
@@ -93,34 +117,45 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let name = value("--dataset")?;
                 out.dataset = Some(
                     DatasetId::parse(&name)
-                        .ok_or_else(|| CliError(format!("unknown dataset `{name}`")))?,
+                        .ok_or_else(|| CliError::Usage(format!("unknown dataset `{name}`")))?,
                 );
             }
             "--scale" => {
                 let name = value("--scale")?;
                 out.scale = Scale::parse(&name)
-                    .ok_or_else(|| CliError(format!("unknown scale `{name}`")))?;
+                    .ok_or_else(|| CliError::Usage(format!("unknown scale `{name}`")))?;
             }
-            "--algorithm" => out.algorithm = value("--algorithm")?,
+            "--algorithm" => {
+                let name = value("--algorithm")?;
+                out.algorithm = Algorithm::parse(&name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown algorithm `{name}`")))?;
+            }
             "-d" => {
-                out.d = value("-d")?.parse().map_err(|_| CliError("-d must be a number".into()))?
+                out.d = value("-d")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("-d must be a number".into()))?
             }
             "-s" => {
-                out.s =
-                    Some(value("-s")?.parse().map_err(|_| CliError("-s must be a number".into()))?)
+                out.s = Some(
+                    value("-s")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("-s must be a number".into()))?,
+                )
             }
             "-k" => {
-                out.k = value("-k")?.parse().map_err(|_| CliError("-k must be a number".into()))?
+                out.k = value("-k")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("-k must be a number".into()))?
             }
             "--threads" => {
                 out.opts.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| CliError("--threads must be a number".into()))?
+                    .map_err(|_| CliError::Usage("--threads must be a number".into()))?
             }
             "--no-vd" => out.opts.vertex_deletion = false,
             "--no-sl" => out.opts.sort_layers = false,
             "--no-ir" => out.opts.init_topk = false,
-            other => return Err(CliError(format!("unknown flag `{other}`"))),
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
     Ok(out)
@@ -129,16 +164,18 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
 fn load_graph(opts: &Options) -> Result<MultiLayerGraph, CliError> {
     match (&opts.input, opts.dataset) {
         (Some(path), None) => mlgraph::io::read_edge_list(path)
-            .map_err(|e| CliError(format!("failed to load `{path}`: {e}"))),
+            .map_err(|e| CliError::Runtime(format!("failed to load `{path}`: {e}"))),
         (None, Some(id)) => Ok(generate(id, opts.scale).graph),
-        (Some(_), Some(_)) => Err(CliError("use either --input or --dataset, not both".into())),
-        (None, None) => Err(CliError("one of --input or --dataset is required".into())),
+        (Some(_), Some(_)) => {
+            Err(CliError::Usage("use either --input or --dataset, not both".into()))
+        }
+        (None, None) => Err(CliError::Usage("one of --input or --dataset is required".into())),
     }
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err(CliError("a command is required".into()));
+        return Err(CliError::Usage("a command is required".into()));
     };
     if command == "--help" || command == "-h" {
         println!("{USAGE}");
@@ -150,7 +187,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
         "generate" => cmd_generate(&opts),
-        other => Err(CliError(format!("unknown command `{other}`"))),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -175,11 +212,11 @@ fn cmd_stats(opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
-fn params_for(opts: &Options, g: &MultiLayerGraph) -> Result<DccsParams, CliError> {
+fn params_for(opts: &Options, g: &MultiLayerGraph) -> DccsParams {
+    // Validation happens inside the session (`Query::run`), which turns a
+    // bad combination into a one-line `DccsError` instead of a panic.
     let s = opts.s.unwrap_or_else(|| 3.min(g.num_layers()));
-    let params = DccsParams::new(opts.d, s, opts.k);
-    params.validate(g.num_layers()).map_err(CliError)?;
-    Ok(params)
+    DccsParams::new(opts.d, s, opts.k)
 }
 
 fn print_result(name: &str, g: &MultiLayerGraph, result: &dccs::DccsResult) {
@@ -199,51 +236,56 @@ fn print_result(name: &str, g: &MultiLayerGraph, result: &dccs::DccsResult) {
 
 fn cmd_run(opts: &Options) -> Result<(), CliError> {
     let g = load_graph(opts)?;
-    let params = params_for(opts, &g)?;
-    let result = match opts.algorithm.to_ascii_lowercase().as_str() {
-        "gd" | "greedy" => dccs::greedy_dccs_with_options(&g, &params, &opts.opts),
-        "bu" | "bottom-up" => dccs::bottom_up_dccs_with_options(&g, &params, &opts.opts),
-        "td" | "top-down" => dccs::top_down_dccs_with_options(&g, &params, &opts.opts),
-        other => return Err(CliError(format!("unknown algorithm `{other}`"))),
+    let params = params_for(opts, &g);
+    let mut session = DccsSession::with_options(&g, opts.opts);
+    let result = session.query(params).algorithm(opts.algorithm).run()?;
+    // The concrete algorithm that ran (resolved from `auto` if requested).
+    let ran = result.stats.algorithm.map_or("?", Algorithm::name);
+    let label = if opts.algorithm == Algorithm::Auto {
+        format!("auto → {ran} (d={}, s={}, k={})", params.d, params.s, params.k)
+    } else {
+        format!("{ran} (d={}, s={}, k={})", params.d, params.s, params.k)
     };
-    print_result(
-        &format!("{} (d={}, s={}, k={})", opts.algorithm, params.d, params.s, params.k),
-        &g,
-        &result,
-    );
+    print_result(&label, &g, &result);
     Ok(())
 }
 
 fn cmd_compare(opts: &Options) -> Result<(), CliError> {
     let g = load_graph(opts)?;
-    let params = params_for(opts, &g)?;
-    let gd = dccs::greedy_dccs_with_options(&g, &params, &opts.opts);
-    let bu = dccs::bottom_up_dccs_with_options(&g, &params, &opts.opts);
-    let td = dccs::top_down_dccs_with_options(&g, &params, &opts.opts);
+    let params = params_for(opts, &g);
+    // One session for the whole comparison, but each algorithm runs alone
+    // (not as a parallel batch): the printed times are a head-to-head, so
+    // no run may contend with another, and `--threads` spreads each
+    // individual search over the executor as before.
+    let mut session = DccsSession::with_options(&g, opts.opts);
     println!("algorithm  time(s)    cover  candidates");
-    for (name, r) in [("GD-DCCS", &gd), ("BU-DCCS", &bu), ("TD-DCCS", &td)] {
+    for algorithm in [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown] {
+        let r = session.query(params).algorithm(algorithm).run()?;
         println!(
-            "{name:<10} {:<10.4} {:<6} {}",
+            "{:<10} {:<10.4} {:<6} {}",
+            r.stats.algorithm.map_or("?", Algorithm::name),
             r.elapsed.as_secs_f64(),
             r.cover_size(),
             r.stats.candidates_generated
         );
     }
+    let auto = Algorithm::Auto.resolve(&g, &params);
+    println!("auto selection: {}", auto.name());
     Ok(())
 }
 
 fn cmd_generate(opts: &Options) -> Result<(), CliError> {
     let Some(id) = opts.dataset else {
-        return Err(CliError("generate requires --dataset".into()));
+        return Err(CliError::Usage("generate requires --dataset".into()));
     };
     let Some(output) = &opts.output else {
-        return Err(CliError("generate requires --output".into()));
+        return Err(CliError::Usage("generate requires --output".into()));
     };
     let ds = generate(id, opts.scale);
     let file = std::fs::File::create(output)
-        .map_err(|e| CliError(format!("cannot create `{output}`: {e}")))?;
+        .map_err(|e| CliError::Runtime(format!("cannot create `{output}`: {e}")))?;
     mlgraph::io::write_edge_list(&ds.graph, std::io::BufWriter::new(file))
-        .map_err(|e| CliError(format!("failed to write `{output}`: {e}")))?;
+        .map_err(|e| CliError::Runtime(format!("failed to write `{output}`: {e}")))?;
     println!(
         "wrote {} ({} vertices, {} layers, {} edges) to {output}",
         ds.spec.name,
@@ -262,13 +304,17 @@ mod tests {
         parse_options(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
+    fn run_args(args: &[&str]) -> Result<(), CliError> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
     #[test]
     fn parses_defaults() {
         let o = opts(&[]).unwrap();
         assert_eq!(o.d, 4);
         assert_eq!(o.k, 10);
         assert!(o.s.is_none());
-        assert_eq!(o.algorithm, "bu");
+        assert_eq!(o.algorithm, Algorithm::Auto);
         assert_eq!(o.scale, Scale::Small);
     }
 
@@ -297,10 +343,19 @@ mod tests {
         assert_eq!(o.d, 3);
         assert_eq!(o.s, Some(2));
         assert_eq!(o.k, 5);
-        assert_eq!(o.algorithm, "td");
+        assert_eq!(o.algorithm, Algorithm::TopDown);
         assert_eq!(o.opts.threads, 4);
         assert!(!o.opts.vertex_deletion);
         assert!(o.opts.sort_layers);
+    }
+
+    #[test]
+    fn parses_every_algorithm_alias() {
+        assert_eq!(opts(&["--algorithm", "auto"]).unwrap().algorithm, Algorithm::Auto);
+        assert_eq!(opts(&["--algorithm", "gd"]).unwrap().algorithm, Algorithm::Greedy);
+        assert_eq!(opts(&["--algorithm", "bu"]).unwrap().algorithm, Algorithm::BottomUp);
+        assert_eq!(opts(&["--algorithm", "exact"]).unwrap().algorithm, Algorithm::Exact);
+        assert!(opts(&["--algorithm", "quantum"]).is_err());
     }
 
     #[test]
@@ -312,12 +367,69 @@ mod tests {
 
     #[test]
     fn end_to_end_threaded_run() {
-        let args: Vec<String> =
-            ["run", "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2", "--threads", "2"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
-        assert!(run(&args).is_ok());
+        assert!(run_args(&[
+            "run",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "2",
+            "-s",
+            "2",
+            "--threads",
+            "2"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn end_to_end_auto_and_exact_runs() {
+        for algorithm in ["auto", "exact"] {
+            assert!(
+                run_args(&[
+                    "run",
+                    "--dataset",
+                    "ppi",
+                    "--scale",
+                    "tiny",
+                    "-d",
+                    "3",
+                    "-s",
+                    "4",
+                    "-k",
+                    "2",
+                    "--algorithm",
+                    algorithm,
+                ])
+                .is_ok(),
+                "algorithm {algorithm} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_budget_overflow_is_a_runtime_error_not_a_panic() {
+        // PPI tiny at (d=3, s=3) has 26 non-empty candidates — over the
+        // exact solver's 24-candidate budget.
+        let err = run_args(&[
+            "run",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "3",
+            "-s",
+            "3",
+            "--algorithm",
+            "exact",
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Runtime(msg) => assert!(msg.contains("budget"), "got: {msg}"),
+            CliError::Usage(msg) => panic!("expected a runtime error, got usage: {msg}"),
+        }
     }
 
     #[test]
@@ -331,30 +443,54 @@ mod tests {
 
     #[test]
     fn run_requires_a_command_and_input() {
-        assert!(run(&[]).is_err());
-        assert!(run(&["run".to_string()]).is_err());
-        assert!(run(&["bogus".to_string()]).is_err());
+        assert!(run_args(&[]).is_err());
+        assert!(run_args(&["run"]).is_err());
+        assert!(run_args(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_are_a_runtime_error_not_a_panic() {
+        // s far beyond the layer count: must come back as Err, not unwind.
+        let err =
+            run_args(&["run", "--dataset", "ppi", "--scale", "tiny", "-s", "99"]).unwrap_err();
+        match err {
+            CliError::Runtime(msg) => {
+                assert!(msg.contains("s=99"), "unexpected message: {msg}")
+            }
+            CliError::Usage(msg) => panic!("expected a runtime error, got usage: {msg}"),
+        }
+        // k = 0 likewise.
+        let err = run_args(&["run", "--dataset", "ppi", "--scale", "tiny", "-k", "0"]).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+    }
+
+    #[test]
+    fn malformed_graph_file_is_a_runtime_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("dccs_cli_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.edges");
+        std::fs::write(&path, "this is not\nan edge list at all\n").unwrap();
+        let path_str = path.to_string_lossy().to_string();
+        let err = run_args(&["run", "--input", &path_str]).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)), "got: {err}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn end_to_end_run_on_tiny_dataset() {
-        let args: Vec<String> =
-            ["run", "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
-        assert!(run(&args).is_ok());
+        assert!(
+            run_args(&["run", "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]).is_ok()
+        );
     }
 
     #[test]
     fn end_to_end_compare_and_stats() {
         for cmd in ["compare", "stats"] {
-            let args: Vec<String> =
-                [cmd, "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"]
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect();
-            assert!(run(&args).is_ok(), "command {cmd} failed");
+            assert!(
+                run_args(&[cmd, "--dataset", "ppi", "--scale", "tiny", "-d", "2", "-s", "2"])
+                    .is_ok(),
+                "command {cmd} failed"
+            );
         }
     }
 
@@ -364,17 +500,17 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ppi_tiny.edges");
         let path_str = path.to_string_lossy().to_string();
-        let args: Vec<String> =
-            ["generate", "--dataset", "ppi", "--scale", "tiny", "--output", &path_str]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
-        assert!(run(&args).is_ok());
-        let args: Vec<String> = ["run", "--input", &path_str, "-d", "2", "-s", "2"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert!(run(&args).is_ok());
+        assert!(run_args(&[
+            "generate",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "--output",
+            &path_str
+        ])
+        .is_ok());
+        assert!(run_args(&["run", "--input", &path_str, "-d", "2", "-s", "2"]).is_ok());
         std::fs::remove_file(path).ok();
     }
 }

@@ -30,22 +30,28 @@
 //! still gated by Eq. (1) inside `Update`, so the 1/4 guarantee is
 //! untouched.
 
+use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
 use crate::engine::{with_pool, PoolRef, SearchContext};
-use crate::preprocess::{init_topk_in, preprocess};
+use crate::preprocess::init_topk_in;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use coreness::PeelWorkspace;
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
 use std::time::Instant;
 
 /// Runs `BU-DCCS` with default options.
+///
+/// A one-shot wrapper over the engine state [`crate::DccsSession`] keeps
+/// alive between queries; it retains the historical panic on invalid
+/// parameters. Prefer the session API for repeated queries.
 pub fn bottom_up_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     bottom_up_dccs_with_options(g, params, &DccsOptions::default())
 }
 
 /// Runs `BU-DCCS` with explicit options (used by the Fig. 28 ablation and
-/// to set the executor width via `opts.threads`).
+/// to set the executor width via `opts.threads`) — a one-shot wrapper over
+/// the context the session API reuses.
 pub fn bottom_up_dccs_with_options(
     g: &MultiLayerGraph,
     params: &DccsParams,
@@ -65,9 +71,9 @@ pub fn bottom_up_dccs_in(
 ) -> DccsResult {
     params.validate(g.num_layers()).expect("invalid DCCS parameters");
     let start = Instant::now();
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats { algorithm: Some(Algorithm::BottomUp), ..SearchStats::default() };
 
-    let pre = preprocess(g, params, opts);
+    let pre = ctx.preprocess(g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
     let mut topk = TopKDiversified::new(g.num_vertices(), params.k);

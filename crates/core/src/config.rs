@@ -1,5 +1,7 @@
 //! Problem parameters and algorithm options.
 
+use crate::error::DccsError;
+
 /// The three parameters of the DCCS problem (Section II of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DccsParams {
@@ -20,19 +22,17 @@ impl DccsParams {
     }
 
     /// Validates the parameters against a graph with `num_layers` layers.
-    /// Returns a human-readable error when the combination is unusable.
-    pub fn validate(&self, num_layers: usize) -> Result<(), String> {
+    /// Returns the typed [`DccsError`] describing why the combination is
+    /// unusable (its `Display` form is the human-readable message).
+    pub fn validate(&self, num_layers: usize) -> Result<(), DccsError> {
         if self.s == 0 {
-            return Err("support threshold s must be at least 1".into());
+            return Err(DccsError::SupportZero);
         }
         if self.s > num_layers {
-            return Err(format!(
-                "support threshold s={} exceeds the number of layers {num_layers}",
-                self.s
-            ));
+            return Err(DccsError::SupportExceedsLayers { s: self.s, num_layers });
         }
         if self.k == 0 {
-            return Err("result size k must be at least 1".into());
+            return Err(DccsError::ResultSizeZero);
         }
         Ok(())
     }
@@ -63,9 +63,14 @@ pub struct DccsOptions {
     /// plain `dCC` peeling is used instead (same output, different cost).
     pub use_refine_c: bool,
     /// Worker threads for the shared search executor (`crate::engine`).
-    /// Values of 0 and 1 both mean sequential. Results — cores, cover, and
-    /// work counters — are identical at every thread count; only the
-    /// wall-clock time changes.
+    ///
+    /// `1` means sequential (the driver thread does all the work). `0` means
+    /// **auto** in the session API ([`crate::DccsSession`] resolves it to
+    /// `std::thread::available_parallelism()`); the direct entry points
+    /// (`*_with_options`, [`crate::engine::SearchContext::new`]) treat `0`
+    /// as `1` for backward compatibility. Results — cores, cover, and work
+    /// counters — are identical at every thread count; only the wall-clock
+    /// time changes.
     pub threads: usize,
 }
 

@@ -32,10 +32,11 @@
 //! lattice produce bit-identical results and statistics at 1, 2, and 4
 //! threads.
 
-use crate::config::DccsOptions;
+use crate::config::{DccsOptions, DccsParams};
+use crate::preprocess::{initial_layer_cores, preprocess_from, Preprocessed};
 use coreness::PeelWorkspace;
 use mlgraph::{DenseSubgraph, MultiLayerGraph, VertexSet};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Which adjacency representation a candidate-generation run peeled over.
@@ -140,6 +141,12 @@ fn graph_key(g: &MultiLayerGraph) -> (usize, usize, usize, usize) {
 pub struct SearchContext {
     threads: usize,
     dense_cache: Option<DenseCacheEntry>,
+    /// Per-layer d-cores over the full vertex set, keyed by `d` — the
+    /// `d`-only-dependent first step of preprocessing. An `s`/`k` sweep at
+    /// fixed `d` re-peels no layer; a `d` sweep that revisits a value hits
+    /// too. Guarded by the same graph-identity key as the dense cache.
+    layer_core_memo: HashMap<u32, Vec<VertexSet>>,
+    memo_graph_key: Option<(usize, usize, usize, usize)>,
     /// Driver-thread peel scratch (workers own their own, see [`with_pool`]).
     pub(crate) ws: PeelWorkspace,
     /// Reused cover accumulator for the greedy max-k-cover selection.
@@ -157,6 +164,8 @@ impl SearchContext {
         SearchContext {
             threads: threads.max(1),
             dense_cache: None,
+            layer_core_memo: HashMap::new(),
+            memo_graph_key: None,
             ws: PeelWorkspace::new(),
             cover: VertexSet::new(0),
             running: VertexSet::new(0),
@@ -174,6 +183,40 @@ impl SearchContext {
         self.threads
     }
 
+    /// Changes the worker count for subsequent runs (0 and 1 both mean
+    /// sequential). The scratch buffers and caches are thread-independent,
+    /// so a session can re-point the executor width per query without
+    /// losing sweep state.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Runs the Section IV-C preprocessing through the context's per-layer
+    /// d-core memo: the initial full-universe d-cores (the only step that
+    /// depends on `d` alone) are computed once per distinct `d` and reused
+    /// across every later query on the same graph, so an `s` or `k` sweep at
+    /// fixed `d` never re-peels the layers. The result is bit-identical to
+    /// [`crate::preprocess::preprocess`] — the memo only skips recomputing a
+    /// deterministic intermediate.
+    pub fn preprocess(
+        &mut self,
+        g: &MultiLayerGraph,
+        params: &DccsParams,
+        opts: &DccsOptions,
+    ) -> Preprocessed {
+        let key = graph_key(g);
+        if self.memo_graph_key != Some(key) {
+            self.layer_core_memo.clear();
+            self.memo_graph_key = Some(key);
+        }
+        if !self.layer_core_memo.contains_key(&params.d) {
+            let cores = initial_layer_cores(g, params.d, &mut self.ws);
+            self.layer_core_memo.insert(params.d, cores);
+        }
+        let initial = self.layer_core_memo[&params.d].clone();
+        preprocess_from(g, params, opts, &mut self.ws, initial)
+    }
+
     /// Runs the cost model for `universe` and, when the dense path wins,
     /// returns the re-indexed subgraph — cached across calls, so a sweep
     /// whose preprocessed universe is unchanged (e.g. varying `s` at fixed
@@ -188,10 +231,12 @@ impl SearchContext {
         (plan, dense)
     }
 
-    /// Drops the cached dense index (e.g. before pointing the context at a
-    /// different graph).
+    /// Drops the cached dense index and the per-layer d-core memo (e.g.
+    /// before pointing the context at a different graph).
     pub fn clear_cache(&mut self) {
         self.dense_cache = None;
+        self.layer_core_memo.clear();
+        self.memo_graph_key = None;
     }
 
     /// Split borrow of the `InitTopK` scratch: the driver workspace, the

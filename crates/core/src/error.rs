@@ -1,0 +1,104 @@
+//! Typed errors for the query API.
+//!
+//! Every failure a caller can provoke through the public query surface —
+//! invalid `(d, s, k)` parameters, querying an empty graph, or blowing the
+//! exact solver's candidate budget — is a [`DccsError`] variant, so
+//! [`crate::DccsSession::query`] returns `Result` instead of aborting the
+//! process. The legacy free functions (`greedy_dccs` & co.) keep their
+//! historical panic on invalid parameters for backward compatibility; they
+//! are thin wrappers that `expect` the same validation this module types.
+
+use std::fmt;
+
+/// Everything that can go wrong with a DCCS query before the search even
+/// starts (plus the exact oracle's candidate budget, checked mid-run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DccsError {
+    /// The support threshold `s` was 0 — d-CCs are taken over layer subsets
+    /// of size *exactly* `s`, so at least one layer must be requested.
+    SupportZero,
+    /// The support threshold `s` exceeds the graph's layer count: no layer
+    /// subset of size `s` exists.
+    SupportExceedsLayers {
+        /// Requested support threshold.
+        s: usize,
+        /// Number of layers in the queried graph.
+        num_layers: usize,
+    },
+    /// The result size `k` was 0 — the problem asks for `k ≥ 1` diversified
+    /// cores.
+    ResultSizeZero,
+    /// The queried graph has no vertices or no layers; every query on it is
+    /// vacuous, which the session reports instead of returning misleading
+    /// empty covers.
+    EmptyGraph {
+        /// Vertex count of the graph.
+        num_vertices: usize,
+        /// Layer count of the graph.
+        num_layers: usize,
+    },
+    /// The exact solver's candidate enumeration exceeded its budget — the
+    /// `k`-combination search is exponential, so [`crate::exact_dccs`] is
+    /// only usable on tiny inputs.
+    BudgetExceeded {
+        /// Non-empty candidate d-CCs found.
+        candidates: usize,
+        /// The solver's hard candidate limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DccsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DccsError::SupportZero => write!(f, "support threshold s must be at least 1"),
+            DccsError::SupportExceedsLayers { s, num_layers } => {
+                write!(f, "support threshold s={s} exceeds the number of layers {num_layers}")
+            }
+            DccsError::ResultSizeZero => write!(f, "result size k must be at least 1"),
+            DccsError::EmptyGraph { num_vertices, num_layers } => {
+                write!(
+                    f,
+                    "cannot query an empty graph ({num_vertices} vertices, {num_layers} layers)"
+                )
+            }
+            DccsError::BudgetExceeded { candidates, limit } => {
+                write!(
+                    f,
+                    "exact solver budget exceeded: {candidates} candidate d-CCs \
+                     (limit {limit}); use an approximation algorithm"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DccsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_one_line() {
+        let errors = [
+            DccsError::SupportZero,
+            DccsError::SupportExceedsLayers { s: 9, num_layers: 4 },
+            DccsError::ResultSizeZero,
+            DccsError::EmptyGraph { num_vertices: 0, num_layers: 3 },
+            DccsError::BudgetExceeded { candidates: 99, limit: 24 },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.contains('\n'), "error message must be one line: {text}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(DccsError::SupportZero);
+        assert_eq!(err.to_string(), "support threshold s must be at least 1");
+    }
+}

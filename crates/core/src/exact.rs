@@ -6,10 +6,11 @@
 //! algorithms on tiny graphs, and to validate approximation-ratio claims
 //! empirically (GD-DCCS ≥ (1 − 1/e)·OPT, BU/TD-DCCS ≥ OPT/4).
 
+use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::engine::SearchContext;
+use crate::error::DccsError;
 use crate::lattice::collect_subset_cores;
-use crate::preprocess::preprocess;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use mlgraph::{MultiLayerGraph, VertexSet};
 use std::time::Instant;
@@ -22,28 +23,53 @@ const MAX_CANDIDATES: usize = 24;
 ///
 /// # Panics
 ///
-/// Panics when the candidate set `F_{d,s}(G)` holds more than
-/// [`MAX_CANDIDATES`] non-empty d-CCs — the oracle is only meant for tiny
-/// test graphs.
+/// Panics on invalid parameters and when the candidate set `F_{d,s}(G)`
+/// holds more than [`MAX_CANDIDATES`] non-empty d-CCs — the oracle is only
+/// meant for tiny test graphs. The session API
+/// ([`crate::DccsSession`] with [`Algorithm::Exact`]) reports both
+/// conditions as typed [`DccsError`]s instead.
 pub fn exact_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     params.validate(g.num_layers()).expect("invalid DCCS parameters");
+    let mut ctx = SearchContext::new(1);
+    match exact_dccs_in(&mut ctx, g, params, &DccsOptions::default()) {
+        Ok(result) => result,
+        Err(DccsError::BudgetExceeded { candidates, limit }) => panic!(
+            "exact_dccs is a test oracle; {candidates} candidates exceed the limit of {limit}"
+        ),
+        Err(err) => panic!("invalid DCCS parameters: {err}"),
+    }
+}
+
+/// [`exact_dccs`] on an existing [`SearchContext`] with explicit
+/// preprocessing options, returning typed errors instead of panicking:
+/// invalid parameters and a blown candidate budget
+/// ([`DccsError::BudgetExceeded`]) come back as `Err`. Only the
+/// preprocessing toggles of `opts` influence the work done; the result is
+/// the exact optimum regardless.
+pub fn exact_dccs_in(
+    ctx: &mut SearchContext,
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> Result<DccsResult, DccsError> {
+    params.validate(g.num_layers())?;
     let start = Instant::now();
-    let mut stats = SearchStats::default();
-    let pre = preprocess(g, params, &DccsOptions::default());
+    let mut stats = SearchStats { algorithm: Some(Algorithm::Exact), ..SearchStats::default() };
+    let pre = ctx.preprocess(g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
-    let mut ctx = SearchContext::new(1);
     let (mut candidates, lattice) =
-        collect_subset_cores(&mut ctx, g, params.d, params.s, &pre.layer_cores);
+        collect_subset_cores(ctx, g, params.d, params.s, &pre.layer_cores);
     stats.candidates_generated += lattice.candidates;
     stats.dcc_calls += lattice.peels;
     stats.index_path = Some(lattice.index_path);
     candidates.retain(|c| !c.is_empty());
-    assert!(
-        candidates.len() <= MAX_CANDIDATES,
-        "exact_dccs is a test oracle; {} candidates exceed the limit of {MAX_CANDIDATES}",
-        candidates.len()
-    );
+    if candidates.len() > MAX_CANDIDATES {
+        return Err(DccsError::BudgetExceeded {
+            candidates: candidates.len(),
+            limit: MAX_CANDIDATES,
+        });
+    }
 
     let k = params.k.min(candidates.len());
     let mut best_cover = 0usize;
@@ -52,7 +78,7 @@ pub fn exact_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     search(&candidates, k, 0, &mut chosen, &mut best, &mut best_cover, g.num_vertices());
 
     let cores: Vec<CoherentCore> = best.iter().map(|&i| candidates[i].clone()).collect();
-    DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
+    Ok(DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed()))
 }
 
 fn search(

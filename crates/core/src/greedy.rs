@@ -15,21 +15,27 @@
 //! depth-1 branches fan out over the shared executor — with results (and
 //! work counters) identical to the sequential walk.
 
+use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::engine::SearchContext;
 use crate::lattice::collect_subset_cores;
-use crate::preprocess::preprocess;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use mlgraph::{MultiLayerGraph, VertexSet};
 use std::time::Instant;
 
 /// Runs `GD-DCCS` with default options.
+///
+/// Like every `*_dccs` free function this is a one-shot wrapper: it builds
+/// the same engine state a [`crate::DccsSession`] owns, runs one query, and
+/// keeps the historical panic on invalid parameters. Long-lived callers and
+/// sweeps should prefer the session API.
 pub fn greedy_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     greedy_dccs_with_options(g, params, &DccsOptions::default())
 }
 
 /// Runs `GD-DCCS` with explicit options (used by the ablation experiments
-/// and to set the executor width via `opts.threads`).
+/// and to set the executor width via `opts.threads`) — a one-shot wrapper
+/// over the context the session API reuses.
 pub fn greedy_dccs_with_options(
     g: &MultiLayerGraph,
     params: &DccsParams,
@@ -50,9 +56,9 @@ pub fn greedy_dccs_in(
 ) -> DccsResult {
     params.validate(g.num_layers()).expect("invalid DCCS parameters");
     let start = Instant::now();
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats { algorithm: Some(Algorithm::Greedy), ..SearchStats::default() };
 
-    let pre = preprocess(g, params, opts);
+    let pre = ctx.preprocess(g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
     // Lines 2–7 of Fig. 2: the full candidate set F_{d,s}(G).

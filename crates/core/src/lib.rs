@@ -13,16 +13,18 @@
 //! | [`bottom_up_dccs`] | `BU-DCCS` — bottom-up search tree with interleaved top-k maintenance | 1/4 |
 //! | [`top_down_dccs`] | `TD-DCCS` — top-down search tree with potential-set refinement | 1/4 |
 //!
-//! Supporting modules expose the building blocks: the [`coverage`] module
-//! implements the paper's `Update` procedure, [`preprocess`] the vertex
-//! deletion / layer sorting / `InitTopK` preprocessing, [`index`] and
-//! [`refine`] the top-down index structure and `RefineU`/`RefineC`
-//! procedures, [`exact`] a brute-force oracle for tiny inputs, and
-//! [`metrics`] the evaluation measures used in the paper's Section VI.
+//! # Querying: the session API
+//!
+//! The primary entry point is [`DccsSession`]: construct it once per graph
+//! and run every query — or whole parameter sweeps — through it. The
+//! session owns the reusable engine state (peel scratch, the dense-index
+//! cache, a per-`d` layer-core memo), returns typed [`DccsError`]s instead
+//! of panicking, and picks the right algorithm per query with
+//! [`Algorithm::Auto`]:
 //!
 //! ```
 //! use mlgraph::MultiLayerGraphBuilder;
-//! use dccs::{bottom_up_dccs, DccsParams};
+//! use dccs::{Algorithm, DccsParams, DccsSession, QuerySpec};
 //!
 //! // Two layers, each containing a triangle on {0,1,2}; vertex 3 is sparse.
 //! let mut b = MultiLayerGraphBuilder::new(4, 2);
@@ -31,18 +33,44 @@
 //!     b.add_edge(1, u, v).unwrap();
 //! }
 //! let g = b.build();
-//! let result = bottom_up_dccs(&g, &DccsParams { d: 2, s: 2, k: 1 });
+//!
+//! let mut session = DccsSession::new(&g);
+//! let result = session
+//!     .query(DccsParams::new(2, 2, 1))
+//!     .algorithm(Algorithm::Auto) // or Greedy / BottomUp / TopDown / Exact
+//!     .run()?;
 //! assert_eq!(result.cover.to_vec(), vec![0, 1, 2]);
+//!
+//! // Sweeps batch through one worker crew; results come back in order.
+//! let sweep: Vec<QuerySpec> =
+//!     (1..=2).map(|s| QuerySpec::new(DccsParams::new(2, s, 1))).collect();
+//! let results = session.run_batch(&sweep)?;
+//! assert_eq!(results.len(), 2);
+//! # Ok::<(), dccs::DccsError>(())
 //! ```
+//!
+//! The free functions above are retained as thin one-shot wrappers (they
+//! build the same engine state per call and keep their historical panic on
+//! invalid parameters), so existing callers and the frozen oracle tests
+//! keep working unchanged.
+//!
+//! Supporting modules expose the building blocks: the [`coverage`] module
+//! implements the paper's `Update` procedure, [`preprocess`] the vertex
+//! deletion / layer sorting / `InitTopK` preprocessing, [`index`] and
+//! [`refine`] the top-down index structure and `RefineU`/`RefineC`
+//! procedures, [`exact`] a brute-force oracle for tiny inputs, and
+//! [`metrics`] the evaluation measures used in the paper's Section VI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algorithm;
 pub mod analysis;
 pub mod bottom_up;
 pub mod config;
 pub mod coverage;
 pub mod engine;
+pub mod error;
 pub mod exact;
 pub mod greedy;
 pub mod index;
@@ -53,17 +81,21 @@ pub mod parallel;
 pub mod preprocess;
 pub mod refine;
 pub mod result;
+pub mod session;
 pub mod top_down;
 
+pub use algorithm::Algorithm;
 pub use analysis::{analyze_cores, analyze_result, jaccard, OverlapReport};
 pub use bottom_up::{bottom_up_dccs, bottom_up_dccs_in, bottom_up_dccs_with_options};
 pub use config::{DccsOptions, DccsParams};
 pub use coverage::TopKDiversified;
 pub use engine::{plan_index, IndexPath, IndexPlan, SearchContext};
-pub use exact::exact_dccs;
+pub use error::DccsError;
+pub use exact::{exact_dccs, exact_dccs_in};
 pub use greedy::{greedy_dccs, greedy_dccs_in, greedy_dccs_with_options};
 pub use lattice::{collect_subset_cores, for_each_subset_core, naive_subset_cores, LatticeStats};
 pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
 pub use parallel::parallel_greedy_dccs;
 pub use result::{CoherentCore, DccsResult, SearchStats};
+pub use session::{auto_threads, DccsSession, Query, QuerySpec};
 pub use top_down::{top_down_dccs, top_down_dccs_in, top_down_dccs_with_options};

@@ -57,14 +57,40 @@ impl Preprocessed {
 /// When `opts.vertex_deletion` is `false`, the d-cores are still computed
 /// (every algorithm needs them) but no vertex is discarded for low support.
 pub fn preprocess(g: &MultiLayerGraph, params: &DccsParams, opts: &DccsOptions) -> Preprocessed {
+    let mut ws = PeelWorkspace::with_capacity(g.num_vertices(), 1);
+    let initial = initial_layer_cores(g, params.d, &mut ws);
+    preprocess_from(g, params, opts, &mut ws, initial)
+}
+
+/// The per-layer d-cores over the **full** vertex set — the first step of
+/// [`preprocess`], and the only one that depends on `d` alone (vertex
+/// deletion additionally depends on `s`). [`crate::engine::SearchContext`]
+/// memoizes this per `d`, so parameter sweeps at fixed `d` never re-peel
+/// the layers.
+pub fn initial_layer_cores(g: &MultiLayerGraph, d: u32, ws: &mut PeelWorkspace) -> Vec<VertexSet> {
     let n = g.num_vertices();
-    let l = g.num_layers();
-    let mut ws = PeelWorkspace::with_capacity(n, 1);
-    let mut active = g.full_vertex_set();
-    let mut layer_cores: Vec<VertexSet> = vec![VertexSet::new(n); l];
+    let active = g.full_vertex_set();
+    let mut layer_cores: Vec<VertexSet> = vec![VertexSet::new(n); g.num_layers()];
     for (i, core) in layer_cores.iter_mut().enumerate() {
-        d_core_within_into(&mut ws, g.layer(i), params.d, &active, core);
+        d_core_within_into(ws, g.layer(i), d, &active, core);
     }
+    layer_cores
+}
+
+/// [`preprocess`] continued from already-computed [`initial_layer_cores`]
+/// (which the caller may have pulled from a memo): runs the vertex-deletion
+/// fixpoint and assembles the [`Preprocessed`] state. Bit-identical to
+/// [`preprocess`] because the initial cores are a deterministic function of
+/// `(g, d)`.
+pub fn preprocess_from(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+    ws: &mut PeelWorkspace,
+    mut layer_cores: Vec<VertexSet>,
+) -> Preprocessed {
+    let n = g.num_vertices();
+    let mut active = g.full_vertex_set();
     let mut support = compute_support(n, &layer_cores, &active);
 
     let mut deleted = 0usize;
@@ -82,7 +108,7 @@ pub fn preprocess(g: &MultiLayerGraph, params: &DccsParams, opts: &DccsOptions) 
             // Re-peel every layer core into its existing set: the fixpoint
             // loop allocates nothing after the first iteration.
             for (i, core) in layer_cores.iter_mut().enumerate() {
-                d_core_within_into(&mut ws, g.layer(i), params.d, &active, core);
+                d_core_within_into(ws, g.layer(i), params.d, &active, core);
             }
             support = compute_support(n, &layer_cores, &active);
         }

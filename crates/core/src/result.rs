@@ -1,5 +1,6 @@
 //! Result types: coherent cores, search statistics, and the algorithm output.
 
+use crate::algorithm::Algorithm;
 use crate::engine::IndexPath;
 use mlgraph::{Layer, Vertex, VertexSet};
 use std::time::Duration;
@@ -59,6 +60,11 @@ pub struct SearchStats {
     /// the [`crate::engine`] cost model's per-run dense-vs-CSR decision.
     /// `None` for the search-tree algorithms, which always peel CSR.
     pub index_path: Option<IndexPath>,
+    /// Which algorithm actually produced this result. Always the concrete
+    /// algorithm — a query submitted with [`Algorithm::Auto`] records the
+    /// resolved choice here, which is how the selection policy's decisions
+    /// are observed and benchmarked.
+    pub algorithm: Option<Algorithm>,
 }
 
 /// The output of a DCCS algorithm.

@@ -1,0 +1,444 @@
+//! The session-based query API — the crate's primary public surface.
+//!
+//! The paper's workload is *sweep-shaped*: its experiments vary `d`, `s`,
+//! and `k` over a fixed graph (Figs. 14–25), and a production deployment
+//! serves many queries against one loaded graph. A [`DccsSession`] is the
+//! durable handle for that pattern: constructed once per graph, it owns the
+//! long-lived engine state — the [`SearchContext`] with the driver's
+//! `PeelWorkspace`, the reused cover/seed buffers, the universe-keyed
+//! `DenseSubgraph` cache, and the per-`d` layer-core memo — so consecutive
+//! queries reuse everything a fresh run would have to rebuild, while
+//! returning **bit-identical results** to one-shot calls (the caches only
+//! skip recomputing deterministic intermediates; enforced by
+//! `crates/core/tests/session_sweep.rs`).
+//!
+//! Queries go through a builder and return `Result` instead of panicking:
+//!
+//! ```
+//! use mlgraph::MultiLayerGraphBuilder;
+//! use dccs::{Algorithm, DccsParams, DccsSession};
+//!
+//! let mut b = MultiLayerGraphBuilder::new(4, 2);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+//!     b.add_edge(0, u, v).unwrap();
+//!     b.add_edge(1, u, v).unwrap();
+//! }
+//! let g = b.build();
+//! let mut session = DccsSession::new(&g);
+//! let result = session
+//!     .query(DccsParams::new(2, 2, 1))
+//!     .algorithm(Algorithm::Auto)
+//!     .run()
+//!     .expect("valid parameters");
+//! assert_eq!(result.cover.to_vec(), vec![0, 1, 2]);
+//! // Invalid parameters are typed errors, not panics:
+//! assert!(session.query(DccsParams::new(2, 9, 1)).run().is_err());
+//! ```
+//!
+//! Whole sweeps go through [`DccsSession::run_batch`], which fans the
+//! queries of a sweep out over **one** [`with_pool`] worker crew (each query
+//! runs sequentially on one worker, so per-query results — and their work
+//! counters — are exactly the 1-thread results, in submission order).
+
+use crate::algorithm::Algorithm;
+use crate::bottom_up::bottom_up_dccs_in;
+use crate::config::{DccsOptions, DccsParams};
+use crate::engine::{with_pool, SearchContext};
+use crate::error::DccsError;
+use crate::exact::exact_dccs_in;
+use crate::greedy::greedy_dccs_in;
+use crate::result::DccsResult;
+use crate::top_down::top_down_dccs_in;
+use coreness::PeelWorkspace;
+use mlgraph::MultiLayerGraph;
+
+/// Resolves the `threads` knob of the session API: `0` means **auto** —
+/// `std::thread::available_parallelism()` (falling back to 1 when the
+/// platform cannot report it) — while any other value is taken literally
+/// (`1` stays sequential). The direct entry points (`*_with_options`) keep
+/// the legacy behavior of treating `0` as `1`.
+pub fn auto_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// One query of a batch: the `(d, s, k)` parameters plus the algorithm to
+/// run them with ([`Algorithm::Auto`] by default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// The DCCS problem parameters.
+    pub params: DccsParams,
+    /// The algorithm to run (resolved per query when [`Algorithm::Auto`]).
+    pub algorithm: Algorithm,
+}
+
+impl QuerySpec {
+    /// A spec running `params` with automatic algorithm selection.
+    pub fn new(params: DccsParams) -> Self {
+        QuerySpec { params, algorithm: Algorithm::Auto }
+    }
+
+    /// Pins the algorithm instead of auto-selecting.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+/// A long-lived query handle over one graph. See the [module docs](self)
+/// for the full story; in short: construct once, [`DccsSession::query`] many
+/// times, and every piece of reusable engine state carries over between
+/// queries without changing any result.
+#[derive(Debug)]
+pub struct DccsSession<'g> {
+    g: &'g MultiLayerGraph,
+    ctx: SearchContext,
+    opts: DccsOptions,
+}
+
+impl<'g> DccsSession<'g> {
+    /// A session over `g` with default [`DccsOptions`] (all preprocessing
+    /// and pruning on, sequential execution).
+    pub fn new(g: &'g MultiLayerGraph) -> Self {
+        DccsSession::with_options(g, DccsOptions::default())
+    }
+
+    /// A session over `g` whose queries default to `opts`. An `opts.threads`
+    /// of `0` means auto ([`auto_threads`]).
+    pub fn with_options(g: &'g MultiLayerGraph, opts: DccsOptions) -> Self {
+        DccsSession { g, ctx: SearchContext::new(auto_threads(opts.threads)), opts }
+    }
+
+    /// The graph this session queries.
+    pub fn graph(&self) -> &'g MultiLayerGraph {
+        self.g
+    }
+
+    /// The session's default options (per-query overrides go through the
+    /// [`Query`] builder).
+    pub fn options(&self) -> &DccsOptions {
+        &self.opts
+    }
+
+    /// Starts building a query for `params`. Nothing runs until
+    /// [`Query::run`].
+    pub fn query(&mut self, params: DccsParams) -> Query<'_, 'g> {
+        let opts = self.opts;
+        Query { session: self, spec: QuerySpec::new(params), opts }
+    }
+
+    /// Checks that the graph is non-empty and `params` are valid for it.
+    fn check(&self, params: &DccsParams) -> Result<(), DccsError> {
+        let (n, l) = (self.g.num_vertices(), self.g.num_layers());
+        if n == 0 || l == 0 {
+            return Err(DccsError::EmptyGraph { num_vertices: n, num_layers: l });
+        }
+        params.validate(l)
+    }
+
+    /// Runs one validated query on the session context. `opts.threads` must
+    /// already be resolved (≥ 1).
+    fn run_checked(
+        &mut self,
+        spec: &QuerySpec,
+        opts: &DccsOptions,
+    ) -> Result<DccsResult, DccsError> {
+        self.ctx.set_threads(opts.threads);
+        run_spec_on(&mut self.ctx, self.g, spec, opts)
+    }
+
+    /// Runs a whole sweep through **one** executor crew.
+    ///
+    /// All specs are validated up front (the batch is all-or-nothing: the
+    /// first invalid spec fails the call before any work runs). With an
+    /// effective thread count of 1 — or a single spec — the queries run
+    /// in order on the session context, compounding its caches. With more
+    /// threads, one [`with_pool`] crew is spun up for the entire batch and
+    /// each query becomes one job, executed sequentially on one worker —
+    /// inter-query parallelism, which is where a sweep's wall-clock actually
+    /// goes. Either way each result is bit-identical to running its spec as
+    /// a one-shot query (per-query execution is thread-invariant), and
+    /// results come back in spec order.
+    pub fn run_batch(&mut self, specs: &[QuerySpec]) -> Result<Vec<DccsResult>, DccsError> {
+        for spec in specs {
+            self.check(&spec.params)?;
+        }
+        let threads = auto_threads(self.opts.threads);
+        if threads <= 1 || specs.len() <= 1 {
+            let opts = DccsOptions { threads, ..self.opts };
+            return specs.iter().map(|spec| self.run_checked(spec, &opts)).collect();
+        }
+        // One crew for the whole sweep; each query is one sequential job, so
+        // its result (and stats) equal the 1-thread run by construction.
+        let g = self.g;
+        let opts = DccsOptions { threads: 1, ..self.opts };
+        let outcomes: Vec<Result<DccsResult, DccsError>> = with_pool(threads, |pool| {
+            let jobs: Vec<_> = specs
+                .iter()
+                .map(|&spec| {
+                    move |_ws: &mut PeelWorkspace| {
+                        let mut ctx = SearchContext::new(1);
+                        run_spec_on(&mut ctx, g, &spec, &opts)
+                    }
+                })
+                .collect();
+            pool.map(&mut self.ctx.ws, jobs)
+        });
+        outcomes.into_iter().collect()
+    }
+}
+
+/// Dispatches one spec on an existing context — the single place the
+/// algorithm match lives, shared by the session's single-query and batch
+/// paths. The caller has already validated the spec and configured the
+/// context's thread count.
+fn run_spec_on(
+    ctx: &mut SearchContext,
+    g: &MultiLayerGraph,
+    spec: &QuerySpec,
+    opts: &DccsOptions,
+) -> Result<DccsResult, DccsError> {
+    let algorithm = spec.algorithm.resolve(g, &spec.params);
+    Ok(match algorithm {
+        Algorithm::Greedy => greedy_dccs_in(ctx, g, &spec.params, opts),
+        Algorithm::BottomUp => bottom_up_dccs_in(ctx, g, &spec.params, opts),
+        Algorithm::TopDown => top_down_dccs_in(ctx, g, &spec.params, opts),
+        Algorithm::Exact => exact_dccs_in(ctx, g, &spec.params, opts)?,
+        Algorithm::Auto => unreachable!("resolve never returns Auto"),
+    })
+}
+
+/// A configured-but-not-yet-run query, produced by [`DccsSession::query`].
+/// Builder methods refine it; [`Query::run`] executes it on the session.
+#[derive(Debug)]
+#[must_use = "a query does nothing until .run() is called"]
+pub struct Query<'s, 'g> {
+    session: &'s mut DccsSession<'g>,
+    spec: QuerySpec,
+    opts: DccsOptions,
+}
+
+impl Query<'_, '_> {
+    /// Selects the algorithm (default: the session runs
+    /// [`Algorithm::Auto`]). The concrete algorithm that ends up running is
+    /// recorded in [`crate::SearchStats::algorithm`].
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.spec.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the executor width for this query: `0` means auto
+    /// ([`auto_threads`]), `1` sequential. Results are identical at every
+    /// thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Replaces the full option set for this query (ablation toggles,
+    /// threads) instead of inheriting the session defaults.
+    pub fn options(mut self, opts: DccsOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Validates and executes the query on the session's engine state.
+    ///
+    /// Every parameter combination [`DccsParams::validate`] rejects — and an
+    /// empty graph, and a blown [`Algorithm::Exact`] candidate budget —
+    /// comes back as a typed [`DccsError`]; this entry point never panics on
+    /// user input.
+    pub fn run(self) -> Result<DccsResult, DccsError> {
+        self.session.check(&self.spec.params)?;
+        let opts = DccsOptions { threads: auto_threads(self.opts.threads), ..self.opts };
+        self.session.run_checked(&self.spec, &opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bottom_up_dccs, greedy_dccs};
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    /// Four layers over 12 vertices with two planted coherent cliques.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(12, 4);
+        clique(&mut b, 0, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[0, 1, 2, 3]);
+        clique(&mut b, 2, &[4, 5, 6, 7]);
+        clique(&mut b, 3, &[4, 5, 6, 7]);
+        clique(&mut b, 1, &[8, 9, 10, 11]);
+        b.build()
+    }
+
+    #[test]
+    fn one_shot_query_matches_free_function() {
+        let g = graph();
+        let params = DccsParams::new(3, 2, 2);
+        let mut session = DccsSession::new(&g);
+        let via_session = session.query(params).algorithm(Algorithm::BottomUp).run().unwrap();
+        let via_free = bottom_up_dccs(&g, &params);
+        assert_eq!(via_session.cores, via_free.cores);
+        assert_eq!(via_session.cover.to_vec(), via_free.cover.to_vec());
+        assert_eq!(via_session.stats, via_free.stats);
+    }
+
+    #[test]
+    fn session_reuse_across_a_sweep_is_bit_identical_to_fresh_sessions() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        for algorithm in [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown] {
+            // s-sweep at fixed d (memo + dense cache hits), then a d change.
+            for (d, s, k) in [(2, 1, 2), (2, 2, 2), (2, 3, 1), (3, 2, 2), (2, 2, 3)] {
+                let params = DccsParams::new(d, s, k);
+                let swept = session.query(params).algorithm(algorithm).run().unwrap();
+                let fresh = DccsSession::new(&g).query(params).algorithm(algorithm).run().unwrap();
+                let label = format!("{} d={d} s={s} k={k}", algorithm.name());
+                assert_eq!(swept.cores, fresh.cores, "{label}");
+                assert_eq!(swept.cover.to_vec(), fresh.cover.to_vec(), "{label}");
+                assert_eq!(swept.stats, fresh.stats, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_records_the_resolved_algorithm_in_stats() {
+        let g = graph();
+        let params = DccsParams::new(3, 2, 2);
+        let mut session = DccsSession::new(&g);
+        let result = session.query(params).run().unwrap(); // default = Auto
+        let resolved = Algorithm::Auto.resolve(&g, &params);
+        assert_ne!(resolved, Algorithm::Auto);
+        assert_eq!(result.stats.algorithm, Some(resolved));
+        // An explicit algorithm is recorded too.
+        let explicit = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+        assert_eq!(explicit.stats.algorithm, Some(Algorithm::Greedy));
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed_errors_not_panics() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        assert_eq!(
+            session.query(DccsParams::new(2, 0, 2)).run().unwrap_err(),
+            DccsError::SupportZero
+        );
+        assert_eq!(
+            session.query(DccsParams::new(2, 9, 2)).run().unwrap_err(),
+            DccsError::SupportExceedsLayers { s: 9, num_layers: 4 }
+        );
+        assert_eq!(
+            session.query(DccsParams::new(2, 2, 0)).run().unwrap_err(),
+            DccsError::ResultSizeZero
+        );
+        // The session stays usable after an error.
+        assert!(session.query(DccsParams::new(2, 2, 2)).run().is_ok());
+    }
+
+    #[test]
+    fn empty_graph_is_a_typed_error() {
+        // A graph cannot have zero layers (the constructor rejects that),
+        // but a zero-vertex graph is constructible — and unqueryable.
+        let g = MultiLayerGraph::from_edge_lists(0, &[vec![]]).unwrap();
+        let mut session = DccsSession::new(&g);
+        assert_eq!(
+            session.query(DccsParams::new(2, 1, 1)).run().unwrap_err(),
+            DccsError::EmptyGraph { num_vertices: 0, num_layers: 1 }
+        );
+    }
+
+    #[test]
+    fn exact_budget_overflow_is_a_typed_error() {
+        // 9 layers sharing one triangle: C(9, 2) = 36 > 24 non-empty
+        // candidates blow the exact solver's budget.
+        let mut b = MultiLayerGraphBuilder::new(3, 9);
+        for layer in 0..9 {
+            clique(&mut b, layer, &[0, 1, 2]);
+        }
+        let g = b.build();
+        let mut session = DccsSession::new(&g);
+        let err =
+            session.query(DccsParams::new(2, 2, 1)).algorithm(Algorithm::Exact).run().unwrap_err();
+        assert!(matches!(err, DccsError::BudgetExceeded { candidates: 36, limit: 24 }));
+    }
+
+    #[test]
+    fn run_batch_matches_one_shot_queries_at_any_width() {
+        let g = graph();
+        let specs: Vec<QuerySpec> = [(2u32, 2usize, 2usize), (3, 2, 2), (2, 3, 1), (2, 2, 3)]
+            .into_iter()
+            .map(|(d, s, k)| QuerySpec::new(DccsParams::new(d, s, k)))
+            .collect();
+        let reference: Vec<DccsResult> = specs
+            .iter()
+            .map(|spec| DccsSession::new(&g).query(spec.params).run().unwrap())
+            .collect();
+        for threads in [1usize, 4] {
+            let mut session = DccsSession::with_options(&g, DccsOptions::with_threads(threads));
+            let batch = session.run_batch(&specs).unwrap();
+            assert_eq!(batch.len(), reference.len());
+            for (got, want) in batch.iter().zip(&reference) {
+                assert_eq!(got.cores, want.cores, "threads={threads}");
+                assert_eq!(got.cover.to_vec(), want.cover.to_vec(), "threads={threads}");
+                assert_eq!(got.stats, want.stats, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_rejects_the_whole_batch_on_one_invalid_spec() {
+        let g = graph();
+        let specs =
+            [QuerySpec::new(DccsParams::new(2, 2, 2)), QuerySpec::new(DccsParams::new(2, 99, 2))];
+        let mut session = DccsSession::new(&g);
+        assert_eq!(
+            session.run_batch(&specs).unwrap_err(),
+            DccsError::SupportExceedsLayers { s: 99, num_layers: 4 }
+        );
+    }
+
+    #[test]
+    fn zero_threads_means_auto_and_changes_no_result() {
+        assert_eq!(auto_threads(1), 1);
+        assert_eq!(auto_threads(4), 4);
+        assert!(auto_threads(0) >= 1, "auto must resolve to at least one worker");
+        let g = graph();
+        let params = DccsParams::new(2, 2, 2);
+        let seq = DccsSession::new(&g).query(params).threads(1).run().unwrap();
+        let auto = DccsSession::new(&g).query(params).threads(0).run().unwrap();
+        assert_eq!(seq.cores, auto.cores);
+        assert_eq!(seq.stats, auto.stats);
+    }
+
+    #[test]
+    fn query_spec_defaults_to_auto() {
+        let spec = QuerySpec::new(DccsParams::new(2, 2, 2));
+        assert_eq!(spec.algorithm, Algorithm::Auto);
+        let pinned = spec.with_algorithm(Algorithm::TopDown);
+        assert_eq!(pinned.algorithm, Algorithm::TopDown);
+        assert_eq!(pinned.params, spec.params);
+    }
+
+    #[test]
+    fn greedy_via_session_matches_greedy_free_function() {
+        let g = graph();
+        let params = DccsParams::new(2, 2, 2);
+        let via_session =
+            DccsSession::new(&g).query(params).algorithm(Algorithm::Greedy).run().unwrap();
+        let via_free = greedy_dccs(&g, &params);
+        assert_eq!(via_session.cores, via_free.cores);
+        assert_eq!(via_session.stats, via_free.stats);
+    }
+}

@@ -31,11 +31,12 @@
 //! bound has to be frozen — the parallel search is *exactly* the sequential
 //! search, decision for decision, at every thread count.
 
+use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
 use crate::engine::{with_pool, PoolRef, SearchContext};
 use crate::index::VertexIndex;
-use crate::preprocess::{init_topk_in, preprocess};
+use crate::preprocess::init_topk_in;
 use crate::refine::{refine_c, refine_u};
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use coreness::PeelWorkspace;
@@ -44,12 +45,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Runs `TD-DCCS` with default options.
+///
+/// A one-shot wrapper over the engine state [`crate::DccsSession`] keeps
+/// alive between queries; it retains the historical panic on invalid
+/// parameters. Prefer the session API for repeated queries.
 pub fn top_down_dccs(g: &MultiLayerGraph, params: &DccsParams) -> DccsResult {
     top_down_dccs_with_options(g, params, &DccsOptions::default())
 }
 
 /// Runs `TD-DCCS` with explicit options (used by the Fig. 28 ablation and
-/// to set the executor width via `opts.threads`).
+/// to set the executor width via `opts.threads`) — a one-shot wrapper over
+/// the context the session API reuses.
 pub fn top_down_dccs_with_options(
     g: &MultiLayerGraph,
     params: &DccsParams,
@@ -69,10 +75,10 @@ pub fn top_down_dccs_in(
 ) -> DccsResult {
     params.validate(g.num_layers()).expect("invalid DCCS parameters");
     let start = Instant::now();
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats { algorithm: Some(Algorithm::TopDown), ..SearchStats::default() };
     let l = g.num_layers();
 
-    let pre = preprocess(g, params, opts);
+    let pre = ctx.preprocess(g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
     let mut topk = TopKDiversified::new(g.num_vertices(), params.k);

@@ -1,0 +1,105 @@
+//! Cache-correctness guard for the session API.
+//!
+//! A [`DccsSession`] reused across a parameter sweep carries three caches
+//! between queries: the driver `PeelWorkspace`, the universe-keyed dense
+//! index, and the per-`d` layer-core memo. This property test proves the
+//! caches are *invisible*: over random small multi-layer graphs, an
+//! `s`-then-`d` sweep through one session returns bit-identical cores,
+//! cover, and work counters to fresh one-shot calls — per algorithm
+//! (including `Auto`) and at 1 and 4 executor threads — and `run_batch`
+//! agrees with the same one-shots.
+
+use dccs::{Algorithm, DccsOptions, DccsParams, DccsResult, DccsSession, QuerySpec};
+use mlgraph::{MultiLayerGraph, Vertex};
+use proptest::prelude::*;
+
+fn small_multilayer(
+    n: usize,
+    layers: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = MultiLayerGraph> {
+    prop::collection::vec(
+        prop::collection::vec((0..n as Vertex, 0..n as Vertex), 0..max_edges),
+        layers..=layers,
+    )
+    .prop_map(move |lists| {
+        let cleaned: Vec<Vec<(Vertex, Vertex)>> = lists
+            .into_iter()
+            .map(|edges| edges.into_iter().filter(|(u, v)| u != v).collect())
+            .collect();
+        MultiLayerGraph::from_edge_lists(n, &cleaned).unwrap()
+    })
+}
+
+/// The Fig. 14/18-style sweep shape: vary `s` at fixed `d`, then vary `d`
+/// at fixed `s` — exactly the access pattern the session caches target.
+fn sweep_points(layers: usize, k: usize) -> Vec<DccsParams> {
+    let mut points: Vec<DccsParams> = (1..=layers).map(|s| DccsParams::new(2, s, k)).collect();
+    points.extend((1u32..=3).map(|d| DccsParams::new(d, 2.min(layers), k)));
+    points
+}
+
+fn assert_identical(a: &DccsResult, b: &DccsResult, label: &str) {
+    assert_eq!(a.cores, b.cores, "{label}: cores differ");
+    assert_eq!(a.cover.to_vec(), b.cover.to_vec(), "{label}: cover differs");
+    assert_eq!(a.stats, b.stats, "{label}: work counters differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn session_sweep_is_bit_identical_to_one_shot_queries(
+        g in small_multilayer(16, 4, 60),
+        k in 1usize..4,
+    ) {
+        let points = sweep_points(g.num_layers(), k);
+        for algorithm in
+            [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown, Algorithm::Auto]
+        {
+            for threads in [1usize, 4] {
+                let opts = DccsOptions::with_threads(threads);
+                let mut session = DccsSession::with_options(&g, opts);
+                for params in &points {
+                    let swept =
+                        session.query(*params).algorithm(algorithm).run().unwrap();
+                    let fresh = DccsSession::with_options(&g, opts)
+                        .query(*params)
+                        .algorithm(algorithm)
+                        .run()
+                        .unwrap();
+                    let label = format!(
+                        "{} d={} s={} k={} threads={threads}",
+                        algorithm.name(), params.d, params.s, params.k
+                    );
+                    assert_identical(&swept, &fresh, &label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_one_shot_queries(
+        g in small_multilayer(14, 4, 50),
+        k in 1usize..4,
+    ) {
+        let points = sweep_points(g.num_layers(), k);
+        let specs: Vec<QuerySpec> = points.iter().map(|p| QuerySpec::new(*p)).collect();
+        let reference: Vec<DccsResult> = points
+            .iter()
+            .map(|p| DccsSession::new(&g).query(*p).run().unwrap())
+            .collect();
+        for threads in [1usize, 4] {
+            let mut session = DccsSession::with_options(&g, DccsOptions::with_threads(threads));
+            let batch = session.run_batch(&specs).unwrap();
+            prop_assert_eq!(batch.len(), reference.len());
+            for ((got, want), params) in batch.iter().zip(&reference).zip(&points) {
+                let label = format!(
+                    "batch d={} s={} k={} threads={threads}",
+                    params.d, params.s, params.k
+                );
+                assert_identical(got, want, &label);
+            }
+        }
+    }
+}

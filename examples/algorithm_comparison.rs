@@ -1,13 +1,15 @@
 //! Side-by-side comparison of GD-DCCS, BU-DCCS and TD-DCCS on one synthetic
 //! dataset, for a small and a large support threshold — a miniature version
-//! of the paper's Figs. 14–17.
+//! of the paper's Figs. 14–17, driven through one [`DccsSession`]: the
+//! session's layer-core memo and dense-index cache carry across every
+//! query, and each comparison runs as a single batch.
 //!
 //! ```bash
 //! cargo run --release --example algorithm_comparison
 //! ```
 
 use datasets::{generate, DatasetId, Scale};
-use dccs::{bottom_up_dccs, greedy_dccs, parallel_greedy_dccs, top_down_dccs, DccsParams};
+use dccs::{Algorithm, DccsParams, DccsSession, QuerySpec};
 
 fn main() {
     let dataset = generate(DatasetId::German, Scale::Small);
@@ -17,13 +19,21 @@ fn main() {
 
     let d = 4;
     let k = 10;
+    let mut session = DccsSession::new(graph);
 
     println!("\n-- small support threshold (s = 3): BU-DCCS is the recommended algorithm --");
     println!("{:<24} {:>10} {:>8} {:>12}", "algorithm", "time (s)", "cover", "candidates");
     let params = DccsParams::new(d, 3, k);
-    let gd = greedy_dccs(graph, &params);
-    let bu = bottom_up_dccs(graph, &params);
-    let par = parallel_greedy_dccs(graph, &params, 4);
+    let batch = session
+        .run_batch(&[
+            QuerySpec::new(params).with_algorithm(Algorithm::Greedy),
+            QuerySpec::new(params).with_algorithm(Algorithm::BottomUp),
+        ])
+        .unwrap();
+    let (gd, bu) = (&batch[0], &batch[1]);
+    // The same greedy query again, spread over 4 executor workers — the
+    // result is bit-identical; only the wall-clock changes.
+    let par = session.query(params).algorithm(Algorithm::Greedy).threads(4).run().unwrap();
     for (name, time, cover, cands) in [
         ("GD-DCCS", gd.elapsed.as_secs_f64(), gd.cover_size(), gd.stats.candidates_generated),
         (
@@ -49,18 +59,28 @@ fn main() {
         l - 2
     );
     println!("{:<24} {:>10} {:>8} {:>12}", "algorithm", "time (s)", "cover", "candidates");
-    let params = DccsParams::new(d, l - 2, k);
-    let gd = greedy_dccs(graph, &params);
-    let bu = bottom_up_dccs(graph, &params);
-    let td = top_down_dccs(graph, &params);
-    for (name, r) in [("GD-DCCS", &gd), ("BU-DCCS", &bu), ("TD-DCCS", &td)] {
+    let large = DccsParams::new(d, l - 2, k);
+    let batch = session
+        .run_batch(&[
+            QuerySpec::new(large).with_algorithm(Algorithm::Greedy),
+            QuerySpec::new(large).with_algorithm(Algorithm::BottomUp),
+            QuerySpec::new(large).with_algorithm(Algorithm::TopDown),
+        ])
+        .unwrap();
+    for r in &batch {
         println!(
-            "{name:<24} {:>10.4} {:>8} {:>12}",
+            "{:<24} {:>10.4} {:>8} {:>12}",
+            r.stats.algorithm.map_or("?", Algorithm::name),
             r.elapsed.as_secs_f64(),
             r.cover_size(),
             r.stats.candidates_generated
         );
     }
+    println!(
+        "auto would pick: {} (small s) / {} (large s)",
+        Algorithm::Auto.resolve(graph, &params).name(),
+        Algorithm::Auto.resolve(graph, &large).name()
+    );
 
     println!(
         "\nAll three algorithms report covers of similar size (the greedy algorithm is \

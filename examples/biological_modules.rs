@@ -11,7 +11,7 @@
 //! ```
 
 use datasets::{generate, DatasetId, Scale};
-use dccs::{bottom_up_dccs, complexes_found, CoverSimilarity, DccsParams};
+use dccs::{complexes_found, Algorithm, CoverSimilarity, DccsParams, DccsSession};
 use mlgraph::VertexSet;
 use quasiclique::{mimag_baseline, QcConfig};
 
@@ -28,9 +28,17 @@ fn main() {
 
     let s = graph.num_layers() / 2;
     let k = 10;
+    // One session serves the whole d-sweep: scratch buffers and the dense
+    // cache carry across queries, and the query API cannot panic on a bad
+    // parameter combination.
+    let mut session = DccsSession::new(graph);
     for d in [2u32, 3, 4] {
         let params = DccsParams::new(d, s, k);
-        let result = bottom_up_dccs(graph, &params);
+        let result = session
+            .query(params)
+            .algorithm(Algorithm::BottomUp)
+            .run()
+            .expect("valid query for the PPI analogue");
         let dense: Vec<VertexSet> = result.cores.iter().map(|c| c.vertices.clone()).collect();
         let found = complexes_found(&truth.modules, &dense);
 

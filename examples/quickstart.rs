@@ -10,7 +10,7 @@
 //! some layers, and a sparsely connected fringe.
 
 use coreness::{d_coherent_core_full, d_core};
-use dccs::{bottom_up_dccs, greedy_dccs, top_down_dccs, DccsParams};
+use dccs::{Algorithm, DccsParams, DccsSession};
 use mlgraph::MultiLayerGraphBuilder;
 
 fn add_clique(b: &mut MultiLayerGraphBuilder, layer: usize, members: &[u32]) {
@@ -57,10 +57,13 @@ fn main() {
     println!("{d}-CC w.r.t. all four layers: {:?}", cc.to_vec());
 
     // The DCCS problem: find k = 2 diversified 3-CCs on s = 2 layers.
+    // All queries go through one session, which owns the reusable engine
+    // state and returns `Result` instead of panicking on bad parameters.
+    let mut session = DccsSession::new(&graph);
     let params = DccsParams::new(3, 2, 2);
-    let greedy = greedy_dccs(&graph, &params);
-    let bottom_up = bottom_up_dccs(&graph, &params);
-    let top_down = top_down_dccs(&graph, &params);
+    let greedy = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+    let bottom_up = session.query(params).algorithm(Algorithm::BottomUp).run().unwrap();
+    let top_down = session.query(params).algorithm(Algorithm::TopDown).run().unwrap();
 
     println!("\nDCCS with d={}, s={}, k={}:", params.d, params.s, params.k);
     for (name, result) in [("GD-DCCS", &greedy), ("BU-DCCS", &bottom_up), ("TD-DCCS", &top_down)] {
@@ -74,4 +77,13 @@ fn main() {
             println!("     layers {:?} -> {:?}", core.layers, core.vertex_vec());
         }
     }
+
+    // `Algorithm::Auto` (the default) picks the right search per query and
+    // records the choice in the result's statistics.
+    let auto = session.query(params).run().unwrap();
+    println!(
+        "\nauto selection ran {} (cover {} vertices)",
+        auto.stats.algorithm.map_or("?", Algorithm::name),
+        auto.cover_size()
+    );
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use datasets::{generate, DatasetId, Scale};
-use dccs::{bottom_up_dccs, top_down_dccs, DccsParams};
+use dccs::{DccsParams, DccsSession};
 use mlgraph::VertexSet;
 
 fn main() {
@@ -29,26 +29,31 @@ fn main() {
     let d = 4;
     let k = 10;
 
-    // Small support: stories that appear in a handful of windows (BU-DCCS).
-    let small_s = 3;
-    let bu = bottom_up_dccs(graph, &DccsParams::new(d, small_s, k));
-    report("BU-DCCS", small_s, graph.num_vertices(), &bu, stories);
+    // One session, two regimes; `Algorithm::Auto` (the default) picks
+    // BU-DCCS for the small support threshold and TD-DCCS for the large
+    // one — the choice is recorded in the result's statistics.
+    let mut session = DccsSession::new(graph);
 
-    // Large support: long-running stories (TD-DCCS is the right tool here).
+    // Small support: stories that appear in a handful of windows.
+    let small_s = 3;
+    let bu = session.query(DccsParams::new(d, small_s, k)).run().unwrap();
+    report(small_s, graph.num_vertices(), &bu, stories);
+
+    // Large support: long-running stories.
     let large_s = graph.num_layers() - 2;
-    let td = top_down_dccs(graph, &DccsParams::new(d, large_s, k));
-    report("TD-DCCS", large_s, graph.num_vertices(), &td, stories);
+    let td = session.query(DccsParams::new(d, large_s, k)).run().unwrap();
+    report(large_s, graph.num_vertices(), &td, stories);
 }
 
 fn report(
-    name: &str,
     s: usize,
     num_vertices: usize,
     result: &dccs::DccsResult,
     stories: &datasets::GroundTruth,
 ) {
+    let name = result.stats.algorithm.map_or("?", dccs::Algorithm::name);
     println!(
-        "\n{name} with s = {s}: {} entities covered in {:.3}s",
+        "\n{name} (auto-selected) with s = {s}: {} entities covered in {:.3}s",
         result.cover_size(),
         result.elapsed.as_secs_f64()
     );

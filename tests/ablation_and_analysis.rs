@@ -3,8 +3,8 @@
 
 use datasets::{generate, DatasetId, Scale};
 use dccs::{
-    analyze_result, bottom_up_dccs, bottom_up_dccs_with_options, top_down_dccs_with_options,
-    DccsOptions, DccsParams,
+    analyze_result, bottom_up_dccs, bottom_up_dccs_with_options, Algorithm, DccsOptions,
+    DccsParams, DccsSession,
 };
 
 #[test]
@@ -20,10 +20,13 @@ fn every_ablation_variant_produces_valid_results() {
         DccsOptions::no_init_topk(),
         DccsOptions::no_preprocessing(),
     ];
+    // Per-query option overrides through the session builder: every
+    // ablation variant shares one session (and its caches).
+    let mut session = DccsSession::new(&ds.graph);
     for opts in variants {
         for result in [
-            bottom_up_dccs_with_options(&ds.graph, &small, &opts),
-            top_down_dccs_with_options(&ds.graph, &large, &opts),
+            session.query(small).algorithm(Algorithm::BottomUp).options(opts).run().unwrap(),
+            session.query(large).algorithm(Algorithm::TopDown).options(opts).run().unwrap(),
         ] {
             for core in &result.cores {
                 assert!(coreness::is_d_dense_multilayer(
@@ -46,6 +49,16 @@ fn disabling_preprocessing_increases_explored_candidates() {
     let with_pre = bottom_up_dccs(&ds.graph, &params);
     let without_ir = bottom_up_dccs_with_options(&ds.graph, &params, &DccsOptions::no_init_topk());
     assert!(without_ir.stats.dcc_calls >= with_pre.stats.dcc_calls);
+    // The session path with the same override is bit-identical to the
+    // legacy free-function path.
+    let via_session = DccsSession::new(&ds.graph)
+        .query(params)
+        .algorithm(Algorithm::BottomUp)
+        .options(DccsOptions::no_init_topk())
+        .run()
+        .unwrap();
+    assert_eq!(via_session.stats, without_ir.stats);
+    assert_eq!(via_session.cores, without_ir.cores);
 }
 
 #[test]

@@ -3,7 +3,9 @@
 //! only.
 
 use datasets::{all_datasets, generate, DatasetId, Scale};
-use dccs::{bottom_up_dccs, greedy_dccs, top_down_dccs, DccsParams};
+use dccs::{
+    bottom_up_dccs, greedy_dccs, top_down_dccs, Algorithm, DccsParams, DccsSession, QuerySpec,
+};
 use mlgraph::GraphStats;
 
 #[test]
@@ -25,10 +27,17 @@ fn every_dataset_analogue_generates_and_validates() {
 fn all_algorithms_agree_on_core_validity_for_a_module_dataset() {
     let ds = generate(DatasetId::Ppi, Scale::Tiny);
     let params = DccsParams::new(2, 3, 5);
-    let gd = greedy_dccs(&ds.graph, &params);
-    let bu = bottom_up_dccs(&ds.graph, &params);
-    let td = top_down_dccs(&ds.graph, &params);
-    for result in [&gd, &bu, &td] {
+    // All three algorithms as one session batch over the same graph.
+    let mut session = DccsSession::new(&ds.graph);
+    let batch = session
+        .run_batch(&[
+            QuerySpec::new(params).with_algorithm(Algorithm::Greedy),
+            QuerySpec::new(params).with_algorithm(Algorithm::BottomUp),
+            QuerySpec::new(params).with_algorithm(Algorithm::TopDown),
+        ])
+        .unwrap();
+    let (gd, bu, td) = (&batch[0], &batch[1], &batch[2]);
+    for result in [gd, bu, td] {
         assert!(result.cover_size() > 0, "planted modules must be detectable");
         for core in &result.cores {
             assert_eq!(core.layers.len(), params.s);
@@ -86,14 +95,19 @@ fn cover_size_shrinks_as_s_and_d_grow() {
     // The optimum cover is monotone non-increasing in both s and d
     // (Properties 2–3); the approximation algorithms track that trend. The
     // endpoints of the sweep are far enough apart that the trend must be
-    // visible even through the 1/4-approximation.
+    // visible even through the 1/4-approximation. The whole sweep runs as
+    // one session batch — the canonical workload shape of the paper.
     let ds = generate(DatasetId::Author, Scale::Tiny);
     let k = 10;
-    let loose_s = bottom_up_dccs(&ds.graph, &DccsParams::new(2, 1, k)).cover_size();
-    let tight_s = bottom_up_dccs(&ds.graph, &DccsParams::new(2, 5, k)).cover_size();
+    let mut session = DccsSession::new(&ds.graph);
+    let specs: Vec<QuerySpec> = [(2u32, 1usize), (2, 5), (1, 2), (5, 2)]
+        .into_iter()
+        .map(|(d, s)| QuerySpec::new(DccsParams::new(d, s, k)).with_algorithm(Algorithm::BottomUp))
+        .collect();
+    let covers: Vec<usize> =
+        session.run_batch(&specs).unwrap().iter().map(|r| r.cover_size()).collect();
+    let (loose_s, tight_s, loose_d, tight_d) = (covers[0], covers[1], covers[2], covers[3]);
     assert!(tight_s <= loose_s, "cover grew when s grew: {tight_s} > {loose_s}");
-    let loose_d = bottom_up_dccs(&ds.graph, &DccsParams::new(1, 2, k)).cover_size();
-    let tight_d = bottom_up_dccs(&ds.graph, &DccsParams::new(5, 2, k)).cover_size();
     assert!(tight_d <= loose_d, "cover grew when d grew: {tight_d} > {loose_d}");
 }
 

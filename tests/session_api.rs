@@ -1,0 +1,148 @@
+//! Cross-crate integration tests for the session API: algorithm
+//! auto-selection on the synthetic dataset analogues, typed query errors,
+//! and batched sweeps — everything through the public `dccs::DccsSession`
+//! surface.
+
+use datasets::{generate, DatasetId, Scale};
+use dccs::{Algorithm, DccsError, DccsParams, DccsSession, IndexPath, QuerySpec};
+
+#[test]
+fn auto_selection_follows_the_paper_regimes_on_tiny_analogues() {
+    for id in [DatasetId::Wiki, DatasetId::German, DatasetId::Author] {
+        let ds = generate(id, Scale::Tiny);
+        let l = ds.graph.num_layers();
+        // On graphs small and dense enough that the cost model indexes the
+        // full vertex set dense, the policy may prefer lattice enumeration
+        // (greedy) even at large s; on CSR-bound graphs the paper's
+        // TD-for-large-s recommendation must win.
+        let dense_probe =
+            dccs::plan_index(&ds.graph, &ds.graph.full_vertex_set()).path == IndexPath::Dense;
+        // Large support (s = l − 1 ≥ l/2) with pruning head-room.
+        if l >= 4 {
+            let large = DccsParams::new(3, l - 1, 1);
+            let resolved = Algorithm::Auto.resolve(&ds.graph, &large);
+            if dense_probe {
+                assert!(
+                    resolved == Algorithm::TopDown || resolved == Algorithm::Greedy,
+                    "{id:?}: large s on a dense graph resolved to {resolved:?}"
+                );
+            } else {
+                assert_eq!(resolved, Algorithm::TopDown, "{id:?}: large s must pick TD");
+            }
+        }
+        // k at least C(l, s): the search trees cannot prune, so full
+        // enumeration (greedy) is chosen.
+        let exhaustive = DccsParams::new(3, 1, l);
+        assert_eq!(
+            Algorithm::Auto.resolve(&ds.graph, &exhaustive),
+            Algorithm::Greedy,
+            "{id:?}: k >= candidates must pick GD"
+        );
+    }
+}
+
+#[test]
+fn auto_picks_bottom_up_for_small_support_on_sparse_analogues() {
+    // The Stack/English analogues have enough layers for a genuinely small
+    // s regime (s < l/2) with k below the candidate count.
+    for id in [DatasetId::Stack, DatasetId::English] {
+        let ds = generate(id, Scale::Tiny);
+        let l = ds.graph.num_layers();
+        if l < 6 {
+            continue;
+        }
+        let params = DccsParams::new(3, 2, 3);
+        let resolved = Algorithm::Auto.resolve(&ds.graph, &params);
+        assert!(
+            resolved == Algorithm::BottomUp || resolved == Algorithm::Greedy,
+            "{id:?}: small s resolved to {resolved:?}"
+        );
+    }
+}
+
+#[test]
+fn auto_query_result_equals_its_resolved_fixed_query() {
+    let ds = generate(DatasetId::German, Scale::Tiny);
+    let params = DccsParams::new(3, 2, 5);
+    let mut session = DccsSession::new(&ds.graph);
+    let auto = session.query(params).run().unwrap();
+    let resolved = auto.stats.algorithm.expect("auto records its choice");
+    assert_ne!(resolved, Algorithm::Auto);
+    let fixed = session.query(params).algorithm(resolved).run().unwrap();
+    assert_eq!(auto.cores, fixed.cores);
+    assert_eq!(auto.stats, fixed.stats);
+}
+
+#[test]
+fn session_reports_typed_errors_for_every_invalid_parameter_class() {
+    let ds = generate(DatasetId::Ppi, Scale::Tiny);
+    let l = ds.graph.num_layers();
+    let mut session = DccsSession::new(&ds.graph);
+    assert_eq!(session.query(DccsParams::new(2, 0, 1)).run().unwrap_err(), DccsError::SupportZero);
+    assert_eq!(
+        session.query(DccsParams::new(2, l + 1, 1)).run().unwrap_err(),
+        DccsError::SupportExceedsLayers { s: l + 1, num_layers: l }
+    );
+    assert_eq!(
+        session.query(DccsParams::new(2, 2, 0)).run().unwrap_err(),
+        DccsError::ResultSizeZero
+    );
+    // The messages are one-line and human-readable.
+    let msg = DccsError::SupportExceedsLayers { s: l + 1, num_layers: l }.to_string();
+    assert!(msg.contains("exceeds"), "unexpected message: {msg}");
+    assert!(!msg.contains('\n'));
+}
+
+#[test]
+fn batched_sweep_over_an_analogue_matches_one_shot_queries() {
+    let ds = generate(DatasetId::Wiki, Scale::Tiny);
+    let l = ds.graph.num_layers();
+    let specs: Vec<QuerySpec> =
+        (1..=l.min(4)).map(|s| QuerySpec::new(DccsParams::new(3, s, 5))).collect();
+    let mut session = DccsSession::new(&ds.graph);
+    let batch = session.run_batch(&specs).unwrap();
+    for (result, spec) in batch.iter().zip(&specs) {
+        let one_shot = DccsSession::new(&ds.graph).query(spec.params).run().unwrap();
+        assert_eq!(result.cores, one_shot.cores, "s={}", spec.params.s);
+        assert_eq!(result.stats, one_shot.stats, "s={}", spec.params.s);
+    }
+}
+
+#[test]
+fn session_sweep_reuses_state_without_changing_results() {
+    // The d-then-s grid of the paper's experiments through one session,
+    // checked against fresh sessions — the cross-crate complement of the
+    // property test in crates/core/tests/session_sweep.rs.
+    let ds = generate(DatasetId::Author, Scale::Tiny);
+    let l = ds.graph.num_layers();
+    let mut session = DccsSession::new(&ds.graph);
+    for d in [2u32, 3] {
+        for s in 1..=l.min(3) {
+            let params = DccsParams::new(d, s, 5);
+            let swept = session.query(params).run().unwrap();
+            let fresh = DccsSession::new(&ds.graph).query(params).run().unwrap();
+            assert_eq!(swept.cores, fresh.cores, "d={d} s={s}");
+            assert_eq!(swept.stats, fresh.stats, "d={d} s={s}");
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_is_reachable_through_the_session() {
+    let ds = generate(DatasetId::Ppi, Scale::Tiny);
+    let params = DccsParams::new(3, 4, 2);
+    let mut session = DccsSession::new(&ds.graph);
+    for algorithm in [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown, Algorithm::Exact]
+    {
+        let result = session.query(params).algorithm(algorithm).run().unwrap();
+        assert_eq!(result.stats.algorithm, Some(algorithm), "{}", algorithm.name());
+        for core in &result.cores {
+            assert!(coreness::is_d_dense_multilayer(
+                &ds.graph,
+                &core.layers,
+                &core.vertices,
+                params.d
+            ));
+        }
+    }
+}
