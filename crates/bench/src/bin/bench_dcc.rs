@@ -9,13 +9,16 @@
 //! `PeelWorkspace`, dense-vs-CSR chosen by the cost model) is compared
 //! against the frozen pre-refactor path (`dccs::naive_subset_cores`) on the
 //! Wiki and German analogues, then each algorithm is run end to end at 1 vs
-//! `--threads` executor workers; per-configuration timings, the chosen
-//! index path, and the geometric-mean speedup are printed and written as
-//! JSON.
+//! `--threads` executor workers (the `thread_scaling` group, plus the
+//! `subtree_scaling` group for BU/TD on deep search trees — skipped with a
+//! `skipped_single_core` marker on one-core hosts); per-configuration
+//! timings, the chosen index path, and the geometric-mean speedup are
+//! printed and written as JSON.
 
 use datasets::Scale;
 use dccs_bench::dcc_baseline::{
-    auto_selection_suite, baseline_suite, suite_to_json, thread_scaling_suite,
+    auto_selection_suite, baseline_suite, single_core, subtree_scaling_suite, suite_to_json,
+    thread_scaling_suite,
 };
 
 const USAGE: &str =
@@ -87,8 +90,16 @@ fn main() {
             c.index_path,
         );
     }
-    let scaling = thread_scaling_suite(scale, runs, threads);
-    for t in &scaling {
+    // On a single-core host a 1-vs-N comparison measures only scheduling
+    // overhead; record the groups as skipped instead of as ~0.9× noise.
+    let skip_scaling = single_core();
+    let (scaling, subtree) = if skip_scaling {
+        println!("[bench] single core detected: skipping the thread/subtree scaling groups");
+        (Vec::new(), Vec::new())
+    } else {
+        (thread_scaling_suite(scale, runs, threads), subtree_scaling_suite(scale, runs, threads))
+    };
+    for t in scaling.iter().chain(&subtree) {
         println!(
             "{:>8} {:<8} d={} s={}  1-thread {:>10.6}s  {}-thread {:>10.6}s  speedup {:>5.2}x",
             t.dataset,
@@ -110,7 +121,7 @@ fn main() {
             a.efficiency(),
         );
     }
-    let json = suite_to_json(scale, runs, &comparisons, &scaling, &auto);
+    let json = suite_to_json(scale, runs, &comparisons, &scaling, &subtree, skip_scaling, &auto);
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {
         eprintln!("failed to write {out_path}: {err}");

@@ -13,10 +13,19 @@
 //! * **thread scaling** — each DCCS algorithm end to end at 1 executor
 //!   thread vs `N`, asserting the covers match (the executor's determinism
 //!   contract) and recording both times.
+//! * **subtree scaling** — BU/TD on deeper search trees (`s = 3` and the
+//!   near-full-layer-set TD regime), the workloads the subtree-level task
+//!   graph exists for: sibling subtrees evaluate concurrently instead of
+//!   serializing behind one node's fork-join.
 //! * **auto selection** — [`dccs::Algorithm::Auto`] against every fixed
 //!   algorithm at the same `(d, s, k)`, recording which algorithm the
 //!   session picked and how close its time lands to the best fixed choice,
 //!   so the selection policy's quality is tracked in the perf trajectory.
+//!
+//! On a single-core host (`available_parallelism() == 1`) the two scaling
+//! groups are **skipped** and recorded with `"skipped_single_core": true` —
+//! an N-worker crew on one core measures pure scheduling overhead, and the
+//! ~0.9× "speedups" it produces would be read as regressions.
 
 use crate::runner::{run_algorithm, Algorithm};
 use coreness::PeelWorkspace;
@@ -336,6 +345,13 @@ pub fn baseline_suite(scale: Scale, runs: usize) -> Vec<Comparison> {
     out
 }
 
+/// Whether this host has a single hardware thread — the case where
+/// 1-vs-N-worker wall-clock comparisons measure only scheduling overhead
+/// and must be skipped rather than recorded as bogus sub-1× "speedups".
+pub fn single_core() -> bool {
+    std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(false)
+}
+
 /// The 1-vs-N-thread suite: every algorithm on the Wiki and German
 /// analogues at a representative `(d, s)` each.
 pub fn thread_scaling_suite(scale: Scale, runs: usize, threads: usize) -> Vec<ThreadScaling> {
@@ -345,6 +361,27 @@ pub fn thread_scaling_suite(scale: Scale, runs: usize, threads: usize) -> Vec<Th
         let s = 2.min(ds.graph.num_layers());
         for algorithm in [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown] {
             out.push(compare_thread_scaling(&ds, algorithm, 3, s, threads, runs));
+        }
+    }
+    out
+}
+
+/// The subtree-level task-graph suite: BU and TD on the configurations with
+/// real search-tree width — `s = 3` (deep bottom-up fan-out) and, for TD,
+/// additionally `s = l − 2` (the near-full-layer-set regime whose tree the
+/// top-down search descends). These are the workloads where node-at-a-time
+/// fork-join serialized sibling subtrees and the task graph does not.
+pub fn subtree_scaling_suite(scale: Scale, runs: usize, threads: usize) -> Vec<ThreadScaling> {
+    let mut out = Vec::new();
+    for id in [DatasetId::Wiki, DatasetId::German] {
+        let ds = generate(id, scale);
+        let l = ds.graph.num_layers();
+        let s = 3.min(l);
+        for algorithm in [Algorithm::BottomUp, Algorithm::TopDown] {
+            out.push(compare_thread_scaling(&ds, algorithm, 2, s, threads, runs));
+        }
+        if l >= 4 {
+            out.push(compare_thread_scaling(&ds, Algorithm::TopDown, 2, l - 2, threads, runs));
         }
     }
     out
@@ -366,12 +403,25 @@ pub fn auto_selection_suite(scale: Scale, runs: usize) -> Vec<AutoSelection> {
     out
 }
 
-/// Renders the three suites as the `BENCH_dcc.json` document.
+/// Renders one scaling group: the single-core skip marker plus the
+/// measurements (empty when skipped).
+fn scaling_group_to_json(measurements: &[ThreadScaling], skipped_single_core: bool) -> Value {
+    Value::object(vec![
+        ("skipped_single_core", Value::from(skipped_single_core)),
+        ("measurements", Value::Array(measurements.iter().map(ThreadScaling::to_json).collect())),
+    ])
+}
+
+/// Renders the suites as the `BENCH_dcc.json` document.
+/// `scaling_skipped_single_core` marks the two scaling groups as skipped (their
+/// measurement lists are then expected to be empty — see [`single_core`]).
 pub fn suite_to_json(
     scale: Scale,
     runs: usize,
     comparisons: &[Comparison],
     scaling: &[ThreadScaling],
+    subtree: &[ThreadScaling],
+    scaling_skipped_single_core: bool,
     auto: &[AutoSelection],
 ) -> Value {
     let geomean = if comparisons.is_empty() {
@@ -393,7 +443,8 @@ pub fn suite_to_json(
         ("geomean_speedup", Value::from(geomean)),
         ("auto_selection_efficiency_geomean", Value::from(auto_geomean)),
         ("comparisons", Value::Array(comparisons.iter().map(Comparison::to_json).collect())),
-        ("thread_scaling", Value::Array(scaling.iter().map(ThreadScaling::to_json).collect())),
+        ("thread_scaling", scaling_group_to_json(scaling, scaling_skipped_single_core)),
+        ("subtree_scaling", scaling_group_to_json(subtree, scaling_skipped_single_core)),
         ("auto_selection", Value::Array(auto.iter().map(AutoSelection::to_json).collect())),
     ])
 }
@@ -408,13 +459,28 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
         assert!(text.contains("\"index_path\""));
         assert!(text.contains("\"thread_scaling\""));
+        assert!(text.contains("\"subtree_scaling\""));
         assert!(text.contains("\"auto_selection\""));
+    }
+
+    /// On a single-core host the scaling groups carry the skip marker (and
+    /// no measurements); on a multi-core host the marker is false. Either
+    /// way both groups are present in the document.
+    #[test]
+    fn scaling_groups_record_the_single_core_skip() {
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[]);
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"skipped_single_core\": true"));
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[]);
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"skipped_single_core\": false"));
+        assert!(text.contains("\"subtree_scaling\""));
     }
 
     #[test]

@@ -20,6 +20,19 @@ use mlgraph::MultiLayerGraph;
 /// bounds. Calibrated on the tiny analogues (`l ≤ 10`, so `C(l, 3) ≤ 120`).
 const DENSE_GREEDY_CANDIDATE_CAP: u128 = 64;
 
+/// Candidate-count ceiling, as a multiple of the layer count, under which a
+/// **large-support** query (`s ≥ l/2`) runs the greedy lattice walk instead
+/// of `TD-DCCS`. Near the top of the lattice (`s` close to `l`) there are
+/// only `C(l, l−s)` candidates — `l` of them at `s = l − 1` — and the
+/// lattice enumerates them with Lemma-1 prefix-seeded peels, while the
+/// top-down tree still pays `RefineU` over near-full layer sets at every
+/// node. The `bench_dcc` `auto_selection` group measured the old TD pick at
+/// ~0.45 efficiency on the tiny Wiki analogue at `s = l − 1`; capping at
+/// `2·l` candidates flips exactly those degenerate-tree cases to GD while
+/// leaving mid-range `s` (e.g. `C(6, 4) = 15 > 12`) with the paper's TD
+/// recommendation.
+const LARGE_S_GREEDY_CANDIDATE_FACTOR: u128 = 2;
+
 /// Which DCCS algorithm a query runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
@@ -77,10 +90,18 @@ impl Algorithm {
     ///    [`plan_index`] cost model picks the word-level dense path on the
     ///    full vertex set (a small, dense graph) and `C(l, s)` is tiny,
     ///    lattice enumeration beats tree bookkeeping.
-    /// 3. **`s ≥ l/2`** → [`Algorithm::TopDown`], the paper's Section V
+    /// 3. **Large `s`, few candidates** → [`Algorithm::Greedy`]. At
+    ///    `s ≥ l/2` with `C(l, s) ≤ 2·l` (e.g. `s = l − 1`, where only `l`
+    ///    candidates exist) the search trees degenerate — every pruning
+    ///    bound is paid but almost nothing can be pruned — and the lattice
+    ///    enumerates the handful of subsets directly, regardless of the
+    ///    index representation. This closes the policy gap recorded by the
+    ///    `auto_selection` bench group (TD at ~0.45 efficiency on the tiny
+    ///    Wiki analogue at `s = l − 1`).
+    /// 4. **`s ≥ l/2`** → [`Algorithm::TopDown`], the paper's Section V
     ///    recommendation: near the full layer set, the top-down tree reaches
     ///    level `s` in few steps and `RefineU` keeps potential sets small.
-    /// 4. Otherwise → [`Algorithm::BottomUp`], the paper's default for small
+    /// 5. Otherwise → [`Algorithm::BottomUp`], the paper's default for small
     ///    support thresholds.
     pub fn resolve(self, g: &MultiLayerGraph, params: &DccsParams) -> Algorithm {
         if self != Algorithm::Auto {
@@ -98,6 +119,9 @@ impl Algorithm {
             }
         }
         if 2 * params.s >= l {
+            if candidates <= LARGE_S_GREEDY_CANDIDATE_FACTOR * l as u128 {
+                return Algorithm::Greedy;
+            }
             Algorithm::TopDown
         } else {
             Algorithm::BottomUp
@@ -176,8 +200,21 @@ mod tests {
     #[test]
     fn auto_picks_top_down_for_large_support() {
         let g = wide_sparse(6);
-        // s = 4 ≥ l/2 = 3, k small.
+        // s = 4 ≥ l/2 = 3, k small, C(6, 4) = 15 > 2·6 candidates — enough
+        // tree for TD's pruning to pay off.
         let params = DccsParams::new(2, 4, 2);
+        assert_eq!(Algorithm::Auto.resolve(&g, &params), Algorithm::TopDown);
+    }
+
+    #[test]
+    fn auto_picks_greedy_for_large_support_with_few_candidates() {
+        // s = l − 1 leaves only l candidates: the top-down tree degenerates
+        // and lattice enumeration must win even on a CSR-bound graph.
+        let g = wide_sparse(8);
+        let params = DccsParams::new(2, 7, 2);
+        assert_eq!(Algorithm::Auto.resolve(&g, &params), Algorithm::Greedy);
+        // C(8, 6) = 28 > 2·8: back in TD territory.
+        let params = DccsParams::new(2, 6, 2);
         assert_eq!(Algorithm::Auto.resolve(&g, &params), Algorithm::TopDown);
     }
 

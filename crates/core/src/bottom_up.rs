@@ -18,22 +18,27 @@
 //!
 //! # Execution model
 //!
-//! Each node's surviving children are peeled as one fork-join batch on the
-//! shared executor ([`crate::engine`]) and committed to the result set
-//! sequentially in child order, so the search — including every pruning
-//! decision and work counter — is identical at any thread count. To make
-//! that possible the Lemma-3 cutoff is evaluated against the result-set
-//! state *at node entry* (the upper bounds `|C_L ∩ C^d(G_j)|` are known
-//! before any peel): at nodes whose children are internal this matches the
-//! in-loop bound exactly (no update can occur mid-node), and at leaf nodes
-//! it is at most one node's worth of extra peels — every extra candidate is
-//! still gated by Eq. (1) inside `Update`, so the 1/4 guarantee is
-//! untouched.
+//! The search tree runs as a deterministic subtree-level task graph on the
+//! shared executor ([`crate::engine::drive_task_graph`]): every node is one
+//! task that peels its surviving children on whichever worker grabs it,
+//! and the results are committed on the driver in the tree's pre-order.
+//! The Lemma-3 child selection inside a task is evaluated against a
+//! [`crate::coverage::PruneBounds`] snapshot captured when the task was
+//! spawned (its parent's commit — a deterministic pre-order moment), so
+//! evaluation never reads scheduling-dependent state; the Lemma-2 subtree
+//! check, the Lemma-4 exclusions, and every `Update` run at commit time
+//! against the live result set. The snapshot bound can be staler than the
+//! sequential in-loop bound — a node spawned at its parent's commit misses
+//! every update accepted in its earlier siblings' subtrees, so its
+//! Lemma-3 cut may let extra children through — but each extra candidate
+//! is still gated by Eq. (1) inside `Update`, so the search stays
+//! bit-identical at any thread count and the 1/4 guarantee is untouched,
+//! while sibling subtrees peel concurrently.
 
 use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
-use crate::coverage::TopKDiversified;
-use crate::engine::{with_pool, PoolRef, SearchContext};
+use crate::coverage::{PruneBounds, TopKDiversified};
+use crate::engine::{drive_task_graph, with_pool, SearchContext};
 use crate::preprocess::init_topk_in;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use coreness::PeelWorkspace;
@@ -86,139 +91,143 @@ pub fn bottom_up_dccs_in(
     let order = pre.bottom_up_layer_order(opts);
     let cores_by_pos: Vec<VertexSet> = order.iter().map(|&i| pre.layer_cores[i].clone()).collect();
     let threads = ctx.threads();
+    let l = g.num_layers();
+    let d = params.d;
+    let s = params.s;
+    let order_pruning = opts.order_pruning;
 
-    with_pool(threads, |pool| {
-        let mut bu = BuContext {
-            g,
-            params,
-            opts,
-            order: &order,
-            cores_by_pos: &cores_by_pos,
-            ws: &mut ctx.ws,
-            pool,
-            topk: &mut topk,
-            stats: &mut stats,
-        };
-        let excluded = vec![false; g.num_layers()];
-        bu.bu_gen(&[], &pre.active, &excluded);
-    });
-
-    stats.updates_accepted = topk.accepted_updates();
-    DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())
-}
-
-struct BuContext<'a, 'env> {
-    g: &'env MultiLayerGraph,
-    params: &'a DccsParams,
-    opts: &'a DccsOptions,
-    /// Position → original layer index (sorted by decreasing d-core size).
-    order: &'a [Layer],
-    /// Position → per-layer d-core (restricted to the active vertex set).
-    cores_by_pos: &'a [VertexSet],
-    /// Driver-thread peeling scratch (each worker owns its own).
-    ws: &'a mut PeelWorkspace,
-    pool: &'a PoolRef<'a, 'env>,
-    topk: &'a mut TopKDiversified,
-    stats: &'a mut SearchStats,
-}
-
-impl<'env> BuContext<'_, 'env> {
-    /// Maps tree positions to original layer indices.
-    fn layers_of(&self, positions: &[usize]) -> Vec<Layer> {
-        positions.iter().map(|&p| self.order[p]).collect()
-    }
-
-    /// The recursive `BU-Gen` procedure (Fig. 3), executor-driven: child
-    /// selection (Lemma 3), one fork-join peel batch, sequential commit
-    /// (Rule 1/2 updates, Lemma 2), then Lemma-4 exclusion and recursion.
-    fn bu_gen(&mut self, positions: &[usize], c_l: &VertexSet, excluded: &[bool]) {
-        let l = self.g.num_layers();
+    // Evaluating one `BU-Gen` node (Fig. 3, lines 2–22 minus the commit):
+    // Lemma-3 child selection against the task's spawn-time bound snapshot,
+    // then one Lemma-1-seeded peel per surviving child. Runs on any worker;
+    // reads nothing but the task payload and the immutable search inputs.
+    let order_ref = &order;
+    let cores_ref = &cores_by_pos;
+    let eval = move |task: BuTask, ws: &mut PeelWorkspace| -> BuNodeEval {
+        let BuTask { positions, core: c_l, excluded, bounds } = task;
         let next_start = positions.last().map(|&p| p + 1).unwrap_or(0);
         let lp: Vec<usize> = (next_start..l).filter(|&j| !excluded[j]).collect();
-        let is_leaf = positions.len() + 1 == self.params.s;
-
-        // Children to evaluate, in deterministic order. While |R| < k no
-        // pruning is possible (lines 2–9); once full, order by
-        // |C_L ∩ C^d(G_j)| and cut at the Lemma-3 bound (lines 10–22).
-        let eval: Vec<usize> = if !self.topk.is_full() {
+        // While |R| < k no pruning is possible; once full, order children by
+        // |C_L ∩ C^d(G_j)| and cut at the Lemma-3 bound.
+        let mut order_pruned = 0usize;
+        let eval_positions: Vec<usize> = if !bounds.is_full() {
             lp
         } else {
             let mut ordered: Vec<(usize, usize)> =
-                lp.iter().map(|&j| (j, c_l.intersection_len(&self.cores_by_pos[j]))).collect();
+                lp.iter().map(|&j| (j, c_l.intersection_len(&cores_ref[j]))).collect();
             ordered.sort_by_key(|&(j, size)| (std::cmp::Reverse(size), j));
             let mut cut = ordered.len();
-            if self.opts.order_pruning {
-                if let Some(rank) =
-                    ordered.iter().position(|&(_, ub)| self.topk.fails_size_bound(ub))
+            if order_pruning {
+                if let Some(rank) = ordered.iter().position(|&(_, ub)| bounds.fails_size_bound(ub))
                 {
                     // Lemma 3: this child and all following ones are pruned.
-                    self.stats.subtrees_pruned += ordered.len() - rank;
+                    order_pruned = ordered.len() - rank;
                     cut = rank;
                 }
             }
             ordered.truncate(cut);
             ordered.into_iter().map(|(j, _)| j).collect()
         };
+        let mut children = Vec::with_capacity(eval_positions.len());
+        for &j in &eval_positions {
+            let mut candidate = c_l.intersection(&cores_ref[j]);
+            if !candidate.is_empty() {
+                let mut layers: Vec<Layer> = positions.iter().map(|&p| order_ref[p]).collect();
+                layers.push(order_ref[j]);
+                ws.peel_in_place(g, &layers, d, &mut candidate);
+            }
+            children.push((j, candidate));
+        }
+        BuNodeEval { positions, excluded, children, order_pruned }
+    };
 
-        // One peel job per evaluated child (Lemma 1: seeded from C_L). The
-        // batch runs across the worker crew; outputs come back in child
-        // order, so the commit below is scheduling-independent.
-        let g = self.g;
-        let d = self.params.d;
-        let jobs: Vec<_> = eval
-            .iter()
-            .map(|&j| {
-                let mut candidate = c_l.intersection(&self.cores_by_pos[j]);
-                let mut layers = self.layers_of(positions);
-                layers.push(self.order[j]);
-                move |ws: &mut PeelWorkspace| {
-                    if !candidate.is_empty() {
-                        ws.peel_in_place(g, &layers, d, &mut candidate);
+    with_pool(threads, |pool| {
+        let root = BuTask {
+            positions: Vec::new(),
+            core: pre.active.clone(),
+            excluded: vec![false; l],
+            bounds: topk.bounds(),
+        };
+        let topk = &mut topk;
+        let stats = &mut stats;
+        // Committing one node, in pre-order on the driver: leaves update R
+        // (Rule 1/2), internal children pass Lemma 2 against the live result
+        // set, Lemma-4 exclusions are derived from the kept set, and the
+        // survivors are spawned as new tasks under the current bounds.
+        drive_task_graph(pool, &mut ctx.ws, vec![root], &eval, |ev: BuNodeEval, _ws, spawn| {
+            stats.dcc_calls += ev.children.len();
+            stats.subtrees_pruned += ev.order_pruned;
+            let is_leaf = ev.positions.len() + 1 == s;
+            let mut kept: Vec<(usize, VertexSet)> = Vec::new();
+            let mut visited: Vec<usize> = Vec::new();
+            for (j, core) in ev.children {
+                if is_leaf {
+                    stats.candidates_generated += 1;
+                    let mut layers: Vec<Layer> = ev.positions.iter().map(|&p| order[p]).collect();
+                    layers.push(order[j]);
+                    topk.try_update(CoherentCore::new(layers, core));
+                } else if topk.satisfies_eq1(&core) {
+                    visited.push(j);
+                    kept.push((j, core));
+                } else {
+                    // Lemma 2: the whole subtree below this child is pruned.
+                    visited.push(j);
+                    stats.subtrees_pruned += 1;
+                }
+            }
+            if ev.positions.len() + 1 >= s {
+                return;
+            }
+            // Layers that were visited but not kept are excluded from every
+            // descendant (Lemma 4).
+            let mut child_excluded = ev.excluded;
+            if opts.layer_pruning {
+                for &j in &visited {
+                    if !kept.iter().any(|&(kj, _)| kj == j) {
+                        child_excluded[j] = true;
                     }
-                    candidate
-                }
-            })
-            .collect();
-        self.stats.dcc_calls += jobs.len();
-        let cores = self.pool.map(self.ws, jobs);
-
-        // Sequential commit in child order: leaves update R, internal
-        // children surviving Eq. (1) (Lemma 2) are kept for recursion.
-        let mut lr: Vec<(usize, VertexSet)> = Vec::new();
-        for (&j, core) in eval.iter().zip(cores) {
-            if is_leaf {
-                let mut child_positions = positions.to_vec();
-                child_positions.push(j);
-                self.stats.candidates_generated += 1;
-                self.topk.try_update(CoherentCore::new(self.layers_of(&child_positions), core));
-            } else if self.topk.satisfies_eq1(&core) {
-                lr.push((j, core));
-            } else {
-                // Lemma 2: the whole subtree below this child is pruned.
-                self.stats.subtrees_pruned += 1;
-            }
-        }
-
-        if positions.len() + 1 >= self.params.s {
-            return;
-        }
-        // Lines 23–26: recurse into the surviving children. Layers that were
-        // visited but not kept are excluded from the descendants (Lemma 4).
-        let mut child_excluded = excluded.to_vec();
-        if self.opts.layer_pruning {
-            let kept: Vec<usize> = lr.iter().map(|&(j, _)| j).collect();
-            for &j in &eval {
-                if !kept.contains(&j) {
-                    child_excluded[j] = true;
                 }
             }
-        }
-        for (j, child_core) in lr {
-            let mut child_positions = positions.to_vec();
-            child_positions.push(j);
-            self.bu_gen(&child_positions, &child_core, &child_excluded);
-        }
-    }
+            for (j, core) in kept {
+                let mut positions = ev.positions.clone();
+                positions.push(j);
+                spawn.push(BuTask {
+                    positions,
+                    core,
+                    excluded: child_excluded.clone(),
+                    bounds: topk.bounds(),
+                });
+            }
+        });
+    });
+
+    stats.updates_accepted = topk.accepted_updates();
+    DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())
+}
+
+/// One `BU-Gen` search-tree node, scheduled as a task on the executor's
+/// task graph. Everything evaluation needs travels in the payload — most
+/// importantly the [`PruneBounds`] snapshot captured when the task was
+/// spawned, which keeps the Lemma-3 selection scheduling-independent.
+struct BuTask {
+    /// Tree positions of the node's layer subset `L` (ascending).
+    positions: Vec<usize>,
+    /// The node's d-CC `C_L`, peeled by the parent's task.
+    core: VertexSet,
+    /// Lemma-4 layer exclusions inherited from the ancestors.
+    excluded: Vec<bool>,
+    /// Result-set bounds at spawn time (the parent's commit).
+    bounds: PruneBounds,
+}
+
+/// The outcome of evaluating one [`BuTask`], committed on the driver in
+/// pre-order.
+struct BuNodeEval {
+    positions: Vec<usize>,
+    excluded: Vec<bool>,
+    /// Evaluated children in Lemma-3 order: `(position, peeled core)`.
+    children: Vec<(usize, VertexSet)>,
+    /// Children cut by the Lemma-3 bound (never peeled).
+    order_pruned: usize,
 }
 
 #[cfg(test)]

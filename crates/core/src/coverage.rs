@@ -20,6 +20,44 @@ use mlgraph::{Vertex, VertexSet};
 
 const WORD_BITS: usize = 64;
 
+/// A frozen snapshot of the pruning-relevant state of a [`TopKDiversified`]
+/// set, taken when a search-tree task is spawned onto the executor's task
+/// graph (see [`crate::engine::drive_task_graph`]).
+///
+/// A task evaluated on a worker must not read the live result set — its
+/// contents depend on which other subtrees have committed, which would make
+/// the search scheduling-dependent. Instead the spawning commit captures
+/// the three scalars the order-based bound (Lemmas 3 and 6) needs; because
+/// tasks are spawned at deterministic pre-order moments, the snapshot — and
+/// therefore every decision derived from it — is identical at any thread
+/// count. Candidate acceptance itself always goes through the live set's
+/// [`TopKDiversified::try_update`] on the driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PruneBounds {
+    k: usize,
+    full: bool,
+    cover_size: usize,
+    delta_cstar: usize,
+}
+
+impl PruneBounds {
+    /// Whether all `k` result slots were occupied at snapshot time (no
+    /// order-based pruning is possible before that).
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Snapshot of [`TopKDiversified::fails_size_bound`]: `true` when a
+    /// candidate (or upper bound) of `candidate_size` vertices was already
+    /// too small to satisfy Eq. (1) when the task was spawned.
+    pub fn fails_size_bound(&self, candidate_size: usize) -> bool {
+        if !self.full {
+            return false;
+        }
+        candidate_size * self.k < self.cover_size + self.k * self.delta_cstar
+    }
+}
+
 /// The temporary top-k diversified result set `R` with incremental coverage
 /// bookkeeping.
 #[derive(Clone, Debug)]
@@ -220,12 +258,21 @@ impl TopKDiversified {
     /// `candidate_size < |Cov(R)|/k + |Δ(R, C*(R))|`.
     ///
     /// Always `false` while `|R| < k` (the pruning rules only apply to a full
-    /// result set).
+    /// result set). Delegates to a fresh [`PruneBounds`] snapshot so the
+    /// live bound and the spawn-time snapshot share one formula.
     pub fn fails_size_bound(&self, candidate_size: usize) -> bool {
-        if !self.is_full() {
-            return false;
+        self.bounds().fails_size_bound(candidate_size)
+    }
+
+    /// Captures the scalars the order-based pruning bound depends on, for
+    /// handing to a search-tree task at spawn time (see [`PruneBounds`]).
+    pub fn bounds(&self) -> PruneBounds {
+        PruneBounds {
+            k: self.k,
+            full: self.is_full(),
+            cover_size: self.cover_size,
+            delta_cstar: self.delta_cstar(),
         }
-        candidate_size * self.k < self.cover_size + self.k * self.delta_cstar()
     }
 
     /// Potential-set pruning bound (Lemma 7, Eq. (2)): returns `true` when
@@ -408,6 +455,27 @@ mod tests {
         assert!(r.fails_size_bound(4));
         assert!(!r.fails_size_bound(5));
         assert!(!r.fails_size_bound(10));
+    }
+
+    /// A snapshot must answer the size bound exactly as the live set did at
+    /// capture time, and stay frozen while the live set moves on.
+    #[test]
+    fn bounds_snapshot_matches_live_set_at_capture_time() {
+        let mut r = TopKDiversified::new(32, 2);
+        let empty_snapshot = r.bounds();
+        assert!(!empty_snapshot.is_full());
+        assert!(!empty_snapshot.fails_size_bound(0));
+        r.try_update(core(vec![0], &[0, 1, 2, 3]));
+        r.try_update(core(vec![1], &[4, 5]));
+        let snapshot = r.bounds();
+        assert!(snapshot.is_full());
+        for size in 0..12 {
+            assert_eq!(snapshot.fails_size_bound(size), r.fails_size_bound(size), "size={size}");
+        }
+        // The live set accepts a better core; the snapshot must not move.
+        assert!(r.try_update(core(vec![2], &[3, 4, 5, 6, 7, 8])));
+        assert!(snapshot.fails_size_bound(4));
+        assert_ne!(snapshot.fails_size_bound(5), r.fails_size_bound(5));
     }
 
     #[test]

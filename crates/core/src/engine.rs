@@ -17,23 +17,36 @@
 //!   keyed on the candidate universe, so a sweep over `s` (whose universe
 //!   is unchanged) re-indexes the graph once.
 //! * **Worker scheduling** — [`with_pool`] spins up a scoped worker crew
-//!   with one [`PeelWorkspace`] per worker and a shared job queue.
-//!   Search-tree children are submitted as batches ([`PoolRef::map`]); the
-//!   driver participates in draining the queue, and results are returned in
-//!   submission order, so every algorithm's merge order — and therefore its
-//!   output and its work counters — is identical at any thread count.
+//!   with one [`PeelWorkspace`] per worker and a shared job queue. Two
+//!   scheduling shapes run on the same crew:
+//!
+//!   1. *Fork-join batches* ([`PoolRef::map`]) — a fixed job list whose
+//!      outputs come back in submission order. The lattice's depth-1
+//!      branches, the per-layer preprocessing peels, and `run_batch` query
+//!      fan-out all use this shape.
+//!   2. *Subtree task graphs* ([`drive_task_graph`]) — BU/TD search-tree
+//!      nodes become individual tasks on the shared queue. Each task is
+//!      evaluated on whichever worker grabs it first, carrying a snapshot
+//!      of the pruning bounds it was spawned under, and its result is
+//!      *committed* on the driver strictly in the tree's pre-order. A
+//!      commit may spawn the node's surviving children as new tasks, which
+//!      take the next pre-order commit slots — so sibling subtrees peel
+//!      concurrently while the result set, the statistics, and every
+//!      pruning decision evolve in one deterministic order.
 //!
 //! Determinism contract: the executor never lets scheduling influence an
-//! algorithm's decisions. Batches are *fork-join* — the set of jobs in a
-//! batch is fixed before any job runs, outputs are committed sequentially in
-//! submission order, and all pruning bounds are evaluated against
-//! deterministic state. The thread-equivalence property tests
+//! algorithm's decisions. Fork-join batches fix their job set before any
+//! job runs and commit outputs sequentially in submission order; task
+//! graphs evaluate each task as a pure function of its payload (including
+//! the spawn-time bound snapshot) and commit results in pre-order, with all
+//! live pruning bounds read only at commit time on the driver. The
+//! thread-equivalence property tests
 //! (`crates/core/tests/engine_threads.rs`) enforce that BU, TD, and the
-//! lattice produce bit-identical results and statistics at 1, 2, and 4
+//! lattice produce bit-identical results and statistics at 1, 2, 4, and 8
 //! threads.
 
 use crate::config::{DccsOptions, DccsParams};
-use crate::preprocess::{initial_layer_cores, preprocess_from, Preprocessed};
+use crate::preprocess::{initial_layer_cores_threaded, preprocess_from_threaded, Preprocessed};
 use coreness::PeelWorkspace;
 use mlgraph::{DenseSubgraph, MultiLayerGraph, VertexSet};
 use std::collections::{HashMap, VecDeque};
@@ -195,9 +208,12 @@ impl SearchContext {
     /// d-core memo: the initial full-universe d-cores (the only step that
     /// depends on `d` alone) are computed once per distinct `d` and reused
     /// across every later query on the same graph, so an `s` or `k` sweep at
-    /// fixed `d` never re-peels the layers. The result is bit-identical to
-    /// [`crate::preprocess::preprocess`] — the memo only skips recomputing a
-    /// deterministic intermediate.
+    /// fixed `d` never re-peels the layers. With more than one thread both
+    /// the memo fill and every round of the vertex-deletion fixpoint run
+    /// the layers as fork-join batches over the executor crew. The result
+    /// is bit-identical to [`crate::preprocess::preprocess`] — the memo and
+    /// the batches only skip or parallelize recomputing deterministic
+    /// intermediates.
     pub fn preprocess(
         &mut self,
         g: &MultiLayerGraph,
@@ -210,11 +226,11 @@ impl SearchContext {
             self.memo_graph_key = Some(key);
         }
         if !self.layer_core_memo.contains_key(&params.d) {
-            let cores = initial_layer_cores(g, params.d, &mut self.ws);
+            let cores = initial_layer_cores_threaded(g, params.d, &mut self.ws, self.threads);
             self.layer_core_memo.insert(params.d, cores);
         }
         let initial = self.layer_core_memo[&params.d].clone();
-        preprocess_from(g, params, opts, &mut self.ws, initial)
+        preprocess_from_threaded(g, params, opts, &mut self.ws, initial, self.threads)
     }
 
     /// Runs the cost model for `universe` and, when the dense path wins,
@@ -307,9 +323,13 @@ fn lock_state<'a, 'env>(shared: &'a PoolShared<'env>) -> MutexGuard<'a, PoolStat
     shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Decrements the batch counter even if the job panicked, so the driver is
-/// woken and the panic can propagate through the scope join instead of
-/// deadlocking the batch.
+/// Decrements the in-flight job counter even if the job panicked, so a
+/// driver parked on `done_cv` is woken and the panic can propagate through
+/// the scope join instead of deadlocking the batch. Every popped job —
+/// fork-join batch job or task-graph task — is executed under this guard;
+/// `outstanding` is incremented at enqueue time by both [`PoolRef::map`]
+/// and [`PoolRef::submit`], so the counter uniformly means "enqueued but
+/// not finished".
 struct JobGuard<'a, 'env>(&'a PoolShared<'env>);
 
 impl Drop for JobGuard<'_, '_> {
@@ -412,6 +432,185 @@ impl<'env> PoolRef<'_, 'env> {
         assert_eq!(results.len(), n, "a batch job died without producing its result");
         results.into_iter().map(|(_, t)| t).collect()
     }
+
+    /// Enqueues one task for any worker (or the waiting driver) to execute,
+    /// returning a handle its result is later collected through. Unlike
+    /// [`PoolRef::map`] this is not a barrier: tasks from many search-tree
+    /// nodes coexist in the queue, which is what lets sibling subtrees
+    /// evaluate concurrently.
+    pub fn submit<R, F>(&self, job: F) -> TaskHandle<R>
+    where
+        R: Send + 'env,
+        F: FnOnce(&mut PeelWorkspace) -> R + Send + 'env,
+    {
+        let slot =
+            Arc::new(TaskSlot { state: Mutex::new(SlotState::Pending), filled: Condvar::new() });
+        let task_slot = Arc::clone(&slot);
+        {
+            let mut st = lock_state(self.shared);
+            st.outstanding += 1;
+            st.queue.push_back(Box::new(move |ws: &mut PeelWorkspace| {
+                let mut guard = SlotGuard { slot: &task_slot, armed: true };
+                let out = job(ws);
+                guard.armed = false;
+                *task_slot.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    SlotState::Done(out);
+                task_slot.filled.notify_all();
+            }));
+        }
+        self.shared.work_cv.notify_one();
+        TaskHandle(slot)
+    }
+
+    /// Blocks until the given task's result is available and returns it.
+    /// While waiting, the driver helps drain the shared queue on
+    /// `driver_ws`, so a sequential context (no workers) executes every
+    /// pending task itself and the task graph never stalls.
+    pub fn wait_task<R: Send + 'env>(
+        &self,
+        driver_ws: &mut PeelWorkspace,
+        handle: TaskHandle<R>,
+    ) -> R {
+        loop {
+            if let Some(out) = handle.try_take() {
+                return out;
+            }
+            let stolen = lock_state(self.shared).queue.pop_front();
+            if let Some(job) = stolen {
+                let guard = JobGuard(self.shared);
+                job(driver_ws);
+                drop(guard);
+                continue;
+            }
+            if self.workers == 0 {
+                // No workers and an empty queue: the awaited job can only
+                // have run on the driver already, so the slot must be
+                // filled — loop back and take it.
+                continue;
+            }
+            // The task is running on a worker; park until its slot fills.
+            let mut st = handle.0.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            while matches!(*st, SlotState::Pending) {
+                st = handle.0.filled.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+/// Runs a deterministic subtree-level task graph to completion.
+///
+/// Every task is one search-tree node. `eval` runs on whichever worker (or
+/// the helping driver) grabs the task first and must be a pure function of
+/// the task payload — any pruning bound it consults has to travel *inside*
+/// the payload as a spawn-time snapshot (see
+/// [`crate::coverage::PruneBounds`]). `commit` runs on the driver only,
+/// strictly in the tree's **pre-order**: it may update live search state
+/// (the top-k result set, the statistics) and pushes the node's surviving
+/// children into its `Vec<T>` argument; those children take the commit
+/// slots immediately after their parent, before the parent's later
+/// siblings, and are snapshot under the bounds at that moment.
+///
+/// The combination — scheduling-independent evaluation plus pre-order
+/// commits — makes the search's results and work counters bit-identical at
+/// every thread count, while tasks from different subtrees peel
+/// concurrently. With no workers the graph degenerates to a plain
+/// depth-first traversal with zero queue overhead.
+pub fn drive_task_graph<'env, T, R, E, C>(
+    pool: &PoolRef<'_, 'env>,
+    driver_ws: &mut PeelWorkspace,
+    roots: Vec<T>,
+    eval: &'env E,
+    mut commit: C,
+) where
+    T: Send + 'env,
+    R: Send + 'env,
+    E: Fn(T, &mut PeelWorkspace) -> R + Sync,
+    C: FnMut(R, &mut PeelWorkspace, &mut Vec<T>),
+{
+    let mut children: Vec<T> = Vec::new();
+    if pool.workers() == 0 {
+        // Sequential fast path: evaluate-and-commit is exactly a pre-order
+        // depth-first walk; no slots, no boxing.
+        let mut pending: VecDeque<T> = roots.into_iter().collect();
+        while let Some(task) = pending.pop_front() {
+            let result = eval(task, driver_ws);
+            commit(result, driver_ws, &mut children);
+            for child in children.drain(..).rev() {
+                pending.push_front(child);
+            }
+        }
+        return;
+    }
+    let mut pending: VecDeque<TaskHandle<R>> = VecDeque::new();
+    for task in roots {
+        pending.push_back(pool.submit(move |ws| eval(task, ws)));
+    }
+    while let Some(front) = pending.pop_front() {
+        let result = pool.wait_task(driver_ws, front);
+        commit(result, driver_ws, &mut children);
+        for child in children.drain(..).rev() {
+            pending.push_front(pool.submit(move |ws| eval(child, ws)));
+        }
+    }
+}
+
+/// State of one submitted task's result slot.
+enum SlotState<R> {
+    /// The task has not produced its result yet.
+    Pending,
+    /// The task finished; the result waits for the driver to take it.
+    Done(R),
+    /// The task panicked (or its result was already taken).
+    Dead,
+}
+
+/// One submitted task's result mailbox. The executing worker fills it; the
+/// driver takes it in commit order.
+struct TaskSlot<R> {
+    state: Mutex<SlotState<R>>,
+    filled: Condvar,
+}
+
+/// Marks the slot [`SlotState::Dead`] unless disarmed — so a panicking task
+/// job wakes a driver parked on the slot instead of deadlocking it; the
+/// driver then panics itself and the worker's original panic propagates
+/// through the scope join.
+struct SlotGuard<'a, R> {
+    slot: &'a TaskSlot<R>,
+    armed: bool,
+}
+
+impl<R> Drop for SlotGuard<'_, R> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.slot.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                SlotState::Dead;
+            self.slot.filled.notify_all();
+        }
+    }
+}
+
+/// Handle to one submitted task, returned by [`PoolRef::submit`] and
+/// redeemed (in commit order) by [`PoolRef::wait_task`].
+pub struct TaskHandle<R>(Arc<TaskSlot<R>>);
+
+impl<R> TaskHandle<R> {
+    /// Takes the result if the task has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task died without producing a result.
+    fn try_take(&self) -> Option<R> {
+        let mut st = self.0.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &*st {
+            SlotState::Pending => None,
+            SlotState::Done(_) => match std::mem::replace(&mut *st, SlotState::Dead) {
+                SlotState::Done(r) => Some(r),
+                _ => unreachable!(),
+            },
+            SlotState::Dead => panic!("a task-graph job died before producing its result"),
+        }
+    }
 }
 
 /// Signals shutdown when the driver closure exits — normally or by panic —
@@ -425,15 +624,31 @@ impl Drop for ShutdownGuard<'_, '_> {
     }
 }
 
+/// CI escape hatch: `DCCS_FORCE_THREADS=N` raises every crew to at least
+/// `N` workers (it never lowers an explicit wider setting). Because the
+/// executor's results are thread-invariant, forcing a width changes no
+/// output — it only makes single-core CI runners exercise the multi-worker
+/// queue, slot, and merge paths that a `threads = 1` run would otherwise
+/// skip. Read once per process.
+fn forced_threads() -> Option<usize> {
+    use std::sync::OnceLock;
+    static FORCED: OnceLock<Option<usize>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("DCCS_FORCE_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&n| n >= 1)
+    })
+}
+
 /// Spins up `threads − 1` scoped workers (the driver is the remaining one),
 /// runs `f` with a [`PoolRef`] handle, and joins everything before
 /// returning. With `threads ≤ 1` no thread is spawned and every batch runs
-/// inline on the driver.
+/// inline on the driver (unless `DCCS_FORCE_THREADS` raises the width, see
+/// [`forced_threads`]).
 ///
 /// Jobs may borrow anything that outlives the `with_pool` call (`'env`):
 /// the graph, preprocessed layer cores, a cached [`DenseSubgraph`] — plus
 /// any owned data moved into them.
 pub fn with_pool<'env, R>(threads: usize, f: impl FnOnce(&PoolRef<'_, 'env>) -> R) -> R {
+    let threads = forced_threads().map_or(threads, |forced| threads.max(forced));
     let shared = PoolShared {
         state: Mutex::new(PoolState { queue: VecDeque::new(), outstanding: 0, shutdown: false }),
         work_cv: Condvar::new(),
@@ -490,6 +705,74 @@ mod tests {
         });
         let expected: Vec<usize> = (0..10).map(|round| round * 800 + 28).collect();
         assert_eq!(sums, expected);
+    }
+
+    /// The task graph must commit in pre-order — parents before children,
+    /// children before their parent's later siblings — at every width, and
+    /// evaluation must see only the task payload.
+    #[test]
+    fn task_graph_commits_in_pre_order_at_every_width() {
+        // A ternary tree of depth 3, identified by paths; eval squares the
+        // node id, commit records the order and spawns the children.
+        fn reference(path: &[usize], depth: usize, out: &mut Vec<Vec<usize>>) {
+            out.push(path.to_vec());
+            if depth == 0 {
+                return;
+            }
+            for c in 0..3 {
+                let mut child = path.to_vec();
+                child.push(c);
+                reference(&child, depth - 1, out);
+            }
+        }
+        let mut expected = Vec::new();
+        reference(&[], 3, &mut expected);
+
+        for threads in [1usize, 2, 4, 8] {
+            let eval = |path: Vec<usize>, _ws: &mut PeelWorkspace| path;
+            let mut committed: Vec<Vec<usize>> = Vec::new();
+            with_pool(threads, |pool| {
+                let mut ws = PeelWorkspace::new();
+                drive_task_graph(
+                    pool,
+                    &mut ws,
+                    vec![Vec::new()],
+                    &eval,
+                    |path: Vec<usize>, _ws, spawn| {
+                        if path.len() < 3 {
+                            for c in 0..3usize {
+                                let mut child = path.clone();
+                                child.push(c);
+                                spawn.push(child);
+                            }
+                        }
+                        committed.push(path);
+                    },
+                );
+            });
+            assert_eq!(committed, expected, "threads={threads}");
+        }
+    }
+
+    /// Multiple roots are committed in order, each with its full subtree
+    /// before the next root.
+    #[test]
+    fn task_graph_handles_multiple_roots() {
+        for threads in [1usize, 3] {
+            let eval = |v: u32, _ws: &mut PeelWorkspace| v;
+            let mut committed = Vec::new();
+            with_pool(threads, |pool| {
+                let mut ws = PeelWorkspace::new();
+                drive_task_graph(pool, &mut ws, vec![10u32, 20, 30], &eval, |v, _ws, spawn| {
+                    if v % 10 == 0 {
+                        spawn.push(v + 1);
+                        spawn.push(v + 2);
+                    }
+                    committed.push(v);
+                });
+            });
+            assert_eq!(committed, vec![10, 11, 12, 20, 21, 22, 30, 31, 32], "threads={threads}");
+        }
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //!   touching the graph.
 //! * **Inherited degree arrays** — every level stores the exact
 //!   within-core degree of each member on each prefix layer. A child copies
-//!   the parent's arrays (one `memcpy` per prefix layer), subtracts the
-//!   contributions of the vertices lost in the intersection, and scans the
-//!   adjacency of **only the one newly added layer** before cascading. The
-//!   naive path's per-subset `Σ_{v} deg(v)` scan over all `s` layers
-//!   collapses to a single-layer scan plus removal-proportional updates.
+//!   the parent's arrays, subtracts the contributions of the vertices lost
+//!   in the intersection, and counts **only the one newly added layer**
+//!   before cascading — in both the CSR walk (adjacency scans) and the
+//!   dense walk (`row ∧ child` word streams). The naive path's per-subset
+//!   `Σ_{v} deg(v)` scan over all `s` layers collapses to a single-layer
+//!   scan plus removal-proportional updates.
 //! * **Memoized single-layer cores** — depth-0 prefixes reuse the d-cores
 //!   computed during preprocessing
 //!   ([`crate::preprocess::Preprocessed::layer_cores`]) and are never
@@ -55,6 +56,11 @@ pub struct LatticeStats {
     /// Size-`s` subsets emitted as empty without peeling because an
     /// ancestor prefix already proved them empty.
     pub empty_skipped: usize,
+    /// Dense-walk nodes whose prefix-layer degrees were inherited via the
+    /// word-restricted subtraction (0 on the CSR path, and on dense
+    /// universes of ≤ 64 vertices, whose single-word rows always take the
+    /// recount fallback).
+    pub inherited: usize,
     /// Adjacency representation the cost model picked for this run.
     pub index_path: IndexPath,
 }
@@ -64,6 +70,7 @@ impl LatticeStats {
         self.candidates += other.candidates;
         self.peels += other.peels;
         self.empty_skipped += other.empty_skipped;
+        self.inherited += other.inherited;
     }
 }
 
@@ -258,7 +265,9 @@ fn run_dense_branches<F: FnMut(&[Layer], &VertexSet)>(
         emit,
         subset: Vec::with_capacity(s),
         cores: (0..s).map(|_| VertexSet::new(m)).collect(),
-        degrees: vec![0u32; s * m],
+        degrees: (0..s).map(|t| vec![0u32; (t + 1) * m]).collect(),
+        removed: VertexSet::new(m),
+        removed_word_idx: Vec::new(),
         expanded: VertexSet::new(g.num_vertices()),
         empty: VertexSet::new(g.num_vertices()),
         stats: LatticeStats::default(),
@@ -306,10 +315,17 @@ fn run_csr_branches<F: FnMut(&[Layer], &VertexSet)>(
 
 /// The word-level variant of the lattice walk: cores and degree arrays live
 /// in the dense re-indexed universe, and every degree is a
-/// `popcount(row ∧ set)`. Degree arrays are recomputed per node — over the
-/// dense rows that costs `(t+1)·|core|` popcounts, cheaper than any
-/// inheritance bookkeeping — while prefix cores still seed children and
-/// prune empty subtrees exactly as in [`LatticeRun`].
+/// `popcount(row ∧ set)`. Like [`LatticeRun`], every level keeps its own
+/// degree arrays so a child can *inherit* the parent's prefix-layer rows:
+/// each survivor subtracts `popcount(row ∧ removed)` — restricted to the
+/// removed set's non-zero words — from the parent's count, and only the
+/// one newly added layer is counted fresh. (An earlier revision recomputed
+/// all `(t+1)·|core|·W` row words per node; the word-restricted
+/// subtraction caps the prefix-layer cost at `nz(removed)` words per row
+/// instead, which is what the low-`d` shapes with large surviving cores —
+/// the German analogue at `d = 2` is the measured case — actually spend
+/// their time on.) When the removed vertices span full rows anyway, the
+/// walk falls back to the plain recount.
 struct DenseLatticeRun<'a, F> {
     dense: &'a DenseSubgraph,
     d: u32,
@@ -320,8 +336,16 @@ struct DenseLatticeRun<'a, F> {
     subset: Vec<Layer>,
     /// `cores[t]`: exact d-CC of the prefix of length `t + 1`, in m-space.
     cores: Vec<VertexSet>,
-    /// One shared `s·m` degree buffer (recomputed per node before cascading).
-    degrees: Vec<u32>,
+    /// `degrees[t][j*m + v]`: degree of `v` inside `cores[t]` on the j-th
+    /// prefix layer, exact for every member of `cores[t]` (inherited down
+    /// the lattice like [`LatticeRun::degrees`]).
+    degrees: Vec<Vec<u32>>,
+    /// Scratch: members lost when intersecting parent core with a layer
+    /// core (m-space).
+    removed: VertexSet,
+    /// Scratch: indices of `removed`'s non-zero words, so the inherited
+    /// degree subtraction scans only those.
+    removed_word_idx: Vec<u32>,
     /// Reused n-space buffer for emitted candidates.
     expanded: VertexSet,
     /// Shared n-space empty set for pruned subtrees.
@@ -334,35 +358,95 @@ impl<F: FnMut(&[Layer], &VertexSet)> DenseLatticeRun<'_, F> {
     /// Runs the depth-1 branch rooted at first layer `j` (callers only pass
     /// `j ≤ l − s`, so every branch has completions).
     fn root(&mut self, j: Layer) {
+        let m = self.dense.len();
         self.subset.push(j);
-        // Memoized single-layer core: no peel needed at the root.
+        // Memoized single-layer core: no peel needed at the root, but the
+        // root's degree row seeds the inheritance chain below.
         self.cores[0].copy_from(&self.layer_cores_m[j]);
+        let core = &self.cores[0];
+        let deg = &mut self.degrees[0][..m];
+        for v in core.iter() {
+            deg[v as usize] = self.dense.degree_within(j, v, core) as u32;
+        }
         self.descend(1, j + 1);
         self.subset.pop();
     }
 
+    /// Builds level `depth` (prefix extended by layer `j`) from level
+    /// `depth − 1`: intersects the cores, inherits the parent's prefix-layer
+    /// degree rows adjusted for the removed vertices (falling back to a
+    /// from-scratch recount when the removed set's non-zero words span a
+    /// full row width, where the subtraction could not be cheaper), counts
+    /// the new layer fresh, and cascades. Returns `false` when the
+    /// intersection was empty.
+    fn make_child(&mut self, depth: usize, j: Layer) -> bool {
+        let m = self.dense.len();
+        let (head, tail) = self.cores.split_at_mut(depth);
+        let parent = &head[depth - 1];
+        let child = &mut tail[0];
+        child.assign_intersection(parent, &self.layer_cores_m[j]);
+        if child.is_empty() {
+            return false;
+        }
+        self.removed.assign_difference(parent, child);
+
+        let (dhead, dtail) = self.degrees.split_at_mut(depth);
+        let parent_deg = &dhead[depth - 1][..depth * m];
+        let child_deg = &mut dtail[0];
+        // Prefix-layer degrees: each survivor's degree shrinks by exactly
+        // `|row ∧ removed|`, so the parent's counts are inherited by
+        // subtracting popcounts over **only the non-zero words of the
+        // removed set**. That costs `|child| · depth · nz(removed)` word
+        // operations against `|child| · depth · W` (W = words per row) for
+        // a from-scratch recount — a strict win whenever the removed
+        // vertices occupy fewer words than a full row, and never a loss
+        // thanks to the `nz < W` guard below (the measured failure mode of
+        // per-removed-vertex bit streaming on the German `d = 2` shape,
+        // where removed sets are wide and rows are dense).
+        let row_words = child.words().len();
+        self.removed_word_idx.clear();
+        for (w, &word) in self.removed.words().iter().enumerate() {
+            if word != 0 {
+                self.removed_word_idx.push(w as u32);
+            }
+        }
+        if self.removed_word_idx.len() < row_words {
+            self.stats.inherited += 1;
+            let rem = self.removed.words();
+            for v in child.iter() {
+                let vi = v as usize;
+                for (t, &layer) in self.subset[..depth].iter().enumerate() {
+                    let row = self.dense.row(layer, v);
+                    let mut delta = 0u32;
+                    for &w in &self.removed_word_idx {
+                        delta += (row[w as usize] & rem[w as usize]).count_ones();
+                    }
+                    child_deg[t * m + vi] = parent_deg[t * m + vi] - delta;
+                }
+            }
+        } else {
+            for (t, &layer) in self.subset[..depth].iter().enumerate() {
+                for v in child.iter() {
+                    child_deg[t * m + v as usize] =
+                        self.dense.degree_within(layer, v, child) as u32;
+                }
+            }
+        }
+        // The newly added layer always needs a fresh count.
+        for v in child.iter() {
+            child_deg[depth * m + v as usize] = self.dense.degree_within(j, v, child) as u32;
+        }
+        self.ws.cascade_dense(self.dense, &self.subset, self.d, child, child_deg);
+        self.stats.peels += 1;
+        true
+    }
+
     fn descend(&mut self, depth: usize, start: Layer) {
         let l = self.num_layers;
-        let m = self.dense.len();
         let last = l - (self.s - depth) + 1;
         for j in start..last {
             self.subset.push(j);
-            let (head, tail) = self.cores.split_at_mut(depth);
-            let parent = &head[depth - 1];
-            let child = &mut tail[0];
-            child.assign_intersection(parent, &self.layer_cores_m[j]);
-            if !child.is_empty() {
-                // Fresh word-level degrees for every prefix layer in one
-                // pass over the members, then one cascade.
-                for v in child.iter() {
-                    for (t, &layer) in self.subset.iter().enumerate() {
-                        self.degrees[t * m + v as usize] =
-                            self.dense.degree_within(layer, v, child) as u32;
-                    }
-                }
-                self.ws.cascade_dense(self.dense, &self.subset, self.d, child, &mut self.degrees);
-                self.stats.peels += 1;
-            }
+            self.make_child(depth, j);
             if depth + 1 == self.s {
                 self.stats.candidates += 1;
                 if self.cores[depth].is_empty() {
@@ -615,6 +699,46 @@ mod tests {
                 assert_eq!(stats.empty_skipped, ref_stats.empty_skipped);
             }
         }
+    }
+
+    /// Engine-vs-naive equivalence on the shape the inherited dense rows
+    /// exist for: a **multi-word** universe (150 vertices — three words per
+    /// row) of heavily overlapping per-layer cores, where each lattice
+    /// intersection loses a few vertices clustered in fewer words than a
+    /// full row (`nz(removed) < W`, the inheritance path). A single-word
+    /// test graph would silently exercise only the recount fallback — the
+    /// guard compares word counts, so with `W = 1` any non-empty removal
+    /// falls back — which is why the `inherited` stat is asserted. One
+    /// layer's small clique drives the fallback within the same walk.
+    #[test]
+    fn dense_walk_with_inherited_rows_matches_naive() {
+        let mut b = MultiLayerGraphBuilder::new(150, 4);
+        let all: Vec<u32> = (0..150).collect();
+        clique(&mut b, 0, &all);
+        clique(&mut b, 1, &all[..140]); // loses 140..150: one word of three
+        clique(&mut b, 2, &all[6..150]); // loses 0..6: one word of three
+        clique(&mut b, 3, &all[..10]); // small: forces the rescan fallback
+        let g = b.build();
+        let mut inherited_total = 0usize;
+        for (d, s) in [(2u32, 2usize), (2, 3), (2, 4), (3, 3)] {
+            let params = DccsParams::new(d, s, 2);
+            let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
+            let mut ws = PeelWorkspace::new();
+            let mut got: Vec<(Vec<Layer>, Vec<u32>)> = Vec::new();
+            let stats =
+                for_each_subset_core(&g, d, s, &pre.layer_cores, &mut ws, |subset, core| {
+                    got.push((subset.to_vec(), core.to_vec()));
+                });
+            assert_eq!(stats.index_path, IndexPath::Dense, "d={d} s={s}: dense path expected");
+            let expected: Vec<(Vec<Layer>, Vec<u32>)> =
+                naive_subset_cores(&g, d, s, &pre.layer_cores)
+                    .into_iter()
+                    .map(|(subset, core)| (subset, core.to_vec()))
+                    .collect();
+            assert_eq!(got, expected, "d={d} s={s}");
+            inherited_total += stats.inherited;
+        }
+        assert!(inherited_total > 0, "the inherited-degree path never executed");
     }
 
     #[test]

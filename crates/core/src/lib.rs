@@ -88,7 +88,7 @@ pub use algorithm::Algorithm;
 pub use analysis::{analyze_cores, analyze_result, jaccard, OverlapReport};
 pub use bottom_up::{bottom_up_dccs, bottom_up_dccs_in, bottom_up_dccs_with_options};
 pub use config::{DccsOptions, DccsParams};
-pub use coverage::TopKDiversified;
+pub use coverage::{PruneBounds, TopKDiversified};
 pub use engine::{plan_index, IndexPath, IndexPlan, SearchContext};
 pub use error::DccsError;
 pub use exact::{exact_dccs, exact_dccs_in};

@@ -1,15 +1,17 @@
 //! Parallel candidate generation — an extension beyond the paper.
 //!
 //! Since the unified executor refactor this module is a thin compatibility
-//! wrapper: `GD-DCCS` is parallelized by the shared engine
-//! ([`crate::engine`]) itself — the lattice's depth-1 branches fan out over
-//! the worker crew whenever `DccsOptions::threads > 1` — so
+//! wrapper: every algorithm is parallelized by the shared engine
+//! ([`crate::engine`]) itself — the lattice's depth-1 branches fan out as a
+//! fork-join batch, and the BU/TD search trees run as subtree-level task
+//! graphs — whenever `DccsOptions::threads > 1`, so
 //! [`parallel_greedy_dccs`] simply runs [`crate::greedy_dccs_with_options`]
 //! with the requested thread count. The output (cores, cover, and work
 //! counters) is identical to the sequential run at every thread count; the
 //! speed-up is reported by the `parallel_greedy` group of the
-//! `dccs_algorithms` Criterion benchmark and by the `thread_scaling` group
-//! of `BENCH_dcc.json`.
+//! `dccs_algorithms` Criterion benchmark and by the `thread_scaling` /
+//! `subtree_scaling` groups of `BENCH_dcc.json` (skipped, with a marker,
+//! on single-core hosts).
 
 use crate::config::{DccsOptions, DccsParams};
 use crate::result::DccsResult;

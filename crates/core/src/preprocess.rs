@@ -9,12 +9,22 @@
 //!    search).
 //! 3. **Result initialization** (`InitTopK`, Appendix D) — greedily seed the
 //!    temporary top-k result set so the pruning rules engage immediately.
+//!
+//! The per-layer d-core peels — both the initial full-universe pass and
+//! every round of the vertex-deletion fixpoint — are independent across
+//! layers, so the `*_threaded` entry points run them as fork-join batches
+//! on the shared executor crew ([`crate::engine::with_pool`]). Each layer's
+//! peel is a pure function of `(graph, layer, d, active)`, so the parallel
+//! batches are bit-identical to the sequential loop at any width; the
+//! sequential entry points are kept as the `threads = 1` special case.
 
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
+use crate::engine::with_pool;
 use crate::result::CoherentCore;
 use coreness::{d_coherent_core_in, d_core_within_into, PeelWorkspace};
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
+use std::sync::Arc;
 
 /// The state produced by preprocessing and consumed by every algorithm.
 #[derive(Clone, Debug)]
@@ -68,13 +78,42 @@ pub fn preprocess(g: &MultiLayerGraph, params: &DccsParams, opts: &DccsOptions) 
 /// memoizes this per `d`, so parameter sweeps at fixed `d` never re-peel
 /// the layers.
 pub fn initial_layer_cores(g: &MultiLayerGraph, d: u32, ws: &mut PeelWorkspace) -> Vec<VertexSet> {
+    initial_layer_cores_threaded(g, d, ws, 1)
+}
+
+/// [`initial_layer_cores`] with the per-layer peels spread over a
+/// `threads`-wide executor crew as one fork-join batch (the layers are
+/// independent, so the result is bit-identical to the sequential pass).
+/// `threads ≤ 1` runs the plain sequential loop on `ws`.
+pub fn initial_layer_cores_threaded(
+    g: &MultiLayerGraph,
+    d: u32,
+    ws: &mut PeelWorkspace,
+    threads: usize,
+) -> Vec<VertexSet> {
     let n = g.num_vertices();
+    let l = g.num_layers();
     let active = g.full_vertex_set();
-    let mut layer_cores: Vec<VertexSet> = vec![VertexSet::new(n); g.num_layers()];
-    for (i, core) in layer_cores.iter_mut().enumerate() {
-        d_core_within_into(ws, g.layer(i), d, &active, core);
+    if threads <= 1 || l <= 1 {
+        let mut layer_cores: Vec<VertexSet> = vec![VertexSet::new(n); l];
+        for (i, core) in layer_cores.iter_mut().enumerate() {
+            d_core_within_into(ws, g.layer(i), d, &active, core);
+        }
+        return layer_cores;
     }
-    layer_cores
+    with_pool(threads, |pool| {
+        let active = &active;
+        let jobs: Vec<_> = (0..l)
+            .map(|i| {
+                move |wws: &mut PeelWorkspace| {
+                    let mut core = VertexSet::new(n);
+                    d_core_within_into(wws, g.layer(i), d, active, &mut core);
+                    core
+                }
+            })
+            .collect();
+        pool.map(ws, jobs)
+    })
 }
 
 /// [`preprocess`] continued from already-computed [`initial_layer_cores`]
@@ -87,7 +126,24 @@ pub fn preprocess_from(
     params: &DccsParams,
     opts: &DccsOptions,
     ws: &mut PeelWorkspace,
+    layer_cores: Vec<VertexSet>,
+) -> Preprocessed {
+    preprocess_from_threaded(g, params, opts, ws, layer_cores, 1)
+}
+
+/// [`preprocess_from`] with every round of the vertex-deletion fixpoint
+/// re-peeling the layers as one fork-join batch over a `threads`-wide
+/// executor crew (spun up once for the whole fixpoint). The victims-and-
+/// support bookkeeping between rounds stays on the driver, so the result is
+/// bit-identical to the sequential fixpoint at any width; `threads ≤ 1`
+/// runs the plain sequential loop on `ws`.
+pub fn preprocess_from_threaded(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+    ws: &mut PeelWorkspace,
     mut layer_cores: Vec<VertexSet>,
+    threads: usize,
 ) -> Preprocessed {
     let n = g.num_vertices();
     let mut active = g.full_vertex_set();
@@ -95,22 +151,74 @@ pub fn preprocess_from(
 
     let mut deleted = 0usize;
     if opts.vertex_deletion {
-        loop {
-            let victims: Vec<u32> =
+        if threads <= 1 || g.num_layers() <= 1 {
+            loop {
+                let victims: Vec<u32> =
+                    active.iter().filter(|&v| (support[v as usize] as usize) < params.s).collect();
+                if victims.is_empty() {
+                    break;
+                }
+                for &v in &victims {
+                    active.remove(v);
+                    deleted += 1;
+                }
+                // Re-peel every layer core into its existing set: the
+                // fixpoint loop allocates nothing after the first iteration.
+                for (i, core) in layer_cores.iter_mut().enumerate() {
+                    d_core_within_into(ws, g.layer(i), params.d, &active, core);
+                }
+                support = compute_support(n, &layer_cores, &active);
+            }
+        } else {
+            // The first victims list decides whether any round will run at
+            // all — only then is the worker crew worth spawning (graphs
+            // already at fixpoint, a common case, skip it entirely).
+            let mut victims: Vec<u32> =
                 active.iter().filter(|&v| (support[v as usize] as usize) < params.s).collect();
-            if victims.is_empty() {
-                break;
+            if !victims.is_empty() {
+                with_pool(threads, |pool| loop {
+                    for &v in &victims {
+                        active.remove(v);
+                        deleted += 1;
+                    }
+                    // One batch re-peels every layer. Jobs own their core
+                    // buffer (taken out of the slot and returned through the
+                    // batch result) and share a snapshot of the shrunken
+                    // active set, so nothing borrowed from this loop frame
+                    // enters the worker queue.
+                    let shared_active = Arc::new(active.clone());
+                    let jobs: Vec<_> = layer_cores
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, slot)| {
+                            let mut core = std::mem::replace(slot, VertexSet::new(0));
+                            let shared_active = Arc::clone(&shared_active);
+                            move |wws: &mut PeelWorkspace| {
+                                d_core_within_into(
+                                    wws,
+                                    g.layer(i),
+                                    params.d,
+                                    &shared_active,
+                                    &mut core,
+                                );
+                                core
+                            }
+                        })
+                        .collect();
+                    let repeeled = pool.map(ws, jobs);
+                    for (slot, core) in layer_cores.iter_mut().zip(repeeled) {
+                        *slot = core;
+                    }
+                    support = compute_support(n, &layer_cores, &active);
+                    victims = active
+                        .iter()
+                        .filter(|&v| (support[v as usize] as usize) < params.s)
+                        .collect();
+                    if victims.is_empty() {
+                        break;
+                    }
+                });
             }
-            for &v in &victims {
-                active.remove(v);
-                deleted += 1;
-            }
-            // Re-peel every layer core into its existing set: the fixpoint
-            // loop allocates nothing after the first iteration.
-            for (i, core) in layer_cores.iter_mut().enumerate() {
-                d_core_within_into(ws, g.layer(i), params.d, &active, core);
-            }
-            support = compute_support(n, &layer_cores, &active);
         }
     }
 
@@ -269,6 +377,32 @@ mod tests {
         let params = DccsParams::new(2, 2, 1);
         let pre = preprocess(&g, &params, &DccsOptions::default());
         assert_eq!(pre.active.to_vec(), vec![0, 1, 2]);
+    }
+
+    /// The parallel per-layer batches (initial pass and fixpoint rounds)
+    /// must be bit-identical to the sequential loops at every width.
+    #[test]
+    fn threaded_preprocessing_is_bit_identical_to_sequential() {
+        let g = graph();
+        for (d, s) in [(2u32, 1usize), (2, 2), (3, 2), (2, 3)] {
+            let params = DccsParams::new(d, s, 2);
+            for opts in [DccsOptions::default(), DccsOptions::no_vertex_deletion()] {
+                let mut ws = PeelWorkspace::new();
+                let initial = initial_layer_cores(&g, d, &mut ws);
+                let seq = preprocess_from(&g, &params, &opts, &mut ws, initial.clone());
+                for threads in [2usize, 4] {
+                    let par_initial = initial_layer_cores_threaded(&g, d, &mut ws, threads);
+                    assert_eq!(par_initial, initial, "initial d={d} threads={threads}");
+                    let par =
+                        preprocess_from_threaded(&g, &params, &opts, &mut ws, par_initial, threads);
+                    let label = format!("d={d} s={s} threads={threads}");
+                    assert_eq!(par.active.to_vec(), seq.active.to_vec(), "{label}");
+                    assert_eq!(par.layer_cores, seq.layer_cores, "{label}");
+                    assert_eq!(par.support, seq.support, "{label}");
+                    assert_eq!(par.vertices_deleted, seq.vertices_deleted, "{label}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,18 @@
 //! queries of a sweep out over **one** [`with_pool`] worker crew (each query
 //! runs sequentially on one worker, so per-query results — and their work
 //! counters — are exactly the 1-thread results, in submission order).
+//!
+//! # Threads
+//!
+//! A query's `threads` knob selects the width of the shared executor — the
+//! fork-join batches of preprocessing and the lattice, and the BU/TD
+//! subtree task graphs ([`crate::engine::drive_task_graph`]) — and nothing
+//! else: results are bit-identical at every width. The value `0` means
+//! **auto** (`available_parallelism`, via [`auto_threads`]) everywhere in
+//! the session API; the legacy free functions (`*_with_options`,
+//! [`crate::parallel_greedy_dccs`]) keep their historical `0 ≡ 1`
+//! (sequential) reading, so existing call sites run exactly as they always
+//! did.
 
 use crate::algorithm::Algorithm;
 use crate::bottom_up::bottom_up_dccs_in;

@@ -24,24 +24,29 @@
 //!
 //! # Execution model
 //!
-//! TD-Gen always evaluates every child of a node (`RefineU` + `RefineC`)
-//! before ordering them for pruning, so the children form a natural
-//! fork-join batch: they are computed on the shared executor
-//! ([`crate::engine`]) and committed in deterministic order. Unlike BU, no
-//! bound has to be frozen — the parallel search is *exactly* the sequential
-//! search, decision for decision, at every thread count.
+//! The search tree runs as a deterministic subtree-level task graph on the
+//! shared executor ([`crate::engine::drive_task_graph`]): each node is one
+//! task whose evaluation computes **all** of its children (`RefineU` +
+//! `RefineC` — `TD-Gen` needs every child before it can order them), on
+//! whichever worker grabs the task. Results are committed on the driver in
+//! the tree's pre-order; the commit sorts the children, applies Lemmas
+//! 5–7 against the live result set, performs the updates, and spawns the
+//! surviving children as new tasks — which then evaluate concurrently with
+//! tasks from other subtrees. Unlike BU, evaluation itself consults no
+//! pruning bound, so nothing has to be frozen into the task payload: every
+//! pruning decision runs at a deterministic commit moment, and the search
+//! is bit-identical at any thread count.
 
 use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
-use crate::engine::{with_pool, PoolRef, SearchContext};
+use crate::engine::{drive_task_graph, with_pool, SearchContext};
 use crate::index::VertexIndex;
 use crate::preprocess::init_topk_in;
 use crate::refine::{refine_c, refine_u};
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use coreness::PeelWorkspace;
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Runs `TD-DCCS` with default options.
@@ -104,45 +109,151 @@ pub fn top_down_dccs_in(
     ctx.ws.peel_in_place(g, &all_layers, params.d, &mut root_core);
     let threads = ctx.threads();
 
+    if params.s == l {
+        stats.candidates_generated += 1;
+        topk.try_update(CoherentCore::new(all_layers, root_core));
+        stats.updates_accepted = topk.accepted_updates();
+        return DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed());
+    }
+
+    let d = params.d;
+    let s = params.s;
+    let use_refine_c = opts.use_refine_c;
+    let order_ref: &[Layer] = &order;
+    let layer_cores: &[VertexSet] = &cores_by_layer;
+    let index_ref = index.as_ref();
+
+    // Evaluating one `TD-Gen` node: compute every child `L' = L − {j}`
+    // (`RefineU` then `RefineC` or a plain peel), in removable-position
+    // order. Runs on any worker and reads only the task payload.
+    let eval = move |task: TdTask, ws: &mut PeelWorkspace| -> TdNodeEval {
+        let TdTask { positions, potential } = task;
+        // Removable positions: members of L above every removed position.
+        let max_removed =
+            (0..l).filter(|p| !positions.contains(p)).max().map(|p| p as isize).unwrap_or(-1);
+        let removable: Vec<usize> =
+            positions.iter().copied().filter(|&p| p as isize > max_removed).collect();
+        let children: Vec<TdChild> = removable
+            .into_iter()
+            .map(|j| {
+                let child_positions: Vec<usize> =
+                    positions.iter().copied().filter(|&p| p != j).collect();
+                // Class split w.r.t. L' (Section V-B): max removed position
+                // is `j` because children always remove a position above
+                // every earlier one.
+                let class1: Vec<Layer> =
+                    child_positions.iter().filter(|&&p| p < j).map(|&p| order_ref[p]).collect();
+                let class2: Vec<Layer> =
+                    child_positions.iter().filter(|&&p| p > j).map(|&p| order_ref[p]).collect();
+                let layers: Vec<Layer> = child_positions.iter().map(|&p| order_ref[p]).collect();
+                let spec = TdChildSpec { j, child_positions, class1, class2, layers };
+                eval_child(g, d, s, layer_cores, index_ref, use_refine_c, spec, &potential, ws)
+            })
+            .collect();
+        TdNodeEval { children }
+    };
+
     with_pool(threads, |pool| {
-        let mut td = TdContext {
-            g,
-            params,
-            opts,
-            order: &order,
-            layer_cores: &cores_by_layer,
-            index: index.as_ref(),
-            ws: &mut ctx.ws,
-            pool,
-            topk: &mut topk,
-            stats: &mut stats,
-        };
-        if params.s == l {
-            td.stats.candidates_generated += 1;
-            td.topk.try_update(CoherentCore::new(all_layers, root_core));
-        } else {
-            td.td_gen(&all_positions, &root_core, &pre.active);
-        }
+        let root = TdTask { positions: all_positions, potential: pre.active.clone() };
+        let topk = &mut topk;
+        let stats = &mut stats;
+        // Committing one node, in pre-order on the driver: order the
+        // children by |U_{L'}| and apply Lemmas 5–7 against the live result
+        // set, update R from leaves and Lemma-7 representatives, and spawn
+        // the children that must be expanded.
+        drive_task_graph(pool, &mut ctx.ws, vec![root], &eval, |mut ev: TdNodeEval, ws, spawn| {
+            stats.dcc_calls += ev.children.len();
+            stats.candidates_generated +=
+                ev.children.iter().filter(|c| c.positions.len() == s).count();
+            if !topk.is_full() {
+                // Cases 1–2: no pruning while |R| < k.
+                for child in ev.children {
+                    if child.positions.len() == s {
+                        let layers: Vec<Layer> =
+                            child.positions.iter().map(|&p| order[p]).collect();
+                        topk.try_update(CoherentCore::new(layers, child.core));
+                    } else {
+                        spawn.push(TdTask {
+                            positions: child.positions,
+                            potential: child.potential,
+                        });
+                    }
+                }
+                return;
+            }
+            // Cases 3–4: order children by |U_{L'}| descending (Lemma 6).
+            ev.children.sort_by_key(|c| std::cmp::Reverse(c.potential.len()));
+            let total = ev.children.len();
+            for (rank, child) in ev.children.into_iter().enumerate() {
+                if opts.order_pruning && topk.fails_size_bound(child.potential.len()) {
+                    stats.subtrees_pruned += total - rank;
+                    break;
+                }
+                if child.positions.len() == s {
+                    let layers: Vec<Layer> = child.positions.iter().map(|&p| order[p]).collect();
+                    topk.try_update(CoherentCore::new(layers, child.core));
+                    continue;
+                }
+                // Lemma 5: prune when even the potential set cannot satisfy
+                // Eq. (1).
+                if !topk.satisfies_eq1(&child.potential) {
+                    stats.subtrees_pruned += 1;
+                    continue;
+                }
+                // Lemma 7: when the child's core already satisfies Eq. (1)
+                // and the potential set satisfies Eq. (2), a single
+                // representative descendant suffices.
+                let removable_below: Vec<usize> =
+                    child.positions.iter().copied().filter(|&p| p > child.removed).collect();
+                let need_remove = child.positions.len() - s;
+                if opts.potential_pruning
+                    && topk.satisfies_eq1(&child.core)
+                    && topk.satisfies_eq2(child.potential.len())
+                {
+                    if removable_below.len() < need_remove {
+                        // The node has no level-s descendant at all.
+                        stats.subtrees_pruned += 1;
+                        continue;
+                    }
+                    // Deterministic choice: drop the largest removable
+                    // positions.
+                    let drop: Vec<usize> =
+                        removable_below.iter().rev().take(need_remove).copied().collect();
+                    let descendant: Vec<usize> =
+                        child.positions.iter().copied().filter(|p| !drop.contains(p)).collect();
+                    let layers: Vec<Layer> = descendant.iter().map(|&p| order[p]).collect();
+                    stats.dcc_calls += 1;
+                    stats.candidates_generated += 1;
+                    let mut core = child.potential.clone();
+                    ws.peel_in_place(g, &layers, d, &mut core);
+                    topk.try_update(CoherentCore::new(layers, core));
+                    stats.subtrees_pruned += 1;
+                    continue;
+                }
+                spawn.push(TdTask { positions: child.positions, potential: child.potential });
+            }
+        });
     });
 
     stats.updates_accepted = topk.accepted_updates();
     DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())
 }
 
-struct TdContext<'a, 'env> {
-    g: &'env MultiLayerGraph,
-    params: &'a DccsParams,
-    opts: &'a DccsOptions,
-    /// Position → original layer index (ascending d-core size).
-    order: &'env [Layer],
-    /// Per-original-layer d-cores (restricted to the active set).
-    layer_cores: &'env [VertexSet],
-    index: Option<&'env VertexIndex>,
-    /// Driver-thread peeling scratch (each worker owns its own).
-    ws: &'a mut PeelWorkspace,
-    pool: &'a PoolRef<'a, 'env>,
-    topk: &'a mut TopKDiversified,
-    stats: &'a mut SearchStats,
+/// One `TD-Gen` search-tree node, scheduled as a task on the executor's
+/// task graph. Evaluation needs no pruning state — `TD-Gen` computes every
+/// child before ordering them — so the payload is just the node identity
+/// and its potential vertex set.
+struct TdTask {
+    /// Tree positions of the node's layer subset `L` (ascending).
+    positions: Vec<usize>,
+    /// The node's potential vertex set `U_L`.
+    potential: VertexSet,
+}
+
+/// The outcome of evaluating one [`TdTask`]: every child, in
+/// removable-position order, committed on the driver in pre-order.
+struct TdNodeEval {
+    children: Vec<TdChild>,
 }
 
 /// A child node of the top-down search tree.
@@ -190,163 +301,6 @@ fn eval_child(
         }
     };
     TdChild { positions: child_positions, core, potential, removed: j }
-}
-
-impl<'env> TdContext<'_, 'env> {
-    fn layers_of(&self, positions: &[usize]) -> Vec<Layer> {
-        positions.iter().map(|&p| self.order[p]).collect()
-    }
-
-    /// Evaluates every child (`L' = L − {j}`) of the current node as one
-    /// executor batch: each job refines the potential set (`RefineU`) and
-    /// extracts the child's d-CC (`RefineC` or a plain peel). Outputs come
-    /// back in removable-position order — the order the sequential code
-    /// produced them in.
-    fn make_children(
-        &mut self,
-        positions: &[usize],
-        removable: &[usize],
-        u_l: &VertexSet,
-    ) -> Vec<TdChild> {
-        let g = self.g;
-        let d = self.params.d;
-        let s = self.params.s;
-        let order = self.order;
-        let layer_cores = self.layer_cores;
-        let index = self.index;
-        let use_refine_c = self.opts.use_refine_c;
-        // The class split and layer lists are cheap and computed on the
-        // driver; only the RefineU/RefineC work is dispatched.
-        let specs: Vec<TdChildSpec> = removable
-            .iter()
-            .map(|&j| {
-                let child_positions: Vec<usize> =
-                    positions.iter().copied().filter(|&p| p != j).collect();
-                // Class split w.r.t. L' (Section V-B): max removed position
-                // is `j` because children always remove a position above
-                // every earlier one.
-                let class1: Vec<Layer> =
-                    child_positions.iter().filter(|&&p| p < j).map(|&p| order[p]).collect();
-                let class2: Vec<Layer> =
-                    child_positions.iter().filter(|&&p| p > j).map(|&p| order[p]).collect();
-                let layers: Vec<Layer> = child_positions.iter().map(|&p| order[p]).collect();
-                TdChildSpec { j, child_positions, class1, class2, layers }
-            })
-            .collect();
-        self.stats.dcc_calls += specs.len();
-        let children = if self.pool.workers() == 0 {
-            // Sequential path: children borrow the parent's potential set
-            // directly — no Arc, no clone.
-            specs
-                .into_iter()
-                .map(|spec| {
-                    eval_child(g, d, s, layer_cores, index, use_refine_c, spec, u_l, self.ws)
-                })
-                .collect()
-        } else {
-            // Children share the parent's potential set; an `Arc` lets
-            // every job hold it without tying jobs to this recursion frame.
-            let u_l = Arc::new(u_l.clone());
-            let jobs: Vec<_> = specs
-                .into_iter()
-                .map(|spec| {
-                    let u_l = Arc::clone(&u_l);
-                    move |ws: &mut PeelWorkspace| {
-                        eval_child(g, d, s, layer_cores, index, use_refine_c, spec, &u_l, ws)
-                    }
-                })
-                .collect();
-            self.pool.map(self.ws, jobs)
-        };
-        for child in &children {
-            if child.positions.len() == self.params.s {
-                self.stats.candidates_generated += 1;
-            }
-        }
-        children
-    }
-
-    /// The recursive `TD-Gen` procedure (Fig. 8).
-    fn td_gen(&mut self, positions: &[usize], _c_l: &VertexSet, u_l: &VertexSet) {
-        let l = self.g.num_layers();
-        // Positions already removed from [l].
-        let max_removed =
-            (0..l).filter(|p| !positions.contains(p)).max().map(|p| p as isize).unwrap_or(-1);
-        // Removable positions: members of L above every removed position.
-        let removable: Vec<usize> =
-            positions.iter().copied().filter(|&p| p as isize > max_removed).collect();
-        if removable.is_empty() {
-            return;
-        }
-
-        let mut children = self.make_children(positions, &removable, u_l);
-
-        if !self.topk.is_full() {
-            // Cases 1–2: no pruning while |R| < k.
-            for child in children {
-                if child.positions.len() == self.params.s {
-                    self.topk.try_update(CoherentCore::new(
-                        self.layers_of(&child.positions),
-                        child.core,
-                    ));
-                } else {
-                    self.td_gen(&child.positions.clone(), &child.core, &child.potential);
-                }
-            }
-            return;
-        }
-
-        // Cases 3–4: order children by |U_{L'}| descending (Lemma 6).
-        children.sort_by_key(|c| std::cmp::Reverse(c.potential.len()));
-        for (rank, child) in children.iter().enumerate() {
-            if self.opts.order_pruning && self.topk.fails_size_bound(child.potential.len()) {
-                self.stats.subtrees_pruned += children.len() - rank;
-                break;
-            }
-            if child.positions.len() == self.params.s {
-                self.topk.try_update(CoherentCore::new(
-                    self.layers_of(&child.positions),
-                    child.core.clone(),
-                ));
-                continue;
-            }
-            // Lemma 5: prune when even the potential set cannot satisfy Eq. (1).
-            if !self.topk.satisfies_eq1(&child.potential) {
-                self.stats.subtrees_pruned += 1;
-                continue;
-            }
-            // Lemma 7: when the child's core already satisfies Eq. (1) and the
-            // potential set satisfies Eq. (2), a single representative
-            // descendant suffices.
-            let removable_below: Vec<usize> =
-                child.positions.iter().copied().filter(|&p| p > child.removed).collect();
-            let need_remove = child.positions.len() - self.params.s;
-            if self.opts.potential_pruning
-                && self.topk.satisfies_eq1(&child.core)
-                && self.topk.satisfies_eq2(child.potential.len())
-            {
-                if removable_below.len() < need_remove {
-                    // The node has no level-s descendant at all.
-                    self.stats.subtrees_pruned += 1;
-                    continue;
-                }
-                // Deterministic choice: drop the largest removable positions.
-                let drop: Vec<usize> =
-                    removable_below.iter().rev().take(need_remove).copied().collect();
-                let descendant: Vec<usize> =
-                    child.positions.iter().copied().filter(|p| !drop.contains(p)).collect();
-                let layers = self.layers_of(&descendant);
-                self.stats.dcc_calls += 1;
-                self.stats.candidates_generated += 1;
-                let mut core = child.potential.clone();
-                self.ws.peel_in_place(self.g, &layers, self.params.d, &mut core);
-                self.topk.try_update(CoherentCore::new(layers, core));
-                self.stats.subtrees_pruned += 1;
-                continue;
-            }
-            self.td_gen(&child.positions.clone(), &child.core, &child.potential);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,12 +1,19 @@
 //! Thread-equivalence property tests for the unified search executor.
 //!
 //! The determinism contract of `dccs::engine` is that the worker count is
-//! invisible in everything but wall-clock time: BU, TD, and the
-//! lattice-driven GD must produce the same cores (layer subsets and vertex
-//! sets, in the same order), the same cover, and the same work counters at
-//! 1, 2, and 4 threads — and the 1-thread engine run must equal the plain
-//! sequential entry points. Random small multi-layer graphs exercise the
-//! full grid.
+//! invisible in everything but wall-clock time: BU and TD (whose search
+//! trees run as subtree-level task graphs with spawn-time bound snapshots
+//! and pre-order commits) and the lattice-driven GD must produce the same
+//! cores (layer subsets and vertex sets, in the same order), the same
+//! cover, and the same work counters at 1, 2, 4, and 8 threads — and the
+//! 1-thread engine run (the task graph's inline depth-first fast path)
+//! must equal the plain sequential entry points. Random small multi-layer
+//! graphs exercise the full grid, including the ablation presets whose
+//! pruning interacts with commit order.
+//!
+//! CI additionally runs this suite under `RUST_TEST_THREADS=1` with
+//! `DCCS_FORCE_THREADS=4`, so even a single-core runner drives the
+//! multi-worker queue, slot, and merge paths.
 
 use dccs::{
     bottom_up_dccs, bottom_up_dccs_with_options, greedy_dccs, greedy_dccs_with_options,
@@ -62,7 +69,7 @@ proptest! {
         let params = DccsParams::new(d, s, k);
         for (name, algo) in ALGORITHMS {
             let seq = algo(&g, &params, &DccsOptions::with_threads(1));
-            for threads in [2usize, 4] {
+            for threads in [2usize, 4, 8] {
                 let par = algo(&g, &params, &DccsOptions::with_threads(threads));
                 assert_identical(&seq, &par, &format!("{name} d={d} s={s} k={k} t={threads}"));
             }
@@ -100,8 +107,10 @@ proptest! {
         ] {
             for (name, algo) in ALGORITHMS {
                 let seq = algo(&g, &params, &DccsOptions { threads: 1, ..base });
-                let par = algo(&g, &params, &DccsOptions { threads: 4, ..base });
-                assert_identical(&seq, &par, &format!("{name} ablation d={d} s={s}"));
+                for threads in [4usize, 8] {
+                    let par = algo(&g, &params, &DccsOptions { threads, ..base });
+                    assert_identical(&seq, &par, &format!("{name} ablation d={d} s={s} t={threads}"));
+                }
             }
         }
     }

@@ -4,31 +4,23 @@
 //! surface.
 
 use datasets::{generate, DatasetId, Scale};
-use dccs::{Algorithm, DccsError, DccsParams, DccsSession, IndexPath, QuerySpec};
+use dccs::{Algorithm, DccsError, DccsParams, DccsSession, QuerySpec};
 
 #[test]
 fn auto_selection_follows_the_paper_regimes_on_tiny_analogues() {
     for id in [DatasetId::Wiki, DatasetId::German, DatasetId::Author] {
         let ds = generate(id, Scale::Tiny);
         let l = ds.graph.num_layers();
-        // On graphs small and dense enough that the cost model indexes the
-        // full vertex set dense, the policy may prefer lattice enumeration
-        // (greedy) even at large s; on CSR-bound graphs the paper's
-        // TD-for-large-s recommendation must win.
-        let dense_probe =
-            dccs::plan_index(&ds.graph, &ds.graph.full_vertex_set()).path == IndexPath::Dense;
-        // Large support (s = l − 1 ≥ l/2) with pruning head-room.
+        // s = l − 1 leaves only l candidates: the candidate-count-aware
+        // large-s rule must pick lattice enumeration over a degenerate
+        // search tree, dense or not.
         if l >= 4 {
             let large = DccsParams::new(3, l - 1, 1);
-            let resolved = Algorithm::Auto.resolve(&ds.graph, &large);
-            if dense_probe {
-                assert!(
-                    resolved == Algorithm::TopDown || resolved == Algorithm::Greedy,
-                    "{id:?}: large s on a dense graph resolved to {resolved:?}"
-                );
-            } else {
-                assert_eq!(resolved, Algorithm::TopDown, "{id:?}: large s must pick TD");
-            }
+            assert_eq!(
+                Algorithm::Auto.resolve(&ds.graph, &large),
+                Algorithm::Greedy,
+                "{id:?}: s = l − 1 must pick GD"
+            );
         }
         // k at least C(l, s): the search trees cannot prune, so full
         // enumeration (greedy) is chosen.
@@ -39,6 +31,27 @@ fn auto_selection_follows_the_paper_regimes_on_tiny_analogues() {
             "{id:?}: k >= candidates must pick GD"
         );
     }
+}
+
+/// Regression test for the `Algorithm::Auto` large-`s` policy gap: on the
+/// tiny Wiki analogue at `s = l − 1` the old regime rules picked TD-DCCS,
+/// which the `auto_selection` bench group measured at ~0.45 efficiency
+/// against the fixed algorithms (GD was fastest). The candidate-count-aware
+/// rule must resolve the query to GD — pinned through the session so the
+/// recorded `SearchStats::algorithm` is checked, not just the resolver.
+#[test]
+fn auto_resolves_tiny_wiki_large_s_to_greedy() {
+    let ds = generate(DatasetId::Wiki, Scale::Tiny);
+    let l = ds.graph.num_layers();
+    assert!(l >= 4, "the Wiki analogue has many layers");
+    let params = DccsParams::new(3, l - 1, 10);
+    let mut session = DccsSession::new(&ds.graph);
+    let result = session.query(params).algorithm(Algorithm::Auto).run().unwrap();
+    assert_eq!(result.stats.algorithm, Some(Algorithm::Greedy));
+    // The policy only selects — the result must equal the fixed GD run.
+    let fixed = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+    assert_eq!(result.cores, fixed.cores);
+    assert_eq!(result.stats, fixed.stats);
 }
 
 #[test]
@@ -106,6 +119,54 @@ fn batched_sweep_over_an_analogue_matches_one_shot_queries() {
         assert_eq!(result.cores, one_shot.cores, "s={}", spec.params.s);
         assert_eq!(result.stats, one_shot.stats, "s={}", spec.params.s);
     }
+}
+
+/// `run_batch` is all-or-nothing: one invalid spec — wherever it sits in
+/// the sweep — fails the whole call up front with that spec's typed error
+/// and produces no partial results, and the session stays fully usable.
+#[test]
+fn run_batch_rejects_the_whole_sweep_on_any_invalid_spec() {
+    let ds = generate(DatasetId::German, Scale::Tiny);
+    let l = ds.graph.num_layers();
+    let valid = QuerySpec::new(DccsParams::new(2, 2, 2));
+    let invalid_s = QuerySpec::new(DccsParams::new(2, l + 7, 2));
+    let invalid_k = QuerySpec::new(DccsParams::new(2, 2, 0));
+    let mut session = DccsSession::new(&ds.graph);
+    // Invalid spec first, in the middle, and last: the error is always the
+    // first invalid spec's, and Result<Vec<_>, _> leaves no partial output.
+    assert_eq!(
+        session.run_batch(&[invalid_s, valid, valid]).unwrap_err(),
+        DccsError::SupportExceedsLayers { s: l + 7, num_layers: l }
+    );
+    assert_eq!(
+        session.run_batch(&[valid, invalid_k, valid]).unwrap_err(),
+        DccsError::ResultSizeZero
+    );
+    assert_eq!(
+        session.run_batch(&[valid, valid, invalid_s]).unwrap_err(),
+        DccsError::SupportExceedsLayers { s: l + 7, num_layers: l }
+    );
+    // Two invalid specs: validation reports the earliest one.
+    assert_eq!(
+        session.run_batch(&[valid, invalid_k, invalid_s]).unwrap_err(),
+        DccsError::ResultSizeZero
+    );
+    // The rejected batches ran nothing that corrupted the session: the same
+    // sweep without the bad spec still matches fresh one-shot queries.
+    let batch = session.run_batch(&[valid, valid]).unwrap();
+    let fresh = DccsSession::new(&ds.graph).query(valid.params).run().unwrap();
+    assert_eq!(batch.len(), 2);
+    assert_eq!(batch[0].cores, fresh.cores);
+    assert_eq!(batch[0].stats, fresh.stats);
+    assert_eq!(batch[1].cores, fresh.cores);
+}
+
+/// An empty sweep is a no-op, not an error.
+#[test]
+fn run_batch_of_nothing_returns_nothing() {
+    let ds = generate(DatasetId::German, Scale::Tiny);
+    let mut session = DccsSession::new(&ds.graph);
+    assert_eq!(session.run_batch(&[]).unwrap().len(), 0);
 }
 
 #[test]
