@@ -17,8 +17,8 @@
 
 use datasets::Scale;
 use dccs_bench::dcc_baseline::{
-    auto_selection_suite, baseline_suite, single_core, subtree_scaling_suite, suite_to_json,
-    thread_scaling_suite,
+    auto_selection_suite, baseline_suite, kernel_dispatch_suite, single_core,
+    subtree_scaling_suite, suite_to_json, thread_scaling_suite,
 };
 
 const USAGE: &str =
@@ -121,7 +121,21 @@ fn main() {
             a.efficiency(),
         );
     }
-    let json = suite_to_json(scale, runs, &comparisons, &scaling, &subtree, skip_scaling, &auto);
+    let kernels = kernel_dispatch_suite(runs);
+    println!("[bench] dispatched bit kernel: {}", mlgraph::kernels::kernel().kind().name());
+    for k in &kernels {
+        println!(
+            "kernel {:<20} words={:<3} scalar {:>10.6}s  {} {:>10.6}s  speedup {:>5.2}x",
+            k.op,
+            k.words,
+            k.scalar_secs,
+            k.kernel,
+            k.dispatched_secs,
+            k.speedup(),
+        );
+    }
+    let json =
+        suite_to_json(scale, runs, &comparisons, &scaling, &subtree, skip_scaling, &auto, &kernels);
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {
         eprintln!("failed to write {out_path}: {err}");

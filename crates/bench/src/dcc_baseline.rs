@@ -182,6 +182,108 @@ impl AutoSelection {
     }
 }
 
+/// One scalar-vs-dispatched micro-comparison of a bit-kernel primitive
+/// (the `kernel_dispatch` group of `BENCH_dcc.json`): the same operation
+/// over the same words, once on the scalar reference kernel and once on
+/// the kernel the process dispatched to (`DCCS_FORCE_KERNEL` or CPU
+/// detection) — so the JSON records what the SIMD layer is actually worth
+/// on the recording host.
+#[derive(Clone, Debug)]
+pub struct KernelDispatch {
+    /// Primitive measured (`and_count`, `and_assign_count`, …).
+    pub op: &'static str,
+    /// Operand length in 64-bit words (row width of the simulated universe).
+    pub words: usize,
+    /// Best-of-N seconds on the scalar reference kernel.
+    pub scalar_secs: f64,
+    /// Best-of-N seconds on the dispatched kernel.
+    pub dispatched_secs: f64,
+    /// Name of the dispatched kernel (`scalar`, `unrolled`, `avx2`).
+    pub kernel: &'static str,
+}
+
+impl KernelDispatch {
+    /// `scalar_secs / dispatched_secs` (> 1 means the dispatched kernel is
+    /// faster; ≈ 1 when the dispatch resolved to scalar itself).
+    pub fn speedup(&self) -> f64 {
+        self.scalar_secs / self.dispatched_secs
+    }
+
+    /// Renders the measurement as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("op", Value::from(self.op)),
+            ("words", Value::from(self.words)),
+            ("scalar_secs", Value::from(self.scalar_secs)),
+            ("dispatched_secs", Value::from(self.dispatched_secs)),
+            ("kernel", Value::from(self.kernel)),
+            ("speedup", Value::from(self.speedup())),
+        ])
+    }
+}
+
+/// Deterministic mixed-density word patterns (no external RNG needed).
+fn bench_words(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match i % 7 {
+                0 => 0,
+                1 => !0,
+                _ => state,
+            }
+        })
+        .collect()
+}
+
+/// Measures the dispatched kernel against the scalar reference on the
+/// primitives the peeling engines actually spend their words in, at row
+/// widths bracketing the bench universes (8 words ≈ a 512-vertex dense
+/// universe, 64 words ≈ 4096). Each measurement is the best of `runs`
+/// timed repetitions of a fixed iteration count.
+pub fn kernel_dispatch_suite(runs: usize) -> Vec<KernelDispatch> {
+    use mlgraph::kernels::{kernel, kernel_for, BitKernel, KernelKind};
+    let scalar = kernel_for(KernelKind::Scalar).expect("scalar kernel always available");
+    let dispatched = kernel();
+    let kernel_name = dispatched.kind().name();
+    let mut out = Vec::new();
+    for &words in &[8usize, 64] {
+        let a = bench_words(1, words);
+        let b = bench_words(2, words);
+        let iterations = 4 << 20 >> words.trailing_zeros().min(6); // ~same total words per op
+        let time_op = |k: &'static dyn BitKernel, op: &str| -> f64 {
+            let mut buf = vec![0u64; words];
+            let (secs, _) = best_of(runs, || {
+                let mut checksum = 0u64;
+                for _ in 0..iterations {
+                    checksum = checksum.wrapping_add(match op {
+                        "and_count" => k.and_count(&a, &b) as u64,
+                        "and_assign_count" => k.and_assign_count(&mut buf, &a, &b) as u64,
+                        "andnot_assign_count" => k.andnot_assign_count(&mut buf, &a, &b) as u64,
+                        "or_inplace_count" => k.or_inplace_count(&mut buf, &b) as u64,
+                        _ => unreachable!("unknown kernel op"),
+                    });
+                }
+                checksum
+            });
+            secs
+        };
+        for op in ["and_count", "and_assign_count", "andnot_assign_count", "or_inplace_count"] {
+            let scalar_secs = time_op(scalar, op);
+            let dispatched_secs = time_op(dispatched, op);
+            out.push(KernelDispatch {
+                op,
+                words,
+                scalar_secs,
+                dispatched_secs,
+                kernel: kernel_name,
+            });
+        }
+    }
+    out
+}
+
 fn best_of<F: FnMut() -> u64>(runs: usize, mut f: F) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut checksum = 0u64;
@@ -415,6 +517,7 @@ fn scaling_group_to_json(measurements: &[ThreadScaling], skipped_single_core: bo
 /// Renders the suites as the `BENCH_dcc.json` document.
 /// `scaling_skipped_single_core` marks the two scaling groups as skipped (their
 /// measurement lists are then expected to be empty — see [`single_core`]).
+#[allow(clippy::too_many_arguments)]
 pub fn suite_to_json(
     scale: Scale,
     runs: usize,
@@ -423,6 +526,7 @@ pub fn suite_to_json(
     subtree: &[ThreadScaling],
     scaling_skipped_single_core: bool,
     auto: &[AutoSelection],
+    kernels: &[KernelDispatch],
 ) -> Value {
     let geomean = if comparisons.is_empty() {
         1.0
@@ -436,16 +540,25 @@ pub fn suite_to_json(
         let log_sum: f64 = auto.iter().map(|a| a.efficiency().ln()).sum();
         (log_sum / auto.len() as f64).exp()
     };
+    let kernel_geomean = if kernels.is_empty() {
+        1.0
+    } else {
+        let log_sum: f64 = kernels.iter().map(|k| k.speedup().ln()).sum();
+        (log_sum / kernels.len() as f64).exp()
+    };
     Value::object(vec![
         ("benchmark", Value::from("dcc_candidate_generation_engine_vs_naive")),
         ("scale", Value::from(format!("{scale:?}"))),
         ("runs_per_measurement", Value::from(runs)),
         ("geomean_speedup", Value::from(geomean)),
         ("auto_selection_efficiency_geomean", Value::from(auto_geomean)),
+        ("selected_kernel", Value::from(mlgraph::kernels::kernel().kind().name())),
+        ("kernel_dispatch_speedup_geomean", Value::from(kernel_geomean)),
         ("comparisons", Value::Array(comparisons.iter().map(Comparison::to_json).collect())),
         ("thread_scaling", scaling_group_to_json(scaling, scaling_skipped_single_core)),
         ("subtree_scaling", scaling_group_to_json(subtree, scaling_skipped_single_core)),
         ("auto_selection", Value::Array(auto.iter().map(AutoSelection::to_json).collect())),
+        ("kernel_dispatch", Value::Array(kernels.iter().map(KernelDispatch::to_json).collect())),
     ])
 }
 
@@ -459,7 +572,7 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
@@ -474,10 +587,10 @@ mod tests {
     /// way both groups are present in the document.
     #[test]
     fn scaling_groups_record_the_single_core_skip() {
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": true"));
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": false"));
         assert!(text.contains("\"subtree_scaling\""));
@@ -495,6 +608,22 @@ mod tests {
         let text = serde_json::to_string_pretty(&auto.to_json());
         assert!(text.contains("\"chosen\""));
         assert!(text.contains("\"efficiency\""));
+    }
+
+    #[test]
+    fn kernel_dispatch_is_measured_and_recorded() {
+        let kernels = kernel_dispatch_suite(1);
+        assert!(!kernels.is_empty());
+        for k in &kernels {
+            assert!(k.scalar_secs > 0.0 && k.dispatched_secs > 0.0, "{}", k.op);
+            assert!(k.speedup() > 0.0);
+        }
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels);
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"selected_kernel\""));
+        assert!(text.contains("\"kernel_dispatch\""));
+        assert!(text.contains("\"kernel_dispatch_speedup_geomean\""));
+        assert!(text.contains("\"and_count\""));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! dccs stats   (--input FILE | --dataset NAME [--scale S])
 //! dccs run     (--input FILE | --dataset NAME [--scale S])
-//!              [--algorithm auto|gd|bu|td|exact]
+//!              [--algorithm auto|gd|bu|td|exact] [--index auto|csr|dense]
 //!              [-d N] [-s N] [-k N] [--threads N] [--no-vd] [--no-sl] [--no-ir]
 //! dccs compare (--input FILE | --dataset NAME [--scale S]) [-d N] [-s N] [-k N]
 //!              [--threads N]
@@ -17,7 +17,7 @@
 //! one-line errors with a nonzero exit code — never a panic backtrace.
 
 use datasets::{generate, DatasetId, Scale};
-use dccs::{Algorithm, DccsError, DccsOptions, DccsParams, DccsSession};
+use dccs::{Algorithm, DccsError, DccsOptions, DccsParams, DccsSession, IndexChoice};
 use mlgraph::{GraphStats, MultiLayerGraph};
 use std::process::ExitCode;
 
@@ -27,18 +27,22 @@ dccs — diversified coherent core search on multi-layer graphs
 USAGE:
     dccs stats    (--input FILE | --dataset NAME [--scale tiny|small|full])
     dccs run      (--input FILE | --dataset NAME [--scale SCALE])
-                  [--algorithm auto|gd|bu|td|exact] [-d N] [-s N] [-k N]
+                  [--algorithm auto|gd|bu|td|exact] [--index auto|csr|dense]
+                  [-d N] [-s N] [-k N]
                   [--threads N] [--no-vd] [--no-sl] [--no-ir]
     dccs compare  (--input FILE | --dataset NAME [--scale SCALE]) [-d N] [-s N] [-k N]
-                  [--threads N]
+                  [--threads N] [--index auto|csr|dense]
     dccs generate --dataset NAME [--scale SCALE] --output FILE
 
-DEFAULTS: -d 4, -s 3, -k 10, --algorithm auto, --scale small, --threads 1
+DEFAULTS: -d 4, -s 3, -k 10, --algorithm auto, --index auto, --scale small,
+          --threads 1
 
 --algorithm auto picks GD/BU/TD per query from the paper's regime
 heuristics and the dense-vs-CSR cost model; the choice is printed with
-the result. --threads N spreads the search over N executor workers
-(0 = all available cores). Results are identical at any thread count.
+the result. --index csr|dense overrides that cost model's peeling
+representation (for A/B runs; both produce identical results). --threads N
+spreads the search over N executor workers (0 = all available cores).
+Results are identical at any thread count.
 ";
 
 /// CLI failure modes: usage errors reprint the synopsis, everything else
@@ -129,6 +133,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let name = value("--algorithm")?;
                 out.algorithm = Algorithm::parse(&name)
                     .ok_or_else(|| CliError::Usage(format!("unknown algorithm `{name}`")))?;
+            }
+            "--index" => {
+                let name = value("--index")?;
+                out.opts.index = IndexChoice::parse(&name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown index `{name}`")))?;
             }
             "-d" => {
                 out.d = value("-d")?
@@ -228,6 +237,9 @@ fn print_result(name: &str, g: &MultiLayerGraph, result: &dccs::DccsResult) {
     println!("dCC calls       : {}", result.stats.dcc_calls);
     println!("subtrees pruned : {}", result.stats.subtrees_pruned);
     println!("vertices deleted: {}", result.stats.vertices_deleted);
+    if let Some(path) = result.stats.index_path {
+        println!("index path      : {path:?}");
+    }
     for (i, core) in result.cores.iter().enumerate() {
         let layer_names: Vec<&str> = core.layers.iter().map(|&l| g.layer_name(l)).collect();
         println!("  core {:>2}: {} vertices on layers {:?}", i + 1, core.len(), layer_names);
@@ -356,6 +368,42 @@ mod tests {
         assert_eq!(opts(&["--algorithm", "bu"]).unwrap().algorithm, Algorithm::BottomUp);
         assert_eq!(opts(&["--algorithm", "exact"]).unwrap().algorithm, Algorithm::Exact);
         assert!(opts(&["--algorithm", "quantum"]).is_err());
+    }
+
+    #[test]
+    fn parses_index_override_and_rejects_garbage() {
+        assert_eq!(opts(&[]).unwrap().opts.index, IndexChoice::Auto);
+        assert_eq!(opts(&["--index", "csr"]).unwrap().opts.index, IndexChoice::Csr);
+        assert_eq!(opts(&["--index", "dense"]).unwrap().opts.index, IndexChoice::Dense);
+        assert_eq!(opts(&["--index", "auto"]).unwrap().opts.index, IndexChoice::Auto);
+        // The usage-error path: unknown value and missing value.
+        assert!(matches!(opts(&["--index", "btree"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--index"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn end_to_end_run_with_forced_index() {
+        for index in ["csr", "dense"] {
+            assert!(
+                run_args(&[
+                    "run",
+                    "--dataset",
+                    "ppi",
+                    "--scale",
+                    "tiny",
+                    "-d",
+                    "2",
+                    "-s",
+                    "2",
+                    "--algorithm",
+                    "gd",
+                    "--index",
+                    index,
+                ])
+                .is_ok(),
+                "--index {index} failed"
+            );
+        }
     }
 
     #[test]

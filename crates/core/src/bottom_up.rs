@@ -38,7 +38,7 @@
 use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::{PruneBounds, TopKDiversified};
-use crate::engine::{drive_task_graph, with_pool, SearchContext};
+use crate::engine::{drive_task_graph, with_pool, PoolRef, SearchContext};
 use crate::preprocess::init_topk_in;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use coreness::PeelWorkspace;
@@ -67,9 +67,23 @@ pub fn bottom_up_dccs_with_options(
 }
 
 /// Runs `BU-DCCS` on an existing [`SearchContext`], reusing its scratch
-/// across a parameter sweep.
+/// across a parameter sweep. Spins up one scoped crew for the whole query;
+/// session callers with a persistent crew go through [`bottom_up_dccs_on`].
 pub fn bottom_up_dccs_in(
     ctx: &mut SearchContext,
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> DccsResult {
+    with_pool(ctx.threads(), |pool| bottom_up_dccs_on(ctx, pool, g, params, opts))
+}
+
+/// [`bottom_up_dccs_in`] on an existing executor crew — the single-crew
+/// query path: preprocessing and the subtree task graph share `pool`, so
+/// neither phase pays its own worker spawn/join.
+pub fn bottom_up_dccs_on(
+    ctx: &mut SearchContext,
+    pool: &PoolRef<'_>,
     g: &MultiLayerGraph,
     params: &DccsParams,
     opts: &DccsOptions,
@@ -78,7 +92,7 @@ pub fn bottom_up_dccs_in(
     let start = Instant::now();
     let mut stats = SearchStats { algorithm: Some(Algorithm::BottomUp), ..SearchStats::default() };
 
-    let pre = ctx.preprocess(g, params, opts);
+    let pre = ctx.preprocess_on(pool, g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
     let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
@@ -90,7 +104,6 @@ pub fn bottom_up_dccs_in(
     // Positions in the search tree follow the sorted layer order.
     let order = pre.bottom_up_layer_order(opts);
     let cores_by_pos: Vec<VertexSet> = order.iter().map(|&i| pre.layer_cores[i].clone()).collect();
-    let threads = ctx.threads();
     let l = g.num_layers();
     let d = params.d;
     let s = params.s;
@@ -140,7 +153,7 @@ pub fn bottom_up_dccs_in(
         BuNodeEval { positions, excluded, children, order_pruned }
     };
 
-    with_pool(threads, |pool| {
+    {
         let root = BuTask {
             positions: Vec::new(),
             core: pre.active.clone(),
@@ -198,7 +211,7 @@ pub fn bottom_up_dccs_in(
                 });
             }
         });
-    });
+    }
 
     stats.updates_accepted = topk.accepted_updates();
     DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())

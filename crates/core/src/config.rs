@@ -1,5 +1,6 @@
 //! Problem parameters and algorithm options.
 
+use crate::engine::IndexChoice;
 use crate::error::DccsError;
 
 /// The three parameters of the DCCS problem (Section II of the paper).
@@ -72,6 +73,13 @@ pub struct DccsOptions {
     /// counters — are identical at every thread count; only the wall-clock
     /// time changes.
     pub threads: usize,
+    /// Dense-vs-CSR peeling representation override
+    /// ([`crate::engine::IndexChoice`]; the CLI's `--index csr|dense|auto`).
+    /// `Auto` (the default) runs the [`crate::engine::plan_index`] cost
+    /// model; forcing a representation changes wall-clock time only — both
+    /// paths are bit-identical — and the per-run decision is recorded in
+    /// [`crate::SearchStats::index_path`] either way.
+    pub index: IndexChoice,
 }
 
 impl Default for DccsOptions {
@@ -85,6 +93,7 @@ impl Default for DccsOptions {
             potential_pruning: true,
             use_refine_c: true,
             threads: 1,
+            index: IndexChoice::Auto,
         }
     }
 }
@@ -119,6 +128,11 @@ impl DccsOptions {
     /// Default options with the executor spread over `threads` workers.
     pub fn with_threads(threads: usize) -> Self {
         DccsOptions { threads, ..DccsOptions::default() }
+    }
+
+    /// Default options with the dense-vs-CSR cost model overridden.
+    pub fn with_index(index: IndexChoice) -> Self {
+        DccsOptions { index, ..DccsOptions::default() }
     }
 }
 

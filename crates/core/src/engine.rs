@@ -46,9 +46,9 @@
 //! threads.
 
 use crate::config::{DccsOptions, DccsParams};
-use crate::preprocess::{initial_layer_cores_threaded, preprocess_from_threaded, Preprocessed};
+use crate::preprocess::{initial_layer_cores_on, preprocess_from_on, Preprocessed};
 use coreness::PeelWorkspace;
-use mlgraph::{DenseSubgraph, MultiLayerGraph, VertexSet};
+use mlgraph::{DenseSubgraph, Layer, MultiLayerGraph, Vertex, VertexSet};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -96,6 +96,46 @@ pub struct IndexPlan {
     pub avg_degree: f64,
 }
 
+/// Caller override of the dense-vs-CSR cost model, carried on
+/// [`crate::DccsOptions::index`] and the CLI's `--index csr|dense|auto`
+/// flag so the model can be A/B'd without recompiling. The override only
+/// selects the *representation* — both paths are bit-identical — and the
+/// actual decision is still recorded in
+/// [`crate::SearchStats::index_path`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IndexChoice {
+    /// Let the [`plan_index`] cost model decide (the default).
+    #[default]
+    Auto,
+    /// Always peel over the CSR adjacency.
+    Csr,
+    /// Peel over the dense re-indexed rows whenever the universe fits the
+    /// [`DENSE_WORD_BUDGET`] (the memory gate is a safety bound, not part
+    /// of the cost model, so it still applies).
+    Dense,
+}
+
+impl IndexChoice {
+    /// The CLI spelling (`auto`, `csr`, `dense`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexChoice::Auto => "auto",
+            IndexChoice::Csr => "csr",
+            IndexChoice::Dense => "dense",
+        }
+    }
+
+    /// Parses a CLI value (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" => Some(IndexChoice::Auto),
+            "csr" => Some(IndexChoice::Csr),
+            "dense" => Some(IndexChoice::Dense),
+            _ => None,
+        }
+    }
+}
+
 /// Decides dense vs CSR for peeling a candidate `universe` of `g`.
 ///
 /// The dense path re-indexes the universe to `0..m` and answers every
@@ -106,6 +146,19 @@ pub struct IndexPlan {
 /// [`DENSE_WORD_BUDGET`]; at low degree thresholds on near-complete
 /// universes (many vertices, sparse rows) CSR wins and is chosen.
 pub fn plan_index(g: &MultiLayerGraph, universe: &VertexSet) -> IndexPlan {
+    plan_index_with(g, universe, IndexChoice::Auto)
+}
+
+/// [`plan_index`] with an explicit [`IndexChoice`] override: `Csr` and
+/// `Dense` force the representation (dense still subject to the memory
+/// budget), `Auto` runs the cost model. The plan's diagnostic quantities
+/// are computed either way, so an overridden run records the same
+/// `words_per_row`/`avg_degree` the model would have seen.
+pub fn plan_index_with(
+    g: &MultiLayerGraph,
+    universe: &VertexSet,
+    choice: IndexChoice,
+) -> IndexPlan {
     let m = universe.len();
     let l = g.num_layers();
     let words_per_row = m.div_ceil(64);
@@ -118,8 +171,12 @@ pub fn plan_index(g: &MultiLayerGraph, universe: &VertexSet) -> IndexPlan {
     }
     let avg_degree = if m == 0 { 0.0 } else { total_degree as f64 / (l * m) as f64 };
     let fits = m > 0 && DenseSubgraph::words_required(m, l) <= DENSE_WORD_BUDGET;
-    let cheap_rows = (words_per_row as f64) <= DENSE_CROSSOVER * avg_degree;
-    let path = if fits && cheap_rows { IndexPath::Dense } else { IndexPath::Csr };
+    let dense = match choice {
+        IndexChoice::Auto => fits && (words_per_row as f64) <= DENSE_CROSSOVER * avg_degree,
+        IndexChoice::Csr => false,
+        IndexChoice::Dense => fits,
+    };
+    let path = if dense { IndexPath::Dense } else { IndexPath::Csr };
     IndexPlan { path, universe: m, words_per_row, avg_degree }
 }
 
@@ -153,6 +210,8 @@ fn graph_key(g: &MultiLayerGraph) -> (usize, usize, usize, usize) {
 #[derive(Debug)]
 pub struct SearchContext {
     threads: usize,
+    /// Caller override of the dense-vs-CSR cost model (CLI `--index`).
+    index_choice: IndexChoice,
     dense_cache: Option<DenseCacheEntry>,
     /// Per-layer d-cores over the full vertex set, keyed by `d` — the
     /// `d`-only-dependent first step of preprocessing. An `s`/`k` sweep at
@@ -176,6 +235,7 @@ impl SearchContext {
     pub fn new(threads: usize) -> Self {
         SearchContext {
             threads: threads.max(1),
+            index_choice: IndexChoice::Auto,
             dense_cache: None,
             layer_core_memo: HashMap::new(),
             memo_graph_key: None,
@@ -186,9 +246,11 @@ impl SearchContext {
         }
     }
 
-    /// A context configured from the options' `threads` knob.
+    /// A context configured from the options' `threads` and `index` knobs.
     pub fn from_options(opts: &DccsOptions) -> Self {
-        SearchContext::new(opts.threads)
+        let mut ctx = SearchContext::new(opts.threads);
+        ctx.index_choice = opts.index;
+        ctx
     }
 
     /// Number of workers (≥ 1) batches are spread over.
@@ -202,6 +264,19 @@ impl SearchContext {
     /// losing sweep state.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// The dense-vs-CSR override subsequent runs plan with.
+    pub fn index_choice(&self) -> IndexChoice {
+        self.index_choice
+    }
+
+    /// Overrides the dense-vs-CSR cost model for subsequent runs. Both
+    /// representations are bit-identical, so this — like `set_threads` —
+    /// changes the wall-clock only; the per-run decision still lands in
+    /// [`crate::SearchStats::index_path`].
+    pub fn set_index_choice(&mut self, choice: IndexChoice) {
+        self.index_choice = choice;
     }
 
     /// Runs the Section IV-C preprocessing through the context's per-layer
@@ -220,17 +295,31 @@ impl SearchContext {
         params: &DccsParams,
         opts: &DccsOptions,
     ) -> Preprocessed {
+        with_pool(self.threads, |pool| self.preprocess_on(pool, g, params, opts))
+    }
+
+    /// [`SearchContext::preprocess`] on an existing executor crew — the
+    /// single-crew query path: the session spins up (or reuses) one crew
+    /// per query and threads it through preprocessing and the search, so
+    /// no phase pays its own worker spawn/join.
+    pub fn preprocess_on(
+        &mut self,
+        pool: &PoolRef<'_>,
+        g: &MultiLayerGraph,
+        params: &DccsParams,
+        opts: &DccsOptions,
+    ) -> Preprocessed {
         let key = graph_key(g);
         if self.memo_graph_key != Some(key) {
             self.layer_core_memo.clear();
             self.memo_graph_key = Some(key);
         }
         if !self.layer_core_memo.contains_key(&params.d) {
-            let cores = initial_layer_cores_threaded(g, params.d, &mut self.ws, self.threads);
+            let cores = initial_layer_cores_on(g, params.d, &mut self.ws, pool);
             self.layer_core_memo.insert(params.d, cores);
         }
         let initial = self.layer_core_memo[&params.d].clone();
-        preprocess_from_threaded(g, params, opts, &mut self.ws, initial, self.threads)
+        preprocess_from_on(g, params, opts, &mut self.ws, initial, pool)
     }
 
     /// Runs the cost model for `universe` and, when the dense path wins,
@@ -240,11 +329,11 @@ impl SearchContext {
     /// the chosen path in their statistics.
     pub fn dense_for<'a>(
         &'a mut self,
-        g: &MultiLayerGraph,
+        g: &'a MultiLayerGraph,
         universe: &VertexSet,
     ) -> (IndexPlan, Option<&'a DenseSubgraph>) {
-        let (plan, dense, _) = self.lattice_resources(g, universe);
-        (plan, dense)
+        let (index, _) = self.peel_index(g, universe);
+        (index.plan, index.dense)
     }
 
     /// Drops the cached dense index and the per-layer d-core memo (e.g.
@@ -261,16 +350,19 @@ impl SearchContext {
         (&mut self.ws, &mut self.running, &mut self.seed)
     }
 
-    /// Split-borrow variant of [`SearchContext::dense_for`] for the lattice:
-    /// returns the plan, the (possibly cached) dense index, and the driver
-    /// workspace simultaneously, so candidate generation can peel on the
-    /// driver while branch jobs share the index.
-    pub(crate) fn lattice_resources(
-        &mut self,
-        g: &MultiLayerGraph,
+    /// Plans the peeling representation for `universe` (honoring the
+    /// context's [`IndexChoice`] override) and hands back the unified
+    /// [`PeelIndex`] plus the driver workspace as a split borrow, so
+    /// candidate generation can peel on the driver while branch jobs share
+    /// the index. The dense index is cached across calls keyed on the
+    /// universe, so a sweep whose preprocessed universe is unchanged
+    /// re-indexes the graph once.
+    pub(crate) fn peel_index<'a>(
+        &'a mut self,
+        g: &'a MultiLayerGraph,
         universe: &VertexSet,
-    ) -> (IndexPlan, Option<&DenseSubgraph>, &mut PeelWorkspace) {
-        let plan = plan_index(g, universe);
+    ) -> (PeelIndex<'a>, &'a mut PeelWorkspace) {
+        let plan = plan_index_with(g, universe, self.index_choice);
         let dense = if plan.path == IndexPath::Dense {
             let key = graph_key(g);
             let hit = self
@@ -288,7 +380,7 @@ impl SearchContext {
         } else {
             None
         };
-        (plan, dense, &mut self.ws)
+        (PeelIndex { g, dense, plan, kernel: mlgraph::kernels::kernel() }, &mut self.ws)
     }
 }
 
@@ -298,29 +390,329 @@ impl Default for SearchContext {
     }
 }
 
+/// The unified peeling index [`plan_index`] hands back: one object wrapping
+/// whichever adjacency representation the cost model (or the caller's
+/// [`IndexChoice`] override) picked, consumed by the peeler and the lattice
+/// walk through the same kernel-dispatched API instead of each call site
+/// re-branching on [`IndexPath`].
+///
+/// On the CSR path the index space **is** the graph's vertex universe
+/// (`compress`/`emit` are identity copies and degrees scan adjacency
+/// lists); on the dense path it is the re-indexed `0..m` universe and every
+/// degree is a `popcount(row ∧ set)` through the selected bit kernel.
+#[derive(Clone, Copy)]
+pub struct PeelIndex<'a> {
+    g: &'a MultiLayerGraph,
+    dense: Option<&'a DenseSubgraph>,
+    plan: IndexPlan,
+    /// The process-dispatched bit kernel, fetched once at construction so
+    /// the per-vertex degree queries of a walk pay no repeated
+    /// `OnceLock` lookup.
+    kernel: &'static dyn mlgraph::kernels::BitKernel,
+}
+
+impl std::fmt::Debug for PeelIndex<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeelIndex")
+            .field("plan", &self.plan)
+            .field("kernel", &self.kernel.kind())
+            .finish()
+    }
+}
+
+/// How [`PeelIndex::inherit_prefix_degrees`] produced a child's
+/// prefix-layer degrees — the observable half of the lattice's inheritance
+/// diagnostics ([`crate::LatticeStats::inherited`] /
+/// [`crate::LatticeStats::recount_fallbacks`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum InheritOutcome {
+    /// Dense walk: word-restricted `popcount(row ∧ removed)` subtraction.
+    DenseInherited,
+    /// Dense walk: the removed set spanned full rows, so the degrees were
+    /// recounted from scratch (the German-`d=2` failure mode).
+    DenseRecount,
+    /// CSR walk: parent counts patched by the removed vertices' edges.
+    CsrPatched,
+    /// CSR walk: the intersection dropped most of the parent, so the (now
+    /// small) child was rescanned instead.
+    CsrRecount,
+}
+
+impl<'a> PeelIndex<'a> {
+    /// Builds an index from an explicit plan and (for the dense path) a
+    /// pre-built dense subgraph; the ctx-less lattice entry point uses this,
+    /// the context path goes through [`SearchContext::peel_index`].
+    pub(crate) fn new(
+        g: &'a MultiLayerGraph,
+        dense: Option<&'a DenseSubgraph>,
+        plan: IndexPlan,
+    ) -> Self {
+        debug_assert_eq!(plan.path == IndexPath::Dense, dense.is_some());
+        PeelIndex { g, dense, plan, kernel: mlgraph::kernels::kernel() }
+    }
+
+    /// The representation this index peels over.
+    pub fn path(&self) -> IndexPath {
+        self.plan.path
+    }
+
+    /// The cost-model plan that produced this index.
+    pub fn plan(&self) -> IndexPlan {
+        self.plan
+    }
+
+    /// The dense re-indexed subgraph, when the dense path was chosen.
+    pub fn dense_index(&self) -> Option<&'a DenseSubgraph> {
+        self.dense
+    }
+
+    /// Universe size in index space: `m` on the dense path, `n` on CSR.
+    pub fn universe_len(&self) -> usize {
+        match self.dense {
+            Some(dense) => dense.len(),
+            None => self.g.num_vertices(),
+        }
+    }
+
+    /// `|N_layer(v) ∩ set|` in index space — a kernel-dispatched
+    /// `popcount(row ∧ set)` on the dense path, an adjacency scan with
+    /// membership tests on CSR.
+    #[inline]
+    pub fn degree_within(&self, layer: Layer, v: Vertex, set: &VertexSet) -> usize {
+        match self.dense {
+            Some(dense) => self.kernel.and_count(set.words(), dense.row(layer, v)),
+            None => self.g.layer(layer).degree_within(v, set),
+        }
+    }
+
+    /// Translates per-layer cores into index space: `None` on CSR (the
+    /// caller keeps using the originals — index space is vertex space),
+    /// compressed copies on the dense path.
+    pub fn compress_layer_cores(&self, layer_cores: &[VertexSet]) -> Option<Vec<VertexSet>> {
+        self.dense.map(|dense| {
+            layer_cores
+                .iter()
+                .map(|core| {
+                    let mut compressed = dense.new_set();
+                    dense.compress_into(core, &mut compressed);
+                    compressed
+                })
+                .collect()
+        })
+    }
+
+    /// Returns `core` in vertex space for emission: the core itself on CSR,
+    /// the expansion written into `buf` on the dense path.
+    pub fn emit<'s>(&self, core: &'s VertexSet, buf: &'s mut VertexSet) -> &'s VertexSet {
+        match self.dense {
+            Some(dense) => {
+                dense.expand_into(core, buf);
+                buf
+            }
+            None => core,
+        }
+    }
+
+    /// The cascading removal phase in index space — the peeler's side of
+    /// the unified API: [`PeelWorkspace::cascade_dense`] (word-batched, bit
+    /// kernels) on the dense path, [`PeelWorkspace::cascade_in_place`]
+    /// (CSR adjacency) otherwise. `degrees` must hold exact within-`alive`
+    /// degrees per `layers[j]`, and is kept exact for the survivors.
+    pub fn cascade(
+        &self,
+        ws: &mut PeelWorkspace,
+        layers: &[Layer],
+        d: u32,
+        alive: &mut VertexSet,
+        degrees: &mut [u32],
+    ) {
+        match self.dense {
+            Some(dense) => ws.cascade_dense(dense, layers, d, alive, degrees),
+            None => ws.cascade_in_place(self.g, layers, d, alive, degrees),
+        }
+    }
+
+    /// Builds a lattice child's prefix-layer degree rows from its parent's:
+    /// the representation-specific inheritance strategy behind one API.
+    ///
+    /// Dense: each survivor's degree shrinks by exactly `|row ∧ removed|`,
+    /// subtracted over **only the non-zero words of the removed set** —
+    /// a strict win whenever the removals span fewer words than a full row,
+    /// with a from-scratch recount fallback otherwise (the measured
+    /// failure mode on the German `d = 2` shape, now counted in
+    /// [`crate::LatticeStats::recount_fallbacks`]).
+    ///
+    /// CSR: when few vertices were lost, the parent's counts are patched by
+    /// the removed vertices' edges; when the intersection dropped most of
+    /// the parent, the (now small) child is rescanned.
+    ///
+    /// `prefix` is the subset's first `depth` layers; `parent_deg` /
+    /// `child_deg` are laid out `[t * len + v]` over the index-space
+    /// universe; `nz_scratch` is reused to hold the removed set's non-zero
+    /// word indices.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn inherit_prefix_degrees(
+        &self,
+        prefix: &[Layer],
+        parent_deg: &[u32],
+        child_deg: &mut [u32],
+        child: &VertexSet,
+        removed: &VertexSet,
+        nz_scratch: &mut Vec<u32>,
+    ) -> InheritOutcome {
+        let len = self.universe_len();
+        match self.dense {
+            Some(dense) => {
+                let row_words = child.words().len();
+                nz_scratch.clear();
+                for (w, &word) in removed.words().iter().enumerate() {
+                    if word != 0 {
+                        nz_scratch.push(w as u32);
+                    }
+                }
+                if nz_scratch.len() < row_words {
+                    let rem = removed.words();
+                    for v in child.iter() {
+                        let vi = v as usize;
+                        for (t, &layer) in prefix.iter().enumerate() {
+                            let row = dense.row(layer, v);
+                            let mut delta = 0u32;
+                            for &w in nz_scratch.iter() {
+                                delta += (row[w as usize] & rem[w as usize]).count_ones();
+                            }
+                            child_deg[t * len + vi] = parent_deg[t * len + vi] - delta;
+                        }
+                    }
+                    InheritOutcome::DenseInherited
+                } else {
+                    for (t, &layer) in prefix.iter().enumerate() {
+                        for v in child.iter() {
+                            child_deg[t * len + v as usize] =
+                                self.kernel.and_count(child.words(), dense.row(layer, v)) as u32;
+                        }
+                    }
+                    InheritOutcome::DenseRecount
+                }
+            }
+            None => {
+                if removed.len() <= child.len() {
+                    for v in child.iter() {
+                        let vi = v as usize;
+                        for t in 0..prefix.len() {
+                            child_deg[t * len + vi] = parent_deg[t * len + vi];
+                        }
+                    }
+                    for v in removed.iter() {
+                        for (t, &layer) in prefix.iter().enumerate() {
+                            for &u in self.g.layer(layer).neighbors(v) {
+                                if child.contains(u) {
+                                    child_deg[t * len + u as usize] -= 1;
+                                }
+                            }
+                        }
+                    }
+                    InheritOutcome::CsrPatched
+                } else {
+                    for (t, &layer) in prefix.iter().enumerate() {
+                        let csr = self.g.layer(layer);
+                        for v in child.iter() {
+                            child_deg[t * len + v as usize] = csr.degree_within(v, child) as u32;
+                        }
+                    }
+                    InheritOutcome::CsrRecount
+                }
+            }
+        }
+    }
+}
+
 /// A unit of work: one search-tree child evaluation, run on any worker's
 /// workspace.
-type Job<'env> = Box<dyn FnOnce(&mut PeelWorkspace) + Send + 'env>;
+///
+/// Jobs are **lifetime-erased** at enqueue time (see [`erase_job`]): the
+/// queue holds `'static`-typed boxes whose closures may in fact borrow the
+/// enqueuing frame. That is what lets one crew — including a
+/// session-persistent one — serve batches whose jobs borrow data created
+/// long after the crew was spawned (the preprocessed layer cores, the
+/// cached dense index, a lattice branch closure), which is the whole point
+/// of the single-crew query path.
+type Job = Box<dyn FnOnce(&mut PeelWorkspace) + Send>;
 
-struct PoolState<'env> {
-    queue: VecDeque<Job<'env>>,
+/// Erases the borrow lifetime of a job before it enters the shared queue.
+///
+/// # Safety argument
+///
+/// Sound because every enqueue site pairs the erased jobs with a
+/// [`DrainGuard`] on the enqueuing stack frame: the guard runs on **every**
+/// exit path (normal return or unwind), removes any still-queued jobs of
+/// the batch, and blocks until the in-flight ones have finished. No erased
+/// closure — queued, running, or dropped — can therefore outlive the frame
+/// whose borrows it captures. The queue is strictly single-driver (one
+/// batch or task graph in flight at a time), so a guard never waits on or
+/// drops another batch's jobs.
+#[allow(unsafe_code)]
+fn erase_job<'env>(job: Box<dyn FnOnce(&mut PeelWorkspace) + Send + 'env>) -> Job {
+    // SAFETY: per above — completion is enforced before the borrowed frame
+    // can die, and a fat Box pointer's layout does not depend on the
+    // trait object's lifetime bound.
+    unsafe { std::mem::transmute(job) }
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
     outstanding: usize,
     shutdown: bool,
 }
 
 /// Queue + signalling shared between the driver and the workers.
-struct PoolShared<'env> {
-    state: Mutex<PoolState<'env>>,
+struct PoolShared {
+    state: Mutex<PoolState>,
     /// Workers park here waiting for jobs (or shutdown).
     work_cv: Condvar,
     /// The driver parks here waiting for the last job of a batch.
     done_cv: Condvar,
 }
 
-fn lock_state<'a, 'env>(shared: &'a PoolShared<'env>) -> MutexGuard<'a, PoolState<'env>> {
+impl PoolShared {
+    fn new() -> Self {
+        PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                outstanding: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+fn lock_state<'a>(shared: &'a PoolShared) -> MutexGuard<'a, PoolState> {
     // A panicking job poisons nothing we cannot recover: the state is a
     // plain queue + counter, consistent at every lock release.
     shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The completion fence backing [`erase_job`]'s safety argument: dropped on
+/// every exit path of a batch or task graph, it discards whatever the
+/// current batch still has queued (decrementing the in-flight counter for
+/// each discarded job) and then waits until every job already running on a
+/// worker has finished. On the normal path the caller has already drained
+/// everything and this is one cheap lock; on an unwinding path it is what
+/// keeps erased borrows alive until no job can touch them.
+struct DrainGuard<'a>(&'a PoolShared);
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock_state(self.0);
+        while let Some(job) = st.queue.pop_front() {
+            st.outstanding -= 1;
+            drop(job);
+        }
+        while st.outstanding > 0 {
+            st = self.0.done_cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
 }
 
 /// Decrements the in-flight job counter even if the job panicked, so a
@@ -330,9 +722,9 @@ fn lock_state<'a, 'env>(shared: &'a PoolShared<'env>) -> MutexGuard<'a, PoolStat
 /// `outstanding` is incremented at enqueue time by both [`PoolRef::map`]
 /// and [`PoolRef::submit`], so the counter uniformly means "enqueued but
 /// not finished".
-struct JobGuard<'a, 'env>(&'a PoolShared<'env>);
+struct JobGuard<'a>(&'a PoolShared);
 
-impl Drop for JobGuard<'_, '_> {
+impl Drop for JobGuard<'_> {
     fn drop(&mut self) {
         let mut st = lock_state(self.0);
         st.outstanding -= 1;
@@ -342,7 +734,7 @@ impl Drop for JobGuard<'_, '_> {
     }
 }
 
-fn worker_loop(shared: &PoolShared<'_>) {
+fn worker_loop(shared: &PoolShared) {
     let mut ws = PeelWorkspace::new();
     loop {
         let job = {
@@ -364,13 +756,14 @@ fn worker_loop(shared: &PoolShared<'_>) {
     }
 }
 
-/// Handle to a running worker crew, passed to the closure of [`with_pool`].
-pub struct PoolRef<'pool, 'env> {
-    shared: &'pool PoolShared<'env>,
+/// Handle to a running worker crew: scoped ([`with_pool`]) or
+/// session-persistent ([`PersistentPool::pool_ref`]).
+pub struct PoolRef<'pool> {
+    shared: &'pool PoolShared,
     workers: usize,
 }
 
-impl<'env> PoolRef<'_, 'env> {
+impl PoolRef<'_> {
     /// Number of workers draining the queue besides the driver.
     pub fn workers(&self) -> usize {
         self.workers
@@ -385,25 +778,32 @@ impl<'env> PoolRef<'_, 'env> {
     /// driver, so a 1-thread run never touches the queue. The deterministic
     /// output order is what makes parallel search results bit-identical to
     /// sequential ones.
+    ///
+    /// Jobs may borrow anything alive across this call — including data
+    /// created after the crew was spawned; the internal [`DrainGuard`]
+    /// guarantees no job outlives the call (see [`erase_job`]).
     pub fn map<T, F>(&self, driver_ws: &mut PeelWorkspace, jobs: Vec<F>) -> Vec<T>
     where
-        T: Send + 'env,
-        F: FnOnce(&mut PeelWorkspace) -> T + Send + 'env,
+        T: Send,
+        F: FnOnce(&mut PeelWorkspace) -> T + Send,
     {
         if self.workers == 0 || jobs.len() <= 1 {
             return jobs.into_iter().map(|job| job(driver_ws)).collect();
         }
         let n = jobs.len();
         let results: Arc<Mutex<Vec<(usize, T)>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        // From the first enqueue on, every exit path must fence on batch
+        // completion before `results` (and the jobs' borrows) die.
+        let _fence = DrainGuard(self.shared);
         {
             let mut st = lock_state(self.shared);
             st.outstanding += n;
             for (i, job) in jobs.into_iter().enumerate() {
                 let slot = Arc::clone(&results);
-                st.queue.push_back(Box::new(move |ws: &mut PeelWorkspace| {
+                st.queue.push_back(erase_job(Box::new(move |ws: &mut PeelWorkspace| {
                     let out = job(ws);
                     slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((i, out));
-                }));
+                })));
             }
         }
         self.shared.work_cv.notify_all();
@@ -438,10 +838,14 @@ impl<'env> PoolRef<'_, 'env> {
     /// [`PoolRef::map`] this is not a barrier: tasks from many search-tree
     /// nodes coexist in the queue, which is what lets sibling subtrees
     /// evaluate concurrently.
-    pub fn submit<R, F>(&self, job: F) -> TaskHandle<R>
+    ///
+    /// Crate-private: erased-lifetime tasks are only sound under
+    /// [`drive_task_graph`]'s completion fence, so the submit/wait pair is
+    /// not exposed raw.
+    pub(crate) fn submit<R, F>(&self, job: F) -> TaskHandle<R>
     where
-        R: Send + 'env,
-        F: FnOnce(&mut PeelWorkspace) -> R + Send + 'env,
+        R: Send,
+        F: FnOnce(&mut PeelWorkspace) -> R + Send,
     {
         let slot =
             Arc::new(TaskSlot { state: Mutex::new(SlotState::Pending), filled: Condvar::new() });
@@ -449,14 +853,14 @@ impl<'env> PoolRef<'_, 'env> {
         {
             let mut st = lock_state(self.shared);
             st.outstanding += 1;
-            st.queue.push_back(Box::new(move |ws: &mut PeelWorkspace| {
+            st.queue.push_back(erase_job(Box::new(move |ws: &mut PeelWorkspace| {
                 let mut guard = SlotGuard { slot: &task_slot, armed: true };
                 let out = job(ws);
                 guard.armed = false;
                 *task_slot.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                     SlotState::Done(out);
                 task_slot.filled.notify_all();
-            }));
+            })));
         }
         self.shared.work_cv.notify_one();
         TaskHandle(slot)
@@ -466,7 +870,7 @@ impl<'env> PoolRef<'_, 'env> {
     /// While waiting, the driver helps drain the shared queue on
     /// `driver_ws`, so a sequential context (no workers) executes every
     /// pending task itself and the task graph never stalls.
-    pub fn wait_task<R: Send + 'env>(
+    pub(crate) fn wait_task<R: Send>(
         &self,
         driver_ws: &mut PeelWorkspace,
         handle: TaskHandle<R>,
@@ -515,15 +919,15 @@ impl<'env> PoolRef<'_, 'env> {
 /// every thread count, while tasks from different subtrees peel
 /// concurrently. With no workers the graph degenerates to a plain
 /// depth-first traversal with zero queue overhead.
-pub fn drive_task_graph<'env, T, R, E, C>(
-    pool: &PoolRef<'_, 'env>,
+pub fn drive_task_graph<T, R, E, C>(
+    pool: &PoolRef<'_>,
     driver_ws: &mut PeelWorkspace,
     roots: Vec<T>,
-    eval: &'env E,
+    eval: &E,
     mut commit: C,
 ) where
-    T: Send + 'env,
-    R: Send + 'env,
+    T: Send,
+    R: Send,
     E: Fn(T, &mut PeelWorkspace) -> R + Sync,
     C: FnMut(R, &mut PeelWorkspace, &mut Vec<T>),
 {
@@ -541,6 +945,9 @@ pub fn drive_task_graph<'env, T, R, E, C>(
         }
         return;
     }
+    // Tasks borrow `eval` and the payloads' environment; the fence keeps
+    // every submitted (erased) task inside this frame — see `erase_job`.
+    let _fence = DrainGuard(pool.shared);
     let mut pending: VecDeque<TaskHandle<R>> = VecDeque::new();
     for task in roots {
         pending.push_back(pool.submit(move |ws| eval(task, ws)));
@@ -592,7 +999,7 @@ impl<R> Drop for SlotGuard<'_, R> {
 
 /// Handle to one submitted task, returned by [`PoolRef::submit`] and
 /// redeemed (in commit order) by [`PoolRef::wait_task`].
-pub struct TaskHandle<R>(Arc<TaskSlot<R>>);
+pub(crate) struct TaskHandle<R>(Arc<TaskSlot<R>>);
 
 impl<R> TaskHandle<R> {
     /// Takes the result if the task has finished.
@@ -615,9 +1022,9 @@ impl<R> TaskHandle<R> {
 
 /// Signals shutdown when the driver closure exits — normally or by panic —
 /// so parked workers always wake up and the scope join never hangs.
-struct ShutdownGuard<'a, 'env>(&'a PoolShared<'env>);
+struct ShutdownGuard<'a>(&'a PoolShared);
 
-impl Drop for ShutdownGuard<'_, '_> {
+impl Drop for ShutdownGuard<'_> {
     fn drop(&mut self) {
         lock_state(self.0).shutdown = true;
         self.0.work_cv.notify_all();
@@ -638,22 +1045,27 @@ fn forced_threads() -> Option<usize> {
     })
 }
 
+/// The crew width a `threads` request actually gets, after the
+/// `DCCS_FORCE_THREADS` CI override (which only ever raises it).
+pub(crate) fn effective_threads(threads: usize) -> usize {
+    forced_threads().map_or(threads, |forced| threads.max(forced)).max(1)
+}
+
 /// Spins up `threads − 1` scoped workers (the driver is the remaining one),
 /// runs `f` with a [`PoolRef`] handle, and joins everything before
 /// returning. With `threads ≤ 1` no thread is spawned and every batch runs
 /// inline on the driver (unless `DCCS_FORCE_THREADS` raises the width, see
 /// [`forced_threads`]).
 ///
-/// Jobs may borrow anything that outlives the `with_pool` call (`'env`):
-/// the graph, preprocessed layer cores, a cached [`DenseSubgraph`] — plus
-/// any owned data moved into them.
-pub fn with_pool<'env, R>(threads: usize, f: impl FnOnce(&PoolRef<'_, 'env>) -> R) -> R {
-    let threads = forced_threads().map_or(threads, |forced| threads.max(forced));
-    let shared = PoolShared {
-        state: Mutex::new(PoolState { queue: VecDeque::new(), outstanding: 0, shutdown: false }),
-        work_cv: Condvar::new(),
-        done_cv: Condvar::new(),
-    };
+/// Jobs may borrow anything alive across the batch that enqueues them —
+/// including data created *inside* `f`, long after the crew spawned: the
+/// preprocessed layer cores, a cached [`DenseSubgraph`], a lattice branch
+/// closure (see [`erase_job`] for why that is sound). Long-lived callers
+/// that want to reuse one crew across many calls hold a [`PersistentPool`]
+/// instead.
+pub fn with_pool<R>(threads: usize, f: impl FnOnce(&PoolRef<'_>) -> R) -> R {
+    let threads = effective_threads(threads);
+    let shared = PoolShared::new();
     let workers = threads.saturating_sub(1);
     if workers == 0 {
         return f(&PoolRef { shared: &shared, workers: 0 });
@@ -670,6 +1082,82 @@ pub fn with_pool<'env, R>(threads: usize, f: impl FnOnce(&PoolRef<'_, 'env>) -> 
         let _guard = ShutdownGuard(&shared);
         f(&PoolRef { shared: &shared, workers })
     })
+}
+
+/// A worker crew that outlives any single `with_pool` scope: spawned once,
+/// reused by every batch and task graph handed its [`PoolRef`], joined on
+/// drop. This is what backs the session's **single-crew queries** — a
+/// [`crate::DccsSession`] keeps one of these and threads it through
+/// preprocessing and the search of every query (and through whole
+/// [`crate::DccsSession::run_batch`] sweeps), so repeated small queries
+/// stop paying a worker spawn/join per phase.
+///
+/// Determinism is untouched: a crew only changes *where* jobs run, and
+/// every scheduling shape on it commits deterministically (see the module
+/// docs). A job that panics kills its worker thread after unpoisoning the
+/// shared state; the driver surfaces the panic through the batch's missing
+/// result, and later batches simply run on the surviving workers.
+#[derive(Debug)]
+pub struct PersistentPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = lock_state(self);
+        f.debug_struct("PoolShared")
+            .field("queued", &st.queue.len())
+            .field("outstanding", &st.outstanding)
+            .field("shutdown", &st.shutdown)
+            .finish()
+    }
+}
+
+impl PersistentPool {
+    /// Spawns a crew of `threads − 1` workers (the driver participates as
+    /// the remaining one). `DCCS_FORCE_THREADS` raises the width exactly as
+    /// it does for [`with_pool`].
+    pub fn new(threads: usize) -> Self {
+        let threads = effective_threads(threads);
+        let shared = Arc::new(PoolShared::new());
+        let workers = threads.saturating_sub(1);
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        PersistentPool { shared, handles, threads }
+    }
+
+    /// The width this crew was created for (after any CI forcing).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A handle batches and task graphs run on, same as inside
+    /// [`with_pool`]. Takes `&mut self`: the queue is strictly
+    /// single-driver (the [`DrainGuard`] completion fence purges the whole
+    /// queue on an unwinding batch), so the borrow checker must rule out
+    /// two simultaneous drivers on one crew.
+    pub fn pool_ref(&mut self) -> PoolRef<'_> {
+        PoolRef { shared: &self.shared, workers: self.handles.len() }
+    }
+}
+
+impl Drop for PersistentPool {
+    fn drop(&mut self) {
+        lock_state(&self.shared).shutdown = true;
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked mid-job already surfaced the failure
+            // through its batch's missing result; the join result carries
+            // nothing further worth propagating during drop.
+            let _ = handle.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -831,6 +1319,63 @@ mod tests {
         let g = two_clique_graph();
         let plan = plan_index(&g, &VertexSet::new(64));
         assert_eq!(plan.path, IndexPath::Csr);
+    }
+
+    #[test]
+    fn index_choice_overrides_the_cost_model_within_the_budget() {
+        let g = two_clique_graph();
+        let universe = VertexSet::from_iter(64, 0..8);
+        // Auto picks dense here; Csr must override it.
+        assert_eq!(plan_index_with(&g, &universe, IndexChoice::Auto).path, IndexPath::Dense);
+        assert_eq!(plan_index_with(&g, &universe, IndexChoice::Csr).path, IndexPath::Csr);
+        assert_eq!(plan_index_with(&g, &universe, IndexChoice::Dense).path, IndexPath::Dense);
+        // A wide sparse graph: Auto picks CSR; Dense forces the rows while
+        // the budget allows.
+        let mut b = MultiLayerGraphBuilder::new(4000, 1);
+        for v in 0..4000u32 {
+            b.add_edge(0, v, (v + 1) % 4000).unwrap();
+        }
+        let sparse = b.build();
+        let full = sparse.full_vertex_set();
+        assert_eq!(plan_index_with(&sparse, &full, IndexChoice::Auto).path, IndexPath::Csr);
+        assert_eq!(plan_index_with(&sparse, &full, IndexChoice::Dense).path, IndexPath::Dense);
+        // An empty universe can never be dense-indexed, even when forced.
+        assert_eq!(
+            plan_index_with(&g, &VertexSet::new(64), IndexChoice::Dense).path,
+            IndexPath::Csr
+        );
+        for choice in [IndexChoice::Auto, IndexChoice::Csr, IndexChoice::Dense] {
+            assert_eq!(IndexChoice::parse(choice.name()), Some(choice));
+        }
+        assert_eq!(IndexChoice::parse("btree"), None);
+    }
+
+    /// One persistent crew must serve many batches and task graphs — with
+    /// jobs borrowing data created long after the crew spawned — and keep
+    /// the deterministic ordering contracts of the scoped pool.
+    #[test]
+    fn persistent_pool_serves_repeated_batches_and_graphs() {
+        let mut crew = PersistentPool::new(3);
+        let mut ws = PeelWorkspace::new();
+        for round in 0..5usize {
+            // Data created after the crew existed, borrowed by the jobs.
+            let data: Vec<usize> = (0..17).map(|i| i + round * 100).collect();
+            let out: Vec<usize> = crew
+                .pool_ref()
+                .map(&mut ws, data.iter().map(|&x| move |_ws: &mut PeelWorkspace| x * 2).collect());
+            assert_eq!(out, data.iter().map(|&x| x * 2).collect::<Vec<_>>(), "round {round}");
+        }
+        // A task graph on the same crew, same pre-order contract.
+        let eval = |v: u32, _ws: &mut PeelWorkspace| v;
+        let mut committed = Vec::new();
+        drive_task_graph(&crew.pool_ref(), &mut ws, vec![10u32, 20], &eval, |v, _ws, spawn| {
+            if v % 10 == 0 {
+                spawn.push(v + 1);
+                spawn.push(v + 2);
+            }
+            committed.push(v);
+        });
+        assert_eq!(committed, vec![10, 11, 12, 20, 21, 22]);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
-use crate::engine::SearchContext;
+use crate::engine::{with_pool, PoolRef, SearchContext};
 use crate::error::DccsError;
 use crate::lattice::collect_subset_cores;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
@@ -52,14 +52,26 @@ pub fn exact_dccs_in(
     params: &DccsParams,
     opts: &DccsOptions,
 ) -> Result<DccsResult, DccsError> {
+    with_pool(ctx.threads(), |pool| exact_dccs_on(ctx, pool, g, params, opts))
+}
+
+/// [`exact_dccs_in`] on an existing executor crew (the session's
+/// single-crew query path).
+pub fn exact_dccs_on(
+    ctx: &mut SearchContext,
+    pool: &PoolRef<'_>,
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> Result<DccsResult, DccsError> {
     params.validate(g.num_layers())?;
     let start = Instant::now();
     let mut stats = SearchStats { algorithm: Some(Algorithm::Exact), ..SearchStats::default() };
-    let pre = ctx.preprocess(g, params, opts);
+    let pre = ctx.preprocess_on(pool, g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
     let (mut candidates, lattice) =
-        collect_subset_cores(ctx, g, params.d, params.s, &pre.layer_cores);
+        collect_subset_cores(ctx, pool, g, params.d, params.s, &pre.layer_cores);
     stats.candidates_generated += lattice.candidates;
     stats.dcc_calls += lattice.peels;
     stats.index_path = Some(lattice.index_path);

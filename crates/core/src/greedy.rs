@@ -17,7 +17,7 @@
 
 use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
-use crate::engine::SearchContext;
+use crate::engine::{with_pool, PoolRef, SearchContext};
 use crate::lattice::collect_subset_cores;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use mlgraph::{MultiLayerGraph, VertexSet};
@@ -47,9 +47,23 @@ pub fn greedy_dccs_with_options(
 
 /// Runs `GD-DCCS` on an existing [`SearchContext`], reusing its scratch
 /// buffers and cached dense index across a parameter sweep over the same
-/// graph.
+/// graph. Spins up one scoped crew for the whole query; session callers
+/// with a persistent crew go through [`greedy_dccs_on`].
 pub fn greedy_dccs_in(
     ctx: &mut SearchContext,
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> DccsResult {
+    with_pool(ctx.threads(), |pool| greedy_dccs_on(ctx, pool, g, params, opts))
+}
+
+/// [`greedy_dccs_in`] on an existing executor crew — the single-crew query
+/// path: preprocessing and candidate generation share `pool`, so neither
+/// phase pays its own worker spawn/join.
+pub fn greedy_dccs_on(
+    ctx: &mut SearchContext,
+    pool: &PoolRef<'_>,
     g: &MultiLayerGraph,
     params: &DccsParams,
     opts: &DccsOptions,
@@ -58,11 +72,12 @@ pub fn greedy_dccs_in(
     let start = Instant::now();
     let mut stats = SearchStats { algorithm: Some(Algorithm::Greedy), ..SearchStats::default() };
 
-    let pre = ctx.preprocess(g, params, opts);
+    let pre = ctx.preprocess_on(pool, g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
     // Lines 2–7 of Fig. 2: the full candidate set F_{d,s}(G).
-    let (candidates, lattice) = collect_subset_cores(ctx, g, params.d, params.s, &pre.layer_cores);
+    let (candidates, lattice) =
+        collect_subset_cores(ctx, pool, g, params.d, params.s, &pre.layer_cores);
     stats.candidates_generated += lattice.candidates;
     stats.dcc_calls += lattice.peels;
     stats.index_path = Some(lattice.index_path);

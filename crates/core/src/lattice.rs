@@ -14,33 +14,36 @@
 //!   touching the graph.
 //! * **Inherited degree arrays** — every level stores the exact
 //!   within-core degree of each member on each prefix layer. A child copies
-//!   the parent's arrays, subtracts the contributions of the vertices lost
-//!   in the intersection, and counts **only the one newly added layer**
-//!   before cascading — in both the CSR walk (adjacency scans) and the
-//!   dense walk (`row ∧ child` word streams). The naive path's per-subset
-//!   `Σ_{v} deg(v)` scan over all `s` layers collapses to a single-layer
-//!   scan plus removal-proportional updates.
+//!   the parent's arrays adjusted for the vertices lost in the
+//!   intersection, and counts **only the one newly added layer** before
+//!   cascading. How the adjustment happens is the index representation's
+//!   business ([`PeelIndex::inherit_prefix_degrees`][crate::engine::PeelIndex]):
+//!   removed-vertex adjacency patching on CSR, word-restricted
+//!   `popcount(row ∧ removed)` subtraction on dense rows (with a recount
+//!   fallback counted in [`LatticeStats::recount_fallbacks`]).
 //! * **Memoized single-layer cores** — depth-0 prefixes reuse the d-cores
 //!   computed during preprocessing
 //!   ([`crate::preprocess::Preprocessed::layer_cores`]) and are never
 //!   re-peeled.
 //!
-//! Whether peels run over the CSR adjacency or over re-indexed
-//! [`DenseSubgraph`] bitset rows is decided per run by the
-//! [`crate::engine`] cost model ([`crate::engine::plan_index`]), which
-//! compares the dense row length against the average CSR adjacency length
-//! instead of the old memory-budget-only gate. The walk is partitioned by
-//! first layer (the lattice's depth-1 branches), so
+//! There is **one** walk. Whether it peels over the CSR adjacency or over
+//! re-indexed [`DenseSubgraph`] bitset rows is decided per run by the
+//! [`crate::engine`] cost model (overridable via
+//! [`crate::engine::IndexChoice`], e.g. the CLI's `--index`), which hands
+//! back a unified [`crate::engine::PeelIndex`]; the walk consumes it
+//! through the same kernel-dispatched API — degrees, cascades, core
+//! translation — without ever re-branching on the representation. The walk
+//! is partitioned by first layer (the lattice's depth-1 branches), so
 //! [`collect_subset_cores`] can fan the branches out over the shared
-//! executor ([`crate::engine::with_pool`]) — per-branch outputs are merged
-//! in branch order, keeping the emission order (and therefore every
-//! downstream tie-break) identical at any thread count.
+//! executor crew — per-branch outputs are merged in branch order, keeping
+//! the emission order (and therefore every downstream tie-break) identical
+//! at any thread count.
 //!
 //! Cascade scratch comes from one [`PeelWorkspace`] per worker and all level
 //! state is allocated once per branch, so the steady state allocates nothing
 //! beyond the candidate cores the caller chooses to keep.
 
-use crate::engine::{with_pool, IndexPath, SearchContext};
+use crate::engine::{plan_index, IndexPath, InheritOutcome, PeelIndex, PoolRef, SearchContext};
 use crate::layer_subsets::combinations;
 use crate::result::CoherentCore;
 use coreness::PeelWorkspace;
@@ -61,6 +64,11 @@ pub struct LatticeStats {
     /// universes of ≤ 64 vertices, whose single-word rows always take the
     /// recount fallback).
     pub inherited: usize,
+    /// Dense-walk nodes where the removed vertices spanned full rows and
+    /// the prefix-layer degrees were recounted from scratch instead — the
+    /// measured German-`d=2` failure mode of row inheritance, observable
+    /// here instead of in prose (0 on the CSR path).
+    pub recount_fallbacks: usize,
     /// Adjacency representation the cost model picked for this run.
     pub index_path: IndexPath,
 }
@@ -71,6 +79,7 @@ impl LatticeStats {
         self.peels += other.peels;
         self.empty_skipped += other.empty_skipped;
         self.inherited += other.inherited;
+        self.recount_fallbacks += other.recount_fallbacks;
     }
 }
 
@@ -96,10 +105,11 @@ fn candidate_universe(n: usize, layer_cores: &[VertexSet]) -> VertexSet {
 /// universe the caller wants (the preprocessing's active set); all sets must
 /// share the graph's vertex capacity.
 ///
-/// This is the sequential entry point (one workspace, one thread); the
-/// algorithms go through [`collect_subset_cores`], which adds the
-/// sweep-reusable dense cache and the executor fan-out on top of the same
-/// walk.
+/// This is the sequential entry point (one workspace, one thread, the
+/// cost model's auto decision); the algorithms go through
+/// [`collect_subset_cores`], which adds the sweep-reusable dense cache, the
+/// [`crate::engine::IndexChoice`] override, and the executor fan-out on top
+/// of the same walk.
 ///
 /// # Panics
 ///
@@ -120,31 +130,41 @@ where
     validate(l, s, layer_cores);
     let branches = l - s + 1;
 
-    if s > 1 {
-        let universe = candidate_universe(g.num_vertices(), layer_cores);
-        let plan = crate::engine::plan_index(g, &universe);
+    // s == 1 needs no peel and no index; keep the cost model (and a dense
+    // build) out of the trivial case.
+    let universe;
+    let dense_owned;
+    let index = if s > 1 {
+        universe = candidate_universe(g.num_vertices(), layer_cores);
+        let plan = plan_index(g, &universe);
         if plan.path == IndexPath::Dense {
-            let dense = DenseSubgraph::build(g, &universe);
-            let cores_m = compress_layer_cores(&dense, layer_cores);
-            let mut stats =
-                run_dense_branches(g, d, s, &dense, &cores_m, 0, branches, ws, &mut emit);
-            stats.index_path = IndexPath::Dense;
-            return stats;
+            dense_owned = DenseSubgraph::build(g, &universe);
+            PeelIndex::new(g, Some(&dense_owned), plan)
+        } else {
+            PeelIndex::new(g, None, plan)
         }
-    }
-    run_csr_branches(g, d, s, layer_cores, 0, branches, ws, &mut emit)
+    } else {
+        PeelIndex::new(g, None, plan_index(g, &VertexSet::new(g.num_vertices())))
+    };
+    let cores_ix = index.compress_layer_cores(layer_cores);
+    let cores_ix: &[VertexSet] = cores_ix.as_deref().unwrap_or(layer_cores);
+    let mut stats =
+        run_branches(g, d, s, &index, cores_ix, layer_cores, 0, branches, ws, &mut emit);
+    stats.index_path = index.path();
+    stats
 }
 
 /// Collects every candidate d-CC as an owned [`CoherentCore`] list, in the
 /// same lexicographic order as [`for_each_subset_core`], using the context's
-/// cached dense index and fanning the depth-1 branches out over the
-/// executor when the context has more than one worker.
+/// cached dense index and fanning the depth-1 branches out over the given
+/// executor crew when it has workers.
 ///
 /// The output — cores, order, and statistics — is identical at every thread
 /// count: each branch of the lattice is an independent walk, and the
 /// per-branch results are merged in branch order.
 pub fn collect_subset_cores(
     ctx: &mut SearchContext,
+    pool: &PoolRef<'_>,
     g: &MultiLayerGraph,
     d: u32,
     s: usize,
@@ -164,10 +184,10 @@ pub fn collect_subset_cores(
         return (cores, stats);
     }
 
-    let threads = ctx.threads();
     let universe = candidate_universe(g.num_vertices(), layer_cores);
-    let (plan, dense, driver_ws) = ctx.lattice_resources(g, &universe);
-    let cores_m = dense.map(|dn| compress_layer_cores(dn, layer_cores));
+    let (index, driver_ws) = ctx.peel_index(g, &universe);
+    let cores_ix = index.compress_layer_cores(layer_cores);
+    let cores_ix: &[VertexSet] = cores_ix.as_deref().unwrap_or(layer_cores);
     let branches = l - s + 1;
 
     let run_branch = |ws: &mut PeelWorkspace, from: Layer, to: Layer| {
@@ -175,28 +195,24 @@ pub fn collect_subset_cores(
         let mut emit = |subset: &[Layer], core: &VertexSet| {
             out.push(CoherentCore::new(subset.to_vec(), core.clone()));
         };
-        let stats = match (dense, &cores_m) {
-            (Some(dn), Some(cm)) => run_dense_branches(g, d, s, dn, cm, from, to, ws, &mut emit),
-            _ => run_csr_branches(g, d, s, layer_cores, from, to, ws, &mut emit),
-        };
+        let stats = run_branches(g, d, s, &index, cores_ix, layer_cores, from, to, ws, &mut emit);
         (out, stats)
     };
 
-    let per_branch: Vec<(Vec<CoherentCore>, LatticeStats)> = if threads <= 1 || branches <= 1 {
+    let per_branch: Vec<(Vec<CoherentCore>, LatticeStats)> = if pool.workers() == 0 || branches <= 1
+    {
         vec![run_branch(driver_ws, 0, branches)]
     } else {
-        with_pool(threads, |pool| {
-            let jobs: Vec<_> = (0..branches)
-                .map(|j| {
-                    let run_branch = &run_branch;
-                    move |ws: &mut PeelWorkspace| run_branch(ws, j, j + 1)
-                })
-                .collect();
-            pool.map(driver_ws, jobs)
-        })
+        let jobs: Vec<_> = (0..branches)
+            .map(|j| {
+                let run_branch = &run_branch;
+                move |ws: &mut PeelWorkspace| run_branch(ws, j, j + 1)
+            })
+            .collect();
+        pool.map(driver_ws, jobs)
     };
 
-    let mut stats = LatticeStats { index_path: plan.path, ..LatticeStats::default() };
+    let mut stats = LatticeStats { index_path: index.path(), ..LatticeStats::default() };
     let mut cores = Vec::new();
     for (mut branch_cores, branch_stats) in per_branch {
         stats.absorb(&branch_stats);
@@ -230,43 +246,34 @@ pub fn naive_subset_cores(
         .collect()
 }
 
-fn compress_layer_cores(dense: &DenseSubgraph, layer_cores: &[VertexSet]) -> Vec<VertexSet> {
-    layer_cores
-        .iter()
-        .map(|core| {
-            let mut compressed = dense.new_set();
-            dense.compress_into(core, &mut compressed);
-            compressed
-        })
-        .collect()
-}
-
-/// Walks the lattice branches with first layer in `from..to` over the dense
-/// re-indexed universe. `to` must not exceed `l − s + 1`.
+/// Walks the lattice branches with first layer in `from..to` over the given
+/// index. `to` must not exceed `l − s + 1`.
 #[allow(clippy::too_many_arguments)]
-fn run_dense_branches<F: FnMut(&[Layer], &VertexSet)>(
+fn run_branches<F: FnMut(&[Layer], &VertexSet)>(
     g: &MultiLayerGraph,
     d: u32,
     s: usize,
-    dense: &DenseSubgraph,
-    cores_m: &[VertexSet],
+    index: &PeelIndex<'_>,
+    cores_ix: &[VertexSet],
+    layer_cores: &[VertexSet],
     from: Layer,
     to: Layer,
     ws: &mut PeelWorkspace,
     emit: F,
 ) -> LatticeStats {
-    let m = dense.len();
-    let mut run = DenseLatticeRun {
-        dense,
+    let len = index.universe_len();
+    let mut run = LatticeWalk {
+        index: *index,
         d,
         s,
-        layer_cores_m: cores_m,
+        cores_ix,
+        layer_cores,
         ws,
         emit,
         subset: Vec::with_capacity(s),
-        cores: (0..s).map(|_| VertexSet::new(m)).collect(),
-        degrees: (0..s).map(|t| vec![0u32; (t + 1) * m]).collect(),
-        removed: VertexSet::new(m),
+        cores: (0..s).map(|_| VertexSet::new(len)).collect(),
+        degrees: (0..s).map(|t| vec![0u32; (t + 1) * len]).collect(),
+        removed: VertexSet::new(len),
         removed_word_idx: Vec::new(),
         expanded: VertexSet::new(g.num_vertices()),
         empty: VertexSet::new(g.num_vertices()),
@@ -279,247 +286,63 @@ fn run_dense_branches<F: FnMut(&[Layer], &VertexSet)>(
     run.stats
 }
 
-/// Walks the lattice branches with first layer in `from..to` over the CSR
-/// adjacency. `to` must not exceed `l − s + 1`.
-#[allow(clippy::too_many_arguments)]
-fn run_csr_branches<F: FnMut(&[Layer], &VertexSet)>(
-    g: &MultiLayerGraph,
+/// The one lattice walk, generic over the peeling representation: every
+/// level's cores and degree arrays live in the [`PeelIndex`]'s index space
+/// (vertex space on CSR, the re-indexed `0..m` universe on dense rows), and
+/// every representation-specific step — degree counting, prefix-degree
+/// inheritance, the cascade, emission back to vertex space — goes through
+/// the index's kernel-dispatched API. Formerly two parallel structs
+/// (`LatticeRun` / `DenseLatticeRun`) duplicating the traversal.
+struct LatticeWalk<'a, F> {
+    index: PeelIndex<'a>,
     d: u32,
     s: usize,
-    layer_cores: &[VertexSet],
-    from: Layer,
-    to: Layer,
-    ws: &mut PeelWorkspace,
-    emit: F,
-) -> LatticeStats {
-    let n = g.num_vertices();
-    let mut run = LatticeRun {
-        g,
-        d,
-        s,
-        layer_cores,
-        ws,
-        emit,
-        subset: Vec::with_capacity(s),
-        cores: (0..s).map(|_| VertexSet::new(n)).collect(),
-        degrees: (0..s).map(|t| vec![0u32; (t + 1) * n]).collect(),
-        removed: VertexSet::new(n),
-        empty: VertexSet::new(n),
-        stats: LatticeStats::default(),
-    };
-    for j in from..to {
-        run.root(j);
-    }
-    run.stats
-}
-
-/// The word-level variant of the lattice walk: cores and degree arrays live
-/// in the dense re-indexed universe, and every degree is a
-/// `popcount(row ∧ set)`. Like [`LatticeRun`], every level keeps its own
-/// degree arrays so a child can *inherit* the parent's prefix-layer rows:
-/// each survivor subtracts `popcount(row ∧ removed)` — restricted to the
-/// removed set's non-zero words — from the parent's count, and only the
-/// one newly added layer is counted fresh. (An earlier revision recomputed
-/// all `(t+1)·|core|·W` row words per node; the word-restricted
-/// subtraction caps the prefix-layer cost at `nz(removed)` words per row
-/// instead, which is what the low-`d` shapes with large surviving cores —
-/// the German analogue at `d = 2` is the measured case — actually spend
-/// their time on.) When the removed vertices span full rows anyway, the
-/// walk falls back to the plain recount.
-struct DenseLatticeRun<'a, F> {
-    dense: &'a DenseSubgraph,
-    d: u32,
-    s: usize,
-    layer_cores_m: &'a [VertexSet],
-    ws: &'a mut PeelWorkspace,
-    emit: F,
-    subset: Vec<Layer>,
-    /// `cores[t]`: exact d-CC of the prefix of length `t + 1`, in m-space.
-    cores: Vec<VertexSet>,
-    /// `degrees[t][j*m + v]`: degree of `v` inside `cores[t]` on the j-th
-    /// prefix layer, exact for every member of `cores[t]` (inherited down
-    /// the lattice like [`LatticeRun::degrees`]).
-    degrees: Vec<Vec<u32>>,
-    /// Scratch: members lost when intersecting parent core with a layer
-    /// core (m-space).
-    removed: VertexSet,
-    /// Scratch: indices of `removed`'s non-zero words, so the inherited
-    /// degree subtraction scans only those.
-    removed_word_idx: Vec<u32>,
-    /// Reused n-space buffer for emitted candidates.
-    expanded: VertexSet,
-    /// Shared n-space empty set for pruned subtrees.
-    empty: VertexSet,
-    stats: LatticeStats,
-    num_layers: usize,
-}
-
-impl<F: FnMut(&[Layer], &VertexSet)> DenseLatticeRun<'_, F> {
-    /// Runs the depth-1 branch rooted at first layer `j` (callers only pass
-    /// `j ≤ l − s`, so every branch has completions).
-    fn root(&mut self, j: Layer) {
-        let m = self.dense.len();
-        self.subset.push(j);
-        // Memoized single-layer core: no peel needed at the root, but the
-        // root's degree row seeds the inheritance chain below.
-        self.cores[0].copy_from(&self.layer_cores_m[j]);
-        let core = &self.cores[0];
-        let deg = &mut self.degrees[0][..m];
-        for v in core.iter() {
-            deg[v as usize] = self.dense.degree_within(j, v, core) as u32;
-        }
-        self.descend(1, j + 1);
-        self.subset.pop();
-    }
-
-    /// Builds level `depth` (prefix extended by layer `j`) from level
-    /// `depth − 1`: intersects the cores, inherits the parent's prefix-layer
-    /// degree rows adjusted for the removed vertices (falling back to a
-    /// from-scratch recount when the removed set's non-zero words span a
-    /// full row width, where the subtraction could not be cheaper), counts
-    /// the new layer fresh, and cascades. Returns `false` when the
-    /// intersection was empty.
-    fn make_child(&mut self, depth: usize, j: Layer) -> bool {
-        let m = self.dense.len();
-        let (head, tail) = self.cores.split_at_mut(depth);
-        let parent = &head[depth - 1];
-        let child = &mut tail[0];
-        child.assign_intersection(parent, &self.layer_cores_m[j]);
-        if child.is_empty() {
-            return false;
-        }
-        self.removed.assign_difference(parent, child);
-
-        let (dhead, dtail) = self.degrees.split_at_mut(depth);
-        let parent_deg = &dhead[depth - 1][..depth * m];
-        let child_deg = &mut dtail[0];
-        // Prefix-layer degrees: each survivor's degree shrinks by exactly
-        // `|row ∧ removed|`, so the parent's counts are inherited by
-        // subtracting popcounts over **only the non-zero words of the
-        // removed set**. That costs `|child| · depth · nz(removed)` word
-        // operations against `|child| · depth · W` (W = words per row) for
-        // a from-scratch recount — a strict win whenever the removed
-        // vertices occupy fewer words than a full row, and never a loss
-        // thanks to the `nz < W` guard below (the measured failure mode of
-        // per-removed-vertex bit streaming on the German `d = 2` shape,
-        // where removed sets are wide and rows are dense).
-        let row_words = child.words().len();
-        self.removed_word_idx.clear();
-        for (w, &word) in self.removed.words().iter().enumerate() {
-            if word != 0 {
-                self.removed_word_idx.push(w as u32);
-            }
-        }
-        if self.removed_word_idx.len() < row_words {
-            self.stats.inherited += 1;
-            let rem = self.removed.words();
-            for v in child.iter() {
-                let vi = v as usize;
-                for (t, &layer) in self.subset[..depth].iter().enumerate() {
-                    let row = self.dense.row(layer, v);
-                    let mut delta = 0u32;
-                    for &w in &self.removed_word_idx {
-                        delta += (row[w as usize] & rem[w as usize]).count_ones();
-                    }
-                    child_deg[t * m + vi] = parent_deg[t * m + vi] - delta;
-                }
-            }
-        } else {
-            for (t, &layer) in self.subset[..depth].iter().enumerate() {
-                for v in child.iter() {
-                    child_deg[t * m + v as usize] =
-                        self.dense.degree_within(layer, v, child) as u32;
-                }
-            }
-        }
-        // The newly added layer always needs a fresh count.
-        for v in child.iter() {
-            child_deg[depth * m + v as usize] = self.dense.degree_within(j, v, child) as u32;
-        }
-        self.ws.cascade_dense(self.dense, &self.subset, self.d, child, child_deg);
-        self.stats.peels += 1;
-        true
-    }
-
-    fn descend(&mut self, depth: usize, start: Layer) {
-        let l = self.num_layers;
-        let last = l - (self.s - depth) + 1;
-        for j in start..last {
-            self.subset.push(j);
-            self.make_child(depth, j);
-            if depth + 1 == self.s {
-                self.stats.candidates += 1;
-                if self.cores[depth].is_empty() {
-                    (self.emit)(&self.subset, &self.empty);
-                } else {
-                    self.dense.expand_into(&self.cores[depth], &mut self.expanded);
-                    (self.emit)(&self.subset, &self.expanded);
-                }
-            } else if self.cores[depth].is_empty() {
-                self.emit_empty_completions(depth + 1, j + 1);
-            } else {
-                self.descend(depth + 1, j + 1);
-            }
-            self.subset.pop();
-        }
-    }
-
-    fn emit_empty_completions(&mut self, depth: usize, start: Layer) {
-        let l = self.num_layers;
-        if depth == self.s {
-            self.stats.candidates += 1;
-            self.stats.empty_skipped += 1;
-            (self.emit)(&self.subset, &self.empty);
-            return;
-        }
-        let last = l - (self.s - depth) + 1;
-        for j in start..last {
-            self.subset.push(j);
-            self.emit_empty_completions(depth + 1, j + 1);
-            self.subset.pop();
-        }
-    }
-}
-
-struct LatticeRun<'a, F> {
-    g: &'a MultiLayerGraph,
-    d: u32,
-    s: usize,
+    /// Per-layer d-cores in index space.
+    cores_ix: &'a [VertexSet],
+    /// Per-layer d-cores in vertex space (for the `s == 1` emission, which
+    /// must hand out the memoized core itself).
     layer_cores: &'a [VertexSet],
     ws: &'a mut PeelWorkspace,
     emit: F,
     /// The current prefix subset (original layer indices, ascending).
     subset: Vec<Layer>,
-    /// `cores[t]` holds the exact d-CC of the prefix of length `t + 1`.
+    /// `cores[t]`: exact d-CC of the prefix of length `t + 1` (index space).
     cores: Vec<VertexSet>,
-    /// `degrees[t][j*n + v]`: degree of `v` inside `cores[t]` on the j-th
-    /// prefix layer, exact for every member of `cores[t]`.
+    /// `degrees[t][j*len + v]`: degree of `v` inside `cores[t]` on the j-th
+    /// prefix layer, exact for every member of `cores[t]` (inherited down
+    /// the lattice).
     degrees: Vec<Vec<u32>>,
-    /// Scratch: vertices lost when intersecting parent core with a layer core.
+    /// Scratch: members lost when intersecting parent core with a layer
+    /// core (index space).
     removed: VertexSet,
-    /// Shared empty set handed to `emit` for pruned subtrees.
+    /// Scratch: indices of `removed`'s non-zero words (dense inheritance).
+    removed_word_idx: Vec<u32>,
+    /// Reused vertex-space buffer for emitted candidates (dense expansion).
+    expanded: VertexSet,
+    /// Shared vertex-space empty set for pruned subtrees.
     empty: VertexSet,
     stats: LatticeStats,
+    num_layers: usize,
 }
 
-impl<F: FnMut(&[Layer], &VertexSet)> LatticeRun<'_, F> {
+impl<F: FnMut(&[Layer], &VertexSet)> LatticeWalk<'_, F> {
     /// Runs the depth-1 branch rooted at first layer `j`, keeping the
     /// lexicographic emission order of the naive enumeration (so downstream
     /// tie-breaking is unchanged).
     fn root(&mut self, j: Layer) {
-        let n = self.g.num_vertices();
+        let len = self.index.universe_len();
         self.subset.push(j);
         if self.s == 1 {
             // Memoized single-layer core: already the exact d-CC of {j}.
             self.stats.candidates += 1;
             (self.emit)(&self.subset, &self.layer_cores[j]);
         } else {
-            self.cores[0].copy_from(&self.layer_cores[j]);
+            // The root's degree row seeds the inheritance chain below.
+            self.cores[0].copy_from(&self.cores_ix[j]);
             let core = &self.cores[0];
-            let deg = &mut self.degrees[0][..n];
-            let csr = self.g.layer(j);
+            let deg = &mut self.degrees[0][..len];
             for v in core.iter() {
-                deg[v as usize] = csr.degree_within(v, core) as u32;
+                deg[v as usize] = self.index.degree_within(j, v, core) as u32;
             }
             self.descend(1, j + 1);
         }
@@ -529,15 +352,19 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeRun<'_, F> {
     /// Visits every extension of the current prefix by layers in
     /// `start..l`.
     fn descend(&mut self, depth: usize, start: Layer) {
-        let l = self.g.num_layers();
+        let l = self.num_layers;
         let last = l - (self.s - depth) + 1;
         for j in start..last {
             self.subset.push(j);
             let nonempty = self.make_child(depth, j);
             if depth + 1 == self.s {
                 self.stats.candidates += 1;
-                let core = if nonempty { &self.cores[depth] } else { &self.empty };
-                (self.emit)(&self.subset, core);
+                if nonempty && !self.cores[depth].is_empty() {
+                    let (head, tail) = (&self.cores[depth], &mut self.expanded);
+                    (self.emit)(&self.subset, self.index.emit(head, tail));
+                } else {
+                    (self.emit)(&self.subset, &self.empty);
+                }
             } else if nonempty && !self.cores[depth].is_empty() {
                 self.descend(depth + 1, j + 1);
             } else {
@@ -550,59 +377,41 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeRun<'_, F> {
 
     /// Builds level `depth` (prefix `subset[..depth]` extended by layer `j`)
     /// from level `depth − 1`: intersects the cores, inherits the parent's
-    /// degree arrays adjusted for the vertices lost in the intersection,
-    /// scans only the newly added layer, and cascades. Returns `false` when
-    /// the intersection was already empty (no state was built).
+    /// prefix-layer degrees through the index's representation-specific
+    /// strategy, counts the one newly added layer fresh, and cascades.
+    /// Returns `false` when the intersection was already empty (no state
+    /// was built).
     fn make_child(&mut self, depth: usize, j: Layer) -> bool {
-        let n = self.g.num_vertices();
+        let len = self.index.universe_len();
         let (head, tail) = self.cores.split_at_mut(depth);
         let parent = &head[depth - 1];
         let child = &mut tail[0];
-        child.assign_intersection(parent, &self.layer_cores[j]);
+        child.assign_intersection(parent, &self.cores_ix[j]);
         if child.is_empty() {
             return false;
         }
         self.removed.assign_difference(parent, child);
 
         let (dhead, dtail) = self.degrees.split_at_mut(depth);
-        let parent_deg = &dhead[depth - 1][..depth * n];
+        let parent_deg = &dhead[depth - 1][..depth * len];
         let child_deg = &mut dtail[0];
-        // Prefix-layer degrees: inherit sparsely from the parent. Only the
-        // entries of surviving members are ever read, so no O(n) copy or
-        // zeroing is needed. When few vertices were lost, patching the
-        // parent's counts by the removed vertices' edges is cheapest; when
-        // the intersection dropped most of the parent, rescanning the (now
-        // small) child is cheaper than walking every removed vertex.
-        if self.removed.len() <= child.len() {
-            for v in child.iter() {
-                let vi = v as usize;
-                for t in 0..depth {
-                    child_deg[t * n + vi] = parent_deg[t * n + vi];
-                }
-            }
-            for v in self.removed.iter() {
-                for (t, &layer) in self.subset[..depth].iter().enumerate() {
-                    for &u in self.g.layer(layer).neighbors(v) {
-                        if child.contains(u) {
-                            child_deg[t * n + u as usize] -= 1;
-                        }
-                    }
-                }
-            }
-        } else {
-            for (t, &layer) in self.subset[..depth].iter().enumerate() {
-                let csr = self.g.layer(layer);
-                for v in child.iter() {
-                    child_deg[t * n + v as usize] = csr.degree_within(v, child) as u32;
-                }
-            }
+        match self.index.inherit_prefix_degrees(
+            &self.subset[..depth],
+            parent_deg,
+            child_deg,
+            child,
+            &self.removed,
+            &mut self.removed_word_idx,
+        ) {
+            InheritOutcome::DenseInherited => self.stats.inherited += 1,
+            InheritOutcome::DenseRecount => self.stats.recount_fallbacks += 1,
+            InheritOutcome::CsrPatched | InheritOutcome::CsrRecount => {}
         }
-        // The newly added layer always needs a fresh adjacency scan.
-        let csr = self.g.layer(j);
+        // The newly added layer always needs a fresh count.
         for v in child.iter() {
-            child_deg[depth * n + v as usize] = csr.degree_within(v, child) as u32;
+            child_deg[depth * len + v as usize] = self.index.degree_within(j, v, child) as u32;
         }
-        self.ws.cascade_in_place(self.g, &self.subset, self.d, child, child_deg);
+        self.index.cascade(self.ws, &self.subset, self.d, child, child_deg);
         self.stats.peels += 1;
         true
     }
@@ -610,7 +419,7 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeRun<'_, F> {
     /// Emits the empty core for every size-`s` completion of the current
     /// prefix, without peeling.
     fn emit_empty_completions(&mut self, depth: usize, start: Layer) {
-        let l = self.g.num_layers();
+        let l = self.num_layers;
         if depth == self.s {
             self.stats.candidates += 1;
             self.stats.empty_skipped += 1;
@@ -630,6 +439,7 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeRun<'_, F> {
 mod tests {
     use super::*;
     use crate::config::{DccsOptions, DccsParams};
+    use crate::engine::with_pool;
     use crate::preprocess::preprocess;
     use mlgraph::MultiLayerGraphBuilder;
 
@@ -650,6 +460,17 @@ mod tests {
         clique(&mut b, 2, &[8, 9, 10]);
         clique(&mut b, 3, &[8, 9, 10, 11, 12]);
         b.build()
+    }
+
+    fn collect_with_threads(
+        threads: usize,
+        g: &MultiLayerGraph,
+        d: u32,
+        s: usize,
+        layer_cores: &[VertexSet],
+    ) -> (Vec<CoherentCore>, LatticeStats) {
+        let mut ctx = SearchContext::new(threads);
+        with_pool(threads, |pool| collect_subset_cores(&mut ctx, pool, g, d, s, layer_cores))
     }
 
     /// The lattice engine must emit, for every subset in lexicographic
@@ -691,12 +512,44 @@ mod tests {
                     reference.push(CoherentCore::new(subset.to_vec(), core.clone()));
                 });
             for threads in [1usize, 2, 4] {
-                let mut ctx = SearchContext::new(threads);
-                let (cores, stats) = collect_subset_cores(&mut ctx, &g, d, s, &pre.layer_cores);
+                let (cores, stats) = collect_with_threads(threads, &g, d, s, &pre.layer_cores);
                 assert_eq!(cores, reference, "d={d} s={s} threads={threads}");
                 assert_eq!(stats.candidates, ref_stats.candidates);
                 assert_eq!(stats.peels, ref_stats.peels);
                 assert_eq!(stats.empty_skipped, ref_stats.empty_skipped);
+                assert_eq!(stats.inherited, ref_stats.inherited);
+                assert_eq!(stats.recount_fallbacks, ref_stats.recount_fallbacks);
+            }
+        }
+    }
+
+    /// A forced index override must change the representation — and nothing
+    /// else: identical cores in identical order under `Csr`, `Dense`, and
+    /// `Auto`.
+    #[test]
+    fn forced_index_choices_are_bit_identical() {
+        let g = graph();
+        for (d, s) in [(2u32, 2usize), (3, 2), (2, 3)] {
+            let params = DccsParams::new(d, s, 2);
+            let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
+            let mut reference: Option<Vec<CoherentCore>> = None;
+            for choice in
+                [crate::IndexChoice::Auto, crate::IndexChoice::Csr, crate::IndexChoice::Dense]
+            {
+                let mut ctx = SearchContext::new(1);
+                ctx.set_index_choice(choice);
+                let (cores, stats) = with_pool(1, |pool| {
+                    collect_subset_cores(&mut ctx, pool, &g, d, s, &pre.layer_cores)
+                });
+                match choice {
+                    crate::IndexChoice::Csr => assert_eq!(stats.index_path, IndexPath::Csr),
+                    crate::IndexChoice::Dense => assert_eq!(stats.index_path, IndexPath::Dense),
+                    crate::IndexChoice::Auto => {}
+                }
+                match &reference {
+                    None => reference = Some(cores),
+                    Some(expected) => assert_eq!(&cores, expected, "choice={choice:?} d={d} s={s}"),
+                }
             }
         }
     }
@@ -709,7 +562,8 @@ mod tests {
     /// test graph would silently exercise only the recount fallback — the
     /// guard compares word counts, so with `W = 1` any non-empty removal
     /// falls back — which is why the `inherited` stat is asserted. One
-    /// layer's small clique drives the fallback within the same walk.
+    /// layer's small clique drives the fallback within the same walk, which
+    /// the `recount_fallbacks` counter must now make observable.
     #[test]
     fn dense_walk_with_inherited_rows_matches_naive() {
         let mut b = MultiLayerGraphBuilder::new(150, 4);
@@ -720,6 +574,7 @@ mod tests {
         clique(&mut b, 3, &all[..10]); // small: forces the rescan fallback
         let g = b.build();
         let mut inherited_total = 0usize;
+        let mut fallback_total = 0usize;
         for (d, s) in [(2u32, 2usize), (2, 3), (2, 4), (3, 3)] {
             let params = DccsParams::new(d, s, 2);
             let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
@@ -737,8 +592,10 @@ mod tests {
                     .collect();
             assert_eq!(got, expected, "d={d} s={s}");
             inherited_total += stats.inherited;
+            fallback_total += stats.recount_fallbacks;
         }
         assert!(inherited_total > 0, "the inherited-degree path never executed");
+        assert!(fallback_total > 0, "the recount fallback never executed (or went uncounted)");
     }
 
     #[test]

@@ -61,7 +61,10 @@
 //! procedures, [`exact`] a brute-force oracle for tiny inputs, and
 //! [`metrics`] the evaluation measures used in the paper's Section VI.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the executor's job-lifetime erasure is the
+// one audited exception (see `engine::erase_job`); everything else stays
+// safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithm;
@@ -86,16 +89,20 @@ pub mod top_down;
 
 pub use algorithm::Algorithm;
 pub use analysis::{analyze_cores, analyze_result, jaccard, OverlapReport};
-pub use bottom_up::{bottom_up_dccs, bottom_up_dccs_in, bottom_up_dccs_with_options};
+pub use bottom_up::{
+    bottom_up_dccs, bottom_up_dccs_in, bottom_up_dccs_on, bottom_up_dccs_with_options,
+};
 pub use config::{DccsOptions, DccsParams};
 pub use coverage::{PruneBounds, TopKDiversified};
-pub use engine::{plan_index, IndexPath, IndexPlan, SearchContext};
+pub use engine::{
+    plan_index, plan_index_with, IndexChoice, IndexPath, IndexPlan, PeelIndex, SearchContext,
+};
 pub use error::DccsError;
-pub use exact::{exact_dccs, exact_dccs_in};
-pub use greedy::{greedy_dccs, greedy_dccs_in, greedy_dccs_with_options};
+pub use exact::{exact_dccs, exact_dccs_in, exact_dccs_on};
+pub use greedy::{greedy_dccs, greedy_dccs_in, greedy_dccs_on, greedy_dccs_with_options};
 pub use lattice::{collect_subset_cores, for_each_subset_core, naive_subset_cores, LatticeStats};
 pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
 pub use parallel::parallel_greedy_dccs;
 pub use result::{CoherentCore, DccsResult, SearchStats};
 pub use session::{auto_threads, DccsSession, Query, QuerySpec};
-pub use top_down::{top_down_dccs, top_down_dccs_in, top_down_dccs_with_options};
+pub use top_down::{top_down_dccs, top_down_dccs_in, top_down_dccs_on, top_down_dccs_with_options};

@@ -12,15 +12,19 @@
 //!
 //! The per-layer d-core peels — both the initial full-universe pass and
 //! every round of the vertex-deletion fixpoint — are independent across
-//! layers, so the `*_threaded` entry points run them as fork-join batches
-//! on the shared executor crew ([`crate::engine::with_pool`]). Each layer's
-//! peel is a pure function of `(graph, layer, d, active)`, so the parallel
-//! batches are bit-identical to the sequential loop at any width; the
-//! sequential entry points are kept as the `threads = 1` special case.
+//! layers, so the `*_on` entry points run them as fork-join batches on an
+//! existing executor crew ([`crate::engine::PoolRef`]) — the same crew the
+//! session threads through the whole query, so preprocessing pays no
+//! worker spawn/join of its own. Each layer's peel is a pure function of
+//! `(graph, layer, d, active)`, so the parallel batches are bit-identical
+//! to the sequential loop at any width; the `*_threaded` entry points wrap
+//! a scoped crew ([`crate::engine::with_pool`]) around them for one-shot
+//! callers, and the sequential entry points are the `threads = 1` special
+//! case.
 
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
-use crate::engine::with_pool;
+use crate::engine::{with_pool, PoolRef};
 use crate::result::CoherentCore;
 use coreness::{d_coherent_core_in, d_core_within_into, PeelWorkspace};
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
@@ -82,38 +86,48 @@ pub fn initial_layer_cores(g: &MultiLayerGraph, d: u32, ws: &mut PeelWorkspace) 
 }
 
 /// [`initial_layer_cores`] with the per-layer peels spread over a
-/// `threads`-wide executor crew as one fork-join batch (the layers are
-/// independent, so the result is bit-identical to the sequential pass).
-/// `threads ≤ 1` runs the plain sequential loop on `ws`.
+/// `threads`-wide scoped executor crew as one fork-join batch (the layers
+/// are independent, so the result is bit-identical to the sequential
+/// pass). One-shot wrapper over [`initial_layer_cores_on`].
 pub fn initial_layer_cores_threaded(
     g: &MultiLayerGraph,
     d: u32,
     ws: &mut PeelWorkspace,
     threads: usize,
 ) -> Vec<VertexSet> {
+    with_pool(threads, |pool| initial_layer_cores_on(g, d, ws, pool))
+}
+
+/// [`initial_layer_cores`] as one fork-join batch on an **existing** crew
+/// (the session's single-crew query path). With no workers on the crew the
+/// plain sequential loop runs on `ws`.
+pub fn initial_layer_cores_on(
+    g: &MultiLayerGraph,
+    d: u32,
+    ws: &mut PeelWorkspace,
+    pool: &PoolRef<'_>,
+) -> Vec<VertexSet> {
     let n = g.num_vertices();
     let l = g.num_layers();
     let active = g.full_vertex_set();
-    if threads <= 1 || l <= 1 {
+    if pool.workers() == 0 || l <= 1 {
         let mut layer_cores: Vec<VertexSet> = vec![VertexSet::new(n); l];
         for (i, core) in layer_cores.iter_mut().enumerate() {
             d_core_within_into(ws, g.layer(i), d, &active, core);
         }
         return layer_cores;
     }
-    with_pool(threads, |pool| {
-        let active = &active;
-        let jobs: Vec<_> = (0..l)
-            .map(|i| {
-                move |wws: &mut PeelWorkspace| {
-                    let mut core = VertexSet::new(n);
-                    d_core_within_into(wws, g.layer(i), d, active, &mut core);
-                    core
-                }
-            })
-            .collect();
-        pool.map(ws, jobs)
-    })
+    let active = &active;
+    let jobs: Vec<_> = (0..l)
+        .map(|i| {
+            move |wws: &mut PeelWorkspace| {
+                let mut core = VertexSet::new(n);
+                d_core_within_into(wws, g.layer(i), d, active, &mut core);
+                core
+            }
+        })
+        .collect();
+    pool.map(ws, jobs)
 }
 
 /// [`preprocess`] continued from already-computed [`initial_layer_cores`]
@@ -133,17 +147,31 @@ pub fn preprocess_from(
 
 /// [`preprocess_from`] with every round of the vertex-deletion fixpoint
 /// re-peeling the layers as one fork-join batch over a `threads`-wide
-/// executor crew (spun up once for the whole fixpoint). The victims-and-
-/// support bookkeeping between rounds stays on the driver, so the result is
-/// bit-identical to the sequential fixpoint at any width; `threads ≤ 1`
-/// runs the plain sequential loop on `ws`.
+/// scoped executor crew. One-shot wrapper over [`preprocess_from_on`].
 pub fn preprocess_from_threaded(
     g: &MultiLayerGraph,
     params: &DccsParams,
     opts: &DccsOptions,
     ws: &mut PeelWorkspace,
-    mut layer_cores: Vec<VertexSet>,
+    layer_cores: Vec<VertexSet>,
     threads: usize,
+) -> Preprocessed {
+    with_pool(threads, |pool| preprocess_from_on(g, params, opts, ws, layer_cores, pool))
+}
+
+/// [`preprocess_from`] on an **existing** crew (the session's single-crew
+/// query path): every round of the vertex-deletion fixpoint re-peels the
+/// layers as one fork-join batch. The victims-and-support bookkeeping
+/// between rounds stays on the driver, so the result is bit-identical to
+/// the sequential fixpoint at any width; with no workers on the crew the
+/// plain sequential loop runs on `ws`.
+pub fn preprocess_from_on(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+    ws: &mut PeelWorkspace,
+    mut layer_cores: Vec<VertexSet>,
+    pool: &PoolRef<'_>,
 ) -> Preprocessed {
     let n = g.num_vertices();
     let mut active = g.full_vertex_set();
@@ -151,7 +179,7 @@ pub fn preprocess_from_threaded(
 
     let mut deleted = 0usize;
     if opts.vertex_deletion {
-        if threads <= 1 || g.num_layers() <= 1 {
+        if pool.workers() == 0 || g.num_layers() <= 1 {
             loop {
                 let victims: Vec<u32> =
                     active.iter().filter(|&v| (support[v as usize] as usize) < params.s).collect();
@@ -170,54 +198,44 @@ pub fn preprocess_from_threaded(
                 support = compute_support(n, &layer_cores, &active);
             }
         } else {
-            // The first victims list decides whether any round will run at
-            // all — only then is the worker crew worth spawning (graphs
-            // already at fixpoint, a common case, skip it entirely).
-            let mut victims: Vec<u32> =
-                active.iter().filter(|&v| (support[v as usize] as usize) < params.s).collect();
-            if !victims.is_empty() {
-                with_pool(threads, |pool| loop {
-                    for &v in &victims {
-                        active.remove(v);
-                        deleted += 1;
-                    }
-                    // One batch re-peels every layer. Jobs own their core
-                    // buffer (taken out of the slot and returned through the
-                    // batch result) and share a snapshot of the shrunken
-                    // active set, so nothing borrowed from this loop frame
-                    // enters the worker queue.
-                    let shared_active = Arc::new(active.clone());
-                    let jobs: Vec<_> = layer_cores
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(i, slot)| {
-                            let mut core = std::mem::replace(slot, VertexSet::new(0));
-                            let shared_active = Arc::clone(&shared_active);
-                            move |wws: &mut PeelWorkspace| {
-                                d_core_within_into(
-                                    wws,
-                                    g.layer(i),
-                                    params.d,
-                                    &shared_active,
-                                    &mut core,
-                                );
-                                core
-                            }
-                        })
-                        .collect();
-                    let repeeled = pool.map(ws, jobs);
-                    for (slot, core) in layer_cores.iter_mut().zip(repeeled) {
-                        *slot = core;
-                    }
-                    support = compute_support(n, &layer_cores, &active);
-                    victims = active
-                        .iter()
-                        .filter(|&v| (support[v as usize] as usize) < params.s)
-                        .collect();
-                    if victims.is_empty() {
-                        break;
-                    }
-                });
+            loop {
+                let victims: Vec<u32> =
+                    active.iter().filter(|&v| (support[v as usize] as usize) < params.s).collect();
+                if victims.is_empty() {
+                    break;
+                }
+                for &v in &victims {
+                    active.remove(v);
+                    deleted += 1;
+                }
+                // One batch re-peels every layer. Jobs own their core
+                // buffer (taken out of the slot and returned through the
+                // batch result) and share a snapshot of the shrunken
+                // active set.
+                let shared_active = Arc::new(active.clone());
+                let jobs: Vec<_> = layer_cores
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, slot)| {
+                        let mut core = std::mem::replace(slot, VertexSet::new(0));
+                        let shared_active = Arc::clone(&shared_active);
+                        move |wws: &mut PeelWorkspace| {
+                            d_core_within_into(
+                                wws,
+                                g.layer(i),
+                                params.d,
+                                &shared_active,
+                                &mut core,
+                            );
+                            core
+                        }
+                    })
+                    .collect();
+                let repeeled = pool.map(ws, jobs);
+                for (slot, core) in layer_cores.iter_mut().zip(repeeled) {
+                    *slot = core;
+                }
+                support = compute_support(n, &layer_cores, &active);
             }
         }
     }

@@ -36,9 +36,19 @@
 //! ```
 //!
 //! Whole sweeps go through [`DccsSession::run_batch`], which fans the
-//! queries of a sweep out over **one** [`with_pool`] worker crew (each query
-//! runs sequentially on one worker, so per-query results — and their work
-//! counters — are exactly the 1-thread results, in submission order).
+//! queries of a sweep out over the session's **persistent** worker crew
+//! (each query runs sequentially on one worker, so per-query results — and
+//! their work counters — are exactly the 1-thread results, in submission
+//! order).
+//!
+//! # Single-crew queries
+//!
+//! The session keeps one [`PersistentPool`] (spawned on the first query
+//! that wants more than one thread) and threads it through preprocessing
+//! *and* the search of every query, so neither phase — nor any later
+//! query at the same width — pays a worker spawn/join. The crew is
+//! re-created only when a query asks for a different width and joined on
+//! drop.
 //!
 //! # Threads
 //!
@@ -53,14 +63,14 @@
 //! did.
 
 use crate::algorithm::Algorithm;
-use crate::bottom_up::bottom_up_dccs_in;
+use crate::bottom_up::bottom_up_dccs_on;
 use crate::config::{DccsOptions, DccsParams};
-use crate::engine::{with_pool, SearchContext};
+use crate::engine::{effective_threads, PersistentPool, PoolRef, SearchContext};
 use crate::error::DccsError;
-use crate::exact::exact_dccs_in;
-use crate::greedy::greedy_dccs_in;
+use crate::exact::exact_dccs_on;
+use crate::greedy::greedy_dccs_on;
 use crate::result::DccsResult;
-use crate::top_down::top_down_dccs_in;
+use crate::top_down::top_down_dccs_on;
 use coreness::PeelWorkspace;
 use mlgraph::MultiLayerGraph;
 
@@ -109,6 +119,14 @@ pub struct DccsSession<'g> {
     g: &'g MultiLayerGraph,
     ctx: SearchContext,
     opts: DccsOptions,
+    /// The session's persistent worker crew ([`PersistentPool`]): spawned
+    /// on the first query that wants more than one thread, then threaded
+    /// through preprocessing and search of **every** subsequent query (and
+    /// through whole `run_batch` sweeps), so repeated small queries stop
+    /// paying a worker spawn/join per phase. Re-created only when a query
+    /// asks for a different width; `None` while every query has been
+    /// sequential.
+    crew: Option<PersistentPool>,
 }
 
 impl<'g> DccsSession<'g> {
@@ -121,7 +139,9 @@ impl<'g> DccsSession<'g> {
     /// A session over `g` whose queries default to `opts`. An `opts.threads`
     /// of `0` means auto ([`auto_threads`]).
     pub fn with_options(g: &'g MultiLayerGraph, opts: DccsOptions) -> Self {
-        DccsSession { g, ctx: SearchContext::new(auto_threads(opts.threads)), opts }
+        let mut ctx = SearchContext::new(auto_threads(opts.threads));
+        ctx.set_index_choice(opts.index);
+        DccsSession { g, ctx, opts, crew: None }
     }
 
     /// The graph this session queries.
@@ -151,15 +171,44 @@ impl<'g> DccsSession<'g> {
         params.validate(l)
     }
 
-    /// Runs one validated query on the session context. `opts.threads` must
-    /// already be resolved (≥ 1).
+    /// Makes sure the persistent crew matches `threads` (after the CI
+    /// forcing override); sequential queries never spawn one. An existing
+    /// crew of a different width is torn down and replaced — sweeps at a
+    /// fixed width, the common case, reuse one crew for their lifetime.
+    fn ensure_crew(&mut self, threads: usize) {
+        let effective = effective_threads(threads);
+        if effective <= 1 {
+            return;
+        }
+        if self.crew.as_ref().is_none_or(|crew| crew.threads() != effective) {
+            self.crew = Some(PersistentPool::new(effective));
+        }
+    }
+
+    /// Runs one validated query on the session context and the persistent
+    /// crew. `opts.threads` must already be resolved (≥ 1).
     fn run_checked(
         &mut self,
         spec: &QuerySpec,
         opts: &DccsOptions,
     ) -> Result<DccsResult, DccsError> {
         self.ctx.set_threads(opts.threads);
-        run_spec_on(&mut self.ctx, self.g, spec, opts)
+        self.ctx.set_index_choice(opts.index);
+        let parallel = effective_threads(opts.threads) > 1;
+        if parallel {
+            self.ensure_crew(opts.threads);
+        }
+        let ctx = &mut self.ctx;
+        let g = self.g;
+        match &mut self.crew {
+            // A sequential query must not fan out on a crew left over from
+            // an earlier wider query — the crew stays alive (a later wide
+            // query reuses it) but this query bypasses it.
+            Some(crew) if parallel => run_spec_on_pool(ctx, &crew.pool_ref(), g, spec, opts),
+            // Truly sequential (no forcing either): a width-1 scoped pool
+            // spawns no thread and runs every batch inline.
+            _ => crate::engine::with_pool(1, |pool| run_spec_on_pool(ctx, pool, g, spec, opts)),
+        }
     }
 
     /// Runs a whole sweep through **one** executor crew.
@@ -168,7 +217,7 @@ impl<'g> DccsSession<'g> {
     /// first invalid spec fails the call before any work runs). With an
     /// effective thread count of 1 — or a single spec — the queries run
     /// in order on the session context, compounding its caches. With more
-    /// threads, one [`with_pool`] crew is spun up for the entire batch and
+    /// threads, the session's persistent crew serves the entire batch and
     /// each query becomes one job, executed sequentially on one worker —
     /// inter-query parallelism, which is where a sweep's wall-clock actually
     /// goes. Either way each result is bit-identical to running its spec as
@@ -183,42 +232,51 @@ impl<'g> DccsSession<'g> {
             let opts = DccsOptions { threads, ..self.opts };
             return specs.iter().map(|spec| self.run_checked(spec, &opts)).collect();
         }
-        // One crew for the whole sweep; each query is one sequential job, so
-        // its result (and stats) equal the 1-thread run by construction.
+        // The persistent crew serves the whole sweep; each query is one
+        // sequential job, so its result (and stats) equal the 1-thread run
+        // by construction.
+        self.ensure_crew(threads);
         let g = self.g;
         let opts = DccsOptions { threads: 1, ..self.opts };
-        let outcomes: Vec<Result<DccsResult, DccsError>> = with_pool(threads, |pool| {
-            let jobs: Vec<_> = specs
-                .iter()
-                .map(|&spec| {
-                    move |_ws: &mut PeelWorkspace| {
-                        let mut ctx = SearchContext::new(1);
-                        run_spec_on(&mut ctx, g, &spec, &opts)
-                    }
-                })
-                .collect();
-            pool.map(&mut self.ctx.ws, jobs)
-        });
+        let crew = self.crew.as_mut().expect("ensure_crew spawns for threads > 1");
+        let jobs: Vec<_> = specs
+            .iter()
+            .map(|&spec| {
+                let opts = &opts;
+                move |_ws: &mut PeelWorkspace| {
+                    let mut ctx = SearchContext::new(1);
+                    ctx.set_index_choice(opts.index);
+                    crate::engine::with_pool(1, |pool| {
+                        run_spec_on_pool(&mut ctx, pool, g, &spec, opts)
+                    })
+                }
+            })
+            .collect();
+        let outcomes: Vec<Result<DccsResult, DccsError>> =
+            crew.pool_ref().map(&mut self.ctx.ws, jobs);
         outcomes.into_iter().collect()
     }
 }
 
-/// Dispatches one spec on an existing context — the single place the
-/// algorithm match lives, shared by the session's single-query and batch
-/// paths. The caller has already validated the spec and configured the
-/// context's thread count.
-fn run_spec_on(
+/// Dispatches one spec on an existing context and executor crew — the
+/// single place the algorithm match lives, shared by the session's
+/// single-query and batch paths. The caller has already validated the spec
+/// and configured the context's thread count and index override; the crew
+/// is threaded through preprocessing and the search (the single-crew query
+/// path).
+fn run_spec_on_pool(
     ctx: &mut SearchContext,
+    pool: &PoolRef<'_>,
     g: &MultiLayerGraph,
     spec: &QuerySpec,
     opts: &DccsOptions,
 ) -> Result<DccsResult, DccsError> {
     let algorithm = spec.algorithm.resolve(g, &spec.params);
     Ok(match algorithm {
-        Algorithm::Greedy => greedy_dccs_in(ctx, g, &spec.params, opts),
-        Algorithm::BottomUp => bottom_up_dccs_in(ctx, g, &spec.params, opts),
-        Algorithm::TopDown => top_down_dccs_in(ctx, g, &spec.params, opts),
-        Algorithm::Exact => exact_dccs_in(ctx, g, &spec.params, opts)?,
+        Algorithm::Greedy => greedy_dccs_on(ctx, pool, g, &spec.params, opts),
+        Algorithm::BottomUp => bottom_up_dccs_on(ctx, pool, g, &spec.params, opts),
+        Algorithm::TopDown => top_down_dccs_on(ctx, pool, g, &spec.params, opts),
+        Algorithm::Exact => exact_dccs_on(ctx, pool, g, &spec.params, opts)?,
         Algorithm::Auto => unreachable!("resolve never returns Auto"),
     })
 }

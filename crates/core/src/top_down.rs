@@ -40,7 +40,7 @@
 use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
-use crate::engine::{drive_task_graph, with_pool, SearchContext};
+use crate::engine::{drive_task_graph, with_pool, PoolRef, SearchContext};
 use crate::index::VertexIndex;
 use crate::preprocess::init_topk_in;
 use crate::refine::{refine_c, refine_u};
@@ -71,9 +71,23 @@ pub fn top_down_dccs_with_options(
 }
 
 /// Runs `TD-DCCS` on an existing [`SearchContext`], reusing its scratch
-/// across a parameter sweep.
+/// across a parameter sweep. Spins up one scoped crew for the whole query;
+/// session callers with a persistent crew go through [`top_down_dccs_on`].
 pub fn top_down_dccs_in(
     ctx: &mut SearchContext,
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+) -> DccsResult {
+    with_pool(ctx.threads(), |pool| top_down_dccs_on(ctx, pool, g, params, opts))
+}
+
+/// [`top_down_dccs_in`] on an existing executor crew — the single-crew
+/// query path: preprocessing and the subtree task graph share `pool`, so
+/// neither phase pays its own worker spawn/join.
+pub fn top_down_dccs_on(
+    ctx: &mut SearchContext,
+    pool: &PoolRef<'_>,
     g: &MultiLayerGraph,
     params: &DccsParams,
     opts: &DccsOptions,
@@ -83,7 +97,7 @@ pub fn top_down_dccs_in(
     let mut stats = SearchStats { algorithm: Some(Algorithm::TopDown), ..SearchStats::default() };
     let l = g.num_layers();
 
-    let pre = ctx.preprocess(g, params, opts);
+    let pre = ctx.preprocess_on(pool, g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
 
     let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
@@ -107,7 +121,6 @@ pub fn top_down_dccs_in(
     stats.dcc_calls += 1;
     let mut root_core = pre.active.clone();
     ctx.ws.peel_in_place(g, &all_layers, params.d, &mut root_core);
-    let threads = ctx.threads();
 
     if params.s == l {
         stats.candidates_generated += 1;
@@ -153,7 +166,7 @@ pub fn top_down_dccs_in(
         TdNodeEval { children }
     };
 
-    with_pool(threads, |pool| {
+    {
         let root = TdTask { positions: all_positions, potential: pre.active.clone() };
         let topk = &mut topk;
         let stats = &mut stats;
@@ -233,7 +246,7 @@ pub fn top_down_dccs_in(
                 spawn.push(TdTask { positions: child.positions, potential: child.potential });
             }
         });
-    });
+    }
 
     stats.updates_accepted = topk.accepted_updates();
     DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())

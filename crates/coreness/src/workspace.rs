@@ -58,7 +58,23 @@ pub struct PeelWorkspace {
     order: Vec<Vertex>,
     /// Bin-sort scratch: removal marks.
     removed: Vec<bool>,
+    /// Word-batched dense cascade scratch: the current frontier's victims
+    /// as an `⌈m/64⌉`-word removal mask.
+    removal_words: Vec<u64>,
+    /// Word-batched dense cascade scratch: indices of the non-zero words of
+    /// `removal_words`.
+    removal_nz: Vec<u32>,
 }
+
+/// Cost-model factor of the dense cascade's frontier batching: a whole
+/// frontier of removals is applied as word masks against every surviving
+/// row (cost `|alive| · nz` word ops per layer) when that undercuts the
+/// per-victim walk (`batch · W` row-scan words per layer, plus one scalar
+/// decrement per surviving edge — approximated by counting each scanned
+/// word twice). Pure function of the four counts, so the chosen path —
+/// and therefore the cascade, which is confluent either way — never
+/// depends on scheduling.
+const CASCADE_BATCH_CROSSOVER: usize = 2;
 
 impl PeelWorkspace {
     /// An empty workspace; buffers are grown on first use.
@@ -214,7 +230,18 @@ impl PeelWorkspace {
     /// iterated as `row ∧ alive` words, and `degrees[j*m + v]` must hold the
     /// exact within-`alive` degree of every member on `layers[j]` (kept
     /// exact through the cascade). Queue scratch is borrowed from the
-    /// workspace; nothing is allocated.
+    /// workspace; nothing is allocated in steady state.
+    ///
+    /// The cascade drains the removal queue **one whole frontier at a
+    /// time**: the queued victims are grouped into 64-bit removal words,
+    /// removed from `alive` together, and — when the frontier is wide
+    /// enough ([`CASCADE_BATCH_CROSSOVER`]) — each non-zero removal word is
+    /// applied against every surviving row as a word-AND + popcount, so a
+    /// survivor's degree drops by `|row ∧ removed|` in a handful of word
+    /// ops instead of one scalar decrement per lost edge. Narrow frontiers
+    /// keep the per-victim `row ∧ alive` walk. Peeling is confluent, so
+    /// both paths — and any batching of the removal order — produce the
+    /// same final set and the same surviving degrees.
     ///
     /// `layers` are original layer indices into the dense subgraph's layer
     /// axis.
@@ -235,9 +262,14 @@ impl PeelWorkspace {
         }
         self.reserve_multi(m, 1);
         let epoch = self.next_epoch();
+        let wpr = dense.words_per_row();
         let queue = &mut self.queue;
         let queued = &mut self.queued[..m];
+        let removal = &mut self.removal_words;
+        let nz = &mut self.removal_nz;
         queue.clear();
+        removal.clear();
+        removal.resize(wpr, 0);
         for v in alive.iter() {
             let vi = v as usize;
             if (0..layers.len()).any(|j| degrees[j * m + vi] < d) {
@@ -245,22 +277,73 @@ impl PeelWorkspace {
                 queued[vi] = epoch;
             }
         }
-        while let Some(v) = queue.pop() {
-            if !alive.remove(v) {
+        let kernel = mlgraph::kernels::kernel();
+        while !queue.is_empty() {
+            // Drain the whole frontier into word-grouped removal masks.
+            removal[..wpr].fill(0);
+            let mut batch = 0usize;
+            for v in queue.drain(..) {
+                if alive.remove(v) {
+                    removal[v as usize / 64] |= 1u64 << (v % 64);
+                    batch += 1;
+                }
+            }
+            if batch == 0 {
                 continue;
             }
-            for (j, &layer) in layers.iter().enumerate() {
-                let row = dense.row(layer, v);
-                for (w, (&r, &a)) in row.iter().zip(alive.words().iter()).enumerate() {
-                    let mut bits = r & a;
+            nz.clear();
+            for (w, &word) in removal[..wpr].iter().enumerate() {
+                if word != 0 {
+                    nz.push(w as u32);
+                }
+            }
+            if alive.len() * nz.len() <= CASCADE_BATCH_CROSSOVER * batch * wpr {
+                // Word-batched: subtract `|row ∧ removed|` from every
+                // surviving row, scanning only the non-zero removal words.
+                for (j, &layer) in layers.iter().enumerate() {
+                    for u in alive.iter() {
+                        let row = dense.row(layer, u);
+                        let delta = if nz.len() == wpr {
+                            kernel.and_count(row, &removal[..wpr]) as u32
+                        } else {
+                            let mut delta = 0u32;
+                            for &w in nz.iter() {
+                                delta += (row[w as usize] & removal[w as usize]).count_ones();
+                            }
+                            delta
+                        };
+                        if delta != 0 {
+                            let du = &mut degrees[j * m + u as usize];
+                            *du = du.saturating_sub(delta);
+                            if *du < d && queued[u as usize] != epoch {
+                                queued[u as usize] = epoch;
+                                queue.push(u);
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Narrow frontier: walk each victim's surviving neighbors.
+                for &w in nz.iter() {
+                    let mut bits = removal[w as usize];
                     while bits != 0 {
-                        let u = (w * 64 + bits.trailing_zeros() as usize) as Vertex;
+                        let v = (w as usize * 64 + bits.trailing_zeros() as usize) as Vertex;
                         bits &= bits - 1;
-                        let du = &mut degrees[j * m + u as usize];
-                        *du = du.saturating_sub(1);
-                        if *du < d && queued[u as usize] != epoch {
-                            queued[u as usize] = epoch;
-                            queue.push(u);
+                        for (j, &layer) in layers.iter().enumerate() {
+                            let row = dense.row(layer, v);
+                            for (wi, (&r, &a)) in row.iter().zip(alive.words().iter()).enumerate() {
+                                let mut nb = r & a;
+                                while nb != 0 {
+                                    let u = (wi * 64 + nb.trailing_zeros() as usize) as Vertex;
+                                    nb &= nb - 1;
+                                    let du = &mut degrees[j * m + u as usize];
+                                    *du = du.saturating_sub(1);
+                                    if *du < d && queued[u as usize] != epoch {
+                                        queued[u as usize] = epoch;
+                                        queue.push(u);
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -485,6 +568,57 @@ mod tests {
         let within = VertexSet::from_iter(7, [0, 1, 2, 4, 5, 6]);
         ws.core_numbers_into(g.layer(1), &within, &mut core);
         assert_eq!(core, crate::peel::core_numbers_within(g.layer(1), &within));
+    }
+
+    /// The word-batched dense cascade must peel to exactly the naive d-CC —
+    /// on shapes wide enough to take the batched frontier path (a large
+    /// near-complete graph whose first frontier removes many vertices at
+    /// once) and on shapes that stay on the per-victim path.
+    #[test]
+    fn word_batched_dense_cascade_matches_naive() {
+        // 150 vertices, 2 layers: a dense clique core {0..100} plus a
+        // sparse fringe 100..150 that cascades away in wide frontiers.
+        let n = 150usize;
+        let mut b = MultiLayerGraphBuilder::new(n, 2);
+        for layer in 0..2 {
+            for u in 0..100u32 {
+                for v in (u + 1)..100 {
+                    b.add_edge(layer, u, v).unwrap();
+                }
+            }
+            for v in 100..n as u32 {
+                b.add_edge(layer, v, v - 100).unwrap();
+                b.add_edge(layer, v, (v - 100 + 1) % 100).unwrap();
+            }
+        }
+        let g = b.build();
+        let universe = g.full_vertex_set();
+        let dense = DenseSubgraph::build(&g, &universe);
+        let mut ws = PeelWorkspace::new();
+        for (layers, d) in
+            [(vec![0usize], 3u32), (vec![0, 1], 3), (vec![0, 1], 50), (vec![0, 1], 99)]
+        {
+            let mut alive = VertexSet::full(n);
+            let mut degrees = vec![0u32; layers.len() * n];
+            for (j, &layer) in layers.iter().enumerate() {
+                for v in alive.iter() {
+                    degrees[j * n + v as usize] = dense.degree_within(layer, v, &alive) as u32;
+                }
+            }
+            ws.cascade_dense(&dense, &layers, d, &mut alive, &mut degrees);
+            let reference = crate::dcc::d_coherent_core_naive(&g, &layers, d, &universe);
+            assert_eq!(alive.to_vec(), reference.to_vec(), "layers={layers:?} d={d}");
+            // Surviving degrees must stay exact.
+            for (j, &layer) in layers.iter().enumerate() {
+                for v in alive.iter() {
+                    assert_eq!(
+                        degrees[j * n + v as usize] as usize,
+                        dense.degree_within(layer, v, &alive),
+                        "stale degree for v={v} layer={layer} d={d}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,14 @@
 //! `0..n`. A bitset with a cached cardinality gives O(1) membership tests,
 //! O(n / 64) intersections, and cheap cloning, which is exactly the access
 //! pattern of the peeling and coverage procedures.
+//!
+//! All multi-word combines (intersection, union, difference, and their
+//! popcounts) dispatch through the process-selected bit kernel
+//! ([`crate::kernels::kernel`]), so they run 4×-unrolled or AVX2 code on
+//! hosts that support it while staying bit-identical to the scalar
+//! reference everywhere.
 
+use crate::kernels::kernel;
 use crate::Vertex;
 use serde::{Deserialize, Serialize};
 
@@ -138,12 +145,7 @@ impl VertexSet {
     pub fn assign_intersection(&mut self, a: &VertexSet, b: &VertexSet) {
         assert_eq!(a.capacity, b.capacity, "capacity mismatch in assign_intersection");
         assert_eq!(self.capacity, a.capacity, "capacity mismatch in assign_intersection");
-        let mut len = 0usize;
-        for ((out, &x), &y) in self.words.iter_mut().zip(a.words.iter()).zip(b.words.iter()) {
-            *out = x & y;
-            len += out.count_ones() as usize;
-        }
-        self.len = len;
+        self.len = kernel().and_assign_count(&mut self.words, &a.words, &b.words);
     }
 
     /// Overwrites this set with `a \ b`, without allocating. Panics if any of
@@ -151,12 +153,7 @@ impl VertexSet {
     pub fn assign_difference(&mut self, a: &VertexSet, b: &VertexSet) {
         assert_eq!(a.capacity, b.capacity, "capacity mismatch in assign_difference");
         assert_eq!(self.capacity, a.capacity, "capacity mismatch in assign_difference");
-        let mut len = 0usize;
-        for ((out, &x), &y) in self.words.iter_mut().zip(a.words.iter()).zip(b.words.iter()) {
-            *out = x & !y;
-            len += out.count_ones() as usize;
-        }
-        self.len = len;
+        self.len = kernel().andnot_assign_count(&mut self.words, &a.words, &b.words);
     }
 
     /// Iterates the members in increasing vertex order.
@@ -172,34 +169,19 @@ impl VertexSet {
     /// In-place intersection with `other`. Panics if the capacities differ.
     pub fn intersect_with(&mut self, other: &VertexSet) {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersect_with");
-        let mut len = 0usize;
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a &= *b;
-            len += a.count_ones() as usize;
-        }
-        self.len = len;
+        self.len = kernel().and_inplace_count(&mut self.words, &other.words);
     }
 
     /// In-place union with `other`. Panics if the capacities differ.
     pub fn union_with(&mut self, other: &VertexSet) {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch in union_with");
-        let mut len = 0usize;
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a |= *b;
-            len += a.count_ones() as usize;
-        }
-        self.len = len;
+        self.len = kernel().or_inplace_count(&mut self.words, &other.words);
     }
 
     /// In-place difference (`self \ other`). Panics if the capacities differ.
     pub fn difference_with(&mut self, other: &VertexSet) {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch in difference_with");
-        let mut len = 0usize;
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a &= !*b;
-            len += a.count_ones() as usize;
-        }
-        self.len = len;
+        self.len = kernel().andnot_inplace_count(&mut self.words, &other.words);
     }
 
     /// Returns a new set that is the intersection of `self` and `other`.
@@ -235,13 +217,13 @@ impl VertexSet {
     /// treated as zero-extended.
     #[inline]
     pub fn intersection_len_words(&self, words: &[u64]) -> usize {
-        self.words.iter().zip(words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        kernel().and_count(&self.words, words)
     }
 
     /// Size of the intersection without materializing it.
     pub fn intersection_len(&self, other: &VertexSet) -> usize {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersection_len");
-        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        kernel().and_count(&self.words, &other.words)
     }
 
     /// Whether `self` is a subset of `other`.

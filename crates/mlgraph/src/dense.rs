@@ -87,6 +87,13 @@ impl DenseSubgraph {
         self.num_layers
     }
 
+    /// Words per adjacency row, `⌈m / 64⌉` — the unit of the word-batched
+    /// cascade's removal masks.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
     /// The adjacency row of re-indexed vertex `v` on `layer`.
     #[inline]
     pub fn row(&self, layer: Layer, v: Vertex) -> &[u64] {

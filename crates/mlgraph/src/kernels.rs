@@ -1,0 +1,624 @@
+//! Runtime-dispatched bit kernels — the one place every word-level bitset
+//! loop in the workspace lives.
+//!
+//! Every DCCS algorithm bottoms out in the same handful of primitives over
+//! packed `u64` words: AND/ANDNOT/OR combines with a popcount reduction.
+//! Before this layer existed those loops were hand-rolled scalar code
+//! scattered across `mlgraph::bitset`, `mlgraph::dense`,
+//! `coreness::workspace`, and the dense lattice walk; now they all route
+//! through one [`BitKernel`] implementation selected **once per process**:
+//!
+//! | kernel     | what it is                                              |
+//! |------------|---------------------------------------------------------|
+//! | `scalar`   | one word per iteration — the reference implementation   |
+//! | `unrolled` | 4×-unrolled portable loop (`u64x4`-style, 4 independent |
+//! |            | accumulators so the popcounts pipeline)                 |
+//! | `avx2`     | 256-bit lanes with a SWAR nibble-lookup popcount        |
+//! |            | (`x86_64` only, behind runtime feature detection)       |
+//!
+//! Selection order: the `DCCS_FORCE_KERNEL=scalar|unrolled|avx2`
+//! environment variable (CI determinism and A/B measurements) wins;
+//! otherwise `avx2` when the CPU supports it, else `unrolled`. All three
+//! kernels are **bit-identical** on every input — forcing one changes
+//! wall-clock time only — which is enforced by the property suite in
+//! `crates/mlgraph/tests/kernel_property.rs`.
+//!
+//! Counting semantics: the `*_count` return value is the popcount of the
+//! words the operation wrote (or, for [`BitKernel::and_count`], of the
+//! intersection), which is what keeps [`crate::VertexSet::len`] O(1).
+//! `and_count` zips to the shorter slice (zero-extension — a missing word
+//! intersects to nothing); the assign/in-place ops require equal lengths.
+
+#![allow(unsafe_code)] // the AVX2 kernel: audited intrinsics behind runtime detection
+
+use std::sync::OnceLock;
+
+/// Which [`BitKernel`] implementation a handle dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Word-at-a-time reference loops.
+    Scalar,
+    /// 4×-unrolled portable loops (independent accumulators).
+    Unrolled,
+    /// AVX2 256-bit lanes (`x86_64` with runtime feature detection).
+    Avx2,
+}
+
+impl KernelKind {
+    /// Lower-case name, matching the `DCCS_FORCE_KERNEL` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Unrolled => "unrolled",
+            KernelKind::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a `DCCS_FORCE_KERNEL` value.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelKind::Scalar),
+            "unrolled" | "u64x4" => Some(KernelKind::Unrolled),
+            "avx2" => Some(KernelKind::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// The word-level primitive set every bitset operation is built from.
+///
+/// Implementations must be bit-identical: for any inputs, every method
+/// writes the same words and returns the same count on all kernels. Length
+/// contracts: `and_count` zips to the shorter operand (zero-extension);
+/// every other method requires `out`/`acc` and its operands to have equal
+/// lengths and panics (in debug) otherwise.
+pub trait BitKernel: Send + Sync {
+    /// Which implementation this is.
+    fn kind(&self) -> KernelKind;
+
+    /// `out[i] = a[i] & b[i]`; returns the popcount of `out`.
+    fn and_assign_count(&self, out: &mut [u64], a: &[u64], b: &[u64]) -> usize;
+
+    /// `out[i] = a[i] & !b[i]`; returns the popcount of `out`.
+    fn andnot_assign_count(&self, out: &mut [u64], a: &[u64], b: &[u64]) -> usize;
+
+    /// `acc[i] &= b[i]`; returns the popcount of `acc`.
+    fn and_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize;
+
+    /// `acc[i] |= b[i]`; returns the popcount of `acc`.
+    fn or_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize;
+
+    /// `acc[i] &= !b[i]`; returns the popcount of `acc`.
+    fn andnot_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize;
+
+    /// Popcount of the elementwise AND, zipped to the shorter slice.
+    fn and_count(&self, a: &[u64], b: &[u64]) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernel.
+// ---------------------------------------------------------------------------
+
+/// Word-at-a-time reference implementation; the other kernels are tested
+/// against it.
+struct ScalarKernel;
+
+impl BitKernel for ScalarKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Scalar
+    }
+
+    fn and_assign_count(&self, out: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        debug_assert!(out.len() == a.len() && a.len() == b.len());
+        let mut count = 0usize;
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x & y;
+            count += o.count_ones() as usize;
+        }
+        count
+    }
+
+    fn andnot_assign_count(&self, out: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        debug_assert!(out.len() == a.len() && a.len() == b.len());
+        let mut count = 0usize;
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x & !y;
+            count += o.count_ones() as usize;
+        }
+        count
+    }
+
+    fn and_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        debug_assert_eq!(acc.len(), b.len());
+        let mut count = 0usize;
+        for (a, &y) in acc.iter_mut().zip(b) {
+            *a &= y;
+            count += a.count_ones() as usize;
+        }
+        count
+    }
+
+    fn or_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        debug_assert_eq!(acc.len(), b.len());
+        let mut count = 0usize;
+        for (a, &y) in acc.iter_mut().zip(b) {
+            *a |= y;
+            count += a.count_ones() as usize;
+        }
+        count
+    }
+
+    fn andnot_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        debug_assert_eq!(acc.len(), b.len());
+        let mut count = 0usize;
+        for (a, &y) in acc.iter_mut().zip(b) {
+            *a &= !y;
+            count += a.count_ones() as usize;
+        }
+        count
+    }
+
+    fn and_count(&self, a: &[u64], b: &[u64]) -> usize {
+        a.iter().zip(b).map(|(&x, &y)| (x & y).count_ones() as usize).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4×-unrolled portable kernel.
+// ---------------------------------------------------------------------------
+
+/// Portable `u64x4`-style kernel: four words per iteration with four
+/// independent popcount accumulators, so the `popcnt` results pipeline
+/// instead of serializing on one register.
+struct UnrolledKernel;
+
+macro_rules! unrolled_binop_count {
+    ($out:expr, $a:expr, $b:expr, $op:expr) => {{
+        let out: &mut [u64] = $out;
+        let a: &[u64] = $a;
+        let b: &[u64] = $b;
+        debug_assert!(out.len() == a.len() && a.len() == b.len());
+        let n = out.len();
+        let chunks = n / 4 * 4;
+        let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+        let mut i = 0;
+        while i < chunks {
+            let w0 = $op(a[i], b[i]);
+            let w1 = $op(a[i + 1], b[i + 1]);
+            let w2 = $op(a[i + 2], b[i + 2]);
+            let w3 = $op(a[i + 3], b[i + 3]);
+            out[i] = w0;
+            out[i + 1] = w1;
+            out[i + 2] = w2;
+            out[i + 3] = w3;
+            c0 += w0.count_ones() as usize;
+            c1 += w1.count_ones() as usize;
+            c2 += w2.count_ones() as usize;
+            c3 += w3.count_ones() as usize;
+            i += 4;
+        }
+        let mut count = c0 + c1 + c2 + c3;
+        while i < n {
+            let w = $op(a[i], b[i]);
+            out[i] = w;
+            count += w.count_ones() as usize;
+            i += 1;
+        }
+        count
+    }};
+}
+
+macro_rules! unrolled_inplace_count {
+    ($acc:expr, $b:expr, $op:expr) => {{
+        let acc: &mut [u64] = $acc;
+        let b: &[u64] = $b;
+        debug_assert_eq!(acc.len(), b.len());
+        let n = acc.len();
+        let chunks = n / 4 * 4;
+        let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+        let mut i = 0;
+        while i < chunks {
+            let w0 = $op(acc[i], b[i]);
+            let w1 = $op(acc[i + 1], b[i + 1]);
+            let w2 = $op(acc[i + 2], b[i + 2]);
+            let w3 = $op(acc[i + 3], b[i + 3]);
+            acc[i] = w0;
+            acc[i + 1] = w1;
+            acc[i + 2] = w2;
+            acc[i + 3] = w3;
+            c0 += w0.count_ones() as usize;
+            c1 += w1.count_ones() as usize;
+            c2 += w2.count_ones() as usize;
+            c3 += w3.count_ones() as usize;
+            i += 4;
+        }
+        let mut count = c0 + c1 + c2 + c3;
+        while i < n {
+            let w = $op(acc[i], b[i]);
+            acc[i] = w;
+            count += w.count_ones() as usize;
+            i += 1;
+        }
+        count
+    }};
+}
+
+impl BitKernel for UnrolledKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Unrolled
+    }
+
+    fn and_assign_count(&self, out: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        unrolled_binop_count!(out, a, b, |x: u64, y: u64| x & y)
+    }
+
+    fn andnot_assign_count(&self, out: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        unrolled_binop_count!(out, a, b, |x: u64, y: u64| x & !y)
+    }
+
+    fn and_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        unrolled_inplace_count!(acc, b, |x: u64, y: u64| x & y)
+    }
+
+    fn or_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        unrolled_inplace_count!(acc, b, |x: u64, y: u64| x | y)
+    }
+
+    fn andnot_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        unrolled_inplace_count!(acc, b, |x: u64, y: u64| x & !y)
+    }
+
+    fn and_count(&self, a: &[u64], b: &[u64]) -> usize {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let chunks = n / 4 * 4;
+        let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+        let mut i = 0;
+        while i < chunks {
+            c0 += (a[i] & b[i]).count_ones() as usize;
+            c1 += (a[i + 1] & b[i + 1]).count_ones() as usize;
+            c2 += (a[i + 2] & b[i + 2]).count_ones() as usize;
+            c3 += (a[i + 3] & b[i + 3]).count_ones() as usize;
+            i += 4;
+        }
+        let mut count = c0 + c1 + c2 + c3;
+        while i < n {
+            count += (a[i] & b[i]).count_ones() as usize;
+            i += 1;
+        }
+        count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernel (x86_64 only, runtime-detected).
+// ---------------------------------------------------------------------------
+
+/// 256-bit AVX2 kernel. Combines run four words per lane; the popcount is
+/// the classic nibble-lookup (`vpshufb` against a 0..15 popcount table,
+/// reduced with `vpsadbw`), accumulated across the loop in one vector
+/// register and summed once at the end. Tails shorter than four words fall
+/// back to the scalar loop.
+///
+/// Only handed out after `is_x86_feature_detected!("avx2")` succeeded (see
+/// [`kernel_for`]), so the `#[target_feature]` calls are sound.
+#[cfg(target_arch = "x86_64")]
+struct Avx2Kernel;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_andnot_si256,
+        _mm256_extract_epi64, _mm256_loadu_si256, _mm256_or_si256, _mm256_sad_epu8,
+        _mm256_set1_epi8, _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8,
+        _mm256_srli_epi16, _mm256_storeu_si256,
+    };
+
+    /// Per-byte popcount of `v` summed into four u64 lane counters
+    /// (Mula's nibble-lookup popcount).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcount_lanes(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lookup = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+        let counts =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo), _mm256_shuffle_epi8(lookup, hi));
+        _mm256_sad_epu8(counts, _mm256_setzero_si256())
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn horizontal_sum(acc: __m256i) -> usize {
+        (_mm256_extract_epi64(acc, 0)
+            + _mm256_extract_epi64(acc, 1)
+            + _mm256_extract_epi64(acc, 2)
+            + _mm256_extract_epi64(acc, 3)) as usize
+    }
+
+    /// Generates one `a OP b → out, popcount` AVX2 routine with a scalar
+    /// tail; `$combine` is the vector op, `$scalar` the word op.
+    macro_rules! avx2_binop {
+        ($name:ident, $combine:expr, $scalar:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(out: *mut u64, a: *const u64, b: *const u64, n: usize) -> usize {
+                let mut acc = _mm256_setzero_si256();
+                let lanes = n / 4 * 4;
+                let mut i = 0;
+                while i < lanes {
+                    let va = _mm256_loadu_si256(a.add(i).cast());
+                    let vb = _mm256_loadu_si256(b.add(i).cast());
+                    let v = $combine(va, vb);
+                    _mm256_storeu_si256(out.add(i).cast(), v);
+                    acc = _mm256_add_epi64(acc, popcount_lanes(v));
+                    i += 4;
+                }
+                let mut count = horizontal_sum(acc);
+                while i < n {
+                    let w: u64 = $scalar(*a.add(i), *b.add(i));
+                    *out.add(i) = w;
+                    count += w.count_ones() as usize;
+                    i += 1;
+                }
+                count
+            }
+        };
+    }
+
+    // `_mm256_andnot_si256(x, y)` computes `!x & y`, so the operands are
+    // swapped to express `a & !b`.
+    avx2_binop!(and_assign, |x, y| _mm256_and_si256(x, y), |x: u64, y: u64| x & y);
+    avx2_binop!(andnot_assign, |x, y| _mm256_andnot_si256(y, x), |x: u64, y: u64| x & !y);
+    avx2_binop!(or_assign, |x, y| _mm256_or_si256(x, y), |x: u64, y: u64| x | y);
+
+    /// Popcount of `a & b` without writing anywhere.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_count(a: *const u64, b: *const u64, n: usize) -> usize {
+        let mut acc = _mm256_setzero_si256();
+        let lanes = n / 4 * 4;
+        let mut i = 0;
+        while i < lanes {
+            let va = _mm256_loadu_si256(a.add(i).cast());
+            let vb = _mm256_loadu_si256(b.add(i).cast());
+            acc = _mm256_add_epi64(acc, popcount_lanes(_mm256_and_si256(va, vb)));
+            i += 4;
+        }
+        let mut count = horizontal_sum(acc);
+        while i < n {
+            count += (*a.add(i) & *b.add(i)).count_ones() as usize;
+            i += 1;
+        }
+        count
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl BitKernel for Avx2Kernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Avx2
+    }
+
+    fn and_assign_count(&self, out: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        debug_assert!(out.len() == a.len() && a.len() == b.len());
+        // SAFETY: this kernel is only obtainable after AVX2 detection, and
+        // the slices have equal length by contract.
+        unsafe { avx2::and_assign(out.as_mut_ptr(), a.as_ptr(), b.as_ptr(), out.len()) }
+    }
+
+    fn andnot_assign_count(&self, out: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        debug_assert!(out.len() == a.len() && a.len() == b.len());
+        // SAFETY: as above.
+        unsafe { avx2::andnot_assign(out.as_mut_ptr(), a.as_ptr(), b.as_ptr(), out.len()) }
+    }
+
+    fn and_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        debug_assert_eq!(acc.len(), b.len());
+        // One pointer derived from the &mut, used for both the loads and
+        // the stores — a separate `acc.as_ptr()` reborrow would be
+        // invalidated by the first store under the aliasing model. The
+        // same-lane load completes before its store, and lanes never
+        // overlap.
+        let p = acc.as_mut_ptr();
+        // SAFETY: this kernel is only obtainable after AVX2 detection, and
+        // the slices have equal length by contract.
+        unsafe { avx2::and_assign(p, p.cast_const(), b.as_ptr(), acc.len()) }
+    }
+
+    fn or_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        debug_assert_eq!(acc.len(), b.len());
+        let p = acc.as_mut_ptr();
+        // SAFETY: as for `and_inplace_count`.
+        unsafe { avx2::or_assign(p, p.cast_const(), b.as_ptr(), acc.len()) }
+    }
+
+    fn andnot_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
+        debug_assert_eq!(acc.len(), b.len());
+        let p = acc.as_mut_ptr();
+        // SAFETY: as for `and_inplace_count`.
+        unsafe { avx2::andnot_assign(p, p.cast_const(), b.as_ptr(), acc.len()) }
+    }
+
+    fn and_count(&self, a: &[u64], b: &[u64]) -> usize {
+        let n = a.len().min(b.len());
+        // SAFETY: both slices hold at least `n` words.
+        unsafe { avx2::and_count(a.as_ptr(), b.as_ptr(), n) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection.
+// ---------------------------------------------------------------------------
+
+static SCALAR: ScalarKernel = ScalarKernel;
+static UNROLLED: UnrolledKernel = UnrolledKernel;
+#[cfg(target_arch = "x86_64")]
+static AVX2: Avx2Kernel = Avx2Kernel;
+
+/// The kernel for an explicit [`KernelKind`], or `None` when this host
+/// cannot run it (AVX2 on a CPU without it, or off `x86_64`). Used by the
+/// equivalence property tests and the `kernel_dispatch` bench group, which
+/// compare implementations inside one process.
+pub fn kernel_for(kind: KernelKind) -> Option<&'static dyn BitKernel> {
+    match kind {
+        KernelKind::Scalar => Some(&SCALAR),
+        KernelKind::Unrolled => Some(&UNROLLED),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                Some(&AVX2)
+            } else {
+                None
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelKind::Avx2 => None,
+    }
+}
+
+/// Every kernel this host can run, scalar first.
+pub fn available_kernels() -> Vec<&'static dyn BitKernel> {
+    [KernelKind::Scalar, KernelKind::Unrolled, KernelKind::Avx2]
+        .into_iter()
+        .filter_map(kernel_for)
+        .collect()
+}
+
+fn select() -> &'static dyn BitKernel {
+    if let Ok(forced) = std::env::var("DCCS_FORCE_KERNEL") {
+        let kind = KernelKind::parse(&forced).unwrap_or_else(|| {
+            panic!("DCCS_FORCE_KERNEL={forced}: expected scalar, unrolled, or avx2")
+        });
+        return kernel_for(kind).unwrap_or_else(|| {
+            panic!("DCCS_FORCE_KERNEL={forced}: this host cannot run that kernel")
+        });
+    }
+    kernel_for(KernelKind::Avx2).unwrap_or(&UNROLLED)
+}
+
+/// The process-wide dispatched kernel: `DCCS_FORCE_KERNEL` if set (panics
+/// on an unknown or unsupported value — it is a CI/A-B knob, not user
+/// input), otherwise the fastest the CPU supports. Selected once; every
+/// [`crate::VertexSet`] operation and dense-row popcount goes through it.
+#[inline]
+pub fn kernel() -> &'static dyn BitKernel {
+    static SELECTED: OnceLock<&'static dyn BitKernel> = OnceLock::new();
+    *SELECTED.get_or_init(select)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic word patterns covering dense, sparse, and empty words.
+    fn words(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                match i % 5 {
+                    0 => 0,
+                    1 => !0,
+                    _ => state,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_available_kernels_match_scalar_on_every_op() {
+        let scalar = kernel_for(KernelKind::Scalar).unwrap();
+        for kernel in available_kernels() {
+            for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 33, 64] {
+                let a = words(n as u64 + 1, n);
+                let b = words(n as u64 + 1000, n);
+                let mut out_s = vec![0u64; n];
+                let mut out_k = vec![0u64; n];
+                let cs = scalar.and_assign_count(&mut out_s, &a, &b);
+                let ck = kernel.and_assign_count(&mut out_k, &a, &b);
+                assert_eq!((cs, &out_s), (ck, &out_k), "and_assign n={n} {:?}", kernel.kind());
+                let cs = scalar.andnot_assign_count(&mut out_s, &a, &b);
+                let ck = kernel.andnot_assign_count(&mut out_k, &a, &b);
+                assert_eq!((cs, &out_s), (ck, &out_k), "andnot_assign n={n} {:?}", kernel.kind());
+                for (op, s_res, k_res) in [
+                    (
+                        "and_inplace",
+                        {
+                            let mut acc = a.clone();
+                            (scalar.and_inplace_count(&mut acc, &b), acc)
+                        },
+                        {
+                            let mut acc = a.clone();
+                            (kernel.and_inplace_count(&mut acc, &b), acc)
+                        },
+                    ),
+                    (
+                        "or_inplace",
+                        {
+                            let mut acc = a.clone();
+                            (scalar.or_inplace_count(&mut acc, &b), acc)
+                        },
+                        {
+                            let mut acc = a.clone();
+                            (kernel.or_inplace_count(&mut acc, &b), acc)
+                        },
+                    ),
+                    (
+                        "andnot_inplace",
+                        {
+                            let mut acc = a.clone();
+                            (scalar.andnot_inplace_count(&mut acc, &b), acc)
+                        },
+                        {
+                            let mut acc = a.clone();
+                            (kernel.andnot_inplace_count(&mut acc, &b), acc)
+                        },
+                    ),
+                ] {
+                    assert_eq!(s_res, k_res, "{op} n={n} {:?}", kernel.kind());
+                }
+                assert_eq!(
+                    scalar.and_count(&a, &b),
+                    kernel.and_count(&a, &b),
+                    "and_count n={n} {:?}",
+                    kernel.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_count_zero_extends_the_shorter_slice() {
+        let a = words(3, 10);
+        let b = words(4, 6);
+        for kernel in available_kernels() {
+            assert_eq!(kernel.and_count(&a, &b), kernel.and_count(&b, &a), "{:?}", kernel.kind());
+            assert_eq!(
+                kernel.and_count(&a, &b),
+                kernel.and_count(&a[..6], &b[..6]),
+                "{:?}",
+                kernel.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        for kind in [KernelKind::Scalar, KernelKind::Unrolled, KernelKind::Avx2] {
+            assert_eq!(KernelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(KernelKind::parse("AVX2"), Some(KernelKind::Avx2));
+        assert_eq!(KernelKind::parse("sse9"), None);
+    }
+
+    #[test]
+    fn selection_is_stable_and_available() {
+        let first = kernel().kind();
+        assert_eq!(kernel().kind(), first);
+        assert!(available_kernels().iter().any(|k| k.kind() == first));
+    }
+}

@@ -10,6 +10,9 @@
 //!   layer (sorted, deduplicated adjacency lists).
 //! * [`DenseSubgraph`] — a re-indexed subgraph with per-layer adjacency
 //!   bitsets, for word-level peeling over small candidate universes.
+//! * [`kernels`] — the runtime-dispatched bit-kernel layer (scalar /
+//!   4×-unrolled / AVX2) every word-level loop above routes through,
+//!   selected once per process and forceable via `DCCS_FORCE_KERNEL`.
 //! * [`MultiLayerGraph`] / [`MultiLayerGraphBuilder`] — a set of CSR layers
 //!   sharing one vertex universe, with optional vertex and layer labels.
 //! * [`io`] — text edge-list and binary snapshot readers/writers plus DOT
@@ -42,7 +45,9 @@
 //! assert_eq!(g.layer(0).degree_within(1, &s), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 bit kernel is the one audited
+// exception (see `kernels`); everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;
@@ -54,6 +59,7 @@ pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod kernels;
 pub mod sample;
 pub mod stats;
 
@@ -63,6 +69,7 @@ pub use csr::Csr;
 pub use dense::DenseSubgraph;
 pub use error::{GraphError, Result};
 pub use graph::MultiLayerGraph;
+pub use kernels::{BitKernel, KernelKind};
 pub use stats::{GraphStats, LayerStats};
 
 /// A vertex identifier: a dense index in `0..n`.

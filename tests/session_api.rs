@@ -207,3 +207,31 @@ fn every_algorithm_is_reachable_through_the_session() {
         }
     }
 }
+
+/// The `--index` override must select the recorded peeling representation
+/// without changing any result, and the session must keep serving queries
+/// on its persistent crew across overrides and thread widths.
+#[test]
+fn index_override_is_recorded_and_bit_identical() {
+    use dccs::{DccsOptions, IndexChoice, IndexPath};
+    let ds = generate(DatasetId::Ppi, Scale::Tiny);
+    let params = DccsParams::new(2, 2, 5);
+    let reference =
+        DccsSession::new(&ds.graph).query(params).algorithm(Algorithm::Greedy).run().unwrap();
+    for (choice, expect) in
+        [(IndexChoice::Csr, Some(IndexPath::Csr)), (IndexChoice::Dense, Some(IndexPath::Dense))]
+    {
+        for threads in [1usize, 3] {
+            let opts = DccsOptions { index: choice, threads, ..DccsOptions::default() };
+            let mut session = DccsSession::with_options(&ds.graph, opts);
+            let result = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+            assert_eq!(result.stats.index_path, expect, "{choice:?} threads={threads}");
+            assert_eq!(result.cores, reference.cores, "{choice:?} threads={threads}");
+            assert_eq!(result.cover.to_vec(), reference.cover.to_vec());
+            // A second query on the same session reuses the crew and the
+            // context caches; still identical.
+            let again = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+            assert_eq!(again.cores, reference.cores, "{choice:?} threads={threads} (second)");
+        }
+    }
+}
