@@ -17,8 +17,8 @@
 
 use datasets::Scale;
 use dccs_bench::dcc_baseline::{
-    auto_selection_suite, baseline_suite, kernel_dispatch_suite, single_core,
-    subtree_scaling_suite, suite_to_json, thread_scaling_suite,
+    auto_selection_suite, baseline_suite, kernel_dispatch_suite, phase_breakdown_suite,
+    single_core, subtree_scaling_suite, suite_to_json, thread_scaling_suite,
 };
 
 const USAGE: &str =
@@ -121,6 +121,20 @@ fn main() {
             a.efficiency(),
         );
     }
+    let phases = phase_breakdown_suite(scale, runs);
+    for p in &phases {
+        println!(
+            "{:>8} {:<8} d={} s={}  preprocess {:>10.6}s  search {:>10.6}s  select {:>10.6}s{}",
+            p.dataset,
+            p.algorithm,
+            p.d,
+            p.s,
+            p.preprocess_secs,
+            p.search_secs,
+            p.select_secs,
+            if p.complete { "" } else { "  [INCOMPLETE]" },
+        );
+    }
     let kernels = kernel_dispatch_suite(runs);
     println!("[bench] dispatched bit kernel: {}", mlgraph::kernels::kernel().kind().name());
     for k in &kernels {
@@ -134,8 +148,17 @@ fn main() {
             k.speedup(),
         );
     }
-    let json =
-        suite_to_json(scale, runs, &comparisons, &scaling, &subtree, skip_scaling, &auto, &kernels);
+    let json = suite_to_json(
+        scale,
+        runs,
+        &comparisons,
+        &scaling,
+        &subtree,
+        skip_scaling,
+        &auto,
+        &kernels,
+        &phases,
+    );
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {
         eprintln!("failed to write {out_path}: {err}");

@@ -21,6 +21,10 @@
 //!   algorithm at the same `(d, s, k)`, recording which algorithm the
 //!   session picked and how close its time lands to the best fixed choice,
 //!   so the selection policy's quality is tracked in the perf trajectory.
+//! * **phase breakdown** — where each algorithm's end-to-end time goes
+//!   (preprocess / search / select, from [`dccs::SearchStats::phase`]),
+//!   plus the `complete` limit flag, so a future cancellation tax or a
+//!   phase-level regression shows up in the recorded JSON.
 //!
 //! On a single-core host (`available_parallelism() == 1`) the two scaling
 //! groups are **skipped** and recorded with `"skipped_single_core": true` —
@@ -178,6 +182,52 @@ impl AutoSelection {
             ("efficiency", Value::from(self.efficiency())),
             ("cover", Value::from(self.cover)),
             ("fixed", Value::Array(fixed)),
+        ])
+    }
+}
+
+/// Per-phase wall-clock breakdown of one end-to-end algorithm run (the
+/// `phase_breakdown` group of `BENCH_dcc.json`): where a query's time goes
+/// — vertex-deletion preprocessing, the candidate search itself, and the
+/// final max-k-cover selection — as recorded by
+/// [`dccs::SearchStats::phase`]. The `complete` flag is the limit marker:
+/// `true` means no query limit fired (the bench harness runs unlimited, so
+/// anything else is a harness bug worth seeing in the JSON).
+#[derive(Clone, Debug)]
+pub struct PhaseBreakdown {
+    /// Dataset analogue name.
+    pub dataset: String,
+    /// Algorithm name (`GD-DCCS`, `BU-DCCS`, `TD-DCCS`).
+    pub algorithm: &'static str,
+    /// Degree threshold.
+    pub d: u32,
+    /// Layer-subset size.
+    pub s: usize,
+    /// Preprocessing seconds of the fastest run.
+    pub preprocess_secs: f64,
+    /// Candidate-search seconds of the fastest run.
+    pub search_secs: f64,
+    /// Max-k-cover selection seconds of the fastest run.
+    pub select_secs: f64,
+    /// End-to-end seconds of the fastest run.
+    pub total_secs: f64,
+    /// Whether the run finished without tripping any query limit.
+    pub complete: bool,
+}
+
+impl PhaseBreakdown {
+    /// Renders the measurement as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("algorithm", Value::from(self.algorithm)),
+            ("d", Value::from(self.d)),
+            ("s", Value::from(self.s)),
+            ("preprocess_secs", Value::from(self.preprocess_secs)),
+            ("search_secs", Value::from(self.search_secs)),
+            ("select_secs", Value::from(self.select_secs)),
+            ("total_secs", Value::from(self.total_secs)),
+            ("complete", Value::from(self.complete)),
         ])
     }
 }
@@ -489,6 +539,53 @@ pub fn subtree_scaling_suite(scale: Scale, runs: usize, threads: usize) -> Vec<T
     out
 }
 
+/// Measures where one end-to-end run's time goes, keeping the phase split
+/// of the fastest of `runs` repetitions.
+pub fn compare_phase_breakdown(
+    ds: &Dataset,
+    algorithm: Algorithm,
+    d: u32,
+    s: usize,
+    runs: usize,
+) -> PhaseBreakdown {
+    let params = DccsParams::new(d, s, 10);
+    let mut best: Option<PhaseBreakdown> = None;
+    for _ in 0..runs.max(1) {
+        let outcome = run_algorithm(algorithm, &ds.graph, &params, &DccsOptions::default());
+        let total = outcome.seconds();
+        if best.as_ref().is_some_and(|b| b.total_secs <= total) {
+            continue;
+        }
+        let phase = &outcome.result.stats.phase;
+        best = Some(PhaseBreakdown {
+            dataset: format!("{:?}", ds.id),
+            algorithm: outcome.algorithm.name(),
+            d,
+            s,
+            preprocess_secs: phase.preprocess.as_secs_f64(),
+            search_secs: phase.search.as_secs_f64(),
+            select_secs: phase.select.as_secs_f64(),
+            total_secs: total,
+            complete: outcome.result.stats.complete,
+        });
+    }
+    best.expect("at least one repetition runs")
+}
+
+/// The phase-breakdown suite: every algorithm on the Wiki and German
+/// analogues at the thread-scaling suite's representative `(d, s)`.
+pub fn phase_breakdown_suite(scale: Scale, runs: usize) -> Vec<PhaseBreakdown> {
+    let mut out = Vec::new();
+    for id in [DatasetId::Wiki, DatasetId::German] {
+        let ds = generate(id, scale);
+        let s = 2.min(ds.graph.num_layers());
+        for algorithm in [Algorithm::Greedy, Algorithm::BottomUp, Algorithm::TopDown] {
+            out.push(compare_phase_breakdown(&ds, algorithm, 3, s, runs));
+        }
+    }
+    out
+}
+
 /// The `Auto`-vs-fixed suite: the Wiki and German analogues over a small
 /// and a large support threshold each, at the Fig. 13 default `k`.
 pub fn auto_selection_suite(scale: Scale, runs: usize) -> Vec<AutoSelection> {
@@ -527,6 +624,7 @@ pub fn suite_to_json(
     scaling_skipped_single_core: bool,
     auto: &[AutoSelection],
     kernels: &[KernelDispatch],
+    phases: &[PhaseBreakdown],
 ) -> Value {
     let geomean = if comparisons.is_empty() {
         1.0
@@ -559,6 +657,7 @@ pub fn suite_to_json(
         ("subtree_scaling", scaling_group_to_json(subtree, scaling_skipped_single_core)),
         ("auto_selection", Value::Array(auto.iter().map(AutoSelection::to_json).collect())),
         ("kernel_dispatch", Value::Array(kernels.iter().map(KernelDispatch::to_json).collect())),
+        ("phase_breakdown", Value::Array(phases.iter().map(PhaseBreakdown::to_json).collect())),
     ])
 }
 
@@ -572,7 +671,7 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
@@ -587,10 +686,10 @@ mod tests {
     /// way both groups are present in the document.
     #[test]
     fn scaling_groups_record_the_single_core_skip() {
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": true"));
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": false"));
         assert!(text.contains("\"subtree_scaling\""));
@@ -611,6 +710,24 @@ mod tests {
     }
 
     #[test]
+    fn phase_breakdown_is_measured_and_recorded() {
+        let ds = generate(DatasetId::German, Scale::Tiny);
+        let p = compare_phase_breakdown(&ds, Algorithm::BottomUp, 2, 2, 1);
+        assert!(p.complete, "an unlimited bench run must finish");
+        assert!(p.total_secs > 0.0);
+        // The three phases partition the run (modulo dispatch overhead):
+        // their sum cannot exceed the end-to-end wall clock.
+        assert!(p.preprocess_secs + p.search_secs + p.select_secs <= p.total_secs);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p]);
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"phase_breakdown\""));
+        assert!(text.contains("\"preprocess_secs\""));
+        assert!(text.contains("\"search_secs\""));
+        assert!(text.contains("\"select_secs\""));
+        assert!(text.contains("\"complete\": true"));
+    }
+
+    #[test]
     fn kernel_dispatch_is_measured_and_recorded() {
         let kernels = kernel_dispatch_suite(1);
         assert!(!kernels.is_empty());
@@ -618,7 +735,7 @@ mod tests {
             assert!(k.scalar_secs > 0.0 && k.dispatched_secs > 0.0, "{}", k.op);
             assert!(k.speedup() > 0.0);
         }
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels, &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"selected_kernel\""));
         assert!(text.contains("\"kernel_dispatch\""));

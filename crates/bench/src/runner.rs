@@ -86,7 +86,17 @@ pub fn run_sweep(g: &MultiLayerGraph, specs: &[QuerySpec], opts: &DccsOptions) -
     let mut session = DccsSession::with_options(g, *opts);
     let results =
         session.run_batch(specs).unwrap_or_else(|err| panic!("bench sweep failed: {err}"));
-    specs.iter().zip(results).map(|(&spec, result)| RunOutcome::from_result(spec, result)).collect()
+    specs
+        .iter()
+        .zip(results)
+        .map(|(&spec, result)| {
+            // The bench harness runs no limits, so every per-spec slot
+            // succeeds unless the engine itself is broken.
+            let result =
+                result.unwrap_or_else(|err| panic!("bench query {:?} failed: {err}", spec.params));
+            RunOutcome::from_result(spec, result)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use datasets::{generate, DatasetId, Scale};
 use dccs::{Algorithm, DccsError, DccsOptions, DccsParams, DccsSession, IndexChoice};
 use mlgraph::{GraphStats, MultiLayerGraph};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 dccs — diversified coherent core search on multi-layer graphs
@@ -30,6 +31,7 @@ USAGE:
                   [--algorithm auto|gd|bu|td|exact] [--index auto|csr|dense]
                   [-d N] [-s N] [-k N]
                   [--threads N] [--no-vd] [--no-sl] [--no-ir]
+                  [--timeout-ms N] [--budget N] [--degrade]
     dccs compare  (--input FILE | --dataset NAME [--scale SCALE]) [-d N] [-s N] [-k N]
                   [--threads N] [--index auto|csr|dense]
     dccs generate --dataset NAME [--scale SCALE] --output FILE
@@ -43,6 +45,12 @@ the result. --index csr|dense overrides that cost model's peeling
 representation (for A/B runs; both produce identical results). --threads N
 spreads the search over N executor workers (0 = all available cores).
 Results are identical at any thread count.
+
+--timeout-ms N stops the query at the next cooperative checkpoint once N
+milliseconds of wall clock pass; --budget N caps the number of candidate
+d-CCs a query may generate. A tripped limit exits with code 3 (usage
+errors exit 2, other runtime errors 1). --degrade retries an over-budget
+exact query as the greedy algorithm instead of failing.
 ";
 
 /// CLI failure modes: usage errors reprint the synopsis, everything else
@@ -54,19 +62,29 @@ enum CliError {
     Usage(String),
     /// A valid invocation that failed on its input or parameters.
     Runtime(String),
+    /// A query limit fired (deadline, budget, cancellation, memory
+    /// ceiling): the invocation was fine, the query just ran out of its
+    /// allowance. Scripted callers distinguish this via exit code 3.
+    Limit(String),
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(msg) | CliError::Runtime(msg) => write!(f, "{msg}"),
+            CliError::Usage(msg) | CliError::Runtime(msg) | CliError::Limit(msg) => {
+                write!(f, "{msg}")
+            }
         }
     }
 }
 
 impl From<DccsError> for CliError {
     fn from(err: DccsError) -> Self {
-        CliError::Runtime(err.to_string())
+        if err.is_limit() {
+            CliError::Limit(err.to_string())
+        } else {
+            CliError::Runtime(err.to_string())
+        }
     }
 }
 
@@ -81,6 +99,10 @@ fn main() -> ExitCode {
         Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::from(1)
+        }
+        Err(CliError::Limit(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
         }
     }
 }
@@ -164,6 +186,20 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--no-vd" => out.opts.vertex_deletion = false,
             "--no-sl" => out.opts.sort_layers = false,
             "--no-ir" => out.opts.init_topk = false,
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--timeout-ms must be a number".into()))?;
+                out.opts.limits.deadline = Some(Duration::from_millis(ms));
+            }
+            "--budget" => {
+                out.opts.limits.candidate_budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--budget must be a number".into()))?,
+                );
+            }
+            "--degrade" => out.opts.limits.degrade = true,
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -231,6 +267,16 @@ fn params_for(opts: &Options, g: &MultiLayerGraph) -> DccsParams {
 fn print_result(name: &str, g: &MultiLayerGraph, result: &dccs::DccsResult) {
     println!("== {name} ==");
     println!("time            : {:.4}s", result.elapsed.as_secs_f64());
+    let phase = &result.stats.phase;
+    println!(
+        "  preprocess    : {:.4}s | search: {:.4}s | select: {:.4}s",
+        phase.preprocess.as_secs_f64(),
+        phase.search.as_secs_f64(),
+        phase.select.as_secs_f64()
+    );
+    if let Some(from) = result.stats.degraded_from {
+        println!("degraded from   : {} (over budget; reran as greedy)", from.name());
+    }
     println!("cover size      : {}", result.cover_size());
     println!("cores reported  : {}", result.num_cores());
     println!("candidates      : {}", result.stats.candidates_generated);
@@ -457,9 +503,10 @@ mod tests {
     }
 
     #[test]
-    fn exact_budget_overflow_is_a_runtime_error_not_a_panic() {
+    fn exact_budget_overflow_is_a_limit_error_not_a_panic() {
         // PPI tiny at (d=3, s=3) has 26 non-empty candidates — over the
-        // exact solver's 24-candidate budget.
+        // exact solver's 24-candidate budget. Limit errors get their own
+        // class (exit code 3), distinct from usage and runtime errors.
         let err = run_args(&[
             "run",
             "--dataset",
@@ -475,9 +522,92 @@ mod tests {
         ])
         .unwrap_err();
         match err {
-            CliError::Runtime(msg) => assert!(msg.contains("budget"), "got: {msg}"),
-            CliError::Usage(msg) => panic!("expected a runtime error, got usage: {msg}"),
+            CliError::Limit(msg) => assert!(msg.contains("budget"), "got: {msg}"),
+            other => panic!("expected a limit error, got: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_limit_flags_and_rejects_garbage() {
+        let o = opts(&["--timeout-ms", "250", "--budget", "40", "--degrade"]).unwrap();
+        assert_eq!(o.opts.limits.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(o.opts.limits.candidate_budget, Some(40));
+        assert!(o.opts.limits.degrade);
+        // Off by default: unlimited queries skip the monitor entirely.
+        let o = opts(&[]).unwrap();
+        assert!(o.opts.limits.is_unlimited());
+        assert!(!o.opts.limits.degrade);
+        assert!(matches!(opts(&["--timeout-ms", "soon"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--timeout-ms"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--budget", "-3"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--budget"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn expired_deadline_is_a_limit_error() {
+        // A zero deadline has already passed when the first checkpoint
+        // fires; the partial best-so-far is summarized in the message.
+        let err = run_args(&[
+            "run",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "2",
+            "-s",
+            "2",
+            "--timeout-ms",
+            "0",
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Limit(msg) => assert!(msg.contains("deadline"), "got: {msg}"),
+            other => panic!("expected a limit error, got: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidate_budget_flag_is_a_limit_error() {
+        let err = run_args(&[
+            "run",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "2",
+            "-s",
+            "2",
+            "--budget",
+            "1",
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Limit(msg) => assert!(msg.contains("budget"), "got: {msg}"),
+            other => panic!("expected a limit error, got: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degrade_flag_recovers_an_over_budget_exact_query() {
+        // The same over-budget exact query as above, but with --degrade:
+        // the session reruns it as greedy and the CLI exits cleanly.
+        assert!(run_args(&[
+            "run",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "3",
+            "-s",
+            "3",
+            "--algorithm",
+            "exact",
+            "--degrade",
+        ])
+        .is_ok());
     }
 
     #[test]
@@ -505,7 +635,7 @@ mod tests {
             CliError::Runtime(msg) => {
                 assert!(msg.contains("s=99"), "unexpected message: {msg}")
             }
-            CliError::Usage(msg) => panic!("expected a runtime error, got usage: {msg}"),
+            other => panic!("expected a runtime error, got: {other:?}"),
         }
         // k = 0 likewise.
         let err = run_args(&["run", "--dataset", "ppi", "--scale", "tiny", "-k", "0"]).unwrap_err();

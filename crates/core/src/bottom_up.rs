@@ -39,6 +39,8 @@ use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::{PruneBounds, TopKDiversified};
 use crate::engine::{drive_task_graph, with_pool, PoolRef, SearchContext};
+use crate::fault::{self, site};
+use crate::limits::QueryMonitor;
 use crate::preprocess::init_topk_in;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use coreness::PeelWorkspace;
@@ -94,6 +96,7 @@ pub fn bottom_up_dccs_on(
 
     let pre = ctx.preprocess_on(pool, g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
+    stats.phase.preprocess = start.elapsed();
 
     let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
     if opts.init_topk {
@@ -113,10 +116,18 @@ pub fn bottom_up_dccs_on(
     // Lemma-3 child selection against the task's spawn-time bound snapshot,
     // then one Lemma-1-seeded peel per surviving child. Runs on any worker;
     // reads nothing but the task payload and the immutable search inputs.
+    let monitor = ctx.monitor().cloned();
+    let mon = monitor.as_deref();
     let order_ref = &order;
     let cores_ref = &cores_by_pos;
     let eval = move |task: BuTask, ws: &mut PeelWorkspace| -> BuNodeEval {
+        fault::check(site::BU_EVAL);
         let BuTask { positions, core: c_l, excluded, bounds } = task;
+        // A tripped limit: skip the peels entirely. The commit sees no
+        // children and spawns nothing, so the outstanding subtree drains.
+        if mon.is_some_and(|m| m.check().is_some()) {
+            return BuNodeEval { positions, excluded, children: Vec::new(), order_pruned: 0 };
+        }
         let next_start = positions.last().map(|&p| p + 1).unwrap_or(0);
         let lp: Vec<usize> = (next_start..l).filter(|&j| !excluded[j]).collect();
         // While |R| < k no pruning is possible; once full, order children by
@@ -140,6 +151,11 @@ pub fn bottom_up_dccs_on(
             ordered.truncate(cut);
             ordered.into_iter().map(|(j, _)| j).collect()
         };
+        // Peels run under the query's probe so a deadline or cancellation
+        // aborts the cascade mid-word-batch; an aborted peel leaves the
+        // candidate a *superset* of the true core, which the commit-side
+        // limit check keeps out of the result set.
+        ws.set_probe(mon.map(QueryMonitor::probe));
         let mut children = Vec::with_capacity(eval_positions.len());
         for &j in &eval_positions {
             let mut candidate = c_l.intersection(&cores_ref[j]);
@@ -150,9 +166,11 @@ pub fn bottom_up_dccs_on(
             }
             children.push((j, candidate));
         }
+        ws.set_probe(None);
         BuNodeEval { positions, excluded, children, order_pruned }
     };
 
+    let search_start = Instant::now();
     {
         let root = BuTask {
             positions: Vec::new(),
@@ -167,6 +185,13 @@ pub fn bottom_up_dccs_on(
         // set, Lemma-4 exclusions are derived from the kept set, and the
         // survivors are spawned as new tasks under the current bounds.
         drive_task_graph(pool, &mut ctx.ws, vec![root], &eval, |ev: BuNodeEval, _ws, spawn| {
+            fault::check(site::GRAPH_COMMIT);
+            // Once a limit trips, commit nothing more: children evaluated
+            // after the hit may be probe-aborted supersets, and `topk`
+            // already holds the best-so-far partial the caller gets back.
+            if mon.is_some_and(|m| m.check().is_some()) {
+                return;
+            }
             stats.dcc_calls += ev.children.len();
             stats.subtrees_pruned += ev.order_pruned;
             let is_leaf = ev.positions.len() + 1 == s;
@@ -175,6 +200,9 @@ pub fn bottom_up_dccs_on(
             for (j, core) in ev.children {
                 if is_leaf {
                     stats.candidates_generated += 1;
+                    if let Some(m) = mon {
+                        m.charge_candidates(1);
+                    }
                     let mut layers: Vec<Layer> = ev.positions.iter().map(|&p| order[p]).collect();
                     layers.push(order[j]);
                     topk.try_update(CoherentCore::new(layers, core));
@@ -213,6 +241,11 @@ pub fn bottom_up_dccs_on(
         });
     }
 
+    stats.phase.search = search_start.elapsed();
+    if let Some(kind) = mon.and_then(QueryMonitor::hit) {
+        stats.limit_hit = Some(kind);
+        stats.complete = false;
+    }
     stats.updates_accepted = topk.accepted_updates();
     DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())
 }

@@ -2,6 +2,7 @@
 
 use crate::engine::IndexChoice;
 use crate::error::DccsError;
+use crate::limits::QueryLimits;
 
 /// The three parameters of the DCCS problem (Section II of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +81,11 @@ pub struct DccsOptions {
     /// paths are bit-identical — and the per-run decision is recorded in
     /// [`crate::SearchStats::index_path`] either way.
     pub index: IndexChoice,
+    /// Resource limits for the query: wall-clock deadline, candidate budget,
+    /// dense-index memory ceiling, and the degradation ladder. Defaults to
+    /// [`QueryLimits::none`] — unlimited queries skip the monitor entirely
+    /// and pay no cancellation tax.
+    pub limits: QueryLimits,
 }
 
 impl Default for DccsOptions {
@@ -94,6 +100,7 @@ impl Default for DccsOptions {
             use_refine_c: true,
             threads: 1,
             index: IndexChoice::Auto,
+            limits: QueryLimits::none(),
         }
     }
 }
@@ -134,6 +141,11 @@ impl DccsOptions {
     pub fn with_index(index: IndexChoice) -> Self {
         DccsOptions { index, ..DccsOptions::default() }
     }
+
+    /// Default options with query limits attached.
+    pub fn with_limits(limits: QueryLimits) -> Self {
+        DccsOptions { limits, ..DccsOptions::default() }
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +175,15 @@ mod tests {
         assert_eq!(o.threads, 4);
         assert!(o.vertex_deletion && o.order_pruning && o.use_refine_c);
         assert_eq!(DccsOptions::default().threads, 1);
+    }
+
+    #[test]
+    fn default_limits_are_unlimited() {
+        assert!(DccsOptions::default().limits.is_unlimited());
+        let limited = DccsOptions::with_limits(QueryLimits::none().with_candidate_budget(100));
+        assert!(!limited.limits.is_unlimited());
+        assert_eq!(limited.limits.candidate_budget, Some(100));
+        assert!(limited.vertex_deletion);
     }
 
     #[test]

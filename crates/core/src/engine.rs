@@ -46,7 +46,8 @@
 //! threads.
 
 use crate::config::{DccsOptions, DccsParams};
-use crate::preprocess::{initial_layer_cores_on, preprocess_from_on, Preprocessed};
+use crate::limits::QueryMonitor;
+use crate::preprocess::{initial_layer_cores_on, preprocess_from_monitored, Preprocessed};
 use coreness::PeelWorkspace;
 use mlgraph::{DenseSubgraph, Layer, MultiLayerGraph, Vertex, VertexSet};
 use std::collections::{HashMap, VecDeque};
@@ -227,6 +228,11 @@ pub struct SearchContext {
     pub(crate) running: VertexSet,
     /// Reused seed-core output buffer for `InitTopK`.
     pub(crate) seed: VertexSet,
+    /// The active query's limit monitor, installed by the session for the
+    /// duration of one dispatch. `None` (the default, and for every
+    /// unlimited query without a cancel token) keeps all checkpoint sites
+    /// on their no-monitor fast path.
+    pub(crate) monitor: Option<Arc<QueryMonitor>>,
 }
 
 impl SearchContext {
@@ -243,6 +249,7 @@ impl SearchContext {
             cover: VertexSet::new(0),
             running: VertexSet::new(0),
             seed: VertexSet::new(0),
+            monitor: None,
         }
     }
 
@@ -319,7 +326,15 @@ impl SearchContext {
             self.layer_core_memo.insert(params.d, cores);
         }
         let initial = self.layer_core_memo[&params.d].clone();
-        preprocess_from_on(g, params, opts, &mut self.ws, initial, pool)
+        preprocess_from_monitored(
+            g,
+            params,
+            opts,
+            &mut self.ws,
+            initial,
+            pool,
+            self.monitor.as_deref(),
+        )
     }
 
     /// Runs the cost model for `universe` and, when the dense path wins,
@@ -350,6 +365,19 @@ impl SearchContext {
         (&mut self.ws, &mut self.running, &mut self.seed)
     }
 
+    /// Installs (or removes) the limit monitor for the next dispatch. The
+    /// session sets it right before running a limited query and clears it
+    /// after, so sweep reuse of the context never leaks one query's limits
+    /// into the next.
+    pub(crate) fn set_monitor(&mut self, monitor: Option<Arc<QueryMonitor>>) {
+        self.monitor = monitor;
+    }
+
+    /// The active query's limit monitor, if one is installed.
+    pub(crate) fn monitor(&self) -> Option<&Arc<QueryMonitor>> {
+        self.monitor.as_ref()
+    }
+
     /// Plans the peeling representation for `universe` (honoring the
     /// context's [`IndexChoice`] override) and hands back the unified
     /// [`PeelIndex`] plus the driver workspace as a split borrow, so
@@ -362,7 +390,27 @@ impl SearchContext {
         g: &'a MultiLayerGraph,
         universe: &VertexSet,
     ) -> (PeelIndex<'a>, &'a mut PeelWorkspace) {
-        let plan = plan_index_with(g, universe, self.index_choice);
+        let mut plan = plan_index_with(g, universe, self.index_choice);
+        if plan.path == IndexPath::Dense {
+            if let Some(ceiling) =
+                self.monitor.as_ref().and_then(|monitor| monitor.max_dense_words())
+            {
+                let required = DenseSubgraph::words_required(universe.len(), g.num_layers());
+                if required > ceiling {
+                    // Over the caller's memory ceiling: under `Auto` the CSR
+                    // path is a bit-identical fallback, so just take it; a
+                    // *forced* dense index is a contract the engine cannot
+                    // honor, so the monitor trips and the session fails the
+                    // query with `MemoryLimit`.
+                    if self.index_choice == IndexChoice::Dense {
+                        if let Some(monitor) = &self.monitor {
+                            monitor.trip_dense_memory(required, ceiling);
+                        }
+                    }
+                    plan.path = IndexPath::Csr;
+                }
+            }
+        }
         let dense = if plan.path == IndexPath::Dense {
             let key = graph_key(g);
             let hit = self
@@ -671,6 +719,12 @@ struct PoolShared {
     work_cv: Condvar,
     /// The driver parks here waiting for the last job of a batch.
     done_cv: Condvar,
+    /// Message of the most recent panicking job, recorded by the isolation
+    /// layer in [`worker_loop`] before the driver is woken — so when the
+    /// driver surfaces the failure (missing batch result / dead task slot)
+    /// the session can report the *original* panic, not the generic
+    /// missing-result message.
+    last_panic: Mutex<Option<String>>,
 }
 
 impl PoolShared {
@@ -683,7 +737,21 @@ impl PoolShared {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            last_panic: Mutex::new(None),
         }
+    }
+
+    fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        *self.last_panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(message);
+    }
+
+    fn take_last_panic(&self) -> Option<String> {
+        self.last_panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
     }
 }
 
@@ -751,7 +819,19 @@ fn worker_loop(shared: &PoolShared) {
         };
         let Some(job) = job else { return };
         let guard = JobGuard(shared);
-        job(&mut ws);
+        // Panic isolation: a panicking job must not take its worker down —
+        // the crew outlives the query (a session's `PersistentPool` serves
+        // every later query too). The panic is recorded for the driver,
+        // which sees the job's missing result (batch) or dead slot (task
+        // graph), and the workspace — whose scratch may be mid-cascade — is
+        // replaced wholesale. Unwind safety: the job's borrows are fenced
+        // by the batch's `DrainGuard` either way, and nothing of the
+        // worker's state beyond `ws` crosses the boundary.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&mut ws)));
+        if let Err(payload) = outcome {
+            shared.record_panic(payload.as_ref());
+            ws = PeelWorkspace::new();
+        }
         drop(guard);
     }
 }
@@ -767,6 +847,13 @@ impl PoolRef<'_> {
     /// Number of workers draining the queue besides the driver.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Takes (and clears) the message of the most recent panicking job on
+    /// this crew — the session reads it when converting a dispatch panic
+    /// into [`crate::DccsError::TaskPanicked`].
+    pub(crate) fn take_last_panic(&self) -> Option<String> {
+        self.shared.take_last_panic()
     }
 
     /// Runs a batch of jobs — one search-tree child each — across the crew
@@ -980,8 +1067,9 @@ struct TaskSlot<R> {
 
 /// Marks the slot [`SlotState::Dead`] unless disarmed — so a panicking task
 /// job wakes a driver parked on the slot instead of deadlocking it; the
-/// driver then panics itself and the worker's original panic propagates
-/// through the scope join.
+/// driver then panics on the dead slot, and the session reports the
+/// worker's original message (parked by [`worker_loop`]'s isolation layer)
+/// in its typed error.
 struct SlotGuard<'a, R> {
     slot: &'a TaskSlot<R>,
     armed: bool,
@@ -1077,8 +1165,10 @@ pub fn with_pool<R>(threads: usize, f: impl FnOnce(&PoolRef<'_>) -> R) -> R {
         }
         // The guard wakes parked workers on every exit path (including a
         // panicking driver closure), so the scope join never hangs; a
-        // panicking *job* surfaces as a missing batch result on the driver
-        // (see `PoolRef::map`) and then propagates through the scope join.
+        // panicking *job* is caught on its worker (see `worker_loop`) and
+        // surfaces as a missing batch result on the driver (see
+        // `PoolRef::map`), whose panic the session converts to a typed
+        // error.
         let _guard = ShutdownGuard(&shared);
         f(&PoolRef { shared: &shared, workers })
     })
@@ -1094,9 +1184,11 @@ pub fn with_pool<R>(threads: usize, f: impl FnOnce(&PoolRef<'_>) -> R) -> R {
 ///
 /// Determinism is untouched: a crew only changes *where* jobs run, and
 /// every scheduling shape on it commits deterministically (see the module
-/// docs). A job that panics kills its worker thread after unpoisoning the
-/// shared state; the driver surfaces the panic through the batch's missing
-/// result, and later batches simply run on the surviving workers.
+/// docs). A job that panics is caught on its worker ([`worker_loop`]'s
+/// isolation layer): the worker survives with a fresh workspace, the panic
+/// message is parked for [`PoolRef::take_last_panic`], and the driver
+/// surfaces the failure through the batch's missing result — so the crew
+/// keeps its full width across faults and the session stays usable.
 #[derive(Debug)]
 pub struct PersistentPool {
     shared: Arc<PoolShared>,
@@ -1376,6 +1468,40 @@ mod tests {
             committed.push(v);
         });
         assert_eq!(committed, vec![10, 11, 12, 20, 21, 22]);
+    }
+
+    /// The isolation layer: a panicking job surfaces on the driver (missing
+    /// batch result), its message is parked for the session, the workers
+    /// survive, and the very next batch on the same crew is correct.
+    #[test]
+    fn crew_survives_a_panicking_job() {
+        let mut crew = PersistentPool::new(3);
+        let mut ws = PeelWorkspace::new();
+        let faulty: Vec<_> = (0..8usize)
+            .map(|i| {
+                move |_ws: &mut PeelWorkspace| {
+                    if i == 3 {
+                        panic!("boom in job 3");
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crew.pool_ref().map(&mut ws, faulty)
+        }));
+        assert!(outcome.is_err(), "the missing result must panic the driver");
+        let message = crew.pool_ref().take_last_panic();
+        // With >1 worker the panicking job ran on a worker and parked its
+        // message; when the driver itself ran it, the payload propagated
+        // directly instead. Either way the message must not linger.
+        if let Some(message) = message {
+            assert!(message.contains("boom in job 3"), "unexpected message: {message}");
+        }
+        assert_eq!(crew.pool_ref().take_last_panic(), None, "take must clear the slot");
+        let clean: Vec<_> = (0..8usize).map(|i| move |_ws: &mut PeelWorkspace| i * 10).collect();
+        let out = crew.pool_ref().map(&mut ws, clean);
+        assert_eq!(out, (0..8).map(|i| i * 10).collect::<Vec<_>>());
     }
 
     #[test]

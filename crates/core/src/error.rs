@@ -1,18 +1,27 @@
 //! Typed errors for the query API.
 //!
 //! Every failure a caller can provoke through the public query surface —
-//! invalid `(d, s, k)` parameters, querying an empty graph, or blowing the
-//! exact solver's candidate budget — is a [`DccsError`] variant, so
-//! [`crate::DccsSession::query`] returns `Result` instead of aborting the
-//! process. The legacy free functions (`greedy_dccs` & co.) keep their
-//! historical panic on invalid parameters for backward compatibility; they
-//! are thin wrappers that `expect` the same validation this module types.
+//! invalid `(d, s, k)` parameters, querying an empty graph, blowing a
+//! candidate budget, tripping a query limit, or a panicking engine task —
+//! is a [`DccsError`] variant, so [`crate::DccsSession::query`] returns
+//! `Result` instead of aborting the process. The legacy free functions
+//! (`greedy_dccs` & co.) keep their historical panic on invalid parameters
+//! for backward compatibility; they are thin wrappers that `expect` the
+//! same validation this module types.
+//!
+//! The limit variants ([`DccsError::DeadlineExceeded`],
+//! [`DccsError::Cancelled`], [`DccsError::MemoryLimit`]) carry the
+//! **best-so-far partial result** (its [`crate::SearchStats`] flagged
+//! `complete: false`), so a caller that hits a limit degrades gracefully
+//! instead of losing all work.
 
+use crate::result::DccsResult;
 use std::fmt;
+use std::time::Duration;
 
-/// Everything that can go wrong with a DCCS query before the search even
-/// starts (plus the exact oracle's candidate budget, checked mid-run).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Everything that can go wrong with a DCCS query: parameter validation,
+/// mid-run resource limits, and engine faults.
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub enum DccsError {
     /// The support threshold `s` was 0 — d-CCs are taken over layer subsets
@@ -38,15 +47,110 @@ pub enum DccsError {
         /// Layer count of the graph.
         num_layers: usize,
     },
-    /// The exact solver's candidate enumeration exceeded its budget — the
-    /// `k`-combination search is exponential, so [`crate::exact_dccs`] is
-    /// only usable on tiny inputs.
+    /// The candidate enumeration exceeded its budget — the exact solver's
+    /// built-in gate, or the general
+    /// [`crate::QueryLimits::candidate_budget`] on any algorithm.
     BudgetExceeded {
-        /// Non-empty candidate d-CCs found.
+        /// Non-empty candidate d-CCs found (a lower bound when the general
+        /// budget stopped the search mid-run).
         candidates: usize,
-        /// The solver's hard candidate limit.
+        /// The candidate limit in force.
         limit: usize,
     },
+    /// The query's wall-clock deadline
+    /// ([`crate::QueryLimits::deadline`]) passed mid-run.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: Duration,
+        /// Best-so-far partial result (`stats.complete == false`).
+        partial: Box<DccsResult>,
+    },
+    /// The query's [`crate::CancelToken`] was tripped mid-run.
+    Cancelled {
+        /// Best-so-far partial result (`stats.complete == false`).
+        partial: Box<DccsResult>,
+    },
+    /// A forced dense index exceeded the memory ceiling
+    /// ([`crate::QueryLimits::max_dense_words`]). Under
+    /// [`crate::IndexChoice::Auto`] the engine falls back to the CSR path
+    /// instead of failing; this error fires only when the dense
+    /// representation was explicitly forced.
+    MemoryLimit {
+        /// Words the dense index would have needed.
+        required_words: usize,
+        /// The ceiling that rejected it, in words.
+        limit_words: usize,
+        /// Partial result — empty: the query fails before searching.
+        partial: Box<DccsResult>,
+    },
+    /// An engine task panicked mid-query. The worker crew survives (see the
+    /// executor's panic isolation) and the session stays usable; the
+    /// panic's message is preserved here.
+    TaskPanicked {
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
+}
+
+/// Equality ignores the `partial` payloads of the limit variants (a partial
+/// result carries timing data and has no meaningful equality); every other
+/// field is compared exactly. This keeps `assert_eq!` on validation errors
+/// as strict as it always was.
+impl PartialEq for DccsError {
+    fn eq(&self, other: &Self) -> bool {
+        use DccsError::*;
+        match (self, other) {
+            (SupportZero, SupportZero) | (ResultSizeZero, ResultSizeZero) => true,
+            (
+                SupportExceedsLayers { s: a, num_layers: b },
+                SupportExceedsLayers { s: c, num_layers: d },
+            ) => a == c && b == d,
+            (
+                EmptyGraph { num_vertices: a, num_layers: b },
+                EmptyGraph { num_vertices: c, num_layers: d },
+            ) => a == c && b == d,
+            (
+                BudgetExceeded { candidates: a, limit: b },
+                BudgetExceeded { candidates: c, limit: d },
+            ) => a == c && b == d,
+            (DeadlineExceeded { deadline: a, .. }, DeadlineExceeded { deadline: b, .. }) => a == b,
+            (Cancelled { .. }, Cancelled { .. }) => true,
+            (
+                MemoryLimit { required_words: a, limit_words: b, .. },
+                MemoryLimit { required_words: c, limit_words: d, .. },
+            ) => a == c && b == d,
+            (TaskPanicked { message: a }, TaskPanicked { message: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for DccsError {}
+
+impl DccsError {
+    /// The best-so-far partial result carried by the limit variants
+    /// (`None` for validation and fault errors).
+    pub fn partial(&self) -> Option<&DccsResult> {
+        match self {
+            DccsError::DeadlineExceeded { partial, .. }
+            | DccsError::Cancelled { partial }
+            | DccsError::MemoryLimit { partial, .. } => Some(partial),
+            _ => None,
+        }
+    }
+
+    /// Whether this error means a query **limit** fired (deadline, token,
+    /// budget, memory ceiling) as opposed to bad input or an engine fault.
+    /// The CLI maps limit errors to their own exit code.
+    pub fn is_limit(&self) -> bool {
+        matches!(
+            self,
+            DccsError::DeadlineExceeded { .. }
+                | DccsError::Cancelled { .. }
+                | DccsError::BudgetExceeded { .. }
+                | DccsError::MemoryLimit { .. }
+        )
+    }
 }
 
 impl fmt::Display for DccsError {
@@ -66,9 +170,36 @@ impl fmt::Display for DccsError {
             DccsError::BudgetExceeded { candidates, limit } => {
                 write!(
                     f,
-                    "exact solver budget exceeded: {candidates} candidate d-CCs \
-                     (limit {limit}); use an approximation algorithm"
+                    "candidate budget exceeded: {candidates} candidate d-CCs \
+                     (limit {limit}); use an approximation algorithm or raise the budget"
                 )
+            }
+            DccsError::DeadlineExceeded { deadline, partial } => {
+                write!(
+                    f,
+                    "deadline of {deadline:?} exceeded; partial result covers {} vertices \
+                     with {} cores",
+                    partial.cover_size(),
+                    partial.num_cores()
+                )
+            }
+            DccsError::Cancelled { partial } => {
+                write!(
+                    f,
+                    "query cancelled; partial result covers {} vertices with {} cores",
+                    partial.cover_size(),
+                    partial.num_cores()
+                )
+            }
+            DccsError::MemoryLimit { required_words, limit_words, .. } => {
+                write!(
+                    f,
+                    "forced dense index needs {required_words} words, over the \
+                     {limit_words}-word ceiling; use the CSR index or raise the limit"
+                )
+            }
+            DccsError::TaskPanicked { message } => {
+                write!(f, "an engine task panicked: {message}")
             }
         }
     }
@@ -79,6 +210,11 @@ impl std::error::Error for DccsError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::result::SearchStats;
+
+    fn partial() -> Box<DccsResult> {
+        Box::new(DccsResult::from_cores(4, vec![], SearchStats::default(), Duration::ZERO))
+    }
 
     #[test]
     fn display_messages_are_one_line() {
@@ -88,6 +224,10 @@ mod tests {
             DccsError::ResultSizeZero,
             DccsError::EmptyGraph { num_vertices: 0, num_layers: 3 },
             DccsError::BudgetExceeded { candidates: 99, limit: 24 },
+            DccsError::DeadlineExceeded { deadline: Duration::from_millis(50), partial: partial() },
+            DccsError::Cancelled { partial: partial() },
+            DccsError::MemoryLimit { required_words: 4096, limit_words: 1024, partial: partial() },
+            DccsError::TaskPanicked { message: "injected fault at bu.eval".into() },
         ];
         for err in errors {
             let text = err.to_string();
@@ -100,5 +240,34 @@ mod tests {
     fn implements_std_error() {
         let err: Box<dyn std::error::Error> = Box::new(DccsError::SupportZero);
         assert_eq!(err.to_string(), "support threshold s must be at least 1");
+    }
+
+    #[test]
+    fn limit_classification_and_partial_access() {
+        assert!(!DccsError::SupportZero.is_limit());
+        assert!(DccsError::BudgetExceeded { candidates: 9, limit: 4 }.is_limit());
+        assert!(!DccsError::TaskPanicked { message: "x".into() }.is_limit());
+        let err = DccsError::Cancelled { partial: partial() };
+        assert!(err.is_limit());
+        assert_eq!(err.partial().unwrap().num_cores(), 0);
+        assert!(DccsError::SupportZero.partial().is_none());
+    }
+
+    #[test]
+    fn equality_ignores_partial_payloads() {
+        let a = DccsError::Cancelled { partial: partial() };
+        let mut other = partial();
+        other.stats.dcc_calls = 77;
+        let b = DccsError::Cancelled { partial: other };
+        assert_eq!(a, b);
+        assert_ne!(a, DccsError::SupportZero);
+        assert_eq!(
+            DccsError::DeadlineExceeded { deadline: Duration::from_millis(5), partial: partial() },
+            DccsError::DeadlineExceeded { deadline: Duration::from_millis(5), partial: partial() },
+        );
+        assert_ne!(
+            DccsError::DeadlineExceeded { deadline: Duration::from_millis(5), partial: partial() },
+            DccsError::DeadlineExceeded { deadline: Duration::from_millis(6), partial: partial() },
+        );
     }
 }

@@ -11,6 +11,7 @@ use crate::config::{DccsOptions, DccsParams};
 use crate::engine::{with_pool, PoolRef, SearchContext};
 use crate::error::DccsError;
 use crate::lattice::collect_subset_cores;
+use crate::limits::QueryMonitor;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use mlgraph::{MultiLayerGraph, VertexSet};
 use std::time::Instant;
@@ -69,30 +70,72 @@ pub fn exact_dccs_on(
     let mut stats = SearchStats { algorithm: Some(Algorithm::Exact), ..SearchStats::default() };
     let pre = ctx.preprocess_on(pool, g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
+    stats.phase.preprocess = start.elapsed();
 
+    let search_start = Instant::now();
     let (mut candidates, lattice) =
         collect_subset_cores(ctx, pool, g, params.d, params.s, &pre.layer_cores);
     stats.candidates_generated += lattice.candidates;
     stats.dcc_calls += lattice.peels;
     stats.index_path = Some(lattice.index_path);
+    stats.phase.search = search_start.elapsed();
     candidates.retain(|c| !c.is_empty());
-    if candidates.len() > MAX_CANDIDATES {
-        return Err(DccsError::BudgetExceeded {
-            candidates: candidates.len(),
-            limit: MAX_CANDIDATES,
-        });
+
+    // The solver's built-in gate, tightened by the query's candidate budget
+    // when one is set: the k-combination enumeration is exponential in the
+    // candidate count, so the smaller bound wins.
+    let monitor = ctx.monitor().cloned();
+    let mon = monitor.as_deref();
+    let limit = mon
+        .and_then(QueryMonitor::candidate_budget)
+        .map_or(MAX_CANDIDATES, |b| b.min(MAX_CANDIDATES));
+    if candidates.len() > limit {
+        return Err(DccsError::BudgetExceeded { candidates: candidates.len(), limit });
     }
 
+    let select_start = Instant::now();
     let k = params.k.min(candidates.len());
     let mut best_cover = 0usize;
     let mut best: Vec<usize> = Vec::new();
     let mut chosen: Vec<usize> = Vec::new();
-    search(&candidates, k, 0, &mut chosen, &mut best, &mut best_cover, g.num_vertices());
+    // A deadline or cancellation that tripped during candidate generation
+    // (or trips mid-enumeration — checked every 256 leaves) stops the
+    // combination search; `best` keeps the best combination seen so far.
+    let mut ctl = SearchCtl { monitor: mon, leaves: 0, hit: false };
+    ctl.hit = mon.is_some_and(|m| m.check().is_some());
+    if !ctl.hit {
+        search(
+            &candidates,
+            k,
+            0,
+            &mut chosen,
+            &mut best,
+            &mut best_cover,
+            g.num_vertices(),
+            &mut ctl,
+        );
+    }
+    stats.phase.select = select_start.elapsed();
+    if let Some(kind) = mon.and_then(QueryMonitor::hit) {
+        stats.limit_hit = Some(kind);
+        stats.complete = false;
+    }
 
     let cores: Vec<CoherentCore> = best.iter().map(|&i| candidates[i].clone()).collect();
     Ok(DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed()))
 }
 
+/// Cooperative-cancellation state threaded through the recursive
+/// enumeration: the query monitor (when limits are in force), a leaf
+/// counter driving the every-256-leaves deadline check, and the latched
+/// abort flag.
+struct SearchCtl<'a> {
+    monitor: Option<&'a QueryMonitor>,
+    leaves: usize,
+    hit: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn search(
     candidates: &[CoherentCore],
     k: usize,
@@ -101,8 +144,17 @@ fn search(
     best: &mut Vec<usize>,
     best_cover: &mut usize,
     n: usize,
+    ctl: &mut SearchCtl<'_>,
 ) {
+    if ctl.hit {
+        return;
+    }
     if chosen.len() == k {
+        ctl.leaves += 1;
+        if ctl.leaves.is_multiple_of(256) && ctl.monitor.is_some_and(|m| m.check().is_some()) {
+            ctl.hit = true;
+            return;
+        }
         let mut cover = VertexSet::new(n);
         for &i in chosen.iter() {
             cover.union_with(&candidates[i].vertices);
@@ -119,7 +171,7 @@ fn search(
     }
     for i in from..candidates.len() {
         chosen.push(i);
-        search(candidates, k, i + 1, chosen, best, best_cover, n);
+        search(candidates, k, i + 1, chosen, best, best_cover, n, ctl);
         chosen.pop();
     }
 }

@@ -18,6 +18,7 @@
 use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::engine::{with_pool, PoolRef, SearchContext};
+use crate::fault::{self, site};
 use crate::lattice::collect_subset_cores;
 use crate::result::{CoherentCore, DccsResult, SearchStats};
 use mlgraph::{MultiLayerGraph, VertexSet};
@@ -74,15 +75,29 @@ pub fn greedy_dccs_on(
 
     let pre = ctx.preprocess_on(pool, g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
+    stats.phase.preprocess = start.elapsed();
 
     // Lines 2–7 of Fig. 2: the full candidate set F_{d,s}(G).
+    let search_start = Instant::now();
     let (candidates, lattice) =
         collect_subset_cores(ctx, pool, g, params.d, params.s, &pre.layer_cores);
     stats.candidates_generated += lattice.candidates;
     stats.dcc_calls += lattice.peels;
     stats.index_path = Some(lattice.index_path);
+    stats.phase.search = search_start.elapsed();
 
+    // A tripped limit stopped the walk early; everything already emitted is
+    // a valid d-CC, so select over it and return the flagged partial — the
+    // session converts the flag into the matching typed error.
+    if let Some(kind) = ctx.monitor().and_then(|m| m.hit()) {
+        stats.limit_hit = Some(kind);
+        stats.complete = false;
+    }
+
+    fault::check(site::SELECT);
+    let select_start = Instant::now();
     let cores = select_greedy(g.num_vertices(), candidates, params.k, &mut stats, &mut ctx.cover);
+    stats.phase.select = select_start.elapsed();
     DccsResult::from_cores(g.num_vertices(), cores, stats, start.elapsed())
 }
 

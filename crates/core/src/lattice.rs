@@ -44,7 +44,9 @@
 //! beyond the candidate cores the caller chooses to keep.
 
 use crate::engine::{plan_index, IndexPath, InheritOutcome, PeelIndex, PoolRef, SearchContext};
+use crate::fault::{self, site};
 use crate::layer_subsets::combinations;
+use crate::limits::QueryMonitor;
 use crate::result::CoherentCore;
 use coreness::PeelWorkspace;
 use mlgraph::{DenseSubgraph, Layer, MultiLayerGraph, VertexSet};
@@ -149,7 +151,7 @@ where
     let cores_ix = index.compress_layer_cores(layer_cores);
     let cores_ix: &[VertexSet] = cores_ix.as_deref().unwrap_or(layer_cores);
     let mut stats =
-        run_branches(g, d, s, &index, cores_ix, layer_cores, 0, branches, ws, &mut emit);
+        run_branches(g, d, s, &index, cores_ix, layer_cores, 0, branches, ws, None, &mut emit);
     stats.index_path = index.path();
     stats
 }
@@ -175,6 +177,9 @@ pub fn collect_subset_cores(
 
     if s == 1 {
         // Memoized single-layer cores: no peel, no index decision.
+        if let Some(monitor) = ctx.monitor() {
+            monitor.charge_candidates(l);
+        }
         let stats = LatticeStats { candidates: l, ..LatticeStats::default() };
         let cores = layer_cores
             .iter()
@@ -184,18 +189,28 @@ pub fn collect_subset_cores(
         return (cores, stats);
     }
 
+    // Clone the monitor Arc out of the context before `peel_index` takes
+    // its long mutable borrow; the branch jobs share it by reference.
+    let monitor = ctx.monitor().cloned();
     let universe = candidate_universe(g.num_vertices(), layer_cores);
     let (index, driver_ws) = ctx.peel_index(g, &universe);
     let cores_ix = index.compress_layer_cores(layer_cores);
     let cores_ix: &[VertexSet] = cores_ix.as_deref().unwrap_or(layer_cores);
     let branches = l - s + 1;
 
+    let monitor = monitor.as_deref();
     let run_branch = |ws: &mut PeelWorkspace, from: Layer, to: Layer| {
+        fault::check(site::LATTICE_BRANCH);
+        // Install the cascade-frontier probe for this job and always clear
+        // it before the workspace serves anyone else's jobs.
+        ws.set_probe(monitor.map(QueryMonitor::probe));
         let mut out: Vec<CoherentCore> = Vec::new();
         let mut emit = |subset: &[Layer], core: &VertexSet| {
             out.push(CoherentCore::new(subset.to_vec(), core.clone()));
         };
-        let stats = run_branches(g, d, s, &index, cores_ix, layer_cores, from, to, ws, &mut emit);
+        let stats =
+            run_branches(g, d, s, &index, cores_ix, layer_cores, from, to, ws, monitor, &mut emit);
+        ws.set_probe(None);
         (out, stats)
     };
 
@@ -259,6 +274,7 @@ fn run_branches<F: FnMut(&[Layer], &VertexSet)>(
     from: Layer,
     to: Layer,
     ws: &mut PeelWorkspace,
+    monitor: Option<&QueryMonitor>,
     emit: F,
 ) -> LatticeStats {
     let len = index.universe_len();
@@ -269,6 +285,7 @@ fn run_branches<F: FnMut(&[Layer], &VertexSet)>(
         cores_ix,
         layer_cores,
         ws,
+        monitor,
         emit,
         subset: Vec::with_capacity(s),
         cores: (0..s).map(|_| VertexSet::new(len)).collect(),
@@ -303,6 +320,10 @@ struct LatticeWalk<'a, F> {
     /// must hand out the memoized core itself).
     layer_cores: &'a [VertexSet],
     ws: &'a mut PeelWorkspace,
+    /// The active query's limit monitor: polled once per child subtree, and
+    /// consulted after every cascade — a probe-aborted cascade leaves a
+    /// **superset** of the true core, which must never be emitted.
+    monitor: Option<&'a QueryMonitor>,
     emit: F,
     /// The current prefix subset (original layer indices, ascending).
     subset: Vec<Layer>,
@@ -326,6 +347,21 @@ struct LatticeWalk<'a, F> {
 }
 
 impl<F: FnMut(&[Layer], &VertexSet)> LatticeWalk<'_, F> {
+    /// `true` once a limit has tripped — the walk stops descending and,
+    /// crucially, stops emitting: a probe-aborted cascade leaves a
+    /// *superset* of the true core in its buffer, which is not a d-CC.
+    fn limit_hit(&self) -> bool {
+        self.monitor.is_some_and(|m| m.hit().is_some())
+    }
+
+    /// Counts one emitted candidate, charging the query's candidate budget.
+    fn note_candidate(&mut self) {
+        self.stats.candidates += 1;
+        if let Some(monitor) = self.monitor {
+            monitor.charge_candidates(1);
+        }
+    }
+
     /// Runs the depth-1 branch rooted at first layer `j`, keeping the
     /// lexicographic emission order of the naive enumeration (so downstream
     /// tie-breaking is unchanged).
@@ -334,7 +370,7 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeWalk<'_, F> {
         self.subset.push(j);
         if self.s == 1 {
             // Memoized single-layer core: already the exact d-CC of {j}.
-            self.stats.candidates += 1;
+            self.note_candidate();
             (self.emit)(&self.subset, &self.layer_cores[j]);
         } else {
             // The root's degree row seeds the inheritance chain below.
@@ -355,10 +391,20 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeWalk<'_, F> {
         let l = self.num_layers;
         let last = l - (self.s - depth) + 1;
         for j in start..last {
+            // Cooperative checkpoint, once per child subtree.
+            if self.monitor.is_some_and(|m| m.check().is_some()) {
+                return;
+            }
             self.subset.push(j);
             let nonempty = self.make_child(depth, j);
+            if self.limit_hit() {
+                // The cascade may have been probe-aborted mid-peel; its
+                // output is then a superset of the true core, never a d-CC.
+                self.subset.pop();
+                return;
+            }
             if depth + 1 == self.s {
-                self.stats.candidates += 1;
+                self.note_candidate();
                 if nonempty && !self.cores[depth].is_empty() {
                     let (head, tail) = (&self.cores[depth], &mut self.expanded);
                     (self.emit)(&self.subset, self.index.emit(head, tail));
@@ -419,9 +465,12 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeWalk<'_, F> {
     /// Emits the empty core for every size-`s` completion of the current
     /// prefix, without peeling.
     fn emit_empty_completions(&mut self, depth: usize, start: Layer) {
+        if self.limit_hit() {
+            return;
+        }
         let l = self.num_layers;
         if depth == self.s {
-            self.stats.candidates += 1;
+            self.note_candidate();
             self.stats.empty_skipped += 1;
             (self.emit)(&self.subset, &self.empty);
             return;

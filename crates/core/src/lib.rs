@@ -75,10 +75,12 @@ pub mod coverage;
 pub mod engine;
 pub mod error;
 pub mod exact;
+pub mod fault;
 pub mod greedy;
 pub mod index;
 pub mod lattice;
 pub mod layer_subsets;
+pub mod limits;
 pub mod metrics;
 pub mod parallel;
 pub mod preprocess;
@@ -101,8 +103,9 @@ pub use error::DccsError;
 pub use exact::{exact_dccs, exact_dccs_in, exact_dccs_on};
 pub use greedy::{greedy_dccs, greedy_dccs_in, greedy_dccs_on, greedy_dccs_with_options};
 pub use lattice::{collect_subset_cores, for_each_subset_core, naive_subset_cores, LatticeStats};
+pub use limits::{CancelToken, LimitKind, QueryLimits};
 pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
 pub use parallel::parallel_greedy_dccs;
-pub use result::{CoherentCore, DccsResult, SearchStats};
+pub use result::{CoherentCore, DccsResult, PhaseTimes, SearchStats};
 pub use session::{auto_threads, DccsSession, Query, QuerySpec};
 pub use top_down::{top_down_dccs, top_down_dccs_in, top_down_dccs_on, top_down_dccs_with_options};

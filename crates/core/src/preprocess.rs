@@ -25,6 +25,8 @@
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
 use crate::engine::{with_pool, PoolRef};
+use crate::fault::{self, site};
+use crate::limits::QueryMonitor;
 use crate::result::CoherentCore;
 use coreness::{d_coherent_core_in, d_core_within_into, PeelWorkspace};
 use mlgraph::{Layer, MultiLayerGraph, VertexSet};
@@ -113,6 +115,7 @@ pub fn initial_layer_cores_on(
     if pool.workers() == 0 || l <= 1 {
         let mut layer_cores: Vec<VertexSet> = vec![VertexSet::new(n); l];
         for (i, core) in layer_cores.iter_mut().enumerate() {
+            fault::check(site::PREPROCESS_LAYER);
             d_core_within_into(ws, g.layer(i), d, &active, core);
         }
         return layer_cores;
@@ -121,6 +124,7 @@ pub fn initial_layer_cores_on(
     let jobs: Vec<_> = (0..l)
         .map(|i| {
             move |wws: &mut PeelWorkspace| {
+                fault::check(site::PREPROCESS_LAYER);
                 let mut core = VertexSet::new(n);
                 d_core_within_into(wws, g.layer(i), d, active, &mut core);
                 core
@@ -170,8 +174,27 @@ pub fn preprocess_from_on(
     params: &DccsParams,
     opts: &DccsOptions,
     ws: &mut PeelWorkspace,
+    layer_cores: Vec<VertexSet>,
+    pool: &PoolRef<'_>,
+) -> Preprocessed {
+    preprocess_from_monitored(g, params, opts, ws, layer_cores, pool, None)
+}
+
+/// [`preprocess_from_on`] with a limit monitor checked once per fixpoint
+/// round. An early exit is always safe here: stopping the fixpoint before
+/// convergence leaves `active` a (less-pruned) **superset** of the
+/// converged universe, which every downstream search accepts as valid
+/// input — preprocessing only ever shrinks the problem, it never decides
+/// results.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn preprocess_from_monitored(
+    g: &MultiLayerGraph,
+    params: &DccsParams,
+    opts: &DccsOptions,
+    ws: &mut PeelWorkspace,
     mut layer_cores: Vec<VertexSet>,
     pool: &PoolRef<'_>,
+    monitor: Option<&QueryMonitor>,
 ) -> Preprocessed {
     let n = g.num_vertices();
     let mut active = g.full_vertex_set();
@@ -181,6 +204,10 @@ pub fn preprocess_from_on(
     if opts.vertex_deletion {
         if pool.workers() == 0 || g.num_layers() <= 1 {
             loop {
+                fault::check(site::PREPROCESS_ROUND);
+                if monitor.is_some_and(|m| m.check().is_some()) {
+                    break;
+                }
                 let victims: Vec<u32> =
                     active.iter().filter(|&v| (support[v as usize] as usize) < params.s).collect();
                 if victims.is_empty() {
@@ -193,12 +220,17 @@ pub fn preprocess_from_on(
                 // Re-peel every layer core into its existing set: the
                 // fixpoint loop allocates nothing after the first iteration.
                 for (i, core) in layer_cores.iter_mut().enumerate() {
+                    fault::check(site::PREPROCESS_LAYER);
                     d_core_within_into(ws, g.layer(i), params.d, &active, core);
                 }
                 support = compute_support(n, &layer_cores, &active);
             }
         } else {
             loop {
+                fault::check(site::PREPROCESS_ROUND);
+                if monitor.is_some_and(|m| m.check().is_some()) {
+                    break;
+                }
                 let victims: Vec<u32> =
                     active.iter().filter(|&v| (support[v as usize] as usize) < params.s).collect();
                 if victims.is_empty() {
@@ -220,6 +252,7 @@ pub fn preprocess_from_on(
                         let mut core = std::mem::replace(slot, VertexSet::new(0));
                         let shared_active = Arc::clone(&shared_active);
                         move |wws: &mut PeelWorkspace| {
+                            fault::check(site::PREPROCESS_LAYER);
                             d_core_within_into(
                                 wws,
                                 g.layer(i),

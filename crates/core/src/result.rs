@@ -2,6 +2,7 @@
 
 use crate::algorithm::Algorithm;
 use crate::engine::IndexPath;
+use crate::limits::LimitKind;
 use mlgraph::{Layer, Vertex, VertexSet};
 use std::time::Duration;
 
@@ -38,11 +39,29 @@ impl CoherentCore {
     }
 }
 
+/// Wall-clock time spent in each phase of a run. Populated by all four
+/// algorithms; excluded from [`SearchStats`] equality (timings are never
+/// deterministic) so work-counter assertions stay exact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Vertex deletion, layer sorting, and `InitTopK` preprocessing.
+    pub preprocess: Duration,
+    /// Candidate generation / search-tree traversal.
+    pub search: Duration,
+    /// Final greedy max-k-cover selection (zero for the search-tree
+    /// algorithms, which maintain top-k incrementally during search).
+    pub select: Duration,
+}
+
 /// Counters describing how much work a DCCS run performed. These back the
 /// paper's search-space-reduction claims (Section VI: "the bottom-up approach
 /// reduces the search space by 80–90 % in comparison with the greedy
 /// algorithm").
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares the work counters and limit flags but **not**
+/// [`phase`](SearchStats::phase) timings, so the determinism tests'
+/// `assert_eq!(stats)` checks remain meaningful.
+#[derive(Clone, Debug)]
 pub struct SearchStats {
     /// Number of candidate d-CCs (layer subsets of size exactly `s`) whose
     /// core was actually computed.
@@ -65,7 +84,55 @@ pub struct SearchStats {
     /// resolved choice here, which is how the selection policy's decisions
     /// are observed and benchmarked.
     pub algorithm: Option<Algorithm>,
+    /// Which query limit stopped the run early, if any. A limited run's
+    /// result is the best-so-far partial; the session surfaces it inside the
+    /// matching [`crate::DccsError`] variant.
+    pub limit_hit: Option<LimitKind>,
+    /// `true` when the run finished its full search; `false` when a limit
+    /// stopped it early and the result is a partial.
+    pub complete: bool,
+    /// Set when the degradation ladder reran this query with a cheaper
+    /// algorithm ([`crate::QueryLimits::degrade`]): the algorithm that was
+    /// originally requested and gave up.
+    pub degraded_from: Option<Algorithm>,
+    /// Per-phase wall-clock breakdown (excluded from equality).
+    pub phase: PhaseTimes,
 }
+
+impl Default for SearchStats {
+    fn default() -> Self {
+        SearchStats {
+            candidates_generated: 0,
+            dcc_calls: 0,
+            subtrees_pruned: 0,
+            updates_accepted: 0,
+            vertices_deleted: 0,
+            index_path: None,
+            algorithm: None,
+            limit_hit: None,
+            complete: true,
+            degraded_from: None,
+            phase: PhaseTimes::default(),
+        }
+    }
+}
+
+impl PartialEq for SearchStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.candidates_generated == other.candidates_generated
+            && self.dcc_calls == other.dcc_calls
+            && self.subtrees_pruned == other.subtrees_pruned
+            && self.updates_accepted == other.updates_accepted
+            && self.vertices_deleted == other.vertices_deleted
+            && self.index_path == other.index_path
+            && self.algorithm == other.algorithm
+            && self.limit_hit == other.limit_hit
+            && self.complete == other.complete
+            && self.degraded_from == other.degraded_from
+    }
+}
+
+impl Eq for SearchStats {}
 
 /// The output of a DCCS algorithm.
 #[derive(Clone, Debug)]
@@ -158,6 +225,18 @@ mod tests {
         assert_eq!(r.cover.to_vec(), vec![1, 2, 3, 4]);
         assert_eq!(r.num_cores(), 2);
         assert_eq!(r.max_core_size(), 3);
+    }
+
+    #[test]
+    fn stats_default_is_complete_and_equality_ignores_phase_times() {
+        let a = SearchStats::default();
+        assert!(a.complete);
+        assert_eq!(a.limit_hit, None);
+        let mut b = SearchStats::default();
+        b.phase.search = Duration::from_millis(42);
+        assert_eq!(a, b, "phase timings must not affect stats equality");
+        b.complete = false;
+        assert_ne!(a, b);
     }
 
     #[test]

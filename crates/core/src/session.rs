@@ -68,11 +68,16 @@ use crate::config::{DccsOptions, DccsParams};
 use crate::engine::{effective_threads, PersistentPool, PoolRef, SearchContext};
 use crate::error::DccsError;
 use crate::exact::exact_dccs_on;
+use crate::fault::{self, site};
 use crate::greedy::greedy_dccs_on;
+use crate::limits::{CancelToken, LimitKind, QueryLimits, QueryMonitor};
 use crate::result::DccsResult;
 use crate::top_down::top_down_dccs_on;
 use coreness::PeelWorkspace;
 use mlgraph::MultiLayerGraph;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Resolves the `threads` knob of the session API: `0` means **auto** —
 /// `std::thread::available_parallelism()` (falling back to 1 when the
@@ -127,6 +132,9 @@ pub struct DccsSession<'g> {
     /// asks for a different width; `None` while every query has been
     /// sequential.
     crew: Option<PersistentPool>,
+    /// The externally shared kill switch attached to every query of this
+    /// session (see [`DccsSession::set_cancel_token`]); `None` by default.
+    token: Option<CancelToken>,
 }
 
 impl<'g> DccsSession<'g> {
@@ -141,7 +149,17 @@ impl<'g> DccsSession<'g> {
     pub fn with_options(g: &'g MultiLayerGraph, opts: DccsOptions) -> Self {
         let mut ctx = SearchContext::new(auto_threads(opts.threads));
         ctx.set_index_choice(opts.index);
-        DccsSession { g, ctx, opts, crew: None }
+        DccsSession { g, ctx, opts, crew: None, token: None }
+    }
+
+    /// Attaches a [`CancelToken`] to every subsequent query (and batch) of
+    /// this session. Hand a clone of the token to another thread and call
+    /// [`CancelToken::cancel`] to stop an in-flight query at its next
+    /// cooperative checkpoint; the query returns
+    /// [`DccsError::Cancelled`] carrying the partial result. Pass `None`
+    /// to detach.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.token = token;
     }
 
     /// The graph this session queries.
@@ -159,7 +177,7 @@ impl<'g> DccsSession<'g> {
     /// [`Query::run`].
     pub fn query(&mut self, params: DccsParams) -> Query<'_, 'g> {
         let opts = self.opts;
-        Query { session: self, spec: QuerySpec::new(params), opts }
+        Query { session: self, spec: QuerySpec::new(params), opts, token: None }
     }
 
     /// Checks that the graph is non-empty and `params` are valid for it.
@@ -198,63 +216,94 @@ impl<'g> DccsSession<'g> {
         if parallel {
             self.ensure_crew(opts.threads);
         }
+        let token = self.token.clone();
         let ctx = &mut self.ctx;
         let g = self.g;
         match &mut self.crew {
             // A sequential query must not fan out on a crew left over from
             // an earlier wider query — the crew stays alive (a later wide
             // query reuses it) but this query bypasses it.
-            Some(crew) if parallel => run_spec_on_pool(ctx, &crew.pool_ref(), g, spec, opts),
+            Some(crew) if parallel => {
+                run_spec_monitored(ctx, &crew.pool_ref(), g, spec, opts, token)
+            }
             // Truly sequential (no forcing either): a width-1 scoped pool
             // spawns no thread and runs every batch inline.
-            _ => crate::engine::with_pool(1, |pool| run_spec_on_pool(ctx, pool, g, spec, opts)),
+            _ => crate::engine::with_pool(1, |pool| {
+                run_spec_monitored(ctx, pool, g, spec, opts, token)
+            }),
         }
     }
 
     /// Runs a whole sweep through **one** executor crew.
     ///
-    /// All specs are validated up front (the batch is all-or-nothing: the
-    /// first invalid spec fails the call before any work runs). With an
-    /// effective thread count of 1 — or a single spec — the queries run
-    /// in order on the session context, compounding its caches. With more
-    /// threads, the session's persistent crew serves the entire batch and
-    /// each query becomes one job, executed sequentially on one worker —
+    /// All specs are validated up front (the first invalid spec fails the
+    /// whole call before any work runs — a malformed sweep is a caller
+    /// bug). Once running, the batch is **not** all-or-nothing: a runtime
+    /// limit or a panicking engine task on one spec yields an `Err` in that
+    /// spec's slot and every other query still completes, so the outer
+    /// `Result` wraps one per-spec `Result` per submitted spec, in
+    /// submission order.
+    ///
+    /// With an effective thread count of 1 — or a single spec — the queries
+    /// run in order on the session context, compounding its caches. With
+    /// more threads, the session's persistent crew serves the entire batch
+    /// and each query becomes one job, executed sequentially on one worker —
     /// inter-query parallelism, which is where a sweep's wall-clock actually
     /// goes. Either way each result is bit-identical to running its spec as
-    /// a one-shot query (per-query execution is thread-invariant), and
-    /// results come back in spec order.
-    pub fn run_batch(&mut self, specs: &[QuerySpec]) -> Result<Vec<DccsResult>, DccsError> {
+    /// a one-shot query (per-query execution is thread-invariant).
+    #[allow(clippy::type_complexity)]
+    pub fn run_batch(
+        &mut self,
+        specs: &[QuerySpec],
+    ) -> Result<Vec<Result<DccsResult, DccsError>>, DccsError> {
         for spec in specs {
             self.check(&spec.params)?;
         }
         let threads = auto_threads(self.opts.threads);
         if threads <= 1 || specs.len() <= 1 {
             let opts = DccsOptions { threads, ..self.opts };
-            return specs.iter().map(|spec| self.run_checked(spec, &opts)).collect();
+            let outcomes = specs
+                .iter()
+                .map(|spec| {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        fault::check(site::BATCH_QUERY);
+                        self.run_checked(spec, &opts)
+                    })) {
+                        Ok(outcome) => outcome,
+                        Err(payload) => Err(panic_to_error(None, payload.as_ref())),
+                    }
+                })
+                .collect();
+            return Ok(outcomes);
         }
         // The persistent crew serves the whole sweep; each query is one
         // sequential job, so its result (and stats) equal the 1-thread run
-        // by construction.
+        // by construction. Each job catches its own panics: a dying query
+        // becomes a `TaskPanicked` in its slot instead of sinking the sweep.
         self.ensure_crew(threads);
         let g = self.g;
+        let token = self.token.clone();
         let opts = DccsOptions { threads: 1, ..self.opts };
         let crew = self.crew.as_mut().expect("ensure_crew spawns for threads > 1");
         let jobs: Vec<_> = specs
             .iter()
             .map(|&spec| {
                 let opts = &opts;
-                move |_ws: &mut PeelWorkspace| {
+                let token = token.clone();
+                move |_ws: &mut PeelWorkspace| match catch_unwind(AssertUnwindSafe(|| {
+                    fault::check(site::BATCH_QUERY);
                     let mut ctx = SearchContext::new(1);
                     ctx.set_index_choice(opts.index);
                     crate::engine::with_pool(1, |pool| {
-                        run_spec_on_pool(&mut ctx, pool, g, &spec, opts)
+                        run_spec_monitored(&mut ctx, pool, g, &spec, opts, token)
                     })
+                })) {
+                    Ok(outcome) => outcome,
+                    Err(payload) => Err(panic_to_error(None, payload.as_ref())),
                 }
             })
             .collect();
-        let outcomes: Vec<Result<DccsResult, DccsError>> =
-            crew.pool_ref().map(&mut self.ctx.ws, jobs);
-        outcomes.into_iter().collect()
+        Ok(crew.pool_ref().map(&mut self.ctx.ws, jobs))
     }
 }
 
@@ -281,6 +330,114 @@ fn run_spec_on_pool(
     })
 }
 
+/// [`run_spec_on_pool`] under the query's limits and panic isolation, plus
+/// the opt-in degradation ladder: an explicit [`Algorithm::Exact`] query
+/// that blows its candidate budget is rerun as [`Algorithm::Greedy`] (with
+/// whatever wall-clock remains) when [`QueryLimits::degrade`] is set, and
+/// the fallback is recorded in [`crate::SearchStats::degraded_from`].
+fn run_spec_monitored(
+    ctx: &mut SearchContext,
+    pool: &PoolRef<'_>,
+    g: &MultiLayerGraph,
+    spec: &QuerySpec,
+    opts: &DccsOptions,
+    token: Option<CancelToken>,
+) -> Result<DccsResult, DccsError> {
+    let query_start = Instant::now();
+    let result = dispatch_limited(ctx, pool, g, spec, opts, token.clone());
+    let degradable = opts.limits.degrade
+        && matches!(result, Err(DccsError::BudgetExceeded { .. }))
+        && spec.algorithm.resolve(g, &spec.params) == Algorithm::Exact;
+    if !degradable {
+        return result;
+    }
+    // The retry keeps every limit; only the deadline needs re-anchoring, to
+    // the wall-clock the original query has left (a fallback must not grant
+    // itself a second full time budget).
+    let mut retry_limits = opts.limits;
+    if let Some(budget) = retry_limits.deadline {
+        retry_limits.deadline = Some(budget.saturating_sub(query_start.elapsed()));
+    }
+    let retry_opts = DccsOptions { limits: retry_limits, ..*opts };
+    let retry_spec = QuerySpec { params: spec.params, algorithm: Algorithm::Greedy };
+    dispatch_limited(ctx, pool, g, &retry_spec, &retry_opts, token).map(|mut result| {
+        result.stats.degraded_from = Some(Algorithm::Exact);
+        result
+    })
+}
+
+/// One monitored dispatch attempt: compiles the limits and token into a
+/// [`QueryMonitor`] (skipped entirely for unlimited, token-less queries),
+/// installs it on the context for the duration of the run, converts a
+/// flagged-incomplete result into the matching typed error carrying the
+/// partial, and converts a panicking engine task into
+/// [`DccsError::TaskPanicked`] — replacing the context wholesale, since a
+/// panic can leave mid-query state behind, so the session stays usable.
+fn dispatch_limited(
+    ctx: &mut SearchContext,
+    pool: &PoolRef<'_>,
+    g: &MultiLayerGraph,
+    spec: &QuerySpec,
+    opts: &DccsOptions,
+    token: Option<CancelToken>,
+) -> Result<DccsResult, DccsError> {
+    let limited = !opts.limits.is_unlimited() || token.is_some();
+    let monitor =
+        if limited { Some(Arc::new(QueryMonitor::new(&opts.limits, token))) } else { None };
+    ctx.set_monitor(monitor.clone());
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_spec_on_pool(ctx, pool, g, spec, opts)));
+    let result = match outcome {
+        Ok(result) => {
+            ctx.set_monitor(None);
+            result?
+        }
+        Err(payload) => {
+            // The panic unwound through mid-query engine state; rebuild the
+            // context (same width and index override) rather than trusting
+            // whatever the unwind left behind.
+            let threads = ctx.threads();
+            *ctx = SearchContext::new(threads);
+            ctx.set_index_choice(opts.index);
+            return Err(panic_to_error(pool.take_last_panic(), payload.as_ref()));
+        }
+    };
+    if result.stats.complete {
+        return Ok(result);
+    }
+    let monitor = monitor.expect("an incomplete result implies a monitor was installed");
+    let partial = Box::new(result);
+    Err(match partial.stats.limit_hit {
+        Some(LimitKind::Deadline) => DccsError::DeadlineExceeded {
+            deadline: opts.limits.deadline.unwrap_or_default(),
+            partial,
+        },
+        Some(LimitKind::Cancelled) => DccsError::Cancelled { partial },
+        Some(LimitKind::CandidateBudget) => DccsError::BudgetExceeded {
+            candidates: monitor.candidates(),
+            limit: monitor.candidate_budget().unwrap_or(0),
+        },
+        Some(LimitKind::DenseMemory) => {
+            let (required_words, limit_words) = monitor.dense_memory();
+            DccsError::MemoryLimit { required_words, limit_words, partial }
+        }
+        None => unreachable!("complete == false implies limit_hit is set"),
+    })
+}
+
+/// Builds the [`DccsError::TaskPanicked`] for a caught engine panic,
+/// preferring the message a pool worker parked (the original panic, not the
+/// driver's generic "job died" rethrow) over the caught payload itself.
+fn panic_to_error(
+    worker_message: Option<String>,
+    payload: &(dyn std::any::Any + Send),
+) -> DccsError {
+    let message = worker_message
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    DccsError::TaskPanicked { message }
+}
+
 /// A configured-but-not-yet-run query, produced by [`DccsSession::query`].
 /// Builder methods refine it; [`Query::run`] executes it on the session.
 #[derive(Debug)]
@@ -289,6 +446,7 @@ pub struct Query<'s, 'g> {
     session: &'s mut DccsSession<'g>,
     spec: QuerySpec,
     opts: DccsOptions,
+    token: Option<CancelToken>,
 }
 
 impl Query<'_, '_> {
@@ -309,9 +467,25 @@ impl Query<'_, '_> {
     }
 
     /// Replaces the full option set for this query (ablation toggles,
-    /// threads) instead of inheriting the session defaults.
+    /// threads, limits) instead of inheriting the session defaults.
     pub fn options(mut self, opts: DccsOptions) -> Self {
         self.opts = opts;
+        self
+    }
+
+    /// Sets this query's [`QueryLimits`] — deadline, candidate budget,
+    /// dense-memory ceiling, degradation — overriding the session default
+    /// carried on its [`DccsOptions`].
+    pub fn limits(mut self, limits: QueryLimits) -> Self {
+        self.opts.limits = limits;
+        self
+    }
+
+    /// Attaches a [`CancelToken`] to this query only, overriding the
+    /// session-level token ([`DccsSession::set_cancel_token`]) if one is
+    /// set.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
         self
     }
 
@@ -320,10 +494,23 @@ impl Query<'_, '_> {
     /// Every parameter combination [`DccsParams::validate`] rejects — and an
     /// empty graph, and a blown [`Algorithm::Exact`] candidate budget —
     /// comes back as a typed [`DccsError`]; this entry point never panics on
-    /// user input.
+    /// user input. A query bounded by [`QueryLimits`] (or cancelled through
+    /// its token) that stops early returns the matching limit error with
+    /// the best-so-far partial result attached, and a panicking engine task
+    /// comes back as [`DccsError::TaskPanicked`] with the session still
+    /// usable.
     pub fn run(self) -> Result<DccsResult, DccsError> {
         self.session.check(&self.spec.params)?;
         let opts = DccsOptions { threads: auto_threads(self.opts.threads), ..self.opts };
+        if let Some(token) = self.token {
+            // A per-query token substitutes for the session token for this
+            // run only.
+            let saved = self.session.token.take();
+            self.session.token = Some(token);
+            let result = self.session.run_checked(&self.spec, &opts);
+            self.session.token = saved;
+            return result;
+        }
         self.session.run_checked(&self.spec, &opts)
     }
 }
@@ -460,6 +647,7 @@ mod tests {
             let batch = session.run_batch(&specs).unwrap();
             assert_eq!(batch.len(), reference.len());
             for (got, want) in batch.iter().zip(&reference) {
+                let got = got.as_ref().expect("no limits in force, every spec succeeds");
                 assert_eq!(got.cores, want.cores, "threads={threads}");
                 assert_eq!(got.cover.to_vec(), want.cover.to_vec(), "threads={threads}");
                 assert_eq!(got.stats, want.stats, "threads={threads}");
@@ -499,6 +687,142 @@ mod tests {
         let pinned = spec.with_algorithm(Algorithm::TopDown);
         assert_eq!(pinned.algorithm, Algorithm::TopDown);
         assert_eq!(pinned.params, spec.params);
+    }
+
+    #[test]
+    fn unlimited_query_results_are_flagged_complete() {
+        let g = graph();
+        let result = DccsSession::new(&g).query(DccsParams::new(2, 2, 2)).run().unwrap();
+        assert!(result.stats.complete);
+        assert_eq!(result.stats.limit_hit, None);
+        assert_eq!(result.stats.degraded_from, None);
+    }
+
+    #[test]
+    fn zero_deadline_returns_deadline_exceeded_with_a_partial() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        let limits = QueryLimits::none().with_deadline(std::time::Duration::ZERO);
+        let err = session
+            .query(DccsParams::new(2, 2, 2))
+            .algorithm(Algorithm::Greedy)
+            .limits(limits)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DccsError::DeadlineExceeded { .. }), "got {err:?}");
+        let partial = err.partial().expect("deadline errors carry the partial");
+        assert!(!partial.stats.complete);
+        assert_eq!(partial.stats.limit_hit, Some(crate::LimitKind::Deadline));
+        // The session answers an unlimited rerun of the same spec exactly.
+        let clean = session.query(DccsParams::new(2, 2, 2)).algorithm(Algorithm::Greedy).run();
+        let fresh =
+            DccsSession::new(&g).query(DccsParams::new(2, 2, 2)).algorithm(Algorithm::Greedy).run();
+        assert_eq!(clean.unwrap().stats, fresh.unwrap().stats);
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_and_session_survives() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = session.query(DccsParams::new(2, 2, 2)).cancel_token(token).run().unwrap_err();
+        assert!(matches!(err, DccsError::Cancelled { .. }), "got {err:?}");
+        // The per-query token does not stick to the session.
+        assert!(session.query(DccsParams::new(2, 2, 2)).run().is_ok());
+    }
+
+    #[test]
+    fn session_token_applies_to_every_query_until_detached() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        let token = CancelToken::new();
+        session.set_cancel_token(Some(token.clone()));
+        assert!(session.query(DccsParams::new(2, 2, 2)).run().is_ok(), "untripped token");
+        token.cancel();
+        let err = session.query(DccsParams::new(2, 2, 2)).run().unwrap_err();
+        assert!(matches!(err, DccsError::Cancelled { .. }), "got {err:?}");
+        session.set_cancel_token(None);
+        assert!(session.query(DccsParams::new(2, 2, 2)).run().is_ok());
+    }
+
+    #[test]
+    fn candidate_budget_applies_to_approximation_algorithms() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        // C(4, 2) = 6 subsets; a budget of 2 trips mid-walk.
+        let limits = QueryLimits::none().with_candidate_budget(2);
+        let err = session
+            .query(DccsParams::new(2, 2, 2))
+            .algorithm(Algorithm::Greedy)
+            .limits(limits)
+            .run()
+            .unwrap_err();
+        match err {
+            DccsError::BudgetExceeded { candidates, limit } => {
+                assert_eq!(limit, 2);
+                assert!(candidates > 2, "the tripping charge is counted: {candidates}");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_degrades_to_greedy_when_opted_in() {
+        // Same construction as exact_budget_overflow_is_a_typed_error: 36
+        // candidates blow the exact solver's 24-candidate gate.
+        let mut b = MultiLayerGraphBuilder::new(3, 9);
+        for layer in 0..9 {
+            clique(&mut b, layer, &[0, 1, 2]);
+        }
+        let g = b.build();
+        let mut session = DccsSession::new(&g);
+        let params = DccsParams::new(2, 2, 1);
+        let degraded = session
+            .query(params)
+            .algorithm(Algorithm::Exact)
+            .limits(QueryLimits::none().with_degrade())
+            .run()
+            .expect("degradation turns the budget error into a greedy result");
+        assert_eq!(degraded.stats.algorithm, Some(Algorithm::Greedy));
+        assert_eq!(degraded.stats.degraded_from, Some(Algorithm::Exact));
+        assert!(degraded.stats.complete);
+        let reference = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+        assert_eq!(degraded.cores, reference.cores);
+        // Without the opt-in the same query still fails.
+        let err = session.query(params).algorithm(Algorithm::Exact).run().unwrap_err();
+        assert!(matches!(err, DccsError::BudgetExceeded { candidates: 36, limit: 24 }));
+    }
+
+    #[test]
+    fn forced_dense_over_the_memory_ceiling_is_a_typed_error() {
+        let g = graph();
+        let mut session = DccsSession::with_options(
+            &g,
+            DccsOptions { index: crate::IndexChoice::Dense, ..DccsOptions::default() },
+        );
+        let err = session
+            .query(DccsParams::new(2, 2, 2))
+            .algorithm(Algorithm::Greedy)
+            .limits(QueryLimits::none().with_max_dense_words(0))
+            .run()
+            .unwrap_err();
+        match &err {
+            DccsError::MemoryLimit { required_words, limit_words, .. } => {
+                assert!(*required_words > 0);
+                assert_eq!(*limit_words, 0);
+            }
+            other => panic!("expected MemoryLimit, got {other:?}"),
+        }
+        // Auto index under the same ceiling silently uses CSR instead.
+        let mut auto = DccsSession::new(&g);
+        let ok = auto
+            .query(DccsParams::new(2, 2, 2))
+            .algorithm(Algorithm::Greedy)
+            .limits(QueryLimits::none().with_max_dense_words(0))
+            .run()
+            .expect("auto falls back to CSR");
+        assert!(ok.stats.complete);
     }
 
     #[test]

@@ -41,7 +41,9 @@ use crate::algorithm::Algorithm;
 use crate::config::{DccsOptions, DccsParams};
 use crate::coverage::TopKDiversified;
 use crate::engine::{drive_task_graph, with_pool, PoolRef, SearchContext};
+use crate::fault::{self, site};
 use crate::index::VertexIndex;
+use crate::limits::QueryMonitor;
 use crate::preprocess::init_topk_in;
 use crate::refine::{refine_c, refine_u};
 use crate::result::{CoherentCore, DccsResult, SearchStats};
@@ -99,6 +101,7 @@ pub fn top_down_dccs_on(
 
     let pre = ctx.preprocess_on(pool, g, params, opts);
     stats.vertices_deleted = pre.vertices_deleted;
+    stats.phase.preprocess = start.elapsed();
 
     let mut topk = TopKDiversified::new(g.num_vertices(), params.k);
     if opts.init_topk {
@@ -115,16 +118,34 @@ pub fn top_down_dccs_on(
         None
     };
 
-    // Root: C_{[l]} computed over the active vertex set.
+    // Root: C_{[l]} computed over the active vertex set, under the query's
+    // probe — the root peel is the single largest cascade of the search.
+    let monitor = ctx.monitor().cloned();
+    let mon = monitor.as_deref();
     let all_positions: Vec<usize> = (0..l).collect();
     let all_layers: Vec<Layer> = order.clone();
     stats.dcc_calls += 1;
+    let search_start = Instant::now();
     let mut root_core = pre.active.clone();
+    ctx.ws.set_probe(mon.map(QueryMonitor::probe));
     ctx.ws.peel_in_place(g, &all_layers, params.d, &mut root_core);
+    ctx.ws.set_probe(None);
 
     if params.s == l {
-        stats.candidates_generated += 1;
-        topk.try_update(CoherentCore::new(all_layers, root_core));
+        // An aborted root peel leaves `root_core` a superset of the true
+        // d-CC — report nothing rather than a wrong core.
+        if mon.is_none_or(|m| m.check().is_none()) {
+            stats.candidates_generated += 1;
+            if let Some(m) = mon {
+                m.charge_candidates(1);
+            }
+            topk.try_update(CoherentCore::new(all_layers, root_core));
+        }
+        stats.phase.search = search_start.elapsed();
+        if let Some(kind) = mon.and_then(QueryMonitor::hit) {
+            stats.limit_hit = Some(kind);
+            stats.complete = false;
+        }
         stats.updates_accepted = topk.accepted_updates();
         return DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed());
     }
@@ -140,7 +161,17 @@ pub fn top_down_dccs_on(
     // (`RefineU` then `RefineC` or a plain peel), in removable-position
     // order. Runs on any worker and reads only the task payload.
     let eval = move |task: TdTask, ws: &mut PeelWorkspace| -> TdNodeEval {
+        fault::check(site::TD_EVAL);
         let TdTask { positions, potential } = task;
+        // A tripped limit: skip the refinement entirely. The commit sees no
+        // children and spawns nothing, so the outstanding subtree drains.
+        if mon.is_some_and(|m| m.check().is_some()) {
+            return TdNodeEval { children: Vec::new() };
+        }
+        // Peels run under the query's probe; an aborted peel leaves a child
+        // core a *superset* of the truth, which the commit-side limit check
+        // keeps out of the result set.
+        ws.set_probe(mon.map(QueryMonitor::probe));
         // Removable positions: members of L above every removed position.
         let max_removed =
             (0..l).filter(|p| !positions.contains(p)).max().map(|p| p as isize).unwrap_or(-1);
@@ -163,6 +194,7 @@ pub fn top_down_dccs_on(
                 eval_child(g, d, s, layer_cores, index_ref, use_refine_c, spec, &potential, ws)
             })
             .collect();
+        ws.set_probe(None);
         TdNodeEval { children }
     };
 
@@ -175,9 +207,19 @@ pub fn top_down_dccs_on(
         // set, update R from leaves and Lemma-7 representatives, and spawn
         // the children that must be expanded.
         drive_task_graph(pool, &mut ctx.ws, vec![root], &eval, |mut ev: TdNodeEval, ws, spawn| {
+            fault::check(site::GRAPH_COMMIT);
+            // Once a limit trips, commit nothing more: children evaluated
+            // after the hit may be probe-aborted supersets, and `topk`
+            // already holds the best-so-far partial the caller gets back.
+            if mon.is_some_and(|m| m.check().is_some()) {
+                return;
+            }
             stats.dcc_calls += ev.children.len();
-            stats.candidates_generated +=
-                ev.children.iter().filter(|c| c.positions.len() == s).count();
+            let leaves = ev.children.iter().filter(|c| c.positions.len() == s).count();
+            stats.candidates_generated += leaves;
+            if let Some(m) = mon {
+                m.charge_candidates(leaves);
+            }
             if !topk.is_full() {
                 // Cases 1–2: no pruning while |R| < k.
                 for child in ev.children {
@@ -237,6 +279,12 @@ pub fn top_down_dccs_on(
                     let layers: Vec<Layer> = descendant.iter().map(|&p| order[p]).collect();
                     stats.dcc_calls += 1;
                     stats.candidates_generated += 1;
+                    if let Some(m) = mon {
+                        m.charge_candidates(1);
+                    }
+                    // The representative peel runs on the driver's workspace
+                    // with no probe installed, so it always completes and
+                    // the update below is always a true d-CC.
                     let mut core = child.potential.clone();
                     ws.peel_in_place(g, &layers, d, &mut core);
                     topk.try_update(CoherentCore::new(layers, core));
@@ -248,6 +296,11 @@ pub fn top_down_dccs_on(
         });
     }
 
+    stats.phase.search = search_start.elapsed();
+    if let Some(kind) = mon.and_then(QueryMonitor::hit) {
+        stats.limit_hit = Some(kind);
+        stats.complete = false;
+    }
     stats.updates_accepted = topk.accepted_updates();
     DccsResult::from_topk(g.num_vertices(), topk, stats, start.elapsed())
 }

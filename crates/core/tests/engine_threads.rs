@@ -116,6 +116,66 @@ proptest! {
     }
 }
 
+/// Executor panic safety at every crew width: a pooled batch job that
+/// panics must not take down its worker, leak queued jobs, or poison the
+/// session. Uses the `batch.query` fault site, which only `run_batch` jobs
+/// reach — the free-function proptests above run concurrently in this
+/// binary and must never consume the armed fault. (Worker panics at the
+/// algorithm-level sites are exercised in `fault_injection.rs`, where the
+/// whole binary serializes on one lock.)
+#[test]
+fn panicking_batch_job_leaves_the_crew_and_queue_intact() {
+    use dccs::fault::{self, site, FaultMode};
+    use dccs::{Algorithm, DccsError, DccsSession, QuerySpec};
+
+    // Two 6-cliques shared by 3 layers: enough structure for real queries.
+    let mut b = MultiLayerGraphBuilder::new(16, 3);
+    for layer in 0..3 {
+        for base in [0u32, 8] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    b.add_edge(layer, base + i, base + j).unwrap();
+                }
+            }
+        }
+    }
+    let g = b.build();
+    let specs: Vec<QuerySpec> = (1..=3usize)
+        .map(|s| QuerySpec::new(DccsParams::new(2, s, 2)).with_algorithm(Algorithm::Greedy))
+        .collect();
+    let reference: Vec<DccsResult> =
+        specs.iter().map(|spec| DccsSession::new(&g).query(spec.params).run().unwrap()).collect();
+    for threads in [1usize, 2, 4] {
+        let opts = DccsOptions::with_threads(threads);
+        let mut session = DccsSession::with_options(&g, opts);
+        fault::arm(site::BATCH_QUERY, FaultMode::Panic, 1);
+        let batch = session.run_batch(&specs).expect("validation passes");
+        fault::disarm();
+        // One job absorbed the panic; the queue kept draining: every other
+        // slot holds its correct, complete result.
+        let dead: Vec<usize> = (0..batch.len()).filter(|&i| batch[i].is_err()).collect();
+        assert_eq!(dead.len(), 1, "threads={threads}: exactly one slot fails");
+        assert!(
+            matches!(batch[dead[0]].as_ref().unwrap_err(), DccsError::TaskPanicked { .. }),
+            "threads={threads}: the failure is typed"
+        );
+        for (i, slot) in batch.iter().enumerate() {
+            if let Ok(result) = slot {
+                assert_identical(result, &reference[i], &format!("slot {i} threads={threads}"));
+            }
+        }
+        // The crew survived: a fresh single query and a fresh batch on the
+        // same session both come back complete and bit-identical.
+        let single = session.query(specs[0].params).run().unwrap();
+        assert_identical(&single, &reference[0], &format!("post-panic run threads={threads}"));
+        let clean = session.run_batch(&specs).unwrap();
+        for (i, slot) in clean.iter().enumerate() {
+            let result = slot.as_ref().expect("no fault armed: every slot succeeds");
+            assert_identical(result, &reference[i], &format!("clean slot {i} threads={threads}"));
+        }
+    }
+}
+
 /// Cost-model crossover: the stats must record the dense path on a small
 /// dense universe and the CSR path on a wide sparse one — the shape
 /// (German analogue at low `d`) where the dense rows used to lose to CSR.

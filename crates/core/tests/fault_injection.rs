@@ -1,0 +1,262 @@
+//! Fault-injection robustness tests: every instrumented site
+//! (`dccs::fault::site`) is armed in turn and the session must convert the
+//! injected panic into [`DccsError::TaskPanicked`], keep its worker crew
+//! alive, and answer the next query **bit-identically to a fresh session**.
+//! Delay injection makes the deadline path deterministic, and a panicking
+//! batch spec must stay confined to its own result slot.
+//!
+//! The fault hook is process-global (one armed fault at a time), so every
+//! test serializes on one mutex and disarms on the way out.
+
+use dccs::fault::{self, site, FaultMode};
+use dccs::{
+    Algorithm, DccsError, DccsOptions, DccsParams, DccsResult, DccsSession, LimitKind, QueryLimits,
+    QuerySpec,
+};
+use mlgraph::{MultiLayerGraph, MultiLayerGraphBuilder, Vertex};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes tests that arm the process-global fault slot.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// RAII disarm: a panicking assertion must not leave a fault armed for the
+/// next test.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+/// A 4-layer graph with planted quasi-cliques so every algorithm has real
+/// work at d = 2: an 8-clique on layers 0–2, a 6-clique on layers 1–3, and
+/// a background cycle per layer.
+fn test_graph() -> MultiLayerGraph {
+    let n = 24u32;
+    let mut b = MultiLayerGraphBuilder::new(n as usize, 4);
+    for layer in 0..3 {
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                b.add_edge(layer, i, j).unwrap();
+            }
+        }
+    }
+    for layer in 1..4 {
+        for i in 10..16 {
+            for j in (i + 1)..16 {
+                b.add_edge(layer, i, j).unwrap();
+            }
+        }
+    }
+    for layer in 0..4u32 {
+        for v in 0..n {
+            b.add_edge(layer as usize, v, (v + 1) % n).unwrap();
+        }
+    }
+    b.build()
+}
+
+fn assert_identical(a: &DccsResult, b: &DccsResult, label: &str) {
+    assert_eq!(a.cores, b.cores, "{label}: cores differ");
+    assert_eq!(a.cover.to_vec(), b.cover.to_vec(), "{label}: cover differs");
+    assert_eq!(a.stats, b.stats, "{label}: work counters differ");
+}
+
+/// Every instrumented site, paired with a query shape that reaches it.
+const SITES: [(&str, Algorithm, u32, usize); 7] = [
+    (site::PREPROCESS_ROUND, Algorithm::Greedy, 2, 2),
+    (site::PREPROCESS_LAYER, Algorithm::Greedy, 2, 2),
+    (site::LATTICE_BRANCH, Algorithm::Greedy, 2, 2),
+    (site::SELECT, Algorithm::Greedy, 2, 2),
+    (site::BU_EVAL, Algorithm::BottomUp, 2, 2),
+    (site::TD_EVAL, Algorithm::TopDown, 2, 3),
+    (site::GRAPH_COMMIT, Algorithm::BottomUp, 2, 2),
+];
+
+#[test]
+fn every_fault_site_converts_to_a_typed_error_and_the_session_recovers() {
+    let _guard = lock();
+    let _disarm = Disarm;
+    let g = test_graph();
+    for (fault_site, algorithm, d, s) in SITES {
+        let params = DccsParams::new(d, s, 3);
+        for threads in [1usize, 2, 4] {
+            let label = format!("{fault_site} threads={threads}");
+            let opts = DccsOptions::with_threads(threads);
+            let mut session = DccsSession::with_options(&g, opts);
+            fault::arm(fault_site, FaultMode::Panic, 1);
+            let err = session
+                .query(params)
+                .algorithm(algorithm)
+                .run()
+                .expect_err(&format!("{label}: armed site must fail the query"));
+            match err {
+                DccsError::TaskPanicked { message } => assert!(
+                    message.contains("injected fault"),
+                    "{label}: panic message lost: {message}"
+                ),
+                other => panic!("{label}: expected TaskPanicked, got: {other}"),
+            }
+            fault::disarm();
+            // The crew survived and the session's rebuilt state is
+            // invisible: the same query now matches a fresh session.
+            let after = session.query(params).algorithm(algorithm).run().unwrap();
+            let fresh = DccsSession::with_options(&g, opts)
+                .query(params)
+                .algorithm(algorithm)
+                .run()
+                .unwrap();
+            assert_identical(&after, &fresh, &label);
+        }
+    }
+}
+
+#[test]
+fn delay_injection_trips_the_deadline_deterministically() {
+    let _guard = lock();
+    let _disarm = Disarm;
+    let g = test_graph();
+    let params = DccsParams::new(2, 2, 3);
+    let opts = DccsOptions::with_threads(1);
+    let mut session = DccsSession::with_options(&g, opts);
+    // Every lattice branch walk sleeps 60 ms against a 10 ms deadline: the
+    // first post-delay checkpoint must stop the query, regardless of
+    // machine speed.
+    fault::arm(site::LATTICE_BRANCH, FaultMode::Delay(Duration::from_millis(60)), 50);
+    let err = session
+        .query(params)
+        .algorithm(Algorithm::Greedy)
+        .limits(QueryLimits::none().with_deadline(Duration::from_millis(10)))
+        .run()
+        .expect_err("a blown deadline must fail the query");
+    let DccsError::DeadlineExceeded { deadline, partial } = err else {
+        panic!("expected DeadlineExceeded, got: {err}");
+    };
+    assert_eq!(deadline, Duration::from_millis(10));
+    assert!(!partial.stats.complete, "partial results are flagged incomplete");
+    assert_eq!(partial.stats.limit_hit, Some(LimitKind::Deadline));
+    fault::disarm();
+    // Unlimited rerun on the same session: complete and bit-identical.
+    let after = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+    assert!(after.stats.complete);
+    let fresh = DccsSession::with_options(&g, opts)
+        .query(params)
+        .algorithm(Algorithm::Greedy)
+        .run()
+        .unwrap();
+    assert_identical(&after, &fresh, "post-deadline rerun");
+}
+
+#[test]
+fn a_panicking_batch_spec_stays_in_its_own_slot() {
+    let _guard = lock();
+    let _disarm = Disarm;
+    let g = test_graph();
+    let specs = [
+        QuerySpec::new(DccsParams::new(2, 2, 3)).with_algorithm(Algorithm::Greedy),
+        QuerySpec::new(DccsParams::new(2, 2, 3)).with_algorithm(Algorithm::BottomUp),
+        QuerySpec::new(DccsParams::new(2, 3, 3)).with_algorithm(Algorithm::TopDown),
+    ];
+    let reference: Vec<DccsResult> = specs
+        .iter()
+        .map(|spec| {
+            DccsSession::new(&g).query(spec.params).algorithm(spec.algorithm).run().unwrap()
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        let opts = DccsOptions::with_threads(threads);
+        let mut session = DccsSession::with_options(&g, opts);
+        fault::arm(site::BATCH_QUERY, FaultMode::Panic, 1);
+        let batch = session.run_batch(&specs).expect("valid specs pass up-front validation");
+        fault::disarm();
+        assert_eq!(batch.len(), specs.len());
+        // Exactly one slot died (at 1 thread it is deterministically the
+        // first); every other slot still holds its correct result.
+        let dead: Vec<usize> = (0..batch.len()).filter(|&i| batch[i].is_err()).collect();
+        assert_eq!(dead.len(), 1, "threads={threads}: exactly one spec absorbs the panic");
+        if threads == 1 {
+            assert_eq!(dead[0], 0, "the sequential path fails the first spec");
+        }
+        for (i, slot) in batch.iter().enumerate() {
+            match slot {
+                Ok(result) => {
+                    assert_identical(result, &reference[i], &format!("slot {i} threads={threads}"));
+                }
+                Err(DccsError::TaskPanicked { message }) => {
+                    assert!(message.contains("injected fault"), "slot {i}: {message}");
+                }
+                Err(other) => panic!("slot {i}: unexpected error: {other}"),
+            }
+        }
+        // The session survives the batch fault: rerunning the dead spec
+        // alone matches its reference.
+        let spec = specs[dead[0]];
+        let again = session.query(spec.params).algorithm(spec.algorithm).run().unwrap();
+        assert_identical(&again, &reference[dead[0]], "post-batch rerun");
+    }
+}
+
+fn small_multilayer(
+    n: usize,
+    layers: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = MultiLayerGraph> {
+    prop::collection::vec(
+        prop::collection::vec((0..n as Vertex, 0..n as Vertex), 0..max_edges),
+        layers..=layers,
+    )
+    .prop_map(move |lists| {
+        let cleaned: Vec<Vec<(Vertex, Vertex)>> = lists
+            .into_iter()
+            .map(|edges| edges.into_iter().filter(|(u, v)| u != v).collect())
+            .collect();
+        MultiLayerGraph::from_edge_lists(n, &cleaned).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The recovery property over random graphs: whatever an injected
+    // mid-query panic did to the session's caches and crew, the next
+    // query is bit-identical to a fresh session (the fault may or may not
+    // fire on a degenerate graph — recovery must hold either way).
+    #[test]
+    fn post_fault_queries_match_a_fresh_session(
+        g in small_multilayer(14, 4, 50),
+        d in 1u32..3,
+        s in 1usize..4,
+    ) {
+        let _guard = lock();
+        let _disarm = Disarm;
+        let params = DccsParams::new(d, s, 2);
+        for (fault_site, algorithm) in [
+            (site::GRAPH_COMMIT, Algorithm::BottomUp),
+            (site::LATTICE_BRANCH, Algorithm::Greedy),
+        ] {
+            for threads in [1usize, 2] {
+                let opts = DccsOptions::with_threads(threads);
+                let mut session = DccsSession::with_options(&g, opts);
+                fault::arm(fault_site, FaultMode::Panic, 1);
+                let _ = session.query(params).algorithm(algorithm).run();
+                fault::disarm();
+                let after = session.query(params).algorithm(algorithm).run().unwrap();
+                let fresh = DccsSession::with_options(&g, opts)
+                    .query(params)
+                    .algorithm(algorithm)
+                    .run()
+                    .unwrap();
+                assert_identical(
+                    &after,
+                    &fresh,
+                    &format!("{fault_site} d={d} s={s} threads={threads}"),
+                );
+            }
+        }
+    }
+}

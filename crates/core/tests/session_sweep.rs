@@ -98,6 +98,7 @@ proptest! {
                     "batch d={} s={} k={} threads={threads}",
                     params.d, params.s, params.k
                 );
+                let got = got.as_ref().expect("unlimited batch specs all succeed");
                 assert_identical(got, want, &label);
             }
         }

@@ -52,4 +52,4 @@ pub use peel::{
     d_core_within_into, degeneracy,
 };
 pub use validate::{is_d_dense, is_d_dense_multilayer, is_maximal_d_coherent_core};
-pub use workspace::PeelWorkspace;
+pub use workspace::{CancelProbe, PeelWorkspace};

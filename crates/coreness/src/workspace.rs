@@ -27,6 +27,75 @@
 
 use mlgraph::{Csr, DenseSubgraph, Layer, MultiLayerGraph, Vertex, VertexSet};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cooperative cancellation probe checked at **cascade-frontier**
+/// granularity inside the peeling loops.
+///
+/// A probe is the lowest level of the engine's query-limit machinery: the
+/// search layer arms one per query (carrying the query's wall-clock
+/// deadline and an externally settable flag) and installs it on every
+/// worker's [`PeelWorkspace`] via [`PeelWorkspace::set_probe`]. The cascade
+/// loops poll it once per removal frontier (never inside the word loops),
+/// and a tripped probe makes the cascade return early — leaving the alive
+/// set a **superset** of the true core, which the caller must treat as
+/// incomplete. A workspace with no probe installed (the default) pays one
+/// predictable branch per frontier.
+#[derive(Debug, Default)]
+pub struct CancelProbe {
+    /// Set externally ([`CancelProbe::cancel`]) or latched when the
+    /// deadline is first observed as passed.
+    flag: AtomicBool,
+    /// Wall-clock deadline; `None` means the probe only trips on
+    /// [`CancelProbe::cancel`].
+    deadline: Option<Instant>,
+}
+
+impl CancelProbe {
+    /// A probe that only trips when [`CancelProbe::cancel`] is called.
+    pub fn new() -> Self {
+        CancelProbe::default()
+    }
+
+    /// A probe that additionally trips once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelProbe { flag: AtomicBool::new(false), deadline: Some(deadline) }
+    }
+
+    /// Trips the probe; every subsequent [`CancelProbe::is_hit`] returns
+    /// `true`.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag was explicitly set (does not consult the clock).
+    pub fn cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The probe's deadline, when it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the probe has tripped — by [`CancelProbe::cancel`] or by the
+    /// deadline passing (latched into the flag so later polls skip the
+    /// clock read).
+    pub fn is_hit(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+}
 
 /// Reusable scratch buffers for single- and multi-layer peeling.
 ///
@@ -64,6 +133,10 @@ pub struct PeelWorkspace {
     /// Word-batched dense cascade scratch: indices of the non-zero words of
     /// `removal_words`.
     removal_nz: Vec<u32>,
+    /// Cooperative cancellation probe polled once per cascade frontier;
+    /// `None` (the default) keeps the cascades check-free apart from one
+    /// branch per frontier.
+    probe: Option<Arc<CancelProbe>>,
 }
 
 /// Cost-model factor of the dense cascade's frontier batching: a whole
@@ -88,6 +161,19 @@ impl PeelWorkspace {
         let mut ws = PeelWorkspace::default();
         ws.reserve_multi(n, layers.max(1));
         ws
+    }
+
+    /// Installs (or removes, with `None`) the cancellation probe polled by
+    /// the cascade loops. Callers installing a probe for one job must clear
+    /// it afterwards — a stale probe would cancel unrelated later peels on
+    /// the same workspace.
+    ///
+    /// When a probe trips mid-cascade the peel returns early and the alive
+    /// set is a **superset** of the true core; the caller is responsible
+    /// for treating such a result as incomplete (the search layer checks
+    /// its query monitor right after every peel).
+    pub fn set_probe(&mut self, probe: Option<Arc<CancelProbe>>) {
+        self.probe = probe;
     }
 
     fn reserve_multi(&mut self, n: usize, layers: usize) {
@@ -152,7 +238,17 @@ impl PeelWorkspace {
             }
         }
 
-        run_cascade(g, layers, d, alive, degrees, &mut self.queue, &mut self.queued[..n], epoch);
+        run_cascade(
+            g,
+            layers,
+            d,
+            alive,
+            degrees,
+            &mut self.queue,
+            &mut self.queued[..n],
+            epoch,
+            self.probe.as_deref(),
+        );
     }
 
     /// Runs only the cascading removal phase of the multi-layer peel, over
@@ -181,7 +277,17 @@ impl PeelWorkspace {
         }
         self.reserve_multi(n, 1);
         let epoch = self.next_epoch();
-        run_cascade(g, layers, d, alive, degrees, &mut self.queue, &mut self.queued[..n], epoch);
+        run_cascade(
+            g,
+            layers,
+            d,
+            alive,
+            degrees,
+            &mut self.queue,
+            &mut self.queued[..n],
+            epoch,
+            self.probe.as_deref(),
+        );
     }
 
     /// Single-layer d-core threshold peel, in place. Equivalent to
@@ -195,6 +301,7 @@ impl PeelWorkspace {
         }
         self.reserve_multi(n, 1);
         let epoch = self.next_epoch();
+        let probe = self.probe.as_deref();
         let degrees = &mut self.degrees[..n];
         let queued = &mut self.queued[..n];
         let queue = &mut self.queue;
@@ -207,7 +314,14 @@ impl PeelWorkspace {
                 queued[v as usize] = epoch;
             }
         }
+        let mut ticks = 0usize;
         while let Some(v) = queue.pop() {
+            // Cooperative cancellation: poll every PROBE_STRIDE removals,
+            // never per edge. An early return leaves `alive` a superset.
+            ticks += 1;
+            if ticks.is_multiple_of(PROBE_STRIDE) && probe.is_some_and(CancelProbe::is_hit) {
+                return;
+            }
             if !alive.remove(v) {
                 continue;
             }
@@ -262,6 +376,7 @@ impl PeelWorkspace {
         }
         self.reserve_multi(m, 1);
         let epoch = self.next_epoch();
+        let probe = self.probe.as_deref();
         let wpr = dense.words_per_row();
         let queue = &mut self.queue;
         let queued = &mut self.queued[..m];
@@ -279,6 +394,12 @@ impl PeelWorkspace {
         }
         let kernel = mlgraph::kernels::kernel();
         while !queue.is_empty() {
+            // Cooperative cancellation: polled once per removal frontier —
+            // the coarsest boundary inside a peel — so the word loops below
+            // stay check-free. An early return leaves `alive` a superset.
+            if probe.is_some_and(CancelProbe::is_hit) {
+                return;
+            }
             // Drain the whole frontier into word-grouped removal masks.
             removal[..wpr].fill(0);
             let mut batch = 0usize;
@@ -437,11 +558,19 @@ impl PeelWorkspace {
     }
 }
 
+/// How many removals a CSR cascade performs between cancellation-probe
+/// polls: coarse enough that the poll (one relaxed load, occasionally a
+/// clock read) never shows up next to the per-edge work, fine enough that a
+/// deadline is honored within a few thousand edge updates.
+const PROBE_STRIDE: usize = 128;
+
 /// The cascading removal phase shared by [`PeelWorkspace::peel_in_place`]
 /// and [`PeelWorkspace::cascade_in_place`]: seeds the queue with every
 /// member of `alive` violating the threshold, then cascades removals while
 /// keeping `degrees` exact within the shrinking set. `queued` marks use the
-/// given epoch value, so no O(n) reset is ever performed.
+/// given epoch value, so no O(n) reset is ever performed. A tripped `probe`
+/// aborts the cascade early (polled every [`PROBE_STRIDE`] removals),
+/// leaving `alive` a superset of the true core.
 #[allow(clippy::too_many_arguments)]
 fn run_cascade(
     g: &MultiLayerGraph,
@@ -452,6 +581,7 @@ fn run_cascade(
     queue: &mut Vec<Vertex>,
     queued: &mut [u32],
     epoch: u32,
+    probe: Option<&CancelProbe>,
 ) {
     let n = g.num_vertices();
     queue.clear();
@@ -462,7 +592,12 @@ fn run_cascade(
             queued[vi] = epoch;
         }
     }
+    let mut ticks = 0usize;
     while let Some(v) = queue.pop() {
+        ticks += 1;
+        if ticks.is_multiple_of(PROBE_STRIDE) && probe.is_some_and(CancelProbe::is_hit) {
+            return;
+        }
         if !alive.remove(v) {
             continue;
         }
@@ -619,6 +754,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A pre-tripped probe aborts a dense cascade at the first frontier
+    /// (leaving the alive set a strict superset of the true core), and
+    /// clearing the probe restores exact peeling on the same workspace.
+    #[test]
+    fn tripped_probe_aborts_cascades_and_clears_cleanly() {
+        let n = 150usize;
+        let mut b = MultiLayerGraphBuilder::new(n, 1);
+        for u in 0..100u32 {
+            for v in (u + 1)..100 {
+                b.add_edge(0, u, v).unwrap();
+            }
+        }
+        for v in 100..n as u32 {
+            b.add_edge(0, v, v - 100).unwrap();
+        }
+        let g = b.build();
+        let universe = g.full_vertex_set();
+        let dense = DenseSubgraph::build(&g, &universe);
+        let reference = crate::dcc::d_coherent_core_naive(&g, &[0], 50, &universe);
+        assert_eq!(reference.len(), 100);
+
+        let mut ws = PeelWorkspace::new();
+        let probe = Arc::new(CancelProbe::new());
+        probe.cancel();
+        ws.set_probe(Some(Arc::clone(&probe)));
+        let mut alive = VertexSet::full(n);
+        let mut degrees = vec![0u32; n];
+        for v in alive.iter() {
+            degrees[v as usize] = dense.degree_within(0, v, &alive) as u32;
+        }
+        ws.cascade_dense(&dense, &[0], 50, &mut alive, &mut degrees);
+        // Aborted at the first frontier: nothing was removed yet.
+        assert_eq!(alive.len(), n, "tripped probe must abort before any removal");
+
+        ws.set_probe(None);
+        let mut exact = VertexSet::full(n);
+        let mut degrees = vec![0u32; n];
+        for v in exact.iter() {
+            degrees[v as usize] = dense.degree_within(0, v, &exact) as u32;
+        }
+        ws.cascade_dense(&dense, &[0], 50, &mut exact, &mut degrees);
+        assert_eq!(exact.to_vec(), reference.to_vec());
+    }
+
+    #[test]
+    fn probe_trips_on_its_deadline() {
+        let probe = CancelProbe::with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        assert!(!probe.cancelled(), "deadline not yet observed");
+        assert!(probe.is_hit(), "past deadline must trip the probe");
+        assert!(probe.cancelled(), "the hit is latched into the flag");
+        let future =
+            CancelProbe::with_deadline(Instant::now() + std::time::Duration::from_secs(600));
+        assert!(!future.is_hit());
+        future.cancel();
+        assert!(future.is_hit());
     }
 
     #[test]

@@ -30,7 +30,9 @@ fn main() {
             QuerySpec::new(params).with_algorithm(Algorithm::BottomUp),
         ])
         .unwrap();
-    let (gd, bu) = (&batch[0], &batch[1]);
+    // No limits are set, so every per-spec slot of the batch succeeds.
+    let gd = batch[0].as_ref().unwrap();
+    let bu = batch[1].as_ref().unwrap();
     // The same greedy query again, spread over 4 executor workers — the
     // result is bit-identical; only the wall-clock changes.
     let par = session.query(params).algorithm(Algorithm::Greedy).threads(4).run().unwrap();
@@ -68,6 +70,7 @@ fn main() {
         ])
         .unwrap();
     for r in &batch {
+        let r = r.as_ref().unwrap();
         println!(
             "{:<24} {:>10.4} {:>8} {:>12}",
             r.stats.algorithm.map_or("?", Algorithm::name),

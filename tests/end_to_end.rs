@@ -36,7 +36,10 @@ fn all_algorithms_agree_on_core_validity_for_a_module_dataset() {
             QuerySpec::new(params).with_algorithm(Algorithm::TopDown),
         ])
         .unwrap();
-    let (gd, bu, td) = (&batch[0], &batch[1], &batch[2]);
+    // No limits in force: every per-spec slot succeeds.
+    let gd = batch[0].as_ref().unwrap();
+    let bu = batch[1].as_ref().unwrap();
+    let td = batch[2].as_ref().unwrap();
     for result in [gd, bu, td] {
         assert!(result.cover_size() > 0, "planted modules must be detectable");
         for core in &result.cores {
@@ -104,8 +107,12 @@ fn cover_size_shrinks_as_s_and_d_grow() {
         .into_iter()
         .map(|(d, s)| QuerySpec::new(DccsParams::new(d, s, k)).with_algorithm(Algorithm::BottomUp))
         .collect();
-    let covers: Vec<usize> =
-        session.run_batch(&specs).unwrap().iter().map(|r| r.cover_size()).collect();
+    let covers: Vec<usize> = session
+        .run_batch(&specs)
+        .unwrap()
+        .iter()
+        .map(|r| r.as_ref().unwrap().cover_size())
+        .collect();
     let (loose_s, tight_s, loose_d, tight_d) = (covers[0], covers[1], covers[2], covers[3]);
     assert!(tight_s <= loose_s, "cover grew when s grew: {tight_s} > {loose_s}");
     assert!(tight_d <= loose_d, "cover grew when d grew: {tight_d} > {loose_d}");
