@@ -88,8 +88,12 @@ pub fn greedy_dccs_on(
 
     // A tripped limit stopped the walk early; everything already emitted is
     // a valid d-CC, so select over it and return the flagged partial — the
-    // session converts the flag into the matching typed error.
-    if let Some(kind) = ctx.monitor().and_then(|m| m.hit()) {
+    // session converts the flag into the matching typed error. This final
+    // poll must be `check`, not the latched-byte read: a deadline that
+    // latches only in the cascade probe after the walk's last checkpoint
+    // (e.g. on the checkpoint-free `s == 1` path) would otherwise go
+    // unobserved and the run would be declared complete.
+    if let Some(kind) = ctx.monitor().and_then(|m| m.check()) {
         stats.limit_hit = Some(kind);
         stats.complete = false;
     }
@@ -250,5 +254,30 @@ mod tests {
     fn invalid_parameters_panic() {
         let g = graph();
         let _ = greedy_dccs(&g, &DccsParams::new(2, 9, 2));
+    }
+
+    /// A deadline that latches only in the cascade probe — never observed
+    /// by a checkpoint — must still flag the run incomplete. `s == 1` with
+    /// vertex deletion off runs no cooperative checkpoint at all (memoized
+    /// cores, no walk, no fixpoint rounds), so the final poll in
+    /// `greedy_dccs_on` is the sole observer; reading the latched byte
+    /// instead of `check()` would declare the run complete.
+    #[test]
+    fn probe_only_trip_flags_the_partial() {
+        use crate::limits::{LimitKind, QueryLimits, QueryMonitor};
+        use std::sync::Arc;
+
+        let g = graph();
+        let opts = DccsOptions::no_vertex_deletion();
+        let mut ctx = SearchContext::from_options(&opts);
+        let monitor = Arc::new(QueryMonitor::new(&QueryLimits::none(), None));
+        monitor.probe().cancel(); // the clock latch, without the clock
+        ctx.set_monitor(Some(Arc::clone(&monitor)));
+        let result = greedy_dccs_in(&mut ctx, &g, &DccsParams::new(3, 1, 3), &opts);
+        assert!(!result.stats.complete);
+        assert_eq!(result.stats.limit_hit, Some(LimitKind::Deadline));
+        // The memoized per-layer cores emitted before the trip are valid:
+        // the flagged partial still carries them.
+        assert_eq!(result.stats.candidates_generated, 3);
     }
 }

@@ -350,8 +350,15 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeWalk<'_, F> {
     /// `true` once a limit has tripped — the walk stops descending and,
     /// crucially, stops emitting: a probe-aborted cascade leaves a
     /// *superset* of the true core in its buffer, which is not a d-CC.
+    ///
+    /// This must go through [`QueryMonitor::check`], not the latched-byte
+    /// read: a deadline that passes **inside** a cascade latches only in
+    /// the [`coreness::CancelProbe`]'s own flag (the frontier poll reads
+    /// the clock), and nothing has recorded it in the monitor yet. `check`
+    /// observes the probe and latches the kind, so the aborted core is
+    /// caught here rather than emitted.
     fn limit_hit(&self) -> bool {
-        self.monitor.is_some_and(|m| m.hit().is_some())
+        self.monitor.is_some_and(|m| m.check().is_some())
     }
 
     /// Counts one emitted candidate, charging the query's candidate budget.
@@ -568,6 +575,72 @@ mod tests {
                 assert_eq!(stats.empty_skipped, ref_stats.empty_skipped);
                 assert_eq!(stats.inherited, ref_stats.inherited);
                 assert_eq!(stats.recount_fallbacks, ref_stats.recount_fallbacks);
+            }
+        }
+    }
+
+    /// A deadline that trips **inside** a cascade latches only in the
+    /// [`coreness::CancelProbe`]'s own flag — nothing has recorded it in
+    /// the monitor when the aborted (superset) core comes back. The walk
+    /// must still refuse to emit it and must latch the trip into the
+    /// monitor. The probe's poll-countdown hook lands the trip on every
+    /// possible poll — checkpoint or cascade frontier — deterministically,
+    /// with no clock involved; whatever the walk emits before stopping must
+    /// equal the naive oracle for that subset.
+    #[test]
+    fn probe_trip_inside_a_cascade_is_never_emitted() {
+        use crate::limits::{LimitKind, QueryLimits};
+        use std::sync::Arc;
+
+        // Per-layer 2-cores are nonempty, but every size-2 joint core peels
+        // to empty through multi-frontier cascades — so an aborted cascade
+        // emitted by mistake is a nonempty set where the oracle says empty.
+        let mut b = MultiLayerGraphBuilder::new(10, 3);
+        for v in 0..10u32 {
+            b.add_edge(0, v, (v + 1) % 10).unwrap(); // cycle: 2-core = all
+        }
+        clique(&mut b, 1, &[7, 8, 9]);
+        for v in 0..7u32 {
+            b.add_edge(1, v, v + 1).unwrap(); // chain tail peels off
+        }
+        clique(&mut b, 2, &[0, 1, 2]);
+        clique(&mut b, 2, &[5, 6, 7, 8]);
+        let g = b.build();
+        let (d, s) = (2u32, 2usize);
+        let params = DccsParams::new(d, s, 2);
+        let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
+        let naive = naive_subset_cores(&g, d, s, &pre.layer_cores);
+
+        for n in 1..=40u32 {
+            let mut ctx = SearchContext::new(1);
+            // Force the dense path: its cascade polls once per frontier, so
+            // the countdown can land mid-peel.
+            ctx.set_index_choice(crate::IndexChoice::Dense);
+            let monitor = Arc::new(QueryMonitor::new(&QueryLimits::none(), None));
+            monitor.probe().trip_after_polls(n);
+            ctx.set_monitor(Some(Arc::clone(&monitor)));
+            let (cores, _) = with_pool(1, |pool| {
+                collect_subset_cores(&mut ctx, pool, &g, d, s, &pre.layer_cores)
+            });
+            for core in &cores {
+                let (_, expected) =
+                    naive.iter().find(|(subset, _)| *subset == core.layers).unwrap();
+                assert_eq!(
+                    core.vertices.to_vec(),
+                    expected.to_vec(),
+                    "n={n}: emitted candidate for {:?} differs from the oracle",
+                    core.layers
+                );
+            }
+            if monitor.probe().cancelled() {
+                assert_eq!(
+                    monitor.hit(),
+                    Some(LimitKind::Deadline),
+                    "n={n}: a probe-latched trip must be recorded in the monitor"
+                );
+            } else {
+                // Countdown never ran out: the walk completed in full.
+                assert_eq!(cores.len(), naive.len(), "n={n}");
             }
         }
     }

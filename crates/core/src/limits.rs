@@ -233,8 +233,9 @@ impl QueryMonitor {
             return Some(LimitKind::Cancelled);
         }
         if self.probe.is_hit() {
-            // The probe trips on its own only via the deadline; explicit
-            // trips go through `record`, which latches the kind first.
+            // The probe trips on its own only via the deadline (or the
+            // test hook simulating one); explicit trips go through
+            // `record`, which latches the kind first.
             self.record(LimitKind::Deadline);
             return self.hit();
         }
@@ -324,6 +325,20 @@ mod tests {
         assert_eq!(monitor.check(), None);
         token.cancel();
         assert_eq!(monitor.check(), Some(LimitKind::Cancelled));
+    }
+
+    #[test]
+    fn check_observes_a_probe_only_trip() {
+        // A deadline that passes inside a cascade latches only in the
+        // probe's flag (the frontier poll reads the clock); the monitor
+        // byte stays unset until the next `check`. The latched-byte read
+        // alone must never be used to decide whether emitted state is
+        // trustworthy.
+        let monitor = QueryMonitor::new(&QueryLimits::default(), None);
+        monitor.probe().cancel();
+        assert_eq!(monitor.hit(), None, "the byte alone misses a probe-only trip");
+        assert_eq!(monitor.check(), Some(LimitKind::Deadline));
+        assert_eq!(monitor.hit(), Some(LimitKind::Deadline), "check latches it");
     }
 
     #[test]

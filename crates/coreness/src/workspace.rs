@@ -27,7 +27,7 @@
 
 use mlgraph::{Csr, DenseSubgraph, Layer, MultiLayerGraph, Vertex, VertexSet};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,6 +51,9 @@ pub struct CancelProbe {
     /// Wall-clock deadline; `None` means the probe only trips on
     /// [`CancelProbe::cancel`].
     deadline: Option<Instant>,
+    /// Test hook ([`CancelProbe::trip_after_polls`]): when non-zero, the
+    /// countdown of `is_hit` polls left before the probe trips on its own.
+    poll_trip: AtomicU32,
 }
 
 impl CancelProbe {
@@ -61,7 +64,20 @@ impl CancelProbe {
 
     /// A probe that additionally trips once `deadline` has passed.
     pub fn with_deadline(deadline: Instant) -> Self {
-        CancelProbe { flag: AtomicBool::new(false), deadline: Some(deadline) }
+        CancelProbe {
+            flag: AtomicBool::new(false),
+            deadline: Some(deadline),
+            poll_trip: AtomicU32::new(0),
+        }
+    }
+
+    /// Test hook: makes the probe trip on its own on the `n`-th subsequent
+    /// [`CancelProbe::is_hit`] poll (`n ≥ 1`), deterministically reproducing
+    /// a deadline that passes **mid-cascade** — between two cooperative
+    /// checkpoints — without touching the clock. Single-writer use only
+    /// (arm once, then poll); `n == 0` disarms.
+    pub fn trip_after_polls(&self, n: u32) {
+        self.poll_trip.store(n, Ordering::Relaxed);
     }
 
     /// Trips the probe; every subsequent [`CancelProbe::is_hit`] returns
@@ -92,6 +108,14 @@ impl CancelProbe {
                 self.flag.store(true, Ordering::Relaxed);
                 return true;
             }
+        }
+        let armed = self.poll_trip.load(Ordering::Relaxed);
+        if armed > 0 {
+            if armed == 1 {
+                self.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+            self.poll_trip.store(armed - 1, Ordering::Relaxed);
         }
         false
     }
