@@ -18,7 +18,8 @@
 use datasets::Scale;
 use dccs_bench::dcc_baseline::{
     auto_selection_suite, baseline_suite, kernel_dispatch_suite, phase_breakdown_suite,
-    single_core, subtree_scaling_suite, suite_to_json, thread_scaling_suite,
+    serve_from_index_suite, single_core, subtree_scaling_suite, suite_to_json,
+    thread_scaling_suite,
 };
 
 const USAGE: &str =
@@ -148,6 +149,21 @@ fn main() {
             k.speedup(),
         );
     }
+    let serve = serve_from_index_suite(scale, runs);
+    for m in &serve {
+        println!(
+            "{:>8} d={} s={} k={}  build {:>10.6}s  {:>9} bytes  peel {:>10.6}s  index {:>10.6}s  speedup {:>6.2}x",
+            m.dataset,
+            m.d,
+            m.s,
+            m.k,
+            m.build_secs,
+            m.bytes,
+            m.query_peel_secs,
+            m.query_index_secs,
+            m.speedup(),
+        );
+    }
     let json = suite_to_json(
         scale,
         runs,
@@ -158,6 +174,7 @@ fn main() {
         &auto,
         &kernels,
         &phases,
+        &serve,
     );
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {

@@ -25,6 +25,10 @@
 //!   (preprocess / search / select, from [`dccs::SearchStats::phase`]),
 //!   plus the `complete` limit flag, so a future cancellation tax or a
 //!   phase-level regression shows up in the recorded JSON.
+//! * **serve from index** — [`dccs::DccIndex`] build time, serialized
+//!   artifact size, and the repeat-query speedup of answering a greedy
+//!   query from the precomputed hierarchy vs re-peeling it (both paths
+//!   asserted to cover the same vertices before timing is recorded).
 //!
 //! On a single-core host (`available_parallelism() == 1`) the two scaling
 //! groups are **skipped** and recorded with `"skipped_single_core": true` —
@@ -228,6 +232,59 @@ impl PhaseBreakdown {
             ("select_secs", Value::from(self.select_secs)),
             ("total_secs", Value::from(self.total_secs)),
             ("complete", Value::from(self.complete)),
+        ])
+    }
+}
+
+/// One serve-from-index measurement (the `serve_from_index` group of
+/// `BENCH_dcc.json`): the cost of building and persisting a
+/// [`dccs::DccIndex`] for one degree threshold, and what a *repeat* query
+/// costs when answered from the artifact vs re-peeled from the graph. The
+/// two answers are asserted identical before either time is recorded.
+#[derive(Clone, Debug)]
+pub struct ServeFromIndex {
+    /// Dataset analogue name.
+    pub dataset: String,
+    /// Degree threshold the index was built for, covering subset sizes
+    /// `1..=s` (the grid the measured query is served from — the full
+    /// hierarchy of a many-layer graph is exponentially larger than any
+    /// query working set, so the bench builds what it serves).
+    pub d: u32,
+    /// Layer-subset size of the measured query.
+    pub s: usize,
+    /// Result budget of the measured query.
+    pub k: usize,
+    /// Best-of-N seconds to build the full per-subset-size index for `d`.
+    pub build_secs: f64,
+    /// Serialized artifact size in bytes.
+    pub bytes: usize,
+    /// Best-of-N seconds of the greedy query answered by re-peeling.
+    pub query_peel_secs: f64,
+    /// Best-of-N seconds of the same query answered from the index.
+    pub query_index_secs: f64,
+    /// `|Cov(R)|` — identical on both paths by the bit-identity contract.
+    pub cover: usize,
+}
+
+impl ServeFromIndex {
+    /// `query_peel_secs / query_index_secs` — the repeat-query speedup.
+    pub fn speedup(&self) -> f64 {
+        self.query_peel_secs / self.query_index_secs
+    }
+
+    /// Renders the measurement as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("d", Value::from(self.d)),
+            ("s", Value::from(self.s)),
+            ("k", Value::from(self.k)),
+            ("build_secs", Value::from(self.build_secs)),
+            ("bytes", Value::from(self.bytes)),
+            ("query_peel_secs", Value::from(self.query_peel_secs)),
+            ("query_index_secs", Value::from(self.query_index_secs)),
+            ("speedup", Value::from(self.speedup())),
+            ("cover", Value::from(self.cover)),
         ])
     }
 }
@@ -602,6 +659,92 @@ pub fn auto_selection_suite(scale: Scale, runs: usize) -> Vec<AutoSelection> {
     out
 }
 
+/// Measures one serve-from-index configuration: index build time, artifact
+/// size, and the repeat-query cost from the index vs from a fresh peel.
+/// Both query paths run through warmed sessions (best of `runs` each), so
+/// the comparison isolates candidate *derivation* — hierarchy lookup vs
+/// re-peeling — not session setup.
+pub fn compare_serve_from_index(
+    ds: &Dataset,
+    d: u32,
+    s: usize,
+    k: usize,
+    runs: usize,
+) -> ServeFromIndex {
+    use dccs::{DccIndex, DccsSession, Serve};
+    let g = &ds.graph;
+    let params = DccsParams::new(d, s, k);
+
+    let mut build_secs = f64::MAX;
+    let mut index = None;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let built = DccIndex::build(g, &[d], s);
+        build_secs = build_secs.min(start.elapsed().as_secs_f64());
+        index = Some(built);
+    }
+    let index = index.expect("at least one build runs");
+    let bytes = index.to_bytes().len();
+
+    let mut peel_session = DccsSession::new(g);
+    let mut query_peel_secs = f64::MAX;
+    let mut peel_cover = 0;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let result = peel_session
+            .query(params)
+            .algorithm(Algorithm::Greedy)
+            .serve(Serve::Peel)
+            .run()
+            .expect("peel query");
+        query_peel_secs = query_peel_secs.min(start.elapsed().as_secs_f64());
+        peel_cover = result.cover_size();
+    }
+
+    let mut index_session = DccsSession::new(g);
+    index_session.attach_index(index).expect("index fits its own graph");
+    let mut query_index_secs = f64::MAX;
+    let mut index_cover = 0;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let result = index_session
+            .query(params)
+            .algorithm(Algorithm::Greedy)
+            .serve(Serve::Index)
+            .run()
+            .expect("index query");
+        query_index_secs = query_index_secs.min(start.elapsed().as_secs_f64());
+        index_cover = result.cover_size();
+    }
+    assert_eq!(peel_cover, index_cover, "serve paths diverged on {:?} d={d} s={s}", ds.id);
+
+    ServeFromIndex {
+        dataset: format!("{:?}", ds.id),
+        d,
+        s,
+        k,
+        build_secs,
+        bytes,
+        query_peel_secs,
+        query_index_secs,
+        cover: peel_cover,
+    }
+}
+
+/// The serve-from-index suite: the Wiki and German analogues at the
+/// baseline grid's two representative `(d, s)` points, `k = 10`.
+pub fn serve_from_index_suite(scale: Scale, runs: usize) -> Vec<ServeFromIndex> {
+    let mut out = Vec::new();
+    for id in [DatasetId::Wiki, DatasetId::German] {
+        let ds = generate(id, scale);
+        let l = ds.graph.num_layers();
+        for (d, s) in [(3u32, 2usize.min(l)), (2, 3usize.min(l))] {
+            out.push(compare_serve_from_index(&ds, d, s, 10, runs));
+        }
+    }
+    out
+}
+
 /// Renders one scaling group: the single-core skip marker plus the
 /// measurements (empty when skipped).
 fn scaling_group_to_json(measurements: &[ThreadScaling], skipped_single_core: bool) -> Value {
@@ -625,6 +768,7 @@ pub fn suite_to_json(
     auto: &[AutoSelection],
     kernels: &[KernelDispatch],
     phases: &[PhaseBreakdown],
+    serve: &[ServeFromIndex],
 ) -> Value {
     let geomean = if comparisons.is_empty() {
         1.0
@@ -644,6 +788,12 @@ pub fn suite_to_json(
         let log_sum: f64 = kernels.iter().map(|k| k.speedup().ln()).sum();
         (log_sum / kernels.len() as f64).exp()
     };
+    let serve_geomean = if serve.is_empty() {
+        1.0
+    } else {
+        let log_sum: f64 = serve.iter().map(|s| s.speedup().ln()).sum();
+        (log_sum / serve.len() as f64).exp()
+    };
     Value::object(vec![
         ("benchmark", Value::from("dcc_candidate_generation_engine_vs_naive")),
         ("scale", Value::from(format!("{scale:?}"))),
@@ -652,12 +802,14 @@ pub fn suite_to_json(
         ("auto_selection_efficiency_geomean", Value::from(auto_geomean)),
         ("selected_kernel", Value::from(mlgraph::kernels::kernel().kind().name())),
         ("kernel_dispatch_speedup_geomean", Value::from(kernel_geomean)),
+        ("serve_from_index_speedup_geomean", Value::from(serve_geomean)),
         ("comparisons", Value::Array(comparisons.iter().map(Comparison::to_json).collect())),
         ("thread_scaling", scaling_group_to_json(scaling, scaling_skipped_single_core)),
         ("subtree_scaling", scaling_group_to_json(subtree, scaling_skipped_single_core)),
         ("auto_selection", Value::Array(auto.iter().map(AutoSelection::to_json).collect())),
         ("kernel_dispatch", Value::Array(kernels.iter().map(KernelDispatch::to_json).collect())),
         ("phase_breakdown", Value::Array(phases.iter().map(PhaseBreakdown::to_json).collect())),
+        ("serve_from_index", Value::Array(serve.iter().map(ServeFromIndex::to_json).collect())),
     ])
 }
 
@@ -671,7 +823,7 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
@@ -686,10 +838,10 @@ mod tests {
     /// way both groups are present in the document.
     #[test]
     fn scaling_groups_record_the_single_core_skip() {
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": true"));
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": false"));
         assert!(text.contains("\"subtree_scaling\""));
@@ -718,7 +870,7 @@ mod tests {
         // The three phases partition the run (modulo dispatch overhead):
         // their sum cannot exceed the end-to-end wall clock.
         assert!(p.preprocess_secs + p.search_secs + p.select_secs <= p.total_secs);
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"phase_breakdown\""));
         assert!(text.contains("\"preprocess_secs\""));
@@ -735,12 +887,28 @@ mod tests {
             assert!(k.scalar_secs > 0.0 && k.dispatched_secs > 0.0, "{}", k.op);
             assert!(k.speedup() > 0.0);
         }
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels, &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels, &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"selected_kernel\""));
         assert!(text.contains("\"kernel_dispatch\""));
         assert!(text.contains("\"kernel_dispatch_speedup_geomean\""));
         assert!(text.contains("\"and_count\""));
+    }
+
+    #[test]
+    fn serve_from_index_is_measured_and_recorded() {
+        let ds = generate(DatasetId::German, Scale::Tiny);
+        let m = compare_serve_from_index(&ds, 2, 2, 5, 1);
+        assert!(m.build_secs > 0.0);
+        assert!(m.bytes > 0);
+        assert!(m.query_peel_secs > 0.0 && m.query_index_secs > 0.0);
+        assert!(m.speedup() > 0.0);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[m]);
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"serve_from_index\""));
+        assert!(text.contains("\"serve_from_index_speedup_geomean\""));
+        assert!(text.contains("\"build_secs\""));
+        assert!(text.contains("\"query_index_secs\""));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! one-line errors with a nonzero exit code — never a panic backtrace.
 
 use datasets::{generate, DatasetId, Scale};
-use dccs::{Algorithm, DccsError, DccsOptions, DccsParams, DccsSession, IndexChoice};
+use dccs::{
+    Algorithm, DccIndex, DccsError, DccsOptions, DccsParams, DccsSession, IndexChoice, Serve,
+};
 use mlgraph::{GraphStats, MultiLayerGraph};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,12 +34,16 @@ USAGE:
                   [-d N] [-s N] [-k N]
                   [--threads N] [--no-vd] [--no-sl] [--no-ir]
                   [--timeout-ms N] [--budget N] [--degrade]
+                  [--serve auto|peel|index] [--load-index FILE] [--save-index FILE]
     dccs compare  (--input FILE | --dataset NAME [--scale SCALE]) [-d N] [-s N] [-k N]
                   [--threads N] [--index auto|csr|dense]
     dccs generate --dataset NAME [--scale SCALE] --output FILE
+    dccs index build (--input FILE | --dataset NAME [--scale SCALE]) --output FILE
+                  [-d N[,N...]] [--max-s N] [--threads N]
+    dccs index info FILE
 
 DEFAULTS: -d 4, -s 3, -k 10, --algorithm auto, --index auto, --scale small,
-          --threads 1
+          --threads 1, --serve auto
 
 --algorithm auto picks GD/BU/TD per query from the paper's regime
 heuristics and the dense-vs-CSR cost model; the choice is printed with
@@ -51,6 +57,15 @@ milliseconds of wall clock pass; --budget N caps the number of candidate
 d-CCs a query may generate. A tripped limit exits with code 3 (usage
 errors exit 2, other runtime errors 1). --degrade retries an over-budget
 exact query as the greedy algorithm instead of failing.
+
+`index build` precomputes every candidate d-CC for the listed degree
+thresholds (-d accepts a comma list) and layer-subset sizes up to --max-s
+(default: all) and writes the artifact to --output. `run --load-index`
+attaches such an artifact; --serve auto answers covered greedy queries
+from it without re-peeling (bit-identical results), --serve index demands
+it, --serve peel ignores it. A corrupt or mismatched artifact is a
+one-line error. `run --save-index` writes the queried thresholds' index
+after the run.
 ";
 
 /// CLI failure modes: usage errors reprint the synopsis, everything else
@@ -113,10 +128,21 @@ struct Options {
     scale: Scale,
     output: Option<String>,
     algorithm: Algorithm,
-    d: u32,
+    /// Degree thresholds: `run` queries the first, `index build` covers all.
+    ds: Vec<u32>,
     s: Option<usize>,
     k: usize,
+    max_s: Option<usize>,
+    save_index: Option<String>,
+    load_index: Option<String>,
     opts: DccsOptions,
+}
+
+impl Options {
+    /// The single degree threshold used by `run`/`compare`.
+    fn d(&self) -> u32 {
+        self.ds[0]
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -126,9 +152,12 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         scale: Scale::Small,
         output: None,
         algorithm: Algorithm::Auto,
-        d: 4,
+        ds: vec![4],
         s: None,
         k: 10,
+        max_s: None,
+        save_index: None,
+        load_index: None,
         opts: DccsOptions::default(),
     };
     let mut iter = args.iter();
@@ -162,9 +191,17 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .ok_or_else(|| CliError::Usage(format!("unknown index `{name}`")))?;
             }
             "-d" => {
-                out.d = value("-d")?
-                    .parse()
-                    .map_err(|_| CliError::Usage("-d must be a number".into()))?
+                let list = value("-d")?;
+                out.ds = list
+                    .split(',')
+                    .map(|part| part.trim().parse::<u32>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| {
+                        CliError::Usage("-d must be a number or a comma list of numbers".into())
+                    })?;
+                if out.ds.is_empty() {
+                    return Err(CliError::Usage("-d needs at least one number".into()));
+                }
             }
             "-s" => {
                 out.s = Some(
@@ -200,6 +237,20 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 );
             }
             "--degrade" => out.opts.limits.degrade = true,
+            "--serve" => {
+                let name = value("--serve")?;
+                out.opts.serve = Serve::parse(&name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown serve mode `{name}`")))?;
+            }
+            "--save-index" => out.save_index = Some(value("--save-index")?),
+            "--load-index" => out.load_index = Some(value("--load-index")?),
+            "--max-s" => {
+                out.max_s = Some(
+                    value("--max-s")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--max-s must be a number".into()))?,
+                )
+            }
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -225,6 +276,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
     if command == "--help" || command == "-h" {
         println!("{USAGE}");
         return Ok(());
+    }
+    if command == "index" {
+        return cmd_index(&args[1..]);
     }
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
@@ -261,7 +315,7 @@ fn params_for(opts: &Options, g: &MultiLayerGraph) -> DccsParams {
     // Validation happens inside the session (`Query::run`), which turns a
     // bad combination into a one-line `DccsError` instead of a panic.
     let s = opts.s.unwrap_or_else(|| 3.min(g.num_layers()));
-    DccsParams::new(opts.d, s, opts.k)
+    DccsParams::new(opts.d(), s, opts.k)
 }
 
 fn print_result(name: &str, g: &MultiLayerGraph, result: &dccs::DccsResult) {
@@ -286,6 +340,15 @@ fn print_result(name: &str, g: &MultiLayerGraph, result: &dccs::DccsResult) {
     if let Some(path) = result.stats.index_path {
         println!("index path      : {path:?}");
     }
+    if let Some(serve) = result.stats.serve {
+        println!(
+            "served from     : {}",
+            match serve {
+                dccs::ServePath::Index => "index (no re-peeling)",
+                dccs::ServePath::Peel => "peel",
+            }
+        );
+    }
     for (i, core) in result.cores.iter().enumerate() {
         let layer_names: Vec<&str> = core.layers.iter().map(|&l| g.layer_name(l)).collect();
         println!("  core {:>2}: {} vertices on layers {:?}", i + 1, core.len(), layer_names);
@@ -296,6 +359,11 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
     let g = load_graph(opts)?;
     let params = params_for(opts, &g);
     let mut session = DccsSession::with_options(&g, opts.opts);
+    if let Some(path) = &opts.load_index {
+        // Corrupt files and fingerprint mismatches both surface here as
+        // one-line typed errors (exit 1) before any query runs.
+        session.attach_index(DccIndex::load(path)?)?;
+    }
     let result = session.query(params).algorithm(opts.algorithm).run()?;
     // The concrete algorithm that ran (resolved from `auto` if requested).
     let ran = result.stats.algorithm.map_or("?", Algorithm::name);
@@ -305,7 +373,75 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
         format!("{ran} (d={}, s={}, k={})", params.d, params.s, params.k)
     };
     print_result(&label, &g, &result);
+    if let Some(path) = &opts.save_index {
+        let index = match session.index() {
+            // Reuse an attached index when it already covers the queried
+            // thresholds; otherwise build one on the session's crew.
+            Some(index) if opts.ds.iter().all(|&d| index.d_values().contains(&d)) => index.clone(),
+            _ => session.build_index(&opts.ds, opts.max_s.unwrap_or(0)),
+        };
+        index.save(path)?;
+        println!(
+            "index saved     : {path} ({} entries, {} candidates)",
+            index.num_entries(),
+            index.num_candidates()
+        );
+    }
     Ok(())
+}
+
+fn cmd_index(args: &[String]) -> Result<(), CliError> {
+    let Some(sub) = args.first() else {
+        return Err(CliError::Usage("index requires a subcommand (build or info)".into()));
+    };
+    match sub.as_str() {
+        "build" => {
+            let opts = parse_options(&args[1..])?;
+            let Some(output) = &opts.output else {
+                return Err(CliError::Usage("index build requires --output".into()));
+            };
+            let g = load_graph(&opts)?;
+            let mut session = DccsSession::with_options(&g, opts.opts);
+            let index = session.build_index(&opts.ds, opts.max_s.unwrap_or(0));
+            index.save(output)?;
+            let bytes = index.to_bytes().len();
+            println!(
+                "built index for d={:?} over {} vertices / {} layers",
+                index.d_values(),
+                index.num_vertices(),
+                index.num_layers()
+            );
+            println!(
+                "wrote {} entries ({} candidate cores, {bytes} bytes) to {output}",
+                index.num_entries(),
+                index.num_candidates()
+            );
+            Ok(())
+        }
+        "info" => {
+            let Some(path) = args.get(1) else {
+                return Err(CliError::Usage("index info requires a file path".into()));
+            };
+            if let Some(extra) = args.get(2) {
+                return Err(CliError::Usage(format!("unexpected argument `{extra}`")));
+            }
+            let index = DccIndex::load(path)?;
+            println!("index file      : {path}");
+            println!(
+                "graph shape     : {} vertices, {} layers",
+                index.num_vertices(),
+                index.num_layers()
+            );
+            println!("degree values   : {:?}", index.d_values());
+            println!("entries         : {}", index.num_entries());
+            println!("candidate cores : {}", index.num_candidates());
+            for (d, s, candidates) in index.entry_summaries() {
+                println!("  d={d} s={s}: {candidates} candidates");
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown index subcommand `{other}`"))),
+    }
 }
 
 fn cmd_compare(opts: &Options) -> Result<(), CliError> {
@@ -369,7 +505,7 @@ mod tests {
     #[test]
     fn parses_defaults() {
         let o = opts(&[]).unwrap();
-        assert_eq!(o.d, 4);
+        assert_eq!(o.d(), 4);
         assert_eq!(o.k, 10);
         assert!(o.s.is_none());
         assert_eq!(o.algorithm, Algorithm::Auto);
@@ -398,7 +534,7 @@ mod tests {
         .unwrap();
         assert_eq!(o.dataset, Some(DatasetId::Ppi));
         assert_eq!(o.scale, Scale::Tiny);
-        assert_eq!(o.d, 3);
+        assert_eq!(o.d(), 3);
         assert_eq!(o.s, Some(2));
         assert_eq!(o.k, 5);
         assert_eq!(o.algorithm, Algorithm::TopDown);
@@ -670,6 +806,157 @@ mod tests {
                 "command {cmd} failed"
             );
         }
+    }
+
+    #[test]
+    fn parses_serve_and_index_flags_and_rejects_garbage() {
+        let o =
+            opts(&["--serve", "index", "--load-index", "a.dcx", "--save-index", "b.dcx"]).unwrap();
+        assert_eq!(o.opts.serve, Serve::Index);
+        assert_eq!(o.load_index.as_deref(), Some("a.dcx"));
+        assert_eq!(o.save_index.as_deref(), Some("b.dcx"));
+        assert_eq!(opts(&["--serve", "peel"]).unwrap().opts.serve, Serve::Peel);
+        assert_eq!(opts(&[]).unwrap().opts.serve, Serve::Auto);
+        assert!(matches!(opts(&["--serve", "cache"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--serve"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--load-index"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--max-s", "lots"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parses_degree_lists() {
+        assert_eq!(opts(&["-d", "2,3,4"]).unwrap().ds, vec![2, 3, 4]);
+        assert_eq!(opts(&["-d", "2, 3"]).unwrap().ds, vec![2, 3]);
+        assert_eq!(opts(&["-d", "5"]).unwrap().d(), 5);
+        assert!(matches!(opts(&["-d", "2,x"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["-d", ""]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn index_build_info_and_serve_roundtrip() {
+        let dir = std::env::temp_dir().join("dccs_cli_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ppi_tiny.dcx");
+        let path_str = path.to_string_lossy().to_string();
+        let base = ["--dataset", "ppi", "--scale", "tiny"];
+
+        let mut build = vec!["index", "build"];
+        build.extend_from_slice(&base);
+        build.extend_from_slice(&["-d", "2,3", "--output", &path_str]);
+        assert!(run_args(&build).is_ok());
+        assert!(run_args(&["index", "info", &path_str]).is_ok());
+
+        // Serving from the loaded artifact answers without re-peeling.
+        for serve in ["auto", "index"] {
+            let mut run = vec!["run"];
+            run.extend_from_slice(&base);
+            run.extend_from_slice(&[
+                "-d",
+                "2",
+                "-s",
+                "2",
+                "--algorithm",
+                "gd",
+                "--load-index",
+                &path_str,
+                "--serve",
+                serve,
+            ]);
+            assert!(run_args(&run).is_ok(), "--serve {serve} failed");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_index_writes_a_loadable_artifact() {
+        let dir = std::env::temp_dir().join("dccs_cli_save_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("saved.dcx");
+        let path_str = path.to_string_lossy().to_string();
+        assert!(run_args(&[
+            "run",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "2",
+            "-s",
+            "2",
+            "--save-index",
+            &path_str,
+        ])
+        .is_ok());
+        assert!(run_args(&["index", "info", &path_str]).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_index_is_a_one_line_runtime_error() {
+        let dir = std::env::temp_dir().join("dccs_cli_bad_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Not an index at all.
+        let garbage = dir.join("garbage.dcx");
+        std::fs::write(&garbage, b"not an index").unwrap();
+        let garbage_str = garbage.to_string_lossy().to_string();
+        let err =
+            run_args(&["run", "--dataset", "ppi", "--scale", "tiny", "--load-index", &garbage_str])
+                .unwrap_err();
+        match err {
+            CliError::Runtime(msg) => assert!(!msg.contains('\n'), "one line: {msg}"),
+            other => panic!("expected a runtime error, got: {other:?}"),
+        }
+
+        // Built for a different graph: the fingerprint check rejects it.
+        let foreign = dir.join("foreign.dcx");
+        let foreign_str = foreign.to_string_lossy().to_string();
+        let mut build = vec!["index", "build", "--dataset", "author", "--scale", "tiny"];
+        build.extend_from_slice(&["-d", "2", "--output", &foreign_str]);
+        assert!(run_args(&build).is_ok());
+        let err =
+            run_args(&["run", "--dataset", "ppi", "--scale", "tiny", "--load-index", &foreign_str])
+                .unwrap_err();
+        match err {
+            CliError::Runtime(msg) => {
+                assert!(msg.contains("mismatch"), "got: {msg}");
+                assert!(!msg.contains('\n'), "one line: {msg}");
+            }
+            other => panic!("expected a runtime error, got: {other:?}"),
+        }
+
+        std::fs::remove_file(garbage).ok();
+        std::fs::remove_file(foreign).ok();
+    }
+
+    #[test]
+    fn forced_index_serving_without_an_index_is_a_runtime_error() {
+        let err = run_args(&[
+            "run",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "2",
+            "-s",
+            "2",
+            "--serve",
+            "index",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)), "got: {err:?}");
+    }
+
+    #[test]
+    fn index_subcommand_usage_errors() {
+        assert!(matches!(run_args(&["index"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_args(&["index", "rebuild"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_args(&["index", "info"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_args(&["index", "build", "--dataset", "ppi", "--scale", "tiny"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::engine::IndexChoice;
 use crate::error::DccsError;
 use crate::limits::QueryLimits;
+use crate::serve::Serve;
 
 /// The three parameters of the DCCS problem (Section II of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,6 +87,13 @@ pub struct DccsOptions {
     /// [`QueryLimits::none`] — unlimited queries skip the monitor entirely
     /// and pay no cancellation tax.
     pub limits: QueryLimits,
+    /// How session queries derive candidate cores ([`Serve`]): `Auto` (the
+    /// default) answers from an attached [`crate::DccIndex`] when it covers
+    /// the query and falls back to peeling, `Peel` never consults the
+    /// index, `Index` fails with a typed error instead of re-peeling. Only
+    /// the session API consults this knob — the one-shot free functions
+    /// have no index to serve from.
+    pub serve: Serve,
 }
 
 impl Default for DccsOptions {
@@ -101,6 +109,7 @@ impl Default for DccsOptions {
             threads: 1,
             index: IndexChoice::Auto,
             limits: QueryLimits::none(),
+            serve: Serve::Auto,
         }
     }
 }
@@ -146,6 +155,11 @@ impl DccsOptions {
     pub fn with_limits(limits: QueryLimits) -> Self {
         DccsOptions { limits, ..DccsOptions::default() }
     }
+
+    /// Default options with the serve mode overridden.
+    pub fn with_serve(serve: Serve) -> Self {
+        DccsOptions { serve, ..DccsOptions::default() }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +198,17 @@ mod tests {
         assert!(!limited.limits.is_unlimited());
         assert_eq!(limited.limits.candidate_budget, Some(100));
         assert!(limited.vertex_deletion);
+    }
+
+    #[test]
+    fn default_serve_mode_is_auto() {
+        assert_eq!(DccsOptions::default().serve, Serve::Auto);
+        let forced = DccsOptions::with_serve(Serve::Index);
+        assert_eq!(forced.serve, Serve::Index);
+        assert!(forced.vertex_deletion);
+        assert_eq!(Serve::parse("peel"), Some(Serve::Peel));
+        assert_eq!(Serve::parse("bogus"), None);
+        assert_eq!(Serve::Index.name(), "index");
     }
 
     #[test]

@@ -90,6 +90,22 @@ pub enum DccsError {
         /// The panic payload's message, when it was a string.
         message: String,
     },
+    /// A [`crate::DccIndex`] artifact failed to load: short or mangled
+    /// frame header, wrong magic or format version, checksum mismatch,
+    /// truncation, or a malformed payload body. Also covers I/O failures
+    /// while reading the file, so loading is a single fallible step.
+    IndexCorrupt {
+        /// One-line description of what failed.
+        message: String,
+    },
+    /// The query could not be served from the precomputed index even though
+    /// [`crate::Serve::Index`] demanded it: no index attached, the index
+    /// was built for a different graph, it has no entry for the requested
+    /// `(d, s)`, or the query forces a non-greedy algorithm.
+    IndexUnavailable {
+        /// One-line description of why the index cannot serve the query.
+        message: String,
+    },
 }
 
 /// Equality ignores the `partial` payloads of the limit variants (a partial
@@ -119,7 +135,9 @@ impl PartialEq for DccsError {
                 MemoryLimit { required_words: a, limit_words: b, .. },
                 MemoryLimit { required_words: c, limit_words: d, .. },
             ) => a == c && b == d,
-            (TaskPanicked { message: a }, TaskPanicked { message: b }) => a == b,
+            (TaskPanicked { message: a }, TaskPanicked { message: b })
+            | (IndexCorrupt { message: a }, IndexCorrupt { message: b })
+            | (IndexUnavailable { message: a }, IndexUnavailable { message: b }) => a == b,
             _ => false,
         }
     }
@@ -201,6 +219,12 @@ impl fmt::Display for DccsError {
             DccsError::TaskPanicked { message } => {
                 write!(f, "an engine task panicked: {message}")
             }
+            DccsError::IndexCorrupt { message } => {
+                write!(f, "index artifact is unusable: {message}")
+            }
+            DccsError::IndexUnavailable { message } => {
+                write!(f, "cannot serve the query from the index: {message}")
+            }
         }
     }
 }
@@ -228,6 +252,8 @@ mod tests {
             DccsError::Cancelled { partial: partial() },
             DccsError::MemoryLimit { required_words: 4096, limit_words: 1024, partial: partial() },
             DccsError::TaskPanicked { message: "injected fault at bu.eval".into() },
+            DccsError::IndexCorrupt { message: "checksum mismatch".into() },
+            DccsError::IndexUnavailable { message: "no index attached".into() },
         ];
         for err in errors {
             let text = err.to_string();
@@ -247,6 +273,8 @@ mod tests {
         assert!(!DccsError::SupportZero.is_limit());
         assert!(DccsError::BudgetExceeded { candidates: 9, limit: 4 }.is_limit());
         assert!(!DccsError::TaskPanicked { message: "x".into() }.is_limit());
+        assert!(!DccsError::IndexCorrupt { message: "x".into() }.is_limit());
+        assert!(!DccsError::IndexUnavailable { message: "x".into() }.is_limit());
         let err = DccsError::Cancelled { partial: partial() };
         assert!(err.is_limit());
         assert_eq!(err.partial().unwrap().num_cores(), 0);

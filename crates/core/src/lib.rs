@@ -86,6 +86,7 @@ pub mod parallel;
 pub mod preprocess;
 pub mod refine;
 pub mod result;
+pub mod serve;
 pub mod session;
 pub mod top_down;
 
@@ -107,5 +108,6 @@ pub use limits::{CancelToken, LimitKind, QueryLimits};
 pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
 pub use parallel::parallel_greedy_dccs;
 pub use result::{CoherentCore, DccsResult, PhaseTimes, SearchStats};
+pub use serve::{DccIndex, Serve, ServePath};
 pub use session::{auto_threads, DccsSession, Query, QuerySpec};
 pub use top_down::{top_down_dccs, top_down_dccs_in, top_down_dccs_on, top_down_dccs_with_options};

@@ -3,6 +3,7 @@
 use crate::algorithm::Algorithm;
 use crate::engine::IndexPath;
 use crate::limits::LimitKind;
+use crate::serve::ServePath;
 use mlgraph::{Layer, Vertex, VertexSet};
 use std::time::Duration;
 
@@ -95,6 +96,13 @@ pub struct SearchStats {
     /// algorithm ([`crate::QueryLimits::degrade`]): the algorithm that was
     /// originally requested and gave up.
     pub degraded_from: Option<Algorithm>,
+    /// Which serve path answered the query: re-peeling the graph or
+    /// reading candidates from a precomputed [`crate::DccIndex`]. Stamped
+    /// by the session; `None` for the one-shot free functions, which have
+    /// no index to serve from. Excluded from equality (like `phase`): the
+    /// serve path describes *how* an answer was derived, not the answer —
+    /// the two paths are bit-identical on everything equality compares.
+    pub serve: Option<ServePath>,
     /// Per-phase wall-clock breakdown (excluded from equality).
     pub phase: PhaseTimes,
 }
@@ -112,6 +120,7 @@ impl Default for SearchStats {
             limit_hit: None,
             complete: true,
             degraded_from: None,
+            serve: None,
             phase: PhaseTimes::default(),
         }
     }
@@ -235,6 +244,8 @@ mod tests {
         let mut b = SearchStats::default();
         b.phase.search = Duration::from_millis(42);
         assert_eq!(a, b, "phase timings must not affect stats equality");
+        b.serve = Some(ServePath::Index);
+        assert_eq!(a, b, "the serve path must not affect stats equality");
         b.complete = false;
         assert_ne!(a, b);
     }

@@ -72,6 +72,7 @@ use crate::fault::{self, site};
 use crate::greedy::greedy_dccs_on;
 use crate::limits::{CancelToken, LimitKind, QueryLimits, QueryMonitor};
 use crate::result::DccsResult;
+use crate::serve::{serve_from_index_on, DccIndex, Serve, ServePath};
 use crate::top_down::top_down_dccs_on;
 use coreness::PeelWorkspace;
 use mlgraph::MultiLayerGraph;
@@ -135,6 +136,12 @@ pub struct DccsSession<'g> {
     /// The externally shared kill switch attached to every query of this
     /// session (see [`DccsSession::set_cancel_token`]); `None` by default.
     token: Option<CancelToken>,
+    /// The attached precomputed d-CC hierarchy ([`DccIndex`]), fingerprint-
+    /// validated against `g` at attach time. Shared by `Arc` so batch jobs
+    /// on the crew read it without copying. `None` until
+    /// [`DccsSession::attach_index`]; queries then serve from it per the
+    /// [`Serve`] knob.
+    index: Option<Arc<DccIndex>>,
 }
 
 impl<'g> DccsSession<'g> {
@@ -149,7 +156,7 @@ impl<'g> DccsSession<'g> {
     pub fn with_options(g: &'g MultiLayerGraph, opts: DccsOptions) -> Self {
         let mut ctx = SearchContext::new(auto_threads(opts.threads));
         ctx.set_index_choice(opts.index);
-        DccsSession { g, ctx, opts, crew: None, token: None }
+        DccsSession { g, ctx, opts, crew: None, token: None, index: None }
     }
 
     /// Attaches a [`CancelToken`] to every subsequent query (and batch) of
@@ -171,6 +178,43 @@ impl<'g> DccsSession<'g> {
     /// [`Query`] builder).
     pub fn options(&self) -> &DccsOptions {
         &self.opts
+    }
+
+    /// Builds a [`DccIndex`] for the session's graph on its persistent
+    /// crew (spawned on demand at the session's thread width), covering
+    /// every requested `d` for subset sizes `1..=max_s` (`max_s == 0`
+    /// means all subset sizes). The index is returned, not attached —
+    /// save it with [`DccIndex::save`] and/or hand it to
+    /// [`DccsSession::attach_index`].
+    pub fn build_index(&mut self, ds: &[u32], max_s: usize) -> DccIndex {
+        let threads = auto_threads(self.opts.threads);
+        self.ensure_crew(threads);
+        let g = self.g;
+        match &mut self.crew {
+            Some(crew) => DccIndex::build_on(g, ds, max_s, &crew.pool_ref()),
+            None => crate::engine::with_pool(1, |pool| DccIndex::build_on(g, ds, max_s, pool)),
+        }
+    }
+
+    /// Attaches `index` after validating its fingerprint against the
+    /// session's graph ([`DccIndex::matches`]); a mismatched index is
+    /// rejected with [`DccsError::IndexUnavailable`] and nothing is
+    /// attached. Subsequent queries consult the index per the [`Serve`]
+    /// knob on their options.
+    pub fn attach_index(&mut self, index: DccIndex) -> Result<(), DccsError> {
+        index.matches(self.g)?;
+        self.index = Some(Arc::new(index));
+        Ok(())
+    }
+
+    /// Detaches the index; subsequent queries always peel.
+    pub fn detach_index(&mut self) {
+        self.index = None;
+    }
+
+    /// The attached index, if any.
+    pub fn index(&self) -> Option<&DccIndex> {
+        self.index.as_deref()
     }
 
     /// Starts building a query for `params`. Nothing runs until
@@ -217,6 +261,8 @@ impl<'g> DccsSession<'g> {
             self.ensure_crew(opts.threads);
         }
         let token = self.token.clone();
+        let index = self.index.clone();
+        let index = index.as_deref();
         let ctx = &mut self.ctx;
         let g = self.g;
         match &mut self.crew {
@@ -224,12 +270,12 @@ impl<'g> DccsSession<'g> {
             // an earlier wider query — the crew stays alive (a later wide
             // query reuses it) but this query bypasses it.
             Some(crew) if parallel => {
-                run_spec_monitored(ctx, &crew.pool_ref(), g, spec, opts, token)
+                run_spec_monitored(ctx, &crew.pool_ref(), g, spec, opts, token, index)
             }
             // Truly sequential (no forcing either): a width-1 scoped pool
             // spawns no thread and runs every batch inline.
             _ => crate::engine::with_pool(1, |pool| {
-                run_spec_monitored(ctx, pool, g, spec, opts, token)
+                run_spec_monitored(ctx, pool, g, spec, opts, token, index)
             }),
         }
     }
@@ -283,6 +329,7 @@ impl<'g> DccsSession<'g> {
         self.ensure_crew(threads);
         let g = self.g;
         let token = self.token.clone();
+        let index = self.index.clone();
         let opts = DccsOptions { threads: 1, ..self.opts };
         let crew = self.crew.as_mut().expect("ensure_crew spawns for threads > 1");
         let jobs: Vec<_> = specs
@@ -290,12 +337,13 @@ impl<'g> DccsSession<'g> {
             .map(|&spec| {
                 let opts = &opts;
                 let token = token.clone();
+                let index = index.clone();
                 move |_ws: &mut PeelWorkspace| match catch_unwind(AssertUnwindSafe(|| {
                     fault::check(site::BATCH_QUERY);
                     let mut ctx = SearchContext::new(1);
                     ctx.set_index_choice(opts.index);
                     crate::engine::with_pool(1, |pool| {
-                        run_spec_monitored(&mut ctx, pool, g, &spec, opts, token)
+                        run_spec_monitored(&mut ctx, pool, g, &spec, opts, token, index.as_deref())
                     })
                 })) {
                     Ok(outcome) => outcome,
@@ -313,21 +361,66 @@ impl<'g> DccsSession<'g> {
 /// and configured the context's thread count and index override; the crew
 /// is threaded through preprocessing and the search (the single-crew query
 /// path).
+///
+/// Serve routing lives here too: per `opts.serve`, a greedy-compatible
+/// query whose `(d, s)` the attached [`DccIndex`] covers is answered by
+/// [`serve_from_index_on`] — hierarchy lookups feeding the same selection
+/// engine, no re-peeling — and every peeled result is stamped
+/// [`ServePath::Peel`]. Only [`Algorithm::Greedy`] (or [`Algorithm::Auto`],
+/// which the index resolves to greedy) can serve: the search-tree
+/// algorithms interleave pruning with candidate generation and have no
+/// precomputed form.
 fn run_spec_on_pool(
     ctx: &mut SearchContext,
     pool: &PoolRef<'_>,
     g: &MultiLayerGraph,
     spec: &QuerySpec,
     opts: &DccsOptions,
+    index: Option<&DccIndex>,
 ) -> Result<DccsResult, DccsError> {
+    let greedy_compatible = matches!(spec.algorithm, Algorithm::Auto | Algorithm::Greedy);
+    let serving = match opts.serve {
+        Serve::Peel => false,
+        Serve::Auto => {
+            greedy_compatible && index.is_some_and(|ix| ix.covers(spec.params.d, spec.params.s))
+        }
+        Serve::Index => {
+            let ix = index.ok_or_else(|| DccsError::IndexUnavailable {
+                message: "no index attached to the session".into(),
+            })?;
+            if !greedy_compatible {
+                return Err(DccsError::IndexUnavailable {
+                    message: format!(
+                        "the index serves greedy selection; explicit {} queries must peel",
+                        spec.algorithm.name()
+                    ),
+                });
+            }
+            if !ix.covers(spec.params.d, spec.params.s) {
+                return Err(DccsError::IndexUnavailable {
+                    message: format!(
+                        "the index has no entry for (d={}, s={})",
+                        spec.params.d, spec.params.s
+                    ),
+                });
+            }
+            true
+        }
+    };
+    if serving {
+        let index = index.expect("serving implies an attached index");
+        return Ok(serve_from_index_on(ctx, g, index, &spec.params));
+    }
     let algorithm = spec.algorithm.resolve(g, &spec.params);
-    Ok(match algorithm {
+    let mut result = match algorithm {
         Algorithm::Greedy => greedy_dccs_on(ctx, pool, g, &spec.params, opts),
         Algorithm::BottomUp => bottom_up_dccs_on(ctx, pool, g, &spec.params, opts),
         Algorithm::TopDown => top_down_dccs_on(ctx, pool, g, &spec.params, opts),
         Algorithm::Exact => exact_dccs_on(ctx, pool, g, &spec.params, opts)?,
         Algorithm::Auto => unreachable!("resolve never returns Auto"),
-    })
+    };
+    result.stats.serve = Some(ServePath::Peel);
+    Ok(result)
 }
 
 /// [`run_spec_on_pool`] under the query's limits and panic isolation, plus
@@ -335,6 +428,7 @@ fn run_spec_on_pool(
 /// that blows its candidate budget is rerun as [`Algorithm::Greedy`] (with
 /// whatever wall-clock remains) when [`QueryLimits::degrade`] is set, and
 /// the fallback is recorded in [`crate::SearchStats::degraded_from`].
+#[allow(clippy::too_many_arguments)]
 fn run_spec_monitored(
     ctx: &mut SearchContext,
     pool: &PoolRef<'_>,
@@ -342,9 +436,10 @@ fn run_spec_monitored(
     spec: &QuerySpec,
     opts: &DccsOptions,
     token: Option<CancelToken>,
+    index: Option<&DccIndex>,
 ) -> Result<DccsResult, DccsError> {
     let query_start = Instant::now();
-    let result = dispatch_limited(ctx, pool, g, spec, opts, token.clone());
+    let result = dispatch_limited(ctx, pool, g, spec, opts, token.clone(), index);
     let degradable = opts.limits.degrade
         && matches!(result, Err(DccsError::BudgetExceeded { .. }))
         && spec.algorithm.resolve(g, &spec.params) == Algorithm::Exact;
@@ -360,7 +455,7 @@ fn run_spec_monitored(
     }
     let retry_opts = DccsOptions { limits: retry_limits, ..*opts };
     let retry_spec = QuerySpec { params: spec.params, algorithm: Algorithm::Greedy };
-    dispatch_limited(ctx, pool, g, &retry_spec, &retry_opts, token).map(|mut result| {
+    dispatch_limited(ctx, pool, g, &retry_spec, &retry_opts, token, index).map(|mut result| {
         result.stats.degraded_from = Some(Algorithm::Exact);
         result
     })
@@ -373,6 +468,7 @@ fn run_spec_monitored(
 /// partial, and converts a panicking engine task into
 /// [`DccsError::TaskPanicked`] — replacing the context wholesale, since a
 /// panic can leave mid-query state behind, so the session stays usable.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_limited(
     ctx: &mut SearchContext,
     pool: &PoolRef<'_>,
@@ -380,12 +476,14 @@ fn dispatch_limited(
     spec: &QuerySpec,
     opts: &DccsOptions,
     token: Option<CancelToken>,
+    index: Option<&DccIndex>,
 ) -> Result<DccsResult, DccsError> {
     let limited = !opts.limits.is_unlimited() || token.is_some();
     let monitor =
         if limited { Some(Arc::new(QueryMonitor::new(&opts.limits, token))) } else { None };
     ctx.set_monitor(monitor.clone());
-    let outcome = catch_unwind(AssertUnwindSafe(|| run_spec_on_pool(ctx, pool, g, spec, opts)));
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| run_spec_on_pool(ctx, pool, g, spec, opts, index)));
     let result = match outcome {
         Ok(result) => {
             ctx.set_monitor(None);
@@ -478,6 +576,17 @@ impl Query<'_, '_> {
     /// carried on its [`DccsOptions`].
     pub fn limits(mut self, limits: QueryLimits) -> Self {
         self.opts.limits = limits;
+        self
+    }
+
+    /// Overrides how this query derives its candidate cores (see
+    /// [`Serve`]): `Auto` answers from the session's attached [`DccIndex`]
+    /// when possible, `Peel` always re-peels, `Index` fails with
+    /// [`DccsError::IndexUnavailable`] instead of falling back. The two
+    /// paths are bit-identical; [`crate::SearchStats::serve`] records
+    /// which one ran.
+    pub fn serve(mut self, serve: Serve) -> Self {
+        self.opts.serve = serve;
         self
     }
 
@@ -823,6 +932,116 @@ mod tests {
             .run()
             .expect("auto falls back to CSR");
         assert!(ok.stats.complete);
+    }
+
+    #[test]
+    fn auto_serves_from_the_attached_index_and_pins_the_path() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        let params = DccsParams::new(3, 2, 2);
+        // Before any index is attached, everything peels.
+        let peeled = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+        assert_eq!(peeled.stats.serve, Some(ServePath::Peel));
+        let index = session.build_index(&[3], 0);
+        session.attach_index(index).unwrap();
+        // Auto algorithm + Auto serve: answered from the index as greedy.
+        let served = session.query(params).run().unwrap();
+        assert_eq!(served.stats.serve, Some(ServePath::Index));
+        assert_eq!(served.stats.algorithm, Some(Algorithm::Greedy));
+        assert_eq!(served.stats.dcc_calls, 0, "the index path must not peel");
+        assert_eq!(served.cores, peeled.cores);
+        assert_eq!(served.cover.to_vec(), peeled.cover.to_vec());
+        assert_eq!(served.stats.candidates_generated, peeled.stats.candidates_generated);
+        assert_eq!(served.stats.updates_accepted, peeled.stats.updates_accepted);
+        // A d the index does not cover falls back to peeling under Auto.
+        let fallback =
+            session.query(DccsParams::new(2, 2, 2)).algorithm(Algorithm::Greedy).run().unwrap();
+        assert_eq!(fallback.stats.serve, Some(ServePath::Peel));
+        // Detaching restores peel-only behavior.
+        session.detach_index();
+        let detached = session.query(params).algorithm(Algorithm::Greedy).run().unwrap();
+        assert_eq!(detached.stats.serve, Some(ServePath::Peel));
+    }
+
+    #[test]
+    fn forced_index_serving_reports_typed_unavailability() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        let params = DccsParams::new(2, 2, 2);
+        // No index attached.
+        let err = session.query(params).serve(Serve::Index).run().unwrap_err();
+        assert!(matches!(err, DccsError::IndexUnavailable { .. }), "got {err:?}");
+        // Index attached but (d, s) not covered (only s == 1 stored).
+        let index = session.build_index(&[2], 1);
+        session.attach_index(index).unwrap();
+        let err = session.query(params).serve(Serve::Index).run().unwrap_err();
+        assert!(matches!(err, DccsError::IndexUnavailable { .. }), "got {err:?}");
+        // An explicit non-greedy algorithm cannot be served.
+        let err = session
+            .query(DccsParams::new(2, 1, 2))
+            .algorithm(Algorithm::BottomUp)
+            .serve(Serve::Index)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DccsError::IndexUnavailable { .. }), "got {err:?}");
+        // The covered entry serves, and the session stays usable throughout.
+        let ok = session.query(DccsParams::new(2, 1, 2)).serve(Serve::Index).run().unwrap();
+        assert_eq!(ok.stats.serve, Some(ServePath::Index));
+    }
+
+    #[test]
+    fn serve_peel_ignores_the_attached_index() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        let index = session.build_index(&[2], 0);
+        session.attach_index(index).unwrap();
+        let peel = session.query(DccsParams::new(2, 2, 2)).serve(Serve::Peel).run().unwrap();
+        assert_eq!(peel.stats.serve, Some(ServePath::Peel));
+        assert!(peel.stats.dcc_calls > 0, "Serve::Peel must actually peel");
+        let served = session.query(DccsParams::new(2, 2, 2)).serve(Serve::Index).run().unwrap();
+        assert_eq!(served.cores, peel.cores);
+        assert_eq!(served.cover.to_vec(), peel.cover.to_vec());
+    }
+
+    #[test]
+    fn mismatched_index_is_rejected_at_attach() {
+        let g = graph();
+        let mut other = MultiLayerGraphBuilder::new(12, 4);
+        clique(&mut other, 0, &[0, 1, 2]);
+        let other = other.build();
+        let foreign = DccIndex::build(&other, &[2], 0);
+        let mut session = DccsSession::new(&g);
+        let err = session.attach_index(foreign).unwrap_err();
+        assert!(matches!(err, DccsError::IndexUnavailable { .. }), "got {err:?}");
+        assert!(session.index().is_none());
+    }
+
+    #[test]
+    fn batch_queries_serve_from_the_index_at_any_width() {
+        let g = graph();
+        let specs: Vec<QuerySpec> = [(2u32, 2usize, 2usize), (3, 2, 2), (2, 3, 1)]
+            .into_iter()
+            .map(|(d, s, k)| QuerySpec::new(DccsParams::new(d, s, k)))
+            .collect();
+        // Serving resolves Auto to greedy, so the peel reference pins it.
+        let reference: Vec<DccsResult> = specs
+            .iter()
+            .map(|spec| {
+                DccsSession::new(&g).query(spec.params).algorithm(Algorithm::Greedy).run().unwrap()
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let mut session = DccsSession::with_options(&g, DccsOptions::with_threads(threads));
+            let index = session.build_index(&[2, 3], 0);
+            session.attach_index(index).unwrap();
+            let batch = session.run_batch(&specs).unwrap();
+            for (got, want) in batch.iter().zip(&reference) {
+                let got = got.as_ref().unwrap();
+                assert_eq!(got.stats.serve, Some(ServePath::Index), "threads={threads}");
+                assert_eq!(got.cores, want.cores, "threads={threads}");
+                assert_eq!(got.cover.to_vec(), want.cover.to_vec(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,6 @@ pub mod binary;
 pub mod dot;
 pub mod edge_list;
 
-pub use binary::{read_binary, write_binary};
+pub use binary::{checksum64, frame, read_binary, unframe, write_binary};
 pub use dot::{induced_subgraph_dot, DotOptions};
 pub use edge_list::{parse_edge_list, read_edge_list, write_edge_list};
