@@ -17,9 +17,9 @@
 
 use datasets::Scale;
 use dccs_bench::dcc_baseline::{
-    auto_selection_suite, baseline_suite, kernel_dispatch_suite, phase_breakdown_suite,
-    serve_from_index_suite, single_core, subtree_scaling_suite, suite_to_json,
-    thread_scaling_suite,
+    auto_selection_suite, baseline_suite, concurrent_service_suite, kernel_dispatch_suite,
+    phase_breakdown_suite, serve_from_index_suite, single_core, subtree_scaling_suite,
+    suite_to_json, thread_scaling_suite,
 };
 
 const USAGE: &str =
@@ -164,6 +164,28 @@ fn main() {
             m.speedup(),
         );
     }
+    // Like the scaling groups, a 1-vs-N service comparison on one core
+    // would only measure contention; record it as skipped instead.
+    let concurrent = if skip_scaling {
+        println!("[bench] single core detected: skipping the concurrent_service group");
+        Vec::new()
+    } else {
+        concurrent_service_suite(scale, runs, threads)
+    };
+    for c in &concurrent {
+        println!(
+            "{:>8} workers={:<2} requests={}  batch {:>10.6}s  {:>8.1} q/s  p50 {:>8.3}ms  p95 {:>8.3}ms  p99 {:>8.3}ms  cache {:>5.1}%",
+            c.dataset,
+            c.workers,
+            c.requests,
+            c.secs,
+            c.qps(),
+            c.p50_ms,
+            c.p95_ms,
+            c.p99_ms,
+            c.cache_hit_rate * 100.0,
+        );
+    }
     let json = suite_to_json(
         scale,
         runs,
@@ -175,6 +197,7 @@ fn main() {
         &kernels,
         &phases,
         &serve,
+        &concurrent,
     );
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {

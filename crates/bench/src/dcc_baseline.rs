@@ -29,9 +29,14 @@
 //!   artifact size, and the repeat-query speedup of answering a greedy
 //!   query from the precomputed hierarchy vs re-peeling it (both paths
 //!   asserted to cover the same vertices before timing is recorded).
+//! * **concurrent service** — a deterministic query mix (with repeats)
+//!   batched through one [`dccs::QueryService`] at 1 vs N workers:
+//!   throughput, p50/p95/p99 latency, and the result-cache hit rate, with
+//!   the answers asserted identical across widths.
 //!
-//! On a single-core host (`available_parallelism() == 1`) the two scaling
-//! groups are **skipped** and recorded with `"skipped_single_core": true` —
+//! On a single-core host (`available_parallelism() == 1`) the scaling
+//! groups (including `concurrent_service`) are **skipped** and recorded
+//! with `"skipped_single_core": true` —
 //! an N-worker crew on one core measures pure scheduling overhead, and the
 //! ~0.9× "speedups" it produces would be read as regressions.
 
@@ -285,6 +290,57 @@ impl ServeFromIndex {
             ("query_index_secs", Value::from(self.query_index_secs)),
             ("speedup", Value::from(self.speedup())),
             ("cover", Value::from(self.cover)),
+        ])
+    }
+}
+
+/// One concurrent-service measurement (the `concurrent_service` group of
+/// `BENCH_dcc.json`): a deterministic query mix with repeats answered
+/// through one [`dccs::QueryService`] at a fixed worker width, recording
+/// throughput, latency percentiles, and the result-cache hit rate. The
+/// suite runs the same mix at 1 and N workers so batch-level scaling and
+/// the bit-identity contract both stay on the perf trajectory.
+#[derive(Clone, Debug)]
+pub struct ConcurrentService {
+    /// Dataset analogue name.
+    pub dataset: String,
+    /// Worker-pool width the batch fanned out over.
+    pub workers: usize,
+    /// Requests in the mix (with repeats, so the cache gets hits).
+    pub requests: usize,
+    /// Best-of-N wall time of the whole batch, seconds.
+    pub secs: f64,
+    /// Per-query latency percentiles of the best repetition, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// `hits / (hits + misses)` of the best repetition's fresh cache.
+    pub cache_hit_rate: f64,
+    /// Sum of cover sizes over the mix — must match across widths.
+    pub cover_sum: usize,
+}
+
+impl ConcurrentService {
+    /// Requests answered per second in the best repetition.
+    pub fn qps(&self) -> f64 {
+        self.requests as f64 / self.secs
+    }
+
+    /// Renders the measurement as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("workers", Value::from(self.workers)),
+            ("requests", Value::from(self.requests)),
+            ("secs", Value::from(self.secs)),
+            ("qps", Value::from(self.qps())),
+            ("p50_ms", Value::from(self.p50_ms)),
+            ("p95_ms", Value::from(self.p95_ms)),
+            ("p99_ms", Value::from(self.p99_ms)),
+            ("cache_hit_rate", Value::from(self.cache_hit_rate)),
+            ("cover_sum", Value::from(self.cover_sum)),
         ])
     }
 }
@@ -745,6 +801,94 @@ pub fn serve_from_index_suite(scale: Scale, runs: usize) -> Vec<ServeFromIndex> 
     out
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample (0 on empty).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * sorted_ms.len() as f64).ceil().max(1.0) as usize;
+    sorted_ms[rank.min(sorted_ms.len()) - 1]
+}
+
+/// Measures one concurrent-service configuration: a `requests`-long mix
+/// (four query shapes cycled, so every shape repeats and the result cache
+/// gets hits) batched through a fresh [`dccs::QueryService`] at `workers`
+/// width. A fresh service per repetition keeps the cache cold at the
+/// start, so the recorded hit rate is the mix's intrinsic repeat rate, not
+/// an artifact of earlier repetitions.
+pub fn compare_concurrent_service(
+    ds: &Dataset,
+    workers: usize,
+    requests: usize,
+    runs: usize,
+) -> ConcurrentService {
+    use dccs::{QueryService, ServiceQuery};
+    let g = &ds.graph;
+    let l = g.num_layers().max(1);
+    let shapes = [(3u32, 2usize, 10usize), (2, 2, 10), (3, 2, 5), (2, 3, 10)];
+    let queries: Vec<ServiceQuery> = (0..requests)
+        .map(|i| {
+            let (d, s, k) = shapes[i % shapes.len()];
+            ServiceQuery::new(DccsParams::new(d, s.min(l), k))
+        })
+        .collect();
+
+    let mut best: Option<ConcurrentService> = None;
+    for _ in 0..runs.max(1) {
+        let opts = DccsOptions { threads: workers, ..DccsOptions::default() };
+        let service = QueryService::new(g, opts);
+        let start = Instant::now();
+        let outcomes = service.run_batch(&queries).expect("bench mix is valid");
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_some_and(|b| b.secs <= secs) {
+            continue;
+        }
+        let cover_sum = outcomes
+            .iter()
+            .map(|o| o.result.as_ref().expect("unlimited bench query").cover_size())
+            .sum();
+        let mut latencies: Vec<f64> =
+            outcomes.iter().map(|o| o.latency.as_secs_f64() * 1e3).collect();
+        latencies.sort_by(f64::total_cmp);
+        let cache = service.cache_stats();
+        best = Some(ConcurrentService {
+            dataset: format!("{:?}", ds.id),
+            workers,
+            requests,
+            secs,
+            p50_ms: percentile(&latencies, 0.50),
+            p95_ms: percentile(&latencies, 0.95),
+            p99_ms: percentile(&latencies, 0.99),
+            cache_hit_rate: cache.hits as f64 / (cache.hits + cache.misses).max(1) as f64,
+            cover_sum,
+        });
+    }
+    best.expect("at least one repetition runs")
+}
+
+/// The concurrent-service suite: the Wiki and German analogues, each mix
+/// at 1 worker vs `threads`, with the cover checksum asserted identical
+/// across widths (the service's bit-identity contract).
+pub fn concurrent_service_suite(
+    scale: Scale,
+    runs: usize,
+    threads: usize,
+) -> Vec<ConcurrentService> {
+    let mut out = Vec::new();
+    for id in [DatasetId::Wiki, DatasetId::German] {
+        let ds = generate(id, scale);
+        let one = compare_concurrent_service(&ds, 1, 16, runs);
+        let many = compare_concurrent_service(&ds, threads, 16, runs);
+        assert_eq!(
+            one.cover_sum, many.cover_sum,
+            "service answers diverged between 1 and {threads} workers on {id:?}"
+        );
+        out.push(one);
+        out.push(many);
+    }
+    out
+}
+
 /// Renders one scaling group: the single-core skip marker plus the
 /// measurements (empty when skipped).
 fn scaling_group_to_json(measurements: &[ThreadScaling], skipped_single_core: bool) -> Value {
@@ -769,6 +913,7 @@ pub fn suite_to_json(
     kernels: &[KernelDispatch],
     phases: &[PhaseBreakdown],
     serve: &[ServeFromIndex],
+    concurrent: &[ConcurrentService],
 ) -> Value {
     let geomean = if comparisons.is_empty() {
         1.0
@@ -810,6 +955,16 @@ pub fn suite_to_json(
         ("kernel_dispatch", Value::Array(kernels.iter().map(KernelDispatch::to_json).collect())),
         ("phase_breakdown", Value::Array(phases.iter().map(PhaseBreakdown::to_json).collect())),
         ("serve_from_index", Value::Array(serve.iter().map(ServeFromIndex::to_json).collect())),
+        (
+            "concurrent_service",
+            Value::object(vec![
+                ("skipped_single_core", Value::from(scaling_skipped_single_core)),
+                (
+                    "measurements",
+                    Value::Array(concurrent.iter().map(ConcurrentService::to_json).collect()),
+                ),
+            ]),
+        ),
     ])
 }
 
@@ -823,7 +978,7 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[], &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
@@ -838,10 +993,10 @@ mod tests {
     /// way both groups are present in the document.
     #[test]
     fn scaling_groups_record_the_single_core_skip() {
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": true"));
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": false"));
         assert!(text.contains("\"subtree_scaling\""));
@@ -870,7 +1025,7 @@ mod tests {
         // The three phases partition the run (modulo dispatch overhead):
         // their sum cannot exceed the end-to-end wall clock.
         assert!(p.preprocess_secs + p.search_secs + p.select_secs <= p.total_secs);
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"phase_breakdown\""));
         assert!(text.contains("\"preprocess_secs\""));
@@ -887,7 +1042,8 @@ mod tests {
             assert!(k.scalar_secs > 0.0 && k.dispatched_secs > 0.0, "{}", k.op);
             assert!(k.speedup() > 0.0);
         }
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels, &[], &[]);
+        let json =
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels, &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"selected_kernel\""));
         assert!(text.contains("\"kernel_dispatch\""));
@@ -903,12 +1059,42 @@ mod tests {
         assert!(m.bytes > 0);
         assert!(m.query_peel_secs > 0.0 && m.query_index_secs > 0.0);
         assert!(m.speedup() > 0.0);
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[m]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[m], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"serve_from_index\""));
         assert!(text.contains("\"serve_from_index_speedup_geomean\""));
         assert!(text.contains("\"build_secs\""));
         assert!(text.contains("\"query_index_secs\""));
+    }
+
+    #[test]
+    fn concurrent_service_is_measured_and_recorded() {
+        let ds = generate(DatasetId::German, Scale::Tiny);
+        let one = compare_concurrent_service(&ds, 1, 8, 1);
+        let two = compare_concurrent_service(&ds, 2, 8, 1);
+        assert_eq!(one.cover_sum, two.cover_sum, "answers must not depend on width");
+        assert!(one.secs > 0.0 && two.secs > 0.0);
+        assert!(one.qps() > 0.0);
+        // Eight requests over four shapes repeat each shape once: half the
+        // cache-eligible queries must have hit.
+        assert!(one.cache_hit_rate >= 0.5, "hit rate {}", one.cache_hit_rate);
+        assert!(one.p50_ms <= one.p95_ms && one.p95_ms <= one.p99_ms);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[one]);
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"concurrent_service\""));
+        assert!(text.contains("\"qps\""));
+        assert!(text.contains("\"p99_ms\""));
+        assert!(text.contains("\"cache_hit_rate\""));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        let ms: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&ms, 0.50), 50.0);
+        assert_eq!(percentile(&ms, 0.95), 95.0);
+        assert_eq!(percentile(&ms, 0.99), 99.0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ use crate::preprocess::{initial_layer_cores_on, preprocess_from_monitored, Prepr
 use coreness::PeelWorkspace;
 use mlgraph::{DenseSubgraph, Layer, MultiLayerGraph, Vertex, VertexSet};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Which adjacency representation a candidate-generation run peeled over.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -201,6 +201,121 @@ fn graph_key(g: &MultiLayerGraph) -> (usize, usize, usize, usize) {
     (std::ptr::from_ref(g) as usize, g.num_vertices(), g.num_layers(), g.total_edges())
 }
 
+/// Bound on how many distinct `(universe, choice)` cost-model decisions the
+/// shared tier memoizes. Universes come from preprocessing, so one per
+/// distinct `(d, s)` with vertex deletion on (far fewer in practice: an `s`
+/// sweep at fixed `d` shares one), and each entry stores a universe clone —
+/// the cap keeps a pathological sweep from accumulating them without bound.
+const SHARED_PLAN_CAP: usize = 32;
+
+/// The **shared immutable tier** of session state: everything about a graph
+/// that is expensive to derive, deterministic, and reusable by any number of
+/// concurrent queries — today the per-`d` initial layer cores (the peel of
+/// every layer at threshold `d`, the `d`-only-dependent first step of
+/// preprocessing) and the dense-vs-CSR cost-model decisions per candidate
+/// universe.
+///
+/// One instance is bound to one graph (identity-checked with the same
+/// best-effort key as the context-local caches) and published behind an
+/// `Arc` — typically inside a [`crate::service::GraphSnapshot`] — so N
+/// worker contexts answering N queries share one copy of the preprocessing
+/// work instead of each recomputing it. Entries are built **once under a
+/// once-style guard**: concurrent first queries for the same `d` block on
+/// one computation ([`OnceLock::get_or_init`]), and a computation that
+/// panics (e.g. under fault injection) leaves the cell empty, so a poisoned
+/// query never voids the tier for its siblings — the next query simply
+/// recomputes.
+///
+/// Bit-identity is preserved by construction: both memoized quantities are
+/// deterministic pure functions of the graph (layer peels are
+/// thread-invariant, and [`plan_index_with`] is a pure cost model), so a
+/// context with the tier installed returns exactly what it would have
+/// computed locally.
+#[derive(Debug)]
+pub struct SharedSearchState {
+    /// Identity guard (same contract as the context-local caches): contexts
+    /// consult the tier only while this matches their graph.
+    graph_key: (usize, usize, usize, usize),
+    /// Per-`d` initial layer cores. The map lock covers only cell lookup;
+    /// the per-`d` [`OnceLock`] serializes the actual peel so the map is
+    /// never held across a computation.
+    #[allow(clippy::type_complexity)]
+    layer_cores: Mutex<HashMap<u32, Arc<OnceLock<Arc<Vec<VertexSet>>>>>>,
+    /// Memoized [`plan_index_with`] decisions keyed by exact universe
+    /// equality (deliberately not a hash: a collision could flip
+    /// `stats.index_path`, which *is* part of stats equality).
+    plans: Mutex<Vec<(VertexSet, IndexChoice, IndexPlan)>>,
+}
+
+impl SharedSearchState {
+    /// A fresh shared tier bound to `g`. Nothing is computed eagerly; every
+    /// entry is filled on first use by whichever query needs it.
+    pub fn for_graph(g: &MultiLayerGraph) -> Arc<Self> {
+        Arc::new(SharedSearchState {
+            graph_key: graph_key(g),
+            layer_cores: Mutex::new(HashMap::new()),
+            plans: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Whether this tier was built for `g` (the same best-effort identity
+    /// check the context-local caches use).
+    pub fn bound_to(&self, g: &MultiLayerGraph) -> bool {
+        self.graph_key == graph_key(g)
+    }
+
+    /// Number of distinct `d` values whose layer cores have a cell (filled
+    /// or in flight) — a diagnostic for tests and stats reporting.
+    pub fn memoized_ds(&self) -> usize {
+        lock(&self.layer_cores).len()
+    }
+
+    /// The initial layer cores for `d`, computing them via `compute` if no
+    /// query has needed this `d` yet. Concurrent first callers block on one
+    /// computation; a panicking `compute` leaves the cell empty for the
+    /// next caller to retry.
+    pub(crate) fn layer_cores(
+        &self,
+        d: u32,
+        compute: impl FnOnce() -> Vec<VertexSet>,
+    ) -> Arc<Vec<VertexSet>> {
+        let cell = lock(&self.layer_cores).entry(d).or_default().clone();
+        cell.get_or_init(|| Arc::new(compute())).clone()
+    }
+
+    /// The cost-model decision for `universe` under `choice`, memoized.
+    pub(crate) fn plan(
+        &self,
+        g: &MultiLayerGraph,
+        universe: &VertexSet,
+        choice: IndexChoice,
+    ) -> IndexPlan {
+        if let Some((_, _, plan)) =
+            lock(&self.plans).iter().find(|(u, c, _)| *c == choice && u == universe)
+        {
+            return *plan;
+        }
+        let plan = plan_index_with(g, universe, choice);
+        let mut plans = lock(&self.plans);
+        if !plans.iter().any(|(u, c, _)| *c == choice && u == universe) {
+            if plans.len() >= SHARED_PLAN_CAP {
+                plans.remove(0);
+            }
+            plans.push((universe.clone(), choice, plan));
+        }
+        plan
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: every critical
+/// section in [`SharedSearchState`] (and the service tier built on it) is a
+/// short map/vec operation that cannot leave the data half-updated, so a
+/// panic elsewhere (fault injection, a dying sibling query) must not void
+/// the shared state.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Shared execution state for a sequence of DCCS runs over one graph:
 /// worker count, the driver's peel scratch, reusable cover/seed buffers, and
 /// the lazily built, sweep-reusable dense index.
@@ -218,8 +333,16 @@ pub struct SearchContext {
     /// `d`-only-dependent first step of preprocessing. An `s`/`k` sweep at
     /// fixed `d` re-peels no layer; a `d` sweep that revisits a value hits
     /// too. Guarded by the same graph-identity key as the dense cache.
-    layer_core_memo: HashMap<u32, Vec<VertexSet>>,
+    /// Values are `Arc`'d so a memo filled from the shared tier aliases the
+    /// tier's copy instead of duplicating it per context.
+    layer_core_memo: HashMap<u32, Arc<Vec<VertexSet>>>,
     memo_graph_key: Option<(usize, usize, usize, usize)>,
+    /// The shared immutable tier this context consults before computing
+    /// layer cores or index plans locally ([`SharedSearchState`]); `None`
+    /// for standalone contexts, installed by sessions and the query
+    /// service. Purely an optimization — results are bit-identical with or
+    /// without it.
+    shared: Option<Arc<SharedSearchState>>,
     /// Driver-thread peel scratch (workers own their own, see [`with_pool`]).
     pub(crate) ws: PeelWorkspace,
     /// Reused cover accumulator for the greedy max-k-cover selection.
@@ -245,6 +368,7 @@ impl SearchContext {
             dense_cache: None,
             layer_core_memo: HashMap::new(),
             memo_graph_key: None,
+            shared: None,
             ws: PeelWorkspace::new(),
             cover: VertexSet::new(0),
             running: VertexSet::new(0),
@@ -322,10 +446,17 @@ impl SearchContext {
             self.memo_graph_key = Some(key);
         }
         if !self.layer_core_memo.contains_key(&params.d) {
-            let cores = initial_layer_cores_on(g, params.d, &mut self.ws, pool);
+            let shared = self.shared.clone();
+            let cores = match shared.as_deref().filter(|tier| tier.graph_key == key) {
+                Some(tier) => {
+                    let ws = &mut self.ws;
+                    tier.layer_cores(params.d, || initial_layer_cores_on(g, params.d, ws, pool))
+                }
+                None => Arc::new(initial_layer_cores_on(g, params.d, &mut self.ws, pool)),
+            };
             self.layer_core_memo.insert(params.d, cores);
         }
-        let initial = self.layer_core_memo[&params.d].clone();
+        let initial = self.layer_core_memo[&params.d].as_ref().clone();
         preprocess_from_monitored(
             g,
             params,
@@ -378,6 +509,20 @@ impl SearchContext {
         self.monitor.as_ref()
     }
 
+    /// Installs (or removes) the shared immutable tier this context
+    /// consults before computing layer cores or index plans locally. The
+    /// tier is identity-checked against the queried graph on every consult,
+    /// so installing a tier built for a different graph is inert rather
+    /// than wrong.
+    pub fn set_shared(&mut self, shared: Option<Arc<SharedSearchState>>) {
+        self.shared = shared;
+    }
+
+    /// The installed shared tier, if any.
+    pub fn shared(&self) -> Option<&Arc<SharedSearchState>> {
+        self.shared.as_ref()
+    }
+
     /// Plans the peeling representation for `universe` (honoring the
     /// context's [`IndexChoice`] override) and hands back the unified
     /// [`PeelIndex`] plus the driver workspace as a split borrow, so
@@ -390,7 +535,10 @@ impl SearchContext {
         g: &'a MultiLayerGraph,
         universe: &VertexSet,
     ) -> (PeelIndex<'a>, &'a mut PeelWorkspace) {
-        let mut plan = plan_index_with(g, universe, self.index_choice);
+        let mut plan = match self.shared.as_deref().filter(|tier| tier.bound_to(g)) {
+            Some(tier) => tier.plan(g, universe, self.index_choice),
+            None => plan_index_with(g, universe, self.index_choice),
+        };
         if plan.path == IndexPath::Dense {
             if let Some(ceiling) =
                 self.monitor.as_ref().and_then(|monitor| monitor.max_dense_words())

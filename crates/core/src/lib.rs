@@ -87,6 +87,7 @@ pub mod preprocess;
 pub mod refine;
 pub mod result;
 pub mod serve;
+pub mod service;
 pub mod session;
 pub mod top_down;
 
@@ -99,6 +100,7 @@ pub use config::{DccsOptions, DccsParams};
 pub use coverage::{PruneBounds, TopKDiversified};
 pub use engine::{
     plan_index, plan_index_with, IndexChoice, IndexPath, IndexPlan, PeelIndex, SearchContext,
+    SharedSearchState,
 };
 pub use error::DccsError;
 pub use exact::{exact_dccs, exact_dccs_in, exact_dccs_on};
@@ -109,5 +111,6 @@ pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
 pub use parallel::parallel_greedy_dccs;
 pub use result::{CoherentCore, DccsResult, PhaseTimes, SearchStats};
 pub use serve::{DccIndex, Serve, ServePath};
+pub use service::{CacheStats, GraphSnapshot, QueryService, ServiceOutcome, ServiceQuery};
 pub use session::{auto_threads, DccsSession, Query, QuerySpec};
 pub use top_down::{top_down_dccs, top_down_dccs_in, top_down_dccs_on, top_down_dccs_with_options};

@@ -103,6 +103,17 @@ pub struct SearchStats {
     /// serve path describes *how* an answer was derived, not the answer —
     /// the two paths are bit-identical on everything equality compares.
     pub serve: Option<ServePath>,
+    /// `true` when the [`crate::service::QueryService`] answered this query
+    /// out of its result cache instead of running it. Excluded from
+    /// equality (like `phase` and `serve`): a cached answer *is* the
+    /// computed answer — only its provenance differs.
+    pub served_from_cache: bool,
+    /// The epoch of the [`crate::service::GraphSnapshot`] this query ran
+    /// against, stamped by the session and the query service; `None` for
+    /// the one-shot free functions, which have no snapshot. Excluded from
+    /// equality: the epoch identifies *which* published graph version
+    /// answered, not the answer.
+    pub graph_epoch: Option<u64>,
     /// Per-phase wall-clock breakdown (excluded from equality).
     pub phase: PhaseTimes,
 }
@@ -121,6 +132,8 @@ impl Default for SearchStats {
             complete: true,
             degraded_from: None,
             serve: None,
+            served_from_cache: false,
+            graph_epoch: None,
             phase: PhaseTimes::default(),
         }
     }
@@ -246,6 +259,9 @@ mod tests {
         assert_eq!(a, b, "phase timings must not affect stats equality");
         b.serve = Some(ServePath::Index);
         assert_eq!(a, b, "the serve path must not affect stats equality");
+        b.served_from_cache = true;
+        b.graph_epoch = Some(7);
+        assert_eq!(a, b, "cache provenance must not affect stats equality");
         b.complete = false;
         assert_ne!(a, b);
     }

@@ -46,7 +46,7 @@ pub const INDEX_MAGIC: &[u8; 8] = b"DCCINDEX";
 pub const INDEX_VERSION: u32 = 1;
 
 /// How a session query derives its candidate cores.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Serve {
     /// Serve from the attached [`DccIndex`] when it covers the query's
     /// `(d, s)` and the algorithm is greedy-compatible; peel otherwise.

@@ -1,0 +1,711 @@
+//! The concurrent query service: many queries, one graph, zero duplicated
+//! preprocessing.
+//!
+//! [`DccsSession`](crate::DccsSession) is `&mut self` end-to-end — exactly
+//! right for a single caller sweeping parameters, and exactly wrong for a
+//! server answering many users against one loaded graph, where two
+//! concurrent queries would need two full copies of scratch *and* of the
+//! preprocessing work. This module splits that state into two tiers:
+//!
+//! * **Shared immutable tier** — a [`GraphSnapshot`]: the graph reference,
+//!   an epoch identifying this published version, the
+//!   [`SharedSearchState`] (per-`d` layer-core memo + dense index plans,
+//!   each built once under a once-style guard on first use), and the
+//!   optionally attached [`DccIndex`]. Published behind an `Arc`, read by
+//!   any number of queries concurrently.
+//! * **Cheap per-query tier** — a pooled [`SearchContext`] (peel workspace
+//!   plus cover/seed buffers) checked out per query and returned on drop,
+//!   so steady-state queries allocate nothing and never contend beyond a
+//!   `Vec` push/pop.
+//!
+//! On top sits the [`QueryService`]: a shared (`&self`) handle answering
+//! [`ServiceQuery`]s either inline on the calling thread or as a batch
+//! fanned over a bounded worker crew ([`PersistentPool`]), with a result
+//! cache keyed by `(graph_epoch, index_generation, d, s, k, algorithm,
+//! serve)`. Cache hits are recorded in
+//! [`SearchStats::served_from_cache`](crate::SearchStats::served_from_cache);
+//! only unlimited, token-less queries consult the cache (a deadline changes
+//! what a query may return, so limited queries always run).
+//!
+//! **Bit-identity** extends naturally: every query executes sequentially on
+//! its own context (worker parallelism is across queries, like
+//! [`DccsSession::run_batch`](crate::DccsSession::run_batch)), the shared
+//! tier memoizes only deterministic pure functions of the graph, and a
+//! cached answer is a clone of the computed one — so service results equal
+//! fresh-session results at any worker count, enforced by
+//! `crates/core/tests/service_concurrency.rs`.
+//!
+//! ```
+//! use mlgraph::MultiLayerGraphBuilder;
+//! use dccs::{DccsOptions, DccsParams, QueryService, ServiceQuery};
+//!
+//! let mut b = MultiLayerGraphBuilder::new(4, 2);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+//!     b.add_edge(0, u, v).unwrap();
+//!     b.add_edge(1, u, v).unwrap();
+//! }
+//! let g = b.build();
+//! let service = QueryService::new(&g, DccsOptions::default());
+//! // `query` takes `&self`: any number of threads may call it at once.
+//! let first = service.query(&ServiceQuery::new(DccsParams::new(2, 2, 1)))?;
+//! let again = service.query(&ServiceQuery::new(DccsParams::new(2, 2, 1)))?;
+//! assert_eq!(first.cores, again.cores);
+//! assert!(!first.stats.served_from_cache);
+//! assert!(again.stats.served_from_cache);
+//! # Ok::<(), dccs::DccsError>(())
+//! ```
+
+use crate::algorithm::Algorithm;
+use crate::config::{DccsOptions, DccsParams};
+use crate::engine::{
+    effective_threads, lock, with_pool, IndexChoice, PersistentPool, SearchContext,
+    SharedSearchState,
+};
+use crate::error::DccsError;
+use crate::fault::{self, site};
+use crate::limits::{CancelToken, QueryLimits};
+use crate::result::DccsResult;
+use crate::serve::{DccIndex, Serve};
+use crate::session::{auto_threads, panic_to_error, run_spec_monitored, QuerySpec};
+use coreness::PeelWorkspace;
+use mlgraph::MultiLayerGraph;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Process-wide epoch counter: every published [`GraphSnapshot`] gets a
+/// distinct epoch, so results and cache keys from different snapshots (or
+/// from a re-published graph after a future mutation — the dynamic-graph
+/// roadmap item) can never alias.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// The shared immutable tier for one published version of a graph: the
+/// graph reference, a process-unique epoch, the lazily filled
+/// [`SharedSearchState`], and the optionally attached [`DccIndex`].
+///
+/// A snapshot is read-only from the query path's perspective — attaching or
+/// detaching an index is the one interior mutation, and it bumps the
+/// snapshot's *index generation* so the service cache can tell answers
+/// derived under different index configurations apart (under
+/// [`Serve::Auto`] the same `(d, s, k)` is answered by peeling or by the
+/// index depending on coverage, and the two answers differ in their work
+/// counters).
+///
+/// Snapshots are handed around as `Arc<GraphSnapshot>`: a
+/// [`crate::DccsSession`] owns one (and exposes it via
+/// [`crate::DccsSession::snapshot`]), a [`QueryService`] serves from one,
+/// and both can share the same instance — the session's preprocessing work
+/// is then visible to every service query and vice versa.
+#[derive(Debug)]
+pub struct GraphSnapshot<'g> {
+    g: &'g MultiLayerGraph,
+    epoch: u64,
+    state: Arc<SharedSearchState>,
+    /// The attached index and its generation, under one lock so a reader
+    /// always sees a consistent `(generation, index)` pair.
+    index: Mutex<(u64, Option<Arc<DccIndex>>)>,
+}
+
+impl<'g> GraphSnapshot<'g> {
+    /// Publishes a fresh snapshot of `g` with a new epoch and an empty
+    /// shared tier (entries fill on first use).
+    pub fn new(g: &'g MultiLayerGraph) -> Arc<Self> {
+        Arc::new(GraphSnapshot {
+            g,
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            state: SharedSearchState::for_graph(g),
+            index: Mutex::new((0, None)),
+        })
+    }
+
+    /// The graph this snapshot publishes.
+    pub fn graph(&self) -> &'g MultiLayerGraph {
+        self.g
+    }
+
+    /// The process-unique epoch of this snapshot, stamped into
+    /// [`crate::SearchStats::graph_epoch`] of every result answered from
+    /// it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared compute tier (layer-core memo + index plans).
+    pub fn state(&self) -> &Arc<SharedSearchState> {
+        &self.state
+    }
+
+    /// Attaches `index` after validating its fingerprint against the
+    /// snapshot's graph ([`DccIndex::matches`]); a mismatched index is
+    /// rejected and nothing changes. Returns the shared handle.
+    pub fn attach_index(&self, index: DccIndex) -> Result<Arc<DccIndex>, DccsError> {
+        index.matches(self.g)?;
+        let index = Arc::new(index);
+        self.install_index(Some(index.clone()));
+        Ok(index)
+    }
+
+    /// Detaches the index; subsequent queries always peel.
+    pub fn detach_index(&self) {
+        self.install_index(None);
+    }
+
+    /// The attached index, if any.
+    pub fn index(&self) -> Option<Arc<DccIndex>> {
+        lock(&self.index).1.clone()
+    }
+
+    /// How many times the attached index has changed (attach or detach) —
+    /// part of the service cache key.
+    pub fn index_generation(&self) -> u64 {
+        lock(&self.index).0
+    }
+
+    /// Stores `index` (already validated by the caller) and bumps the
+    /// generation.
+    pub(crate) fn install_index(&self, index: Option<Arc<DccIndex>>) {
+        let mut slot = lock(&self.index);
+        slot.0 += 1;
+        slot.1 = index;
+    }
+
+    /// A consistent `(generation, index)` read for the query path.
+    fn indexed(&self) -> (u64, Option<Arc<DccIndex>>) {
+        let slot = lock(&self.index);
+        (slot.0, slot.1.clone())
+    }
+}
+
+/// One query submitted to a [`QueryService`]: the `(d, s, k)` parameters
+/// and algorithm ([`QuerySpec`]) plus the per-query serving knobs that the
+/// session API spreads over its builder — limits, serve mode, and an
+/// optional cancel token.
+#[derive(Clone, Debug)]
+pub struct ServiceQuery {
+    /// Parameters + algorithm ([`Algorithm::Auto`] by default).
+    pub spec: QuerySpec,
+    /// Per-query resource limits ([`QueryLimits::none`] by default). A
+    /// limited query never consults or fills the result cache.
+    pub limits: QueryLimits,
+    /// How the query derives its candidate cores ([`Serve::Auto`] by
+    /// default). Part of the cache key: `Peel` and `Index` answers differ
+    /// in their work counters.
+    pub serve: Serve,
+    /// External kill switch for this query only; a token-carrying query
+    /// never consults or fills the result cache.
+    pub token: Option<CancelToken>,
+}
+
+impl ServiceQuery {
+    /// A query for `params` with automatic algorithm selection, no limits,
+    /// and `Serve::Auto`.
+    pub fn new(params: DccsParams) -> Self {
+        ServiceQuery {
+            spec: QuerySpec::new(params),
+            limits: QueryLimits::none(),
+            serve: Serve::Auto,
+            token: None,
+        }
+    }
+
+    /// Pins the algorithm instead of auto-selecting.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.spec.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the query's resource limits.
+    pub fn with_limits(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the serve mode.
+    pub fn with_serve(mut self, serve: Serve) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// Attaches a cancel token.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+}
+
+/// One slot of a [`QueryService::run_batch`] answer: the query's result (a
+/// per-query limit, cancellation, or panic lands here without affecting
+/// sibling slots) and its service-side latency, measured around the whole
+/// answer path (cache probe included) on whichever worker ran it.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// The query's result, exactly as [`QueryService::query`] would have
+    /// returned it.
+    pub result: Result<DccsResult, DccsError>,
+    /// Wall-clock latency of answering this query.
+    pub latency: Duration,
+}
+
+/// Counters describing the result cache's behavior, from
+/// [`QueryService::cache_stats`]. Hits and misses count only
+/// cache-eligible queries (unlimited, token-less); limited queries bypass
+/// the cache entirely and are counted in neither.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered out of the cache.
+    pub hits: u64,
+    /// Cache-eligible queries that had to run.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// The pooled per-query tier: idle [`SearchContext`]s (each owning a
+/// `PeelWorkspace` and the cover/seed buffers) checked out per query and
+/// returned on drop. Contexts keep their context-local caches between
+/// checkouts — those only ever memoize deterministic intermediates, so
+/// whichever context a query draws, the answer is the same.
+#[derive(Debug, Default)]
+struct ContextPool {
+    idle: Mutex<Vec<SearchContext>>,
+}
+
+impl ContextPool {
+    /// Checks out an idle context (or builds a fresh one), configured for a
+    /// sequential run with the shared tier installed.
+    fn checkout(&self, shared: &Arc<SharedSearchState>, index: IndexChoice) -> PooledContext<'_> {
+        let mut ctx = lock(&self.idle).pop().unwrap_or_else(|| SearchContext::new(1));
+        ctx.set_threads(1);
+        ctx.set_index_choice(index);
+        ctx.set_shared(Some(shared.clone()));
+        PooledContext { ctx: Some(ctx), pool: self }
+    }
+
+    /// Number of idle contexts (diagnostics).
+    fn idle_len(&self) -> usize {
+        lock(&self.idle).len()
+    }
+}
+
+/// A checked-out context; returns itself to the pool on drop. Safe to
+/// return even after a failed query: the dispatch layer replaces a context
+/// wholesale when a panic unwinds through it, so what comes back here is
+/// always either untouched or freshly rebuilt.
+struct PooledContext<'p> {
+    ctx: Option<SearchContext>,
+    pool: &'p ContextPool,
+}
+
+impl Deref for PooledContext<'_> {
+    type Target = SearchContext;
+    fn deref(&self) -> &SearchContext {
+        self.ctx.as_ref().expect("context present until drop")
+    }
+}
+
+impl DerefMut for PooledContext<'_> {
+    fn deref_mut(&mut self) -> &mut SearchContext {
+        self.ctx.as_mut().expect("context present until drop")
+    }
+}
+
+impl Drop for PooledContext<'_> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            lock(&self.pool.idle).push(ctx);
+        }
+    }
+}
+
+/// The result-cache key: everything that can change an answer. Epoch and
+/// index generation pin the graph version and index configuration;
+/// `(d, s, k)`, the algorithm, and the serve mode are the query itself.
+/// The service's ablation toggles and index-choice override are fixed at
+/// construction, so they need no slot.
+type CacheKey = (u64, u64, u32, usize, usize, Algorithm, Serve);
+
+/// A shared (`&self`) query-answering handle over one [`GraphSnapshot`].
+///
+/// Concurrency model: [`QueryService::query`] may be called from any number
+/// of threads at once — each call checks a context out of the per-query
+/// pool and runs sequentially on the calling thread.
+/// [`QueryService::run_batch`] instead fans its queries over the service's
+/// bounded worker crew (width = the service options' `threads`, spawned on
+/// first use), one query per job, results in submission order. Both paths
+/// answer through the same cache and the same shared tier.
+#[derive(Debug)]
+pub struct QueryService<'g> {
+    snapshot: Arc<GraphSnapshot<'g>>,
+    /// Service-wide defaults: ablation toggles and the index-choice
+    /// override apply to every query; `threads` sets the batch worker
+    /// width; per-query knobs (limits, serve, token) come from each
+    /// [`ServiceQuery`].
+    defaults: DccsOptions,
+    workers: usize,
+    contexts: ContextPool,
+    crew: Mutex<Option<PersistentPool>>,
+    cache: Mutex<HashMap<CacheKey, DccsResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'g> QueryService<'g> {
+    /// A service over a fresh snapshot of `g`. `opts.threads` (0 = auto)
+    /// sets the batch worker width; ablation toggles and the index-choice
+    /// override apply to every query.
+    pub fn new(g: &'g MultiLayerGraph, opts: DccsOptions) -> Self {
+        QueryService::over(GraphSnapshot::new(g), opts)
+    }
+
+    /// A service over an existing snapshot — e.g. one taken from
+    /// [`crate::DccsSession::snapshot`], sharing that session's
+    /// already-computed tier.
+    pub fn over(snapshot: Arc<GraphSnapshot<'g>>, opts: DccsOptions) -> Self {
+        QueryService {
+            snapshot,
+            workers: auto_threads(opts.threads),
+            defaults: opts,
+            contexts: ContextPool::default(),
+            crew: Mutex::new(None),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot this service answers from.
+    pub fn snapshot(&self) -> &Arc<GraphSnapshot<'g>> {
+        &self.snapshot
+    }
+
+    /// The batch worker width ([`QueryService::run_batch`]).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Attaches `index` to the snapshot (fingerprint-validated) and clears
+    /// the result cache — the old entries' keys carry the previous index
+    /// generation and could never be read again.
+    pub fn attach_index(&self, index: DccIndex) -> Result<(), DccsError> {
+        self.snapshot.attach_index(index)?;
+        self.clear_cache();
+        Ok(())
+    }
+
+    /// Detaches the snapshot's index and clears the result cache.
+    pub fn detach_index(&self) {
+        self.snapshot.detach_index();
+        self.clear_cache();
+    }
+
+    /// Drops every cached result (the hit/miss counters keep counting).
+    pub fn clear_cache(&self) {
+        lock(&self.cache).clear();
+    }
+
+    /// Cache behavior so far: hits, misses, and current entry count.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: lock(&self.cache).len(),
+        }
+    }
+
+    /// Number of idle pooled contexts (diagnostics for tests and stats).
+    pub fn idle_contexts(&self) -> usize {
+        self.contexts.idle_len()
+    }
+
+    /// Validates `params` against the snapshot's graph.
+    fn check(&self, params: &DccsParams) -> Result<(), DccsError> {
+        let (n, l) = (self.snapshot.g.num_vertices(), self.snapshot.g.num_layers());
+        if n == 0 || l == 0 {
+            return Err(DccsError::EmptyGraph { num_vertices: n, num_layers: l });
+        }
+        params.validate(l)
+    }
+
+    /// Answers one query on the calling thread. Thread-safe: any number of
+    /// threads may call this concurrently; results are bit-identical to
+    /// running the same query through a fresh [`crate::DccsSession`].
+    pub fn query(&self, query: &ServiceQuery) -> Result<DccsResult, DccsError> {
+        self.check(&query.spec.params)?;
+        self.run_one(query)
+    }
+
+    /// The validated answer path: cache probe, then a sequential run on a
+    /// pooled context.
+    fn run_one(&self, query: &ServiceQuery) -> Result<DccsResult, DccsError> {
+        let params = &query.spec.params;
+        // A limited or cancellable query may legitimately return something
+        // other than the full answer (a typed error carrying a partial), so
+        // only unlimited token-less queries are cache-eligible — in either
+        // direction.
+        let cacheable = query.limits.is_unlimited() && query.token.is_none();
+        let (generation, index) = self.snapshot.indexed();
+        let key: CacheKey = (
+            self.snapshot.epoch(),
+            generation,
+            params.d,
+            params.s,
+            params.k,
+            query.spec.algorithm,
+            query.serve,
+        );
+        if cacheable {
+            if let Some(hit) = lock(&self.cache).get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let mut result = hit.clone();
+                result.stats.served_from_cache = true;
+                return Ok(result);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let opts =
+            DccsOptions { threads: 1, serve: query.serve, limits: query.limits, ..self.defaults };
+        let mut ctx = self.contexts.checkout(self.snapshot.state(), self.defaults.index);
+        let result = with_pool(1, |pool| {
+            run_spec_monitored(
+                &mut ctx,
+                pool,
+                self.snapshot.g,
+                &query.spec,
+                &opts,
+                query.token.clone(),
+                index.as_deref(),
+            )
+        });
+        drop(ctx);
+        result.map(|mut result| {
+            result.stats.graph_epoch = Some(self.snapshot.epoch());
+            result.stats.served_from_cache = false;
+            if cacheable && result.stats.complete {
+                lock(&self.cache).entry(key).or_insert_with(|| result.clone());
+            }
+            result
+        })
+    }
+
+    /// Answers a whole batch over the service's worker crew, one query per
+    /// job, outcomes in submission order with per-query latencies.
+    ///
+    /// Like [`crate::DccsSession::run_batch`]: all queries are validated up
+    /// front (the first invalid one fails the call before any work runs),
+    /// and once running the batch is not all-or-nothing — a limit,
+    /// cancellation, or panic on one query lands in that query's
+    /// [`ServiceOutcome`] slot while every sibling completes. With one
+    /// worker (or one query) the batch runs inline on the calling thread,
+    /// in order.
+    pub fn run_batch(&self, queries: &[ServiceQuery]) -> Result<Vec<ServiceOutcome>, DccsError> {
+        for query in queries {
+            self.check(&query.spec.params)?;
+        }
+        let run = |query: &ServiceQuery| -> ServiceOutcome {
+            let start = Instant::now();
+            let result = match catch_unwind(AssertUnwindSafe(|| {
+                fault::check(site::BATCH_QUERY);
+                self.run_one(query)
+            })) {
+                Ok(outcome) => outcome,
+                Err(payload) => Err(panic_to_error(None, payload.as_ref())),
+            };
+            ServiceOutcome { result, latency: start.elapsed() }
+        };
+        let workers = effective_threads(self.workers);
+        if workers <= 1 || queries.len() <= 1 {
+            return Ok(queries.iter().map(run).collect());
+        }
+        let mut crew = lock(&self.crew);
+        if crew.as_ref().is_none_or(|crew| crew.threads() != workers) {
+            *crew = Some(PersistentPool::new(workers));
+        }
+        let crew = crew.as_mut().expect("crew spawned above");
+        let mut driver_ws = PeelWorkspace::new();
+        let jobs: Vec<_> = queries
+            .iter()
+            .map(|query| {
+                let run = &run;
+                move |_ws: &mut PeelWorkspace| run(query)
+            })
+            .collect();
+        Ok(crew.pool_ref().map(&mut driver_ws, jobs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DccsSession;
+    use mlgraph::MultiLayerGraphBuilder;
+
+    fn clique(b: &mut MultiLayerGraphBuilder, layer: usize, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(layer, vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+
+    /// The session tests' fixture: four layers over 12 vertices with two
+    /// planted coherent cliques.
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(12, 4);
+        clique(&mut b, 0, &[0, 1, 2, 3]);
+        clique(&mut b, 1, &[0, 1, 2, 3]);
+        clique(&mut b, 2, &[4, 5, 6, 7]);
+        clique(&mut b, 3, &[4, 5, 6, 7]);
+        clique(&mut b, 1, &[8, 9, 10, 11]);
+        b.build()
+    }
+
+    #[test]
+    fn snapshots_get_distinct_epochs() {
+        let g = graph();
+        let a = GraphSnapshot::new(&g);
+        let b = GraphSnapshot::new(&g);
+        assert_ne!(a.epoch(), b.epoch());
+        assert!(a.state().bound_to(&g));
+    }
+
+    #[test]
+    fn service_results_match_a_fresh_session_and_stamp_the_epoch() {
+        let g = graph();
+        let service = QueryService::new(&g, DccsOptions::default());
+        let params = DccsParams::new(2, 2, 2);
+        let via_service = service.query(&ServiceQuery::new(params)).unwrap();
+        let via_session = DccsSession::new(&g).query(params).run().unwrap();
+        assert_eq!(via_service.cores, via_session.cores);
+        assert_eq!(via_service.cover.to_vec(), via_session.cover.to_vec());
+        assert_eq!(via_service.stats, via_session.stats);
+        assert_eq!(via_service.stats.graph_epoch, Some(service.snapshot().epoch()));
+        assert!(!via_service.stats.served_from_cache);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache_and_the_answer_is_identical() {
+        let g = graph();
+        let service = QueryService::new(&g, DccsOptions::default());
+        let query = ServiceQuery::new(DccsParams::new(2, 2, 2));
+        let first = service.query(&query).unwrap();
+        let second = service.query(&query).unwrap();
+        assert!(!first.stats.served_from_cache);
+        assert!(second.stats.served_from_cache);
+        assert_eq!(first.cores, second.cores);
+        assert_eq!(first.stats, second.stats, "cache provenance is Eq-excluded");
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_parameters_algorithms_and_serve_modes_miss() {
+        let g = graph();
+        let service = QueryService::new(&g, DccsOptions::default());
+        let base = ServiceQuery::new(DccsParams::new(2, 2, 2));
+        service.query(&base).unwrap();
+        service.query(&ServiceQuery::new(DccsParams::new(2, 2, 1))).unwrap();
+        service.query(&base.clone().with_algorithm(Algorithm::Greedy)).unwrap();
+        service.query(&base.clone().with_serve(Serve::Peel)).unwrap();
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 4);
+    }
+
+    #[test]
+    fn limited_and_cancellable_queries_bypass_the_cache() {
+        let g = graph();
+        let service = QueryService::new(&g, DccsOptions::default());
+        let params = DccsParams::new(2, 2, 2);
+        let limited = ServiceQuery::new(params)
+            .with_limits(QueryLimits::none().with_candidate_budget(1_000_000));
+        service.query(&limited).unwrap();
+        service.query(&limited).unwrap();
+        let tokened = ServiceQuery::new(params).with_token(CancelToken::new());
+        service.query(&tokened).unwrap();
+        let stats = service.cache_stats();
+        assert_eq!(stats, CacheStats::default(), "bypassing queries count nowhere");
+    }
+
+    #[test]
+    fn attach_and_detach_invalidate_the_cache() {
+        let g = graph();
+        let service = QueryService::new(&g, DccsOptions::default());
+        let query = ServiceQuery::new(DccsParams::new(2, 2, 2));
+        let peeled = service.query(&query).unwrap();
+        assert_eq!(service.cache_stats().entries, 1);
+        let index = DccIndex::build(&g, &[2], 0);
+        service.attach_index(index).unwrap();
+        assert_eq!(service.cache_stats().entries, 0);
+        // The re-run is served from the index (different work counters than
+        // the peel), which is exactly why the attach must invalidate.
+        let served = service.query(&query).unwrap();
+        assert_eq!(served.stats.dcc_calls, 0);
+        assert_eq!(served.cores, peeled.cores);
+        service.detach_index();
+        assert_eq!(service.cache_stats().entries, 0);
+        let repeeled = service.query(&query).unwrap();
+        assert_eq!(repeeled.stats, peeled.stats);
+    }
+
+    #[test]
+    fn contexts_are_pooled_and_reused() {
+        let g = graph();
+        let service = QueryService::new(&g, DccsOptions::default());
+        assert_eq!(service.idle_contexts(), 0);
+        service.query(&ServiceQuery::new(DccsParams::new(2, 2, 2))).unwrap();
+        assert_eq!(service.idle_contexts(), 1);
+        service.query(&ServiceQuery::new(DccsParams::new(3, 2, 2))).unwrap();
+        assert_eq!(service.idle_contexts(), 1, "the idle context is reused, not duplicated");
+    }
+
+    #[test]
+    fn invalid_parameters_fail_the_whole_batch_up_front() {
+        let g = graph();
+        let service = QueryService::new(&g, DccsOptions::default());
+        let queries = [
+            ServiceQuery::new(DccsParams::new(2, 2, 2)),
+            ServiceQuery::new(DccsParams::new(2, 0, 2)),
+        ];
+        assert_eq!(service.run_batch(&queries).unwrap_err(), DccsError::SupportZero);
+    }
+
+    #[test]
+    fn batch_outcomes_arrive_in_submission_order_with_latencies() {
+        let g = graph();
+        let service = QueryService::new(&g, DccsOptions::default());
+        let specs = [(2u32, 2usize, 2usize), (3, 2, 2), (2, 3, 1), (2, 2, 2)];
+        let queries: Vec<ServiceQuery> =
+            specs.iter().map(|&(d, s, k)| ServiceQuery::new(DccsParams::new(d, s, k))).collect();
+        let outcomes = service.run_batch(&queries).unwrap();
+        assert_eq!(outcomes.len(), queries.len());
+        for (outcome, &(d, s, k)) in outcomes.iter().zip(&specs) {
+            let got = outcome.result.as_ref().unwrap();
+            let want = DccsSession::new(&g).query(DccsParams::new(d, s, k)).run().unwrap();
+            assert_eq!(got.cores, want.cores);
+            assert_eq!(got.stats, want.stats);
+        }
+        // The duplicated spec hit the cache.
+        assert!(outcomes[3].result.as_ref().unwrap().stats.served_from_cache);
+        assert_eq!(service.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_snapshot_between_session_and_service() {
+        let g = graph();
+        let mut session = DccsSession::new(&g);
+        let params = DccsParams::new(2, 2, 2);
+        let via_session = session.query(params).run().unwrap();
+        // The service built over the session's snapshot reuses its tier and
+        // reports the same epoch.
+        let service = QueryService::over(session.snapshot().clone(), DccsOptions::default());
+        let via_service = service.query(&ServiceQuery::new(params)).unwrap();
+        assert_eq!(via_service.stats.graph_epoch, via_session.stats.graph_epoch);
+        assert_eq!(via_service.cores, via_session.cores);
+        assert_eq!(via_service.stats, via_session.stats);
+        assert!(service.snapshot().state().memoized_ds() >= 1);
+    }
+}

@@ -73,6 +73,7 @@ use crate::greedy::greedy_dccs_on;
 use crate::limits::{CancelToken, LimitKind, QueryLimits, QueryMonitor};
 use crate::result::DccsResult;
 use crate::serve::{serve_from_index_on, DccIndex, Serve, ServePath};
+use crate::service::GraphSnapshot;
 use crate::top_down::top_down_dccs_on;
 use coreness::PeelWorkspace;
 use mlgraph::MultiLayerGraph;
@@ -123,6 +124,14 @@ impl QuerySpec {
 #[derive(Debug)]
 pub struct DccsSession<'g> {
     g: &'g MultiLayerGraph,
+    /// The session's epoch-versioned shared tier ([`GraphSnapshot`]): the
+    /// per-`d` layer-core memo and index-plan memo live here (installed
+    /// into every context the session runs queries on, including fresh
+    /// batch-job contexts), and the attached [`DccIndex`] is mirrored into
+    /// it — so a session *is* a single-tenant
+    /// [`crate::service::QueryService`] client over its own snapshot, and
+    /// [`DccsSession::snapshot`] hands the same tier to concurrent readers.
+    snapshot: Arc<GraphSnapshot<'g>>,
     ctx: SearchContext,
     opts: DccsOptions,
     /// The session's persistent worker crew ([`PersistentPool`]): spawned
@@ -154,9 +163,19 @@ impl<'g> DccsSession<'g> {
     /// A session over `g` whose queries default to `opts`. An `opts.threads`
     /// of `0` means auto ([`auto_threads`]).
     pub fn with_options(g: &'g MultiLayerGraph, opts: DccsOptions) -> Self {
+        let snapshot = GraphSnapshot::new(g);
         let mut ctx = SearchContext::new(auto_threads(opts.threads));
         ctx.set_index_choice(opts.index);
-        DccsSession { g, ctx, opts, crew: None, token: None, index: None }
+        ctx.set_shared(Some(snapshot.state().clone()));
+        DccsSession { g, snapshot, ctx, opts, crew: None, token: None, index: None }
+    }
+
+    /// The session's epoch-versioned [`GraphSnapshot`] — the shared
+    /// immutable tier its queries run against. Hand a clone of the `Arc` to
+    /// a [`crate::service::QueryService`] (or another session-free reader)
+    /// to share the preprocessing work this session has already paid for.
+    pub fn snapshot(&self) -> &Arc<GraphSnapshot<'g>> {
+        &self.snapshot
     }
 
     /// Attaches a [`CancelToken`] to every subsequent query (and batch) of
@@ -203,12 +222,15 @@ impl<'g> DccsSession<'g> {
     /// knob on their options.
     pub fn attach_index(&mut self, index: DccIndex) -> Result<(), DccsError> {
         index.matches(self.g)?;
-        self.index = Some(Arc::new(index));
+        let index = Arc::new(index);
+        self.snapshot.install_index(Some(index.clone()));
+        self.index = Some(index);
         Ok(())
     }
 
     /// Detaches the index; subsequent queries always peel.
     pub fn detach_index(&mut self) {
+        self.snapshot.install_index(None);
         self.index = None;
     }
 
@@ -263,9 +285,10 @@ impl<'g> DccsSession<'g> {
         let token = self.token.clone();
         let index = self.index.clone();
         let index = index.as_deref();
+        let epoch = self.snapshot.epoch();
         let ctx = &mut self.ctx;
         let g = self.g;
-        match &mut self.crew {
+        let result = match &mut self.crew {
             // A sequential query must not fan out on a crew left over from
             // an earlier wider query — the crew stays alive (a later wide
             // query reuses it) but this query bypasses it.
@@ -277,7 +300,11 @@ impl<'g> DccsSession<'g> {
             _ => crate::engine::with_pool(1, |pool| {
                 run_spec_monitored(ctx, pool, g, spec, opts, token, index)
             }),
-        }
+        };
+        result.map(|mut result| {
+            result.stats.graph_epoch = Some(epoch);
+            result
+        })
     }
 
     /// Runs a whole sweep through **one** executor crew.
@@ -330,6 +357,8 @@ impl<'g> DccsSession<'g> {
         let g = self.g;
         let token = self.token.clone();
         let index = self.index.clone();
+        let shared = self.snapshot.state().clone();
+        let epoch = self.snapshot.epoch();
         let opts = DccsOptions { threads: 1, ..self.opts };
         let crew = self.crew.as_mut().expect("ensure_crew spawns for threads > 1");
         let jobs: Vec<_> = specs
@@ -338,10 +367,12 @@ impl<'g> DccsSession<'g> {
                 let opts = &opts;
                 let token = token.clone();
                 let index = index.clone();
+                let shared = shared.clone();
                 move |_ws: &mut PeelWorkspace| match catch_unwind(AssertUnwindSafe(|| {
                     fault::check(site::BATCH_QUERY);
                     let mut ctx = SearchContext::new(1);
                     ctx.set_index_choice(opts.index);
+                    ctx.set_shared(Some(shared));
                     crate::engine::with_pool(1, |pool| {
                         run_spec_monitored(&mut ctx, pool, g, &spec, opts, token, index.as_deref())
                     })
@@ -351,7 +382,11 @@ impl<'g> DccsSession<'g> {
                 }
             })
             .collect();
-        Ok(crew.pool_ref().map(&mut self.ctx.ws, jobs))
+        let mut outcomes = crew.pool_ref().map(&mut self.ctx.ws, jobs);
+        for result in outcomes.iter_mut().flatten() {
+            result.stats.graph_epoch = Some(epoch);
+        }
+        Ok(outcomes)
     }
 }
 
@@ -429,7 +464,7 @@ fn run_spec_on_pool(
 /// whatever wall-clock remains) when [`QueryLimits::degrade`] is set, and
 /// the fallback is recorded in [`crate::SearchStats::degraded_from`].
 #[allow(clippy::too_many_arguments)]
-fn run_spec_monitored(
+pub(crate) fn run_spec_monitored(
     ctx: &mut SearchContext,
     pool: &PoolRef<'_>,
     g: &MultiLayerGraph,
@@ -491,11 +526,15 @@ fn dispatch_limited(
         }
         Err(payload) => {
             // The panic unwound through mid-query engine state; rebuild the
-            // context (same width and index override) rather than trusting
-            // whatever the unwind left behind.
+            // context (same width, index override, and shared tier) rather
+            // than trusting whatever the unwind left behind. The shared
+            // tier survives by design: its entries are only ever installed
+            // whole, so a mid-query panic cannot leave one half-built.
             let threads = ctx.threads();
+            let shared = ctx.shared().cloned();
             *ctx = SearchContext::new(threads);
             ctx.set_index_choice(opts.index);
+            ctx.set_shared(shared);
             return Err(panic_to_error(pool.take_last_panic(), payload.as_ref()));
         }
     };
@@ -525,7 +564,7 @@ fn dispatch_limited(
 /// Builds the [`DccsError::TaskPanicked`] for a caught engine panic,
 /// preferring the message a pool worker parked (the original panic, not the
 /// driver's generic "job died" rethrow) over the caught payload itself.
-fn panic_to_error(
+pub(crate) fn panic_to_error(
     worker_message: Option<String>,
     payload: &(dyn std::any::Any + Send),
 ) -> DccsError {

@@ -116,7 +116,7 @@ macro_rules! impl_tuple_strategies {
     };
 }
 
-impl_tuple_strategies!((A, B), (A, B, C), (A, B, C, D));
+impl_tuple_strategies!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, F));
 
 /// `prop::…` namespace mirror.
 pub mod prop {
