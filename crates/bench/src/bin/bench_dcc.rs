@@ -17,9 +17,9 @@
 
 use datasets::Scale;
 use dccs_bench::dcc_baseline::{
-    auto_selection_suite, baseline_suite, concurrent_service_suite, kernel_dispatch_suite,
-    phase_breakdown_suite, serve_from_index_suite, single_core, subtree_scaling_suite,
-    suite_to_json, thread_scaling_suite,
+    auto_selection_suite, baseline_suite, concurrent_service_suite, incremental_maintenance_suite,
+    kernel_dispatch_suite, phase_breakdown_suite, serve_from_index_suite, single_core,
+    subtree_scaling_suite, suite_to_json, thread_scaling_suite,
 };
 
 const USAGE: &str =
@@ -186,6 +186,20 @@ fn main() {
             c.cache_hit_rate * 100.0,
         );
     }
+    let incremental = incremental_maintenance_suite(scale, runs);
+    for m in &incremental {
+        println!(
+            "{:>14} batch={:<4} x{}  {:>6} edges  incremental {:>10.6}s  recompute {:>10.6}s  {:>10.0} upd/s  speedup {:>6.2}x",
+            m.dataset,
+            m.batch_size,
+            m.batches,
+            m.edges,
+            m.incremental_secs,
+            m.recompute_secs,
+            m.updates_per_sec(),
+            m.speedup(),
+        );
+    }
     let json = suite_to_json(
         scale,
         runs,
@@ -198,6 +212,7 @@ fn main() {
         &phases,
         &serve,
         &concurrent,
+        &incremental,
     );
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {

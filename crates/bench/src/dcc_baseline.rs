@@ -33,6 +33,11 @@
 //!   batched through one [`dccs::QueryService`] at 1 vs N workers:
 //!   throughput, p50/p95/p99 latency, and the result-cache hit rate, with
 //!   the answers asserted identical across widths.
+//! * **incremental maintenance** — temporal mutation batches (sizes 1, 16,
+//!   256) committed through a warm [`dccs::QueryService`] (the per-`d`
+//!   repair path) vs applied + re-peeled from scratch, recording
+//!   updates/sec and the repair-vs-recompute speedup, with the post-stream
+//!   answers asserted identical on both graphs.
 //!
 //! On a single-core host (`available_parallelism() == 1`) the scaling
 //! groups (including `concurrent_service`) are **skipped** and recorded
@@ -341,6 +346,63 @@ impl ConcurrentService {
             ("p99_ms", Value::from(self.p99_ms)),
             ("cache_hit_rate", Value::from(self.cache_hit_rate)),
             ("cover_sum", Value::from(self.cover_sum)),
+        ])
+    }
+}
+
+/// One incremental-maintenance measurement (the `incremental_maintenance`
+/// group of `BENCH_dcc.json`): a temporal batch stream committed through
+/// one warm [`dccs::QueryService`] (the repair path — bounded reach-set
+/// growth for inserts, cascade re-peel within the old core for deletes, on
+/// touched layers only) against the recompute-from-scratch baseline (apply
+/// the batch, then re-peel every layer's `d`-core as a repair-less service
+/// would at its next query). The final answers on both graphs are asserted
+/// identical before either time is recorded.
+#[derive(Clone, Debug)]
+pub struct IncrementalMaintenance {
+    /// Dataset analogue name (the temporal generator at the bench scale).
+    pub dataset: String,
+    /// Edge operations per committed batch.
+    pub batch_size: usize,
+    /// Batches committed per repetition.
+    pub batches: usize,
+    /// Total edge operations across the stream (inserts + deletes).
+    pub edges: usize,
+    /// Materialized per-`d` tier entries each commit repaired.
+    pub repaired_ds: usize,
+    /// Best-of-N seconds to commit the whole stream incrementally.
+    pub incremental_secs: f64,
+    /// Best-of-N seconds to apply + re-peel from scratch per batch.
+    pub recompute_secs: f64,
+    /// `|Cov(R)|` of the post-stream probe — identical on both paths.
+    pub cover: usize,
+}
+
+impl IncrementalMaintenance {
+    /// Edge operations maintained per second on the incremental path.
+    pub fn updates_per_sec(&self) -> f64 {
+        self.edges as f64 / self.incremental_secs
+    }
+
+    /// `recompute_secs / incremental_secs` (> 1 means repair beats
+    /// re-peeling from scratch).
+    pub fn speedup(&self) -> f64 {
+        self.recompute_secs / self.incremental_secs
+    }
+
+    /// Renders the measurement as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("batch_size", Value::from(self.batch_size)),
+            ("batches", Value::from(self.batches)),
+            ("edges", Value::from(self.edges)),
+            ("repaired_ds", Value::from(self.repaired_ds)),
+            ("incremental_secs", Value::from(self.incremental_secs)),
+            ("recompute_secs", Value::from(self.recompute_secs)),
+            ("updates_per_sec", Value::from(self.updates_per_sec())),
+            ("speedup", Value::from(self.speedup())),
+            ("cover", Value::from(self.cover)),
         ])
     }
 }
@@ -889,6 +951,113 @@ pub fn concurrent_service_suite(
     out
 }
 
+/// The temporal generator configuration matching the bench scale (the same
+/// shape the CLI's `dccs apply --stream` drives).
+fn temporal_config(scale: Scale) -> mlgraph::generators::TemporalConfig {
+    use mlgraph::generators::TemporalConfig;
+    let (num_vertices, num_layers, edges_per_layer, core_size) = match scale {
+        Scale::Tiny => (150, 4, 450, 24),
+        Scale::Small => (600, 6, 2400, 48),
+        Scale::Full => (2000, 8, 8000, 80),
+    };
+    TemporalConfig { num_vertices, num_layers, edges_per_layer, core_size, ..Default::default() }
+}
+
+/// Measures one incremental-maintenance configuration: `num_batches`
+/// temporal batches of `batch_size` operations, committed through a warm
+/// [`dccs::QueryService`] (one probe query materializes the shared `d`-core
+/// tier, so every commit exercises the repair path) vs applied + re-peeled
+/// from scratch per batch (every layer's `d`-core, the work a repair-less
+/// service defers to its next query). The post-stream probe answer is
+/// asserted identical on both graphs before timing is recorded.
+pub fn compare_incremental_maintenance(
+    scale: Scale,
+    batch_size: usize,
+    num_batches: usize,
+    runs: usize,
+) -> IncrementalMaintenance {
+    use dccs::{DccsSession, QueryService, ServiceQuery};
+    use mlgraph::generators::temporal_batches;
+    use mlgraph::MultiLayerGraph;
+
+    let config = temporal_config(scale);
+    let (base, batches) =
+        temporal_batches(&config, num_batches, batch_size).expect("bench temporal config is valid");
+    let d = 3u32;
+    let params = DccsParams::new(d, 2.min(base.num_layers()), 10);
+    let edges: usize = batches.iter().map(mlgraph::EdgeBatch::len).sum();
+
+    let mut incremental_secs = f64::MAX;
+    let mut repaired_ds = 0usize;
+    let mut service_cover = 0usize;
+    for _ in 0..runs.max(1) {
+        let service = QueryService::new(&base, DccsOptions::default());
+        // Warm the shared tier: the probe materializes the d-core entries
+        // the commits will repair (a cold service has nothing to maintain).
+        service.query(&ServiceQuery::new(params)).expect("warm probe");
+        let start = Instant::now();
+        for batch in &batches {
+            let receipt = service.commit(batch).expect("generated batches are valid");
+            repaired_ds = repaired_ds.max(receipt.repaired_ds);
+        }
+        incremental_secs = incremental_secs.min(start.elapsed().as_secs_f64());
+        service_cover =
+            service.query(&ServiceQuery::new(params)).expect("post-stream probe").cover_size();
+    }
+
+    let mut recompute_secs = f64::MAX;
+    let mut final_graph: Option<MultiLayerGraph> = None;
+    for _ in 0..runs.max(1) {
+        let mut mutated: Option<MultiLayerGraph> = None;
+        let start = Instant::now();
+        for batch in &batches {
+            let src = mutated.as_ref().unwrap_or(&base);
+            let (next, _) = src.apply_batch(batch).expect("generated batches are valid");
+            // From-scratch tier rebuild: what the next query pays when the
+            // commit throws the materialized cores away instead of
+            // repairing them.
+            let mut rebuilt = 0usize;
+            for layer in 0..next.num_layers() {
+                rebuilt += coreness::d_core(next.layer(layer), d).len();
+            }
+            std::hint::black_box(rebuilt);
+            mutated = Some(next);
+        }
+        recompute_secs = recompute_secs.min(start.elapsed().as_secs_f64());
+        final_graph = mutated;
+    }
+
+    let final_graph = final_graph.expect("at least one batch in the stream");
+    let mut session = DccsSession::new(&final_graph);
+    let fresh = session.query(params).run().expect("recompute probe");
+    assert_eq!(
+        service_cover,
+        fresh.cover_size(),
+        "incremental and recomputed answers diverged at batch_size {batch_size}"
+    );
+
+    IncrementalMaintenance {
+        dataset: format!("Temporal-{scale:?}"),
+        batch_size,
+        batches: batches.len(),
+        edges,
+        repaired_ds,
+        incremental_secs,
+        recompute_secs,
+        cover: service_cover,
+    }
+}
+
+/// The incremental-maintenance suite: the temporal generator at the bench
+/// scale, streamed at batch sizes 1, 16, and 256 (single-edge repairs,
+/// small bursts, and bulk loads).
+pub fn incremental_maintenance_suite(scale: Scale, runs: usize) -> Vec<IncrementalMaintenance> {
+    [1usize, 16, 256]
+        .iter()
+        .map(|&batch_size| compare_incremental_maintenance(scale, batch_size, 4, runs))
+        .collect()
+}
+
 /// Renders one scaling group: the single-core skip marker plus the
 /// measurements (empty when skipped).
 fn scaling_group_to_json(measurements: &[ThreadScaling], skipped_single_core: bool) -> Value {
@@ -914,6 +1083,7 @@ pub fn suite_to_json(
     phases: &[PhaseBreakdown],
     serve: &[ServeFromIndex],
     concurrent: &[ConcurrentService],
+    incremental: &[IncrementalMaintenance],
 ) -> Value {
     let geomean = if comparisons.is_empty() {
         1.0
@@ -939,6 +1109,12 @@ pub fn suite_to_json(
         let log_sum: f64 = serve.iter().map(|s| s.speedup().ln()).sum();
         (log_sum / serve.len() as f64).exp()
     };
+    let incremental_geomean = if incremental.is_empty() {
+        1.0
+    } else {
+        let log_sum: f64 = incremental.iter().map(|m| m.speedup().ln()).sum();
+        (log_sum / incremental.len() as f64).exp()
+    };
     Value::object(vec![
         ("benchmark", Value::from("dcc_candidate_generation_engine_vs_naive")),
         ("scale", Value::from(format!("{scale:?}"))),
@@ -948,6 +1124,7 @@ pub fn suite_to_json(
         ("selected_kernel", Value::from(mlgraph::kernels::kernel().kind().name())),
         ("kernel_dispatch_speedup_geomean", Value::from(kernel_geomean)),
         ("serve_from_index_speedup_geomean", Value::from(serve_geomean)),
+        ("incremental_maintenance_speedup_geomean", Value::from(incremental_geomean)),
         ("comparisons", Value::Array(comparisons.iter().map(Comparison::to_json).collect())),
         ("thread_scaling", scaling_group_to_json(scaling, scaling_skipped_single_core)),
         ("subtree_scaling", scaling_group_to_json(subtree, scaling_skipped_single_core)),
@@ -965,6 +1142,10 @@ pub fn suite_to_json(
                 ),
             ]),
         ),
+        (
+            "incremental_maintenance",
+            Value::Array(incremental.iter().map(IncrementalMaintenance::to_json).collect()),
+        ),
     ])
 }
 
@@ -978,7 +1159,8 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json = suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[], &[], &[], &[]);
+        let json =
+            suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
@@ -993,10 +1175,11 @@ mod tests {
     /// way both groups are present in the document.
     #[test]
     fn scaling_groups_record_the_single_core_skip() {
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[], &[], &[]);
+        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": true"));
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[]);
+        let json =
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": false"));
         assert!(text.contains("\"subtree_scaling\""));
@@ -1025,7 +1208,8 @@ mod tests {
         // The three phases partition the run (modulo dispatch overhead):
         // their sum cannot exceed the end-to-end wall clock.
         assert!(p.preprocess_secs + p.search_secs + p.select_secs <= p.total_secs);
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p], &[], &[]);
+        let json =
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"phase_breakdown\""));
         assert!(text.contains("\"preprocess_secs\""));
@@ -1043,7 +1227,7 @@ mod tests {
             assert!(k.speedup() > 0.0);
         }
         let json =
-            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels, &[], &[], &[]);
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels, &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"selected_kernel\""));
         assert!(text.contains("\"kernel_dispatch\""));
@@ -1059,7 +1243,8 @@ mod tests {
         assert!(m.bytes > 0);
         assert!(m.query_peel_secs > 0.0 && m.query_index_secs > 0.0);
         assert!(m.speedup() > 0.0);
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[m], &[]);
+        let json =
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[m], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"serve_from_index\""));
         assert!(text.contains("\"serve_from_index_speedup_geomean\""));
@@ -1079,12 +1264,30 @@ mod tests {
         // cache-eligible queries must have hit.
         assert!(one.cache_hit_rate >= 0.5, "hit rate {}", one.cache_hit_rate);
         assert!(one.p50_ms <= one.p95_ms && one.p95_ms <= one.p99_ms);
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[one]);
+        let json =
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[one], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"concurrent_service\""));
         assert!(text.contains("\"qps\""));
         assert!(text.contains("\"p99_ms\""));
         assert!(text.contains("\"cache_hit_rate\""));
+    }
+
+    #[test]
+    fn incremental_maintenance_is_measured_and_recorded() {
+        let m = compare_incremental_maintenance(Scale::Tiny, 8, 2, 1);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.edges, 16, "the generator fills every batch at tiny scale");
+        assert!(m.repaired_ds >= 1, "the warm probe must materialize a tier to repair");
+        assert!(m.incremental_secs > 0.0 && m.recompute_secs > 0.0);
+        assert!(m.updates_per_sec() > 0.0);
+        let json =
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[], &[m]);
+        let text = serde_json::to_string_pretty(&json);
+        assert!(text.contains("\"incremental_maintenance\""));
+        assert!(text.contains("\"incremental_maintenance_speedup_geomean\""));
+        assert!(text.contains("\"updates_per_sec\""));
+        assert!(text.contains("\"batch_size\": 8"));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use dccs::{
     Algorithm, DccIndex, DccsError, DccsOptions, DccsParams, DccsSession, IndexChoice,
     QueryService, Serve,
 };
-use mlgraph::{GraphStats, MultiLayerGraph};
+use mlgraph::{EdgeBatch, GraphStats, MultiLayerGraph};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -42,6 +42,10 @@ USAGE:
                   [--threads N] [--mix N] [--load-index FILE]
                   [plus every `run` default: -d/-s/-k, --algorithm, --serve,
                    --timeout-ms, --budget, --degrade, --index]
+    dccs apply    ((--input FILE | --dataset NAME [--scale SCALE]) --batch FILE
+                   | --stream N [--scale SCALE])
+                  [plus every `run` default: -d/-s/-k, --algorithm, --serve,
+                   --timeout-ms, --budget, --degrade, --index, --threads]
     dccs compare  (--input FILE | --dataset NAME [--scale SCALE]) [-d N] [-s N] [-k N]
                   [--threads N] [--index auto|csr|dense]
     dccs generate --dataset NAME [--scale SCALE] --output FILE
@@ -85,6 +89,18 @@ pool width (0 = all cores; results are identical at any width). --mix N
 skips stdin and drives N deterministic synthetic requests (with repeats,
 to exercise the result cache). Throughput and p50/p95/p99 latency go to
 stderr.
+
+A serve line carrying \"op\":\"apply\" mutates the graph instead:
+{\"id\":9,\"op\":\"apply\",\"insert\":[[layer,u,v],...],\"delete\":[...]}
+commits the batch atomically at its place in the stream and answers with
+the new epoch; queries ahead of it finish on the old snapshot, queries
+after it see the mutated graph. A rejected batch fails its line only.
+
+`apply` commits edge mutations one-shot, then answers a single query on
+the result and prints the serving epoch. --batch FILE reads operations
+as `add|del <layer> <u> <v>` lines (`#` comments allowed) against
+--input/--dataset; --stream N instead generates a temporal graph plus N
+evolution batches (sized by --scale) and commits them in order.
 ";
 
 /// CLI failure modes: usage errors reprint the synopsis, everything else
@@ -156,6 +172,10 @@ struct Options {
     load_index: Option<String>,
     /// `serve` only: drive N synthetic requests instead of reading stdin.
     mix: Option<usize>,
+    /// `apply` only: mutation batch file (`add|del <layer> <u> <v>` lines).
+    batch: Option<String>,
+    /// `apply` only: commit N generated temporal evolution batches.
+    stream: Option<usize>,
     opts: DccsOptions,
 }
 
@@ -180,6 +200,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         save_index: None,
         load_index: None,
         mix: None,
+        batch: None,
+        stream: None,
         opts: DccsOptions::default(),
     };
     let mut iter = args.iter();
@@ -273,6 +295,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                         .map_err(|_| CliError::Usage("--mix must be a number".into()))?,
                 )
             }
+            "--batch" => out.batch = Some(value("--batch")?),
+            "--stream" => {
+                out.stream = Some(
+                    value("--stream")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--stream must be a number".into()))?,
+                )
+            }
             "--max-s" => {
                 out.max_s = Some(
                     value("--max-s")?
@@ -314,6 +344,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(&opts),
         "run" => cmd_run(&opts),
         "serve" => cmd_serve(&opts),
+        "apply" => cmd_apply(&opts),
         "compare" => cmd_compare(&opts),
         "generate" => cmd_generate(&opts),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -427,7 +458,8 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
 }
 
 /// `dccs serve`: answer an NDJSON request stream (or a synthetic `--mix`)
-/// through one [`QueryService`] over a shared graph snapshot.
+/// through one [`QueryService`] over a shared graph snapshot. Lines
+/// carrying `"op":"apply"` commit mutation batches in stream order.
 fn cmd_serve(opts: &Options) -> Result<(), CliError> {
     use std::io::{BufRead as _, Write as _};
 
@@ -453,94 +485,176 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
             .map_err(|e| CliError::Runtime(format!("failed to read stdin: {e}")))?,
     };
 
-    // Decode the whole stream up front so one `run_batch` call can spread
-    // the valid requests over the worker pool. A line that fails to decode
-    // or validate keeps its slot as an error response — the batch itself
-    // must only ever see queries it would accept, because `run_batch`
-    // rejects a batch containing invalid parameters wholesale.
-    enum Slot {
-        Run(usize),
-        Reject(String),
+    let responses = serve_stream(&service, &defaults, &lines)?;
+    let mut stdout = std::io::stdout().lock();
+    for line in &responses {
+        writeln!(stdout, "{line}")
+            .map_err(|e| CliError::Runtime(format!("failed to write stdout: {e}")))?;
     }
-    let mut ids = Vec::new();
-    let mut slots = Vec::new();
-    let mut queries = Vec::new();
+    Ok(())
+}
+
+/// Answers a decoded NDJSON stream on `service`, returning the response
+/// lines in input order and printing throughput/latency stats to stderr.
+///
+/// Query runs between two applies form one segment handed to
+/// [`QueryService::run_batch`], so they spread over the worker pool and
+/// answer on the snapshot current at their submission; each apply line then
+/// commits its batch before the next segment starts. A line that fails to
+/// decode or validate keeps its slot as an `ok:false` response — the batch
+/// itself must only ever see queries it would accept, because `run_batch`
+/// rejects a batch containing invalid parameters wholesale.
+fn serve_stream(
+    service: &QueryService<'_>,
+    defaults: &ndjson::RequestDefaults,
+    lines: &[String],
+) -> Result<Vec<String>, CliError> {
+    enum Event {
+        Query { id: u64, query: dccs::ServiceQuery },
+        Apply { id: u64, batch: EdgeBatch },
+        Reject { id: u64, message: String },
+    }
+    // Mutations never change the vertex or layer count, so parameter
+    // validation against the initial snapshot stays correct all stream.
+    let num_layers = service.snapshot().graph().num_layers();
+    let mut events = Vec::new();
     for (lineno, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        match ndjson::parse_request(line, lineno + 1, &defaults) {
-            Ok(req) => {
-                ids.push(req.id);
-                match req.query.spec.params.validate(g.num_layers()) {
-                    Ok(()) => {
-                        slots.push(Slot::Run(queries.len()));
-                        queries.push(req.query);
-                    }
-                    Err(e) => slots.push(Slot::Reject(e.to_string())),
-                }
+        match ndjson::parse_line(line, lineno + 1, defaults) {
+            Ok(ndjson::Line::Query(req)) => match req.query.spec.params.validate(num_layers) {
+                Ok(()) => events.push(Event::Query { id: req.id, query: req.query }),
+                Err(e) => events.push(Event::Reject { id: req.id, message: e.to_string() }),
+            },
+            Ok(ndjson::Line::Apply(apply)) => {
+                events.push(Event::Apply { id: apply.id, batch: apply.batch })
             }
-            Err((id, msg)) => {
-                ids.push(id);
-                slots.push(Slot::Reject(msg));
-            }
+            Err((id, message)) => events.push(Event::Reject { id, message }),
         }
     }
 
-    let start = Instant::now();
-    let outcomes = service.run_batch(&queries)?;
-    let wall = start.elapsed();
+    #[derive(Default)]
+    struct Tally {
+        ran: usize,
+        ok: u64,
+        errors: u64,
+        limits: u64,
+        hits: u64,
+        applied: u64,
+    }
+    enum Slot {
+        Run(u64, usize),
+        Reject(u64, String),
+    }
+    let mut tally = Tally::default();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut responses: Vec<String> = Vec::with_capacity(events.len());
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut queries: Vec<dccs::ServiceQuery> = Vec::new();
 
-    let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency.as_secs_f64() * 1e3).collect();
-    latencies.sort_by(f64::total_cmp);
-    let (mut ok, mut errors, mut limits, mut hits) = (0u64, 0u64, 0u64, 0u64);
-    let mut stdout = std::io::stdout().lock();
-    for (slot, &id) in slots.iter().zip(&ids) {
-        let line = match slot {
-            Slot::Reject(msg) => {
-                errors += 1;
-                ndjson::error_response(id, msg, false)
-            }
-            Slot::Run(i) => {
-                let outcome = &outcomes[*i];
-                match &outcome.result {
-                    Ok(result) => {
-                        ok += 1;
-                        if result.stats.served_from_cache {
-                            hits += 1;
+    let flush = |slots: &mut Vec<Slot>,
+                 queries: &mut Vec<dccs::ServiceQuery>,
+                 responses: &mut Vec<String>,
+                 latencies: &mut Vec<f64>,
+                 tally: &mut Tally|
+     -> Result<(), CliError> {
+        if slots.is_empty() {
+            return Ok(());
+        }
+        let outcomes = service.run_batch(queries)?;
+        tally.ran += outcomes.len();
+        for slot in slots.drain(..) {
+            let line = match slot {
+                Slot::Reject(id, msg) => {
+                    tally.errors += 1;
+                    ndjson::error_response(id, &msg, false)
+                }
+                Slot::Run(id, i) => {
+                    let outcome = &outcomes[i];
+                    let ms = outcome.latency.as_secs_f64() * 1e3;
+                    latencies.push(ms);
+                    match &outcome.result {
+                        Ok(result) => {
+                            tally.ok += 1;
+                            if result.stats.served_from_cache {
+                                tally.hits += 1;
+                            }
+                            ndjson::ok_response(id, result, ms)
                         }
-                        ndjson::ok_response(id, result, outcome.latency.as_secs_f64() * 1e3)
+                        Err(err) => {
+                            tally.errors += 1;
+                            if err.is_limit() {
+                                tally.limits += 1;
+                            }
+                            ndjson::dccs_error_response(id, err)
+                        }
                     }
+                }
+            };
+            responses.push(line);
+        }
+        queries.clear();
+        Ok(())
+    };
+
+    let start = Instant::now();
+    for event in events {
+        match event {
+            Event::Query { id, query } => {
+                slots.push(Slot::Run(id, queries.len()));
+                queries.push(query);
+            }
+            Event::Reject { id, message } => slots.push(Slot::Reject(id, message)),
+            Event::Apply { id, batch } => {
+                // Everything already queued answers on the pre-commit
+                // snapshot; only later lines see the new epoch.
+                flush(&mut slots, &mut queries, &mut responses, &mut latencies, &mut tally)?;
+                let t = Instant::now();
+                match service.commit(&batch) {
+                    Ok(receipt) => {
+                        tally.applied += 1;
+                        responses.push(ndjson::apply_response(
+                            id,
+                            &receipt,
+                            t.elapsed().as_secs_f64() * 1e3,
+                        ));
+                    }
+                    // A rejected batch (bad layer/vertex, insert+delete
+                    // conflict) fails its line only; the snapshot and the
+                    // rest of the stream are untouched.
                     Err(err) => {
-                        errors += 1;
-                        if err.is_limit() {
-                            limits += 1;
-                        }
-                        ndjson::dccs_error_response(id, err)
+                        tally.errors += 1;
+                        responses.push(ndjson::dccs_error_response(id, &err));
                     }
                 }
             }
-        };
-        writeln!(stdout, "{line}")
-            .map_err(|e| CliError::Runtime(format!("failed to write stdout: {e}")))?;
+        }
     }
-    drop(stdout);
+    flush(&mut slots, &mut queries, &mut responses, &mut latencies, &mut tally)?;
+    let wall = start.elapsed();
 
+    latencies.sort_by(f64::total_cmp);
     let secs = wall.as_secs_f64();
-    let qps = if secs > 0.0 { outcomes.len() as f64 / secs } else { 0.0 };
+    let qps = if secs > 0.0 { tally.ran as f64 / secs } else { 0.0 };
     let cache = service.cache_stats();
     eprintln!(
-        "served {} requests ({} ran, {ok} ok, {errors} errors, {limits} limit-tripped) \
+        "served {} requests ({} ran, {} ok, {} errors, {} limit-tripped, {} applied) \
          in {secs:.3}s on {} workers ({qps:.1} q/s)",
-        ids.len(),
-        outcomes.len(),
+        responses.len(),
+        tally.ran,
+        tally.ok,
+        tally.errors,
+        tally.limits,
+        tally.applied,
         service.workers()
     );
     eprintln!(
-        "cache           : {hits} hits | {} misses | {} entries (graph epoch {})",
+        "cache           : {} hits | {} misses | {} entries (graph epoch {})",
+        tally.hits,
         cache.misses,
         cache.entries,
-        service.snapshot().epoch()
+        service.epoch()
     );
     eprintln!(
         "latency ms      : p50 {:.3} | p95 {:.3} | p99 {:.3}",
@@ -548,7 +662,7 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
         percentile(&latencies, 0.95),
         percentile(&latencies, 0.99)
     );
-    Ok(())
+    Ok(responses)
 }
 
 /// The deterministic `--mix N` driver: four query shapes derived from the
@@ -579,6 +693,91 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     }
     let rank = (p * sorted_ms.len() as f64).ceil().max(1.0) as usize;
     sorted_ms[rank.min(sorted_ms.len()) - 1]
+}
+
+/// `dccs apply`: commit mutation batches through a [`QueryService`], then
+/// answer one query on the resulting snapshot — a one-shot probe of the
+/// incremental-maintenance path with the serving epoch printed.
+fn cmd_apply(opts: &Options) -> Result<(), CliError> {
+    match (&opts.batch, opts.stream) {
+        (Some(_), Some(_)) => {
+            Err(CliError::Usage("use either --batch or --stream, not both".into()))
+        }
+        (None, None) => Err(CliError::Usage("apply requires --batch FILE or --stream N".into())),
+        (Some(path), None) => {
+            let g = load_graph(opts)?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Runtime(format!("failed to read `{path}`: {e}")))?;
+            let batch = EdgeBatch::from_text(&text)
+                .map_err(|e| CliError::Runtime(format!("failed to parse `{path}`: {e}")))?;
+            apply_and_query(opts, &g, &[batch])
+        }
+        (None, Some(n)) => {
+            if opts.input.is_some() || opts.dataset.is_some() {
+                return Err(CliError::Usage(
+                    "--stream generates its own temporal graph; drop --input/--dataset".into(),
+                ));
+            }
+            let config = temporal_config(opts.scale);
+            let (g, batches) = mlgraph::generators::temporal_batches(&config, n, 32)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            apply_and_query(opts, &g, &batches)
+        }
+    }
+}
+
+/// The temporal-generator shape backing `apply --stream`, sized by --scale.
+fn temporal_config(scale: Scale) -> mlgraph::generators::TemporalConfig {
+    let (num_vertices, num_layers, edges_per_layer, core_size) = match scale {
+        Scale::Tiny => (150, 4, 450, 24),
+        Scale::Small => (600, 6, 2400, 48),
+        Scale::Full => (2000, 8, 8000, 80),
+    };
+    mlgraph::generators::TemporalConfig {
+        num_vertices,
+        num_layers,
+        edges_per_layer,
+        core_size,
+        ..Default::default()
+    }
+}
+
+/// Commits `batches` in order (printing each receipt), then runs one query
+/// with the command-line parameters on the final snapshot.
+fn apply_and_query(
+    opts: &Options,
+    g: &MultiLayerGraph,
+    batches: &[EdgeBatch],
+) -> Result<(), CliError> {
+    let service = QueryService::new(g, opts.opts);
+    for batch in batches {
+        let receipt = service.commit(batch)?;
+        println!(
+            "committed       : +{} -{} edges on {} layer(s) → epoch {}{}",
+            receipt.inserted,
+            receipt.deleted,
+            receipt.layers_touched,
+            receipt.epoch,
+            if receipt.is_noop_commit() { " (no-op)" } else { "" }
+        );
+    }
+    let snapshot = service.snapshot();
+    let params = params_for(opts, snapshot.graph());
+    let query = dccs::ServiceQuery::new(params)
+        .with_algorithm(opts.algorithm)
+        .with_serve(opts.opts.serve)
+        .with_limits(opts.opts.limits);
+    let result = service.query(&query)?;
+    let ran = result.stats.algorithm.map_or("?", Algorithm::name);
+    let label = format!(
+        "apply → {ran} (d={}, s={}, k={}, epoch {})",
+        params.d,
+        params.s,
+        params.k,
+        service.epoch()
+    );
+    print_result(&label, snapshot.graph(), &result);
+    Ok(())
 }
 
 fn cmd_index(args: &[String]) -> Result<(), CliError> {
@@ -1239,6 +1438,128 @@ mod tests {
             "0",
         ])
         .is_ok());
+    }
+
+    #[test]
+    fn parses_apply_flags_and_rejects_garbage() {
+        assert_eq!(opts(&["--batch", "ops.txt"]).unwrap().batch.as_deref(), Some("ops.txt"));
+        assert_eq!(opts(&["--stream", "4"]).unwrap().stream, Some(4));
+        let o = opts(&[]).unwrap();
+        assert!(o.batch.is_none() && o.stream.is_none());
+        assert!(matches!(opts(&["--batch"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--stream", "many"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&["--stream"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn apply_subcommand_usage_errors() {
+        // Needs exactly one mutation source.
+        let base = ["apply", "--dataset", "ppi", "--scale", "tiny"];
+        assert!(matches!(run_args(&base), Err(CliError::Usage(_))));
+        let mut both = base.to_vec();
+        both.extend_from_slice(&["--batch", "x", "--stream", "2"]);
+        assert!(matches!(run_args(&both), Err(CliError::Usage(_))));
+        // --stream brings its own graph.
+        let mut stream_with_dataset = base.to_vec();
+        stream_with_dataset.extend_from_slice(&["--stream", "2"]);
+        assert!(matches!(run_args(&stream_with_dataset), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn end_to_end_apply_with_a_batch_file() {
+        let dir = std::env::temp_dir().join("dccs_cli_apply_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ops.txt");
+        std::fs::write(&path, "# demo\nadd 0 0 2\nadd 1 0 3\ndel 0 0 3\n").unwrap();
+        let path_str = path.to_string_lossy().to_string();
+        assert!(run_args(&[
+            "apply",
+            "--dataset",
+            "ppi",
+            "--scale",
+            "tiny",
+            "-d",
+            "2",
+            "-s",
+            "2",
+            "--batch",
+            &path_str,
+        ])
+        .is_ok());
+        // A malformed batch file is a one-line runtime error.
+        std::fs::write(&path, "frob 0 1 2\n").unwrap();
+        let err = run_args(&["apply", "--dataset", "ppi", "--scale", "tiny", "--batch", &path_str])
+            .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)), "got: {err:?}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn end_to_end_apply_stream_commits_generated_batches() {
+        assert!(run_args(&[
+            "apply", "--stream", "2", "--scale", "tiny", "-d", "2", "-s", "2", "-k", "3",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn serve_stream_commits_applies_in_order() {
+        // Triangle {0,1,2} on both layers; the apply line grows it to a K4.
+        let mut b = mlgraph::MultiLayerGraphBuilder::new(6, 2);
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            b.add_edge(0, u, v).unwrap();
+            b.add_edge(1, u, v).unwrap();
+        }
+        let g = b.build();
+        let service = QueryService::new(&g, DccsOptions::default());
+        let defaults = ndjson::RequestDefaults {
+            d: 2,
+            s: 2,
+            k: 1,
+            algorithm: Algorithm::Auto,
+            serve: Serve::Auto,
+            limits: dccs::QueryLimits::none(),
+        };
+        let lines: Vec<String> = [
+            r#"{"id":1}"#,
+            r#"{"id":2,"op":"apply","insert":[[0,0,3],[0,1,3],[0,2,3],[1,0,3],[1,1,3],[1,2,3]]}"#,
+            r#"{"id":3}"#,
+            "not json",
+            r#"{"id":5,"op":"apply","insert":[[9,0,1]]}"#,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let responses = serve_stream(&service, &defaults, &lines).unwrap();
+        assert_eq!(responses.len(), 5);
+
+        let field = |i: usize, name: &str| -> Option<serde_json::Value> {
+            let serde_json::Value::Object(pairs) = ndjson::parse(&responses[i]).unwrap() else {
+                panic!("response {i} is not an object: {}", responses[i]);
+            };
+            pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+        };
+        // Responses come back in input order.
+        for (i, id) in [1.0, 2.0, 3.0, 4.0, 5.0].into_iter().enumerate() {
+            assert_eq!(field(i, "id"), Some(serde_json::Value::Number(id)));
+        }
+        // The pre-apply query sees the triangle, the post-apply one the K4.
+        assert_eq!(field(0, "cover"), Some(serde_json::Value::Number(3.0)));
+        assert_eq!(field(2, "cover"), Some(serde_json::Value::Number(4.0)));
+        // The post-commit query answers on exactly the epoch the apply
+        // published, which is newer than the pre-commit one.
+        let epoch = |i: usize| match field(i, "epoch") {
+            Some(serde_json::Value::Number(e)) => e,
+            other => panic!("response {i} has no numeric epoch: {other:?}"),
+        };
+        assert_eq!(field(1, "op"), Some(serde_json::Value::String("apply".into())));
+        assert_eq!(epoch(1), epoch(2));
+        assert!(epoch(0) < epoch(1), "epochs: {} vs {}", epoch(0), epoch(1));
+        assert_eq!(field(1, "inserted"), Some(serde_json::Value::Number(6.0)));
+        // The malformed line and the out-of-range batch fail their slots
+        // only; the stream still answered everything.
+        assert_eq!(field(3, "ok"), Some(serde_json::Value::Bool(false)));
+        assert_eq!(field(4, "ok"), Some(serde_json::Value::Bool(false)));
     }
 
     #[test]

@@ -15,18 +15,31 @@
 //!  "timeout_ms":250,"budget":40,"degrade":true}
 //! ```
 //!
+//! A line carrying `"op":"apply"` is a mutation batch instead of a query:
+//! its `insert`/`delete` arrays hold `[layer, u, v]` triples, committed
+//! atomically when the line's turn in the stream comes up:
+//!
+//! ```text
+//! {"id":9,"op":"apply","insert":[[0,1,2],[1,3,4]],"delete":[[0,5,6]]}
+//! ```
+//!
 //! Responses are emitted one per line, in input order:
 //!
 //! ```text
 //! {"id":7,"ok":true,"cover":12,"cores":3,"candidates":9,
 //!  "algorithm":"BU-DCCS","serve":"peel","cache":false,"epoch":1,"ms":0.42}
 //! {"id":8,"ok":false,"error":"...","limit":true}
+//! {"id":9,"ok":true,"op":"apply","epoch":2,"inserted":2,"deleted":1,
+//!  "layers":2,"detached":false,"ms":0.31}
 //! ```
 //!
 //! A malformed line produces an `ok:false` response for that line only; the
 //! stream continues.
 
-use dccs::{Algorithm, DccsError, DccsParams, DccsResult, QueryLimits, Serve, ServePath};
+use dccs::{
+    Algorithm, CommitReceipt, DccsError, DccsParams, DccsResult, QueryLimits, Serve, ServePath,
+};
+use mlgraph::{EdgeBatch, Layer, Vertex};
 use serde_json::Value;
 use std::time::Duration;
 
@@ -259,9 +272,52 @@ fn as_usize(v: &Value) -> Option<usize> {
     as_u64(v).and_then(|n| usize::try_from(n).ok())
 }
 
-/// Decodes one request line against `defaults`. Errors carry the id to
+/// One decoded `"op":"apply"` line: a mutation batch to commit when its
+/// turn in the stream comes up.
+#[derive(Debug)]
+pub struct ApplyRequest {
+    /// Echoed verbatim in the response line.
+    pub id: u64,
+    /// The edge mutations to commit atomically.
+    pub batch: EdgeBatch,
+}
+
+/// One decoded line of the serve stream: a query to answer or a mutation
+/// batch to commit.
+#[derive(Debug)]
+pub enum Line {
+    /// An ordinary query request.
+    Query(Request),
+    /// An `"op":"apply"` mutation batch.
+    Apply(ApplyRequest),
+}
+
+/// Decodes one stream line, routing on the presence of an `op` field:
+/// objects carrying one are mutation batches, everything else decodes as a
+/// query against `defaults`. Errors carry the id to answer with.
+pub fn parse_line(
+    line: &str,
+    lineno: usize,
+    defaults: &RequestDefaults,
+) -> Result<Line, (u64, String)> {
+    let fallback = lineno as u64;
+    let value = parse(line).map_err(|e| (fallback, e))?;
+    let Value::Object(pairs) = value else {
+        return Err((fallback, "request must be a JSON object".into()));
+    };
+    let id = request_id(&pairs, fallback)?;
+    if pairs.iter().any(|(k, _)| k == "op") {
+        apply_from_pairs(&pairs, id).map(Line::Apply)
+    } else {
+        request_from_pairs(&pairs, id, defaults).map(Line::Query)
+    }
+}
+
+/// Decodes one query line against `defaults`. Errors carry the id to
 /// answer with — the request's own `id` when it parsed that far, the
-/// 1-based `lineno` otherwise.
+/// 1-based `lineno` otherwise. The serve loop goes through [`parse_line`];
+/// this query-only entry remains for the tests.
+#[cfg(test)]
 pub fn parse_request(
     line: &str,
     lineno: usize,
@@ -272,12 +328,27 @@ pub fn parse_request(
     let Value::Object(pairs) = value else {
         return Err((fallback, "request must be a JSON object".into()));
     };
-    let id = match pairs.iter().find(|(k, _)| k == "id") {
+    let id = request_id(&pairs, fallback)?;
+    request_from_pairs(&pairs, id, defaults)
+}
+
+/// Resolves the `id` to answer with: the object's own `id` field when
+/// present and well-formed, the caller's fallback (1-based line number)
+/// otherwise.
+fn request_id(pairs: &[(String, Value)], fallback: u64) -> Result<u64, (u64, String)> {
+    match pairs.iter().find(|(k, _)| k == "id") {
         Some((_, v)) => {
-            as_u64(v).ok_or((fallback, "`id` must be a non-negative integer".to_string()))?
+            as_u64(v).ok_or((fallback, "`id` must be a non-negative integer".to_string()))
         }
-        None => fallback,
-    };
+        None => Ok(fallback),
+    }
+}
+
+fn request_from_pairs(
+    pairs: &[(String, Value)],
+    id: u64,
+    defaults: &RequestDefaults,
+) -> Result<Request, (u64, String)> {
     let field = |name: &str, msg: &str| (id, format!("`{name}` {msg}"));
     let mut d = defaults.d;
     let mut s = defaults.s;
@@ -285,7 +356,7 @@ pub fn parse_request(
     let mut algorithm = defaults.algorithm;
     let mut serve = defaults.serve;
     let mut limits = defaults.limits;
-    for (key, v) in &pairs {
+    for (key, v) in pairs {
         match key.as_str() {
             "id" => {}
             "d" => {
@@ -333,6 +404,69 @@ pub fn parse_request(
         .with_serve(serve)
         .with_limits(limits);
     Ok(Request { id, query })
+}
+
+fn apply_from_pairs(pairs: &[(String, Value)], id: u64) -> Result<ApplyRequest, (u64, String)> {
+    let mut batch = EdgeBatch::new();
+    for (key, v) in pairs {
+        match key.as_str() {
+            "id" => {}
+            "op" => {
+                let Value::String(name) = v else {
+                    return Err((id, "`op` must be a string".into()));
+                };
+                if name != "apply" {
+                    return Err((id, format!("unknown op `{name}`")));
+                }
+            }
+            "insert" => edges_into(v, "insert", &mut batch, true).map_err(|m| (id, m))?,
+            "delete" => edges_into(v, "delete", &mut batch, false).map_err(|m| (id, m))?,
+            other => return Err((id, format!("unknown field `{other}` in apply request"))),
+        }
+    }
+    Ok(ApplyRequest { id, batch })
+}
+
+/// Decodes an array of `[layer, u, v]` triples into `batch` as insertions
+/// or deletions.
+fn edges_into(v: &Value, name: &str, batch: &mut EdgeBatch, insert: bool) -> Result<(), String> {
+    let bad = || format!("`{name}` must be an array of [layer, u, v] integer triples");
+    let Value::Array(items) = v else {
+        return Err(bad());
+    };
+    for item in items {
+        let Value::Array(triple) = item else {
+            return Err(bad());
+        };
+        let [layer, u, w] = triple.as_slice() else {
+            return Err(bad());
+        };
+        let layer = as_usize(layer).ok_or_else(bad)? as Layer;
+        let u = as_u64(u).ok_or_else(bad)? as Vertex;
+        let w = as_u64(w).ok_or_else(bad)? as Vertex;
+        if insert {
+            batch.insert(layer, u, w);
+        } else {
+            batch.delete(layer, u, w);
+        }
+    }
+    Ok(())
+}
+
+/// The response line for a committed (or no-op) mutation batch: the epoch
+/// now serving and the effective edge counts.
+pub fn apply_response(id: u64, receipt: &CommitReceipt, ms: f64) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("id".to_string(), Value::from(id)),
+        ("ok".to_string(), Value::from(true)),
+        ("op".to_string(), Value::from("apply")),
+        ("epoch".to_string(), Value::from(receipt.epoch)),
+        ("inserted".to_string(), Value::from(receipt.inserted)),
+        ("deleted".to_string(), Value::from(receipt.deleted)),
+        ("layers".to_string(), Value::from(receipt.layers_touched)),
+        ("detached".to_string(), Value::from(receipt.index_detached)),
+        ("ms".to_string(), Value::from(ms)),
+    ]))
 }
 
 /// The response line for a successfully answered query.
@@ -469,6 +603,79 @@ mod tests {
         for bad in [r#"[1]"#, r#"{"algorithm":"quantum"}"#, r#"{"serve":7}"#] {
             assert!(parse_request(bad, 1, &defaults()).is_err(), "`{bad}`");
         }
+    }
+
+    #[test]
+    fn parse_line_routes_queries_and_applies() {
+        // No `op` field: an ordinary query, identical to `parse_request`.
+        match parse_line(r#"{"id":3,"d":2}"#, 1, &defaults()).unwrap() {
+            Line::Query(req) => {
+                assert_eq!(req.id, 3);
+                assert_eq!(req.query.spec.params.d, 2);
+            }
+            other => panic!("expected a query, got {other:?}"),
+        }
+        // `op:"apply"` with triples on both lists.
+        let line = r#"{"id":9,"op":"apply","insert":[[0,1,2],[1,3,4]],"delete":[[0,5,6]]}"#;
+        match parse_line(line, 1, &defaults()).unwrap() {
+            Line::Apply(apply) => {
+                assert_eq!(apply.id, 9);
+                assert_eq!(apply.batch.inserts(), &[(0, 1, 2), (1, 3, 4)]);
+                assert_eq!(apply.batch.deletes(), &[(0, 5, 6)]);
+            }
+            other => panic!("expected an apply, got {other:?}"),
+        }
+        // An apply with no edge lists is a (legal) no-op batch.
+        match parse_line(r#"{"op":"apply"}"#, 4, &defaults()).unwrap() {
+            Line::Apply(apply) => {
+                assert_eq!(apply.id, 4);
+                assert!(apply.batch.is_empty());
+            }
+            other => panic!("expected an apply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_apply_lines_carry_the_id_and_a_reason() {
+        for (bad, needle) in [
+            (r#"{"op":"revert"}"#, "unknown op"),
+            (r#"{"op":7}"#, "`op` must be a string"),
+            (r#"{"op":"apply","insert":7}"#, "integer triples"),
+            (r#"{"op":"apply","insert":[[0,1]]}"#, "integer triples"),
+            (r#"{"op":"apply","delete":[[0,1,"x"]]}"#, "integer triples"),
+            (r#"{"op":"apply","d":2}"#, "unknown field"),
+        ] {
+            let (id, msg) = parse_line(bad, 6, &defaults()).unwrap_err();
+            assert_eq!(id, 6, "line `{bad}`");
+            assert!(msg.contains(needle), "line `{bad}`: got `{msg}`");
+        }
+        let (id, _) =
+            parse_line(r#"{"id":11,"op":"apply","insert":0}"#, 6, &defaults()).unwrap_err();
+        assert_eq!(id, 11);
+    }
+
+    #[test]
+    fn apply_responses_report_the_receipt() {
+        let receipt = dccs::CommitReceipt {
+            epoch: 5,
+            inserted: 2,
+            deleted: 1,
+            layers_touched: 2,
+            repaired_ds: 1,
+            index_detached: true,
+        };
+        let line = apply_response(9, &receipt, 0.5);
+        assert!(!line.contains('\n'));
+        let Value::Object(pairs) = parse(&line).unwrap() else { panic!("not an object") };
+        let get = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone());
+        assert_eq!(get("id"), Some(Value::Number(9.0)));
+        assert_eq!(get("ok"), Some(Value::Bool(true)));
+        assert_eq!(get("op"), Some(Value::String("apply".into())));
+        assert_eq!(get("epoch"), Some(Value::Number(5.0)));
+        assert_eq!(get("inserted"), Some(Value::Number(2.0)));
+        assert_eq!(get("deleted"), Some(Value::Number(1.0)));
+        assert_eq!(get("layers"), Some(Value::Number(2.0)));
+        assert_eq!(get("detached"), Some(Value::Bool(true)));
     }
 
     #[test]

@@ -258,6 +258,41 @@ impl SharedSearchState {
         })
     }
 
+    /// A tier bound to `g` whose per-`d` layer-core cells arrive already
+    /// filled — the mutation-commit path
+    /// ([`crate::QueryService::commit`]) repairs the previous epoch's
+    /// entries against the edge delta instead of letting the next epoch's
+    /// queries recompute them from scratch. Plans start empty: the
+    /// cost-model memo is keyed on candidate universes, which the delta can
+    /// change arbitrarily, and recomputing a plan is cheap.
+    pub(crate) fn preloaded(g: &MultiLayerGraph, entries: Vec<(u32, Vec<VertexSet>)>) -> Arc<Self> {
+        let map = entries
+            .into_iter()
+            .map(|(d, cores)| {
+                let cell: Arc<OnceLock<Arc<Vec<VertexSet>>>> = Arc::default();
+                let _ = cell.set(Arc::new(cores));
+                (d, cell)
+            })
+            .collect();
+        Arc::new(SharedSearchState {
+            graph_key: graph_key(g),
+            layer_cores: Mutex::new(map),
+            plans: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Every **filled** per-`d` layer-core entry, for the commit path to
+    /// repair into the next epoch's tier. Cells still in flight are skipped:
+    /// their computation belongs to the old snapshot and will finish there.
+    pub(crate) fn snapshot_cores(&self) -> Vec<(u32, Arc<Vec<VertexSet>>)> {
+        let mut entries: Vec<_> = lock(&self.layer_cores)
+            .iter()
+            .filter_map(|(&d, cell)| cell.get().map(|cores| (d, cores.clone())))
+            .collect();
+        entries.sort_by_key(|&(d, _)| d);
+        entries
+    }
+
     /// Whether this tier was built for `g` (the same best-effort identity
     /// check the context-local caches use).
     pub fn bound_to(&self, g: &MultiLayerGraph) -> bool {

@@ -106,6 +106,27 @@ pub enum DccsError {
         /// One-line description of why the index cannot serve the query.
         message: String,
     },
+    /// A [`crate::Serve::Index`] query found the attached [`crate::DccIndex`]
+    /// outdated: a committed mutation batch
+    /// ([`crate::QueryService::commit`]) advanced the graph past the epoch
+    /// the index was built against, auto-detaching it. Rebuild the index on
+    /// the current graph and re-attach, or query with
+    /// [`crate::Serve::Auto`]/[`crate::Serve::Peel`] to answer by peeling.
+    IndexStale {
+        /// Epoch of the graph version the index was valid for.
+        index_epoch: u64,
+        /// Epoch of the graph version the query ran against.
+        graph_epoch: u64,
+    },
+    /// A mutation batch submitted to [`crate::QueryService::commit`] (or
+    /// `dccs apply`) failed validation — an out-of-range layer or vertex, a
+    /// self loop, or one edge appearing in both the insert and delete lists
+    /// of a layer. Nothing was committed; the published snapshot is
+    /// unchanged.
+    BatchInvalid {
+        /// The underlying [`mlgraph::GraphError`] message.
+        message: String,
+    },
 }
 
 /// Equality ignores the `partial` payloads of the limit variants (a partial
@@ -137,7 +158,12 @@ impl PartialEq for DccsError {
             ) => a == c && b == d,
             (TaskPanicked { message: a }, TaskPanicked { message: b })
             | (IndexCorrupt { message: a }, IndexCorrupt { message: b })
-            | (IndexUnavailable { message: a }, IndexUnavailable { message: b }) => a == b,
+            | (IndexUnavailable { message: a }, IndexUnavailable { message: b })
+            | (BatchInvalid { message: a }, BatchInvalid { message: b }) => a == b,
+            (
+                IndexStale { index_epoch: a, graph_epoch: b },
+                IndexStale { index_epoch: c, graph_epoch: d },
+            ) => a == c && b == d,
             _ => false,
         }
     }
@@ -225,6 +251,16 @@ impl fmt::Display for DccsError {
             DccsError::IndexUnavailable { message } => {
                 write!(f, "cannot serve the query from the index: {message}")
             }
+            DccsError::IndexStale { index_epoch, graph_epoch } => {
+                write!(
+                    f,
+                    "the attached index was built for graph epoch {index_epoch} but the \
+                     graph is now at epoch {graph_epoch}; rebuild and re-attach it"
+                )
+            }
+            DccsError::BatchInvalid { message } => {
+                write!(f, "mutation batch rejected: {message}")
+            }
         }
     }
 }
@@ -254,6 +290,8 @@ mod tests {
             DccsError::TaskPanicked { message: "injected fault at bu.eval".into() },
             DccsError::IndexCorrupt { message: "checksum mismatch".into() },
             DccsError::IndexUnavailable { message: "no index attached".into() },
+            DccsError::IndexStale { index_epoch: 3, graph_epoch: 7 },
+            DccsError::BatchInvalid { message: "vertex 99 out of range".into() },
         ];
         for err in errors {
             let text = err.to_string();
@@ -275,6 +313,8 @@ mod tests {
         assert!(!DccsError::TaskPanicked { message: "x".into() }.is_limit());
         assert!(!DccsError::IndexCorrupt { message: "x".into() }.is_limit());
         assert!(!DccsError::IndexUnavailable { message: "x".into() }.is_limit());
+        assert!(!DccsError::IndexStale { index_epoch: 1, graph_epoch: 2 }.is_limit());
+        assert!(!DccsError::BatchInvalid { message: "x".into() }.is_limit());
         let err = DccsError::Cancelled { partial: partial() };
         assert!(err.is_limit());
         assert_eq!(err.partial().unwrap().num_cores(), 0);

@@ -48,6 +48,11 @@ pub mod site {
     pub const GRAPH_COMMIT: &str = "graph.commit";
     /// Start of each query job of a batch sweep.
     pub const BATCH_QUERY: &str = "batch.query";
+    /// The mutation-batch commit point of the query service: after the
+    /// batch is validated and the next snapshot's shared tier repaired,
+    /// immediately **before** the new snapshot is published — a panic here
+    /// must leave the old snapshot serving, untouched.
+    pub const BATCH_COMMIT: &str = "batch.commit";
     /// Start of the greedy max-k-cover selection.
     pub const SELECT: &str = "select";
 }

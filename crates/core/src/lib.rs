@@ -111,6 +111,8 @@ pub use metrics::{complexes_found, containment_distribution, CoverSimilarity};
 pub use parallel::parallel_greedy_dccs;
 pub use result::{CoherentCore, DccsResult, PhaseTimes, SearchStats};
 pub use serve::{DccIndex, Serve, ServePath};
-pub use service::{CacheStats, GraphSnapshot, QueryService, ServiceOutcome, ServiceQuery};
+pub use service::{
+    CacheStats, CommitReceipt, GraphSnapshot, QueryService, ServiceOutcome, ServiceQuery,
+};
 pub use session::{auto_threads, DccsSession, Query, QuerySpec};
 pub use top_down::{top_down_dccs, top_down_dccs_in, top_down_dccs_on, top_down_dccs_with_options};

@@ -284,7 +284,7 @@ impl<'g> DccsSession<'g> {
         }
         let token = self.token.clone();
         let index = self.index.clone();
-        let index = index.as_deref();
+        let index = IndexState::from_option(index.as_deref());
         let epoch = self.snapshot.epoch();
         let ctx = &mut self.ctx;
         let g = self.g;
@@ -374,7 +374,8 @@ impl<'g> DccsSession<'g> {
                     ctx.set_index_choice(opts.index);
                     ctx.set_shared(Some(shared));
                     crate::engine::with_pool(1, |pool| {
-                        run_spec_monitored(&mut ctx, pool, g, &spec, opts, token, index.as_deref())
+                        let index = IndexState::from_option(index.as_deref());
+                        run_spec_monitored(&mut ctx, pool, g, &spec, opts, token, index)
                     })
                 })) {
                     Ok(outcome) => outcome,
@@ -387,6 +388,48 @@ impl<'g> DccsSession<'g> {
             result.stats.graph_epoch = Some(epoch);
         }
         Ok(outcomes)
+    }
+}
+
+/// What the dispatch layer knows about the caller's [`DccIndex`] — richer
+/// than `Option<&DccIndex>` so serve routing can distinguish "never
+/// attached" from "attached, then outdated by a mutation commit"
+/// ([`crate::QueryService::commit`]) and report the latter as the typed
+/// [`DccsError::IndexStale`] instead of a generic unavailability.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum IndexState<'a> {
+    /// No index attached; [`Serve::Index`] queries fail unavailable.
+    Absent,
+    /// An index was attached but a committed mutation batch advanced the
+    /// graph past the epoch it was built for, auto-detaching it;
+    /// [`Serve::Index`] queries fail with [`DccsError::IndexStale`] while
+    /// [`Serve::Auto`] silently peels.
+    Stale {
+        /// Epoch of the graph version the index was valid for.
+        index_epoch: u64,
+        /// Epoch of the graph version the query runs against.
+        graph_epoch: u64,
+    },
+    /// A fingerprint-validated index for the current graph version.
+    Ready(&'a DccIndex),
+}
+
+impl<'a> IndexState<'a> {
+    /// The static-graph embedding: sessions never outdate their index, so
+    /// an attached index is always [`IndexState::Ready`].
+    pub(crate) fn from_option(index: Option<&'a DccIndex>) -> Self {
+        match index {
+            Some(index) => IndexState::Ready(index),
+            None => IndexState::Absent,
+        }
+    }
+
+    /// The usable index, if any.
+    fn get(&self) -> Option<&'a DccIndex> {
+        match self {
+            IndexState::Ready(index) => Some(index),
+            _ => None,
+        }
     }
 }
 
@@ -411,18 +454,27 @@ fn run_spec_on_pool(
     g: &MultiLayerGraph,
     spec: &QuerySpec,
     opts: &DccsOptions,
-    index: Option<&DccIndex>,
+    index: IndexState<'_>,
 ) -> Result<DccsResult, DccsError> {
     let greedy_compatible = matches!(spec.algorithm, Algorithm::Auto | Algorithm::Greedy);
     let serving = match opts.serve {
         Serve::Peel => false,
         Serve::Auto => {
-            greedy_compatible && index.is_some_and(|ix| ix.covers(spec.params.d, spec.params.s))
+            greedy_compatible
+                && index.get().is_some_and(|ix| ix.covers(spec.params.d, spec.params.s))
         }
         Serve::Index => {
-            let ix = index.ok_or_else(|| DccsError::IndexUnavailable {
-                message: "no index attached to the session".into(),
-            })?;
+            let ix = match index {
+                IndexState::Ready(ix) => ix,
+                IndexState::Stale { index_epoch, graph_epoch } => {
+                    return Err(DccsError::IndexStale { index_epoch, graph_epoch })
+                }
+                IndexState::Absent => {
+                    return Err(DccsError::IndexUnavailable {
+                        message: "no index attached to the session".into(),
+                    })
+                }
+            };
             if !greedy_compatible {
                 return Err(DccsError::IndexUnavailable {
                     message: format!(
@@ -443,7 +495,7 @@ fn run_spec_on_pool(
         }
     };
     if serving {
-        let index = index.expect("serving implies an attached index");
+        let index = index.get().expect("serving implies a ready index");
         return Ok(serve_from_index_on(ctx, g, index, &spec.params));
     }
     let algorithm = spec.algorithm.resolve(g, &spec.params);
@@ -471,7 +523,7 @@ pub(crate) fn run_spec_monitored(
     spec: &QuerySpec,
     opts: &DccsOptions,
     token: Option<CancelToken>,
-    index: Option<&DccIndex>,
+    index: IndexState<'_>,
 ) -> Result<DccsResult, DccsError> {
     let query_start = Instant::now();
     let result = dispatch_limited(ctx, pool, g, spec, opts, token.clone(), index);
@@ -511,7 +563,7 @@ fn dispatch_limited(
     spec: &QuerySpec,
     opts: &DccsOptions,
     token: Option<CancelToken>,
-    index: Option<&DccIndex>,
+    index: IndexState<'_>,
 ) -> Result<DccsResult, DccsError> {
     let limited = !opts.limits.is_unlimited() || token.is_some();
     let monitor =

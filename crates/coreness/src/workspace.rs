@@ -580,6 +580,246 @@ impl PeelWorkspace {
             }
         }
     }
+
+    /// Incrementally repairs a single-layer d-core after an edge delta,
+    /// writing the d-core of the **new** layer into `out` without touching
+    /// vertices far from the change.
+    ///
+    /// `layer` is the layer *after* the delta, `old_core` the exact d-core
+    /// of the layer before it, and `inserted` the canonical edges added by
+    /// the delta (deleted edges need not be listed: deletions only shrink
+    /// the core, which the re-peel below discovers on its own). The repair
+    /// peels within `old_core ∪ R`, where `R` is the set of vertices outside
+    /// the old core reachable from an inserted edge's endpoints through
+    /// non-core vertices: any connected chunk of the new d-core outside
+    /// `old_core` that avoided `R` entirely would use only pre-existing
+    /// edges, so together with `old_core` it would have been a d-dense set
+    /// of the old layer — contradicting the old core's maximality. The work
+    /// is therefore bounded by the old core plus the insertion-affected
+    /// region, not the layer.
+    pub fn repair_d_core(
+        &mut self,
+        layer: &Csr,
+        d: u32,
+        old_core: &VertexSet,
+        inserted: &[(Vertex, Vertex)],
+        out: &mut VertexSet,
+    ) {
+        let n = layer.num_vertices();
+        assert_eq!(old_core.capacity(), n, "old core must cover the vertex universe");
+        if d == 0 {
+            // The 0-core is always the full universe.
+            *out = VertexSet::full(n);
+            return;
+        }
+        if out.capacity() != n {
+            *out = old_core.clone();
+        } else {
+            out.copy_from(old_core);
+        }
+        if !inserted.is_empty() {
+            // Grow the candidate set by the insertion-affected region R.
+            self.reserve_multi(n, 1);
+            let epoch = self.next_epoch();
+            let queued = &mut self.queued[..n];
+            let queue = &mut self.queue;
+            queue.clear();
+            for &(u, v) in inserted {
+                for w in [u, v] {
+                    if !old_core.contains(w) && queued[w as usize] != epoch {
+                        queued[w as usize] = epoch;
+                        queue.push(w);
+                        out.insert(w);
+                    }
+                }
+            }
+            while let Some(w) = queue.pop() {
+                for &x in layer.neighbors(w) {
+                    if !old_core.contains(x) && queued[x as usize] != epoch {
+                        queued[x as usize] = epoch;
+                        queue.push(x);
+                        out.insert(x);
+                    }
+                }
+            }
+        }
+        self.peel_layer_in_place(layer, d, out);
+    }
+
+    /// Incrementally repairs per-vertex core numbers after an edge delta.
+    ///
+    /// `g` is the layer *after* the delta; `core` holds the exact core
+    /// numbers of the layer before it and is repaired in place. Runs in two
+    /// phases over the delta, never re-peeling the whole layer:
+    ///
+    /// 1. **Deletions** — a worklist iteration of the capped h-operator
+    ///    (`c(v) ← min(c(v), h-index of neighbor values)`) on the graph
+    ///    without the inserted edges, seeded from the deleted endpoints.
+    ///    Old core numbers are a pointwise upper bound there, the operator
+    ///    is monotone, every fixpoint below an upper bound is below the
+    ///    true core numbers, and core numbers themselves are a fixpoint —
+    ///    so the worklist converges exactly, touching only vertices whose
+    ///    value actually changes (plus their neighborhoods).
+    /// 2. **Insertions** — the classical per-edge subcore traversal: for an
+    ///    edge with endpoint cores ≥ `K = min` of the two, only vertices
+    ///    with core exactly `K` reachable from the min-core endpoints
+    ///    through core-`K` vertices can rise (by at most 1); candidates
+    ///    whose qualified degree cannot reach `K + 1` are evicted with a
+    ///    cascade, survivors are promoted.
+    ///
+    /// Edges in `inserted`/`deleted` must be canonical, deduplicated,
+    /// disjoint, and effective, as produced by `mlgraph`'s batch commit.
+    pub fn repair_core_numbers(
+        &mut self,
+        g: &Csr,
+        inserted: &[(Vertex, Vertex)],
+        deleted: &[(Vertex, Vertex)],
+        core: &mut [u32],
+    ) {
+        let n = g.num_vertices();
+        assert_eq!(core.len(), n, "core numbers must cover the vertex universe");
+        // Inserted edges not yet applied; phase 1 runs on the new layer with
+        // all of them masked out, phase 2 unmasks them one at a time.
+        let mut pending: std::collections::HashSet<(Vertex, Vertex)> =
+            inserted.iter().copied().collect();
+        let canon = |a: Vertex, b: Vertex| if a < b { (a, b) } else { (b, a) };
+        self.reserve_multi(n, 1);
+        if self.removed.len() < n {
+            self.removed.resize(n, false);
+        }
+        self.removed[..n].fill(false);
+
+        if !deleted.is_empty() {
+            // Phase 1: `removed` doubles as the in-queue flag.
+            let in_queue = &mut self.removed[..n];
+            let queue = &mut self.queue;
+            queue.clear();
+            for &(u, v) in deleted {
+                for w in [u, v] {
+                    if !in_queue[w as usize] {
+                        in_queue[w as usize] = true;
+                        queue.push(w);
+                    }
+                }
+            }
+            while let Some(v) = queue.pop() {
+                in_queue[v as usize] = false;
+                let c = core[v as usize] as usize;
+                if c == 0 {
+                    continue;
+                }
+                // h = max h ≤ c with #{u ∈ N(v) : core(u) ≥ h} ≥ h, via a
+                // count of neighbor values clamped to c.
+                self.bins.clear();
+                self.bins.resize(c + 1, 0);
+                for &u in g.neighbors(v) {
+                    if pending.contains(&canon(v, u)) {
+                        continue;
+                    }
+                    self.bins[(core[u as usize] as usize).min(c)] += 1;
+                }
+                let mut h = c;
+                let mut cum = 0usize;
+                while h > 0 {
+                    cum += self.bins[h];
+                    if cum >= h {
+                        break;
+                    }
+                    h -= 1;
+                }
+                if h < c {
+                    core[v as usize] = h as u32;
+                    for &u in g.neighbors(v) {
+                        if pending.contains(&canon(v, u)) {
+                            continue;
+                        }
+                        if core[u as usize] > h as u32 && !in_queue[u as usize] {
+                            in_queue[u as usize] = true;
+                            queue.push(u);
+                        }
+                    }
+                }
+            }
+        }
+
+        for &(eu, ev) in inserted {
+            pending.remove(&(eu, ev));
+            let k = core[eu as usize].min(core[ev as usize]);
+            // Collect the candidate subcore S: core-k vertices reachable
+            // from the min-core endpoint(s) through core-k vertices.
+            let epoch = self.next_epoch();
+            let queued = &mut self.queued[..n];
+            let queue = &mut self.queue;
+            queue.clear();
+            self.order.clear();
+            for w in [eu, ev] {
+                if core[w as usize] == k && queued[w as usize] != epoch {
+                    queued[w as usize] = epoch;
+                    queue.push(w);
+                }
+            }
+            while let Some(w) = queue.pop() {
+                self.order.push(w);
+                for &x in g.neighbors(w) {
+                    if pending.contains(&canon(w, x)) {
+                        continue;
+                    }
+                    if core[x as usize] == k && queued[x as usize] != epoch {
+                        queued[x as usize] = epoch;
+                        queue.push(x);
+                    }
+                }
+            }
+            // Qualified degree: neighbors that could support core k + 1.
+            if self.bin_degree.len() < n {
+                self.bin_degree.resize(n, 0);
+            }
+            for &w in &self.order {
+                let mut cd = 0u32;
+                for &x in g.neighbors(w) {
+                    if pending.contains(&canon(w, x)) {
+                        continue;
+                    }
+                    let cx = core[x as usize];
+                    if cx > k || (cx == k && queued[x as usize] == epoch) {
+                        cd += 1;
+                    }
+                }
+                self.bin_degree[w as usize] = cd;
+            }
+            // Evict candidates that cannot reach k + 1, cascading.
+            let evicted = &mut self.removed[..n];
+            queue.clear();
+            for &w in &self.order {
+                if self.bin_degree[w as usize] <= k {
+                    evicted[w as usize] = true;
+                    queue.push(w);
+                }
+            }
+            while let Some(w) = queue.pop() {
+                for &x in g.neighbors(w) {
+                    if pending.contains(&canon(w, x)) {
+                        continue;
+                    }
+                    if core[x as usize] == k && queued[x as usize] == epoch && !evicted[x as usize]
+                    {
+                        let cd = &mut self.bin_degree[x as usize];
+                        *cd -= 1;
+                        if *cd <= k {
+                            evicted[x as usize] = true;
+                            queue.push(x);
+                        }
+                    }
+                }
+            }
+            for &w in &self.order {
+                if !evicted[w as usize] {
+                    core[w as usize] = k + 1;
+                }
+                evicted[w as usize] = false;
+            }
+        }
+    }
 }
 
 /// How many removals a CSR cascade performs between cancellation-probe
@@ -842,6 +1082,140 @@ mod tests {
         let ws = PeelWorkspace::with_capacity(100, 4);
         assert!(ws.degrees.len() >= 400);
         assert!(ws.queued.len() >= 100);
+    }
+
+    /// Deterministic splitmix64 stream for the repair oracle tests — the
+    /// crate deliberately takes no RNG dependency.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    fn random_csr(rng: &mut Lcg, n: usize, m: usize) -> Csr {
+        let mut edges = Vec::with_capacity(m);
+        while edges.len() < m {
+            let u = rng.below(n) as Vertex;
+            let v = rng.below(n) as Vertex;
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        Csr::from_edges(n, &edges)
+    }
+
+    type EdgeList = Vec<(Vertex, Vertex)>;
+
+    /// Draws an effective canonical delta against `g`: `dels` existing
+    /// edges and `ins` fresh ones, disjoint by construction.
+    fn random_delta(rng: &mut Lcg, g: &Csr, dels: usize, ins: usize) -> (EdgeList, EdgeList) {
+        let n = g.num_vertices();
+        let mut existing: Vec<(Vertex, Vertex)> = g.edges().collect();
+        let mut deleted = Vec::new();
+        for _ in 0..dels.min(existing.len()) {
+            let i = rng.below(existing.len());
+            deleted.push(existing.swap_remove(i));
+        }
+        let mut inserted = Vec::new();
+        let mut guard = 0;
+        while inserted.len() < ins && guard < ins * 100 {
+            guard += 1;
+            let u = rng.below(n) as Vertex;
+            let v = rng.below(n) as Vertex;
+            if u == v {
+                continue;
+            }
+            let e = if u < v { (u, v) } else { (v, u) };
+            if g.has_edge(e.0, e.1) && !deleted.contains(&e) {
+                continue;
+            }
+            if deleted.contains(&e) || inserted.contains(&e) {
+                continue;
+            }
+            inserted.push(e);
+        }
+        inserted.sort_unstable();
+        deleted.sort_unstable();
+        (inserted, deleted)
+    }
+
+    /// Incremental d-core repair must be bit-identical to a full re-peel of
+    /// the mutated layer, across random graphs, deltas, and thresholds —
+    /// including delete-only, insert-only, and layer-emptying deltas.
+    #[test]
+    fn repair_d_core_matches_full_peel() {
+        let mut rng = Lcg(7);
+        let mut ws = PeelWorkspace::new();
+        for round in 0..30 {
+            let n = 20 + rng.below(40);
+            let g = random_csr(&mut rng, n, n * 2);
+            let (dels, ins) = (rng.below(8), rng.below(8));
+            let (inserted, deleted) = random_delta(&mut rng, &g, dels, ins);
+            let next = g.rebuild_with_delta(&inserted, &deleted);
+            for d in 0..=4u32 {
+                let old_core = crate::peel::d_core(&g, d);
+                let mut repaired = VertexSet::new(n);
+                ws.repair_d_core(&next, d, &old_core, &inserted, &mut repaired);
+                let oracle = crate::peel::d_core(&next, d);
+                assert_eq!(
+                    repaired.to_vec(),
+                    oracle.to_vec(),
+                    "round={round} d={d} ins={inserted:?} del={deleted:?}"
+                );
+            }
+        }
+        // Empty the layer entirely, then refill it.
+        let g = random_csr(&mut rng, 12, 20);
+        let all: Vec<(Vertex, Vertex)> = g.edges().collect();
+        let emptied = g.rebuild_with_delta(&[], &all);
+        let mut repaired = VertexSet::new(12);
+        for d in 1..=3u32 {
+            ws.repair_d_core(&emptied, d, &crate::peel::d_core(&g, d), &[], &mut repaired);
+            assert!(repaired.is_empty(), "d-core of an empty layer must be empty");
+            ws.repair_d_core(&g, d, &crate::peel::d_core(&emptied, d), &all, &mut repaired);
+            assert_eq!(repaired.to_vec(), crate::peel::d_core(&g, d).to_vec(), "refill d={d}");
+        }
+    }
+
+    /// Incremental core-number repair must agree with the bin-sort
+    /// decomposition of the mutated layer, across random deltas and across
+    /// a chain of successive deltas repaired in place.
+    #[test]
+    fn repair_core_numbers_matches_recompute() {
+        let mut rng = Lcg(13);
+        let mut ws = PeelWorkspace::new();
+        for round in 0..30 {
+            let n = 20 + rng.below(40);
+            let g = random_csr(&mut rng, n, n * 2);
+            let (dels, ins) = (rng.below(10), rng.below(10));
+            let (inserted, deleted) = random_delta(&mut rng, &g, dels, ins);
+            let next = g.rebuild_with_delta(&inserted, &deleted);
+            let mut core = crate::peel::core_numbers(&g);
+            ws.repair_core_numbers(&next, &inserted, &deleted, &mut core);
+            assert_eq!(
+                core,
+                crate::peel::core_numbers(&next),
+                "round={round} ins={inserted:?} del={deleted:?}"
+            );
+        }
+        // Chain: repair the same vector through 10 successive deltas.
+        let mut g = random_csr(&mut rng, 40, 90);
+        let mut core = crate::peel::core_numbers(&g);
+        for step in 0..10 {
+            let (inserted, deleted) = random_delta(&mut rng, &g, 5, 5);
+            let next = g.rebuild_with_delta(&inserted, &deleted);
+            ws.repair_core_numbers(&next, &inserted, &deleted, &mut core);
+            assert_eq!(core, crate::peel::core_numbers(&next), "chain step {step}");
+            g = next;
+        }
     }
 
     #[test]

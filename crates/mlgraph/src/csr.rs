@@ -64,6 +64,68 @@ impl Csr {
         Csr { offsets: vec![0; n + 1], neighbors: Vec::new(), num_edges: 0 }
     }
 
+    /// Rebuilds this layer with an edge delta applied, in one pass over the
+    /// adjacency arrays (no global re-sort of the surviving edges).
+    ///
+    /// Both lists must be canonical (`u < v`), deduplicated, and *effective*:
+    /// every inserted edge absent from this layer, every deleted edge present,
+    /// and the two lists disjoint. [`crate::EdgeBatch`] validation establishes
+    /// exactly these invariants before calling in here.
+    pub fn rebuild_with_delta(
+        &self,
+        inserted: &[(Vertex, Vertex)],
+        deleted: &[(Vertex, Vertex)],
+    ) -> Csr {
+        let n = self.num_vertices();
+        // Mirror each canonical delta edge into both endpoints' lists.
+        let mut ins: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+        for &(u, v) in inserted {
+            debug_assert!(u < v && (v as usize) < n, "insert ({u},{v}) not canonical/in range");
+            debug_assert!(!self.has_edge(u, v), "insert ({u},{v}) already present");
+            ins[u as usize].push(v);
+            ins[v as usize].push(u);
+        }
+        let mut del: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+        for &(u, v) in deleted {
+            debug_assert!(u < v && (v as usize) < n, "delete ({u},{v}) not canonical/in range");
+            debug_assert!(self.has_edge(u, v), "delete ({u},{v}) not present");
+            del[u as usize].push(v);
+            del[v as usize].push(u);
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + self.degree(v as Vertex) + ins[v].len() - del[v].len();
+        }
+        let mut neighbors = vec![0 as Vertex; offsets[n]];
+        for v in 0..n {
+            let add = &mut ins[v];
+            add.sort_unstable();
+            let drop = &mut del[v];
+            drop.sort_unstable();
+            // Merge the old sorted list with the sorted inserts, skipping the
+            // sorted deletes; all three are disjoint by the caller's contract.
+            let out = &mut neighbors[offsets[v]..offsets[v + 1]];
+            let mut k = 0usize;
+            let mut ai = 0usize;
+            let mut di = 0usize;
+            for &u in self.neighbors(v as Vertex) {
+                while ai < add.len() && add[ai] < u {
+                    out[k] = add[ai];
+                    k += 1;
+                    ai += 1;
+                }
+                if di < drop.len() && drop[di] == u {
+                    di += 1;
+                    continue;
+                }
+                out[k] = u;
+                k += 1;
+            }
+            out[k..].copy_from_slice(&add[ai..]);
+        }
+        Csr { offsets, neighbors, num_edges: self.num_edges + inserted.len() - deleted.len() }
+    }
+
     /// Number of vertices in the universe.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -267,5 +329,31 @@ mod tests {
     fn max_degree() {
         let g = triangle_plus_pendant();
         assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn rebuild_with_delta_matches_from_edges() {
+        let g = triangle_plus_pendant();
+        // Drop the pendant edge and one triangle side, add two new edges.
+        let rebuilt = g.rebuild_with_delta(&[(0, 4), (3, 4)], &[(2, 3), (0, 1)]);
+        let oracle = Csr::from_edges(5, &[(1, 2), (2, 0), (0, 4), (3, 4)]);
+        assert_eq!(rebuilt, oracle);
+        assert!(rebuilt.validate());
+    }
+
+    #[test]
+    fn rebuild_with_delta_empty_and_refill() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let emptied = g.rebuild_with_delta(&[], &[(0, 1), (1, 2)]);
+        assert_eq!(emptied, Csr::empty(3));
+        let refilled = emptied.rebuild_with_delta(&[(0, 2)], &[]);
+        assert_eq!(refilled, Csr::from_edges(3, &[(0, 2)]));
+        assert!(refilled.validate());
+    }
+
+    #[test]
+    fn rebuild_with_delta_noop_is_identity() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.rebuild_with_delta(&[], &[]), g);
     }
 }

@@ -20,7 +20,7 @@ mod temporal;
 pub use chung_lu::{chung_lu_layers, ChungLuConfig};
 pub use erdos_renyi::{multi_layer_er, ErConfig};
 pub use planted::{planted_communities, PlantedCommunity, PlantedConfig, PlantedOutput};
-pub use temporal::{temporal_snapshots, TemporalConfig};
+pub use temporal::{temporal_batches, temporal_snapshots, TemporalConfig};
 
 use crate::Vertex;
 use rand::Rng;

@@ -8,6 +8,7 @@
 //! persistent "core" community of vertices.
 
 use super::sample_edges;
+use crate::batch::EdgeBatch;
 use crate::error::{GraphError, Result};
 use crate::graph::MultiLayerGraph;
 use crate::Vertex;
@@ -117,6 +118,95 @@ pub fn temporal_snapshots(config: &TemporalConfig) -> Result<MultiLayerGraph> {
     Ok(graph)
 }
 
+/// Generates an evolving stream: the initial snapshot graph from
+/// [`temporal_snapshots`] plus `num_batches` mutation batches of
+/// `batch_size` operations each, modelling continued evolution of the time
+/// windows. Each operation picks a layer uniformly and either deletes one
+/// of its current edges (~40% of the time, when possible) or inserts a
+/// fresh edge biased toward the persistent core community — the same churn
+/// model the snapshot generator uses between consecutive windows.
+///
+/// Every emitted operation is effective against the graph state at its
+/// batch's commit point, and no edge is touched twice within one batch, so
+/// the batches replay cleanly through
+/// [`MultiLayerGraph::apply_batch`](crate::MultiLayerGraph::apply_batch)
+/// in order. Deterministic per seed.
+pub fn temporal_batches(
+    config: &TemporalConfig,
+    num_batches: usize,
+    batch_size: usize,
+) -> Result<(MultiLayerGraph, Vec<EdgeBatch>)> {
+    if batch_size == 0 {
+        return Err(GraphError::InvalidArgument("batch_size must be positive".into()));
+    }
+    let graph = temporal_snapshots(config)?;
+    let n = config.num_vertices;
+    // Separate stream so the initial snapshots stay identical to
+    // `temporal_snapshots` for the same config.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+
+    let core: Vec<Vertex> = {
+        let mut all: Vec<Vertex> = (0..n as Vertex).collect();
+        all.shuffle(&mut rng);
+        all.truncate(config.core_size);
+        all
+    };
+    let fresh_edge = |rng: &mut rand::rngs::StdRng| -> (Vertex, Vertex) {
+        loop {
+            let in_core = core.len() >= 2 && rng.gen_bool(config.core_bias);
+            let (u, v) = if in_core {
+                (*core.choose(rng).unwrap(), *core.choose(rng).unwrap())
+            } else {
+                (rng.gen_range(0..n as Vertex), rng.gen_range(0..n as Vertex))
+            };
+            if u != v {
+                return if u < v { (u, v) } else { (v, u) };
+            }
+        }
+    };
+
+    // Mirror of the evolving per-layer edge sets: a hash set for membership
+    // and a vector for uniform deletion sampling.
+    let mut sets: Vec<std::collections::HashSet<(Vertex, Vertex)>> =
+        graph.layers().iter().map(|l| l.edges().collect()).collect();
+    let mut pools: Vec<Vec<(Vertex, Vertex)>> =
+        graph.layers().iter().map(|l| l.edges().collect()).collect();
+
+    let mut batches = Vec::with_capacity(num_batches);
+    for _ in 0..num_batches {
+        let mut batch = EdgeBatch::new();
+        let mut touched: std::collections::HashSet<(usize, Vertex, Vertex)> =
+            std::collections::HashSet::with_capacity(batch_size * 2);
+        let mut attempts = 0usize;
+        let max_attempts = batch_size.saturating_mul(50).max(1000);
+        while batch.len() < batch_size && attempts < max_attempts {
+            attempts += 1;
+            let layer = rng.gen_range(0..graph.num_layers());
+            let delete = !pools[layer].is_empty() && rng.gen_bool(0.4);
+            if delete {
+                let idx = rng.gen_range(0..pools[layer].len());
+                let e = pools[layer][idx];
+                if !touched.insert((layer, e.0, e.1)) {
+                    continue;
+                }
+                pools[layer].swap_remove(idx);
+                sets[layer].remove(&e);
+                batch.delete(layer, e.0, e.1);
+            } else {
+                let e = fresh_edge(&mut rng);
+                if sets[layer].contains(&e) || !touched.insert((layer, e.0, e.1)) {
+                    continue;
+                }
+                sets[layer].insert(e);
+                pools[layer].push(e);
+                batch.insert(layer, e.0, e.1);
+            }
+        }
+        batches.push(batch);
+    }
+    Ok((graph, batches))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +250,30 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(temporal_snapshots(&config()).unwrap(), temporal_snapshots(&config()).unwrap());
+    }
+
+    #[test]
+    fn batch_stream_replays_cleanly() {
+        let (graph, batches) = temporal_batches(&config(), 6, 25).unwrap();
+        assert_eq!(graph, temporal_snapshots(&config()).unwrap());
+        assert_eq!(batches.len(), 6);
+        let mut current = graph;
+        for batch in &batches {
+            assert_eq!(batch.len(), 25);
+            let (next, applied) = current.apply_batch(batch).unwrap();
+            // Every emitted operation is effective at its commit point.
+            assert_eq!(applied.num_inserted() + applied.num_deleted(), batch.len());
+            assert!(next.validate());
+            current = next;
+        }
+    }
+
+    #[test]
+    fn batch_stream_deterministic_per_seed() {
+        let a = temporal_batches(&config(), 3, 10).unwrap();
+        let b = temporal_batches(&config(), 3, 10).unwrap();
+        assert_eq!(a, b);
+        assert!(temporal_batches(&config(), 3, 0).is_err());
     }
 
     #[test]

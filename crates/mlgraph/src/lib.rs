@@ -15,6 +15,9 @@
 //!   selected once per process and forceable via `DCCS_FORCE_KERNEL`.
 //! * [`MultiLayerGraph`] / [`MultiLayerGraphBuilder`] — a set of CSR layers
 //!   sharing one vertex universe, with optional vertex and layer labels.
+//! * [`EdgeBatch`] — validated per-layer insert/delete batches applied
+//!   atomically via [`MultiLayerGraph::apply_batch`], producing the next
+//!   graph version plus the effective [`AppliedBatch`] delta.
 //! * [`io`] — text edge-list and binary snapshot readers/writers plus DOT
 //!   export.
 //! * [`generators`] — seeded synthetic multi-layer graph generators
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod batch;
 pub mod bitset;
 pub mod builder;
 pub mod csr;
@@ -63,6 +67,7 @@ pub mod kernels;
 pub mod sample;
 pub mod stats;
 
+pub use batch::{AppliedBatch, EdgeBatch, LayerDelta};
 pub use bitset::VertexSet;
 pub use builder::MultiLayerGraphBuilder;
 pub use csr::Csr;
