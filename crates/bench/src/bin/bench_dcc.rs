@@ -2,18 +2,28 @@
 //! thread-scaling measurements as `BENCH_dcc.json`.
 //!
 //! ```text
-//! bench_dcc [--scale tiny|small|full] [--runs N] [--threads N] [--out PATH]
+//! bench_dcc [--scale tiny|small|full|large] [--runs N] [--threads N]
+//!           [--large-vertices N] [--out PATH]
 //! ```
 //!
 //! The engine path (subset-lattice candidate generation on a reused
-//! `PeelWorkspace`, dense-vs-CSR chosen by the cost model) is compared
-//! against the frozen pre-refactor path (`dccs::naive_subset_cores`) on the
-//! Wiki and German analogues, then each algorithm is run end to end at 1 vs
-//! `--threads` executor workers (the `thread_scaling` group, plus the
-//! `subtree_scaling` group for BU/TD on deep search trees — skipped with a
-//! `skipped_single_core` marker on one-core hosts); per-configuration
-//! timings, the chosen index path, and the geometric-mean speedup are
-//! printed and written as JSON.
+//! `PeelWorkspace`, the three-regime dense/compressed/CSR index cost
+//! model) is compared against the frozen pre-refactor path
+//! (`dccs::naive_subset_cores`) on the Wiki and German analogues, then
+//! each algorithm is run end to end at 1 vs `--threads` executor workers
+//! (the `thread_scaling` group, plus the `subtree_scaling` group for
+//! BU/TD on deep search trees — skipped with a `skipped_single_core`
+//! marker on one-core hosts); per-configuration timings, the chosen
+//! index path, and the geometric-mean speedup are printed and written as
+//! JSON.
+//!
+//! `--scale large` keeps the standard comparison groups at `Tiny` (so
+//! the recorded `geomean_speedup` stays comparable run over run) and
+//! additionally drives the `large_scale` group at `--large-vertices`
+//! (default 10^6) Chung–Lu vertices; every other scale still records a
+//! scaled-down `large_scale` group so the key is always present. This
+//! binary owns a counting global allocator so the tier can report peak
+//! allocated bytes next to the OS-level peak RSS.
 
 use datasets::Scale;
 use dccs_bench::dcc_baseline::{
@@ -21,14 +31,80 @@ use dccs_bench::dcc_baseline::{
     kernel_dispatch_suite, phase_breakdown_suite, serve_from_index_suite, single_core,
     subtree_scaling_suite, suite_to_json, thread_scaling_suite,
 };
+use dccs_bench::large_scale::{install_alloc_probe, large_scale_suite, AllocProbe};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-const USAGE: &str =
-    "usage: bench_dcc [--scale tiny|small|full] [--runs N] [--threads N] [--out PATH]";
+/// Counting wrapper over the system allocator: tracks live bytes and
+/// their high-water mark so the large-scale tier can record peak
+/// allocated bytes. Lives in the binary because the bench library
+/// forbids `unsafe` and must not impose the tracking tax on dependents.
+struct TrackingAllocator;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+fn track_add(size: usize) {
+    let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+fn track_sub(size: usize) {
+    LIVE_BYTES.fetch_sub(size, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            track_add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            track_add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        track_sub(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            track_sub(layout.size());
+            track_add(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static GLOBAL: TrackingAllocator = TrackingAllocator;
+
+fn reset_alloc_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn alloc_peak_bytes() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+const USAGE: &str = "usage: bench_dcc [--scale tiny|small|full|large] [--runs N] [--threads N] \
+                     [--large-vertices N] [--out PATH]";
 
 fn main() {
+    install_alloc_probe(AllocProbe { reset_peak: reset_alloc_peak, peak_bytes: alloc_peak_bytes });
     let mut scale = Scale::Tiny;
     let mut runs = 5usize;
     let mut threads = 4usize;
+    let mut large_vertices = 1_000_000usize;
     let mut out_path = String::from("BENCH_dcc.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +143,16 @@ fn main() {
                     }
                 };
             }
+            "--large-vertices" => {
+                let value = args.next().unwrap_or_default();
+                large_vertices = match value.parse() {
+                    Ok(n) if n >= 64 => n,
+                    _ => {
+                        eprintln!("--large-vertices needs a number >= 64\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--out" => {
                 out_path = args.next().unwrap_or(out_path);
             }
@@ -77,7 +163,16 @@ fn main() {
         }
     }
 
-    let comparisons = baseline_suite(scale, runs);
+    // `--scale large` pins the standard comparison groups at Tiny so the
+    // recorded geomean stays comparable run over run; the large-scale
+    // tier is what actually grows. Every other scale still records a
+    // scaled-down large_scale group (one tenth of `--large-vertices`) so
+    // the JSON key is always present.
+    let standard_scale = if scale == Scale::Large { Scale::Tiny } else { scale };
+    let tier_vertices =
+        if scale == Scale::Large { large_vertices } else { (large_vertices / 10).max(64) };
+
+    let comparisons = baseline_suite(standard_scale, runs);
     for c in &comparisons {
         println!(
             "{:>8} d={} s={} candidates={:>4}  engine {:>10.6}s  naive {:>10.6}s  speedup {:>5.2}x  [{:?}]",
@@ -98,7 +193,10 @@ fn main() {
         println!("[bench] single core detected: skipping the thread/subtree scaling groups");
         (Vec::new(), Vec::new())
     } else {
-        (thread_scaling_suite(scale, runs, threads), subtree_scaling_suite(scale, runs, threads))
+        (
+            thread_scaling_suite(standard_scale, runs, threads),
+            subtree_scaling_suite(standard_scale, runs, threads),
+        )
     };
     for t in scaling.iter().chain(&subtree) {
         println!(
@@ -113,7 +211,7 @@ fn main() {
             t.speedup(),
         );
     }
-    let auto = auto_selection_suite(scale, runs);
+    let auto = auto_selection_suite(standard_scale, runs);
     for a in &auto {
         let (best, best_secs) = a.best_fixed();
         println!(
@@ -122,7 +220,7 @@ fn main() {
             a.efficiency(),
         );
     }
-    let phases = phase_breakdown_suite(scale, runs);
+    let phases = phase_breakdown_suite(standard_scale, runs);
     for p in &phases {
         println!(
             "{:>8} {:<8} d={} s={}  preprocess {:>10.6}s  search {:>10.6}s  select {:>10.6}s{}",
@@ -149,7 +247,7 @@ fn main() {
             k.speedup(),
         );
     }
-    let serve = serve_from_index_suite(scale, runs);
+    let serve = serve_from_index_suite(standard_scale, runs);
     for m in &serve {
         println!(
             "{:>8} d={} s={} k={}  build {:>10.6}s  {:>9} bytes  peel {:>10.6}s  index {:>10.6}s  speedup {:>6.2}x",
@@ -170,7 +268,7 @@ fn main() {
         println!("[bench] single core detected: skipping the concurrent_service group");
         Vec::new()
     } else {
-        concurrent_service_suite(scale, runs, threads)
+        concurrent_service_suite(standard_scale, runs, threads)
     };
     for c in &concurrent {
         println!(
@@ -186,7 +284,7 @@ fn main() {
             c.cache_hit_rate * 100.0,
         );
     }
-    let incremental = incremental_maintenance_suite(scale, runs);
+    let incremental = incremental_maintenance_suite(standard_scale, runs);
     for m in &incremental {
         println!(
             "{:>14} batch={:<4} x{}  {:>6} edges  incremental {:>10.6}s  recompute {:>10.6}s  {:>10.0} upd/s  speedup {:>6.2}x",
@@ -198,6 +296,31 @@ fn main() {
             m.recompute_secs,
             m.updates_per_sec(),
             m.speedup(),
+        );
+    }
+    let warm_queries = runs.clamp(1, 8);
+    println!(
+        "[bench] large-scale tier: {tier_vertices} Chung-Lu vertices, {warm_queries} warm queries"
+    );
+    let large = large_scale_suite(tier_vertices, warm_queries);
+    for m in &large {
+        println!(
+            "{:>16} n={} L={} edges={}  d={} s={}  gen {:>8.3}s  preprocess {:>8.3}s  cold {:>8.3}s  {:>7.2} q/s  [{:?}] index {} B  scratch {} B  rss {} B  alloc-peak {} B",
+            m.dataset,
+            m.vertices,
+            m.layers,
+            m.edges,
+            m.d,
+            m.s,
+            m.generate_secs,
+            m.preprocess_secs,
+            m.cold_query_secs,
+            m.throughput_qps(),
+            m.index_path,
+            m.index_bytes,
+            m.peel_scratch_bytes,
+            m.peak_rss_bytes,
+            m.peak_alloc_bytes,
         );
     }
     let json = suite_to_json(
@@ -213,6 +336,7 @@ fn main() {
         &serve,
         &concurrent,
         &incremental,
+        &large,
     );
     let text = serde_json::to_string_pretty(&json);
     if let Err(err) = std::fs::write(&out_path, text + "\n") {

@@ -676,7 +676,24 @@ pub fn baseline_suite(scale: Scale, runs: usize) -> Vec<Comparison> {
 /// 1-vs-N-worker wall-clock comparisons measure only scheduling overhead
 /// and must be skipped rather than recorded as bogus sub-1× "speedups".
 pub fn single_core() -> bool {
-    std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(false)
+    detected_cores() == 1
+}
+
+/// The hardware thread count `available_parallelism` reports (1 when the
+/// query fails) — recorded next to every `skipped_single_core` marker so a
+/// skipped scaling group documents the host it was skipped on.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The human-readable reason attached to a skipped scaling group (empty
+/// when the group actually ran).
+fn scaling_skip_reason(skipped_single_core: bool) -> &'static str {
+    if skipped_single_core {
+        "single hardware thread: a 1-vs-N comparison measures scheduling overhead, not scaling"
+    } else {
+        ""
+    }
 }
 
 /// The 1-vs-N-thread suite: every algorithm on the Wiki and German
@@ -959,6 +976,7 @@ fn temporal_config(scale: Scale) -> mlgraph::generators::TemporalConfig {
         Scale::Tiny => (150, 4, 450, 24),
         Scale::Small => (600, 6, 2400, 48),
         Scale::Full => (2000, 8, 8000, 80),
+        Scale::Large => (8000, 8, 32000, 160),
     };
     TemporalConfig { num_vertices, num_layers, edges_per_layer, core_size, ..Default::default() }
 }
@@ -1058,11 +1076,14 @@ pub fn incremental_maintenance_suite(scale: Scale, runs: usize) -> Vec<Increment
         .collect()
 }
 
-/// Renders one scaling group: the single-core skip marker plus the
-/// measurements (empty when skipped).
+/// Renders one scaling group: the single-core skip marker, the detected
+/// core count and skip reason documenting the host, plus the measurements
+/// (empty when skipped).
 fn scaling_group_to_json(measurements: &[ThreadScaling], skipped_single_core: bool) -> Value {
     Value::object(vec![
         ("skipped_single_core", Value::from(skipped_single_core)),
+        ("detected_cores", Value::from(detected_cores())),
+        ("reason", Value::from(scaling_skip_reason(skipped_single_core))),
         ("measurements", Value::Array(measurements.iter().map(ThreadScaling::to_json).collect())),
     ])
 }
@@ -1084,6 +1105,7 @@ pub fn suite_to_json(
     serve: &[ServeFromIndex],
     concurrent: &[ConcurrentService],
     incremental: &[IncrementalMaintenance],
+    large: &[crate::large_scale::LargeScaleMeasurement],
 ) -> Value {
     let geomean = if comparisons.is_empty() {
         1.0
@@ -1136,6 +1158,8 @@ pub fn suite_to_json(
             "concurrent_service",
             Value::object(vec![
                 ("skipped_single_core", Value::from(scaling_skipped_single_core)),
+                ("detected_cores", Value::from(detected_cores())),
+                ("reason", Value::from(scaling_skip_reason(scaling_skipped_single_core))),
                 (
                     "measurements",
                     Value::Array(concurrent.iter().map(ConcurrentService::to_json).collect()),
@@ -1145,6 +1169,12 @@ pub fn suite_to_json(
         (
             "incremental_maintenance",
             Value::Array(incremental.iter().map(IncrementalMaintenance::to_json).collect()),
+        ),
+        (
+            "large_scale",
+            Value::Array(
+                large.iter().map(crate::large_scale::LargeScaleMeasurement::to_json).collect(),
+            ),
         ),
     ])
 }
@@ -1159,8 +1189,21 @@ mod tests {
         let cmp = compare_candidate_generation(&ds, 2, 2, 1);
         assert!(cmp.engine_secs > 0.0 && cmp.naive_secs > 0.0);
         assert!(cmp.candidates > 0);
-        let json =
-            suite_to_json(Scale::Tiny, 1, &[cmp], &[], &[], false, &[], &[], &[], &[], &[], &[]);
+        let json = suite_to_json(
+            Scale::Tiny,
+            1,
+            &[cmp],
+            &[],
+            &[],
+            false,
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+        );
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"geomean_speedup\""));
         assert!(text.contains("\"dataset\": \"German\""));
@@ -1175,14 +1218,20 @@ mod tests {
     /// way both groups are present in the document.
     #[test]
     fn scaling_groups_record_the_single_core_skip() {
-        let json = suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[], &[], &[], &[]);
+        let json =
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], true, &[], &[], &[], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": true"));
+        assert!(text.contains("\"detected_cores\""));
+        assert!(text.contains("single hardware thread"));
         let json =
-            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[], &[]);
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"skipped_single_core\": false"));
+        assert!(text.contains("\"detected_cores\""));
+        assert!(text.contains("\"reason\": \"\""));
         assert!(text.contains("\"subtree_scaling\""));
+        assert!(text.contains("\"large_scale\""));
     }
 
     #[test]
@@ -1209,7 +1258,7 @@ mod tests {
         // their sum cannot exceed the end-to-end wall clock.
         assert!(p.preprocess_secs + p.search_secs + p.select_secs <= p.total_secs);
         let json =
-            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p], &[], &[], &[]);
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[p], &[], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"phase_breakdown\""));
         assert!(text.contains("\"preprocess_secs\""));
@@ -1226,8 +1275,21 @@ mod tests {
             assert!(k.scalar_secs > 0.0 && k.dispatched_secs > 0.0, "{}", k.op);
             assert!(k.speedup() > 0.0);
         }
-        let json =
-            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &kernels, &[], &[], &[], &[]);
+        let json = suite_to_json(
+            Scale::Tiny,
+            1,
+            &[],
+            &[],
+            &[],
+            false,
+            &[],
+            &kernels,
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+        );
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"selected_kernel\""));
         assert!(text.contains("\"kernel_dispatch\""));
@@ -1244,7 +1306,7 @@ mod tests {
         assert!(m.query_peel_secs > 0.0 && m.query_index_secs > 0.0);
         assert!(m.speedup() > 0.0);
         let json =
-            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[m], &[], &[]);
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[m], &[], &[], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"serve_from_index\""));
         assert!(text.contains("\"serve_from_index_speedup_geomean\""));
@@ -1264,8 +1326,21 @@ mod tests {
         // cache-eligible queries must have hit.
         assert!(one.cache_hit_rate >= 0.5, "hit rate {}", one.cache_hit_rate);
         assert!(one.p50_ms <= one.p95_ms && one.p95_ms <= one.p99_ms);
-        let json =
-            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[one], &[]);
+        let json = suite_to_json(
+            Scale::Tiny,
+            1,
+            &[],
+            &[],
+            &[],
+            false,
+            &[],
+            &[],
+            &[],
+            &[],
+            &[one],
+            &[],
+            &[],
+        );
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"concurrent_service\""));
         assert!(text.contains("\"qps\""));
@@ -1282,7 +1357,7 @@ mod tests {
         assert!(m.incremental_secs > 0.0 && m.recompute_secs > 0.0);
         assert!(m.updates_per_sec() > 0.0);
         let json =
-            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[], &[m]);
+            suite_to_json(Scale::Tiny, 1, &[], &[], &[], false, &[], &[], &[], &[], &[], &[m], &[]);
         let text = serde_json::to_string_pretty(&json);
         assert!(text.contains("\"incremental_maintenance\""));
         assert!(text.contains("\"incremental_maintenance_speedup_geomean\""));

@@ -8,6 +8,8 @@
 //! * [`sweeps`] — the parameter grid of Fig. 13.
 //! * [`dcc_baseline`] — engine-vs-naive measurement of the peeling engine,
 //!   recorded as `BENCH_dcc.json` by the `bench_dcc` binary.
+//! * [`large_scale`] — the million-vertex tier: generation, preprocessing,
+//!   and warm-session query throughput with memory accounting.
 //! * [`runner`] — uniform invocation of the three DCCS algorithms with
 //!   timing and search statistics.
 //! * [`table`] — plain-text table rendering and CSV emission.
@@ -18,6 +20,7 @@
 
 pub mod cli;
 pub mod dcc_baseline;
+pub mod large_scale;
 pub mod runner;
 pub mod sweeps;
 pub mod table;

@@ -3,7 +3,7 @@
 //! ```text
 //! dccs stats   (--input FILE | --dataset NAME [--scale S])
 //! dccs run     (--input FILE | --dataset NAME [--scale S])
-//!              [--algorithm auto|gd|bu|td|exact] [--index auto|csr|dense]
+//!              [--algorithm auto|gd|bu|td|exact] [--index auto|csr|dense|compressed]
 //!              [-d N] [-s N] [-k N] [--threads N] [--no-vd] [--no-sl] [--no-ir]
 //! dccs compare (--input FILE | --dataset NAME [--scale S]) [-d N] [-s N] [-k N]
 //!              [--threads N]
@@ -31,9 +31,9 @@ const USAGE: &str = "\
 dccs — diversified coherent core search on multi-layer graphs
 
 USAGE:
-    dccs stats    (--input FILE | --dataset NAME [--scale tiny|small|full])
+    dccs stats    (--input FILE | --dataset NAME [--scale tiny|small|full|large])
     dccs run      (--input FILE | --dataset NAME [--scale SCALE])
-                  [--algorithm auto|gd|bu|td|exact] [--index auto|csr|dense]
+                  [--algorithm auto|gd|bu|td|exact] [--index auto|csr|dense|compressed]
                   [-d N] [-s N] [-k N]
                   [--threads N] [--no-vd] [--no-sl] [--no-ir]
                   [--timeout-ms N] [--budget N] [--degrade]
@@ -47,7 +47,7 @@ USAGE:
                   [plus every `run` default: -d/-s/-k, --algorithm, --serve,
                    --timeout-ms, --budget, --degrade, --index, --threads]
     dccs compare  (--input FILE | --dataset NAME [--scale SCALE]) [-d N] [-s N] [-k N]
-                  [--threads N] [--index auto|csr|dense]
+                  [--threads N] [--index auto|csr|dense|compressed]
     dccs generate --dataset NAME [--scale SCALE] --output FILE
     dccs index build (--input FILE | --dataset NAME [--scale SCALE]) --output FILE
                   [-d N[,N...]] [--max-s N] [--threads N]
@@ -57,9 +57,10 @@ DEFAULTS: -d 4, -s 3, -k 10, --algorithm auto, --index auto, --scale small,
           --threads 1, --serve auto
 
 --algorithm auto picks GD/BU/TD per query from the paper's regime
-heuristics and the dense-vs-CSR cost model; the choice is printed with
-the result. --index csr|dense overrides that cost model's peeling
-representation (for A/B runs; both produce identical results). --threads N
+heuristics and the three-regime (dense / compressed / CSR) cost model;
+the choice is printed with the result. --index csr|dense|compressed
+overrides that cost model's peeling representation (for A/B runs; all
+produce identical results). --threads N
 spreads the search over N executor workers (0 = all available cores).
 Results are identical at any thread count.
 
@@ -732,6 +733,7 @@ fn temporal_config(scale: Scale) -> mlgraph::generators::TemporalConfig {
         Scale::Tiny => (150, 4, 450, 24),
         Scale::Small => (600, 6, 2400, 48),
         Scale::Full => (2000, 8, 8000, 80),
+        Scale::Large => (8000, 8, 32000, 160),
     };
     mlgraph::generators::TemporalConfig {
         num_vertices,
@@ -948,6 +950,7 @@ mod tests {
         assert_eq!(opts(&["--index", "csr"]).unwrap().opts.index, IndexChoice::Csr);
         assert_eq!(opts(&["--index", "dense"]).unwrap().opts.index, IndexChoice::Dense);
         assert_eq!(opts(&["--index", "auto"]).unwrap().opts.index, IndexChoice::Auto);
+        assert_eq!(opts(&["--index", "compressed"]).unwrap().opts.index, IndexChoice::Compressed);
         // The usage-error path: unknown value and missing value.
         assert!(matches!(opts(&["--index", "btree"]), Err(CliError::Usage(_))));
         assert!(matches!(opts(&["--index"]), Err(CliError::Usage(_))));
@@ -955,7 +958,7 @@ mod tests {
 
     #[test]
     fn end_to_end_run_with_forced_index() {
-        for index in ["csr", "dense"] {
+        for index in ["csr", "dense", "compressed"] {
             assert!(
                 run_args(&[
                     "run",

@@ -49,7 +49,7 @@ use crate::config::{DccsOptions, DccsParams};
 use crate::limits::QueryMonitor;
 use crate::preprocess::{initial_layer_cores_on, preprocess_from_monitored, Preprocessed};
 use coreness::PeelWorkspace;
-use mlgraph::{DenseSubgraph, Layer, MultiLayerGraph, Vertex, VertexSet};
+use mlgraph::{CompressedSubgraph, DenseSubgraph, Layer, MultiLayerGraph, Vertex, VertexSet};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
@@ -61,6 +61,11 @@ pub enum IndexPath {
     Csr,
     /// Re-indexed [`DenseSubgraph`] bitset rows (word-level AND+popcount).
     Dense,
+    /// Re-indexed [`CompressedSubgraph`] rows — roaring-style array/bitmap
+    /// containers holding only the blocks a row actually touches, so a
+    /// sparse million-vertex universe indexes in `O(edges)` memory instead
+    /// of the flat `O(layers · m²/64)` words the dense path needs.
+    CompressedDense,
 }
 
 /// Word budget for the dense re-indexed adjacency (64 MiB of `u64` rows).
@@ -82,6 +87,20 @@ pub const DENSE_WORD_BUDGET: usize = 8 << 20;
 /// 0.48× — the old budget-only gate picked dense there; this factor puts the
 /// cut between those regimes.
 pub const DENSE_CROSSOVER: f64 = 4.0;
+
+/// Minimum universe size before the **compressed-dense** regime is worth
+/// considering under [`IndexChoice::Auto`]. Below this the flat dense rows
+/// either fit the [`DENSE_WORD_BUDGET`] (so the flat-vs-CSR crossover
+/// decides) or the universe is small enough that CSR scans are already
+/// cheap; the compressed directory only pays for itself once rows span many
+/// 4096-bit blocks.
+pub const COMPRESSED_MIN_UNIVERSE: usize = 16_384;
+
+/// Byte budget for the compressed re-indexed adjacency (1 GiB). The
+/// estimate checked against it ([`CompressedSubgraph::estimate_bytes`]) is
+/// an upper bound on the built index, so staying under the budget is a real
+/// memory guarantee, not a guess.
+pub const COMPRESSED_BYTE_BUDGET: usize = 1 << 30;
 
 /// The cost-model decision for one candidate universe, with the quantities
 /// that produced it (recorded for diagnostics and the crossover unit tests).
@@ -114,15 +133,21 @@ pub enum IndexChoice {
     /// [`DENSE_WORD_BUDGET`] (the memory gate is a safety bound, not part
     /// of the cost model, so it still applies).
     Dense,
+    /// Peel over the compressed re-indexed rows whenever the estimated
+    /// index stays under the [`COMPRESSED_BYTE_BUDGET`] (like `Dense`, only
+    /// the memory gate still applies — the `Auto` cost model's
+    /// [`COMPRESSED_MIN_UNIVERSE`] floor does not).
+    Compressed,
 }
 
 impl IndexChoice {
-    /// The CLI spelling (`auto`, `csr`, `dense`).
+    /// The CLI spelling (`auto`, `csr`, `dense`, `compressed`).
     pub fn name(self) -> &'static str {
         match self {
             IndexChoice::Auto => "auto",
             IndexChoice::Csr => "csr",
             IndexChoice::Dense => "dense",
+            IndexChoice::Compressed => "compressed",
         }
     }
 
@@ -132,12 +157,14 @@ impl IndexChoice {
             "auto" => Some(IndexChoice::Auto),
             "csr" => Some(IndexChoice::Csr),
             "dense" => Some(IndexChoice::Dense),
+            "compressed" => Some(IndexChoice::Compressed),
             _ => None,
         }
     }
 }
 
-/// Decides dense vs CSR for peeling a candidate `universe` of `g`.
+/// Decides among the three peeling representations for a candidate
+/// `universe` of `g`: flat dense rows, compressed-dense rows, or CSR.
 ///
 /// The dense path re-indexes the universe to `0..m` and answers every
 /// degree-within query by scanning a `⌈m/64⌉`-word row; the CSR path scans
@@ -145,7 +172,12 @@ impl IndexChoice {
 /// dependent load per neighbor. Dense wins when its row is short relative to
 /// the average adjacency ([`DENSE_CROSSOVER`]) and the total index fits the
 /// [`DENSE_WORD_BUDGET`]; at low degree thresholds on near-complete
-/// universes (many vertices, sparse rows) CSR wins and is chosen.
+/// universes (many vertices, sparse rows) CSR wins and is chosen. The third
+/// regime targets universes too large for the flat rows entirely
+/// (`≥` [`COMPRESSED_MIN_UNIVERSE`], over the word budget): there the
+/// [`CompressedSubgraph`] keeps word-level peeling at `O(edges)` memory, as
+/// long as its estimated footprint stays under
+/// [`COMPRESSED_BYTE_BUDGET`].
 pub fn plan_index(g: &MultiLayerGraph, universe: &VertexSet) -> IndexPlan {
     plan_index_with(g, universe, IndexChoice::Auto)
 }
@@ -171,13 +203,38 @@ pub fn plan_index_with(
         }
     }
     let avg_degree = if m == 0 { 0.0 } else { total_degree as f64 / (l * m) as f64 };
-    let fits = m > 0 && DenseSubgraph::words_required(m, l) <= DENSE_WORD_BUDGET;
-    let dense = match choice {
-        IndexChoice::Auto => fits && (words_per_row as f64) <= DENSE_CROSSOVER * avg_degree,
-        IndexChoice::Csr => false,
-        IndexChoice::Dense => fits,
+    let fits_flat = m > 0 && DenseSubgraph::words_required(m, l) <= DENSE_WORD_BUDGET;
+    let fits_compressed =
+        m > 0 && CompressedSubgraph::estimate_bytes(m, l, total_degree) <= COMPRESSED_BYTE_BUDGET;
+    let path = match choice {
+        IndexChoice::Auto => {
+            if fits_flat && (words_per_row as f64) <= DENSE_CROSSOVER * avg_degree {
+                IndexPath::Dense
+            } else if !fits_flat && m >= COMPRESSED_MIN_UNIVERSE && fits_compressed {
+                // The flat rows blew the word budget but the universe is
+                // huge and sparse: compressed rows keep the word-level
+                // peel at O(edges) memory instead of falling back to CSR.
+                IndexPath::CompressedDense
+            } else {
+                IndexPath::Csr
+            }
+        }
+        IndexChoice::Csr => IndexPath::Csr,
+        IndexChoice::Dense => {
+            if fits_flat {
+                IndexPath::Dense
+            } else {
+                IndexPath::Csr
+            }
+        }
+        IndexChoice::Compressed => {
+            if fits_compressed {
+                IndexPath::CompressedDense
+            } else {
+                IndexPath::Csr
+            }
+        }
     };
-    let path = if dense { IndexPath::Dense } else { IndexPath::Csr };
     IndexPlan { path, universe: m, words_per_row, avg_degree }
 }
 
@@ -195,6 +252,14 @@ struct DenseCacheEntry {
     graph_key: (usize, usize, usize, usize),
     universe: VertexSet,
     dense: DenseSubgraph,
+}
+
+/// One cached compressed index, keyed exactly like [`DenseCacheEntry`].
+#[derive(Debug)]
+struct CompressedCacheEntry {
+    graph_key: (usize, usize, usize, usize),
+    universe: VertexSet,
+    compressed: CompressedSubgraph,
 }
 
 fn graph_key(g: &MultiLayerGraph) -> (usize, usize, usize, usize) {
@@ -364,6 +429,7 @@ pub struct SearchContext {
     /// Caller override of the dense-vs-CSR cost model (CLI `--index`).
     index_choice: IndexChoice,
     dense_cache: Option<DenseCacheEntry>,
+    compressed_cache: Option<CompressedCacheEntry>,
     /// Per-layer d-cores over the full vertex set, keyed by `d` — the
     /// `d`-only-dependent first step of preprocessing. An `s`/`k` sweep at
     /// fixed `d` re-peels no layer; a `d` sweep that revisits a value hits
@@ -401,6 +467,7 @@ impl SearchContext {
             threads: threads.max(1),
             index_choice: IndexChoice::Auto,
             dense_cache: None,
+            compressed_cache: None,
             layer_core_memo: HashMap::new(),
             memo_graph_key: None,
             shared: None,
@@ -517,10 +584,11 @@ impl SearchContext {
         (index.plan, index.dense)
     }
 
-    /// Drops the cached dense index and the per-layer d-core memo (e.g.
-    /// before pointing the context at a different graph).
+    /// Drops the cached dense/compressed indexes and the per-layer d-core
+    /// memo (e.g. before pointing the context at a different graph).
     pub fn clear_cache(&mut self) {
         self.dense_cache = None;
+        self.compressed_cache = None;
         self.layer_core_memo.clear();
         self.memo_graph_key = None;
     }
@@ -594,8 +662,8 @@ impl SearchContext {
                 }
             }
         }
+        let key = graph_key(g);
         let dense = if plan.path == IndexPath::Dense {
-            let key = graph_key(g);
             let hit = self
                 .dense_cache
                 .as_ref()
@@ -611,7 +679,23 @@ impl SearchContext {
         } else {
             None
         };
-        (PeelIndex { g, dense, plan, kernel: mlgraph::kernels::kernel() }, &mut self.ws)
+        let compressed = if plan.path == IndexPath::CompressedDense {
+            let hit = self
+                .compressed_cache
+                .as_ref()
+                .is_some_and(|e| e.graph_key == key && e.universe == *universe);
+            if !hit {
+                self.compressed_cache = Some(CompressedCacheEntry {
+                    graph_key: key,
+                    universe: universe.clone(),
+                    compressed: CompressedSubgraph::build(g, universe),
+                });
+            }
+            self.compressed_cache.as_ref().map(|e| &e.compressed)
+        } else {
+            None
+        };
+        (PeelIndex { g, dense, compressed, plan, kernel: mlgraph::kernels::kernel() }, &mut self.ws)
     }
 }
 
@@ -629,12 +713,16 @@ impl Default for SearchContext {
 ///
 /// On the CSR path the index space **is** the graph's vertex universe
 /// (`compress`/`emit` are identity copies and degrees scan adjacency
-/// lists); on the dense path it is the re-indexed `0..m` universe and every
-/// degree is a `popcount(row ∧ set)` through the selected bit kernel.
+/// lists); on the dense and compressed-dense paths it is the re-indexed
+/// `0..m` universe and every degree is a `popcount(row ∧ set)` through the
+/// selected bit kernel — against flat `⌈m/64⌉`-word rows (dense) or
+/// block-compressed rows holding only the touched 4096-bit blocks
+/// (compressed).
 #[derive(Clone, Copy)]
 pub struct PeelIndex<'a> {
     g: &'a MultiLayerGraph,
     dense: Option<&'a DenseSubgraph>,
+    compressed: Option<&'a CompressedSubgraph>,
     plan: IndexPlan,
     /// The process-dispatched bit kernel, fetched once at construction so
     /// the per-vertex degree queries of a walk pay no repeated
@@ -667,19 +755,28 @@ pub(crate) enum InheritOutcome {
     /// CSR walk: the intersection dropped most of the parent, so the (now
     /// small) child was rescanned instead.
     CsrRecount,
+    /// Compressed walk: per-survivor `popcount(row ∧ removed)` subtraction
+    /// over the compressed row's touched blocks.
+    CompressedPatched,
+    /// Compressed walk: the removals outnumbered the survivors, so the
+    /// (now small) child's degrees were recounted from scratch.
+    CompressedRecount,
 }
 
 impl<'a> PeelIndex<'a> {
-    /// Builds an index from an explicit plan and (for the dense path) a
-    /// pre-built dense subgraph; the ctx-less lattice entry point uses this,
-    /// the context path goes through [`SearchContext::peel_index`].
+    /// Builds an index from an explicit plan and (for the re-indexed paths)
+    /// a pre-built dense or compressed subgraph; the ctx-less lattice entry
+    /// point uses this, the context path goes through
+    /// [`SearchContext::peel_index`].
     pub(crate) fn new(
         g: &'a MultiLayerGraph,
         dense: Option<&'a DenseSubgraph>,
+        compressed: Option<&'a CompressedSubgraph>,
         plan: IndexPlan,
     ) -> Self {
         debug_assert_eq!(plan.path == IndexPath::Dense, dense.is_some());
-        PeelIndex { g, dense, plan, kernel: mlgraph::kernels::kernel() }
+        debug_assert_eq!(plan.path == IndexPath::CompressedDense, compressed.is_some());
+        PeelIndex { g, dense, compressed, plan, kernel: mlgraph::kernels::kernel() }
     }
 
     /// The representation this index peels over.
@@ -697,57 +794,102 @@ impl<'a> PeelIndex<'a> {
         self.dense
     }
 
-    /// Universe size in index space: `m` on the dense path, `n` on CSR.
+    /// The compressed re-indexed subgraph, when the compressed-dense path
+    /// was chosen.
+    pub fn compressed_index(&self) -> Option<&'a CompressedSubgraph> {
+        self.compressed
+    }
+
+    /// Heap footprint of the built adjacency index in bytes: the flat rows
+    /// on the dense path, the measured container bytes on the compressed
+    /// path, and 0 on CSR (no index is built — the graph is peeled in
+    /// place).
+    pub fn index_bytes(&self) -> usize {
+        if let Some(dense) = self.dense {
+            dense.words_per_row() * dense.len() * self.g.num_layers() * 8
+        } else if let Some(sub) = self.compressed {
+            sub.bytes()
+        } else {
+            0
+        }
+    }
+
+    /// Universe size in index space: `m` on the re-indexed paths, `n` on
+    /// CSR.
     pub fn universe_len(&self) -> usize {
-        match self.dense {
-            Some(dense) => dense.len(),
-            None => self.g.num_vertices(),
+        if let Some(dense) = self.dense {
+            dense.len()
+        } else if let Some(sub) = self.compressed {
+            sub.len()
+        } else {
+            self.g.num_vertices()
         }
     }
 
     /// `|N_layer(v) ∩ set|` in index space — a kernel-dispatched
-    /// `popcount(row ∧ set)` on the dense path, an adjacency scan with
-    /// membership tests on CSR.
+    /// `popcount(row ∧ set)` on the dense and compressed paths, an
+    /// adjacency scan with membership tests on CSR.
     #[inline]
     pub fn degree_within(&self, layer: Layer, v: Vertex, set: &VertexSet) -> usize {
-        match self.dense {
-            Some(dense) => self.kernel.and_count(set.words(), dense.row(layer, v)),
-            None => self.g.layer(layer).degree_within(v, set),
+        if let Some(dense) = self.dense {
+            self.kernel.and_count(set.words(), dense.row(layer, v))
+        } else if let Some(sub) = self.compressed {
+            sub.row(layer, v).and_count_words_with(self.kernel, set.words())
+        } else {
+            self.g.layer(layer).degree_within(v, set)
         }
     }
 
     /// Translates per-layer cores into index space: `None` on CSR (the
     /// caller keeps using the originals — index space is vertex space),
-    /// compressed copies on the dense path.
+    /// re-indexed copies on the dense and compressed paths.
     pub fn compress_layer_cores(&self, layer_cores: &[VertexSet]) -> Option<Vec<VertexSet>> {
-        self.dense.map(|dense| {
-            layer_cores
-                .iter()
-                .map(|core| {
-                    let mut compressed = dense.new_set();
-                    dense.compress_into(core, &mut compressed);
-                    compressed
-                })
-                .collect()
-        })
+        if let Some(dense) = self.dense {
+            Some(
+                layer_cores
+                    .iter()
+                    .map(|core| {
+                        let mut compressed = dense.new_set();
+                        dense.compress_into(core, &mut compressed);
+                        compressed
+                    })
+                    .collect(),
+            )
+        } else {
+            self.compressed.map(|sub| {
+                layer_cores
+                    .iter()
+                    .map(|core| {
+                        let mut compressed = sub.new_set();
+                        sub.compress_into(core, &mut compressed);
+                        compressed
+                    })
+                    .collect()
+            })
+        }
     }
 
     /// Returns `core` in vertex space for emission: the core itself on CSR,
-    /// the expansion written into `buf` on the dense path.
+    /// the expansion written into `buf` on the re-indexed paths.
     pub fn emit<'s>(&self, core: &'s VertexSet, buf: &'s mut VertexSet) -> &'s VertexSet {
-        match self.dense {
-            Some(dense) => {
-                dense.expand_into(core, buf);
-                buf
-            }
-            None => core,
+        if let Some(dense) = self.dense {
+            dense.expand_into(core, buf);
+            buf
+        } else if let Some(sub) = self.compressed {
+            sub.expand_into(core, buf);
+            buf
+        } else {
+            core
         }
     }
 
     /// The cascading removal phase in index space — the peeler's side of
     /// the unified API: [`PeelWorkspace::cascade_dense`] (word-batched, bit
-    /// kernels) on the dense path, [`PeelWorkspace::cascade_in_place`]
-    /// (CSR adjacency) otherwise. `degrees` must hold exact within-`alive`
+    /// kernels) on the dense path, [`PeelWorkspace::cascade_compressed`]
+    /// (per-victim walks over compressed rows) on the compressed path,
+    /// [`PeelWorkspace::cascade_in_place`]
+    /// (CSR adjacency) otherwise. All three reach the same fixpoint — the
+    /// d-core cascade is confluent. `degrees` must hold exact within-`alive`
     /// degrees per `layers[j]`, and is kept exact for the survivors.
     pub fn cascade(
         &self,
@@ -757,9 +899,12 @@ impl<'a> PeelIndex<'a> {
         alive: &mut VertexSet,
         degrees: &mut [u32],
     ) {
-        match self.dense {
-            Some(dense) => ws.cascade_dense(dense, layers, d, alive, degrees),
-            None => ws.cascade_in_place(self.g, layers, d, alive, degrees),
+        if let Some(dense) = self.dense {
+            ws.cascade_dense(dense, layers, d, alive, degrees);
+        } else if let Some(sub) = self.compressed {
+            ws.cascade_compressed(sub, layers, d, alive, degrees);
+        } else {
+            ws.cascade_in_place(self.g, layers, d, alive, degrees);
         }
     }
 
@@ -777,6 +922,11 @@ impl<'a> PeelIndex<'a> {
     /// the removed vertices' edges; when the intersection dropped most of
     /// the parent, the (now small) child is rescanned.
     ///
+    /// Compressed: like dense, each survivor's degree shrinks by exactly
+    /// `|row ∧ removed|`, computed over only the blocks the compressed row
+    /// actually holds; the recount fallback fires when the removals
+    /// outnumber the survivors.
+    ///
     /// `prefix` is the subset's first `depth` layers; `parent_deg` /
     /// `child_deg` are laid out `[t * len + v]` over the index-space
     /// universe; `nz_scratch` is reused to hold the removed set's non-zero
@@ -792,6 +942,33 @@ impl<'a> PeelIndex<'a> {
         nz_scratch: &mut Vec<u32>,
     ) -> InheritOutcome {
         let len = self.universe_len();
+        if let Some(sub) = self.compressed {
+            // Compressed rows have no flat words to restrict, but each
+            // row's AND against a word slice only visits the row's own
+            // blocks — so patching by `|row ∧ removed|` is cheap whenever
+            // the removals are the smaller side, mirroring the CSR
+            // heuristic.
+            return if removed.len() <= child.len() {
+                for v in child.iter() {
+                    let vi = v as usize;
+                    for (t, &layer) in prefix.iter().enumerate() {
+                        let delta =
+                            sub.row(layer, v).and_count_words_with(self.kernel, removed.words());
+                        child_deg[t * len + vi] = parent_deg[t * len + vi] - delta as u32;
+                    }
+                }
+                InheritOutcome::CompressedPatched
+            } else {
+                for (t, &layer) in prefix.iter().enumerate() {
+                    for v in child.iter() {
+                        child_deg[t * len + v as usize] =
+                            sub.row(layer, v).and_count_words_with(self.kernel, child.words())
+                                as u32;
+                    }
+                }
+                InheritOutcome::CompressedRecount
+            };
+        }
         match self.dense {
             Some(dense) => {
                 let row_words = child.words().len();
@@ -1619,10 +1796,72 @@ mod tests {
             plan_index_with(&g, &VertexSet::new(64), IndexChoice::Dense).path,
             IndexPath::Csr
         );
-        for choice in [IndexChoice::Auto, IndexChoice::Csr, IndexChoice::Dense] {
+        // Forced compressed ignores the Auto model's universe floor — only
+        // the byte budget gates it — and an empty universe still falls back.
+        assert_eq!(
+            plan_index_with(&g, &universe, IndexChoice::Compressed).path,
+            IndexPath::CompressedDense
+        );
+        assert_eq!(
+            plan_index_with(&sparse, &full, IndexChoice::Compressed).path,
+            IndexPath::CompressedDense
+        );
+        assert_eq!(
+            plan_index_with(&g, &VertexSet::new(64), IndexChoice::Compressed).path,
+            IndexPath::Csr
+        );
+        for choice in
+            [IndexChoice::Auto, IndexChoice::Csr, IndexChoice::Dense, IndexChoice::Compressed]
+        {
             assert_eq!(IndexChoice::parse(choice.name()), Some(choice));
         }
         assert_eq!(IndexChoice::parse("btree"), None);
+    }
+
+    /// The third regime: a universe too large for the flat dense rows but
+    /// sparse enough for compressed containers is auto-planned
+    /// `CompressedDense` — the million-vertex scale path.
+    #[test]
+    fn cost_model_picks_compressed_past_the_flat_word_budget() {
+        // 32768 vertices in a cycle: flat dense rows would need
+        // 32768 × 512 = 16.7M words, over the 8.4M word budget; the
+        // compressed estimate (≈ 3.4 MB) is far under its 1 GiB budget,
+        // and the universe clears `COMPRESSED_MIN_UNIVERSE`.
+        let n = 32_768u32;
+        let mut b = MultiLayerGraphBuilder::new(n as usize, 1);
+        for v in 0..n {
+            b.add_edge(0, v, (v + 1) % n).unwrap();
+        }
+        let g = b.build();
+        let universe = g.full_vertex_set();
+        assert!(DenseSubgraph::words_required(n as usize, 1) > DENSE_WORD_BUDGET);
+        let plan = plan_index(&g, &universe);
+        assert_eq!(plan.path, IndexPath::CompressedDense);
+        // Forcing CSR or (budget-blown) Dense still falls back cleanly.
+        assert_eq!(plan_index_with(&g, &universe, IndexChoice::Csr).path, IndexPath::Csr);
+        assert_eq!(plan_index_with(&g, &universe, IndexChoice::Dense).path, IndexPath::Csr);
+    }
+
+    #[test]
+    fn compressed_cache_is_reused_for_the_same_universe() {
+        let g = two_clique_graph();
+        let universe = VertexSet::from_iter(64, 0..8);
+        let mut ctx = SearchContext::new(1);
+        ctx.set_index_choice(IndexChoice::Compressed);
+        let first = {
+            let (index, _) = ctx.peel_index(&g, &universe);
+            assert_eq!(index.path(), IndexPath::CompressedDense);
+            assert!(index.index_bytes() > 0);
+            index.compressed_index().expect("compressed path chosen") as *const CompressedSubgraph
+        };
+        let second = {
+            let (index, _) = ctx.peel_index(&g, &universe);
+            index.compressed_index().expect("compressed path chosen") as *const CompressedSubgraph
+        };
+        assert_eq!(first, second, "same universe must hit the cache");
+        let other = VertexSet::from_iter(64, 0..7);
+        let (index, _) = ctx.peel_index(&g, &other);
+        assert_eq!(index.universe_len(), 7);
     }
 
     /// One persistent crew must serve many batches and task graphs — with

@@ -78,6 +78,8 @@ pub fn exact_dccs_on(
     stats.candidates_generated += lattice.candidates;
     stats.dcc_calls += lattice.peels;
     stats.index_path = Some(lattice.index_path);
+    stats.index_bytes = lattice.index_bytes;
+    stats.peel_scratch_bytes = ctx.ws.scratch_bytes();
     stats.phase.search = search_start.elapsed();
     candidates.retain(|c| !c.is_empty());
 

@@ -84,6 +84,8 @@ pub fn greedy_dccs_on(
     stats.candidates_generated += lattice.candidates;
     stats.dcc_calls += lattice.peels;
     stats.index_path = Some(lattice.index_path);
+    stats.index_bytes = lattice.index_bytes;
+    stats.peel_scratch_bytes = ctx.ws.scratch_bytes();
     stats.phase.search = search_start.elapsed();
 
     // A tripped limit stopped the walk early; everything already emitted is

@@ -49,7 +49,7 @@ use crate::layer_subsets::combinations;
 use crate::limits::QueryMonitor;
 use crate::result::CoherentCore;
 use coreness::PeelWorkspace;
-use mlgraph::{DenseSubgraph, Layer, MultiLayerGraph, VertexSet};
+use mlgraph::{CompressedSubgraph, DenseSubgraph, Layer, MultiLayerGraph, VertexSet};
 
 /// Work counters reported by [`for_each_subset_core`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -61,18 +61,25 @@ pub struct LatticeStats {
     /// Size-`s` subsets emitted as empty without peeling because an
     /// ancestor prefix already proved them empty.
     pub empty_skipped: usize,
-    /// Dense-walk nodes whose prefix-layer degrees were inherited via the
-    /// word-restricted subtraction (0 on the CSR path, and on dense
+    /// Dense- or compressed-walk nodes whose prefix-layer degrees were
+    /// inherited via row∧removed subtraction (word-restricted on flat rows,
+    /// per-block on compressed rows; 0 on the CSR path, and on dense
     /// universes of ≤ 64 vertices, whose single-word rows always take the
     /// recount fallback).
     pub inherited: usize,
-    /// Dense-walk nodes where the removed vertices spanned full rows and
-    /// the prefix-layer degrees were recounted from scratch instead — the
-    /// measured German-`d=2` failure mode of row inheritance, observable
-    /// here instead of in prose (0 on the CSR path).
+    /// Dense- or compressed-walk nodes where inheritance lost to a
+    /// from-scratch recount (removals spanning full rows on the dense path,
+    /// outnumbering the survivors on the compressed one) — the measured
+    /// German-`d=2` failure mode of row inheritance, observable here
+    /// instead of in prose (0 on the CSR path).
     pub recount_fallbacks: usize,
     /// Adjacency representation the cost model picked for this run.
     pub index_path: IndexPath,
+    /// Heap footprint of the built adjacency index in bytes (0 on the CSR
+    /// path — no index is built). A memory diagnostic, not a work counter:
+    /// it is set once per run from the index, never absorbed across
+    /// branches.
+    pub index_bytes: usize,
 }
 
 impl LatticeStats {
@@ -136,23 +143,30 @@ where
     // build) out of the trivial case.
     let universe;
     let dense_owned;
+    let compressed_owned;
     let index = if s > 1 {
         universe = candidate_universe(g.num_vertices(), layer_cores);
         let plan = plan_index(g, &universe);
-        if plan.path == IndexPath::Dense {
-            dense_owned = DenseSubgraph::build(g, &universe);
-            PeelIndex::new(g, Some(&dense_owned), plan)
-        } else {
-            PeelIndex::new(g, None, plan)
+        match plan.path {
+            IndexPath::Dense => {
+                dense_owned = DenseSubgraph::build(g, &universe);
+                PeelIndex::new(g, Some(&dense_owned), None, plan)
+            }
+            IndexPath::CompressedDense => {
+                compressed_owned = CompressedSubgraph::build(g, &universe);
+                PeelIndex::new(g, None, Some(&compressed_owned), plan)
+            }
+            IndexPath::Csr => PeelIndex::new(g, None, None, plan),
         }
     } else {
-        PeelIndex::new(g, None, plan_index(g, &VertexSet::new(g.num_vertices())))
+        PeelIndex::new(g, None, None, plan_index(g, &VertexSet::new(g.num_vertices())))
     };
     let cores_ix = index.compress_layer_cores(layer_cores);
     let cores_ix: &[VertexSet] = cores_ix.as_deref().unwrap_or(layer_cores);
     let mut stats =
         run_branches(g, d, s, &index, cores_ix, layer_cores, 0, branches, ws, None, &mut emit);
     stats.index_path = index.path();
+    stats.index_bytes = index.index_bytes();
     stats
 }
 
@@ -227,7 +241,11 @@ pub fn collect_subset_cores(
         pool.map(driver_ws, jobs)
     };
 
-    let mut stats = LatticeStats { index_path: index.path(), ..LatticeStats::default() };
+    let mut stats = LatticeStats {
+        index_path: index.path(),
+        index_bytes: index.index_bytes(),
+        ..LatticeStats::default()
+    };
     let mut cores = Vec::new();
     for (mut branch_cores, branch_stats) in per_branch {
         stats.absorb(&branch_stats);
@@ -456,8 +474,12 @@ impl<F: FnMut(&[Layer], &VertexSet)> LatticeWalk<'_, F> {
             &self.removed,
             &mut self.removed_word_idx,
         ) {
-            InheritOutcome::DenseInherited => self.stats.inherited += 1,
-            InheritOutcome::DenseRecount => self.stats.recount_fallbacks += 1,
+            InheritOutcome::DenseInherited | InheritOutcome::CompressedPatched => {
+                self.stats.inherited += 1
+            }
+            InheritOutcome::DenseRecount | InheritOutcome::CompressedRecount => {
+                self.stats.recount_fallbacks += 1
+            }
             InheritOutcome::CsrPatched | InheritOutcome::CsrRecount => {}
         }
         // The newly added layer always needs a fresh count.
@@ -646,8 +668,8 @@ mod tests {
     }
 
     /// A forced index override must change the representation — and nothing
-    /// else: identical cores in identical order under `Csr`, `Dense`, and
-    /// `Auto`.
+    /// else: identical cores in identical order under `Csr`, `Dense`,
+    /// `Compressed`, and `Auto`.
     #[test]
     fn forced_index_choices_are_bit_identical() {
         let g = graph();
@@ -655,9 +677,12 @@ mod tests {
             let params = DccsParams::new(d, s, 2);
             let pre = preprocess(&g, &params, &DccsOptions::no_vertex_deletion());
             let mut reference: Option<Vec<CoherentCore>> = None;
-            for choice in
-                [crate::IndexChoice::Auto, crate::IndexChoice::Csr, crate::IndexChoice::Dense]
-            {
+            for choice in [
+                crate::IndexChoice::Auto,
+                crate::IndexChoice::Csr,
+                crate::IndexChoice::Dense,
+                crate::IndexChoice::Compressed,
+            ] {
                 let mut ctx = SearchContext::new(1);
                 ctx.set_index_choice(choice);
                 let (cores, stats) = with_pool(1, |pool| {
@@ -666,6 +691,9 @@ mod tests {
                 match choice {
                     crate::IndexChoice::Csr => assert_eq!(stats.index_path, IndexPath::Csr),
                     crate::IndexChoice::Dense => assert_eq!(stats.index_path, IndexPath::Dense),
+                    crate::IndexChoice::Compressed => {
+                        assert_eq!(stats.index_path, IndexPath::CompressedDense)
+                    }
                     crate::IndexChoice::Auto => {}
                 }
                 match &reference {

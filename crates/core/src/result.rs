@@ -80,6 +80,17 @@ pub struct SearchStats {
     /// the [`crate::engine`] cost model's per-run dense-vs-CSR decision.
     /// `None` for the search-tree algorithms, which always peel CSR.
     pub index_path: Option<IndexPath>,
+    /// Heap footprint in bytes of the adjacency index candidate generation
+    /// peeled over (flat dense rows or compressed containers; 0 on the CSR
+    /// path, where no index is built). A memory diagnostic for the
+    /// large-scale bench tier — excluded from equality like the timings:
+    /// it describes the machine-side cost, not the answer.
+    pub index_bytes: usize,
+    /// Capacity in bytes of the driver workspace's peel scratch buffers
+    /// after the run (degree arrays, cascade queue, bins). Like
+    /// [`index_bytes`](SearchStats::index_bytes) this is a memory
+    /// diagnostic, excluded from equality.
+    pub peel_scratch_bytes: usize,
     /// Which algorithm actually produced this result. Always the concrete
     /// algorithm — a query submitted with [`Algorithm::Auto`] records the
     /// resolved choice here, which is how the selection policy's decisions
@@ -127,6 +138,8 @@ impl Default for SearchStats {
             updates_accepted: 0,
             vertices_deleted: 0,
             index_path: None,
+            index_bytes: 0,
+            peel_scratch_bytes: 0,
             algorithm: None,
             limit_hit: None,
             complete: true,
@@ -262,6 +275,9 @@ mod tests {
         b.served_from_cache = true;
         b.graph_epoch = Some(7);
         assert_eq!(a, b, "cache provenance must not affect stats equality");
+        b.index_bytes = 1024;
+        b.peel_scratch_bytes = 2048;
+        assert_eq!(a, b, "memory diagnostics must not affect stats equality");
         b.complete = false;
         assert_ne!(a, b);
     }

@@ -93,12 +93,17 @@ pub fn all_datasets() -> [DatasetId; 6] {
 
 /// How large an analogue to generate.
 ///
+/// * `Large` — four times `Full`, for the large-scale bench tier (the
+///   10^6-vertex runs additionally use the Chung–Lu generator directly,
+///   which streams one layer at a time).
 /// * `Full` — the default experiment scale (large datasets are scaled down
 ///   from the paper's millions of vertices to tens of thousands).
 /// * `Small` — one quarter of `Full`, for quick experiment runs.
 /// * `Tiny` — a few hundred vertices, for tests and Criterion benchmarks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
+    /// Four times the default scale.
+    Large,
     /// Default experiment scale.
     Full,
     /// Quarter scale.
@@ -111,6 +116,7 @@ impl Scale {
     /// Parses a scale name.
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
+            "large" => Some(Scale::Large),
             "full" => Some(Scale::Full),
             "small" => Some(Scale::Small),
             "tiny" => Some(Scale::Tiny),
@@ -118,11 +124,14 @@ impl Scale {
         }
     }
 
-    fn divisor(self) -> usize {
+    /// Applies the scale to a [`Scale::Full`] quantity (vertex counts,
+    /// edge counts, module/story counts).
+    fn scaled(self, value: usize) -> usize {
         match self {
-            Scale::Full => 1,
-            Scale::Small => 4,
-            Scale::Tiny => 16,
+            Scale::Large => value * 4,
+            Scale::Full => value,
+            Scale::Small => value / 4,
+            Scale::Tiny => value / 16,
         }
     }
 }
@@ -166,14 +175,13 @@ fn full_shape(id: DatasetId) -> (usize, usize) {
 /// Generates a dataset analogue at the requested scale.
 pub fn generate(id: DatasetId, scale: Scale) -> Dataset {
     let spec = id.spec();
-    let div = scale.divisor();
-    let n = (spec.synthetic_vertices / div).max(64);
-    let epl = (spec.synthetic_edges_per_layer / div).max(64);
+    let n = scale.scaled(spec.synthetic_vertices).max(64);
+    let epl = scale.scaled(spec.synthetic_edges_per_layer).max(64);
     let (graph, ground_truth) = match id {
         DatasetId::Ppi => module_graph(&ModuleGraphConfig {
             num_vertices: n,
             num_layers: spec.synthetic_layers,
-            num_modules: (30 / div).max(6),
+            num_modules: scale.scaled(30).max(6),
             module_size: (4, 12.min(n / 4).max(5)),
             layers_per_module: 5,
             density: 0.9,
@@ -183,7 +191,7 @@ pub fn generate(id: DatasetId, scale: Scale) -> Dataset {
         DatasetId::Author => module_graph(&ModuleGraphConfig {
             num_vertices: n,
             num_layers: spec.synthetic_layers,
-            num_modules: (60 / div).max(8),
+            num_modules: scale.scaled(60).max(8),
             module_size: (4, 16.min(n / 4).max(5)),
             layers_per_module: 5,
             density: 0.85,
@@ -199,7 +207,7 @@ pub fn generate(id: DatasetId, scale: Scale) -> Dataset {
                 retain: 0.55,
                 core_size: (n / 40).max(16),
                 core_bias: 0.3,
-                num_stories: (24 / div).max(6),
+                num_stories: scale.scaled(24).max(6),
                 story_size: (12, 30.min(n / 8).max(13)),
                 layers_per_story: layers_per_story.min(spec.synthetic_layers),
                 story_density: 0.8,
@@ -257,7 +265,16 @@ mod tests {
         assert_eq!(Scale::parse("full"), Some(Scale::Full));
         assert_eq!(Scale::parse("Small"), Some(Scale::Small));
         assert_eq!(Scale::parse("TINY"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn large_scale_quadruples_the_full_shape() {
+        let ds = generate(DatasetId::Ppi, Scale::Large);
+        assert_eq!(ds.graph.num_vertices(), 4 * 328);
+        assert_eq!(ds.graph.num_layers(), 8);
+        assert!(ds.graph.validate());
     }
 
     #[test]

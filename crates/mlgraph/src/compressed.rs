@@ -1,0 +1,777 @@
+//! [`CompressedVertexSet`] and [`CompressedSubgraph`]: roaring-style
+//! compressed bitsets for huge sparse universes.
+//!
+//! The flat [`VertexSet`] spends `⌈n/64⌉` words regardless of how many
+//! vertices are present, and [`crate::DenseSubgraph`] spends
+//! `l · m · ⌈m/64⌉` words on its adjacency rows — at a million-vertex
+//! universe that is terabytes and simply cannot exist. This module stores a
+//! set as a sorted directory of 4096-bit **blocks**, each held in one of
+//! two containers:
+//!
+//! * **sparse** — a sorted `Vec<u16>` of in-block offsets (≤ 256 members);
+//! * **dense** — a 64-word bitmap (> 256 members), whose word ops dispatch
+//!   through the same [`crate::kernels::BitKernel`] as the flat sets.
+//!
+//! Empty blocks are not stored at all, so memory tracks the membership
+//! (2 bytes per sparse member, 512 bytes per dense block) instead of the
+//! universe. The container form is canonical — sparse iff the block holds
+//! ≤ [`SPARSE_MAX`] members — so structural equality is set equality.
+//!
+//! Every operation is **bit-identical** to the flat representation: the
+//! property suite in `crates/mlgraph/tests/compressed_property.rs` checks
+//! each op against [`VertexSet`] under every available kernel.
+
+use crate::bitset::VertexSet;
+use crate::graph::MultiLayerGraph;
+use crate::kernels::{kernel, BitKernel};
+use crate::{Layer, Vertex};
+
+/// Bits covered by one block (64 words).
+pub const BLOCK_BITS: usize = 4096;
+/// Words per dense container.
+const BLOCK_WORDS: usize = BLOCK_BITS / 64;
+/// Largest member count a sparse container holds: at 2 bytes per entry,
+/// 256 entries is the 512-byte break-even against a dense bitmap.
+pub const SPARSE_MAX: usize = 256;
+
+/// One block's members, in the canonical form for its cardinality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Container {
+    /// Sorted in-block offsets (`0..BLOCK_BITS`), at most [`SPARSE_MAX`].
+    Sparse(Vec<u16>),
+    /// 64-word bitmap, more than [`SPARSE_MAX`] bits set.
+    Dense(Box<[u64; BLOCK_WORDS]>),
+}
+
+impl Container {
+    fn len(&self) -> usize {
+        match self {
+            Container::Sparse(ids) => ids.len(),
+            Container::Dense(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    fn contains(&self, offset: u16) -> bool {
+        match self {
+            Container::Sparse(ids) => ids.binary_search(&offset).is_ok(),
+            Container::Dense(words) => (words[offset as usize / 64] >> (offset % 64)) & 1 == 1,
+        }
+    }
+
+    /// Heap bytes held by this container.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Sparse(ids) => ids.capacity() * 2,
+            Container::Dense(_) => BLOCK_WORDS * 8,
+        }
+    }
+
+    /// Canonicalizes a sorted offset list into the container for its size.
+    fn from_sorted(ids: Vec<u16>) -> Container {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "offsets must be strictly ascending");
+        if ids.len() <= SPARSE_MAX {
+            Container::Sparse(ids)
+        } else {
+            let mut words = Box::new([0u64; BLOCK_WORDS]);
+            for &id in &ids {
+                words[id as usize / 64] |= 1u64 << (id % 64);
+            }
+            Container::Dense(words)
+        }
+    }
+
+    /// Canonicalizes a bitmap into the container for `count` set bits.
+    fn from_words(words: Box<[u64; BLOCK_WORDS]>, count: usize) -> Container {
+        if count > SPARSE_MAX {
+            return Container::Dense(words);
+        }
+        let mut ids = Vec::with_capacity(count);
+        for (wi, &w) in words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                ids.push((wi * 64 + bits.trailing_zeros() as usize) as u16);
+                bits &= bits - 1;
+            }
+        }
+        Container::Sparse(ids)
+    }
+}
+
+/// A non-empty block: which 4096-bit span it covers and its members.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Block {
+    /// Block index: covers global ids `index * BLOCK_BITS ..`.
+    index: u32,
+    container: Container,
+}
+
+/// A compressed set of vertices drawn from a fixed universe `0..capacity`,
+/// with the same membership semantics as [`VertexSet`] but memory
+/// proportional to the occupied blocks instead of the universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedVertexSet {
+    /// Non-empty blocks, ascending by block index.
+    blocks: Vec<Block>,
+    capacity: usize,
+    len: usize,
+}
+
+impl CompressedVertexSet {
+    /// Creates an empty set over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        CompressedVertexSet { blocks: Vec::new(), capacity, len: 0 }
+    }
+
+    /// Creates a set containing every vertex of the universe `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut blocks = Vec::with_capacity(capacity.div_ceil(BLOCK_BITS));
+        let mut remaining = capacity;
+        let mut index = 0u32;
+        while remaining > 0 {
+            let in_block = remaining.min(BLOCK_BITS);
+            let container = if in_block > SPARSE_MAX {
+                let mut words = Box::new([0u64; BLOCK_WORDS]);
+                for w in 0..in_block / 64 {
+                    words[w] = !0;
+                }
+                if !in_block.is_multiple_of(64) {
+                    words[in_block / 64] = (1u64 << (in_block % 64)) - 1;
+                }
+                Container::Dense(words)
+            } else {
+                Container::Sparse((0..in_block as u16).collect())
+            };
+            blocks.push(Block { index, container });
+            remaining -= in_block;
+            index += 1;
+        }
+        CompressedVertexSet { blocks, capacity, len: capacity }
+    }
+
+    /// Builds a set from an iterator of vertices over `0..capacity`.
+    /// Duplicates are allowed.
+    pub fn from_iter<I: IntoIterator<Item = Vertex>>(capacity: usize, iter: I) -> Self {
+        let mut s = CompressedVertexSet::new(capacity);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Builds a set from a strictly ascending run of vertex ids in one
+    /// streaming pass (no per-insert directory searches) — the fast path
+    /// for adjacency rows, which are already sorted.
+    pub fn from_sorted_run(capacity: usize, run: &[Vertex]) -> Self {
+        // Count the blocks first so both the directory and each container
+        // allocate exactly — rows are immutable after the build, so slack
+        // capacity would be pure waste at scale.
+        let mut num_blocks = 0usize;
+        let mut prev_block = u32::MAX;
+        for &v in run {
+            debug_assert!((v as usize) < capacity, "vertex {v} out of capacity");
+            let b = v / BLOCK_BITS as u32;
+            if b != prev_block {
+                num_blocks += 1;
+                prev_block = b;
+            }
+        }
+        let mut blocks = Vec::with_capacity(num_blocks);
+        let mut i = 0usize;
+        while i < run.len() {
+            let index = run[i] / BLOCK_BITS as u32;
+            let end = i + run[i..].partition_point(|&v| v / BLOCK_BITS as u32 == index);
+            let mut ids = Vec::with_capacity(end - i);
+            for &v in &run[i..end] {
+                debug_assert!(ids.last().copied() < Some((v % BLOCK_BITS as u32) as u16));
+                ids.push((v % BLOCK_BITS as u32) as u16);
+            }
+            blocks.push(Block { index, container: Container::from_sorted(ids) });
+            i = end;
+        }
+        let len = run.len();
+        CompressedVertexSet { blocks, capacity, len }
+    }
+
+    /// The size of the universe this set draws from.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of vertices currently in the set (O(1), cached).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of non-empty blocks in the directory.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Approximate heap bytes held (directory + containers).
+    pub fn heap_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<Block>()
+            + self.blocks.iter().map(|b| b.container.heap_bytes()).sum::<usize>()
+    }
+
+    fn find_block(&self, index: u32) -> Result<usize, usize> {
+        self.blocks.binary_search_by_key(&index, |b| b.index)
+    }
+
+    /// Tests membership of `v`.
+    pub fn contains(&self, v: Vertex) -> bool {
+        debug_assert!((v as usize) < self.capacity, "vertex {v} out of capacity {}", self.capacity);
+        match self.find_block(v / BLOCK_BITS as u32) {
+            Ok(b) => self.blocks[b].container.contains((v % BLOCK_BITS as u32) as u16),
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        assert!((v as usize) < self.capacity, "vertex {v} out of capacity {}", self.capacity);
+        let index = v / BLOCK_BITS as u32;
+        let offset = (v % BLOCK_BITS as u32) as u16;
+        let slot = match self.find_block(index) {
+            Ok(b) => b,
+            Err(b) => {
+                self.blocks.insert(b, Block { index, container: Container::Sparse(Vec::new()) });
+                b
+            }
+        };
+        let container = &mut self.blocks[slot].container;
+        let inserted = match container {
+            Container::Sparse(ids) => match ids.binary_search(&offset) {
+                Ok(_) => false,
+                Err(pos) => {
+                    ids.insert(pos, offset);
+                    if ids.len() > SPARSE_MAX {
+                        *container = Container::from_sorted(std::mem::take(ids));
+                    }
+                    true
+                }
+            },
+            Container::Dense(words) => {
+                let w = &mut words[offset as usize / 64];
+                let mask = 1u64 << (offset % 64);
+                let fresh = *w & mask == 0;
+                *w |= mask;
+                fresh
+            }
+        };
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    pub fn remove(&mut self, v: Vertex) -> bool {
+        assert!((v as usize) < self.capacity, "vertex {v} out of capacity {}", self.capacity);
+        let index = v / BLOCK_BITS as u32;
+        let offset = (v % BLOCK_BITS as u32) as u16;
+        let Ok(slot) = self.find_block(index) else {
+            return false;
+        };
+        let container = &mut self.blocks[slot].container;
+        let removed = match container {
+            Container::Sparse(ids) => match ids.binary_search(&offset) {
+                Ok(pos) => {
+                    ids.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Dense(words) => {
+                let w = &mut words[offset as usize / 64];
+                let mask = 1u64 << (offset % 64);
+                if *w & mask == 0 {
+                    false
+                } else {
+                    *w &= !mask;
+                    let count = container.len();
+                    if count <= SPARSE_MAX {
+                        let Container::Dense(words) =
+                            std::mem::replace(container, Container::Sparse(Vec::new()))
+                        else {
+                            unreachable!()
+                        };
+                        *container = Container::from_words(words, count);
+                    }
+                    true
+                }
+            }
+        };
+        if removed {
+            self.len -= 1;
+            if self.blocks[slot].container.len() == 0 {
+                self.blocks.remove(slot);
+            }
+        }
+        removed
+    }
+
+    /// Removes every vertex (the universe size is unchanged).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.len = 0;
+    }
+
+    /// Iterates the members in increasing vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.blocks.iter().flat_map(|b| {
+            let base = b.index * BLOCK_BITS as u32;
+            let ids: Vec<u16> = match &b.container {
+                Container::Sparse(ids) => ids.clone(),
+                Container::Dense(words) => {
+                    let mut ids = Vec::new();
+                    for (wi, &w) in words.iter().enumerate() {
+                        let mut bits = w;
+                        while bits != 0 {
+                            ids.push((wi * 64 + bits.trailing_zeros() as usize) as u16);
+                            bits &= bits - 1;
+                        }
+                    }
+                    ids
+                }
+            };
+            ids.into_iter().map(move |id| base + id as u32)
+        })
+    }
+
+    /// Collects the members into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<Vertex> {
+        self.iter().collect()
+    }
+
+    /// Size of the intersection with `other`, via the dispatched kernel.
+    /// Panics if the capacities differ.
+    pub fn and_count(&self, other: &CompressedVertexSet) -> usize {
+        self.and_count_with(kernel(), other)
+    }
+
+    /// [`CompressedVertexSet::and_count`] on an explicit kernel (the
+    /// property suite compares kernels inside one process).
+    pub fn and_count_with(&self, k: &dyn BitKernel, other: &CompressedVertexSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in and_count");
+        let mut count = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.blocks.len() && j < other.blocks.len() {
+            let (a, b) = (&self.blocks[i], &other.blocks[j]);
+            match a.index.cmp(&b.index) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += container_and_count(k, &a.container, &b.container);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Overwrites this set with `a ∩ b`, via the dispatched kernel. Panics
+    /// if any of the three capacities differ.
+    pub fn assign_intersection(&mut self, a: &CompressedVertexSet, b: &CompressedVertexSet) {
+        self.assign_intersection_with(kernel(), a, b);
+    }
+
+    /// [`CompressedVertexSet::assign_intersection`] on an explicit kernel.
+    pub fn assign_intersection_with(
+        &mut self,
+        k: &dyn BitKernel,
+        a: &CompressedVertexSet,
+        b: &CompressedVertexSet,
+    ) {
+        assert_eq!(a.capacity, b.capacity, "capacity mismatch in assign_intersection");
+        assert_eq!(self.capacity, a.capacity, "capacity mismatch in assign_intersection");
+        self.blocks.clear();
+        let mut len = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.blocks.len() && j < b.blocks.len() {
+            let (ba, bb) = (&a.blocks[i], &b.blocks[j]);
+            match ba.index.cmp(&bb.index) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if let Some(container) = container_intersection(k, &ba.container, &bb.container)
+                    {
+                        len += container.len();
+                        self.blocks.push(Block { index: ba.index, container });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.len = len;
+    }
+
+    /// Size of the intersection with a flat word-packed bitset (the same
+    /// packing as [`VertexSet::words`]); words past the slice end are
+    /// treated as zero. This is the compressed adjacency row's
+    /// degree-within query against a flat candidate set.
+    pub fn and_count_words(&self, words: &[u64]) -> usize {
+        self.and_count_words_with(kernel(), words)
+    }
+
+    /// [`CompressedVertexSet::and_count_words`] on an explicit kernel.
+    pub fn and_count_words_with(&self, k: &dyn BitKernel, words: &[u64]) -> usize {
+        let mut count = 0usize;
+        for block in &self.blocks {
+            let word_base = block.index as usize * BLOCK_WORDS;
+            if word_base >= words.len() {
+                break;
+            }
+            let window = &words[word_base..words.len().min(word_base + BLOCK_WORDS)];
+            match &block.container {
+                Container::Sparse(ids) => {
+                    count += ids
+                        .iter()
+                        .filter(|&&id| {
+                            let w = id as usize / 64;
+                            w < window.len() && (window[w] >> (id % 64)) & 1 == 1
+                        })
+                        .count();
+                }
+                Container::Dense(bits) => count += k.and_count(&bits[..], window),
+            }
+        }
+        count
+    }
+
+    /// Calls `f` for each member whose bit is set in the flat word-packed
+    /// bitset `words`, in increasing vertex order — the compressed
+    /// cascade's `row ∧ alive` walk.
+    pub fn for_each_in<F: FnMut(Vertex)>(&self, words: &[u64], mut f: F) {
+        for block in &self.blocks {
+            let word_base = block.index as usize * BLOCK_WORDS;
+            if word_base >= words.len() {
+                break;
+            }
+            let base = block.index * BLOCK_BITS as u32;
+            let window = &words[word_base..words.len().min(word_base + BLOCK_WORDS)];
+            match &block.container {
+                Container::Sparse(ids) => {
+                    for &id in ids {
+                        let w = id as usize / 64;
+                        if w < window.len() && (window[w] >> (id % 64)) & 1 == 1 {
+                            f(base + id as u32);
+                        }
+                    }
+                }
+                Container::Dense(bits) => {
+                    for (wi, &row_word) in bits.iter().enumerate().take(window.len()) {
+                        let mut live = row_word & window[wi];
+                        while live != 0 {
+                            f(base + (wi * 64) as u32 + live.trailing_zeros());
+                            live &= live - 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Intersection count of two same-block containers.
+fn container_and_count(k: &dyn BitKernel, a: &Container, b: &Container) -> usize {
+    match (a, b) {
+        (Container::Sparse(x), Container::Sparse(y)) => {
+            crate::intersect::sorted_intersect_count(x, y)
+        }
+        (Container::Sparse(ids), Container::Dense(words))
+        | (Container::Dense(words), Container::Sparse(ids)) => {
+            ids.iter().filter(|&&id| (words[id as usize / 64] >> (id % 64)) & 1 == 1).count()
+        }
+        (Container::Dense(x), Container::Dense(y)) => k.and_count(&x[..], &y[..]),
+    }
+}
+
+/// Intersection of two same-block containers, canonicalized; `None` when
+/// empty.
+fn container_intersection(k: &dyn BitKernel, a: &Container, b: &Container) -> Option<Container> {
+    let out = match (a, b) {
+        (Container::Sparse(x), Container::Sparse(y)) => {
+            let mut ids = Vec::new();
+            crate::intersect::sorted_intersect_into(x, y, &mut ids);
+            Container::Sparse(ids)
+        }
+        (Container::Sparse(ids), Container::Dense(words))
+        | (Container::Dense(words), Container::Sparse(ids)) => Container::Sparse(
+            ids.iter()
+                .copied()
+                .filter(|&id| (words[id as usize / 64] >> (id % 64)) & 1 == 1)
+                .collect(),
+        ),
+        (Container::Dense(x), Container::Dense(y)) => {
+            let mut words = Box::new([0u64; BLOCK_WORDS]);
+            let count = k.and_assign_count(&mut words[..], &x[..], &y[..]);
+            Container::from_words(words, count)
+        }
+    };
+    (out.len() > 0).then_some(out)
+}
+
+/// A multi-layer subgraph over a re-indexed universe `0..m` whose
+/// adjacency rows are [`CompressedVertexSet`]s — the third index regime,
+/// for universes too large for [`crate::DenseSubgraph`]'s flat rows.
+///
+/// Memory is proportional to the within-universe edges (plus a small
+/// per-row directory), not `m²`, while degree-within queries stay
+/// word-wise on the occupied blocks.
+#[derive(Clone, Debug)]
+pub struct CompressedSubgraph {
+    /// New index → original vertex id (ascending).
+    mapping: Vec<Vertex>,
+    /// Original vertex id → new index (`u32::MAX` outside the universe).
+    inverse: Vec<u32>,
+    /// Number of layers.
+    num_layers: usize,
+    /// Rows: `rows[layer * m + v]`.
+    rows: Vec<CompressedVertexSet>,
+    /// Measured heap bytes of the rows (for budget accounting).
+    bytes: usize,
+}
+
+impl CompressedSubgraph {
+    /// Conservative byte estimate for a compressed build over
+    /// `universe_len` vertices, `layers` layers, and `total_degree` row
+    /// entries (the sum of within-or-without-universe degrees the planner
+    /// already has); used to budget-gate construction.
+    pub fn estimate_bytes(universe_len: usize, layers: usize, total_degree: usize) -> usize {
+        // Per row: the set struct + one directory slot; per entry: a sparse
+        // slot, doubled for container slack and dense promotions.
+        layers * universe_len * 96 + total_degree * 4
+    }
+
+    /// Builds the compressed re-indexed subgraph of `g` induced by
+    /// `universe`.
+    pub fn build(g: &MultiLayerGraph, universe: &VertexSet) -> Self {
+        let mapping: Vec<Vertex> = universe.to_vec();
+        let m = mapping.len();
+        let mut inverse = vec![u32::MAX; g.num_vertices()];
+        for (new, &old) in mapping.iter().enumerate() {
+            inverse[old as usize] = new as u32;
+        }
+        let num_layers = g.num_layers();
+        let mut rows = Vec::with_capacity(num_layers * m);
+        let mut run: Vec<Vertex> = Vec::new();
+        let mut bytes = 0usize;
+        for layer in 0..num_layers {
+            let csr = g.layer(layer);
+            for &old_u in &mapping {
+                run.clear();
+                // Neighbors are sorted by old id and the mapping is
+                // order-preserving, so the re-indexed run stays ascending.
+                for &old_v in csr.neighbors(old_u) {
+                    let new_v = inverse[old_v as usize];
+                    if new_v != u32::MAX {
+                        run.push(new_v);
+                    }
+                }
+                let row = CompressedVertexSet::from_sorted_run(m, &run);
+                bytes += row.heap_bytes() + std::mem::size_of::<CompressedVertexSet>();
+                rows.push(row);
+            }
+        }
+        CompressedSubgraph { mapping, inverse, num_layers, rows, bytes }
+    }
+
+    /// Universe size `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Whether the universe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mapping.is_empty()
+    }
+
+    /// Number of layers carried.
+    #[inline]
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Measured heap bytes of the adjacency rows.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The adjacency row of re-indexed vertex `v` on `layer`.
+    #[inline]
+    pub fn row(&self, layer: Layer, v: Vertex) -> &CompressedVertexSet {
+        &self.rows[layer * self.len() + v as usize]
+    }
+
+    /// `|N_layer(v) ∩ set|` via block-wise intersect-count. `set` must be
+    /// over the re-indexed universe `0..m`.
+    #[inline]
+    pub fn degree_within(&self, layer: Layer, v: Vertex, set: &VertexSet) -> usize {
+        self.row(layer, v).and_count_words(set.words())
+    }
+
+    /// Compresses a set over the original universe into re-indexed space,
+    /// writing into `out` (capacity `m`). Vertices outside the universe
+    /// are dropped.
+    pub fn compress_into(&self, set: &VertexSet, out: &mut VertexSet) {
+        out.clear();
+        for v in set.iter() {
+            let new = self.inverse[v as usize];
+            if new != u32::MAX {
+                out.insert(new);
+            }
+        }
+    }
+
+    /// Expands a re-indexed set back to the original universe, writing
+    /// into `out` (capacity = original `n`).
+    pub fn expand_into(&self, set: &VertexSet, out: &mut VertexSet) {
+        out.clear();
+        for v in set.iter() {
+            out.insert(self.mapping[v as usize]);
+        }
+    }
+
+    /// A fresh flat set over the re-indexed universe (the lattice walk's
+    /// candidate sets stay flat — at `m` bits each they are cheap; only
+    /// the `l·m` adjacency rows need compression).
+    pub fn new_set(&self) -> VertexSet {
+        VertexSet::new(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MultiLayerGraphBuilder;
+
+    #[test]
+    fn insert_remove_promote_demote_roundtrip() {
+        let mut s = CompressedVertexSet::new(10_000);
+        // Fill one block past the sparse→dense boundary.
+        for v in 0..(SPARSE_MAX as u32 + 40) {
+            assert!(s.insert(v * 2));
+        }
+        assert!(!s.insert(0));
+        assert_eq!(s.len(), SPARSE_MAX + 40);
+        assert!(s.contains(2));
+        assert!(!s.contains(1));
+        assert_eq!(s.num_blocks(), 1);
+        // Remove back below the boundary: the container demotes and stays
+        // equal to a freshly built set (canonical form).
+        for v in 0..80u32 {
+            assert!(s.remove(v * 2));
+        }
+        let rebuilt =
+            CompressedVertexSet::from_iter(10_000, (80..(SPARSE_MAX as u32 + 40)).map(|v| v * 2));
+        assert_eq!(s, rebuilt);
+    }
+
+    #[test]
+    fn matches_flat_on_boundaries() {
+        // Empty, full, one-past-a-block, partial trailing block.
+        for capacity in [0usize, 1, 63, 64, BLOCK_BITS - 1, BLOCK_BITS, BLOCK_BITS + 1, 9000] {
+            let full = CompressedVertexSet::full(capacity);
+            let flat = VertexSet::full(capacity);
+            assert_eq!(full.len(), flat.len(), "full capacity={capacity}");
+            assert_eq!(full.to_vec(), flat.to_vec(), "full capacity={capacity}");
+            assert!(CompressedVertexSet::new(capacity).is_empty());
+        }
+    }
+
+    #[test]
+    fn from_sorted_run_matches_from_iter() {
+        let run: Vec<u32> = (0..600u32).map(|i| i * 17 % 9001).collect();
+        let mut sorted = run.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let a = CompressedVertexSet::from_sorted_run(9001, &sorted);
+        let b = CompressedVertexSet::from_iter(9001, run);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), sorted.len());
+    }
+
+    #[test]
+    fn intersection_ops_match_flat() {
+        let xs: Vec<u32> = (0..8192u32).filter(|v| v % 3 == 0).collect();
+        let ys: Vec<u32> = (0..8192u32).filter(|v| v % 5 < 2).collect();
+        let ca = CompressedVertexSet::from_iter(8192, xs.iter().copied());
+        let cb = CompressedVertexSet::from_iter(8192, ys.iter().copied());
+        let fa = VertexSet::from_iter(8192, xs);
+        let fb = VertexSet::from_iter(8192, ys);
+        assert_eq!(ca.and_count(&cb), fa.intersection_len(&fb));
+        let mut out = CompressedVertexSet::new(8192);
+        out.assign_intersection(&ca, &cb);
+        assert_eq!(out.to_vec(), fa.intersection(&fb).to_vec());
+        assert_eq!(out.len(), fa.intersection(&fb).len());
+        assert_eq!(ca.and_count_words(fb.words()), fa.intersection_len(&fb));
+        let mut seen = Vec::new();
+        ca.for_each_in(fb.words(), |v| seen.push(v));
+        assert_eq!(seen, fa.intersection(&fb).to_vec());
+    }
+
+    #[test]
+    fn heap_bytes_track_membership_not_universe() {
+        let sparse = CompressedVertexSet::from_iter(1_000_000, [3u32, 70_000, 999_999]);
+        assert!(sparse.heap_bytes() < 4096, "bytes: {}", sparse.heap_bytes());
+        assert_eq!(sparse.num_blocks(), 3);
+    }
+
+    fn graph() -> MultiLayerGraph {
+        let mut b = MultiLayerGraphBuilder::new(10, 2);
+        for (u, v) in [(1, 3), (3, 5), (1, 5), (5, 9)] {
+            b.add_edge(0, u, v).unwrap();
+        }
+        for (u, v) in [(1, 9), (3, 9), (0, 2)] {
+            b.add_edge(1, u, v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn subgraph_matches_dense_semantics() {
+        let g = graph();
+        let universe = VertexSet::from_iter(10, [1, 3, 5, 9]);
+        let sub = CompressedSubgraph::build(&g, &universe);
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.num_layers(), 2);
+        assert!(sub.bytes() > 0);
+        // New ids: 1→0, 3→1, 5→2, 9→3 — same as the dense build.
+        let all = VertexSet::full(4);
+        assert_eq!(sub.degree_within(0, 0, &all), 2);
+        assert_eq!(sub.degree_within(0, 2, &all), 3);
+        assert_eq!(sub.degree_within(1, 3, &all), 2);
+        let without_9 = VertexSet::from_iter(4, [0, 1, 2]);
+        assert_eq!(sub.degree_within(0, 2, &without_9), 2);
+        let original = VertexSet::from_iter(10, [3, 9, 0]);
+        let mut compressed = sub.new_set();
+        sub.compress_into(&original, &mut compressed);
+        assert_eq!(compressed.to_vec(), vec![1, 3]);
+        let mut expanded = VertexSet::new(10);
+        sub.expand_into(&compressed, &mut expanded);
+        assert_eq!(expanded.to_vec(), vec![3, 9]);
+    }
+
+    #[test]
+    fn estimate_bounds_measured_bytes() {
+        let g = graph();
+        let universe = VertexSet::full(10);
+        let sub = CompressedSubgraph::build(&g, &universe);
+        let total_degree: usize =
+            (0..2).map(|l| (0..10).map(|v| g.layer(l).degree(v)).sum::<usize>()).sum();
+        assert!(sub.bytes() <= CompressedSubgraph::estimate_bytes(10, 2, total_degree));
+    }
+}

@@ -159,8 +159,20 @@ impl Csr {
     }
 
     /// Degree of `v` counting only neighbors contained in `within`.
+    ///
+    /// The adjacency run is tested word-wise against the set's packed
+    /// words through the dispatched [`crate::kernels::BitKernel`] — the
+    /// CSR peel's inner loop — instead of per-neighbor `contains` calls.
+    #[inline]
     pub fn degree_within(&self, v: Vertex, within: &VertexSet) -> usize {
-        self.neighbors(v).iter().filter(|&&u| within.contains(u)).count()
+        crate::kernels::kernel().sorted_and_count(self.neighbors(v), within.words())
+    }
+
+    /// Number of common neighbors of `u` and `v` (their adjacency runs
+    /// intersected by [`crate::intersect::sorted_intersect_count`] —
+    /// galloping when one run is much shorter, linear merge otherwise).
+    pub fn common_degree(&self, u: Vertex, v: Vertex) -> usize {
+        crate::intersect::sorted_intersect_count(self.neighbors(u), self.neighbors(v))
     }
 
     /// Iterates every undirected edge once, as `(u, v)` with `u < v`.
@@ -280,6 +292,15 @@ mod tests {
         assert_eq!(g.degree_within(3, &s), 1);
         let empty = VertexSet::new(5);
         assert_eq!(g.degree_within(2, &empty), 0);
+    }
+
+    #[test]
+    fn common_degree_counts_shared_neighbors() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.common_degree(0, 1), 1); // both adjacent to 2
+        assert_eq!(g.common_degree(0, 2), 1); // both adjacent to 1
+        assert_eq!(g.common_degree(0, 3), 1); // both adjacent to 2
+        assert_eq!(g.common_degree(0, 4), 0);
     }
 
     #[test]

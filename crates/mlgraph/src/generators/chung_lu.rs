@@ -63,53 +63,52 @@ pub fn chung_lu_layers(config: &ChungLuConfig) -> Result<MultiLayerGraph> {
     let gamma = 1.0 / (config.exponent - 1.0);
     let base: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
 
-    let per_layer: Vec<Vec<(Vertex, Vertex)>> = (0..config.num_layers)
-        .map(|_| {
-            let weights: Vec<f64> = base
-                .iter()
-                .map(|w| {
-                    let jitter = 1.0 + config.layer_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
-                    w * jitter.max(0.05)
-                })
-                .collect();
-            let total: f64 = weights.iter().sum();
-            let target_edges = (n as f64 * config.avg_degree / 2.0).round() as usize;
-            // Weighted endpoint sampling: pick endpoints proportional to weight.
-            let cumulative: Vec<f64> = weights
-                .iter()
-                .scan(0.0, |acc, w| {
-                    *acc += w;
-                    Some(*acc)
-                })
-                .collect();
-            let pick = |rng: &mut rand::rngs::StdRng| -> Vertex {
-                let x = rng.gen::<f64>() * total;
-                match cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
-                    Ok(i) => i as Vertex,
-                    Err(i) => i.min(n - 1) as Vertex,
-                }
-            };
-            let mut seen = std::collections::HashSet::new();
-            let mut edges = Vec::with_capacity(target_edges);
-            let mut attempts = 0usize;
-            let max_attempts = target_edges.saturating_mul(20).max(1000);
-            while edges.len() < target_edges && attempts < max_attempts {
-                attempts += 1;
-                let u = pick(&mut rng);
-                let v = pick(&mut rng);
-                if u == v {
-                    continue;
-                }
-                let key = if u < v { (u, v) } else { (v, u) };
-                if seen.insert(key) {
-                    edges.push(key);
-                }
+    // Streaming per-layer build: each layer's edge list is converted to its
+    // CSR immediately and the scratch buffers are reused, so peak memory is
+    // one layer's working set (plus the finished CSRs) instead of every
+    // layer's edge `Vec` held simultaneously. The RNG call sequence is
+    // identical to the collect-then-build form, so output is unchanged.
+    let target_edges = (n as f64 * config.avg_degree / 2.0).round() as usize;
+    let mut layers: Vec<crate::csr::Csr> = Vec::with_capacity(config.num_layers);
+    let mut cumulative: Vec<f64> = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(target_edges);
+    for _ in 0..config.num_layers {
+        // Weighted endpoint sampling: cumulative weights, binary-searched.
+        cumulative.clear();
+        let mut total = 0.0f64;
+        for w in &base {
+            let jitter = 1.0 + config.layer_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            total += w * jitter.max(0.05);
+            cumulative.push(total);
+        }
+        let pick = |rng: &mut rand::rngs::StdRng| -> Vertex {
+            let x = rng.gen::<f64>() * total;
+            match cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+                Ok(i) => i as Vertex,
+                Err(i) => i.min(n - 1) as Vertex,
             }
-            edges
-        })
-        .collect();
+        };
+        seen.clear();
+        edges.clear();
+        let mut attempts = 0usize;
+        let max_attempts = target_edges.saturating_mul(20).max(1000);
+        while edges.len() < target_edges && attempts < max_attempts {
+            attempts += 1;
+            let u = pick(&mut rng);
+            let v = pick(&mut rng);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                edges.push(key);
+            }
+        }
+        layers.push(crate::csr::Csr::from_edges(n, &edges));
+    }
 
-    MultiLayerGraph::from_edge_lists(n, &per_layer)
+    MultiLayerGraph::from_layers(layers)
 }
 
 #[cfg(test)]

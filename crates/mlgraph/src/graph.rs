@@ -40,6 +40,27 @@ impl MultiLayerGraph {
         MultiLayerGraph { layers, vertex_labels, layer_names }
     }
 
+    /// Assembles a graph from already-built CSR layers sharing one vertex
+    /// universe, with default layer names. This is the streaming-build
+    /// entry point: callers can construct each layer's [`Csr`] in turn and
+    /// drop the intermediate edge list before generating the next layer,
+    /// capping peak memory at one layer's working set.
+    pub fn from_layers(layers: Vec<Csr>) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(GraphError::InvalidArgument("at least one layer is required".into()));
+        }
+        let n = layers[0].num_vertices();
+        if let Some(bad) = layers.iter().find(|l| l.num_vertices() != n) {
+            return Err(GraphError::InvalidArgument(format!(
+                "all layers must share the same vertex universe (got {} and {})",
+                n,
+                bad.num_vertices()
+            )));
+        }
+        let names = (0..layers.len()).map(|i| format!("layer{i}")).collect();
+        Ok(MultiLayerGraph::from_parts(layers, None, names))
+    }
+
     /// Builds a graph directly from per-layer edge lists over `n` vertices.
     pub fn from_edge_lists(n: usize, per_layer: &[Vec<(Vertex, Vertex)>]) -> Result<Self> {
         if per_layer.is_empty() {
@@ -288,6 +309,18 @@ mod tests {
         assert!(err.is_err());
         let err2 = MultiLayerGraph::from_edge_lists(3, &[]);
         assert!(err2.is_err());
+    }
+
+    #[test]
+    fn from_layers_matches_edge_list_build_and_checks_universes() {
+        let per_layer = vec![vec![(0u32, 1u32)], vec![(1u32, 2u32)]];
+        let via_lists = MultiLayerGraph::from_edge_lists(3, &per_layer).unwrap();
+        let layers: Vec<Csr> = per_layer.iter().map(|e| Csr::from_edges(3, e)).collect();
+        let via_layers = MultiLayerGraph::from_layers(layers).unwrap();
+        assert_eq!(via_lists, via_layers);
+        assert!(MultiLayerGraph::from_layers(vec![]).is_err());
+        let mismatched = vec![Csr::from_edges(3, &[(0, 1)]), Csr::from_edges(4, &[(0, 1)])];
+        assert!(MultiLayerGraph::from_layers(mismatched).is_err());
     }
 
     #[test]

@@ -93,6 +93,54 @@ pub trait BitKernel: Send + Sync {
 
     /// Popcount of the elementwise AND, zipped to the shorter slice.
     fn and_count(&self, a: &[u64], b: &[u64]) -> usize;
+
+    /// Number of ids in the ascending run `sorted` whose bit is set in the
+    /// packed bitset `words`. Ids at or beyond `words.len() * 64` count as
+    /// absent (zero-extension, matching [`BitKernel::and_count`]). This is
+    /// the CSR peel's inner loop: an adjacency run intersected with the
+    /// alive set, counted word-wise instead of via pointer-chased
+    /// `contains` calls.
+    fn sorted_and_count(&self, sorted: &[u32], words: &[u64]) -> usize {
+        scalar_sorted_and_count(sorted, words)
+    }
+}
+
+/// Whether bit `v` is set in the packed words (absent past the end).
+#[inline(always)]
+fn word_test(words: &[u64], v: u32) -> bool {
+    let w = (v >> 6) as usize;
+    w < words.len() && (words[w] >> (v & 63)) & 1 == 1
+}
+
+/// Reference implementation of [`BitKernel::sorted_and_count`]: one id per
+/// iteration.
+#[inline]
+fn scalar_sorted_and_count(sorted: &[u32], words: &[u64]) -> usize {
+    sorted.iter().filter(|&&v| word_test(words, v)).count()
+}
+
+/// 4×-unrolled [`BitKernel::sorted_and_count`] with independent
+/// accumulators, so the dependent load→test chains of neighboring ids
+/// overlap. Bit-identical to the scalar walk.
+#[inline]
+fn unrolled_sorted_and_count(sorted: &[u32], words: &[u64]) -> usize {
+    let n = sorted.len();
+    let chunks = n / 4 * 4;
+    let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+    let mut i = 0;
+    while i < chunks {
+        c0 += word_test(words, sorted[i]) as usize;
+        c1 += word_test(words, sorted[i + 1]) as usize;
+        c2 += word_test(words, sorted[i + 2]) as usize;
+        c3 += word_test(words, sorted[i + 3]) as usize;
+        i += 4;
+    }
+    let mut count = c0 + c1 + c2 + c3;
+    while i < n {
+        count += word_test(words, sorted[i]) as usize;
+        i += 1;
+    }
+    count
 }
 
 // ---------------------------------------------------------------------------
@@ -266,6 +314,10 @@ impl BitKernel for UnrolledKernel {
 
     fn andnot_inplace_count(&self, acc: &mut [u64], b: &[u64]) -> usize {
         unrolled_inplace_count!(acc, b, |x: u64, y: u64| x & !y)
+    }
+
+    fn sorted_and_count(&self, sorted: &[u32], words: &[u64]) -> usize {
+        unrolled_sorted_and_count(sorted, words)
     }
 
     fn and_count(&self, a: &[u64], b: &[u64]) -> usize {
@@ -448,6 +500,13 @@ impl BitKernel for Avx2Kernel {
         // SAFETY: both slices hold at least `n` words.
         unsafe { avx2::and_count(a.as_ptr(), b.as_ptr(), n) }
     }
+
+    // Gathered bit tests don't vectorize profitably on AVX2 (no scatter,
+    // and `vpgatherdd` loses to scalar loads on most cores); the unrolled
+    // walk is the fastest portable form here too.
+    fn sorted_and_count(&self, sorted: &[u32], words: &[u64]) -> usize {
+        unrolled_sorted_and_count(sorted, words)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -585,6 +644,16 @@ mod tests {
                     scalar.and_count(&a, &b),
                     kernel.and_count(&a, &b),
                     "and_count n={n} {:?}",
+                    kernel.kind()
+                );
+                // A sorted run spanning the words, including ids past the
+                // end (zero-extension) and dense clusters inside one word.
+                let sorted: Vec<u32> =
+                    (0..(n as u32 * 64 + 7)).filter(|v| v % 3 == 0 || v % 64 < 2).collect();
+                assert_eq!(
+                    scalar.sorted_and_count(&sorted, &a),
+                    kernel.sorted_and_count(&sorted, &a),
+                    "sorted_and_count n={n} {:?}",
                     kernel.kind()
                 );
             }

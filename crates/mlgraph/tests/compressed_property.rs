@@ -1,0 +1,163 @@
+//! Property suites for the million-vertex scale path:
+//!
+//! 1. [`CompressedVertexSet`] must be bit-identical to the flat
+//!    [`VertexSet`] on every shared operation — across empty/full sets,
+//!    partial trailing words, multi-container (4096-bit block) boundaries,
+//!    and under every kernel this host can run.
+//! 2. The CSR sorted-run machinery — `degree_within` via
+//!    `BitKernel::sorted_and_count`, and the galloping/merge intersection
+//!    behind `common_degree` — must agree with the scalar membership walk
+//!    on randomized adjacencies.
+
+use mlgraph::intersect::{galloping_count, merge_count, sorted_intersect_count};
+use mlgraph::kernels::{available_kernels, kernel_for, KernelKind};
+use mlgraph::{CompressedVertexSet, Csr, Vertex, VertexSet};
+use proptest::prelude::*;
+
+/// Strategy: universe capacities that straddle word boundaries (64) and
+/// container-block boundaries (4096): exact, one past, one short, and far
+/// between — so trailing partial words and multi-block directories are all
+/// exercised.
+fn capacity_strategy() -> impl Strategy<Value = usize> {
+    prop::collection::vec(1usize..200, 1..=1).prop_map(|v| {
+        let base = v[0];
+        match base % 8 {
+            0 => base.next_multiple_of(64),     // word boundary
+            1 => base.next_multiple_of(64) + 1, // one bit into a new word
+            2 => base.next_multiple_of(64) - 1, // partial trailing word
+            3 => 4096,                          // exact block boundary
+            4 => 4097,                          // one bit into block two
+            5 => 4095,                          // partial trailing block
+            6 => base * 64 + 4096,              // multi-block universe
+            _ => base,
+        }
+    })
+}
+
+/// Builds matching (flat, compressed) pairs. Shapes 0/1 and 2/3 force the
+/// empty and full extremes on either side.
+fn build_pair(cap: usize, members: Vec<u32>, shape: u32) -> (VertexSet, CompressedVertexSet) {
+    let folded: Vec<Vertex> = members.iter().map(|&v| v % cap.max(1) as Vertex).collect();
+    match shape % 3 {
+        0 => (VertexSet::new(cap), CompressedVertexSet::new(cap)),
+        1 => (VertexSet::full(cap), CompressedVertexSet::full(cap)),
+        _ => (
+            VertexSet::from_iter(cap, folded.iter().copied()),
+            CompressedVertexSet::from_iter(cap, folded),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Compressed sets mirror flat sets on every shared op, under every
+    // available kernel.
+    #[test]
+    fn compressed_matches_flat_under_every_kernel(
+        cap in capacity_strategy(),
+        a in prop::collection::vec(0u32..1_000_000, 0..512),
+        b in prop::collection::vec(0u32..1_000_000, 0..512),
+        shape_a in 0u32..3,
+        shape_b in 0u32..3,
+    ) {
+        let (fa, ca) = build_pair(cap, a, shape_a);
+        let (fb, cb) = build_pair(cap, b, shape_b + 1);
+        prop_assert_eq!(ca.len(), fa.len());
+        prop_assert_eq!(ca.to_vec(), fa.to_vec());
+        prop_assert_eq!(ca.is_empty(), fa.is_empty());
+        for v in fa.iter().take(8) {
+            prop_assert!(ca.contains(v));
+        }
+        let scalar = kernel_for(KernelKind::Scalar).expect("scalar always available");
+        let expected_and = fa.intersection_len(&fb);
+        let expected_vec = fa.intersection(&fb).to_vec();
+        for k in available_kernels() {
+            let kind = k.kind();
+            prop_assert_eq!(
+                ca.and_count_with(k, &cb), expected_and,
+                "and_count {:?} cap={}", kind, cap
+            );
+            prop_assert_eq!(
+                ca.and_count_words_with(k, fb.words()), expected_and,
+                "and_count_words {:?} cap={}", kind, cap
+            );
+            let mut out = CompressedVertexSet::new(cap);
+            out.assign_intersection_with(k, &ca, &cb);
+            prop_assert_eq!(out.len(), expected_and, "assign len {:?} cap={}", kind, cap);
+            prop_assert_eq!(&out.to_vec(), &expected_vec, "assign {:?} cap={}", kind, cap);
+            // Canonical containers: kernels may not change representation.
+            let mut out_scalar = CompressedVertexSet::new(cap);
+            out_scalar.assign_intersection_with(scalar, &ca, &cb);
+            prop_assert_eq!(&out, &out_scalar, "canonical form {:?} cap={}", kind, cap);
+        }
+        let mut walked = Vec::new();
+        ca.for_each_in(fb.words(), |v| walked.push(v));
+        prop_assert_eq!(walked, expected_vec);
+    }
+
+    // Mutation paths (insert/remove with promotion and demotion across the
+    // sparse/dense container boundary) stay in lockstep with the flat set.
+    #[test]
+    fn compressed_mutation_stays_in_lockstep(
+        cap in capacity_strategy(),
+        members in prop::collection::vec(0u32..1_000_000, 0..512),
+        removals in prop::collection::vec(0u32..1_000_000, 0..256),
+    ) {
+        let mut flat = VertexSet::new(cap);
+        let mut comp = CompressedVertexSet::new(cap);
+        for &m in &members {
+            let v = m % cap.max(1) as Vertex;
+            prop_assert_eq!(comp.insert(v), flat.insert(v));
+        }
+        for &m in &removals {
+            let v = m % cap.max(1) as Vertex;
+            prop_assert_eq!(comp.remove(v), flat.remove(v));
+        }
+        prop_assert_eq!(comp.len(), flat.len());
+        prop_assert_eq!(comp.to_vec(), flat.to_vec());
+        // Canonical form: the mutated set equals a freshly built one.
+        prop_assert_eq!(&comp, &CompressedVertexSet::from_iter(cap, flat.iter()));
+    }
+
+    // CSR: the kernel-dispatched sorted-run degree equals the scalar
+    // membership walk, and the galloping/merge intersections agree with a
+    // definitional model, on randomized adjacencies.
+    #[test]
+    fn csr_sorted_run_kernels_match_scalar_walk(
+        n_raw in 2usize..400,
+        edges_raw in prop::collection::vec((0u32..1_000, 0u32..1_000), 0..800),
+        members in prop::collection::vec(0u32..1_000, 0..200),
+    ) {
+        let n = n_raw;
+        let edges: Vec<(Vertex, Vertex)> = edges_raw
+            .into_iter()
+            .map(|(u, v)| (u % n as Vertex, v % n as Vertex))
+            .filter(|(u, v)| u != v)
+            .collect();
+        let csr = Csr::from_edges(n, &edges);
+        let within = VertexSet::from_iter(n, members.into_iter().map(|v| v % n as Vertex));
+        for v in 0..n as Vertex {
+            // Definitional scalar membership walk.
+            let expected = csr.neighbors(v).iter().filter(|&&u| within.contains(u)).count();
+            prop_assert_eq!(csr.degree_within(v, &within), expected, "degree_within v={}", v);
+            for k in available_kernels() {
+                prop_assert_eq!(
+                    k.sorted_and_count(csr.neighbors(v), within.words()),
+                    expected,
+                    "sorted_and_count {:?} v={}", k.kind(), v
+                );
+            }
+        }
+        // Galloping and merge intersections agree with each other and the
+        // adaptive entry point on adjacency-run pairs (common_degree).
+        for (u, v) in [(0, 1), (0, n as Vertex - 1), (1, n as Vertex / 2)] {
+            let (a, b) = (csr.neighbors(u), csr.neighbors(v));
+            let expected = a.iter().filter(|x| b.binary_search(x).is_ok()).count();
+            prop_assert_eq!(merge_count(a, b), expected);
+            prop_assert_eq!(galloping_count(a, b), expected);
+            prop_assert_eq!(sorted_intersect_count(a, b), expected);
+            prop_assert_eq!(csr.common_degree(u, v), expected);
+        }
+    }
+}
